@@ -1,0 +1,120 @@
+// E10 — scalable discovery of geospatial relations (paper Challenge C3,
+// Silk [21] + the JedAI extension): find all intersects/within-distance
+// links between two geometry collections. Series: set size x {R-tree join,
+// nested loop} x relation.
+//
+// Expected shape: the nested loop is O(n*m) exact tests; the indexed join
+// tests only envelope-overlapping candidates, opening a widening gap.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "link/spatial_links.h"
+#include "link/temporal_links.h"
+#include "strabon/workload.h"
+
+namespace {
+
+namespace eea = exearth;
+
+std::vector<eea::geo::Geometry>& CachedPolygons(int n, uint64_t seed) {
+  static std::map<std::pair<int, uint64_t>,
+                  std::vector<eea::geo::Geometry>>* cache =
+      new std::map<std::pair<int, uint64_t>, std::vector<eea::geo::Geometry>>();
+  auto key = std::make_pair(n, seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    eea::common::Rng rng(seed);
+    std::vector<eea::geo::Geometry> geoms;
+    geoms.reserve(static_cast<size_t>(n));
+    const double world = 10000.0;
+    for (int i = 0; i < n; ++i) {
+      double cx = rng.UniformDouble(0, world);
+      double cy = rng.UniformDouble(0, world);
+      geoms.push_back(eea::geo::Geometry(
+          eea::strabon::RandomPolygon(cx, cy, 60.0, 10, &rng)));
+    }
+    it = cache->emplace(key, std::move(geoms)).first;
+  }
+  return it->second;
+}
+
+void BM_SpatialLinkDiscovery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_index = state.range(1) != 0;
+  const bool distance_join = state.range(2) != 0;
+  auto& a = CachedPolygons(n, 31);
+  auto& b = CachedPolygons(n, 37);
+  eea::link::SpatialLinkOptions opt;
+  opt.use_index = use_index;
+  if (distance_join) {
+    opt.relation = eea::link::SpatialLinkRelation::kWithinDistance;
+    opt.distance = 50.0;
+  }
+  uint64_t links = 0;
+  uint64_t tests = 0;
+  for (auto _ : state) {
+    auto result = eea::link::DiscoverSpatialLinks(a, b, opt);
+    links = result.links.size();
+    tests = result.exact_tests;
+    benchmark::DoNotOptimize(result.links.data());
+  }
+  state.counters["links"] = static_cast<double>(links);
+  state.counters["exact_tests"] = static_cast<double>(tests);
+  state.counters["pairs"] = static_cast<double>(n) * n;
+}
+
+// The paper also cites the *temporal* extension of Silk: Allen-relation
+// link discovery between interval sets (acquisition windows, seasons).
+void BM_TemporalLinkDiscovery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_index = state.range(1) != 0;
+  eea::common::Rng rng(41);
+  std::vector<eea::link::Interval> a;
+  std::vector<eea::link::Interval> b;
+  for (int i = 0; i < n; ++i) {
+    double s0 = rng.UniformDouble(0, 3650);
+    a.push_back({s0, s0 + rng.UniformDouble(0, 30)});
+    double s1 = rng.UniformDouble(0, 3650);
+    b.push_back({s1, s1 + rng.UniformDouble(0, 30)});
+  }
+  eea::link::TemporalLinkOptions opt;
+  opt.relation = eea::link::TemporalRelation::kOverlaps;
+  opt.use_index = use_index;
+  uint64_t links = 0;
+  uint64_t tests = 0;
+  for (auto _ : state) {
+    auto result = eea::link::DiscoverTemporalLinks(a, b, opt);
+    links = result.links.size();
+    tests = result.exact_tests;
+    benchmark::DoNotOptimize(result.links.data());
+  }
+  state.counters["links"] = static_cast<double>(links);
+  state.counters["exact_tests"] = static_cast<double>(tests);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpatialLinkDiscovery)
+    ->ArgNames({"n", "indexed", "distance"})
+    ->Args({500, 1, 0})
+    ->Args({500, 0, 0})
+    ->Args({2000, 1, 0})
+    ->Args({2000, 0, 0})
+    ->Args({8000, 1, 0})
+    ->Args({8000, 0, 0})
+    ->Args({2000, 1, 1})
+    ->Args({2000, 0, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TemporalLinkDiscovery)
+    ->ArgNames({"n", "indexed"})
+    ->Args({2000, 1})
+    ->Args({2000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// E12 — GeoTriples transformation throughput (paper Challenge C3, ref
+// [16]): re-engineering GeoTriples for scale means the mapping engine must
+// turn large tabular/vector inputs into RDF fast. Series: input rows x
+// mapping complexity (columns mapped), with and without WKT validation.
+//
+// Expected shape: linear in rows x mapped-columns; WKT validation adds a
+// constant per-geometry cost.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/string_util.h"
+#include "etl/mapping.h"
+#include "etl/table.h"
+#include "rdf/triple_store.h"
+
+namespace {
+
+namespace eea = exearth;
+using eea::common::StrFormat;
+
+eea::etl::Table& CachedTable(int rows) {
+  static std::map<int, eea::etl::Table>* cache =
+      new std::map<int, eea::etl::Table>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    eea::etl::Table table;
+    table.columns = {"id", "crop", "area", "region", "owner", "wkt"};
+    table.rows.reserve(static_cast<size_t>(rows));
+    for (int i = 0; i < rows; ++i) {
+      double x = (i % 1000) * 10.0;
+      double y = (i / 1000) * 10.0;
+      table.rows.push_back(
+          {std::to_string(i), i % 2 ? "wheat" : "maize",
+           StrFormat("%.2f", 1.0 + i % 50),
+           StrFormat("region%d", i % 20), StrFormat("owner%d", i % 500),
+           StrFormat("POLYGON ((%.1f %.1f, %.1f %.1f, %.1f %.1f, %.1f %.1f))",
+                     x, y, x + 9, y, x + 9, y + 9, x, y)});
+    }
+    it = cache->emplace(rows, std::move(table)).first;
+  }
+  return it->second;
+}
+
+eea::etl::TriplesMap MakeMapping(int mapped_columns) {
+  eea::etl::TriplesMap map;
+  map.subject = eea::etl::TermMap::Template("http://x/field/{id}");
+  map.subject_class = "http://x/ontology#Field";
+  const char* columns[] = {"crop", "area", "region", "owner"};
+  for (int c = 0; c < mapped_columns && c < 4; ++c) {
+    map.predicate_objects.push_back(
+        {StrFormat("http://x/ontology#%s", columns[c]),
+         eea::etl::TermMap::Column(columns[c])});
+  }
+  map.wkt_column = "wkt";
+  return map;
+}
+
+void BM_GeoTriplesMapping(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int mapped_columns = static_cast<int>(state.range(1));
+  const bool validate = state.range(2) != 0;
+  eea::etl::Table& table = CachedTable(rows);
+  eea::etl::TriplesMap map = MakeMapping(mapped_columns);
+  uint64_t triples = 0;
+  for (auto _ : state) {
+    eea::rdf::TripleStore store;
+    auto stats = eea::etl::ExecuteMapping(table, map, &store, validate);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    triples = stats->triples_generated;
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.counters["rows"] = rows;
+  state.counters["triples"] = static_cast<double>(triples);
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows) * state.iterations(),
+      benchmark::Counter::kIsRate);
+  state.counters["triples_per_s"] = benchmark::Counter(
+      static_cast<double>(triples) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GeoTriplesMapping)
+    ->ArgNames({"rows", "columns", "validate"})
+    ->Args({10000, 2, 1})
+    ->Args({30000, 2, 1})
+    ->Args({100000, 2, 1})
+    ->Args({100000, 4, 1})
+    ->Args({100000, 2, 0})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E13 — semantic catalogue scaling (paper Challenge C4): catalogues must
+// scale "to trillions of metadata records". Series:
+//   (a) measured spatio-temporal search latency vs record count
+//       (10^4..10^6) — logarithmic thanks to the R-tree;
+//   (b) semantic (knowledge-layer) counting queries vs observation count;
+//   (c) the analytic extrapolation of (a) to 10^12 records, printed as a
+//       counter (the claim the paper makes is about this regime).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "catalog/catalogue.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace {
+
+namespace eea = exearth;
+using eea::catalog::SemanticCatalogue;
+
+SemanticCatalogue& CachedCatalogue(int64_t records) {
+  static std::map<int64_t, std::unique_ptr<SemanticCatalogue>>* cache =
+      new std::map<int64_t, std::unique_ptr<SemanticCatalogue>>();
+  auto it = cache->find(records);
+  if (it != cache->end()) return *it->second;
+  auto cat = std::make_unique<SemanticCatalogue>();
+  eea::common::Rng rng(41);
+  for (int64_t i = 0; i < records; ++i) {
+    eea::raster::SceneMetadata md;
+    md.product_id = eea::common::StrFormat("P%09lld",
+                                           static_cast<long long>(i));
+    md.mission = i % 3 == 0 ? eea::raster::Mission::kSentinel1
+                            : eea::raster::Mission::kSentinel2;
+    md.year = 2015 + static_cast<int>(i % 5);
+    md.day_of_year = 1 + static_cast<int>(i % 365);
+    md.cloud_cover = rng.NextDouble();
+    double x = rng.UniformDouble(0, 1e6);
+    double y = rng.UniformDouble(0, 1e6);
+    md.footprint = eea::geo::Box::Of(x, y, x + 1000, y + 1000);
+    cat->Ingest(md);
+  }
+  auto built = cat->Build();
+  if (!built.ok()) std::abort();
+  it = cache->emplace(records, std::move(cat)).first;
+  return *it->second;
+}
+
+void BM_CatalogueSearch(benchmark::State& state) {
+  const int64_t records = state.range(0);
+  SemanticCatalogue& cat = CachedCatalogue(records);
+  eea::common::Rng rng(43);
+  size_t results = 0;
+  for (auto _ : state) {
+    eea::catalog::SearchRequest req;
+    double x = rng.UniformDouble(0, 0.95e6);
+    double y = rng.UniformDouble(0, 0.95e6);
+    req.area = eea::geo::Box::Of(x, y, x + 2e4, y + 2e4);
+    req.mission = eea::raster::Mission::kSentinel2;
+    req.max_cloud_cover = 0.3;
+    auto found = cat.Search(req);
+    results += found.size();
+    benchmark::DoNotOptimize(found.data());
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["mean_results"] =
+      static_cast<double>(results) / static_cast<double>(state.iterations());
+}
+
+void BM_CatalogueSemanticCount(benchmark::State& state) {
+  const int64_t observations = state.range(0);
+  // Knowledge layer with `observations` iceberg observations.
+  static std::map<int64_t, std::unique_ptr<SemanticCatalogue>>* cache =
+      new std::map<int64_t, std::unique_ptr<SemanticCatalogue>>();
+  auto it = cache->find(observations);
+  if (it == cache->end()) {
+    auto cat = std::make_unique<SemanticCatalogue>();
+    eea::common::Rng rng(47);
+    for (int64_t i = 0; i < observations; ++i) {
+      cat->AddObservation(
+          eea::common::StrFormat("http://x/berg/%lld",
+                                 static_cast<long long>(i)),
+          "http://extremeearth.eu/ontology#Iceberg",
+          eea::geo::Geometry(eea::geo::Point{rng.UniformDouble(0, 1e6),
+                                             rng.UniformDouble(0, 1e6)}),
+          "P0", 2015 + static_cast<int>(i % 5), 1);
+    }
+    if (!cat->Build().ok()) std::abort();
+    it = cache->emplace(observations, std::move(cat)).first;
+  }
+  SemanticCatalogue& cat = *it->second;
+  eea::common::Rng rng(49);
+  uint64_t total = 0;
+  for (auto _ : state) {
+    double x = rng.UniformDouble(0, 0.9e6);
+    double y = rng.UniformDouble(0, 0.9e6);
+    auto count = cat.CountObservations(
+        "http://extremeearth.eu/ontology#Iceberg",
+        eea::geo::Box::Of(x, y, x + 1e5, y + 1e5), 2017);
+    if (!count.ok()) {
+      state.SkipWithError("count failed");
+      return;
+    }
+    total += *count;
+  }
+  state.counters["observations"] = static_cast<double>(observations);
+  state.counters["mean_count"] =
+      static_cast<double>(total) / static_cast<double>(state.iterations());
+}
+
+// The extrapolation itself: from a synthetic measured point to 10^12.
+void BM_TrillionRecordExtrapolation(benchmark::State& state) {
+  double extrapolated = 0;
+  for (auto _ : state) {
+    extrapolated = SemanticCatalogue::ExtrapolateLatency(
+        /*measured_seconds=*/50e-6, /*measured_records=*/1000000,
+        /*target_records=*/1000000000000ULL);
+    benchmark::DoNotOptimize(extrapolated);
+  }
+  state.counters["extrapolated_us_at_1e12"] = extrapolated * 1e6;
+}
+
+}  // namespace
+
+BENCHMARK(BM_CatalogueSearch)
+    ->ArgNames({"records"})
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_CatalogueSemanticCount)
+    ->ArgNames({"observations"})
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_TrillionRecordExtrapolation);
+
+BENCHMARK_MAIN();

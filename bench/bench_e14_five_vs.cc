@@ -1,0 +1,99 @@
+// E14 — the 5 Vs of Copernicus (paper §1): by end-2016 the Sentinel hub
+// generated ~6 TB/day, disseminated ~100 TB/day, and 1 PB of data yields
+// ~450 TB of derived information (~45%). Series:
+//   (a) the lifecycle simulation at 2016 rates (volumes as counters);
+//   (b) velocity stress: arrival-rate multiplier sweep, watching the
+//       processing backlog and drain time (the "24/7 fast response" V);
+//   (c) event-throughput of the simulator itself (products/s simulated).
+
+#include <benchmark/benchmark.h>
+
+#include "platform/autoscale.h"
+#include "platform/ingestion.h"
+
+namespace {
+
+namespace eea = exearth;
+
+void BM_FiveVsDay(benchmark::State& state) {
+  const int rate_multiplier = static_cast<int>(state.range(0));
+  eea::platform::IngestionOptions opt;
+  opt.products_per_day *= rate_multiplier;
+  opt.seed = 61;
+  eea::platform::IngestionReport report;
+  for (auto _ : state) {
+    auto r = eea::platform::SimulateIngestion(opt);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    report = *r;
+  }
+  state.counters["products"] = static_cast<double>(report.products_ingested);
+  state.counters["generated_tb_day"] = report.ingested_gb / 1000.0;
+  state.counters["disseminated_tb_day"] = report.disseminated_gb / 1000.0;
+  state.counters["derived_tb_day"] =
+      report.derived_information_gb / 1000.0;
+  state.counters["info_ratio"] =
+      report.ingested_gb > 0
+          ? report.derived_information_gb / report.ingested_gb
+          : 0;
+  state.counters["max_backlog_gb"] = report.max_processing_backlog_gb;
+  state.counters["drain_time_days"] = report.processing_drain_time_days;
+  state.counters["sim_products_per_s"] = benchmark::Counter(
+      static_cast<double>(report.products_ingested) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+// A2's "processing resources on demand and scalable": elastic vs fixed
+// provisioning for bursty satellite-pass workloads. Elastic should match
+// peak-fixed latency at a fraction of the node-hours, while minimal-fixed
+// provisioning backlogs.
+void BM_ElasticProvisioning(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 elastic, 1 peak
+                                                      // fixed, 2 minimal
+  eea::platform::AutoscaleOptions opt;
+  opt.seed = 71;
+  if (mode == 0) {
+    opt.min_nodes = 1;
+    opt.max_nodes = 32;
+  } else if (mode == 1) {
+    opt.min_nodes = opt.max_nodes = 16;
+  } else {
+    opt.min_nodes = opt.max_nodes = 2;
+  }
+  eea::platform::AutoscaleReport report;
+  for (auto _ : state) {
+    auto r = eea::platform::SimulateAutoscaling(opt);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    report = *r;
+  }
+  state.counters["scenes"] = static_cast<double>(report.scenes_processed);
+  state.counters["mean_latency_h"] = report.mean_latency_hours;
+  state.counters["max_latency_h"] = report.max_latency_hours;
+  state.counters["node_hours"] = report.node_hours_used;
+  state.counters["peak_nodes"] = report.peak_nodes;
+  state.counters["mean_nodes"] = report.mean_nodes;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ElasticProvisioning)
+    ->ArgNames({"mode"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FiveVsDay)
+    ->ArgNames({"rate_x"})
+    ->Arg(1)   // 2016 rates: ~6 TB/day in, ~100 TB/day out
+    ->Arg(2)   // "will increase as new Sentinels are launched"
+    ->Arg(4)
+    ->Arg(8)   // saturates the fixed 10 TB/day processing capacity
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E1 — Strabon-style rectangular spatial selections over point datasets
+// (paper §1): the paper claims Strabon answers rectangle selections over
+// point data "in a few seconds" up to ~100 GB and that competitors
+// (GraphDB) behave similarly, with both degrading beyond that. The
+// mechanism is index pushdown vs scan: this bench sweeps dataset size x
+// {indexed, full-scan} at fixed 0.1% selectivity.
+//
+// Expected shape: indexed latency grows ~logarithmically (stays
+// interactive), the scan baseline grows linearly with dataset size.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "strabon/workload.h"
+
+namespace {
+
+using exearth::common::Rng;
+using exearth::strabon::GeoStore;
+using exearth::strabon::GeoWorkloadOptions;
+using exearth::strabon::RandomSelectionBox;
+using exearth::strabon::SpatialRelation;
+
+// Stores are expensive to build; cache them across benchmark runs.
+GeoStore& CachedPointStore(int64_t num_features) {
+  static std::map<int64_t, std::unique_ptr<GeoStore>>* cache =
+      new std::map<int64_t, std::unique_ptr<GeoStore>>();
+  auto it = cache->find(num_features);
+  if (it == cache->end()) {
+    GeoWorkloadOptions opt;
+    opt.num_features = num_features;
+    opt.kind = GeoWorkloadOptions::GeometryKind::kPoint;
+    opt.with_thematic = false;
+    opt.seed = 11;
+    it = cache
+             ->emplace(num_features,
+                       std::make_unique<GeoStore>(
+                           exearth::strabon::MakeGeoWorkload(opt)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_SpatialSelection(benchmark::State& state) {
+  const int64_t num_features = state.range(0);
+  const bool use_index = state.range(1) != 0;
+  GeoStore& store = CachedPointStore(num_features);
+  Rng rng(99);
+  uint64_t results = 0;
+  uint64_t tests = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    auto box = RandomSelectionBox(100000.0, 0.001, &rng);
+    auto hits =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, use_index);
+    benchmark::DoNotOptimize(hits);
+    results += hits.size();
+    tests += store.last_stats().geometry_tests;
+    ++queries;
+  }
+  state.counters["features"] = static_cast<double>(num_features);
+  state.counters["mean_results"] =
+      static_cast<double>(results) / static_cast<double>(queries);
+  state.counters["geom_tests_per_query"] =
+      static_cast<double>(tests) / static_cast<double>(queries);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpatialSelection)
+    ->ArgNames({"features", "indexed"})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Args({30000, 1})
+    ->Args({30000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 0})
+    ->Args({300000, 1})
+    ->Args({300000, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

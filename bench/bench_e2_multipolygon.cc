@@ -1,0 +1,80 @@
+// E2 — geometry-complexity degradation (paper §1): "if the complexity of
+// geometries in the dataset increases (i.e., we have multi-polygons), not
+// even the aforementioned performance can be achieved for both Strabon and
+// GraphDB". Sweep: vertices-per-ring x {indexed, full-scan} at fixed
+// dataset size and selectivity.
+//
+// Expected shape: both paths slow down with vertex count (exact tests cost
+// more), the scan baseline catastrophically (it exact-tests everything);
+// compare against E1's point numbers to see the multipolygon penalty.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "strabon/workload.h"
+
+namespace {
+
+using exearth::common::Rng;
+using exearth::strabon::GeoStore;
+using exearth::strabon::GeoWorkloadOptions;
+using exearth::strabon::RandomSelectionBox;
+using exearth::strabon::SpatialRelation;
+
+GeoStore& CachedMultiPolygonStore(int vertices) {
+  static std::map<int, std::unique_ptr<GeoStore>>* cache =
+      new std::map<int, std::unique_ptr<GeoStore>>();
+  auto it = cache->find(vertices);
+  if (it == cache->end()) {
+    GeoWorkloadOptions opt;
+    opt.num_features = 20000;
+    opt.kind = GeoWorkloadOptions::GeometryKind::kMultiPolygon;
+    opt.vertices_per_ring = vertices;
+    opt.polygons_per_multi = 2;
+    opt.feature_size = 60.0;
+    opt.with_thematic = false;
+    opt.seed = 13;
+    it = cache
+             ->emplace(vertices, std::make_unique<GeoStore>(
+                                     exearth::strabon::MakeGeoWorkload(opt)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_MultiPolygonSelection(benchmark::State& state) {
+  const int vertices = static_cast<int>(state.range(0));
+  const bool use_index = state.range(1) != 0;
+  GeoStore& store = CachedMultiPolygonStore(vertices);
+  Rng rng(101);
+  uint64_t results = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    auto box = RandomSelectionBox(100000.0, 0.001, &rng);
+    auto hits =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, use_index);
+    benchmark::DoNotOptimize(hits);
+    results += hits.size();
+    ++queries;
+  }
+  state.counters["vertices_per_ring"] = vertices;
+  state.counters["mean_results"] =
+      static_cast<double>(results) / static_cast<double>(queries);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultiPolygonSelection)
+    ->ArgNames({"vertices", "indexed"})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({32, 1})
+    ->Args({32, 0})
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

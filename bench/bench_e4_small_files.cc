@@ -1,0 +1,88 @@
+// E4 — small-file performance ("Size Matters", paper Challenge C5 ref
+// [17]): storing small files inline in the NewSQL metadata store beats the
+// block path because reads/writes collapse to single-row transactions.
+// Sweep: file size x {inline, block} for create+read round trips.
+//
+// Expected shape: inline wins clearly below the block size and the gap
+// narrows (inline becomes impossible) as files grow; the crossover is the
+// inline threshold.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "dfs/hopsfs.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using exearth::common::StrFormat;
+using exearth::dfs::HopsFsCluster;
+using exearth::dfs::HopsFsNameNode;
+
+void BM_SmallFileCreateRead(benchmark::State& state) {
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  const bool inline_path = state.range(1) != 0;
+  HopsFsCluster::Options opt;
+  opt.kv_partitions = 8;
+  // Inline path: threshold above the file size. Block path: inlining off.
+  opt.inline_threshold_bytes = inline_path ? (1 << 20) : 0;
+  opt.block_size_bytes = 64 * 1024;  // HDFS-small block for the simulation
+  HopsFsCluster cluster(opt);
+  HopsFsNameNode nn(&cluster);
+  benchmark::DoNotOptimize(nn.Mkdir("/data"));
+  const std::string payload(file_size, 'x');
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = StrFormat("/data/f%d", i++);
+    if (!nn.Create(path, payload.size(), payload).ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    auto read = nn.ReadFile(path);
+    if (!read.ok() || read->size() != file_size) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(read->data());
+  }
+  state.counters["file_bytes"] = static_cast<double>(file_size);
+  state.counters["kv_rows"] = static_cast<double>(cluster.store().Size());
+  // Modeled client-observed read latency on a real deployment: the inline
+  // path is one namenode round trip; the block path pays the namenode
+  // round trip plus a datanode round trip per block ("Size Matters"'s
+  // actual gap — local wall time cannot show network hops).
+  const int blocks = static_cast<int>(
+      (file_size + opt.block_size_bytes - 1) / opt.block_size_bytes);
+  exearth::sim::NetworkSpec net;  // 10 GbE, 50 us
+  const double rt_inline =
+      net.latency_s + static_cast<double>(file_size) / net.bandwidth_bytes_s;
+  const double rt_block =
+      net.latency_s +  // namenode lookup
+      blocks * net.latency_s +
+      static_cast<double>(file_size) / net.bandwidth_bytes_s;
+  state.counters["modeled_read_us"] =
+      (inline_path ? rt_inline : rt_block) * 1e6;
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file_size) * 2);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SmallFileCreateRead)
+    ->ArgNames({"bytes", "inline"})
+    ->Args({1 << 10, 1})
+    ->Args({1 << 10, 0})
+    ->Args({8 << 10, 1})
+    ->Args({8 << 10, 0})
+    ->Args({64 << 10, 1})
+    ->Args({64 << 10, 0})
+    ->Args({256 << 10, 1})
+    ->Args({256 << 10, 0})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

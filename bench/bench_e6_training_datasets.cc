@@ -1,0 +1,105 @@
+// E6 — training-dataset scale (paper Challenge C2): EuroSAT, the largest
+// existing benchmark, has 27,000 labelled images; the paper argues
+// millions are needed and proposes generating them from cartographic
+// products. Two series:
+//   (a) classifier accuracy vs training-set size (1k -> 27k -> beyond),
+//       fixed architecture and epochs — the "more data helps" curve;
+//   (b) throughput of the C2 dataset-enlargement tooling (samples/s when
+//       weak labels come from a cartographic map + simulation).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "etl/training_data.h"
+#include "ml/network.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+
+namespace {
+
+namespace eea = exearth;
+
+void BM_AccuracyVsTrainingSize(benchmark::State& state) {
+  const int train_size = static_cast<int>(state.range(0));
+  double accuracy = 0;
+  for (auto _ : state) {
+    eea::raster::EurosatOptions opt;
+    opt.num_samples = train_size + 2000;  // + held-out test set
+    opt.patch_size = 8;
+    opt.noise_stddev = 0.07;  // harder task so data volume matters
+    opt.mixed_fraction = 0.7;
+    eea::raster::Dataset ds = eea::raster::MakeEurosatLike(opt, 7);
+    eea::common::Rng rng(1);
+    ds.Shuffle(&rng);
+    eea::raster::Dataset train = ds;
+    train.samples.assign(ds.samples.begin(), ds.samples.begin() + train_size);
+    eea::raster::Dataset test = ds;
+    test.samples.assign(ds.samples.begin() + train_size, ds.samples.end());
+    auto standardization = train.Standardize();
+    test.ApplyStandardization(standardization);
+    eea::ml::Network cnn = eea::ml::BuildCnn(13, 8, 8, 8, 10, 31);
+    eea::ml::TrainOptions topt;
+    topt.epochs = 1;  // fixed single pass: accuracy is bounded by data volume
+    topt.batch_size = 32;
+    topt.as_images = true;
+    topt.sgd.learning_rate = 0.03;
+    eea::ml::Trainer trainer(&cnn, topt);
+    trainer.Fit(&train);
+    accuracy = trainer.Evaluate(test).Accuracy();
+  }
+  state.counters["train_samples"] = train_size;
+  state.counters["test_accuracy"] = accuracy;
+}
+
+void BM_DatasetEnlargement(benchmark::State& state) {
+  const int target = static_cast<int>(state.range(0));
+  eea::common::Rng rng(3);
+  eea::raster::ClassMapOptions mopt;
+  mopt.width = 96;
+  mopt.height = 96;
+  mopt.num_patches = 30;
+  eea::raster::ClassMap labels = eea::raster::GenerateClassMap(mopt, &rng);
+  eea::raster::SentinelSimulator::Options sopt;
+  sopt.cloud_probability = 0.15;
+  size_t produced = 0;
+  for (auto _ : state) {
+    eea::etl::EnlargeOptions eopt;
+    eopt.target_samples = target;
+    eopt.patch_size = 8;
+    eopt.stride = 4;
+    auto ds = eea::etl::BuildEnlargedDataset(
+        labels, eea::raster::kNumLandCoverClasses, sopt, eopt);
+    if (!ds.ok()) {
+      state.SkipWithError(ds.status().ToString().c_str());
+      return;
+    }
+    produced = ds->size();
+    benchmark::DoNotOptimize(ds->samples.data());
+  }
+  state.counters["samples"] = static_cast<double>(produced);
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(produced) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AccuracyVsTrainingSize)
+    ->ArgNames({"train"})
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(9000)
+    ->Arg(27000)   // the EuroSAT scale the paper cites
+    ->Arg(54000)   // "beyond EuroSAT" via synthetic enlargement
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DatasetEnlargement)
+    ->ArgNames({"target"})
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Arg(80000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E7 — watershed-scale water-availability maps (paper Challenge A1): the
+// vision calls for widening processing to whole watersheds, all Copernicus
+// inputs, whole-year simulation, at 10 m with crop-specific coefficients.
+// Series:
+//   (a) full-year daily water balance vs watershed size (pixels) —
+//       throughput of the PROMET-substitute model;
+//   (b) ablation: crop-specific Kc vs a single generic coefficient — the
+//       accuracy benefit the paper attributes to knowing crop types.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "foodsec/water.h"
+#include "raster/landcover.h"
+
+namespace {
+
+namespace eea = exearth;
+
+eea::raster::ClassMap MakeCropMap(int size, uint64_t seed) {
+  eea::common::Rng rng(seed);
+  eea::raster::ClassMapOptions opt;
+  opt.width = size;
+  opt.height = size;
+  opt.num_classes = eea::raster::kNumCropTypes;
+  opt.num_patches = size / 2;
+  return eea::raster::GenerateClassMap(opt, &rng);
+}
+
+void BM_WaterBalanceYear(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  eea::raster::ClassMap crops = MakeCropMap(size, 17);
+  eea::raster::GeoTransform t{500000.0, 4650000.0, 10.0};
+  auto weather = eea::foodsec::SynthesizeWeather(4);
+  eea::foodsec::WaterBalanceOptions opt;
+  double mean_avail = 0;
+  for (auto _ : state) {
+    auto products = eea::foodsec::ComputeWaterProducts(crops, t, weather, opt);
+    if (!products.ok()) {
+      state.SkipWithError(products.status().ToString().c_str());
+      return;
+    }
+    mean_avail = products->availability.ComputeStats(0).mean;
+    benchmark::DoNotOptimize(products->irrigation_mm.data().data());
+  }
+  const double pixels = static_cast<double>(size) * size;
+  state.counters["pixels"] = pixels;
+  state.counters["km2_at_10m"] = pixels * 100.0 / 1e6;
+  state.counters["pixel_days_per_s"] = benchmark::Counter(
+      pixels * 365.0 * state.iterations(), benchmark::Counter::kIsRate);
+  state.counters["mean_availability"] = mean_avail;
+}
+
+// Crop-specific vs generic coefficients: RMS difference of the irrigation
+// product — the information lost without the C1 crop classification.
+void BM_CropSpecificKcAblation(benchmark::State& state) {
+  const int size = 96;
+  eea::raster::ClassMap crops = MakeCropMap(size, 19);
+  eea::raster::ClassMap generic(size, size);
+  generic.Fill(static_cast<uint8_t>(eea::raster::CropType::kGrassland));
+  eea::raster::GeoTransform t{0, 0, 10.0};
+  auto weather = eea::foodsec::SynthesizeWeather(6);
+  eea::foodsec::WaterBalanceOptions opt;
+  opt.capacity_variability = 0.0;  // isolate the Kc effect
+  double rms_mm = 0;
+  for (auto _ : state) {
+    auto specific = eea::foodsec::ComputeWaterProducts(crops, t, weather, opt);
+    auto flat = eea::foodsec::ComputeWaterProducts(generic, t, weather, opt);
+    if (!specific.ok() || !flat.ok()) {
+      state.SkipWithError("water balance failed");
+      return;
+    }
+    double sum2 = 0;
+    const auto& a = specific->irrigation_mm.data();
+    const auto& b = flat->irrigation_mm.data();
+    for (size_t i = 0; i < a.size(); ++i) {
+      double d = a[i] - b[i];
+      sum2 += d * d;
+    }
+    rms_mm = std::sqrt(sum2 / static_cast<double>(a.size()));
+  }
+  state.counters["irrigation_rms_error_mm"] = rms_mm;
+}
+
+}  // namespace
+
+BENCHMARK(BM_WaterBalanceYear)
+    ->ArgNames({"size"})
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_CropSpecificKcAblation)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E8 — high-resolution ice mapping (paper Challenge A2): sea-ice
+// concentration and stage-of-development maps at <= 1 km from SAR, with
+// product delivery over constrained ship links (PCDSS). Series:
+//   (a) end-to-end pipeline time and classification accuracy vs scene
+//       size (throughput in km^2/s at 40 m pixels);
+//   (b) PCDSS payload size and Iridium transfer time vs chart size — the
+//       delivery constraint the paper highlights for polar users.
+
+#include <benchmark/benchmark.h>
+
+#include "polar/pipeline.h"
+
+namespace {
+
+namespace eea = exearth;
+
+void BM_IcePipeline(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  double accuracy = 0;
+  double recall = 0;
+  size_t pcdss = 0;
+  for (auto _ : state) {
+    eea::polar::PolarOptions opt;
+    opt.width = size;
+    opt.height = size;
+    opt.ice_patches = size / 8;
+    opt.training_samples = 2500;
+    opt.epochs = 4;
+    opt.chart_cell_pixels = 25;
+    opt.injected_icebergs = size / 20;
+    opt.seed = 77;
+    auto report = eea::polar::RunPolarPipeline(opt, nullptr);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    accuracy = report->ice_accuracy;
+    recall = report->iceberg_recall;
+    pcdss = report->pcdss_bytes;
+  }
+  const double km2 = static_cast<double>(size) * size * 40.0 * 40.0 / 1e6;
+  state.counters["scene_km2"] = km2;
+  state.counters["km2_per_s"] = benchmark::Counter(
+      km2 * state.iterations(), benchmark::Counter::kIsRate);
+  state.counters["ice_accuracy"] = accuracy;
+  state.counters["iceberg_recall"] = recall;
+  state.counters["pcdss_bytes"] = static_cast<double>(pcdss);
+}
+
+void BM_PcdssEncoding(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  // A structured chart: ice gradient with embedded leads.
+  eea::raster::ClassMap map(cells * 4, cells * 4);
+  for (int y = 0; y < map.height(); ++y) {
+    for (int x = 0; x < map.width(); ++x) {
+      int cls = (x * eea::raster::kNumIceClasses) / map.width();
+      if ((x + y) % 17 == 0) cls = 0;  // leads
+      map.at(x, y) = static_cast<uint8_t>(cls);
+    }
+  }
+  eea::raster::GeoTransform t{0, 0, 250.0};
+  auto chart = eea::polar::MakeIceChart(map, t, 4);
+  if (!chart.ok()) {
+    state.SkipWithError("chart failed");
+    return;
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto payload = eea::polar::EncodePcdss(*chart);
+    bytes = payload.size();
+    auto decoded = eea::polar::DecodePcdss(payload);
+    if (!decoded.ok()) {
+      state.SkipWithError("decode failed");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded->concentration.data().data());
+  }
+  const double raw_bytes = static_cast<double>(cells) * cells * 5;  // float+cls
+  state.counters["chart_cells"] = static_cast<double>(cells) * cells;
+  state.counters["payload_bytes"] = static_cast<double>(bytes);
+  state.counters["compression_x"] = raw_bytes / static_cast<double>(bytes);
+  state.counters["iridium_2400bps_s"] =
+      eea::polar::TransferSeconds(bytes, 2400.0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_IcePipeline)
+    ->ArgNames({"size"})
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_PcdssEncoding)
+    ->ArgNames({"cells"})
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E9 — multi-core meta-blocking (paper Challenge C3, ref [19]): JedAI's
+// meta-blocking prunes the comparison space of big linked-data entity
+// resolution. Series:
+//   (a) comparisons + wall time: naive all-pairs vs token blocking vs
+//       meta-blocking, growing dataset sizes;
+//   (b) meta-blocking thread scaling (the "multi-core" in the title);
+//   (c) weighting-scheme ablation (CBS vs Jaccard).
+// Recall/precision are reported as counters so the speedup is shown not to
+// come from dropping matches.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "link/entity_resolution.h"
+
+namespace {
+
+namespace eea = exearth;
+using eea::link::BlockingOptions;
+using eea::link::ErDataset;
+using eea::link::ResolutionResult;
+
+ErDataset& CachedDataset(int records) {
+  static std::map<int, ErDataset>* cache = new std::map<int, ErDataset>();
+  auto it = cache->find(records);
+  if (it == cache->end()) {
+    eea::link::ErWorkloadOptions opt;
+    opt.num_records = records;
+    opt.duplicate_probability = 0.5;
+    opt.noise = 0.15;
+    opt.seed = 23;
+    it = cache->emplace(records, eea::link::MakeDirtyErDataset(opt)).first;
+  }
+  return it->second;
+}
+
+void Report(benchmark::State& state, const ErDataset& ds,
+            const ResolutionResult& result) {
+  auto metrics = eea::link::ComputePairMetrics(result.matches,
+                                               ds.true_matches);
+  state.counters["comparisons"] = static_cast<double>(result.comparisons);
+  state.counters["recall"] = metrics.recall;
+  state.counters["precision"] = metrics.precision;
+}
+
+void BM_NaivePairwise(benchmark::State& state) {
+  ErDataset& ds = CachedDataset(static_cast<int>(state.range(0)));
+  auto match = eea::link::JaccardMatcher(0.45);
+  ResolutionResult result;
+  for (auto _ : state) {
+    result = eea::link::ResolveNaive(ds.entities, match);
+    benchmark::DoNotOptimize(result.matches.data());
+  }
+  Report(state, ds, result);
+}
+
+void BM_TokenBlocking(benchmark::State& state) {
+  ErDataset& ds = CachedDataset(static_cast<int>(state.range(0)));
+  auto match = eea::link::JaccardMatcher(0.45);
+  ResolutionResult result;
+  for (auto _ : state) {
+    result = eea::link::ResolveWithTokenBlocking(ds.entities, match,
+                                                 BlockingOptions{});
+    benchmark::DoNotOptimize(result.matches.data());
+  }
+  Report(state, ds, result);
+}
+
+void BM_MetaBlocking(benchmark::State& state) {
+  ErDataset& ds = CachedDataset(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  const bool jaccard_scheme = state.range(2) != 0;
+  auto match = eea::link::JaccardMatcher(0.45);
+  BlockingOptions opt;
+  opt.num_threads = threads;
+  opt.scheme = jaccard_scheme ? eea::link::WeightScheme::kJaccard
+                              : eea::link::WeightScheme::kCbs;
+  ResolutionResult result;
+  for (auto _ : state) {
+    result = eea::link::ResolveWithMetaBlocking(ds.entities, match, opt);
+    benchmark::DoNotOptimize(result.matches.data());
+  }
+  Report(state, ds, result);
+}
+
+}  // namespace
+
+BENCHMARK(BM_NaivePairwise)
+    ->ArgNames({"records"})
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TokenBlocking)
+    ->ArgNames({"records"})
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_MetaBlocking)
+    ->ArgNames({"records", "threads", "jaccard"})
+    ->Args({1000, 1, 0})
+    ->Args({3000, 1, 0})
+    ->Args({10000, 1, 0})
+    ->Args({10000, 2, 0})
+    ->Args({10000, 4, 0})
+    ->Args({10000, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

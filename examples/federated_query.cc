@@ -1,0 +1,118 @@
+// Federated linked-geospatial analytics (paper Challenge C3): three
+// autonomous RDF endpoints — a crop layer, an ice layer and an OSM-like
+// base layer — federated Semagrow-style, with and without source selection
+// and join reordering, plus GeoTriples-style ETL feeding one endpoint and
+// JedAI-style interlinking between two of them.
+//
+// Build & run:  ./build/examples/federated_query
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "etl/mapping.h"
+#include "fed/federation.h"
+#include "link/entity_resolution.h"
+#include "rdf/query.h"
+
+namespace eea = exearth;
+
+int main() {
+  // --- Endpoint 1: crops, materialized from CSV via the mapping engine.
+  eea::etl::Table table;
+  table.columns = {"id", "crop", "region"};
+  for (int i = 0; i < 40; ++i) {
+    table.rows.push_back({std::to_string(i),
+                          i % 3 == 0 ? "wheat" : "maize",
+                          i < 20 ? "north" : "south"});
+  }
+  eea::etl::TriplesMap mapping;
+  mapping.subject = eea::etl::TermMap::Template("http://x/field/{id}");
+  mapping.subject_class = "http://x/ontology#Field";
+  mapping.predicate_objects.push_back(
+      {"http://x/cropType", eea::etl::TermMap::Column("crop")});
+  mapping.predicate_objects.push_back(
+      {"http://x/region", eea::etl::TermMap::Column("region")});
+  eea::rdf::TripleStore crop_store;
+  auto etl_stats = eea::etl::ExecuteMapping(table, mapping, &crop_store);
+  if (!etl_stats.ok()) {
+    std::fprintf(stderr, "ETL: %s\n", etl_stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("GeoTriples ETL: %llu rows -> %llu triples\n",
+              static_cast<unsigned long long>(etl_stats->rows_processed),
+              static_cast<unsigned long long>(etl_stats->triples_generated));
+
+  // --- Endpoint 2: ice observations.
+  eea::rdf::TripleStore ice_store;
+  for (int i = 0; i < 25; ++i) {
+    ice_store.Add(
+        eea::rdf::Term::Iri(eea::common::StrFormat("http://x/floe/%d", i)),
+        eea::rdf::Term::Iri("http://x/iceClass"),
+        eea::rdf::Term::Literal(i % 2 == 0 ? "FirstYearIce" : "OldIce"));
+  }
+
+  // --- Endpoint 3: base layer with labels for everything.
+  eea::rdf::TripleStore base_store;
+  for (int i = 0; i < 40; ++i) {
+    base_store.Add(
+        eea::rdf::Term::Iri(eea::common::StrFormat("http://x/field/%d", i)),
+        eea::rdf::Term::Iri(eea::rdf::vocab::kLabel),
+        eea::rdf::Term::Literal(eea::common::StrFormat("parcel %d", i)));
+  }
+
+  eea::fed::Endpoint crops("crops", std::move(crop_store));
+  eea::fed::Endpoint ice("ice", std::move(ice_store));
+  eea::fed::Endpoint base("base", std::move(base_store));
+  eea::fed::FederationEngine federation;
+  federation.Register(&crops);
+  federation.Register(&ice);
+  federation.Register(&base);
+
+  // Federated query: labels of all wheat fields (spans two endpoints).
+  eea::rdf::Query q;
+  q.where.push_back(eea::rdf::TriplePattern{
+      eea::rdf::PatternSlot::Var("f"),
+      eea::rdf::PatternSlot::Iri(eea::rdf::vocab::kLabel),
+      eea::rdf::PatternSlot::Var("label")});
+  q.where.push_back(eea::rdf::TriplePattern{
+      eea::rdf::PatternSlot::Var("f"),
+      eea::rdf::PatternSlot::Iri("http://x/cropType"),
+      eea::rdf::PatternSlot::Of(eea::rdf::Term::Literal("wheat"))});
+
+  for (bool optimized : {false, true}) {
+    eea::fed::FederationOptions opt;
+    opt.source_selection = optimized;
+    opt.join_reordering = optimized;
+    auto rows = federation.Execute(q, opt);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "federation: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    const auto& stats = federation.last_stats();
+    std::printf(
+        "federated query (%s): %zu results, %llu subqueries, "
+        "%llu endpoints contacted, %llu rows transferred\n",
+        optimized ? "Semagrow-optimized" : "naive broadcast", rows->size(),
+        static_cast<unsigned long long>(stats.subqueries_sent),
+        static_cast<unsigned long long>(stats.endpoints_contacted),
+        static_cast<unsigned long long>(stats.rows_transferred));
+  }
+
+  // --- Interlinking (JedAI-style): match dirty duplicates across sources.
+  eea::link::ErWorkloadOptions er_opt;
+  er_opt.num_records = 400;
+  eea::link::ErDataset er = eea::link::MakeDirtyErDataset(er_opt);
+  auto match = eea::link::JaccardMatcher(0.45);
+  auto naive = eea::link::ResolveNaive(er.entities, match);
+  eea::link::BlockingOptions bopt;
+  auto meta = eea::link::ResolveWithMetaBlocking(er.entities, match, bopt);
+  auto mn = eea::link::ComputePairMetrics(naive.matches, er.true_matches);
+  auto mm = eea::link::ComputePairMetrics(meta.matches, er.true_matches);
+  std::printf(
+      "interlinking: naive %llu comparisons (recall %.2f) vs meta-blocking "
+      "%llu comparisons (recall %.2f)\n",
+      static_cast<unsigned long long>(naive.comparisons), mn.recall,
+      static_cast<unsigned long long>(meta.comparisons), mm.recall);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Quickstart: the smallest end-to-end tour of the ExtremeEarth stack.
+//
+//   1. Simulate a Sentinel-2 scene over a synthetic land-cover map.
+//   2. Train a land-cover classifier on patches of it.
+//   3. Publish classified patches as geospatial RDF.
+//   4. Query them back with a Strabon-style spatial selection.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "geo/wkt.h"
+#include "ml/network.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+#include "raster/landcover.h"
+#include "raster/sentinel.h"
+#include "strabon/geostore.h"
+#include "strabon/sparql.h"
+
+namespace eea = exearth;
+
+int main() {
+  // 1. A 96x96 scene (10 m pixels) over a patchy land-cover map.
+  eea::common::Rng rng(42);
+  eea::raster::ClassMapOptions map_opt;
+  map_opt.width = 96;
+  map_opt.height = 96;
+  map_opt.num_patches = 25;
+  eea::raster::ClassMap land_cover =
+      eea::raster::GenerateClassMap(map_opt, &rng);
+
+  eea::raster::SentinelSimulator::Options sim_opt;
+  sim_opt.cloud_probability = 0.0;
+  eea::raster::SentinelSimulator simulator(sim_opt, 7);
+  eea::raster::SentinelProduct scene = simulator.SimulateS2(land_cover, 180);
+  std::printf("simulated %s: %dx%d, %d bands, %s\n",
+              scene.metadata.product_id.c_str(), scene.raster.width(),
+              scene.raster.height(), scene.raster.bands(),
+              eea::common::HumanBytes(scene.metadata.size_bytes).c_str());
+
+  // 2. Patch dataset + a small CNN classifier (Challenge C1 in miniature).
+  auto dataset = eea::raster::MakePatchDataset(
+      scene, land_cover, eea::raster::kNumLandCoverClasses, 8, 8);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  dataset->Shuffle(&rng);
+  auto [train, test] = dataset->Split(0.8);
+  auto standardization = train.Standardize();
+  test.ApplyStandardization(standardization);
+
+  eea::ml::Network cnn = eea::ml::BuildCnn(13, 8, 8, 8, 10, 1);
+  eea::ml::TrainOptions train_opt;
+  train_opt.epochs = 5;
+  train_opt.batch_size = 16;
+  train_opt.as_images = true;
+  train_opt.sgd.learning_rate = 0.05;
+  eea::ml::Trainer trainer(&cnn, train_opt);
+  for (const auto& epoch : trainer.Fit(&train)) {
+    std::printf("epoch: loss=%.3f train_acc=%.3f\n", epoch.mean_loss,
+                epoch.accuracy);
+  }
+  auto cm = trainer.Evaluate(test);
+  std::printf("test accuracy: %.3f (chance would be 0.10)\n", cm.Accuracy());
+
+  // 3. Publish every test patch as a georeferenced RDF feature.
+  eea::strabon::GeoStore store;
+  const eea::geo::Box extent = scene.raster.Extent();
+  auto preds = eea::ml::Predict(&cnn, test, /*as_images=*/true);
+  for (size_t i = 0; i < test.samples.size(); ++i) {
+    // Synthetic footprints tile the scene extent (illustrative).
+    double gx = extent.min_x + (i % 12) * 80.0;
+    double gy = extent.min_y + (i / 12) * 80.0;
+    eea::geo::Polygon cell;
+    cell.outer.points = {{gx, gy}, {gx + 80, gy}, {gx + 80, gy + 80},
+                         {gx, gy + 80}};
+    std::string iri =
+        eea::common::StrFormat("http://extremeearth.eu/patch/%zu", i);
+    store.AddFeature(iri, eea::geo::Geometry(cell));
+    store.triples().Add(
+        eea::rdf::Term::Iri(iri),
+        eea::rdf::Term::Iri("http://extremeearth.eu/ontology#landCover"),
+        eea::rdf::Term::Literal(eea::raster::LandCoverClassName(
+            static_cast<eea::raster::LandCoverClass>(preds[i]))));
+  }
+  auto built = store.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("published %zu features (%zu triples) as linked data\n",
+              store.num_geometries(), store.triples().size());
+
+  // 4. A Strabon-style rectangular spatial selection with index pushdown.
+  eea::geo::Box query = eea::geo::Box::Of(
+      extent.min_x, extent.min_y, extent.min_x + 300, extent.min_y + 300);
+  auto hits = store.SpatialSelect(
+      query, eea::strabon::SpatialRelation::kIntersects, /*use_index=*/true);
+  std::printf("spatial selection %s -> %zu features (tested %llu of %zu)\n",
+              eea::geo::ToWkt(query).c_str(), hits.size(),
+              static_cast<unsigned long long>(
+                  store.last_stats().geometry_tests),
+              store.num_geometries());
+  for (size_t i = 0; i < hits.size() && i < 3; ++i) {
+    std::printf("  %s\n",
+                store.triples().dict().Decode(hits[i]).value.c_str());
+  }
+
+  // 5. The same store is queryable through textual stSPARQL.
+  std::string sparql = eea::common::StrFormat(
+      "PREFIX eea: <http://extremeearth.eu/ontology#>\n"
+      "SELECT ?patch ?class WHERE {\n"
+      "  ?patch eea:landCover ?class .\n"
+      "  FILTER(geof:sfIntersects(?patch, \"%s\"))\n"
+      "}",
+      eea::geo::ToWkt(query).c_str());
+  auto rows = eea::strabon::ExecuteSparql(store, sparql);
+  if (rows.ok()) {
+    std::printf("stSPARQL: classified patches in the window -> %zu rows\n",
+                rows->size());
+    for (size_t i = 0; i < rows->size() && i < 3; ++i) {
+      const auto& b = (*rows)[i];
+      std::printf("  %s is %s\n",
+                  store.triples().dict().Decode(b.at("patch")).value.c_str(),
+                  store.triples().dict().Decode(b.at("class")).value.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "sparql: %s\n", rows.status().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Semantic catalogue for Copernicus products (Challenge C4, experiment
+// E13).
+//
+// Two layers:
+//  * a product layer — spatio-temporal metadata records (one per Sentinel
+//    product) indexed by an R-tree over footprints plus attribute filters;
+//  * a knowledge layer — an RDF GeoStore holding content extracted from
+//    the products (ice observations, detected icebergs, crop fields...),
+//    linked back to product IRIs.
+//
+// This is what lets the catalogue answer the paper's flagship example,
+// "how many icebergs were embedded in the ice barrier at its maximum
+// extent in 2017?", which a metadata-only catalogue cannot.
+
+#ifndef EXEARTH_CATALOG_CATALOGUE_H_
+#define EXEARTH_CATALOG_CATALOGUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/rtree.h"
+#include "raster/sentinel.h"
+#include "strabon/geostore.h"
+
+namespace exearth::catalog {
+
+/// A metadata search request (the classic draw-a-box catalogue query).
+struct SearchRequest {
+  std::optional<geo::Box> area;
+  std::optional<int> year;
+  std::optional<int> day_from;  // inclusive, 1..365
+  std::optional<int> day_to;    // inclusive
+  std::optional<raster::Mission> mission;
+  std::optional<double> max_cloud_cover;
+  size_t limit = 0;  // 0 = unlimited
+};
+
+struct SearchStats {
+  uint64_t candidates = 0;  // records reaching attribute filtering
+  uint64_t results = 0;
+};
+
+/// The catalogue.
+class SemanticCatalogue {
+ public:
+  SemanticCatalogue() = default;
+
+  SemanticCatalogue(const SemanticCatalogue&) = delete;
+  SemanticCatalogue& operator=(const SemanticCatalogue&) = delete;
+
+  /// Registers a product's metadata. Call Build() after the last Ingest.
+  void Ingest(const raster::SceneMetadata& metadata);
+
+  /// Number of ingested product records.
+  size_t num_products() const { return products_.size(); }
+
+  /// Adds an extracted-knowledge observation: a feature (IRI) of a class,
+  /// with a geometry, observed in `product_id` on `day_of_year`. The
+  /// feature becomes queryable through knowledge().
+  void AddObservation(const std::string& feature_iri,
+                      const std::string& class_iri,
+                      const geo::Geometry& geometry,
+                      const std::string& product_id, int year,
+                      int day_of_year);
+
+  /// Builds the spatial indexes of both layers. Idempotent.
+  common::Status Build();
+
+  /// Metadata search. Records are returned in ingest order.
+  std::vector<raster::SceneMetadata> Search(const SearchRequest& request) const;
+  const SearchStats& last_stats() const { return stats_; }
+
+  /// Semantic count: observations of `class_iri` whose geometry intersects
+  /// `area`, optionally restricted to a year ("how many icebergs ... in
+  /// 2017"). Requires Build().
+  common::Result<uint64_t> CountObservations(
+      const std::string& class_iri, const geo::Box& area,
+      std::optional<int> year) const;
+
+  /// The day of `year` with the most observations of `class_iri`
+  /// intersecting `area` — the "at its maximum extent" part of the
+  /// paper's flagship query. NotFound if there are no such observations.
+  struct MaxExtent {
+    int day_of_year = 0;
+    uint64_t observations = 0;
+  };
+  common::Result<MaxExtent> MaxExtentDay(const std::string& class_iri,
+                                         const geo::Box& area,
+                                         int year) const;
+
+  /// The knowledge layer, for arbitrary stSPARQL-style queries.
+  const strabon::GeoStore& knowledge() const { return knowledge_; }
+
+  /// Analytic scaling model for E13: expected single-query latency at
+  /// `num_records`, extrapolated from a measured (n0, t0) point assuming
+  /// R-tree O(log n + k) behaviour with constant result size k.
+  static double ExtrapolateLatency(double measured_seconds,
+                                   uint64_t measured_records,
+                                   uint64_t target_records);
+
+  /// Vocabulary used by the knowledge layer.
+  static const char* ObservedInPredicate();
+  static const char* ObservedYearPredicate();
+  static const char* ObservedDayPredicate();
+
+ private:
+  std::vector<raster::SceneMetadata> products_;
+  geo::RTree product_index_;
+  bool built_ = false;
+  strabon::GeoStore knowledge_;
+  mutable SearchStats stats_;
+};
+
+}  // namespace exearth::catalog
+
+#endif  // EXEARTH_CATALOG_CATALOGUE_H_

@@ -1,0 +1,72 @@
+// Minimal leveled logging and CHECK macros.
+//
+// Logging goes to stderr. The level can be raised globally to silence
+// benchmarks; CHECK failures always abort.
+
+#ifndef EXEARTH_COMMON_LOGGING_H_
+#define EXEARTH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace exearth::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level actually emitted. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace exearth::common
+
+#define EEA_LOG(level)                                             \
+  ::exearth::common::internal_logging::LogMessage(                 \
+      ::exearth::common::LogLevel::k##level, __FILE__, __LINE__)   \
+      .stream()
+
+#define EEA_CHECK(cond)                                                 \
+  if (!(cond))                                                          \
+  ::exearth::common::internal_logging::LogMessage(                      \
+      ::exearth::common::LogLevel::kError, __FILE__, __LINE__, true)    \
+          .stream()                                                     \
+      << "Check failed: " #cond " "
+
+#define EEA_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    ::exearth::common::Status _eea_chk = (expr);                        \
+    EEA_CHECK(_eea_chk.ok()) << _eea_chk.ToString();                    \
+  } while (false)
+
+#define EEA_DCHECK(cond) EEA_CHECK(cond)
+
+#endif  // EXEARTH_COMMON_LOGGING_H_

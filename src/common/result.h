@@ -1,0 +1,96 @@
+// Result<T>: a value-or-Status, the return type of fallible functions that
+// produce a value. Mirrors arrow::Result.
+
+#ifndef EXEARTH_COMMON_RESULT_H_
+#define EXEARTH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace exearth::common {
+
+/// Holds either a T (success) or an error Status.
+///
+/// A Result must never be constructed from an OK status; that would be a
+/// success with no value. Doing so aborts the process (it is a programming
+/// error, not a runtime condition).
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& value() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& value() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this Result is an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace exearth::common
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define EEA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define EEA_CONCAT_IMPL(a, b) a##b
+#define EEA_CONCAT(a, b) EEA_CONCAT_IMPL(a, b)
+
+#define EEA_ASSIGN_OR_RETURN(lhs, expr) \
+  EEA_ASSIGN_OR_RETURN_IMPL(EEA_CONCAT(_eea_result_, __LINE__), lhs, expr)
+
+#endif  // EXEARTH_COMMON_RESULT_H_

@@ -1,0 +1,181 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in ExtremeEarth takes an explicit seed so that
+// experiments are reproducible bit-for-bit. Rng wraps SplitMix64 (for
+// seeding) + xoshiro256**; it is cheap to construct and copy.
+
+#ifndef EXEARTH_COMMON_RNG_H_
+#define EXEARTH_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace exearth::common {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean/stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Exponential with the given rate (lambda).
+  double Exponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Gamma(shape k, scale theta) via Marsaglia-Tsang; used for SAR speckle.
+  double Gamma(double shape, double scale) {
+    if (shape < 1.0) {
+      // Boost to shape >= 1 and correct with a power of a uniform.
+      double u = NextDouble();
+      if (u < 1e-300) u = 1e-300;
+      return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+      double x = NextGaussian();
+      double v = 1.0 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      double u = NextDouble();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+      if (u < 1e-300) u = 1e-300;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v * scale;
+      }
+    }
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 60).
+  int64_t Poisson(double mean) {
+    if (mean <= 0) return 0;
+    if (mean > 60.0) {
+      double v = Gaussian(mean, std::sqrt(mean));
+      return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+    }
+    double l = std::exp(-mean);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (rejection-inversion).
+  /// Used for skewed workload generators.
+  uint64_t Zipf(uint64_t n, double s) {
+    // Simple inverse-CDF on a precomputation-free bound; adequate for
+    // workload generation (n up to millions).
+    if (n <= 1) return 0;
+    // Inverse transform using the integral approximation of the Zipf CDF.
+    const double sm1 = 1.0 - s;
+    auto h = [&](double x) {
+      if (std::fabs(sm1) < 1e-12) return std::log(x);
+      return (std::pow(x, sm1) - 1.0) / sm1;
+    };
+    auto hinv = [&](double y) {
+      if (std::fabs(sm1) < 1e-12) return std::exp(y);
+      return std::pow(1.0 + y * sm1, 1.0 / sm1);
+    };
+    const double hmax = h(static_cast<double>(n) + 0.5);
+    const double hmin = h(0.5);
+    while (true) {
+      double u = hmin + NextDouble() * (hmax - hmin);
+      double x = hinv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n) k = n;
+      // Accept with probability proportional to the true mass.
+      double ratio = std::pow(static_cast<double>(k) / x, s);
+      if (NextDouble() <= ratio) return k - 1;
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// entity (worker, scene, shard) its own stream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_RNG_H_

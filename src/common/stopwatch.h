@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by benchmark harnesses.
+
+#ifndef EXEARTH_COMMON_STOPWATCH_H_
+#define EXEARTH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace exearth::common {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_STOPWATCH_H_

@@ -1,0 +1,47 @@
+// Small string helpers shared across modules (CSV/WKT parsing, report
+// formatting). Kept deliberately minimal; no locale dependence.
+
+#ifndef EXEARTH_COMMON_STRING_UTIL_H_
+#define EXEARTH_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exearth::common {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Parses a double; returns false on malformed or trailing input.
+bool ParseDouble(std::string_view s, double* out);
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+/// FNV-1a 64-bit hash; stable across platforms (used for dictionary and
+/// blocking keys).
+uint64_t Fnv1a(std::string_view s);
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+// Filesystem metadata interface shared by the HopsFS-style implementation
+// and the single-namenode (HDFS stand-in) baseline.
+//
+// Only metadata and the small-file data path are modelled: these are what
+// the HopsFS line of work ([9], [13], [17] in the paper) measures.
+
+#ifndef EXEARTH_DFS_FILESYSTEM_H_
+#define EXEARTH_DFS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace exearth::dfs {
+
+struct FileInfo {
+  int64_t inode_id = 0;
+  bool is_directory = false;
+  uint64_t size_bytes = 0;
+  int num_blocks = 0;
+  /// True if the file's data lives inline in the metadata store
+  /// (the "Size Matters" small-file optimization).
+  bool inline_data = false;
+};
+
+/// Metadata operations of a distributed filesystem namespace.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates a directory. The parent must exist. AlreadyExists if present.
+  virtual common::Status Mkdir(const std::string& path) = 0;
+
+  /// Creates a file of `size_bytes`. If `data` is non-empty it must match
+  /// size_bytes and may be stored inline (implementation-dependent).
+  virtual common::Status Create(const std::string& path, uint64_t size_bytes,
+                                const std::string& data) = 0;
+
+  /// Stat.
+  virtual common::Result<FileInfo> GetFileInfo(const std::string& path) = 0;
+
+  /// Child names of a directory.
+  virtual common::Result<std::vector<std::string>> List(
+      const std::string& path) = 0;
+
+  /// Removes a file or an empty directory.
+  virtual common::Status Remove(const std::string& path) = 0;
+
+  /// Reads file contents (works only for files created with data).
+  virtual common::Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Moves a file or directory (with its whole subtree) to a new absolute
+  /// path. The destination must not exist; its parent must.
+  virtual common::Status Rename(const std::string& from,
+                                const std::string& to) = 0;
+
+  /// Removes a file or a directory including all of its descendants.
+  virtual common::Status RemoveRecursive(const std::string& path) = 0;
+
+  /// Total bytes of all files under `path` (0 for an empty directory).
+  virtual common::Result<uint64_t> DiskUsage(const std::string& path) = 0;
+};
+
+/// Splits a normalized absolute path ("/a/b/c") into components
+/// {"a","b","c"}. Returns InvalidArgument for relative/malformed paths.
+common::Result<std::vector<std::string>> SplitPath(const std::string& path);
+
+}  // namespace exearth::dfs
+
+#endif  // EXEARTH_DFS_FILESYSTEM_H_

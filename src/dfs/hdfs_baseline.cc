@@ -1,0 +1,171 @@
+#include "dfs/hdfs_baseline.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::dfs {
+
+using common::Result;
+using common::Status;
+
+SingleNameNodeFs::SingleNameNodeFs() {
+  root_.id = 1;
+  root_.is_directory = true;
+}
+
+SingleNameNodeFs::Node* SingleNameNodeFs::Resolve(
+    const std::vector<std::string>& parts) {
+  Node* current = &root_;
+  for (const std::string& part : parts) {
+    if (!current->is_directory) return nullptr;
+    auto it = current->children.find(part);
+    if (it == current->children.end()) return nullptr;
+    current = it->second.get();
+  }
+  return current;
+}
+
+Result<SingleNameNodeFs::Node*> SingleNameNodeFs::ResolveParent(
+    const std::string& path, std::string* leaf) {
+  EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Status::InvalidArgument("operation on root: " + path);
+  }
+  *leaf = parts.back();
+  parts.pop_back();
+  Node* parent = Resolve(parts);
+  if (parent == nullptr) return Status::NotFound("parent of " + path);
+  if (!parent->is_directory) {
+    return Status::FailedPrecondition("parent of " + path +
+                                      " is not a directory");
+  }
+  return parent;
+}
+
+Status SingleNameNodeFs::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string leaf;
+  EEA_ASSIGN_OR_RETURN(Node * parent, ResolveParent(path, &leaf));
+  if (parent->children.count(leaf)) return Status::AlreadyExists(path);
+  auto node = std::make_unique<Node>();
+  node->id = next_id_++;
+  node->is_directory = true;
+  parent->children[leaf] = std::move(node);
+  return Status::OK();
+}
+
+Status SingleNameNodeFs::Create(const std::string& path, uint64_t size_bytes,
+                                const std::string& data) {
+  if (!data.empty() && data.size() != size_bytes) {
+    return Status::InvalidArgument("data size mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string leaf;
+  EEA_ASSIGN_OR_RETURN(Node * parent, ResolveParent(path, &leaf));
+  if (parent->children.count(leaf)) return Status::AlreadyExists(path);
+  auto node = std::make_unique<Node>();
+  node->id = next_id_++;
+  node->size = size_bytes;
+  node->data = data;
+  parent->children[leaf] = std::move(node);
+  return Status::OK();
+}
+
+Result<FileInfo> SingleNameNodeFs::GetFileInfo(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Node* node = Resolve(parts);
+  if (node == nullptr) return Status::NotFound(path);
+  return FileInfo{.inode_id = node->id,
+                  .is_directory = node->is_directory,
+                  .size_bytes = node->size,
+                  .num_blocks = 0,
+                  .inline_data = false};
+}
+
+Result<std::vector<std::string>> SingleNameNodeFs::List(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Node* node = Resolve(parts);
+  if (node == nullptr) return Status::NotFound(path);
+  if (!node->is_directory) {
+    return Status::FailedPrecondition(path + " is not a directory");
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;
+}
+
+Status SingleNameNodeFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string leaf;
+  EEA_ASSIGN_OR_RETURN(Node * parent, ResolveParent(path, &leaf));
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) return Status::NotFound(path);
+  if (it->second->is_directory && !it->second->children.empty()) {
+    return Status::FailedPrecondition(path + " is not empty");
+  }
+  parent->children.erase(it);
+  return Status::OK();
+}
+
+Result<std::string> SingleNameNodeFs::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Node* node = Resolve(parts);
+  if (node == nullptr) return Status::NotFound(path);
+  if (node->is_directory) {
+    return Status::FailedPrecondition(path + " is a directory");
+  }
+  return node->data;
+}
+
+
+Status SingleNameNodeFs::Rename(const std::string& from,
+                                const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string from_leaf;
+  EEA_ASSIGN_OR_RETURN(Node * from_parent, ResolveParent(from, &from_leaf));
+  std::string to_leaf;
+  EEA_ASSIGN_OR_RETURN(Node * to_parent, ResolveParent(to, &to_leaf));
+  auto it = from_parent->children.find(from_leaf);
+  if (it == from_parent->children.end()) return Status::NotFound(from);
+  if (to_parent->children.count(to_leaf)) return Status::AlreadyExists(to);
+  if (it->second->is_directory && common::StartsWith(to, from + "/")) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  to_parent->children[to_leaf] = std::move(it->second);
+  from_parent->children.erase(it);
+  return Status::OK();
+}
+
+Status SingleNameNodeFs::RemoveRecursive(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string leaf;
+  EEA_ASSIGN_OR_RETURN(Node * parent, ResolveParent(path, &leaf));
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) return Status::NotFound(path);
+  parent->children.erase(it);  // unique_ptr tears the subtree down
+  return Status::OK();
+}
+
+common::Result<uint64_t> SingleNameNodeFs::DiskUsage(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Node* node = Resolve(parts);
+  if (node == nullptr) return Status::NotFound(path);
+  // Recursive subtree sum (Node is private, so a local lambda).
+  auto subtree_bytes = [](const Node& n, const auto& self) -> uint64_t {
+    if (!n.is_directory) return n.size;
+    uint64_t total = 0;
+    for (const auto& [name, child] : n.children) {
+      total += self(*child, self);
+    }
+    return total;
+  };
+  return subtree_bytes(*node, subtree_bytes);
+}
+
+}  // namespace exearth::dfs

@@ -1,0 +1,60 @@
+// Single-namenode baseline (the HDFS architecture HopsFS improves on): the
+// whole namespace lives in one in-memory tree guarded by one global lock,
+// so metadata throughput cannot scale with client parallelism. E3 plots
+// this against HopsFS-sim.
+
+#ifndef EXEARTH_DFS_HDFS_BASELINE_H_
+#define EXEARTH_DFS_HDFS_BASELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dfs/filesystem.h"
+
+namespace exearth::dfs {
+
+/// Global-lock single-namenode filesystem. Thread-safe (by serializing).
+class SingleNameNodeFs : public FileSystem {
+ public:
+  SingleNameNodeFs();
+
+  common::Status Mkdir(const std::string& path) override;
+  common::Status Create(const std::string& path, uint64_t size_bytes,
+                        const std::string& data) override;
+  common::Result<FileInfo> GetFileInfo(const std::string& path) override;
+  common::Result<std::vector<std::string>> List(
+      const std::string& path) override;
+  common::Status Remove(const std::string& path) override;
+  common::Result<std::string> ReadFile(const std::string& path) override;
+  common::Status Rename(const std::string& from,
+                        const std::string& to) override;
+  common::Status RemoveRecursive(const std::string& path) override;
+  common::Result<uint64_t> DiskUsage(const std::string& path) override;
+
+ private:
+  struct Node {
+    int64_t id = 0;
+    bool is_directory = false;
+    uint64_t size = 0;
+    std::string data;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  // Requires mu_ held. Returns nullptr if not found.
+  Node* Resolve(const std::vector<std::string>& parts);
+  // Requires mu_ held. Resolves all but the last component.
+  common::Result<Node*> ResolveParent(const std::string& path,
+                                      std::string* leaf);
+
+  std::mutex mu_;
+  Node root_;
+  int64_t next_id_ = 2;
+};
+
+}  // namespace exearth::dfs
+
+#endif  // EXEARTH_DFS_HDFS_BASELINE_H_

@@ -1,0 +1,100 @@
+// HopsFS-style filesystem metadata: the namespace lives as rows in the
+// partitioned transactional KV store (kv::KvStore standing in for NDB), and
+// any number of stateless NameNode front-ends execute operations as
+// transactions against it.
+//
+// Row layout (all values are small encoded structs):
+//   i|<parent_id>|<name>  -> inode row (id, type, size, blocks, inline
+//                            flag, and — for small files — the payload
+//                            itself: the "Size Matters" single-row path)
+//   b|<inode_id>|<index>  -> block descriptor + chunk (simulated datanode)
+//
+// Inode-id keyed parent/name rows give HopsFS's partition-affinity: all
+// children of a directory resolve through single-row reads, and most
+// operations touch few partitions.
+
+#ifndef EXEARTH_DFS_HOPSFS_H_
+#define EXEARTH_DFS_HOPSFS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/filesystem.h"
+#include "kv/kvstore.h"
+
+namespace exearth::dfs {
+
+/// Shared metadata state: the KV store plus the global inode-id allocator.
+/// One instance per cluster; create any number of NameNode front-ends on it.
+class HopsFsCluster {
+ public:
+  struct Options {
+    int kv_partitions = 8;
+    /// Files up to this size are stored inline in the metadata store.
+    uint64_t inline_threshold_bytes = 64 * 1024;
+    /// Simulated block size for the block path.
+    uint64_t block_size_bytes = 1 * 1024 * 1024;
+    /// Transparent retries on transaction conflicts.
+    int max_txn_retries = 16;
+  };
+
+  explicit HopsFsCluster(const Options& options);
+
+  kv::KvStore& store() { return store_; }
+  const Options& options() const { return options_; }
+
+  int64_t AllocateInodeId() {
+    return next_inode_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Number of conflict-retries performed across all namenodes.
+  uint64_t txn_retries() const {
+    return txn_retries_.load(std::memory_order_relaxed);
+  }
+  void CountRetry() { txn_retries_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  Options options_;
+  kv::KvStore store_;
+  std::atomic<int64_t> next_inode_id_{2};  // 1 is the root
+  std::atomic<uint64_t> txn_retries_{0};
+};
+
+/// A stateless namenode front-end. Thread-compatible: use one per thread
+/// (they share the cluster, which is thread-safe).
+class HopsFsNameNode : public FileSystem {
+ public:
+  explicit HopsFsNameNode(HopsFsCluster* cluster) : cluster_(cluster) {}
+
+  common::Status Mkdir(const std::string& path) override;
+  common::Status Create(const std::string& path, uint64_t size_bytes,
+                        const std::string& data) override;
+  common::Result<FileInfo> GetFileInfo(const std::string& path) override;
+  common::Result<std::vector<std::string>> List(
+      const std::string& path) override;
+  common::Status Remove(const std::string& path) override;
+  common::Result<std::string> ReadFile(const std::string& path) override;
+  /// Rename is O(1) regardless of subtree size: children are keyed by their
+  /// parent's inode id, so moving a directory re-links one row (the HopsFS
+  /// subtree-operations property).
+  common::Status Rename(const std::string& from,
+                        const std::string& to) override;
+  common::Status RemoveRecursive(const std::string& path) override;
+  common::Result<uint64_t> DiskUsage(const std::string& path) override;
+
+ private:
+  // Resolves the parent directory of `path`; returns its inode id and the
+  // final path component via `leaf`.
+  common::Result<int64_t> ResolveParent(kv::Transaction* txn,
+                                        const std::string& path,
+                                        std::string* leaf);
+
+  HopsFsCluster* cluster_;
+};
+
+}  // namespace exearth::dfs
+
+#endif  // EXEARTH_DFS_HOPSFS_H_

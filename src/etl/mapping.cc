@@ -1,0 +1,111 @@
+#include "etl/mapping.h"
+
+#include "common/string_util.h"
+#include "geo/wkt.h"
+
+namespace exearth::etl {
+
+using common::Result;
+using common::Status;
+
+Result<std::string> ExpandTemplate(const std::string& tmpl,
+                                   const Table& table,
+                                   const std::vector<std::string>& row) {
+  std::string out;
+  out.reserve(tmpl.size());
+  size_t i = 0;
+  while (i < tmpl.size()) {
+    if (tmpl[i] == '{') {
+      size_t close = tmpl.find('}', i);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated '{' in template: " +
+                                       tmpl);
+      }
+      std::string column = tmpl.substr(i + 1, close - i - 1);
+      EEA_ASSIGN_OR_RETURN(int idx, table.ColumnIndex(column));
+      out += row[static_cast<size_t>(idx)];
+      i = close + 1;
+    } else {
+      out += tmpl[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<rdf::Term> ProduceTerm(const TermMap& map, const Table& table,
+                              const std::vector<std::string>& row) {
+  std::string value;
+  switch (map.kind) {
+    case TermMap::Kind::kTemplate: {
+      EEA_ASSIGN_OR_RETURN(value, ExpandTemplate(map.value, table, row));
+      break;
+    }
+    case TermMap::Kind::kColumn: {
+      EEA_ASSIGN_OR_RETURN(int idx, table.ColumnIndex(map.value));
+      value = row[static_cast<size_t>(idx)];
+      break;
+    }
+    case TermMap::Kind::kConstant:
+      value = map.value;
+      break;
+  }
+  switch (map.term_type) {
+    case rdf::TermType::kIri:
+      return rdf::Term::Iri(std::move(value));
+    case rdf::TermType::kLiteral:
+      return rdf::Term::Literal(std::move(value), map.datatype);
+    case rdf::TermType::kBlank:
+      return rdf::Term::Blank(std::move(value));
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<MappingStats> ExecuteMapping(const Table& table, const TriplesMap& map,
+                                    rdf::TripleStore* out, bool validate_wkt) {
+  MappingStats stats;
+  int wkt_idx = -1;
+  if (!map.wkt_column.empty()) {
+    EEA_ASSIGN_OR_RETURN(wkt_idx, table.ColumnIndex(map.wkt_column));
+  }
+  const rdf::Term type_pred = rdf::Term::Iri(rdf::vocab::kRdfType);
+  const rdf::Term wkt_pred = rdf::Term::Iri(rdf::vocab::kAsWkt);
+  for (const auto& row : table.rows) {
+    EEA_ASSIGN_OR_RETURN(rdf::Term subject,
+                         ProduceTerm(map.subject, table, row));
+    if (!map.subject_class.empty()) {
+      out->Add(subject, type_pred, rdf::Term::Iri(map.subject_class));
+      ++stats.triples_generated;
+    }
+    for (const PredicateObjectMap& pom : map.predicate_objects) {
+      EEA_ASSIGN_OR_RETURN(rdf::Term object,
+                           ProduceTerm(pom.object, table, row));
+      out->Add(subject, rdf::Term::Iri(pom.predicate_iri), object);
+      ++stats.triples_generated;
+    }
+    if (wkt_idx >= 0) {
+      const std::string& wkt = row[static_cast<size_t>(wkt_idx)];
+      if (validate_wkt) {
+        auto parsed = geo::ParseWkt(wkt);
+        if (!parsed.ok()) {
+          return Status::InvalidArgument(
+              common::StrFormat("row %llu: bad WKT: %s",
+                                static_cast<unsigned long long>(
+                                    stats.rows_processed),
+                                parsed.status().message().c_str()));
+        }
+      }
+      out->Add(subject, wkt_pred,
+               rdf::Term::Literal(wkt, rdf::vocab::kWktLiteral));
+      ++stats.triples_generated;
+    }
+    ++stats.rows_processed;
+  }
+  return stats;
+}
+
+}  // namespace exearth::etl

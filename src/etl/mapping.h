@@ -1,0 +1,84 @@
+// GeoTriples-style R2RML/RML mapping engine (Challenge C3, experiment E12):
+// declarative term maps turn table rows into RDF triples, with first-class
+// handling of WKT geometry columns (emitted as geo:asWKT wktLiterals so the
+// output is directly loadable into a strabon::GeoStore).
+
+#ifndef EXEARTH_ETL_MAPPING_H_
+#define EXEARTH_ETL_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etl/table.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::etl {
+
+/// How one term of the output triple is produced from a row.
+struct TermMap {
+  enum class Kind {
+    kTemplate,  // "http://x/field/{id}" — {col} placeholders expanded
+    kColumn,    // the raw cell value of a column
+    kConstant,  // a fixed value
+  };
+  Kind kind = Kind::kConstant;
+  std::string value;  // template string / column name / constant
+  rdf::TermType term_type = rdf::TermType::kIri;
+  std::string datatype;  // literal datatype IRI (optional)
+
+  static TermMap Template(std::string tmpl,
+                          rdf::TermType type = rdf::TermType::kIri) {
+    return TermMap{Kind::kTemplate, std::move(tmpl), type, ""};
+  }
+  static TermMap Column(std::string column, std::string datatype = "") {
+    return TermMap{Kind::kColumn, std::move(column), rdf::TermType::kLiteral,
+                   std::move(datatype)};
+  }
+  static TermMap ColumnIri(std::string column) {
+    return TermMap{Kind::kColumn, std::move(column), rdf::TermType::kIri, ""};
+  }
+  static TermMap Constant(std::string iri) {
+    return TermMap{Kind::kConstant, std::move(iri), rdf::TermType::kIri, ""};
+  }
+};
+
+/// predicate -> object production rule.
+struct PredicateObjectMap {
+  std::string predicate_iri;
+  TermMap object;
+};
+
+/// One triples map: how a row becomes a subject plus its triples.
+struct TriplesMap {
+  TermMap subject;           // usually a Template
+  std::string subject_class; // optional rdf:type object IRI ("" = none)
+  std::vector<PredicateObjectMap> predicate_objects;
+  /// Name of a column holding WKT; emitted as geo:asWKT wktLiteral.
+  std::string wkt_column;    // "" = no geometry
+};
+
+/// Statistics of one Execute call.
+struct MappingStats {
+  uint64_t rows_processed = 0;
+  uint64_t triples_generated = 0;
+};
+
+/// Applies `map` to every row of `table`, appending triples to `out`.
+/// The caller Build()s the store afterwards. Fails on references to
+/// missing columns or malformed templates; WKT well-formedness is
+/// validated when `validate_wkt`.
+common::Result<MappingStats> ExecuteMapping(const Table& table,
+                                            const TriplesMap& map,
+                                            rdf::TripleStore* out,
+                                            bool validate_wkt = true);
+
+/// Expands "{col}" placeholders in `tmpl` using `row` cells. Exposed for
+/// tests.
+common::Result<std::string> ExpandTemplate(
+    const std::string& tmpl, const Table& table,
+    const std::vector<std::string>& row);
+
+}  // namespace exearth::etl
+
+#endif  // EXEARTH_ETL_MAPPING_H_

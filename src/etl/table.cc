@@ -1,0 +1,43 @@
+#include "etl/table.h"
+
+#include "common/string_util.h"
+
+namespace exearth::etl {
+
+using common::Result;
+using common::Status;
+
+Result<Table> Table::FromCsv(std::string_view text) {
+  Table table;
+  bool header_done = false;
+  size_t line_no = 0;
+  for (const std::string& raw : common::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = common::Trim(raw);
+    if (line.empty()) continue;
+    std::vector<std::string> cells = common::Split(line, ',');
+    for (std::string& c : cells) c = std::string(common::Trim(c));
+    if (!header_done) {
+      table.columns = std::move(cells);
+      header_done = true;
+      continue;
+    }
+    if (cells.size() != table.columns.size()) {
+      return Status::InvalidArgument(common::StrFormat(
+          "line %zu has %zu cells, header has %zu", line_no, cells.size(),
+          table.columns.size()));
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  if (!header_done) return Status::InvalidArgument("empty CSV");
+  return table;
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+}  // namespace exearth::etl

@@ -1,0 +1,35 @@
+// Tabular input for the mapping engine: a tiny CSV model (header + string
+// cells). GeoTriples consumes shapefiles/CSV/DB tables; CSV is the shape we
+// reproduce.
+
+#ifndef EXEARTH_ETL_TABLE_H_
+#define EXEARTH_ETL_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exearth::etl {
+
+/// An in-memory table: named columns, string cells.
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Parses CSV text: first line is the header; no quoting/escapes (the
+  /// synthetic inputs never need them); every row must have the header's
+  /// arity.
+  static common::Result<Table> FromCsv(std::string_view text);
+
+  /// Index of `name` in columns, or NotFound.
+  common::Result<int> ColumnIndex(const std::string& name) const;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+};
+
+}  // namespace exearth::etl
+
+#endif  // EXEARTH_ETL_TABLE_H_

@@ -1,0 +1,132 @@
+#include "etl/training_data.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace exearth::etl {
+
+using common::Result;
+using common::Status;
+
+raster::ClassMap RasterizeLabels(const VectorLayer& layer, int width,
+                                 int height,
+                                 const raster::GeoTransform& transform,
+                                 uint8_t fill) {
+  raster::ClassMap map(width, height, fill);
+  // Precompute envelopes to skip non-overlapping features quickly.
+  std::vector<geo::Box> envelopes;
+  envelopes.reserve(layer.features.size());
+  for (const VectorFeature& f : layer.features) {
+    envelopes.push_back(f.geometry.Envelope());
+  }
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      geo::Point center = transform.PixelCenter(x, y);
+      for (size_t i = 0; i < layer.features.size(); ++i) {
+        if (!envelopes[i].Contains(center)) continue;
+        const geo::Geometry& g = layer.features[i].geometry;
+        bool inside = false;
+        switch (g.type()) {
+          case geo::Geometry::Type::kPolygon:
+            inside = g.AsPolygon().Contains(center);
+            break;
+          case geo::Geometry::Type::kMultiPolygon:
+            inside = g.AsMultiPolygon().Contains(center);
+            break;
+          default:
+            break;  // points/lines do not rasterize to areas
+        }
+        if (inside) {
+          map.at(x, y) = layer.features[i].label;
+          break;
+        }
+      }
+    }
+  }
+  return map;
+}
+
+raster::Sample FlipSample(const raster::Sample& sample, int channels,
+                          int height, int width, bool horizontal) {
+  raster::Sample out;
+  out.label = sample.label;
+  out.features.resize(sample.features.size());
+  EEA_CHECK(static_cast<size_t>(channels) * height * width ==
+            sample.features.size());
+  for (int c = 0; c < channels; ++c) {
+    const size_t base = static_cast<size_t>(c) * height * width;
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int sx = horizontal ? (width - 1 - x) : x;
+        int sy = horizontal ? y : (height - 1 - y);
+        out.features[base + static_cast<size_t>(y) * width + x] =
+            sample.features[base + static_cast<size_t>(sy) * width + sx];
+      }
+    }
+  }
+  return out;
+}
+
+Result<raster::Dataset> BuildEnlargedDataset(
+    const raster::ClassMap& labels, int num_classes,
+    const raster::SentinelSimulator::Options& sim_options,
+    const EnlargeOptions& options) {
+  if (options.target_samples <= 0) {
+    return Status::InvalidArgument("target_samples must be positive");
+  }
+  if (options.days.empty()) {
+    return Status::InvalidArgument("at least one acquisition day required");
+  }
+  raster::Dataset out;
+  out.num_classes = num_classes;
+  common::Rng rng(options.seed);
+  uint64_t round = 0;
+  // Each round simulates the full set of acquisition days with a fresh
+  // simulator seed (a new "year" of data).
+  while (static_cast<int>(out.samples.size()) < options.target_samples) {
+    raster::SentinelSimulator sim(sim_options, options.seed + round);
+    for (int day : options.days) {
+      raster::SentinelProduct product = sim.SimulateS2(labels, day);
+      EEA_ASSIGN_OR_RETURN(
+          raster::Dataset patches,
+          raster::MakePatchDataset(product, labels, num_classes,
+                                   options.patch_size, options.stride));
+      if (out.feature_dim == 0) {
+        out.feature_dim = patches.feature_dim;
+        out.channels = patches.channels;
+        out.patch_height = patches.patch_height;
+        out.patch_width = patches.patch_width;
+      }
+      for (raster::Sample& s : patches.samples) {
+        if (static_cast<int>(out.samples.size()) >= options.target_samples) {
+          break;
+        }
+        if (options.augment_flips) {
+          raster::Sample flipped =
+              FlipSample(s, out.channels, out.patch_height, out.patch_width,
+                         rng.Bernoulli(0.5));
+          out.samples.push_back(std::move(s));
+          if (static_cast<int>(out.samples.size()) <
+              options.target_samples) {
+            out.samples.push_back(std::move(flipped));
+          }
+        } else {
+          out.samples.push_back(std::move(s));
+        }
+      }
+      if (static_cast<int>(out.samples.size()) >= options.target_samples) {
+        break;
+      }
+    }
+    ++round;
+    if (round > 10000) {
+      return Status::ResourceExhausted(
+          "could not reach target_samples (label map too small?)");
+    }
+  }
+  return out;
+}
+
+}  // namespace exearth::etl

@@ -1,0 +1,69 @@
+// Challenge C2 tooling: building very large EO training datasets without
+// manual annotation, by (a) deriving weak labels from cartographic/thematic
+// vector layers (the OpenStreetMap mechanism) and (b) enlarging datasets by
+// simulating additional acquisitions and augmenting patches.
+
+#ifndef EXEARTH_ETL_TRAINING_DATA_H_
+#define EXEARTH_ETL_TRAINING_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/geometry.h"
+#include "raster/dataset.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::etl {
+
+/// A labelled cartographic feature (e.g. an OSM polygon tagged "forest").
+struct VectorFeature {
+  geo::Geometry geometry;
+  uint8_t label = 0;
+};
+
+/// A thematic vector layer.
+struct VectorLayer {
+  std::vector<VectorFeature> features;
+};
+
+/// Rasterizes `layer` onto a grid: each pixel takes the label of the first
+/// feature containing its center (later features win ties by being checked
+/// first when `last_wins`); uncovered pixels get `fill`.
+raster::ClassMap RasterizeLabels(const VectorLayer& layer, int width,
+                                 int height,
+                                 const raster::GeoTransform& transform,
+                                 uint8_t fill);
+
+/// Options for dataset enlargement (E6).
+struct EnlargeOptions {
+  int target_samples = 100000;
+  int patch_size = 8;
+  int stride = 4;
+  /// Acquisition days simulated until the target is reached.
+  std::vector<int> days = {60, 120, 180, 240, 300};
+  /// Add horizontally/vertically flipped copies of each patch.
+  bool augment_flips = true;
+  uint64_t seed = 1;
+};
+
+/// Builds a large labelled dataset from a label map by simulating scenes at
+/// multiple dates (and seeds) and extracting patches, with optional flip
+/// augmentation, until `target_samples` is reached (or all material is
+/// exhausted — the result reports what was achieved).
+common::Result<raster::Dataset> BuildEnlargedDataset(
+    const raster::ClassMap& labels, int num_classes,
+    const raster::SentinelSimulator::Options& sim_options,
+    const EnlargeOptions& options);
+
+/// Flip augmentation on one sample (exposed for tests): mirrors each band's
+/// patch horizontally (`horizontal=true`) or vertically.
+raster::Sample FlipSample(const raster::Sample& sample, int channels,
+                          int height, int width, bool horizontal);
+
+}  // namespace exearth::etl
+
+#endif  // EXEARTH_ETL_TRAINING_DATA_H_

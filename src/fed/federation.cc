@@ -1,0 +1,246 @@
+#include "fed/federation.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace exearth::fed {
+
+using common::Result;
+using common::Status;
+
+Endpoint::Endpoint(std::string name, rdf::TripleStore store)
+    : name_(std::move(name)), store_(std::move(store)) {
+  store_.Build();
+  for (const auto& [pred_id, count] : store_.PredicateStats()) {
+    const rdf::Term& term = store_.dict().Decode(pred_id);
+    summary_[term.value] = count;
+  }
+}
+
+std::vector<std::map<std::string, rdf::Term>> Endpoint::ExecutePattern(
+    const rdf::TriplePattern& pattern) const {
+  ++calls_served_;
+  rdf::QueryEngine engine(&store_);
+  rdf::Query q;
+  q.where.push_back(pattern);
+  auto rows = engine.Execute(q);
+  std::vector<std::map<std::string, rdf::Term>> out;
+  if (!rows.ok()) return out;
+  out.reserve(rows->size());
+  for (const rdf::Binding& b : *rows) {
+    std::map<std::string, rdf::Term> row;
+    for (const auto& [var, id] : b) {
+      row.emplace(var, store_.dict().Decode(id));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void FederationEngine::Register(const Endpoint* endpoint) {
+  endpoints_.push_back(endpoint);
+}
+
+std::vector<const Endpoint*> FederationEngine::SelectSources(
+    const rdf::TriplePattern& pattern,
+    const FederationOptions& options) const {
+  if (!options.source_selection || pattern.p.is_var ||
+      !pattern.p.term.IsIri()) {
+    return endpoints_;
+  }
+  std::vector<const Endpoint*> out;
+  for (const Endpoint* e : endpoints_) {
+    if (e->Advertises(pattern.p.term.value)) out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t FederationEngine::EstimateCardinality(
+    const rdf::TriplePattern& pattern,
+    const FederationOptions& options) const {
+  uint64_t total = 0;
+  for (const Endpoint* e : SelectSources(pattern, options)) {
+    if (!pattern.p.is_var && pattern.p.term.IsIri()) {
+      auto it = e->summary().find(pattern.p.term.value);
+      if (it != e->summary().end()) total += it->second;
+    } else {
+      for (const auto& [pred, count] : e->summary()) total += count;
+    }
+  }
+  // Bound subject/object slots make the pattern more selective; halve the
+  // estimate per bound slot (a crude but standard heuristic).
+  if (!pattern.s.is_var) total /= 2;
+  if (!pattern.o.is_var) total /= 2;
+  return total;
+}
+
+namespace {
+
+// Variables of a pattern.
+std::vector<std::string> PatternVars(const rdf::TriplePattern& p) {
+  std::vector<std::string> vars;
+  for (const rdf::PatternSlot* slot : {&p.s, &p.p, &p.o}) {
+    if (slot->is_var) vars.push_back(slot->var);
+  }
+  return vars;
+}
+
+// Substitutes variables bound in `row` into `pattern` as constants.
+rdf::TriplePattern BindPattern(const rdf::TriplePattern& pattern,
+                               const FedBinding& row) {
+  rdf::TriplePattern out = pattern;
+  for (rdf::PatternSlot* slot : {&out.s, &out.p, &out.o}) {
+    if (!slot->is_var) continue;
+    auto it = row.find(slot->var);
+    if (it != row.end()) {
+      slot->is_var = false;
+      slot->term = it->second;
+      slot->var.clear();
+    }
+  }
+  return out;
+}
+
+// Key for memoizing identical bound subqueries.
+std::string PatternKey(const rdf::TriplePattern& p) {
+  auto slot_key = [](const rdf::PatternSlot& s) {
+    if (s.is_var) return "?" + s.var;
+    return s.term.ToString();
+  };
+  return slot_key(p.s) + " " + slot_key(p.p) + " " + slot_key(p.o);
+}
+
+}  // namespace
+
+Result<std::vector<FedBinding>> FederationEngine::Execute(
+    const rdf::Query& query, const FederationOptions& options,
+    const std::vector<FedFilter>& filters) const {
+  stats_ = FederationStats{};
+  if (query.where.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  if (endpoints_.empty()) {
+    return Status::FailedPrecondition("no endpoints registered");
+  }
+
+  // Join order.
+  std::vector<size_t> order(query.where.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.join_reordering) {
+    // Greedy: smallest-estimate connected pattern next.
+    std::vector<uint64_t> est(query.where.size());
+    for (size_t i = 0; i < query.where.size(); ++i) {
+      est[i] = EstimateCardinality(query.where[i], options);
+    }
+    std::vector<bool> used(query.where.size(), false);
+    std::set<std::string> bound;
+    std::vector<size_t> greedy;
+    for (size_t step = 0; step < query.where.size(); ++step) {
+      size_t best = query.where.size();
+      uint64_t best_est = std::numeric_limits<uint64_t>::max();
+      bool best_connected = false;
+      for (size_t i = 0; i < query.where.size(); ++i) {
+        if (used[i]) continue;
+        bool connected = step == 0;
+        for (const std::string& v : PatternVars(query.where[i])) {
+          if (bound.count(v)) connected = true;
+        }
+        if ((connected && !best_connected) ||
+            (connected == best_connected && est[i] < best_est)) {
+          best = i;
+          best_est = est[i];
+          best_connected = connected;
+        }
+      }
+      used[best] = true;
+      greedy.push_back(best);
+      for (const std::string& v : PatternVars(query.where[best])) {
+        bound.insert(v);
+      }
+    }
+    order = std::move(greedy);
+  }
+
+  std::set<const Endpoint*> contacted;
+  // Memo of bound-pattern results within this query execution.
+  std::unordered_map<std::string, std::vector<FedBinding>> memo;
+
+  auto fetch = [&](const rdf::TriplePattern& pattern)
+      -> const std::vector<FedBinding>& {
+    const std::string key = PatternKey(pattern);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    std::vector<FedBinding> rows;
+    for (const Endpoint* e : SelectSources(pattern, options)) {
+      ++stats_.subqueries_sent;
+      contacted.insert(e);
+      auto endpoint_rows = e->ExecutePattern(pattern);
+      stats_.rows_transferred += endpoint_rows.size();
+      for (auto& row : endpoint_rows) rows.push_back(std::move(row));
+    }
+    return memo.emplace(key, std::move(rows)).first->second;
+  };
+
+  std::vector<FedBinding> current = {FedBinding{}};
+  for (size_t oi : order) {
+    const rdf::TriplePattern& pattern = query.where[oi];
+    std::vector<FedBinding> next;
+    for (const FedBinding& row : current) {
+      rdf::TriplePattern bound_pattern = BindPattern(pattern, row);
+      for (const FedBinding& fetched : fetch(bound_pattern)) {
+        FedBinding merged = row;
+        bool ok = true;
+        for (const auto& [var, term] : fetched) {
+          auto it = merged.find(var);
+          if (it == merged.end()) {
+            merged.emplace(var, term);
+          } else if (!(it->second == term)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) next.push_back(std::move(merged));
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+
+  // Term-level filters.
+  if (!filters.empty()) {
+    std::vector<FedBinding> kept;
+    for (FedBinding& row : current) {
+      bool ok = true;
+      for (const FedFilter& f : filters) {
+        if (!f(row)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(std::move(row));
+    }
+    current = std::move(kept);
+  }
+
+  if (query.limit > 0 && current.size() > query.limit) {
+    current.resize(query.limit);
+  }
+  if (!query.select.empty()) {
+    for (FedBinding& row : current) {
+      FedBinding projected;
+      for (const std::string& v : query.select) {
+        auto it = row.find(v);
+        if (it != row.end()) projected.insert(*it);
+      }
+      row = std::move(projected);
+    }
+  }
+  stats_.endpoints_contacted = contacted.size();
+  stats_.results = current.size();
+  return current;
+}
+
+}  // namespace exearth::fed

@@ -1,0 +1,114 @@
+// Semagrow-style federated SPARQL processing (Challenge C3, experiment
+// E11): endpoints with predicate summaries, source selection, per-pattern
+// decomposition and cardinality-ordered joins over term-level rows.
+//
+// Endpoints are autonomous stores with private dictionaries, so federated
+// join keys are materialized Terms (exactly the mediator situation
+// Semagrow faces); per-endpoint subqueries still run on the endpoint's own
+// id-level engine.
+
+#ifndef EXEARTH_FED_FEDERATION_H_
+#define EXEARTH_FED_FEDERATION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/query.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::fed {
+
+/// A federation member: a named store plus its advertised summary.
+class Endpoint {
+ public:
+  Endpoint(std::string name, rdf::TripleStore store);
+
+  const std::string& name() const { return name_; }
+  const rdf::TripleStore& store() const { return store_; }
+
+  /// Predicate IRI -> triple count (the Semagrow "summary").
+  const std::unordered_map<std::string, uint64_t>& summary() const {
+    return summary_;
+  }
+
+  /// True if the endpoint advertises `predicate_iri`.
+  bool Advertises(const std::string& predicate_iri) const {
+    return summary_.count(predicate_iri) > 0;
+  }
+
+  /// Executes a single-pattern subquery, returning term-level rows.
+  /// Counts one remote call.
+  std::vector<std::map<std::string, rdf::Term>> ExecutePattern(
+      const rdf::TriplePattern& pattern) const;
+
+  uint64_t calls_served() const { return calls_served_; }
+
+ private:
+  std::string name_;
+  rdf::TripleStore store_;
+  std::unordered_map<std::string, uint64_t> summary_;
+  mutable uint64_t calls_served_ = 0;
+};
+
+/// A federated solution row: variable -> term.
+using FedBinding = std::map<std::string, rdf::Term>;
+
+struct FederationOptions {
+  /// Use predicate summaries to skip irrelevant endpoints. Off = broadcast
+  /// every pattern to every endpoint (the naive baseline).
+  bool source_selection = true;
+  /// Order pattern joins by estimated cardinality from the summaries.
+  /// Off = execute in query order.
+  bool join_reordering = true;
+};
+
+struct FederationStats {
+  uint64_t subqueries_sent = 0;
+  uint64_t endpoints_contacted = 0;  // distinct endpoints with >= 1 call
+  uint64_t rows_transferred = 0;     // rows shipped from endpoints
+  uint64_t results = 0;
+};
+
+/// The mediator.
+class FederationEngine {
+ public:
+  /// Registers an endpoint (not owned).
+  void Register(const Endpoint* endpoint);
+
+  size_t num_endpoints() const { return endpoints_.size(); }
+
+  /// A term-level filter over a federated row.
+  using FedFilter = std::function<bool(const FedBinding&)>;
+
+  /// Evaluates a BGP (+projection/limit) across the federation.
+  /// `query.filters` (id-level) are ignored — pass term-level filters via
+  /// `filters` instead, since ids are endpoint-private.
+  common::Result<std::vector<FedBinding>> Execute(
+      const rdf::Query& query, const FederationOptions& options,
+      const std::vector<FedFilter>& filters = {}) const;
+
+  const FederationStats& last_stats() const { return stats_; }
+
+ private:
+  /// Endpoints that may contribute to `pattern` under the options.
+  std::vector<const Endpoint*> SelectSources(
+      const rdf::TriplePattern& pattern,
+      const FederationOptions& options) const;
+
+  /// Estimated result size of a pattern across selected sources.
+  uint64_t EstimateCardinality(const rdf::TriplePattern& pattern,
+                               const FederationOptions& options) const;
+
+  std::vector<const Endpoint*> endpoints_;
+  mutable FederationStats stats_;
+};
+
+}  // namespace exearth::fed
+
+#endif  // EXEARTH_FED_FEDERATION_H_

@@ -1,0 +1,102 @@
+#include "foodsec/fields.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace exearth::foodsec {
+
+std::vector<Field> ExtractFields(const raster::ClassMap& crop_map,
+                                 const raster::GeoTransform& transform,
+                                 const FieldExtractionOptions& options) {
+  const int w = crop_map.width();
+  const int h = crop_map.height();
+  std::vector<int> component(static_cast<size_t>(w) * h, -1);
+  std::vector<Field> fields;
+  const double pixel_area_ha =
+      transform.pixel_size * transform.pixel_size / 10000.0;
+  std::vector<std::pair<int, int>> stack;
+  int next_id = 0;
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      if (component[static_cast<size_t>(y0) * w + x0] != -1) continue;
+      const uint8_t crop = crop_map.at(x0, y0);
+      // Flood fill this component.
+      Field field;
+      field.id = next_id;
+      field.crop = static_cast<raster::CropType>(crop);
+      double sum_x = 0;
+      double sum_y = 0;
+      stack.clear();
+      stack.emplace_back(x0, y0);
+      component[static_cast<size_t>(y0) * w + x0] = next_id;
+      while (!stack.empty()) {
+        auto [x, y] = stack.back();
+        stack.pop_back();
+        ++field.pixels;
+        geo::Point world = transform.PixelCenter(x, y);
+        sum_x += world.x;
+        sum_y += world.y;
+        field.bounds.ExpandToInclude(world);
+        const int dx[] = {1, -1, 0, 0};
+        const int dy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          int nx = x + dx[d];
+          int ny = y + dy[d];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          size_t idx = static_cast<size_t>(ny) * w + nx;
+          if (component[idx] != -1 || crop_map.at(nx, ny) != crop) continue;
+          component[idx] = next_id;
+          stack.emplace_back(nx, ny);
+        }
+      }
+      if (field.pixels >= options.min_pixels) {
+        field.area_ha = static_cast<double>(field.pixels) * pixel_area_ha;
+        field.centroid =
+            geo::Point{sum_x / static_cast<double>(field.pixels),
+                       sum_y / static_cast<double>(field.pixels)};
+        // Expand bounds by half a pixel so they cover the pixel areas.
+        field.bounds = field.bounds.Buffered(transform.pixel_size / 2.0);
+        fields.push_back(field);
+      }
+      ++next_id;
+    }
+  }
+  return fields;
+}
+
+size_t PublishFields(const std::vector<Field>& fields,
+                     const std::string& iri_prefix,
+                     strabon::GeoStore* store) {
+  size_t triples = 0;
+  const rdf::Term type_pred = rdf::Term::Iri(rdf::vocab::kRdfType);
+  const rdf::Term field_class =
+      rdf::Term::Iri("http://extremeearth.eu/ontology#Field");
+  const rdf::Term crop_pred =
+      rdf::Term::Iri("http://extremeearth.eu/ontology#cropType");
+  const rdf::Term area_pred =
+      rdf::Term::Iri("http://extremeearth.eu/ontology#areaHa");
+  for (const Field& field : fields) {
+    const std::string iri =
+        common::StrFormat("%s/field/%d", iri_prefix.c_str(), field.id);
+    geo::Polygon footprint;
+    footprint.outer.points = {
+        geo::Point{field.bounds.min_x, field.bounds.min_y},
+        geo::Point{field.bounds.max_x, field.bounds.min_y},
+        geo::Point{field.bounds.max_x, field.bounds.max_y},
+        geo::Point{field.bounds.min_x, field.bounds.max_y}};
+    store->AddFeature(iri, geo::Geometry(std::move(footprint)));
+    rdf::TripleStore& t = store->triples();
+    const rdf::Term subject = rdf::Term::Iri(iri);
+    t.Add(subject, type_pred, field_class);
+    t.Add(subject, crop_pred,
+          rdf::Term::Literal(raster::CropTypeName(field.crop)));
+    t.Add(subject, area_pred,
+          rdf::Term::Literal(common::StrFormat("%.4f", field.area_ha),
+                             rdf::vocab::kXsdDouble));
+    triples += 4;  // geometry + 3 thematic
+  }
+  return triples;
+}
+
+}  // namespace exearth::foodsec

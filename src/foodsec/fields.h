@@ -1,0 +1,50 @@
+// Field-boundary extraction from a crop-type map (Challenge A1): connected
+// components of same-crop pixels become fields with georeferenced
+// boundaries, areas and crop labels — the "field boundaries and crop types
+// as linked data" layer the paper asks for.
+
+#ifndef EXEARTH_FOODSEC_FIELDS_H_
+#define EXEARTH_FOODSEC_FIELDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+#include "rdf/triple_store.h"
+#include "strabon/geostore.h"
+
+namespace exearth::foodsec {
+
+/// One extracted field.
+struct Field {
+  int id = 0;
+  raster::CropType crop = raster::CropType::kFallow;
+  int64_t pixels = 0;
+  double area_ha = 0.0;       // from pixel size
+  geo::Box bounds;            // world-space bounding box
+  geo::Point centroid;        // world-space centroid
+};
+
+struct FieldExtractionOptions {
+  /// Components smaller than this many pixels are discarded (noise).
+  int64_t min_pixels = 4;
+};
+
+/// 4-connected components of equal crop label.
+std::vector<Field> ExtractFields(const raster::ClassMap& crop_map,
+                                 const raster::GeoTransform& transform,
+                                 const FieldExtractionOptions& options);
+
+/// Publishes fields as linked data into a GeoStore: each field gets an IRI,
+/// rdf:type Field, crop type, area and its bounding-box geometry. Returns
+/// the number of triples added (caller Build()s the store).
+size_t PublishFields(const std::vector<Field>& fields,
+                     const std::string& iri_prefix,
+                     strabon::GeoStore* store);
+
+}  // namespace exearth::foodsec
+
+#endif  // EXEARTH_FOODSEC_FIELDS_H_

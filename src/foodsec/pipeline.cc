@@ -1,0 +1,158 @@
+#include "foodsec/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ml/network.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+
+namespace exearth::foodsec {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Per-pixel multi-temporal features, matching MakeCropTimeSeriesDataset:
+// [NDVI, NIR, Red] per acquisition.
+std::vector<float> PixelFeatures(
+    const std::vector<raster::SentinelProduct>& scenes, int x, int y) {
+  constexpr int kRed = 3;
+  constexpr int kNir = 7;
+  std::vector<float> f;
+  f.reserve(scenes.size() * 3);
+  for (const raster::SentinelProduct& p : scenes) {
+    if (!p.cloud_mask.empty() && p.cloud_mask.at(x, y)) {
+      f.push_back(0.0f);
+      f.push_back(0.0f);
+      f.push_back(0.0f);
+      continue;
+    }
+    float red = p.raster.Get(kRed, x, y);
+    float nir = p.raster.Get(kNir, x, y);
+    float denom = nir + red;
+    f.push_back(denom == 0.0f ? 0.0f : (nir - red) / denom);
+    f.push_back(nir);
+    f.push_back(red);
+  }
+  return f;
+}
+
+}  // namespace
+
+raster::ClassMap ClassifyCropPixels(
+    const std::vector<raster::SentinelProduct>& scenes, ml::Network* network,
+    const std::vector<std::pair<float, float>>& standardization) {
+  EEA_CHECK(!scenes.empty());
+  const int w = scenes[0].raster.width();
+  const int h = scenes[0].raster.height();
+  raster::ClassMap out(w, h);
+  const int feature_dim = static_cast<int>(scenes.size()) * 3;
+  EEA_CHECK(standardization.size() == static_cast<size_t>(feature_dim));
+  // Classify in row batches to keep tensors reasonably sized.
+  ml::Tensor batch({w, feature_dim});
+  for (int y = 0; y < h; ++y) {
+    float* p = batch.data();
+    for (int x = 0; x < w; ++x) {
+      std::vector<float> f = PixelFeatures(scenes, x, y);
+      for (int d = 0; d < feature_dim; ++d) {
+        auto [mean, stddev] = standardization[static_cast<size_t>(d)];
+        p[static_cast<int64_t>(x) * feature_dim + d] =
+            (f[static_cast<size_t>(d)] - mean) / stddev;
+      }
+    }
+    ml::Tensor logits = network->Forward(batch, /*training=*/false);
+    const int c = logits.dim(1);
+    for (int x = 0; x < w; ++x) {
+      const float* row = logits.data() + static_cast<int64_t>(x) * c;
+      int best = static_cast<int>(std::max_element(row, row + c) - row);
+      out.at(x, y) = static_cast<uint8_t>(best);
+    }
+  }
+  return out;
+}
+
+Result<FoodSecurityReport> RunFoodSecurityPipeline(
+    const FoodSecurityOptions& options, strabon::GeoStore* linked_data) {
+  if (options.acquisition_days.empty()) {
+    return Status::InvalidArgument("need at least one acquisition day");
+  }
+  common::Rng rng(options.seed);
+  FoodSecurityReport report;
+
+  // 1. Ground truth: a parcelized crop map.
+  raster::ClassMapOptions map_opt;
+  map_opt.width = options.width;
+  map_opt.height = options.height;
+  map_opt.num_classes = raster::kNumCropTypes;
+  map_opt.num_patches = options.num_parcels;
+  report.true_crops = raster::GenerateClassMap(map_opt, &rng);
+
+  // 2. A year of Sentinel-2 acquisitions.
+  raster::SentinelSimulator::Options sim_opt;
+  sim_opt.pixel_size = options.pixel_size;
+  sim_opt.cloud_probability = options.cloud_probability;
+  raster::SentinelSimulator sim(sim_opt, options.seed + 1);
+  std::vector<raster::SentinelProduct> scenes;
+  scenes.reserve(options.acquisition_days.size());
+  for (int day : options.acquisition_days) {
+    scenes.push_back(sim.SimulateCropS2(report.true_crops, day));
+  }
+
+  // 3. Train the multi-temporal crop classifier (C1).
+  EEA_ASSIGN_OR_RETURN(
+      raster::Dataset train,
+      raster::MakeCropTimeSeriesDataset(scenes, report.true_crops,
+                                        options.training_samples,
+                                        options.seed + 2));
+  auto standardization = train.Standardize();
+  ml::Network net = ml::BuildMlp(train.feature_dim, {48, 32},
+                                 raster::kNumCropTypes, options.seed + 3);
+  ml::TrainOptions topt;
+  topt.epochs = options.epochs;
+  topt.batch_size = 32;
+  topt.sgd.learning_rate = options.learning_rate;
+  topt.shuffle_seed = options.seed + 4;
+  ml::Trainer trainer(&net, topt);
+  trainer.Fit(&train);
+
+  // 4. Wall-to-wall classification -> predicted crop map.
+  report.predicted_crops = ClassifyCropPixels(scenes, &net, standardization);
+  int64_t correct = 0;
+  for (int y = 0; y < options.height; ++y) {
+    for (int x = 0; x < options.width; ++x) {
+      int truth = report.true_crops.at(x, y);
+      int pred = report.predicted_crops.at(x, y);
+      report.crop_confusion.Add(truth, pred);
+      if (truth == pred) ++correct;
+    }
+  }
+  report.crop_accuracy = static_cast<double>(correct) /
+                         (static_cast<double>(options.width) * options.height);
+
+  // 5. Field boundaries from the predicted map.
+  const raster::GeoTransform& transform = scenes[0].raster.transform();
+  report.fields = ExtractFields(report.predicted_crops, transform,
+                                FieldExtractionOptions{});
+
+  // 6. Water availability and irrigation products.
+  std::vector<WeatherDay> weather = SynthesizeWeather(options.seed + 5);
+  WaterBalanceOptions wopt;
+  wopt.seed = options.seed + 6;
+  EEA_ASSIGN_OR_RETURN(report.water,
+                       ComputeWaterProducts(report.predicted_crops, transform,
+                                            weather, wopt));
+
+  // 7. Publish fields as linked data.
+  if (linked_data != nullptr) {
+    report.triples_published =
+        PublishFields(report.fields, "http://extremeearth.eu/foodsec",
+                      linked_data);
+    auto built = linked_data->Build();
+    if (!built.ok()) return built.status();
+  }
+  return report;
+}
+
+}  // namespace exearth::foodsec

@@ -1,0 +1,59 @@
+// The A1 end-to-end pipeline: simulate a year of Sentinel-2 over a crop
+// region, train a multi-temporal crop classifier, extract field boundaries,
+// run the water-balance model, and publish everything as linked data.
+
+#ifndef EXEARTH_FOODSEC_PIPELINE_H_
+#define EXEARTH_FOODSEC_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "foodsec/fields.h"
+#include "foodsec/water.h"
+#include "ml/metrics.h"
+#include "ml/network.h"
+#include "raster/landcover.h"
+#include "raster/sentinel.h"
+#include "strabon/geostore.h"
+
+namespace exearth::foodsec {
+
+struct FoodSecurityOptions {
+  int width = 128;
+  int height = 128;
+  double pixel_size = 10.0;  // the paper's 10 m resolution
+  int num_parcels = 60;
+  std::vector<int> acquisition_days = {100, 140, 180, 220, 260};
+  int training_samples = 3000;
+  int epochs = 6;
+  double learning_rate = 0.05;
+  double cloud_probability = 0.2;
+  uint64_t seed = 1;
+};
+
+struct FoodSecurityReport {
+  raster::ClassMap true_crops{0, 0};
+  raster::ClassMap predicted_crops{0, 0};
+  double crop_accuracy = 0.0;       // per-pixel vs truth
+  ml::ConfusionMatrix crop_confusion{raster::kNumCropTypes};
+  std::vector<Field> fields;
+  WaterProducts water;
+  size_t triples_published = 0;
+};
+
+/// Runs the full pipeline; `linked_data` receives the published fields
+/// (built and queryable on return).
+common::Result<FoodSecurityReport> RunFoodSecurityPipeline(
+    const FoodSecurityOptions& options, strabon::GeoStore* linked_data);
+
+/// Classifies every pixel of the scene stack with a trained network
+/// consuming per-pixel [NDVI, NIR, Red] x dates features (exposed for
+/// tests and benches).
+raster::ClassMap ClassifyCropPixels(
+    const std::vector<raster::SentinelProduct>& scenes, ml::Network* network,
+    const std::vector<std::pair<float, float>>& standardization);
+
+}  // namespace exearth::foodsec
+
+#endif  // EXEARTH_FOODSEC_PIPELINE_H_

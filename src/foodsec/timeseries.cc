@@ -1,0 +1,119 @@
+#include "foodsec/timeseries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace exearth::foodsec {
+
+using common::Result;
+using common::Status;
+
+int FillGaps(std::vector<float>* values, const std::vector<bool>& valid) {
+  EEA_CHECK(values->size() == valid.size());
+  const int n = static_cast<int>(values->size());
+  int filled = 0;
+  int prev_valid = -1;
+  int i = 0;
+  while (i < n) {
+    if (valid[static_cast<size_t>(i)]) {
+      prev_valid = i;
+      ++i;
+      continue;
+    }
+    // Find the end of this gap.
+    int j = i;
+    while (j < n && !valid[static_cast<size_t>(j)]) ++j;
+    if (prev_valid < 0 && j >= n) return 0;  // nothing valid at all
+    for (int k = i; k < j; ++k) {
+      float value;
+      if (prev_valid < 0) {
+        value = (*values)[static_cast<size_t>(j)];
+      } else if (j >= n) {
+        value = (*values)[static_cast<size_t>(prev_valid)];
+      } else {
+        const float a = (*values)[static_cast<size_t>(prev_valid)];
+        const float b = (*values)[static_cast<size_t>(j)];
+        const float t = static_cast<float>(k - prev_valid) /
+                        static_cast<float>(j - prev_valid);
+        value = a + t * (b - a);
+      }
+      (*values)[static_cast<size_t>(k)] = value;
+      ++filled;
+    }
+    i = j;
+  }
+  return filled;
+}
+
+std::vector<float> MovingAverage(const std::vector<float>& values,
+                                 int window) {
+  if (window <= 1 || values.empty()) return values;
+  EEA_CHECK(window % 2 == 1) << "window must be odd";
+  const int n = static_cast<int>(values.size());
+  const int half = window / 2;
+  std::vector<float> out(values.size());
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - half);
+    const int hi = std::min(n - 1, i + half);
+    double sum = 0;
+    for (int k = lo; k <= hi; ++k) sum += values[static_cast<size_t>(k)];
+    out[static_cast<size_t>(i)] =
+        static_cast<float>(sum / static_cast<double>(hi - lo + 1));
+  }
+  return out;
+}
+
+Result<std::vector<raster::Raster>> GapFilledNdviStack(
+    const std::vector<raster::SentinelProduct>& scenes, int smooth_window) {
+  if (scenes.empty()) return Status::InvalidArgument("no scenes");
+  const int w = scenes[0].raster.width();
+  const int h = scenes[0].raster.height();
+  for (const auto& p : scenes) {
+    if (p.raster.bands() != raster::kS2Bands) {
+      return Status::InvalidArgument("NDVI stack needs 13-band S2 scenes");
+    }
+    if (p.raster.width() != w || p.raster.height() != h) {
+      return Status::InvalidArgument("scenes have mismatched grids");
+    }
+  }
+  if (smooth_window > 1 && smooth_window % 2 == 0) {
+    return Status::InvalidArgument("smooth_window must be odd");
+  }
+  constexpr int kRed = 3;
+  constexpr int kNir = 7;
+  std::vector<raster::Raster> stack;
+  stack.reserve(scenes.size());
+  for (const auto& p : scenes) {
+    stack.emplace_back(w, h, 1, p.raster.transform());
+  }
+  std::vector<float> series(scenes.size());
+  std::vector<bool> valid(scenes.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (size_t t = 0; t < scenes.size(); ++t) {
+        const auto& p = scenes[t];
+        const bool cloudy =
+            !p.cloud_mask.empty() && p.cloud_mask.at(x, y) != 0;
+        valid[t] = !cloudy;
+        if (cloudy) {
+          series[t] = 0.0f;
+        } else {
+          float red = p.raster.Get(kRed, x, y);
+          float nir = p.raster.Get(kNir, x, y);
+          float denom = nir + red;
+          series[t] = denom == 0.0f ? 0.0f : (nir - red) / denom;
+        }
+      }
+      FillGaps(&series, valid);
+      std::vector<float> final_series =
+          smooth_window > 1 ? MovingAverage(series, smooth_window) : series;
+      for (size_t t = 0; t < scenes.size(); ++t) {
+        stack[t].Set(0, x, y, final_series[t]);
+      }
+    }
+  }
+  return stack;
+}
+
+}  // namespace exearth::foodsec

@@ -1,0 +1,35 @@
+// Multi-temporal preprocessing for the A1 pipeline: gap filling of
+// cloud-contaminated observations and temporal smoothing of vegetation-
+// index series. Real crop-monitoring chains (and PROMET's inputs) depend
+// on continuous NDVI trajectories; Sentinel-2 delivers gappy ones.
+
+#ifndef EXEARTH_FOODSEC_TIMESERIES_H_
+#define EXEARTH_FOODSEC_TIMESERIES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::foodsec {
+
+/// Linearly interpolates invalid entries between their nearest valid
+/// neighbours; leading/trailing gaps take the nearest valid value.
+/// Returns the number of entries filled (0 if no entry is valid).
+int FillGaps(std::vector<float>* values, const std::vector<bool>& valid);
+
+/// Centered moving average with an odd window (edges use the available
+/// part of the window). window <= 1 returns the input.
+std::vector<float> MovingAverage(const std::vector<float>& values,
+                                 int window);
+
+/// Builds a per-date NDVI stack from S2 scenes with cloud gaps filled
+/// per-pixel (linear in time) and optionally smoothed. All scenes must
+/// share the grid; needs >= 1 scene with 13 bands.
+common::Result<std::vector<raster::Raster>> GapFilledNdviStack(
+    const std::vector<raster::SentinelProduct>& scenes, int smooth_window);
+
+}  // namespace exearth::foodsec
+
+#endif  // EXEARTH_FOODSEC_TIMESERIES_H_

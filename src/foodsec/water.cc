@@ -1,0 +1,120 @@
+#include "foodsec/water.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "raster/sentinel.h"
+
+namespace exearth::foodsec {
+
+using common::Result;
+using common::Status;
+
+std::vector<WeatherDay> SynthesizeWeather(uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<WeatherDay> days;
+  days.reserve(365);
+  for (int doy = 1; doy <= 365; ++doy) {
+    WeatherDay day;
+    // Seasonal mean temperature: 10 +- 10 C, peak around day 200.
+    double seasonal = 10.0 + 10.0 * std::sin(2.0 * M_PI * (doy - 110) / 365.0);
+    double tmean = seasonal + rng.Gaussian(0, 2.0);
+    double range = 8.0 + rng.Gaussian(0, 1.5);
+    day.tmin_c = tmean - range / 2.0;
+    day.tmax_c = tmean + range / 2.0;
+    // Wet days are more frequent in winter; amounts exponential.
+    double wet_prob =
+        0.35 - 0.12 * std::sin(2.0 * M_PI * (doy - 110) / 365.0);
+    if (rng.Bernoulli(wet_prob)) {
+      day.precip_mm = rng.Exponential(1.0 / 6.0);  // mean 6 mm
+    }
+    days.push_back(day);
+  }
+  return days;
+}
+
+double ReferenceEvapotranspiration(const WeatherDay& day, int doy) {
+  // Extraterrestrial radiation Ra (MJ/m2/day), mid-latitude approximation.
+  double ra = 25.0 + 15.0 * std::sin(2.0 * M_PI * (doy - 81) / 365.0);
+  double tmean = (day.tmin_c + day.tmax_c) / 2.0;
+  double trange = std::max(0.0, day.tmax_c - day.tmin_c);
+  // Hargreaves-Samani; 0.408 converts MJ/m2/day to mm/day.
+  double et0 = 0.0023 * 0.408 * ra * (tmean + 17.8) * std::sqrt(trange);
+  return std::max(0.0, et0);
+}
+
+double CropCoefficient(raster::CropType crop, int doy) {
+  return 0.25 + 0.9 * raster::CropPhenology(crop, doy);
+}
+
+Result<WaterProducts> ComputeWaterProducts(
+    const raster::ClassMap& crop_map, const raster::GeoTransform& transform,
+    const std::vector<WeatherDay>& weather,
+    const WaterBalanceOptions& options) {
+  if (weather.size() != 365) {
+    return Status::InvalidArgument("weather must cover 365 days");
+  }
+  if (options.soil_capacity_mm <= 0) {
+    return Status::InvalidArgument("soil capacity must be positive");
+  }
+  const int w = crop_map.width();
+  const int h = crop_map.height();
+  WaterProducts products;
+  products.availability = raster::Raster(w, h, 1, transform);
+  products.irrigation_mm = raster::Raster(w, h, 1, transform);
+
+  // Precompute the per-crop daily forcing (ET0 and Kc are space-invariant).
+  std::vector<double> et0(365);
+  for (int d = 0; d < 365; ++d) {
+    et0[static_cast<size_t>(d)] =
+        ReferenceEvapotranspiration(weather[static_cast<size_t>(d)], d + 1);
+  }
+  std::vector<std::vector<double>> etc(
+      raster::kNumCropTypes, std::vector<double>(365));
+  for (int c = 0; c < raster::kNumCropTypes; ++c) {
+    for (int d = 0; d < 365; ++d) {
+      etc[static_cast<size_t>(c)][static_cast<size_t>(d)] =
+          CropCoefficient(static_cast<raster::CropType>(c), d + 1) *
+          et0[static_cast<size_t>(d)];
+    }
+  }
+
+  common::Rng rng(options.seed);
+  const int season_days =
+      std::max(1, options.season_end_doy - options.season_start_doy + 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const uint8_t crop = crop_map.at(x, y);
+      // Per-pixel soil capacity (spatial soil variability).
+      double capacity =
+          options.soil_capacity_mm *
+          std::max(0.3, 1.0 + rng.Gaussian(0, options.capacity_variability));
+      double storage = capacity * 0.8;  // start the year well-filled
+      double season_fraction_sum = 0.0;
+      double deficit_mm = 0.0;
+      const auto& etc_crop =
+          etc[std::min<size_t>(crop, raster::kNumCropTypes - 1)];
+      for (int d = 0; d < 365; ++d) {
+        const double p = weather[static_cast<size_t>(d)].precip_mm;
+        const double demand = etc_crop[static_cast<size_t>(d)];
+        // Water-stress factor: full ET above 50% depletion, linear below.
+        double fraction = storage / capacity;
+        double stress = std::min(1.0, fraction / 0.5);
+        double eta = std::min(demand * stress, storage + p);
+        deficit_mm += std::max(0.0, demand - eta);
+        storage = std::clamp(storage + p - eta, 0.0, capacity);
+        const int doy = d + 1;
+        if (doy >= options.season_start_doy && doy <= options.season_end_doy) {
+          season_fraction_sum += storage / capacity;
+        }
+      }
+      products.availability.Set(
+          0, x, y, static_cast<float>(season_fraction_sum / season_days));
+      products.irrigation_mm.Set(0, x, y, static_cast<float>(deficit_mm));
+    }
+  }
+  return products;
+}
+
+}  // namespace exearth::foodsec

@@ -1,0 +1,71 @@
+// PROMET-substitute water-availability model (Challenge A1, experiment E7).
+//
+// PROMET itself is closed source; per DESIGN.md §2 we use a standard
+// FAO-56-style daily soil-water bucket:
+//
+//   ET0   : Hargreaves-Samani reference evapotranspiration
+//   ETc   : Kc(crop, day) * ET0, with Kc following the crop's phenology
+//   S(t+1) = clamp(S(t) + P(t) - ETa(t), 0, capacity)
+//   ETa   : ETc limited by available water (stress below 50% depletion)
+//
+// Outputs are the products the paper names: a high-resolution water
+// availability map (mean growing-season soil-water fraction per pixel) and
+// an irrigation-requirement map (seasonal deficit in mm).
+
+#ifndef EXEARTH_FOODSEC_WATER_H_
+#define EXEARTH_FOODSEC_WATER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+
+namespace exearth::foodsec {
+
+/// One day of (area-wide) weather forcing.
+struct WeatherDay {
+  double tmin_c = 5.0;
+  double tmax_c = 15.0;
+  double precip_mm = 0.0;
+};
+
+/// Synthesizes a year (365 days) of mid-latitude weather: seasonal
+/// temperatures plus stochastic wet days with exponential amounts.
+std::vector<WeatherDay> SynthesizeWeather(uint64_t seed);
+
+/// Hargreaves-Samani ET0 (mm/day) for day-of-year `doy` (1-based).
+double ReferenceEvapotranspiration(const WeatherDay& day, int doy);
+
+/// Crop coefficient from the crop's phenology: Kc = 0.25 + 0.9 * growth.
+double CropCoefficient(raster::CropType crop, int doy);
+
+struct WaterBalanceOptions {
+  double soil_capacity_mm = 120.0;  // plant-available water capacity
+  /// Spatial variability of capacity (fraction; per-pixel lognormal-ish).
+  double capacity_variability = 0.25;
+  int season_start_doy = 90;
+  int season_end_doy = 270;
+  uint64_t seed = 1;
+};
+
+/// Products of the water-balance run.
+struct WaterProducts {
+  /// Mean growing-season soil-water fraction in [0,1], 1 band.
+  raster::Raster availability;
+  /// Seasonal irrigation requirement in mm (unmet ETc), 1 band.
+  raster::Raster irrigation_mm;
+};
+
+/// Runs the daily balance for every pixel of `crop_map` over `weather`
+/// (365 days). `transform` georeferences the outputs (the "10 m maps").
+common::Result<WaterProducts> ComputeWaterProducts(
+    const raster::ClassMap& crop_map, const raster::GeoTransform& transform,
+    const std::vector<WeatherDay>& weather,
+    const WaterBalanceOptions& options);
+
+}  // namespace exearth::foodsec
+
+#endif  // EXEARTH_FOODSEC_WATER_H_

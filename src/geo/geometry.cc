@@ -1,0 +1,643 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exearth::geo {
+
+namespace {
+
+// Cross product of (b-a) x (c-a).
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+int Sign(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+// Iterates ring edges: fn(p[i], p[(i+1)%n]).
+template <typename Fn>
+void ForEachEdge(const Ring& r, Fn&& fn) {
+  const size_t n = r.points.size();
+  for (size_t i = 0; i < n; ++i) {
+    fn(r.points[i], r.points[(i + 1) % n]);
+  }
+}
+
+// Min distance from p to the boundary of ring r.
+double PointRingBoundaryDistance(const Point& p, const Ring& r) {
+  double best = std::numeric_limits<double>::max();
+  ForEachEdge(r, [&](const Point& a, const Point& b) {
+    best = std::min(best, PointSegmentDistance(p, a, b));
+  });
+  return best;
+}
+
+// Distance from point p to polygon (0 if inside).
+double PointPolygonDistance(const Point& p, const Polygon& poly) {
+  if (poly.Contains(p)) return 0.0;
+  double best = PointRingBoundaryDistance(p, poly.outer);
+  for (const Ring& h : poly.holes) {
+    best = std::min(best, PointRingBoundaryDistance(p, h));
+  }
+  return best;
+}
+
+double SegmentSegmentDistance(const Point& a, const Point& b, const Point& c,
+                              const Point& d) {
+  if (SegmentsIntersect(a, b, c, d)) return 0.0;
+  return std::min({PointSegmentDistance(a, c, d), PointSegmentDistance(b, c, d),
+                   PointSegmentDistance(c, a, b),
+                   PointSegmentDistance(d, a, b)});
+}
+
+// True if any edge of ring ra intersects any edge of ring rb.
+bool RingEdgesIntersect(const Ring& ra, const Ring& rb) {
+  // Envelope pre-check per edge would help; rings here are small enough.
+  bool hit = false;
+  ForEachEdge(ra, [&](const Point& a, const Point& b) {
+    if (hit) return;
+    ForEachEdge(rb, [&](const Point& c, const Point& d) {
+      if (hit) return;
+      if (SegmentsIntersect(a, b, c, d)) hit = true;
+    });
+  });
+  return hit;
+}
+
+bool PolygonsIntersect(const Polygon& pa, const Polygon& pb) {
+  if (!pa.Envelope().Intersects(pb.Envelope())) return false;
+  // Shared boundary point?
+  if (RingEdgesIntersect(pa.outer, pb.outer)) return true;
+  // One entirely within the other (modulo holes).
+  if (!pa.outer.points.empty() && pb.Contains(pa.outer.points[0])) return true;
+  if (!pb.outer.points.empty() && pa.Contains(pb.outer.points[0])) return true;
+  return false;
+}
+
+bool PolygonContainsPolygon(const Polygon& outer, const Polygon& inner) {
+  // Every vertex of `inner` inside `outer`, and no boundary crossing into a
+  // hole: approximate simple-features containment adequate for the
+  // synthetic workloads (convex-ish parcels, grid cells, footprints).
+  for (const Point& p : inner.outer.points) {
+    if (!outer.Contains(p)) return false;
+  }
+  for (const Ring& h : outer.holes) {
+    if (RingEdgesIntersect(h, inner.outer)) return false;
+    // Hole fully inside `inner` would also break containment.
+    if (!h.points.empty() && inner.Contains(h.points[0])) return false;
+  }
+  return true;
+}
+
+bool LineStringIntersectsRing(const LineString& ls, const Ring& r) {
+  const size_t n = ls.points.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    bool hit = false;
+    ForEachEdge(r, [&](const Point& a, const Point& b) {
+      if (!hit && SegmentsIntersect(ls.points[i], ls.points[i + 1], a, b)) {
+        hit = true;
+      }
+    });
+    if (hit) return true;
+  }
+  return false;
+}
+
+bool LineStringIntersectsPolygon(const LineString& ls, const Polygon& poly) {
+  if (!ls.Envelope().Intersects(poly.Envelope())) return false;
+  for (const Point& p : ls.points) {
+    if (poly.Contains(p)) return true;
+  }
+  return LineStringIntersectsRing(ls, poly.outer);
+}
+
+bool LineStringsIntersect(const LineString& a, const LineString& b) {
+  if (!a.Envelope().Intersects(b.Envelope())) return false;
+  for (size_t i = 0; i + 1 < a.points.size(); ++i) {
+    for (size_t j = 0; j + 1 < b.points.size(); ++j) {
+      if (SegmentsIntersect(a.points[i], a.points[i + 1], b.points[j],
+                            b.points[j + 1])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+double LineStringDistance(const LineString& a, const LineString& b) {
+  double best = std::numeric_limits<double>::max();
+  for (size_t i = 0; i + 1 < a.points.size(); ++i) {
+    for (size_t j = 0; j + 1 < b.points.size(); ++j) {
+      best = std::min(best, SegmentSegmentDistance(a.points[i], a.points[i + 1],
+                                                   b.points[j],
+                                                   b.points[j + 1]));
+    }
+  }
+  return best;
+}
+
+double PointLineStringDistance(const Point& p, const LineString& ls) {
+  double best = std::numeric_limits<double>::max();
+  for (size_t i = 0; i + 1 < ls.points.size(); ++i) {
+    best = std::min(best, PointSegmentDistance(p, ls.points[i],
+                                               ls.points[i + 1]));
+  }
+  return best;
+}
+
+double LineStringPolygonDistance(const LineString& ls, const Polygon& poly) {
+  if (LineStringIntersectsPolygon(ls, poly)) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  for (size_t i = 0; i + 1 < ls.points.size(); ++i) {
+    ForEachEdge(poly.outer, [&](const Point& a, const Point& b) {
+      best = std::min(best, SegmentSegmentDistance(ls.points[i],
+                                                   ls.points[i + 1], a, b));
+    });
+  }
+  return best;
+}
+
+double PolygonPolygonDistance(const Polygon& pa, const Polygon& pb) {
+  if (PolygonsIntersect(pa, pb)) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  ForEachEdge(pa.outer, [&](const Point& a, const Point& b) {
+    ForEachEdge(pb.outer, [&](const Point& c, const Point& d) {
+      best = std::min(best, SegmentSegmentDistance(a, b, c, d));
+    });
+  });
+  return best;
+}
+
+// Box corners as a polygon ring (used to reuse polygon predicates).
+Polygon BoxToPolygon(const Box& b) {
+  Polygon poly;
+  poly.outer.points = {Point{b.min_x, b.min_y}, Point{b.max_x, b.min_y},
+                       Point{b.max_x, b.max_y}, Point{b.min_x, b.max_y}};
+  return poly;
+}
+
+}  // namespace
+
+// --- Box ---------------------------------------------------------------
+
+Box& Box::ExpandToInclude(const Point& p) {
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+  return *this;
+}
+
+Box& Box::ExpandToInclude(const Box& other) {
+  if (other.empty()) return *this;
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+  return *this;
+}
+
+double Box::EnlargementToInclude(const Box& other) const {
+  Box merged = *this;
+  merged.ExpandToInclude(other);
+  return merged.Area() - Area();
+}
+
+double Box::Distance(const Point& p) const {
+  double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Box::Distance(const Box& other) const {
+  double dx = std::max({min_x - other.max_x, 0.0, other.min_x - max_x});
+  double dy = std::max({min_y - other.max_y, 0.0, other.min_y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// --- LineString --------------------------------------------------------
+
+double LineString::Length() const {
+  double len = 0.0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    len += geo::Distance(points[i], points[i + 1]);
+  }
+  return len;
+}
+
+Box LineString::Envelope() const {
+  Box b;
+  for (const Point& p : points) b.ExpandToInclude(p);
+  return b;
+}
+
+// --- Ring --------------------------------------------------------------
+
+double Ring::SignedArea() const {
+  const size_t n = points.size();
+  if (n < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = points[i];
+    const Point& b = points[(i + 1) % n];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return sum / 2.0;
+}
+
+Box Ring::Envelope() const {
+  Box b;
+  for (const Point& p : points) b.ExpandToInclude(p);
+  return b;
+}
+
+bool Ring::Contains(const Point& p) const {
+  const size_t n = points.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = points[i];
+    const Point& b = points[j];
+    // Boundary check: point exactly on edge counts as inside.
+    if (Sign(Cross(a, b, p)) == 0 && OnSegment(a, b, p)) return true;
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+// --- Polygon -----------------------------------------------------------
+
+double Polygon::Area() const {
+  double a = outer.Area();
+  for (const Ring& h : holes) a -= h.Area();
+  return a;
+}
+
+Box Polygon::Envelope() const { return outer.Envelope(); }
+
+size_t Polygon::NumVertices() const {
+  size_t n = outer.points.size();
+  for (const Ring& h : holes) n += h.points.size();
+  return n;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!outer.Contains(p)) return false;
+  for (const Ring& h : holes) {
+    // Interior of a hole is outside the polygon; the hole boundary itself
+    // still belongs to the polygon. Ring::Contains is boundary-inclusive,
+    // so check strict interior by testing boundary proximity first.
+    if (h.Contains(p)) {
+      // On the hole boundary -> still contained.
+      bool on_boundary = false;
+      const size_t n = h.points.size();
+      for (size_t i = 0; i < n && !on_boundary; ++i) {
+        const Point& a = h.points[i];
+        const Point& b = h.points[(i + 1) % n];
+        if (Sign(Cross(a, b, p)) == 0 && OnSegment(a, b, p)) on_boundary = true;
+      }
+      if (!on_boundary) return false;
+    }
+  }
+  return true;
+}
+
+// --- MultiPolygon ------------------------------------------------------
+
+double MultiPolygon::Area() const {
+  double a = 0.0;
+  for (const Polygon& p : polygons) a += p.Area();
+  return a;
+}
+
+Box MultiPolygon::Envelope() const {
+  Box b;
+  for (const Polygon& p : polygons) b.ExpandToInclude(p.Envelope());
+  return b;
+}
+
+size_t MultiPolygon::NumVertices() const {
+  size_t n = 0;
+  for (const Polygon& p : polygons) n += p.NumVertices();
+  return n;
+}
+
+bool MultiPolygon::Contains(const Point& p) const {
+  for (const Polygon& poly : polygons) {
+    if (poly.Contains(p)) return true;
+  }
+  return false;
+}
+
+// --- Geometry ----------------------------------------------------------
+
+Box Geometry::Envelope() const {
+  switch (type()) {
+    case Type::kPoint: {
+      const Point& p = AsPoint();
+      Box b;
+      b.ExpandToInclude(p);
+      return b;
+    }
+    case Type::kLineString:
+      return AsLineString().Envelope();
+    case Type::kPolygon:
+      return AsPolygon().Envelope();
+    case Type::kMultiPolygon:
+      return AsMultiPolygon().Envelope();
+  }
+  return Box{};
+}
+
+double Geometry::Area() const {
+  switch (type()) {
+    case Type::kPolygon:
+      return AsPolygon().Area();
+    case Type::kMultiPolygon:
+      return AsMultiPolygon().Area();
+    default:
+      return 0.0;
+  }
+}
+
+size_t Geometry::NumVertices() const {
+  switch (type()) {
+    case Type::kPoint:
+      return 1;
+    case Type::kLineString:
+      return AsLineString().points.size();
+    case Type::kPolygon:
+      return AsPolygon().NumVertices();
+    case Type::kMultiPolygon:
+      return AsMultiPolygon().NumVertices();
+  }
+  return 0;
+}
+
+// --- Primitives --------------------------------------------------------
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double vx = b.x - a.x;
+  double vy = b.y - a.y;
+  double len2 = vx * vx + vy * vy;
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * vx + (p.y - a.y) * vy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj{a.x + t * vx, a.y + t * vy};
+  return Distance(p, proj);
+}
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  int d1 = Sign(Cross(c, d, a));
+  int d2 = Sign(Cross(c, d, b));
+  int d3 = Sign(Cross(a, b, c));
+  int d4 = Sign(Cross(a, b, d));
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(c, d, a)) return true;
+  if (d2 == 0 && OnSegment(c, d, b)) return true;
+  if (d3 == 0 && OnSegment(a, b, c)) return true;
+  if (d4 == 0 && OnSegment(a, b, d)) return true;
+  return false;
+}
+
+// --- Geometry x Geometry predicates -------------------------------------
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  using T = Geometry::Type;
+  // Normalize so that a.type() <= b.type() in enum order.
+  if (static_cast<int>(a.type()) > static_cast<int>(b.type())) {
+    return Intersects(b, a);
+  }
+  switch (a.type()) {
+    case T::kPoint: {
+      const Point& p = a.AsPoint();
+      switch (b.type()) {
+        case T::kPoint:
+          return p == b.AsPoint();
+        case T::kLineString:
+          return PointLineStringDistance(p, b.AsLineString()) == 0.0;
+        case T::kPolygon:
+          return b.AsPolygon().Contains(p);
+        case T::kMultiPolygon:
+          return b.AsMultiPolygon().Contains(p);
+      }
+      return false;
+    }
+    case T::kLineString: {
+      const LineString& ls = a.AsLineString();
+      switch (b.type()) {
+        case T::kLineString:
+          return LineStringsIntersect(ls, b.AsLineString());
+        case T::kPolygon:
+          return LineStringIntersectsPolygon(ls, b.AsPolygon());
+        case T::kMultiPolygon: {
+          for (const Polygon& poly : b.AsMultiPolygon().polygons) {
+            if (LineStringIntersectsPolygon(ls, poly)) return true;
+          }
+          return false;
+        }
+        default:
+          return false;
+      }
+    }
+    case T::kPolygon: {
+      const Polygon& pa = a.AsPolygon();
+      switch (b.type()) {
+        case T::kPolygon:
+          return PolygonsIntersect(pa, b.AsPolygon());
+        case T::kMultiPolygon: {
+          for (const Polygon& poly : b.AsMultiPolygon().polygons) {
+            if (PolygonsIntersect(pa, poly)) return true;
+          }
+          return false;
+        }
+        default:
+          return false;
+      }
+    }
+    case T::kMultiPolygon: {
+      for (const Polygon& pa : a.AsMultiPolygon().polygons) {
+        for (const Polygon& pb : b.AsMultiPolygon().polygons) {
+          if (PolygonsIntersect(pa, pb)) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Intersects(const Geometry& g, const Box& box) {
+  if (!g.Envelope().Intersects(box)) return false;
+  switch (g.type()) {
+    case Geometry::Type::kPoint:
+      return box.Contains(g.AsPoint());
+    default: {
+      Geometry box_geom(BoxToPolygon(box));
+      return Intersects(g, box_geom);
+    }
+  }
+}
+
+bool Contains(const Geometry& a, const Geometry& b) {
+  using T = Geometry::Type;
+  if (!a.Envelope().Contains(b.Envelope())) return false;
+  switch (a.type()) {
+    case T::kPoint:
+      return b.type() == T::kPoint && a.AsPoint() == b.AsPoint();
+    case T::kLineString:
+      return false;  // A line contains no area feature; not needed here.
+    case T::kPolygon: {
+      const Polygon& pa = a.AsPolygon();
+      switch (b.type()) {
+        case T::kPoint:
+          return pa.Contains(b.AsPoint());
+        case T::kLineString: {
+          for (const Point& p : b.AsLineString().points) {
+            if (!pa.Contains(p)) return false;
+          }
+          return true;
+        }
+        case T::kPolygon:
+          return PolygonContainsPolygon(pa, b.AsPolygon());
+        case T::kMultiPolygon: {
+          for (const Polygon& pb : b.AsMultiPolygon().polygons) {
+            if (!PolygonContainsPolygon(pa, pb)) return false;
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    case T::kMultiPolygon: {
+      // Each part of b must be contained by some part of a.
+      const MultiPolygon& ma = a.AsMultiPolygon();
+      auto contained_by_some = [&](const Polygon& pb) {
+        for (const Polygon& pa : ma.polygons) {
+          if (PolygonContainsPolygon(pa, pb)) return true;
+        }
+        return false;
+      };
+      switch (b.type()) {
+        case T::kPoint:
+          return ma.Contains(b.AsPoint());
+        case T::kPolygon:
+          return contained_by_some(b.AsPolygon());
+        case T::kMultiPolygon: {
+          for (const Polygon& pb : b.AsMultiPolygon().polygons) {
+            if (!contained_by_some(pb)) return false;
+          }
+          return true;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+  return false;
+}
+
+bool Within(const Geometry& a, const Geometry& b) { return Contains(b, a); }
+
+bool Disjoint(const Geometry& a, const Geometry& b) {
+  return !Intersects(a, b);
+}
+
+double Distance(const Geometry& a, const Geometry& b) {
+  using T = Geometry::Type;
+  if (static_cast<int>(a.type()) > static_cast<int>(b.type())) {
+    return Distance(b, a);
+  }
+  switch (a.type()) {
+    case T::kPoint: {
+      const Point& p = a.AsPoint();
+      switch (b.type()) {
+        case T::kPoint:
+          return Distance(p, b.AsPoint());
+        case T::kLineString:
+          return PointLineStringDistance(p, b.AsLineString());
+        case T::kPolygon:
+          return PointPolygonDistance(p, b.AsPolygon());
+        case T::kMultiPolygon: {
+          double best = std::numeric_limits<double>::max();
+          for (const Polygon& poly : b.AsMultiPolygon().polygons) {
+            best = std::min(best, PointPolygonDistance(p, poly));
+          }
+          return best;
+        }
+      }
+      break;
+    }
+    case T::kLineString: {
+      const LineString& ls = a.AsLineString();
+      switch (b.type()) {
+        case T::kLineString:
+          return LineStringDistance(ls, b.AsLineString());
+        case T::kPolygon:
+          return LineStringPolygonDistance(ls, b.AsPolygon());
+        case T::kMultiPolygon: {
+          double best = std::numeric_limits<double>::max();
+          for (const Polygon& poly : b.AsMultiPolygon().polygons) {
+            best = std::min(best, LineStringPolygonDistance(ls, poly));
+          }
+          return best;
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    case T::kPolygon: {
+      const Polygon& pa = a.AsPolygon();
+      switch (b.type()) {
+        case T::kPolygon:
+          return PolygonPolygonDistance(pa, b.AsPolygon());
+        case T::kMultiPolygon: {
+          double best = std::numeric_limits<double>::max();
+          for (const Polygon& poly : b.AsMultiPolygon().polygons) {
+            best = std::min(best, PolygonPolygonDistance(pa, poly));
+          }
+          return best;
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    case T::kMultiPolygon: {
+      double best = std::numeric_limits<double>::max();
+      for (const Polygon& pa : a.AsMultiPolygon().polygons) {
+        for (const Polygon& pb : b.AsMultiPolygon().polygons) {
+          best = std::min(best, PolygonPolygonDistance(pa, pb));
+        }
+      }
+      return best;
+    }
+  }
+  return std::numeric_limits<double>::max();
+}
+
+bool WithinDistance(const Geometry& a, const Geometry& b, double d) {
+  if (a.Envelope().Distance(b.Envelope()) > d) return false;
+  return Distance(a, b) <= d;
+}
+
+}  // namespace exearth::geo

@@ -1,0 +1,205 @@
+// Planar geometry model used across the ExtremeEarth stack: points,
+// bounding boxes, linestrings, polygons (with holes) and multipolygons.
+//
+// Coordinates are planar (a projected CRS or lon/lat treated as planar,
+// which is what Strabon-style rectangle selections do). All predicates are
+// exact for the simple-feature cases exercised here; no robust-arithmetic
+// library is pulled in.
+
+#ifndef EXEARTH_GEO_GEOMETRY_H_
+#define EXEARTH_GEO_GEOMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <variant>
+#include <vector>
+
+namespace exearth::geo {
+
+/// A 2-D point.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Axis-aligned bounding box. An "empty" box has min > max.
+struct Box {
+  double min_x = std::numeric_limits<double>::max();
+  double min_y = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
+  double max_y = std::numeric_limits<double>::lowest();
+
+  static Box Of(double min_x, double min_y, double max_x, double max_y) {
+    return Box{min_x, min_y, max_x, max_y};
+  }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return width() * height(); }
+  double Perimeter() const { return 2.0 * (width() + height()); }
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Contains(const Box& other) const {
+    return !empty() && !other.empty() && other.min_x >= min_x &&
+           other.max_x <= max_x && other.min_y >= min_y &&
+           other.max_y <= max_y;
+  }
+  bool Intersects(const Box& other) const {
+    return !empty() && !other.empty() && other.min_x <= max_x &&
+           other.max_x >= min_x && other.min_y <= max_y &&
+           other.max_y >= min_y;
+  }
+
+  /// Expands (in place) to cover `p` / `other`; returns *this.
+  Box& ExpandToInclude(const Point& p);
+  Box& ExpandToInclude(const Box& other);
+
+  /// The box grown by `margin` on all sides.
+  Box Buffered(double margin) const {
+    return Box{min_x - margin, min_y - margin, max_x + margin,
+               max_y + margin};
+  }
+
+  /// Area of the union-covering box minus own area; the R*-tree enlargement
+  /// metric.
+  double EnlargementToInclude(const Box& other) const;
+
+  /// Smallest distance between this box and `p` (0 if inside).
+  double Distance(const Point& p) const;
+  /// Smallest distance between two boxes (0 if intersecting).
+  double Distance(const Box& other) const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// An open polyline with at least 2 vertices.
+struct LineString {
+  std::vector<Point> points;
+
+  double Length() const;
+  Box Envelope() const;
+};
+
+/// A simple ring: vertices in order, implicitly closed (first vertex is not
+/// repeated at the end). Orientation is not enforced.
+struct Ring {
+  std::vector<Point> points;
+
+  /// Signed area (positive for counter-clockwise orientation).
+  double SignedArea() const;
+  double Area() const { return SignedArea() < 0 ? -SignedArea() : SignedArea(); }
+  Box Envelope() const;
+  /// Even-odd point-in-ring test. Points exactly on the boundary count as
+  /// inside.
+  bool Contains(const Point& p) const;
+};
+
+/// A polygon: one outer ring plus zero or more holes.
+struct Polygon {
+  Ring outer;
+  std::vector<Ring> holes;
+
+  double Area() const;
+  Box Envelope() const;
+  size_t NumVertices() const;
+  /// True if `p` lies in the outer ring and in no hole (boundary inclusive
+  /// for the outer ring).
+  bool Contains(const Point& p) const;
+};
+
+/// A collection of polygons (possibly disjoint parts).
+struct MultiPolygon {
+  std::vector<Polygon> polygons;
+
+  double Area() const;
+  Box Envelope() const;
+  size_t NumVertices() const;
+  bool Contains(const Point& p) const;
+};
+
+/// A geometry value: exactly one of the simple-feature types.
+class Geometry {
+ public:
+  enum class Type { kPoint, kLineString, kPolygon, kMultiPolygon };
+
+  Geometry() : value_(Point{}) {}
+  explicit Geometry(Point p) : value_(p) {}
+  explicit Geometry(LineString ls) : value_(std::move(ls)) {}
+  explicit Geometry(Polygon poly) : value_(std::move(poly)) {}
+  explicit Geometry(MultiPolygon mp) : value_(std::move(mp)) {}
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+
+  bool IsPoint() const { return type() == Type::kPoint; }
+
+  const Point& AsPoint() const { return std::get<Point>(value_); }
+  const LineString& AsLineString() const {
+    return std::get<LineString>(value_);
+  }
+  const Polygon& AsPolygon() const { return std::get<Polygon>(value_); }
+  const MultiPolygon& AsMultiPolygon() const {
+    return std::get<MultiPolygon>(value_);
+  }
+
+  Box Envelope() const;
+  double Area() const;
+  size_t NumVertices() const;
+
+ private:
+  std::variant<Point, LineString, Polygon, MultiPolygon> value_;
+};
+
+// --- Low-level primitives ---------------------------------------------------
+
+/// Euclidean distance.
+double Distance(const Point& a, const Point& b);
+
+/// Distance from point `p` to segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// True if segments [a,b] and [c,d] intersect (touching endpoints count).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+// --- Topological predicates (simple-feature semantics) ----------------------
+
+/// True if the two geometries share at least one point.
+bool Intersects(const Geometry& a, const Geometry& b);
+
+/// True if geometry `g` intersects the rectangle `box` (the Strabon
+/// rectangular-selection predicate).
+bool Intersects(const Geometry& g, const Box& box);
+
+/// True if `a` contains `b` entirely (boundary inclusive).
+bool Contains(const Geometry& a, const Geometry& b);
+
+/// True if `a` lies within `b`; Within(a,b) == Contains(b,a).
+bool Within(const Geometry& a, const Geometry& b);
+
+/// True if the geometries do not share any point.
+bool Disjoint(const Geometry& a, const Geometry& b);
+
+/// Minimum distance between the two geometries (0 if intersecting).
+double Distance(const Geometry& a, const Geometry& b);
+
+/// True if the geometries come within `d` of one another.
+bool WithinDistance(const Geometry& a, const Geometry& b, double d);
+
+}  // namespace exearth::geo
+
+#endif  // EXEARTH_GEO_GEOMETRY_H_

@@ -1,0 +1,312 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace exearth::geo {
+
+struct RTree::Node {
+  bool is_leaf = true;
+  Box box;  // covers all children / entries
+  std::vector<Entry> entries;                  // when leaf
+  std::vector<std::unique_ptr<Node>> children; // when internal
+
+  void RecomputeBox() {
+    box = Box{};
+    if (is_leaf) {
+      for (const Entry& e : entries) box.ExpandToInclude(e.box);
+    } else {
+      for (const auto& c : children) box.ExpandToInclude(c->box);
+    }
+  }
+};
+
+RTree::RTree() : root_(std::make_unique<Node>()) {}
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+namespace {
+
+using Node = RTree::Node;
+
+// Chooses the child whose box needs least enlargement to include `box`.
+Node* ChooseSubtree(Node* node, const Box& box) {
+  Node* best = nullptr;
+  double best_enlargement = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (const auto& c : node->children) {
+    double enlargement = c->box.EnlargementToInclude(box);
+    double area = c->box.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = c.get();
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+// Quadratic split of an overfull leaf's entries into two groups.
+template <typename T, typename BoxOf>
+std::pair<std::vector<T>, std::vector<T>> QuadraticSplit(std::vector<T> items,
+                                                         BoxOf box_of) {
+  // Pick the pair of seeds wasting the most area together.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      Box merged = box_of(items[i]);
+      merged.ExpandToInclude(box_of(items[j]));
+      double waste =
+          merged.Area() - box_of(items[i]).Area() - box_of(items[j]).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<T> group_a;
+  std::vector<T> group_b;
+  Box box_a = box_of(items[seed_a]);
+  Box box_b = box_of(items[seed_b]);
+  group_a.push_back(std::move(items[seed_a]));
+  group_b.push_back(std::move(items[seed_b]));
+  std::vector<T> rest;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(items[i]));
+  }
+  const size_t min_fill = RTree::kMinEntries;
+  for (auto& item : rest) {
+    const size_t remaining =
+        rest.size() - (group_a.size() + group_b.size() - 2);
+    // Force-assign when one group must take everything left to reach the
+    // minimum fill.
+    if (group_a.size() + remaining <= min_fill) {
+      box_a.ExpandToInclude(box_of(item));
+      group_a.push_back(std::move(item));
+      continue;
+    }
+    if (group_b.size() + remaining <= min_fill) {
+      box_b.ExpandToInclude(box_of(item));
+      group_b.push_back(std::move(item));
+      continue;
+    }
+    double da = box_a.EnlargementToInclude(box_of(item));
+    double db = box_b.EnlargementToInclude(box_of(item));
+    if (da < db || (da == db && group_a.size() <= group_b.size())) {
+      box_a.ExpandToInclude(box_of(item));
+      group_a.push_back(std::move(item));
+    } else {
+      box_b.ExpandToInclude(box_of(item));
+      group_b.push_back(std::move(item));
+    }
+  }
+  return {std::move(group_a), std::move(group_b)};
+}
+
+// Splits an overfull node, returning the new sibling.
+std::unique_ptr<Node> SplitNode(Node* node) {
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  if (node->is_leaf) {
+    auto [a, b] = QuadraticSplit(std::move(node->entries),
+                                 [](const RTree::Entry& e) { return e.box; });
+    node->entries = std::move(a);
+    sibling->entries = std::move(b);
+  } else {
+    auto [a, b] =
+        QuadraticSplit(std::move(node->children),
+                       [](const std::unique_ptr<Node>& c) { return c->box; });
+    node->children = std::move(a);
+    sibling->children = std::move(b);
+  }
+  node->RecomputeBox();
+  sibling->RecomputeBox();
+  return sibling;
+}
+
+// Inserts into the subtree; returns a new sibling if `node` split.
+std::unique_ptr<Node> InsertInto(Node* node, const Box& box, int64_t id) {
+  node->box.ExpandToInclude(box);
+  if (node->is_leaf) {
+    node->entries.push_back(RTree::Entry{box, id});
+    if (node->entries.size() > RTree::kMaxEntries) return SplitNode(node);
+    return nullptr;
+  }
+  Node* child = ChooseSubtree(node, box);
+  std::unique_ptr<Node> new_child = InsertInto(child, box, id);
+  if (new_child != nullptr) {
+    node->children.push_back(std::move(new_child));
+    if (node->children.size() > RTree::kMaxEntries) return SplitNode(node);
+  }
+  return nullptr;
+}
+
+int HeightOf(const Node* node) {
+  if (node->is_leaf) return 1;
+  return 1 + HeightOf(node->children[0].get());
+}
+
+}  // namespace
+
+void RTree::Insert(const Box& box, int64_t id) {
+  std::unique_ptr<Node> sibling = InsertInto(root_.get(), box, id);
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeBox();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+RTree RTree::BulkLoad(std::vector<Entry> entries) {
+  RTree tree;
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  // Sort-Tile-Recursive: sort by x center, slice into vertical strips, sort
+  // each strip by y center, pack runs of kMaxEntries into leaves; then
+  // repeat one level up until a single root remains.
+  const size_t leaf_cap = kMaxEntries;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.box.Center().x < b.box.Center().x;
+  });
+  const size_t n = entries.size();
+  const size_t num_leaves = (n + leaf_cap - 1) / leaf_cap;
+  const size_t strips =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_size = (n + strips - 1) / strips;
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t s = 0; s < strips; ++s) {
+    size_t begin = s * strip_size;
+    if (begin >= n) break;
+    size_t end = std::min(begin + strip_size, n);
+    std::sort(entries.begin() + begin, entries.begin() + end,
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t i = begin; i < end; i += leaf_cap) {
+      auto leaf = std::make_unique<Node>();
+      leaf->is_leaf = true;
+      size_t leaf_end = std::min(i + leaf_cap, end);
+      leaf->entries.assign(entries.begin() + i, entries.begin() + leaf_end);
+      leaf->RecomputeBox();
+      level.push_back(std::move(leaf));
+    }
+  }
+
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    std::sort(level.begin(), level.end(),
+              [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+                return a->box.Center().x < b->box.Center().x;
+              });
+    const size_t m = level.size();
+    const size_t num_parents = (m + kMaxEntries - 1) / kMaxEntries;
+    const size_t pstrips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const size_t pstrip_size = (m + pstrips - 1) / pstrips;
+    for (size_t s = 0; s < pstrips; ++s) {
+      size_t begin = s * pstrip_size;
+      if (begin >= m) break;
+      size_t end = std::min(begin + pstrip_size, m);
+      std::sort(level.begin() + begin, level.begin() + end,
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->box.Center().y < b->box.Center().y;
+                });
+      for (size_t i = begin; i < end; i += kMaxEntries) {
+        auto parent = std::make_unique<Node>();
+        parent->is_leaf = false;
+        size_t pend = std::min(i + static_cast<size_t>(kMaxEntries), end);
+        for (size_t j = i; j < pend; ++j) {
+          parent->children.push_back(std::move(level[j]));
+        }
+        parent->RecomputeBox();
+        next.push_back(std::move(parent));
+      }
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level[0]);
+  return tree;
+}
+
+int RTree::Height() const { return HeightOf(root_.get()); }
+
+void RTree::Visit(const Box& query,
+                  const std::function<bool(const Entry&)>& visitor) const {
+  last_nodes_visited_ = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++last_nodes_visited_;
+    if (!node->box.Intersects(query)) continue;
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        if (e.box.Intersects(query)) {
+          if (!visitor(e)) return;
+        }
+      }
+    } else {
+      for (const auto& c : node->children) {
+        if (c->box.Intersects(query)) stack.push_back(c.get());
+      }
+    }
+  }
+}
+
+std::vector<int64_t> RTree::Query(const Box& query) const {
+  std::vector<int64_t> out;
+  Visit(query, [&](const Entry& e) {
+    out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+std::vector<RTree::Entry> RTree::Nearest(const Point& p, size_t k) const {
+  // Best-first search over nodes ordered by box distance.
+  struct QueueItem {
+    double dist;
+    const Node* node;
+    const Entry* entry;  // non-null for entry items
+    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({root_->box.Distance(p), root_.get(), nullptr});
+  std::vector<Entry> out;
+  while (!pq.empty() && out.size() < k) {
+    QueueItem item = pq.top();
+    pq.pop();
+    if (item.entry != nullptr) {
+      out.push_back(*item.entry);
+      continue;
+    }
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        pq.push({e.box.Distance(p), nullptr, &e});
+      }
+    } else {
+      for (const auto& c : node->children) {
+        pq.push({c->box.Distance(p), c.get(), nullptr});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace exearth::geo

@@ -1,0 +1,77 @@
+// R-tree spatial index over (Box, id) entries.
+//
+// Supports incremental insertion (quadratic split, R*-style least-
+// enlargement descent), STR bulk loading for static datasets, rectangle
+// queries, and nearest-neighbour search. This is the index Strabon-style
+// spatial selection pushdown (E1/E2) and spatial link discovery (E10) sit
+// on.
+
+#ifndef EXEARTH_GEO_RTREE_H_
+#define EXEARTH_GEO_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace exearth::geo {
+
+/// An R-tree mapping bounding boxes to opaque int64 ids.
+class RTree {
+ public:
+  static constexpr int kMaxEntries = 16;
+  static constexpr int kMinEntries = 6;
+
+  struct Entry {
+    Box box;
+    int64_t id = 0;
+  };
+
+  // Tree node; defined in rtree.cc (opaque to users).
+  struct Node;
+
+  RTree();
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Builds a tree from scratch with Sort-Tile-Recursive packing. Much
+  /// faster and better-packed than repeated Insert for static data.
+  static RTree BulkLoad(std::vector<Entry> entries);
+
+  /// Inserts one entry.
+  void Insert(const Box& box, int64_t id);
+
+  size_t size() const { return size_; }
+  /// Height of the tree (1 for a single leaf).
+  int Height() const;
+
+  /// Ids of all entries whose box intersects `query`.
+  std::vector<int64_t> Query(const Box& query) const;
+
+  /// Visits entries intersecting `query`; return false from the visitor to
+  /// stop early.
+  void Visit(const Box& query,
+             const std::function<bool(const Entry&)>& visitor) const;
+
+  /// The `k` entries nearest to `p` by box distance, closest first.
+  std::vector<Entry> Nearest(const Point& p, size_t k) const;
+
+  /// Number of tree nodes touched by the last Query/Visit call (statistics
+  /// for the benchmarks; not thread-safe across concurrent queries).
+  size_t last_nodes_visited() const { return last_nodes_visited_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  mutable size_t last_nodes_visited_ = 0;
+};
+
+}  // namespace exearth::geo
+
+#endif  // EXEARTH_GEO_RTREE_H_

@@ -1,0 +1,131 @@
+#include "geo/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace exearth::geo {
+
+namespace {
+
+// Recursive Douglas-Peucker over points[begin..end] (inclusive anchors).
+void DouglasPeucker(const std::vector<Point>& points, size_t begin,
+                    size_t end, double tolerance, std::vector<bool>* keep) {
+  if (end <= begin + 1) return;
+  double worst = -1.0;
+  size_t worst_idx = begin;
+  for (size_t i = begin + 1; i < end; ++i) {
+    double d = PointSegmentDistance(points[i], points[begin], points[end]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_idx] = true;
+    DouglasPeucker(points, begin, worst_idx, tolerance, keep);
+    DouglasPeucker(points, worst_idx, end, tolerance, keep);
+  }
+}
+
+double Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+LineString Simplify(const LineString& line, double tolerance) {
+  const auto& pts = line.points;
+  if (pts.size() <= 2) return line;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(pts, 0, pts.size() - 1, tolerance, &keep);
+  LineString out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.points.push_back(pts[i]);
+  }
+  return out;
+}
+
+Ring Simplify(const Ring& ring, double tolerance) {
+  const auto& pts = ring.points;
+  if (pts.size() <= 3) return ring;
+  // Anchor on the two farthest-apart vertices so the split halves are
+  // well-conditioned, then run DP on each arc.
+  size_t a = 0;
+  size_t b = 1;
+  double best = -1.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      double d = Distance(pts[i], pts[j]);
+      if (d > best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  // Rotate so `a` is index 0; b becomes b-a.
+  std::vector<Point> rotated;
+  rotated.reserve(pts.size() + 1);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    rotated.push_back(pts[(a + i) % pts.size()]);
+  }
+  rotated.push_back(rotated[0]);  // close for the second arc
+  const size_t mid = (b + pts.size() - a) % pts.size();
+  std::vector<bool> keep(rotated.size(), false);
+  keep[0] = keep[mid] = true;
+  DouglasPeucker(rotated, 0, mid, tolerance, &keep);
+  DouglasPeucker(rotated, mid, rotated.size() - 1, tolerance, &keep);
+  Ring out;
+  for (size_t i = 0; i + 1 < rotated.size(); ++i) {  // drop closing vertex
+    if (keep[i]) out.points.push_back(rotated[i]);
+  }
+  if (out.points.size() < 3) return ring;  // refuse to degenerate
+  return out;
+}
+
+Polygon Simplify(const Polygon& polygon, double tolerance) {
+  Polygon out;
+  out.outer = Simplify(polygon.outer, tolerance);
+  for (const Ring& hole : polygon.holes) {
+    Ring simplified = Simplify(hole, tolerance);
+    if (simplified.points.size() >= 3) {
+      out.holes.push_back(std::move(simplified));
+    }
+  }
+  return out;
+}
+
+Ring ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  Ring hull;
+  const size_t n = points.size();
+  if (n < 3) {
+    hull.points = std::move(points);
+    return hull;
+  }
+  std::vector<Point> h(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(h[k - 2], h[k - 1], points[i]) <= 0) --k;
+    h[k++] = points[i];
+  }
+  // Upper hull.
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && Cross(h[k - 2], h[k - 1], points[i]) <= 0) --k;
+    h[k++] = points[i];
+  }
+  h.resize(k - 1);  // last point equals the first
+  hull.points = std::move(h);
+  return hull;
+}
+
+}  // namespace exearth::geo

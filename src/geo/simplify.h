@@ -1,0 +1,35 @@
+// Geometry post-processing: Douglas-Peucker simplification and convex
+// hulls. Used to shrink linked-data footprints and PCDSS payloads (a field
+// or floe boundary traced at pixel resolution carries far more vertices
+// than downstream users need).
+
+#ifndef EXEARTH_GEO_SIMPLIFY_H_
+#define EXEARTH_GEO_SIMPLIFY_H_
+
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace exearth::geo {
+
+/// Douglas-Peucker simplification of an open polyline: keeps endpoints and
+/// every vertex whose removal would move the line by more than
+/// `tolerance`. Output has >= 2 points.
+LineString Simplify(const LineString& line, double tolerance);
+
+/// Douglas-Peucker on a ring: the two farthest-apart vertices are used as
+/// anchors. Output has >= 3 points (degenerate inputs are returned as-is).
+Ring Simplify(const Ring& ring, double tolerance);
+
+/// Simplifies outer ring and holes; holes simplified below 3 vertices are
+/// dropped.
+Polygon Simplify(const Polygon& polygon, double tolerance);
+
+/// Convex hull of a point set (monotone chain); counter-clockwise, no
+/// repeated last point. Fewer than 3 distinct points yield a degenerate
+/// ring with the distinct input points.
+Ring ConvexHull(std::vector<Point> points);
+
+}  // namespace exearth::geo
+
+#endif  // EXEARTH_GEO_SIMPLIFY_H_

@@ -1,0 +1,246 @@
+#include "geo/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace exearth::geo {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+// Recursive-descent WKT parser over a string_view cursor.
+class WktParser {
+ public:
+  explicit WktParser(std::string_view text) : text_(text) {}
+
+  Result<Geometry> Parse() {
+    SkipSpace();
+    std::string tag = ReadWord();
+    Geometry out;
+    if (tag == "POINT") {
+      Point p;
+      EEA_RETURN_NOT_OK(ParsePointBody(&p));
+      out = Geometry(p);
+    } else if (tag == "LINESTRING") {
+      LineString ls;
+      EEA_RETURN_NOT_OK(ParseCoordList(&ls.points));
+      if (ls.points.size() < 2) {
+        return Status::InvalidArgument("LINESTRING needs >= 2 points");
+      }
+      out = Geometry(std::move(ls));
+    } else if (tag == "POLYGON") {
+      Polygon poly;
+      EEA_RETURN_NOT_OK(ParsePolygonBody(&poly));
+      out = Geometry(std::move(poly));
+    } else if (tag == "MULTIPOLYGON") {
+      MultiPolygon mp;
+      EEA_RETURN_NOT_OK(Expect('('));
+      while (true) {
+        Polygon poly;
+        EEA_RETURN_NOT_OK(ParsePolygonBody(&poly));
+        mp.polygons.push_back(std::move(poly));
+        SkipSpace();
+        if (!Consume(',')) break;
+      }
+      EEA_RETURN_NOT_OK(Expect(')'));
+      out = Geometry(std::move(mp));
+    } else {
+      return Status::InvalidArgument("unknown WKT tag: " + tag);
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters in WKT");
+    }
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string ReadWord() {
+    SkipSpace();
+    std::string word;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      word += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text_[pos_])));
+      ++pos_;
+    }
+    return word;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' in WKT");
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(double* out) {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) return Status::InvalidArgument("expected number in WKT");
+    pos_ += static_cast<size_t>(end - begin);
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseCoord(Point* p) {
+    EEA_RETURN_NOT_OK(ParseNumber(&p->x));
+    EEA_RETURN_NOT_OK(ParseNumber(&p->y));
+    return Status::OK();
+  }
+
+  Status ParsePointBody(Point* p) {
+    EEA_RETURN_NOT_OK(Expect('('));
+    EEA_RETURN_NOT_OK(ParseCoord(p));
+    return Expect(')');
+  }
+
+  Status ParseCoordList(std::vector<Point>* pts) {
+    EEA_RETURN_NOT_OK(Expect('('));
+    while (true) {
+      Point p;
+      EEA_RETURN_NOT_OK(ParseCoord(&p));
+      pts->push_back(p);
+      if (!Consume(',')) break;
+    }
+    return Expect(')');
+  }
+
+  Status ParseRing(Ring* ring) {
+    std::vector<Point> pts;
+    EEA_RETURN_NOT_OK(ParseCoordList(&pts));
+    if (pts.size() < 4) {
+      return Status::InvalidArgument("polygon ring needs >= 4 points");
+    }
+    // WKT repeats the first vertex at the end; our Ring is implicitly closed.
+    if (!(pts.front() == pts.back())) {
+      return Status::InvalidArgument("polygon ring must be closed");
+    }
+    pts.pop_back();
+    ring->points = std::move(pts);
+    return Status::OK();
+  }
+
+  Status ParsePolygonBody(Polygon* poly) {
+    EEA_RETURN_NOT_OK(Expect('('));
+    EEA_RETURN_NOT_OK(ParseRing(&poly->outer));
+    while (Consume(',')) {
+      Ring hole;
+      EEA_RETURN_NOT_OK(ParseRing(&hole));
+      poly->holes.push_back(std::move(hole));
+    }
+    return Expect(')');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendCoord(std::string* out, const Point& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f %.6f", p.x, p.y);
+  *out += buf;
+}
+
+void AppendRing(std::string* out, const Ring& r) {
+  *out += '(';
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendCoord(out, r.points[i]);
+  }
+  // Close the ring.
+  if (!r.points.empty()) {
+    *out += ", ";
+    AppendCoord(out, r.points[0]);
+  }
+  *out += ')';
+}
+
+void AppendPolygonBody(std::string* out, const Polygon& poly) {
+  *out += '(';
+  AppendRing(out, poly.outer);
+  for (const Ring& h : poly.holes) {
+    *out += ", ";
+    AppendRing(out, h);
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(std::string_view wkt) {
+  return WktParser(wkt).Parse();
+}
+
+std::string ToWkt(const Point& p) {
+  std::string out = "POINT (";
+  AppendCoord(&out, p);
+  out += ')';
+  return out;
+}
+
+std::string ToWkt(const Box& b) {
+  Polygon poly;
+  poly.outer.points = {Point{b.min_x, b.min_y}, Point{b.max_x, b.min_y},
+                       Point{b.max_x, b.max_y}, Point{b.min_x, b.max_y}};
+  return ToWkt(Geometry(std::move(poly)));
+}
+
+std::string ToWkt(const Geometry& g) {
+  using T = Geometry::Type;
+  std::string out;
+  switch (g.type()) {
+    case T::kPoint:
+      return ToWkt(g.AsPoint());
+    case T::kLineString: {
+      out = "LINESTRING (";
+      const auto& pts = g.AsLineString().points;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendCoord(&out, pts[i]);
+      }
+      out += ')';
+      return out;
+    }
+    case T::kPolygon: {
+      out = "POLYGON ";
+      AppendPolygonBody(&out, g.AsPolygon());
+      return out;
+    }
+    case T::kMultiPolygon: {
+      out = "MULTIPOLYGON (";
+      const auto& polys = g.AsMultiPolygon().polygons;
+      for (size_t i = 0; i < polys.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendPolygonBody(&out, polys[i]);
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace exearth::geo

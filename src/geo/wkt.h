@@ -1,0 +1,29 @@
+// Well-Known Text (WKT) reading and writing for the geometry types in
+// geo/geometry.h. Supports POINT, LINESTRING, POLYGON, MULTIPOLYGON.
+//
+// WKT is the literal serialization used by stSPARQL/GeoSPARQL geometry
+// literals (strabon module) and by the GeoTriples mapping engine.
+
+#ifndef EXEARTH_GEO_WKT_H_
+#define EXEARTH_GEO_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geo/geometry.h"
+
+namespace exearth::geo {
+
+/// Parses a WKT string into a Geometry. Returns InvalidArgument on
+/// malformed input. Accepts optional whitespace per the OGC grammar.
+common::Result<Geometry> ParseWkt(std::string_view wkt);
+
+/// Serializes a geometry as WKT with up to 6 decimal digits per coordinate.
+std::string ToWkt(const Geometry& g);
+std::string ToWkt(const Point& p);
+std::string ToWkt(const Box& b);  // as a POLYGON
+
+}  // namespace exearth::geo
+
+#endif  // EXEARTH_GEO_WKT_H_

@@ -1,0 +1,258 @@
+#include "link/entity_resolution.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::link {
+
+ErDataset MakeDirtyErDataset(const ErWorkloadOptions& options) {
+  common::Rng rng(options.seed);
+  ErDataset ds;
+  int64_t next_id = 0;
+  auto token = [&](uint64_t t) {
+    return common::StrFormat("tok%llu", static_cast<unsigned long long>(t));
+  };
+  for (int r = 0; r < options.num_records; ++r) {
+    // Base profile: tokens drawn Zipf-skewed from the vocabulary.
+    Entity base;
+    base.id = next_id++;
+    std::set<uint64_t> used;
+    while (static_cast<int>(base.tokens.size()) < options.tokens_per_record) {
+      uint64_t t = rng.Zipf(static_cast<uint64_t>(options.vocabulary), 0.8);
+      if (used.insert(t).second) base.tokens.push_back(token(t));
+    }
+    ds.entities.push_back(base);
+    if (rng.Bernoulli(options.duplicate_probability)) {
+      Entity dup;
+      dup.id = next_id++;
+      for (const std::string& t : base.tokens) {
+        if (rng.Bernoulli(options.noise)) {
+          dup.tokens.push_back(token(
+              rng.Uniform(static_cast<uint64_t>(options.vocabulary))));
+        } else {
+          dup.tokens.push_back(t);
+        }
+      }
+      ds.true_matches.emplace_back(base.id, dup.id);
+      ds.entities.push_back(std::move(dup));
+    }
+  }
+  return ds;
+}
+
+double Jaccard(const Entity& a, const Entity& b) {
+  std::unordered_set<std::string> sa(a.tokens.begin(), a.tokens.end());
+  std::unordered_set<std::string> sb(b.tokens.begin(), b.tokens.end());
+  size_t inter = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+MatchFn JaccardMatcher(double threshold) {
+  return [threshold](const Entity& a, const Entity& b) {
+    return Jaccard(a, b) >= threshold;
+  };
+}
+
+PairMetrics ComputePairMetrics(
+    const std::vector<std::pair<int64_t, int64_t>>& found,
+    const std::vector<std::pair<int64_t, int64_t>>& truth) {
+  std::set<std::pair<int64_t, int64_t>> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (const auto& pair : found) {
+    if (truth_set.count(pair)) ++hits;
+  }
+  PairMetrics m;
+  m.recall = truth.empty()
+                 ? 1.0
+                 : static_cast<double>(hits) / static_cast<double>(truth.size());
+  m.precision = found.empty()
+                    ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(found.size());
+  return m;
+}
+
+ResolutionResult ResolveNaive(const std::vector<Entity>& entities,
+                              const MatchFn& match) {
+  ResolutionResult result;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    for (size_t j = i + 1; j < entities.size(); ++j) {
+      ++result.comparisons;
+      if (match(entities[i], entities[j])) {
+        int64_t a = entities[i].id;
+        int64_t b = entities[j].id;
+        result.matches.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  result.candidate_pairs = result.comparisons;
+  return result;
+}
+
+namespace {
+
+// token -> indexes of entities containing it; blocks above the purge limit
+// are dropped.
+std::unordered_map<std::string, std::vector<int>> BuildBlocks(
+    const std::vector<Entity>& entities, size_t max_block_size) {
+  std::unordered_map<std::string, std::vector<int>> blocks;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    std::unordered_set<std::string> seen;
+    for (const std::string& t : entities[i].tokens) {
+      if (seen.insert(t).second) {
+        blocks[t].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  // Block purging.
+  for (auto it = blocks.begin(); it != blocks.end();) {
+    if (it->second.size() > max_block_size || it->second.size() < 2) {
+      it = blocks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return blocks;
+}
+
+// Verifies candidate pairs (by entity index) and produces the result.
+ResolutionResult VerifyCandidates(
+    const std::vector<Entity>& entities, const MatchFn& match,
+    const std::vector<std::pair<int, int>>& candidates) {
+  ResolutionResult result;
+  result.candidate_pairs = candidates.size();
+  for (const auto& [i, j] : candidates) {
+    ++result.comparisons;
+    if (match(entities[static_cast<size_t>(i)],
+              entities[static_cast<size_t>(j)])) {
+      int64_t a = entities[static_cast<size_t>(i)].id;
+      int64_t b = entities[static_cast<size_t>(j)].id;
+      result.matches.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ResolutionResult ResolveWithTokenBlocking(const std::vector<Entity>& entities,
+                                          const MatchFn& match,
+                                          const BlockingOptions& options) {
+  auto blocks = BuildBlocks(entities, options.max_block_size);
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& [token, members] : blocks) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        pairs.emplace(std::min(members[i], members[j]),
+                      std::max(members[i], members[j]));
+      }
+    }
+  }
+  return VerifyCandidates(
+      entities, match,
+      std::vector<std::pair<int, int>>(pairs.begin(), pairs.end()));
+}
+
+ResolutionResult ResolveWithMetaBlocking(const std::vector<Entity>& entities,
+                                         const MatchFn& match,
+                                         const BlockingOptions& options) {
+  const auto blocks = BuildBlocks(entities, options.max_block_size);
+  const size_t n = entities.size();
+  // Per-entity block lists (block ids) for Jaccard weighting.
+  std::vector<std::vector<int>> entity_blocks(n);
+  {
+    int block_id = 0;
+    for (const auto& [token, members] : blocks) {
+      for (int e : members) {
+        entity_blocks[static_cast<size_t>(e)].push_back(block_id);
+      }
+      ++block_id;
+    }
+  }
+  // Inverted: block id -> members (stable order).
+  std::vector<const std::vector<int>*> block_members;
+  block_members.reserve(blocks.size());
+  for (const auto& [token, members] : blocks) {
+    block_members.push_back(&members);
+  }
+  // Note: entity_blocks was filled in the same iteration order, so block
+  // ids are consistent.
+
+  // Weighted node pruning, parallel over entities. Each worker computes,
+  // for its entities, the neighbours sharing blocks, weights them, and
+  // keeps those at/above the node's mean weight.
+  std::vector<std::vector<std::pair<int, int>>> kept_per_thread;
+  auto process_entity = [&](size_t i,
+                            std::vector<std::pair<int, int>>* kept) {
+    // Count shared blocks with each co-occurring neighbour.
+    std::unordered_map<int, int> cbs;
+    for (int b : entity_blocks[i]) {
+      for (int j : *block_members[static_cast<size_t>(b)]) {
+        if (static_cast<size_t>(j) != i) ++cbs[j];
+      }
+    }
+    if (cbs.empty()) return;
+    double sum = 0.0;
+    std::unordered_map<int, double> weights;
+    for (const auto& [j, shared] : cbs) {
+      double w;
+      if (options.scheme == WeightScheme::kCbs) {
+        w = static_cast<double>(shared);
+      } else {
+        const size_t bi = entity_blocks[i].size();
+        const size_t bj = entity_blocks[static_cast<size_t>(j)].size();
+        w = static_cast<double>(shared) /
+            static_cast<double>(bi + bj - static_cast<size_t>(shared));
+      }
+      weights[j] = w;
+      sum += w;
+    }
+    const double mean = sum / static_cast<double>(weights.size());
+    for (const auto& [j, w] : weights) {
+      if (w >= mean) {
+        kept->emplace_back(std::min<int>(static_cast<int>(i), j),
+                           std::max<int>(static_cast<int>(i), j));
+      }
+    }
+  };
+
+  const int threads = std::max(1, options.num_threads);
+  if (threads == 1) {
+    kept_per_thread.resize(1);
+    for (size_t i = 0; i < n; ++i) process_entity(i, &kept_per_thread[0]);
+  } else {
+    kept_per_thread.resize(static_cast<size_t>(threads));
+    common::ThreadPool pool(static_cast<size_t>(threads));
+    std::vector<std::future<void>> futs;
+    for (int t = 0; t < threads; ++t) {
+      futs.push_back(pool.Submit([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < n;
+             i += static_cast<size_t>(threads)) {
+          process_entity(i, &kept_per_thread[static_cast<size_t>(t)]);
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // Union of kept edges (an edge survives if either endpoint kept it).
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& kept : kept_per_thread) {
+    pairs.insert(kept.begin(), kept.end());
+  }
+  return VerifyCandidates(
+      entities, match,
+      std::vector<std::pair<int, int>>(pairs.begin(), pairs.end()));
+}
+
+}  // namespace exearth::link

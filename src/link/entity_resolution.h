@@ -1,0 +1,100 @@
+// JedAI-style entity resolution (Challenge C3, experiment E9): token
+// blocking, block purging, and multi-core meta-blocking with CBS/Jaccard
+// edge weighting and weighted node pruning, against a naive all-pairs
+// baseline.
+
+#ifndef EXEARTH_LINK_ENTITY_RESOLUTION_H_
+#define EXEARTH_LINK_ENTITY_RESOLUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace exearth::link {
+
+/// An entity profile: a bag of tokens (already normalized).
+struct Entity {
+  int64_t id = 0;
+  std::vector<std::string> tokens;
+};
+
+/// A dirty-ER workload: profiles plus ground-truth duplicate pairs
+/// (id pairs with a < b).
+struct ErDataset {
+  std::vector<Entity> entities;
+  std::vector<std::pair<int64_t, int64_t>> true_matches;
+};
+
+struct ErWorkloadOptions {
+  int num_records = 1000;          // distinct real-world things
+  double duplicate_probability = 0.5;  // chance a record has a duplicate
+  int tokens_per_record = 6;
+  int vocabulary = 2000;           // distinct tokens available
+  /// Per-token chance that a duplicate's token is replaced by noise.
+  double noise = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Generates a dirty-ER dataset with known ground truth.
+ErDataset MakeDirtyErDataset(const ErWorkloadOptions& options);
+
+/// Jaccard similarity of two token bags (as sets).
+double Jaccard(const Entity& a, const Entity& b);
+
+/// The match decision used in verification.
+using MatchFn = std::function<bool(const Entity&, const Entity&)>;
+
+/// A Jaccard-threshold matcher.
+MatchFn JaccardMatcher(double threshold);
+
+struct ResolutionResult {
+  std::vector<std::pair<int64_t, int64_t>> matches;  // id pairs, a < b
+  uint64_t comparisons = 0;          // match-function invocations
+  uint64_t candidate_pairs = 0;      // pairs surviving blocking/pruning
+};
+
+/// Quality of found matches vs ground truth.
+struct PairMetrics {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+PairMetrics ComputePairMetrics(
+    const std::vector<std::pair<int64_t, int64_t>>& found,
+    const std::vector<std::pair<int64_t, int64_t>>& truth);
+
+/// Baseline: all O(n^2) pairs.
+ResolutionResult ResolveNaive(const std::vector<Entity>& entities,
+                              const MatchFn& match);
+
+enum class WeightScheme { kCbs, kJaccard };
+
+struct BlockingOptions {
+  /// Blocks larger than this are purged (stop-word-like tokens).
+  size_t max_block_size = 200;
+  WeightScheme scheme = WeightScheme::kCbs;
+  /// Threads for the meta-blocking graph phase (1 = sequential).
+  int num_threads = 1;
+};
+
+/// Token blocking without pruning: compare all distinct pairs co-occurring
+/// in at least one (purged) block.
+ResolutionResult ResolveWithTokenBlocking(const std::vector<Entity>& entities,
+                                          const MatchFn& match,
+                                          const BlockingOptions& options);
+
+/// Meta-blocking: build the block graph, weight edges (CBS or Jaccard of
+/// block sets), prune per node (keep edges >= the node's mean weight), then
+/// verify survivors. Parallelizes over entities with `options.num_threads`.
+ResolutionResult ResolveWithMetaBlocking(const std::vector<Entity>& entities,
+                                         const MatchFn& match,
+                                         const BlockingOptions& options);
+
+}  // namespace exearth::link
+
+#endif  // EXEARTH_LINK_ENTITY_RESOLUTION_H_

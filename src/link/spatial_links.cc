@@ -1,0 +1,81 @@
+#include "link/spatial_links.h"
+
+#include <algorithm>
+
+#include "geo/rtree.h"
+
+namespace exearth::link {
+
+const char* SpatialLinkRelationName(SpatialLinkRelation r) {
+  switch (r) {
+    case SpatialLinkRelation::kIntersects:
+      return "intersects";
+    case SpatialLinkRelation::kContains:
+      return "contains";
+    case SpatialLinkRelation::kWithinDistance:
+      return "withinDistance";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ExactTest(const geo::Geometry& ga, const geo::Geometry& gb,
+               const SpatialLinkOptions& options) {
+  switch (options.relation) {
+    case SpatialLinkRelation::kIntersects:
+      return geo::Intersects(ga, gb);
+    case SpatialLinkRelation::kContains:
+      return geo::Contains(ga, gb);
+    case SpatialLinkRelation::kWithinDistance:
+      return geo::WithinDistance(ga, gb, options.distance);
+  }
+  return false;
+}
+
+}  // namespace
+
+SpatialLinkResult DiscoverSpatialLinks(const std::vector<geo::Geometry>& a,
+                                       const std::vector<geo::Geometry>& b,
+                                       const SpatialLinkOptions& options) {
+  SpatialLinkResult result;
+  if (!options.use_index) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        ++result.candidate_pairs;
+        ++result.exact_tests;
+        if (ExactTest(a[i], b[j], options)) {
+          result.links.emplace_back(i, j);
+        }
+      }
+    }
+    return result;
+  }
+  // Index side B; probe each A envelope (buffered for distance joins).
+  std::vector<geo::RTree::Entry> entries;
+  entries.reserve(b.size());
+  for (size_t j = 0; j < b.size(); ++j) {
+    entries.push_back({b[j].Envelope(), static_cast<int64_t>(j)});
+  }
+  geo::RTree tree = geo::RTree::BulkLoad(std::move(entries));
+  const double margin =
+      options.relation == SpatialLinkRelation::kWithinDistance
+          ? options.distance
+          : 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    geo::Box probe = a[i].Envelope().Buffered(margin);
+    tree.Visit(probe, [&](const geo::RTree::Entry& e) {
+      ++result.candidate_pairs;
+      ++result.exact_tests;
+      const size_t j = static_cast<size_t>(e.id);
+      if (ExactTest(a[i], b[j], options)) {
+        result.links.emplace_back(i, j);
+      }
+      return true;
+    });
+  }
+  std::sort(result.links.begin(), result.links.end());
+  return result;
+}
+
+}  // namespace exearth::link

@@ -1,0 +1,45 @@
+// Silk-style discovery of spatial relations between two geometry sets
+// (Challenge C3, experiment E10): R-tree join vs nested-loop baseline.
+
+#ifndef EXEARTH_LINK_SPATIAL_LINKS_H_
+#define EXEARTH_LINK_SPATIAL_LINKS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace exearth::link {
+
+enum class SpatialLinkRelation {
+  kIntersects,
+  kContains,       // a contains b
+  kWithinDistance, // dist(a, b) <= distance
+};
+
+const char* SpatialLinkRelationName(SpatialLinkRelation r);
+
+struct SpatialLinkOptions {
+  SpatialLinkRelation relation = SpatialLinkRelation::kIntersects;
+  double distance = 0.0;  // for kWithinDistance
+  /// Index side B in an R-tree and probe with A (vs full nested loop).
+  bool use_index = true;
+};
+
+struct SpatialLinkResult {
+  /// (index into a, index into b) pairs satisfying the relation.
+  std::vector<std::pair<size_t, size_t>> links;
+  uint64_t candidate_pairs = 0;  // pairs that reached the exact test
+  uint64_t exact_tests = 0;
+};
+
+/// Finds all (a_i, b_j) satisfying the relation. Indexed and nested-loop
+/// paths return identical links.
+SpatialLinkResult DiscoverSpatialLinks(const std::vector<geo::Geometry>& a,
+                                       const std::vector<geo::Geometry>& b,
+                                       const SpatialLinkOptions& options);
+
+}  // namespace exearth::link
+
+#endif  // EXEARTH_LINK_SPATIAL_LINKS_H_

@@ -1,0 +1,165 @@
+#include "link/temporal_links.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace exearth::link {
+
+const char* TemporalRelationName(TemporalRelation r) {
+  switch (r) {
+    case TemporalRelation::kBefore:
+      return "before";
+    case TemporalRelation::kMeets:
+      return "meets";
+    case TemporalRelation::kOverlaps:
+      return "overlaps";
+    case TemporalRelation::kDuring:
+      return "during";
+    case TemporalRelation::kStarts:
+      return "starts";
+    case TemporalRelation::kFinishes:
+      return "finishes";
+    case TemporalRelation::kEquals:
+      return "equals";
+  }
+  return "unknown";
+}
+
+bool EvalTemporalRelation(const Interval& a, const Interval& b,
+                          TemporalRelation relation) {
+  switch (relation) {
+    case TemporalRelation::kBefore:
+      return a.end < b.start;
+    case TemporalRelation::kMeets:
+      return a.end == b.start;
+    case TemporalRelation::kOverlaps:
+      return a.start <= b.end && b.start <= a.end;
+    case TemporalRelation::kDuring:
+      return b.start <= a.start && a.end <= b.end;
+    case TemporalRelation::kStarts:
+      return a.start == b.start;
+    case TemporalRelation::kFinishes:
+      return a.end == b.end;
+    case TemporalRelation::kEquals:
+      return a.start == b.start && a.end == b.end;
+  }
+  return false;
+}
+
+namespace {
+
+// For the indexed path we derive, per relation, the range of candidate B
+// intervals from an index of B sorted by start time. Candidates are then
+// exact-tested, so over-approximation is safe.
+struct SortedIndex {
+  // B indices sorted by start, plus the running maximum of `end` to allow
+  // pruning by end time.
+  std::vector<size_t> by_start;
+  std::vector<double> starts;      // starts[i] = b[by_start[i]].start
+  std::vector<double> max_end_prefix;  // max end among by_start[0..i]
+};
+
+SortedIndex BuildIndex(const std::vector<Interval>& b) {
+  SortedIndex index;
+  index.by_start.resize(b.size());
+  for (size_t i = 0; i < b.size(); ++i) index.by_start[i] = i;
+  std::sort(index.by_start.begin(), index.by_start.end(),
+            [&](size_t x, size_t y) { return b[x].start < b[y].start; });
+  index.starts.resize(b.size());
+  index.max_end_prefix.resize(b.size());
+  double running = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < b.size(); ++i) {
+    index.starts[i] = b[index.by_start[i]].start;
+    running = std::max(running, b[index.by_start[i]].end);
+    index.max_end_prefix[i] = running;
+  }
+  return index;
+}
+
+}  // namespace
+
+TemporalLinkResult DiscoverTemporalLinks(const std::vector<Interval>& a,
+                                         const std::vector<Interval>& b,
+                                         const TemporalLinkOptions& options) {
+  TemporalLinkResult result;
+  if (!options.use_index || b.empty()) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        ++result.exact_tests;
+        if (EvalTemporalRelation(a[i], b[j], options.relation)) {
+          result.links.emplace_back(i, j);
+        }
+      }
+    }
+    return result;
+  }
+  SortedIndex index = BuildIndex(b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Candidate window in the start-sorted order.
+    size_t lo = 0;
+    size_t hi = b.size();
+    switch (options.relation) {
+      case TemporalRelation::kBefore:
+        // b.start > a.end: suffix of the sorted order.
+        lo = static_cast<size_t>(
+            std::upper_bound(index.starts.begin(), index.starts.end(),
+                             a[i].end) -
+            index.starts.begin());
+        break;
+      case TemporalRelation::kMeets:
+      case TemporalRelation::kStarts:
+      case TemporalRelation::kEquals: {
+        // b.start equals a known value: equal range.
+        double key = options.relation == TemporalRelation::kMeets
+                         ? a[i].end
+                         : a[i].start;
+        lo = static_cast<size_t>(
+            std::lower_bound(index.starts.begin(), index.starts.end(), key) -
+            index.starts.begin());
+        hi = static_cast<size_t>(
+            std::upper_bound(index.starts.begin(), index.starts.end(), key) -
+            index.starts.begin());
+        break;
+      }
+      case TemporalRelation::kOverlaps:
+      case TemporalRelation::kDuring:
+      case TemporalRelation::kFinishes:
+        // b.start <= a.end (overlap requires it; during/finishes require
+        // b.start <= a.start <= a.end). The prefix-max of ends prunes the
+        // leading part whose intervals all finish before a.start.
+        hi = static_cast<size_t>(
+            std::upper_bound(index.starts.begin(), index.starts.end(),
+                             a[i].end) -
+            index.starts.begin());
+        // Advance lo past the prefix where even the max end < a.start
+        // (those b cannot overlap/contain a).
+        if (options.relation != TemporalRelation::kFinishes) {
+          size_t low = 0;
+          size_t high = hi;
+          while (low < high) {
+            size_t mid = (low + high) / 2;
+            if (index.max_end_prefix[mid] < a[i].start) {
+              low = mid + 1;
+            } else {
+              high = mid;
+            }
+          }
+          lo = low;
+        }
+        break;
+    }
+    for (size_t k = lo; k < hi; ++k) {
+      const size_t j = index.by_start[k];
+      ++result.exact_tests;
+      if (EvalTemporalRelation(a[i], b[j], options.relation)) {
+        result.links.emplace_back(i, j);
+      }
+    }
+  }
+  std::sort(result.links.begin(), result.links.end());
+  return result;
+}
+
+}  // namespace exearth::link

@@ -1,0 +1,60 @@
+// Temporal link discovery (Challenge C3: the paper cites the
+// "geospatial/temporal extensions of Silk" [21]): finding Allen-interval
+// relations between two sets of time intervals (product acquisition
+// windows, ice-season extents, crop growing periods). An interval-index
+// (sorted endpoints + binary search) path is compared against the naive
+// nested loop, mirroring the spatial module.
+
+#ifndef EXEARTH_LINK_TEMPORAL_LINKS_H_
+#define EXEARTH_LINK_TEMPORAL_LINKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace exearth::link {
+
+/// A half-open-free closed interval [start, end], start <= end.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The Allen relations supported for discovery (the symmetric closure of
+/// the full 13 is reachable by swapping the argument sets).
+enum class TemporalRelation {
+  kBefore,    // a.end < b.start
+  kMeets,     // a.end == b.start
+  kOverlaps,  // a and b share at least one instant
+  kDuring,    // b.start <= a.start && a.end <= b.end (a within b)
+  kStarts,    // a.start == b.start
+  kFinishes,  // a.end == b.end
+  kEquals,    // identical endpoints
+};
+
+const char* TemporalRelationName(TemporalRelation r);
+
+/// True if `a` stands in `relation` to `b`.
+bool EvalTemporalRelation(const Interval& a, const Interval& b,
+                          TemporalRelation relation);
+
+struct TemporalLinkOptions {
+  TemporalRelation relation = TemporalRelation::kOverlaps;
+  /// Use the sorted interval index (vs nested loop). Identical results.
+  bool use_index = true;
+};
+
+struct TemporalLinkResult {
+  std::vector<std::pair<size_t, size_t>> links;  // (index in a, index in b)
+  uint64_t exact_tests = 0;
+};
+
+/// Finds all (a_i, b_j) with a_i `relation` b_j.
+TemporalLinkResult DiscoverTemporalLinks(const std::vector<Interval>& a,
+                                         const std::vector<Interval>& b,
+                                         const TemporalLinkOptions& options);
+
+}  // namespace exearth::link
+
+#endif  // EXEARTH_LINK_TEMPORAL_LINKS_H_

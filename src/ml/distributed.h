@@ -1,0 +1,151 @@
+// Scale-out data-parallel training (Challenge C1/C5, experiment E5).
+//
+// Semantics are exactly synchronous data-parallel SGD: each global step
+// splits a global batch across W workers, each worker computes gradients on
+// its shard against the same parameters, gradients are averaged and one
+// update is applied. Gradient math runs for real; the wall-clock of the
+// would-be cluster is charged through sim::Cluster:
+//
+//   step_time = max_w(compute_w) + sync_time(strategy, gradient_bytes)
+//   compute_w = 3 * flops_per_sample * per_worker_batch / gpu_flops
+//               (forward 1x + backward 2x, the standard accounting)
+//
+// Learning-rate handling implements the large-minibatch recipe of Goyal et
+// al.: linear scaling by global_batch/base_batch plus gradual warmup.
+
+#ifndef EXEARTH_ML_DISTRIBUTED_H_
+#define EXEARTH_ML_DISTRIBUTED_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ml/metrics.h"
+#include "ml/network.h"
+#include "ml/optimizer.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+#include "sim/cluster.h"
+
+namespace exearth::ml {
+
+/// Gradient synchronization strategy (TensorFlow distribution strategies
+/// exposed by HOPS: collective all-reduce and parameter server).
+enum class SyncStrategy { kRingAllReduce, kParameterServer };
+
+const char* SyncStrategyName(SyncStrategy s);
+
+struct DistributedOptions {
+  int num_workers = 4;
+  int per_worker_batch = 32;
+  SyncStrategy strategy = SyncStrategy::kRingAllReduce;
+  int num_parameter_servers = 1;  // used by kParameterServer
+
+  // Optimizer / schedule (Goyal et al. recipe).
+  double base_lr = 0.01;
+  int base_batch = 32;        // reference batch for the linear scaling rule
+  bool linear_scaling = true;
+  int warmup_epochs = 0;      // gradual warmup duration
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+
+  bool as_images = false;
+  uint64_t shuffle_seed = 1;
+
+  /// Cost-model overrides for studying the scaling of models too large to
+  /// run for real on this host (e.g. ResNet-50: ~4e9 forward FLOPs and
+  /// ~100 MB of gradients). 0 = use the real network's numbers. Gradient
+  /// math always runs on the real network; only the simulated clock
+  /// changes.
+  double flops_per_sample_override = 0.0;
+  uint64_t gradient_bytes_override = 0;
+};
+
+struct DistributedEpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+  int steps = 0;
+  double sim_compute_seconds = 0.0;
+  double sim_comm_seconds = 0.0;
+  double sim_seconds() const { return sim_compute_seconds + sim_comm_seconds; }
+};
+
+/// Synchronous data-parallel trainer over a simulated cluster.
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(Network* network, const sim::Cluster* cluster,
+                      const DistributedOptions& options);
+
+  int global_batch() const {
+    return options_.num_workers * options_.per_worker_batch;
+  }
+
+  /// One epoch of synchronous steps over `ds`.
+  DistributedEpochStats TrainEpoch(raster::Dataset* ds);
+
+  /// Runs `epochs` epochs. Returns per-epoch stats.
+  std::vector<DistributedEpochStats> Fit(raster::Dataset* ds, int epochs);
+
+  ConfusionMatrix Evaluate(const raster::Dataset& ds);
+
+  /// Cumulative simulated cluster time since construction.
+  double total_sim_seconds() const {
+    return total_compute_seconds_ + total_comm_seconds_;
+  }
+  double total_comm_seconds() const { return total_comm_seconds_; }
+  double total_compute_seconds() const { return total_compute_seconds_; }
+
+  /// Simulated training throughput (samples/sim-second) of the last epoch.
+  double last_epoch_throughput() const { return last_epoch_throughput_; }
+
+  /// The current learning rate (after scaling/warmup).
+  double current_learning_rate() const { return optimizer_.learning_rate(); }
+
+ private:
+  double SyncTime(uint64_t gradient_bytes) const;
+
+  Network* network_;
+  const sim::Cluster* cluster_;
+  DistributedOptions options_;
+  SgdOptimizer optimizer_;
+  WarmupSchedule schedule_;
+  common::Rng rng_;
+  int global_step_ = 0;
+  int steps_per_epoch_hint_ = 0;
+  double total_compute_seconds_ = 0.0;
+  double total_comm_seconds_ = 0.0;
+  double last_epoch_throughput_ = 0.0;
+};
+
+/// HOPS-style parallel experiments: run independent trials (hyperparameter
+/// or architecture search) across the cluster and report both the
+/// best result and the serial-vs-parallel makespan.
+struct Trial {
+  double learning_rate = 0.01;
+  int batch_size = 32;
+  int width = 16;  // hidden units or conv filters, interpreted by the caller
+};
+
+struct TrialResult {
+  Trial trial;
+  double accuracy = 0.0;
+  double sim_seconds = 0.0;  // simulated cluster time for this trial
+};
+
+struct SearchResult {
+  std::vector<TrialResult> trials;
+  int best_index = -1;
+  /// Makespan if trials run one per GPU in parallel waves vs sequentially.
+  double parallel_makespan_seconds = 0.0;
+  double serial_makespan_seconds = 0.0;
+};
+
+/// Evaluates every trial with `run_trial` (returning accuracy and simulated
+/// seconds) and schedules them onto `parallel_slots` GPU slots.
+SearchResult RunParallelExperiments(
+    const std::vector<Trial>& trials, int parallel_slots,
+    const std::function<TrialResult(const Trial&)>& run_trial);
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_DISTRIBUTED_H_

@@ -1,0 +1,309 @@
+#include "ml/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exearth::ml {
+
+// --- Dense -------------------------------------------------------------
+
+DenseLayer::DenseLayer(int in_features, int out_features, common::Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::HeNormal({in_features, out_features}, in_features, rng)),
+      bias_(Tensor::Zeros({out_features})),
+      dweight_(Tensor::Zeros({in_features, out_features})),
+      dbias_(Tensor::Zeros({out_features})) {}
+
+Tensor DenseLayer::Forward(const Tensor& input, bool training) {
+  EEA_CHECK(input.ndim() == 2 && input.dim(1) == in_features_)
+      << "Dense expects [N," << in_features_ << "], got "
+      << input.ShapeString();
+  if (training) input_cache_ = input;
+  const int n = input.dim(0);
+  Tensor out({n, out_features_});
+  MatMul(input, weight_, &out);
+  float* po = out.data();
+  const float* pb = bias_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_features_; ++j) {
+      po[static_cast<int64_t>(i) * out_features_ + j] += pb[j];
+    }
+  }
+  return out;
+}
+
+Tensor DenseLayer::Backward(const Tensor& grad_output) {
+  const int n = grad_output.dim(0);
+  EEA_CHECK(grad_output.dim(1) == out_features_);
+  EEA_CHECK(input_cache_.dim(0) == n) << "Backward without Forward";
+  // dW += X^T * dY ; db += sum(dY) ; dX = dY * W^T.
+  Tensor dw({in_features_, out_features_});
+  MatMulTransA(input_cache_, grad_output, &dw);
+  dweight_.Add(dw);
+  const float* pg = grad_output.data();
+  float* pdb = dbias_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_features_; ++j) {
+      pdb[j] += pg[static_cast<int64_t>(i) * out_features_ + j];
+    }
+  }
+  Tensor dx({n, in_features_});
+  MatMulTransB(grad_output, weight_, &dx);
+  return dx;
+}
+
+// --- ReLU --------------------------------------------------------------
+
+Tensor ReluLayer::Forward(const Tensor& input, bool training) {
+  if (training) input_cache_ = input;
+  Tensor out = input;
+  float* p = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) p[i] = std::max(0.0f, p[i]);
+  return out;
+}
+
+Tensor ReluLayer::Backward(const Tensor& grad_output) {
+  EEA_CHECK(grad_output.size() == input_cache_.size());
+  Tensor dx = grad_output;
+  float* p = dx.data();
+  const float* in = input_cache_.data();
+  for (int64_t i = 0; i < dx.size(); ++i) {
+    if (in[i] <= 0.0f) p[i] = 0.0f;
+  }
+  return dx;
+}
+
+// --- Conv2d -------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(int in_channels, int out_channels, int kernel,
+                         int padding, common::Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      weight_(Tensor::HeNormal({out_channels, in_channels, kernel, kernel},
+                               in_channels * kernel * kernel, rng)),
+      bias_(Tensor::Zeros({out_channels})),
+      dweight_(Tensor::Zeros({out_channels, in_channels, kernel, kernel})),
+      dbias_(Tensor::Zeros({out_channels})) {}
+
+double Conv2dLayer::FlopsPerSample() const {
+  // 2 * k^2 * Cin * Cout per output pixel; uses the last seen output size.
+  return 2.0 * kernel_ * kernel_ * in_channels_ * out_channels_ *
+         std::max(1, out_h_) * std::max(1, out_w_);
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& input, bool training) {
+  EEA_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_)
+      << "Conv2d expects NCHW with C=" << in_channels_ << ", got "
+      << input.ShapeString();
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = h + 2 * padding_ - kernel_ + 1;
+  const int ow = w + 2 * padding_ - kernel_ + 1;
+  EEA_CHECK(oh > 0 && ow > 0) << "kernel larger than padded input";
+  out_h_ = oh;
+  out_w_ = ow;
+  if (training) input_cache_ = input;
+  Tensor out({n, out_channels_, oh, ow});
+  const float* pin = input.data();
+  const float* pw = weight_.data();
+  float* po = out.data();
+  const int64_t in_chw = static_cast<int64_t>(in_channels_) * h * w;
+  const int64_t out_chw = static_cast<int64_t>(out_channels_) * oh * ow;
+  for (int img = 0; img < n; ++img) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_[oc];
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = b;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy + ky - padding_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox + kx - padding_;
+                if (ix < 0 || ix >= w) continue;
+                acc += pin[img * in_chw +
+                           (static_cast<int64_t>(ic) * h + iy) * w + ix] *
+                       pw[((static_cast<int64_t>(oc) * in_channels_ + ic) *
+                               kernel_ +
+                           ky) *
+                              kernel_ +
+                          kx];
+              }
+            }
+          }
+          po[img * out_chw + (static_cast<int64_t>(oc) * oh + oy) * ow + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dLayer::Backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  EEA_CHECK(input.ndim() == 4) << "Backward without Forward";
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = grad_output.dim(2);
+  const int ow = grad_output.dim(3);
+  Tensor dx({n, in_channels_, h, w});
+  const float* pin = input.data();
+  const float* pg = grad_output.data();
+  const float* pw = weight_.data();
+  float* pdx = dx.data();
+  float* pdw = dweight_.data();
+  float* pdb = dbias_.data();
+  const int64_t in_chw = static_cast<int64_t>(in_channels_) * h * w;
+  const int64_t out_chw = static_cast<int64_t>(out_channels_) * oh * ow;
+  for (int img = 0; img < n; ++img) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float g =
+              pg[img * out_chw + (static_cast<int64_t>(oc) * oh + oy) * ow +
+                 ox];
+          if (g == 0.0f) continue;
+          pdb[oc] += g;
+          for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy + ky - padding_;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox + kx - padding_;
+                if (ix < 0 || ix >= w) continue;
+                const int64_t in_idx =
+                    img * in_chw + (static_cast<int64_t>(ic) * h + iy) * w +
+                    ix;
+                const int64_t w_idx =
+                    ((static_cast<int64_t>(oc) * in_channels_ + ic) * kernel_ +
+                     ky) *
+                        kernel_ +
+                    kx;
+                pdw[w_idx] += g * pin[in_idx];
+                pdx[in_idx] += g * pw[w_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// --- MaxPool2d -----------------------------------------------------------
+
+Tensor MaxPool2dLayer::Forward(const Tensor& input, bool training) {
+  EEA_CHECK(input.ndim() == 4) << "MaxPool2d expects NCHW";
+  const int n = input.dim(0);
+  const int c = input.dim(1);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  EEA_CHECK(h % 2 == 0 && w % 2 == 0) << "MaxPool2d needs even H,W";
+  const int oh = h / 2;
+  const int ow = w / 2;
+  in_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<size_t>(out.size()), 0);
+  const float* pin = input.data();
+  float* po = out.data();
+  int64_t oidx = 0;
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const int64_t base =
+          (static_cast<int64_t>(img) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const int64_t idx =
+                  base + static_cast<int64_t>(oy * 2 + dy) * w + ox * 2 + dx;
+              if (pin[idx] > best) {
+                best = pin[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          po[oidx] = best;
+          argmax_[static_cast<size_t>(oidx)] = static_cast<int>(best_idx);
+          ++oidx;
+        }
+      }
+    }
+  }
+  (void)training;
+  return out;
+}
+
+Tensor MaxPool2dLayer::Backward(const Tensor& grad_output) {
+  Tensor dx(in_shape_);
+  const float* pg = grad_output.data();
+  float* pdx = dx.data();
+  EEA_CHECK(static_cast<size_t>(grad_output.size()) == argmax_.size());
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    pdx[argmax_[static_cast<size_t>(i)]] += pg[i];
+  }
+  return dx;
+}
+
+// --- Flatten ----------------------------------------------------------------
+
+Tensor FlattenLayer::Forward(const Tensor& input, bool training) {
+  (void)training;
+  in_shape_ = input.shape();
+  Tensor out = input;
+  const int n = input.dim(0);
+  out.Reshape({n, static_cast<int>(input.size() / n)});
+  return out;
+}
+
+Tensor FlattenLayer::Backward(const Tensor& grad_output) {
+  Tensor dx = grad_output;
+  dx.Reshape(in_shape_);
+  return dx;
+}
+
+// --- Dropout ----------------------------------------------------------------
+
+Tensor DropoutLayer::Forward(const Tensor& input, bool training) {
+  if (!training || rate_ <= 0.0) {
+    mask_.clear();
+    return input;
+  }
+  Tensor out = input;
+  mask_.resize(static_cast<size_t>(input.size()));
+  const float keep = static_cast<float>(1.0 - rate_);
+  float* p = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (rng_.Bernoulli(rate_)) {
+      mask_[static_cast<size_t>(i)] = 0.0f;
+      p[i] = 0.0f;
+    } else {
+      mask_[static_cast<size_t>(i)] = 1.0f / keep;
+      p[i] *= 1.0f / keep;
+    }
+  }
+  return out;
+}
+
+Tensor DropoutLayer::Backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Tensor dx = grad_output;
+  float* p = dx.data();
+  for (int64_t i = 0; i < dx.size(); ++i) {
+    p[i] *= mask_[static_cast<size_t>(i)];
+  }
+  return dx;
+}
+
+}  // namespace exearth::ml

@@ -1,0 +1,135 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// Conventions: batches are the leading dimension. Dense layers take [N, D];
+// convolutional layers take NCHW ([N, C, H, W]). Each layer caches what it
+// needs for the backward pass, so a layer instance handles one in-flight
+// batch at a time.
+
+#ifndef EXEARTH_ML_LAYERS_H_
+#define EXEARTH_ML_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/tensor.h"
+
+namespace exearth::ml {
+
+/// Base layer: Forward caches activations, Backward consumes the output
+/// gradient and accumulates parameter gradients.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters and their gradient buffers (same order/shapes).
+  virtual std::vector<Tensor*> Params() { return {}; }
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// FLOPs for a forward pass of one sample (backward counted as 2x by the
+  /// cost model in distributed training).
+  virtual double FlopsPerSample() const { return 0.0; }
+};
+
+/// Fully connected: y = x W + b, x: [N, in], W: [in, out].
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(int in_features, int out_features, common::Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  std::string name() const override { return "Dense"; }
+  double FlopsPerSample() const override {
+    return 2.0 * in_features_ * out_features_;
+  }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor input_cache_;
+};
+
+/// Elementwise max(0, x).
+class ReluLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// 2-D convolution, stride 1, symmetric zero padding. Input NCHW.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(int in_channels, int out_channels, int kernel, int padding,
+              common::Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  std::string name() const override { return "Conv2d"; }
+  double FlopsPerSample() const override;
+
+ private:
+  int in_channels_, out_channels_, kernel_, padding_;
+  Tensor weight_;  // [Cout, Cin, k, k]
+  Tensor bias_;    // [Cout]
+  Tensor dweight_, dbias_;
+  Tensor input_cache_;
+  int out_h_ = 0, out_w_ = 0;  // set by Forward; used for flops estimate
+};
+
+/// 2x2 max pooling, stride 2. Input NCHW with even H and W.
+class MaxPool2dLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  Tensor input_cache_;
+  std::vector<int> argmax_;  // flat index of each pooled max
+  std::vector<int> in_shape_;
+};
+
+/// Collapses [N, ...] to [N, D].
+class FlattenLayer : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// Inverted dropout: active only in training.
+class DropoutLayer : public Layer {
+ public:
+  DropoutLayer(double rate, uint64_t seed) : rate_(rate), rng_(seed) {}
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double rate_;
+  common::Rng rng_;
+  std::vector<float> mask_;
+};
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_LAYERS_H_

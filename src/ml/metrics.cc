@@ -1,0 +1,74 @@
+#include "ml/metrics.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  EEA_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted) {
+  EEA_CHECK(true_label >= 0 && true_label < num_classes_);
+  EEA_CHECK(predicted >= 0 && predicted < num_classes_);
+  ++cells_[static_cast<size_t>(true_label) * num_classes_ + predicted];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::count(int true_label, int predicted) const {
+  return cells_[static_cast<size_t>(true_label) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  int64_t row = 0;
+  for (int j = 0; j < num_classes_; ++j) row += count(cls, j);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  int64_t col = 0;
+  for (int i = 0; i < num_classes_; ++i) col += count(i, cls);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  double p = Precision(cls);
+  double r = Recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::string out = common::StrFormat("accuracy=%.4f macro_f1=%.4f n=%lld\n",
+                                      Accuracy(), MacroF1(),
+                                      static_cast<long long>(total_));
+  for (int c = 0; c < num_classes_; ++c) {
+    std::string name = c < static_cast<int>(class_names.size())
+                           ? class_names[static_cast<size_t>(c)]
+                           : common::StrFormat("class%d", c);
+    out += common::StrFormat("  %-22s recall=%.3f precision=%.3f f1=%.3f\n",
+                             name.c_str(), Recall(c), Precision(c), F1(c));
+  }
+  return out;
+}
+
+}  // namespace exearth::ml

@@ -1,0 +1,41 @@
+// Classification metrics: confusion matrix, accuracy, macro F1.
+
+#ifndef EXEARTH_ML_METRICS_H_
+#define EXEARTH_ML_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exearth::ml {
+
+/// Square confusion matrix, rows = true class, cols = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int true_label, int predicted);
+  int64_t count(int true_label, int predicted) const;
+  int64_t total() const { return total_; }
+  int num_classes() const { return num_classes_; }
+
+  double Accuracy() const;
+  /// Recall for one class (0 if the class never occurs).
+  double Recall(int cls) const;
+  double Precision(int cls) const;
+  double F1(int cls) const;
+  /// Unweighted mean of per-class F1.
+  double MacroF1() const;
+
+  /// Multi-line printable table with per-class recall.
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> cells_;  // row-major
+};
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_METRICS_H_

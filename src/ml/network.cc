@@ -1,0 +1,207 @@
+#include "ml/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace exearth::ml {
+
+Tensor Network::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->Forward(x, training);
+  }
+  return x;
+}
+
+void Network::Backward(const Tensor& grad_loss) {
+  Tensor g = grad_loss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::vector<Tensor*> Network::Params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::Grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+void Network::ZeroGrads() {
+  for (Tensor* g : Grads()) g->FillZero();
+}
+
+int64_t Network::NumParams() {
+  int64_t n = 0;
+  for (Tensor* p : Params()) n += p->size();
+  return n;
+}
+
+double Network::FlopsPerSample() const {
+  double flops = 0.0;
+  for (const auto& layer : layers_) flops += layer->FlopsPerSample();
+  return flops;
+}
+
+void Network::CopyParamsFrom(Network& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  EEA_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    EEA_CHECK(dst[i]->size() == src[i]->size());
+    std::copy(src[i]->data(), src[i]->data() + src[i]->size(),
+              dst[i]->data());
+  }
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  EEA_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0);
+  const int c = logits.dim(1);
+  EEA_CHECK(static_cast<size_t>(n) == labels.size());
+  LossResult result;
+  result.grad = Tensor({n, c});
+  const float* pl = logits.data();
+  float* pg = result.grad.data();
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = pl + static_cast<int64_t>(i) * c;
+    float* grow = pg + static_cast<int64_t>(i) * c;
+    float maxv = row[0];
+    int argmax = 0;
+    for (int j = 1; j < c; ++j) {
+      if (row[j] > maxv) {
+        maxv = row[j];
+        argmax = j;
+      }
+    }
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) denom += std::exp(row[j] - maxv);
+    const int label = labels[static_cast<size_t>(i)];
+    EEA_CHECK(label >= 0 && label < c);
+    const double logprob = (row[label] - maxv) - std::log(denom);
+    total -= logprob;
+    if (argmax == label) ++result.correct;
+    // grad = (softmax - onehot)/N.
+    for (int j = 0; j < c; ++j) {
+      double p = std::exp(row[j] - maxv) / denom;
+      grow[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) / n);
+    }
+  }
+  result.loss = total / n;
+  return result;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  EEA_CHECK(logits.ndim() == 2);
+  Tensor out = logits;
+  const int n = logits.dim(0);
+  const int c = logits.dim(1);
+  float* p = out.data();
+  for (int i = 0; i < n; ++i) {
+    float* row = p + static_cast<int64_t>(i) * c;
+    float maxv = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) denom += std::exp(row[j] - maxv);
+    for (int j = 0; j < c; ++j) {
+      row[j] = static_cast<float>(std::exp(row[j] - maxv) / denom);
+    }
+  }
+  return out;
+}
+
+std::string SerializeWeights(Network& network) {
+  std::string out = "EEAW";
+  auto params = network.Params();
+  uint32_t count = static_cast<uint32_t>(params.size());
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Tensor* p : params) {
+    int64_t n = p->size();
+    out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.append(reinterpret_cast<const char*>(p->data()),
+               static_cast<size_t>(n) * sizeof(float));
+  }
+  return out;
+}
+
+common::Status LoadWeights(std::string_view bytes, Network* network) {
+  using common::Status;
+  if (bytes.size() < 8 || bytes.substr(0, 4) != "EEAW") {
+    return Status::InvalidArgument("not an EEAW weight blob");
+  }
+  size_t pos = 4;
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + pos, sizeof(count));
+  pos += sizeof(count);
+  auto params = network->Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (Tensor* p : params) {
+    int64_t n = 0;
+    if (pos + sizeof(n) > bytes.size()) {
+      return Status::InvalidArgument("truncated weight blob");
+    }
+    std::memcpy(&n, bytes.data() + pos, sizeof(n));
+    pos += sizeof(n);
+    if (n != p->size()) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    const size_t payload = static_cast<size_t>(n) * sizeof(float);
+    if (pos + payload > bytes.size()) {
+      return Status::InvalidArgument("truncated weight blob");
+    }
+    std::memcpy(p->data(), bytes.data() + pos, payload);
+    pos += payload;
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes in weight blob");
+  }
+  return Status::OK();
+}
+
+Network BuildMlp(int input_dim, const std::vector<int>& hidden,
+                 int num_classes, uint64_t seed) {
+  common::Rng rng(seed);
+  Network net;
+  int in = input_dim;
+  for (int h : hidden) {
+    net.Add(std::make_unique<DenseLayer>(in, h, &rng));
+    net.Add(std::make_unique<ReluLayer>());
+    in = h;
+  }
+  net.Add(std::make_unique<DenseLayer>(in, num_classes, &rng));
+  return net;
+}
+
+Network BuildCnn(int channels, int height, int width, int base_filters,
+                 int num_classes, uint64_t seed) {
+  EEA_CHECK(height % 4 == 0 && width % 4 == 0)
+      << "BuildCnn needs H,W divisible by 4";
+  common::Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>(channels, base_filters, 3, 1, &rng));
+  net.Add(std::make_unique<ReluLayer>());
+  net.Add(std::make_unique<MaxPool2dLayer>());
+  net.Add(std::make_unique<Conv2dLayer>(base_filters, base_filters * 2, 3, 1,
+                                        &rng));
+  net.Add(std::make_unique<ReluLayer>());
+  net.Add(std::make_unique<MaxPool2dLayer>());
+  net.Add(std::make_unique<FlattenLayer>());
+  const int flat = base_filters * 2 * (height / 4) * (width / 4);
+  net.Add(std::make_unique<DenseLayer>(flat, num_classes, &rng));
+  return net;
+}
+
+}  // namespace exearth::ml

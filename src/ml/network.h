@@ -1,0 +1,88 @@
+// Sequential network container, softmax cross-entropy loss, and the model
+// builders used by the experiments (MLP, EuroSAT-style CNN).
+
+#ifndef EXEARTH_ML_NETWORK_H_
+#define EXEARTH_ML_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/layers.h"
+#include "ml/tensor.h"
+
+namespace exearth::ml {
+
+/// A stack of layers executed in order.
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor Forward(const Tensor& input, bool training);
+  /// Backpropagates from the loss gradient; fills layer gradient buffers.
+  void Backward(const Tensor& grad_loss);
+
+  /// All trainable parameter tensors, in layer order.
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+  void ZeroGrads();
+
+  /// Total number of trainable scalars.
+  int64_t NumParams();
+  /// Bytes of gradients exchanged per synchronization (float32).
+  uint64_t GradientBytes() { return static_cast<uint64_t>(NumParams()) * 4; }
+  /// Forward FLOPs for one sample (sum over layers; backward is ~2x).
+  double FlopsPerSample() const;
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  /// Copies all parameters from `other` (must have identical architecture).
+  void CopyParamsFrom(Network& other);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Softmax + cross-entropy, numerically stable. `logits` is [N, C].
+struct LossResult {
+  double loss = 0.0;          // mean over the batch
+  Tensor grad;                // d(loss)/d(logits), already averaged
+  int correct = 0;            // argmax matches label
+};
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// Softmax probabilities per row (for inference).
+Tensor Softmax(const Tensor& logits);
+
+/// Builds an MLP: input_dim -> hidden... -> num_classes with ReLU between.
+Network BuildMlp(int input_dim, const std::vector<int>& hidden,
+                 int num_classes, uint64_t seed);
+
+/// Serializes all trainable parameters ("EEAW" header + shapes + floats).
+/// Load requires an identically-architected network.
+std::string SerializeWeights(Network& network);
+common::Status LoadWeights(std::string_view bytes, Network* network);
+
+/// Builds the small EuroSAT-style CNN used by C1/E5/E6:
+/// conv3x3(C->f) + ReLU + pool + conv3x3(f->2f) + ReLU + pool + dense.
+/// `height`/`width` must be divisible by 4.
+Network BuildCnn(int channels, int height, int width, int base_filters,
+                 int num_classes, uint64_t seed);
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_NETWORK_H_

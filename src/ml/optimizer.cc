@@ -1,0 +1,93 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace exearth::ml {
+
+void SgdOptimizer::Step(const std::vector<Tensor*>& params,
+                        const std::vector<Tensor*>& grads) {
+  EEA_CHECK(params.size() == grads.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (Tensor* p : params) {
+      velocity_.push_back(Tensor(p->shape()));
+    }
+  }
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& v = velocity_[i];
+    EEA_CHECK(p.size() == g.size() && p.size() == v.size());
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* pv = v.data();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      pv[j] = mu * pv[j] + pg[j] + wd * pp[j];
+      pp[j] -= lr * pv[j];
+    }
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Tensor*>& params,
+                         const std::vector<Tensor*>& grads) {
+  EEA_CHECK(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Tensor* p : params) {
+      m_.push_back(Tensor(p->shape()));
+      v_.push_back(Tensor(p->shape()));
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = options_.learning_rate;
+  const double eps = options_.epsilon;
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    EEA_CHECK(p.size() == g.size());
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* pm = m.data();
+    float* pv = v.data();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      const double grad = pg[j] + wd * pp[j];
+      pm[j] = static_cast<float>(b1 * pm[j] + (1.0 - b1) * grad);
+      pv[j] = static_cast<float>(b2 * pv[j] + (1.0 - b2) * grad * grad);
+      const double mhat = pm[j] / bias1;
+      const double vhat = pv[j] / bias2;
+      pp[j] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps));
+    }
+  }
+}
+
+double WarmupSchedule::LearningRate(int step) const {
+  const double target = options_.base_lr * options_.scale;
+  double lr;
+  if (options_.warmup_steps > 0 && step < options_.warmup_steps) {
+    const double t = static_cast<double>(step + 1) / options_.warmup_steps;
+    lr = options_.base_lr + t * (target - options_.base_lr);
+  } else {
+    lr = target;
+  }
+  for (int milestone : options_.decay_milestones) {
+    if (step >= milestone) lr *= options_.decay_factor;
+  }
+  return lr;
+}
+
+}  // namespace exearth::ml

@@ -1,0 +1,93 @@
+// SGD with momentum and weight decay, plus the learning-rate schedules the
+// large-minibatch experiment needs (linear scaling rule + gradual warmup,
+// Goyal et al. 2017).
+
+#ifndef EXEARTH_ML_OPTIMIZER_H_
+#define EXEARTH_ML_OPTIMIZER_H_
+
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace exearth::ml {
+
+/// SGD with (Nesterov-free) momentum: v = mu v + g + wd * p; p -= lr * v.
+class SgdOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+  };
+
+  explicit SgdOptimizer(const Options& options) : options_(options) {}
+
+  /// Applies one step. `params` and `grads` are parallel vectors; velocity
+  /// buffers are created lazily on first use.
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba): adaptive moments with bias correction. Useful for
+/// the hyperparameter-search experiments where SGD's lr sensitivity is the
+/// thing being studied.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  explicit AdamOptimizer(const Options& options) : options_(options) {}
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+
+ private:
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+/// Learning-rate schedule with the linear scaling rule and gradual warmup:
+///   lr(step) ramps linearly from base_lr to base_lr * scale over
+///   warmup_steps, then stays at base_lr * scale (optionally decayed by
+///   `decay_factor` at each milestone).
+class WarmupSchedule {
+ public:
+  struct Options {
+    double base_lr = 0.01;
+    /// Linear-scaling multiplier, normally global_batch / base_batch.
+    double scale = 1.0;
+    int warmup_steps = 0;
+    std::vector<int> decay_milestones;  // steps at which lr is decayed
+    double decay_factor = 0.1;
+  };
+
+  explicit WarmupSchedule(const Options& options) : options_(options) {}
+
+  /// LR to use at `step` (0-based).
+  double LearningRate(int step) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_OPTIMIZER_H_

@@ -1,0 +1,132 @@
+#include "ml/tensor.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace exearth::ml {
+
+namespace {
+int64_t NumElements(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    EEA_CHECK(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+}
+
+Tensor Tensor::HeNormal(std::vector<int> shape, int fan_in, common::Rng* rng) {
+  Tensor t(std::move(shape));
+  const double stddev = std::sqrt(2.0 / std::max(1, fan_in));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+void Tensor::Reshape(std::vector<int> shape) {
+  EEA_CHECK(NumElements(shape) == size())
+      << "reshape " << ShapeString() << " to incompatible size";
+  shape_ = std::move(shape);
+}
+
+void Tensor::FillZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::Add(const Tensor& other) {
+  EEA_CHECK(other.size() == size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+double Tensor::SquaredNorm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c) {
+  EEA_CHECK(a.ndim() == 2 && b.ndim() == 2 && c->ndim() == 2);
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  EEA_CHECK(b.dim(0) == k && c->dim(0) == m && c->dim(1) == n);
+  c->FillZero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      const float av = pa[static_cast<int64_t>(i) * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<int64_t>(l) * n;
+      float* crow = pc + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c) {
+  // C(k,n) = sum_i A(i,k) * B(i,n).
+  EEA_CHECK(a.ndim() == 2 && b.ndim() == 2 && c->ndim() == 2);
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  EEA_CHECK(b.dim(0) == m && c->dim(0) == k && c->dim(1) == n);
+  c->FillZero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<int64_t>(i) * k;
+    const float* brow = pb + static_cast<int64_t>(i) * n;
+    for (int l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<int64_t>(l) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c) {
+  // C(m,k) = sum_j A(m,j) * B(k,j).
+  EEA_CHECK(a.ndim() == 2 && b.ndim() == 2 && c->ndim() == 2);
+  const int m = a.dim(0);
+  const int n = a.dim(1);
+  const int k = b.dim(0);
+  EEA_CHECK(b.dim(1) == n && c->dim(0) == m && c->dim(1) == k);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<int64_t>(i) * n;
+    for (int l = 0; l < k; ++l) {
+      const float* brow = pb + static_cast<int64_t>(l) * n;
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) sum += arow[j] * brow[j];
+      pc[static_cast<int64_t>(i) * k + l] = static_cast<float>(sum);
+    }
+  }
+}
+
+}  // namespace exearth::ml

@@ -1,0 +1,71 @@
+// A minimal dense float32 tensor for the deep-learning substrate (C1).
+//
+// Shapes are explicit vectors of dims; storage is contiguous row-major.
+// This is deliberately a small, boring tensor: the experiments need correct
+// gradients and honest FLOP accounting, not a full autograd framework.
+
+#ifndef EXEARTH_ML_TENSOR_H_
+#define EXEARTH_ML_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace exearth::ml {
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  /// He-normal initialization with fan_in; the standard conv/dense init.
+  static Tensor HeNormal(std::vector<int> shape, int fan_in,
+                         common::Rng* rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Reinterprets the buffer with a new shape of equal element count.
+  void Reshape(std::vector<int> shape);
+
+  void FillZero();
+  void Fill(float v);
+
+  /// this += other (elementwise; equal sizes).
+  void Add(const Tensor& other);
+  /// this *= s.
+  void Scale(float s);
+
+  /// Sum of squares of all elements (for gradient-norm diagnostics).
+  double SquaredNorm() const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// C = A(m,k) * B(k,n). C must be preallocated to (m,n).
+void MatMul(const Tensor& a, const Tensor& b, Tensor* c);
+/// C = A^T(k,m -> m,k pattern) — computes C(k,n) = A(m,k)^T * B(m,n).
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* c);
+/// C(m,k) = A(m,n) * B(k,n)^T.
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* c);
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_TENSOR_H_

@@ -1,0 +1,111 @@
+#include "ml/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace exearth::ml {
+
+Tensor MakeBatch(const raster::Dataset& ds, size_t begin, size_t end,
+                 bool as_images, std::vector<int>* labels) {
+  EEA_CHECK(begin <= end && end <= ds.samples.size());
+  const int n = static_cast<int>(end - begin);
+  Tensor batch;
+  if (as_images) {
+    EEA_CHECK(ds.channels > 0 && ds.patch_height > 0 && ds.patch_width > 0)
+        << "dataset has no image shape";
+    EEA_CHECK(ds.channels * ds.patch_height * ds.patch_width ==
+              ds.feature_dim);
+    batch = Tensor({n, ds.channels, ds.patch_height, ds.patch_width});
+  } else {
+    batch = Tensor({n, ds.feature_dim});
+  }
+  labels->clear();
+  labels->reserve(static_cast<size_t>(n));
+  float* p = batch.data();
+  for (size_t i = begin; i < end; ++i) {
+    const raster::Sample& s = ds.samples[i];
+    EEA_CHECK(static_cast<int>(s.features.size()) == ds.feature_dim);
+    std::copy(s.features.begin(), s.features.end(),
+              p + (i - begin) * static_cast<size_t>(ds.feature_dim));
+    labels->push_back(s.label);
+  }
+  return batch;
+}
+
+Trainer::Trainer(Network* network, const TrainOptions& options)
+    : network_(network),
+      options_(options),
+      optimizer_(options.sgd),
+      rng_(options.shuffle_seed) {}
+
+EpochStats Trainer::TrainEpoch(raster::Dataset* ds) {
+  ds->Shuffle(&rng_);
+  EpochStats stats;
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  int64_t seen = 0;
+  const size_t n = ds->samples.size();
+  const size_t bs = static_cast<size_t>(options_.batch_size);
+  for (size_t begin = 0; begin < n; begin += bs) {
+    const size_t end = std::min(n, begin + bs);
+    std::vector<int> labels;
+    Tensor batch = MakeBatch(*ds, begin, end, options_.as_images, &labels);
+    network_->ZeroGrads();
+    Tensor logits = network_->Forward(batch, /*training=*/true);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    network_->Backward(loss.grad);
+    optimizer_.Step(network_->Params(), network_->Grads());
+    loss_sum += loss.loss * static_cast<double>(labels.size());
+    correct += loss.correct;
+    seen += static_cast<int64_t>(labels.size());
+    ++stats.steps;
+  }
+  if (seen > 0) {
+    stats.mean_loss = loss_sum / static_cast<double>(seen);
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  }
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::Fit(raster::Dataset* ds) {
+  std::vector<EpochStats> out;
+  out.reserve(static_cast<size_t>(options_.epochs));
+  for (int e = 0; e < options_.epochs; ++e) {
+    out.push_back(TrainEpoch(ds));
+  }
+  return out;
+}
+
+ConfusionMatrix Trainer::Evaluate(const raster::Dataset& ds) {
+  ConfusionMatrix cm(ds.num_classes);
+  std::vector<int> preds = Predict(network_, ds, options_.as_images);
+  for (size_t i = 0; i < ds.samples.size(); ++i) {
+    cm.Add(ds.samples[i].label, preds[i]);
+  }
+  return cm;
+}
+
+std::vector<int> Predict(Network* network, const raster::Dataset& ds,
+                         bool as_images, int batch_size) {
+  std::vector<int> preds;
+  preds.reserve(ds.samples.size());
+  const size_t n = ds.samples.size();
+  const size_t bs = static_cast<size_t>(batch_size);
+  for (size_t begin = 0; begin < n; begin += bs) {
+    const size_t end = std::min(n, begin + bs);
+    std::vector<int> labels;
+    Tensor batch = MakeBatch(ds, begin, end, as_images, &labels);
+    Tensor logits = network->Forward(batch, /*training=*/false);
+    const int c = logits.dim(1);
+    const float* p = logits.data();
+    for (int i = 0; i < logits.dim(0); ++i) {
+      const float* row = p + static_cast<int64_t>(i) * c;
+      preds.push_back(static_cast<int>(
+          std::max_element(row, row + c) - row));
+    }
+  }
+  return preds;
+}
+
+}  // namespace exearth::ml

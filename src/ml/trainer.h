@@ -1,0 +1,68 @@
+// Single-node training loop over raster::Dataset (the classifier driver
+// used by the applications and as the per-worker step of the distributed
+// trainer).
+
+#ifndef EXEARTH_ML_TRAINER_H_
+#define EXEARTH_ML_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/network.h"
+#include "ml/optimizer.h"
+#include "raster/dataset.h"
+
+namespace exearth::ml {
+
+/// Copies samples [begin, end) of `ds` into a batch tensor. If `as_images`
+/// the result is [N, C, H, W] (requires dataset channel metadata);
+/// otherwise [N, feature_dim]. Labels go to `labels`.
+Tensor MakeBatch(const raster::Dataset& ds, size_t begin, size_t end,
+                 bool as_images, std::vector<int>* labels);
+
+struct TrainOptions {
+  int epochs = 5;
+  int batch_size = 32;
+  bool as_images = false;
+  SgdOptimizer::Options sgd;
+  uint64_t shuffle_seed = 1;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+  int steps = 0;
+};
+
+/// Drives SGD over a network. The dataset is copied-by-reference; call sites
+/// own both network and data.
+class Trainer {
+ public:
+  Trainer(Network* network, const TrainOptions& options);
+
+  /// One pass over `ds` (shuffled); returns training loss/accuracy.
+  EpochStats TrainEpoch(raster::Dataset* ds);
+
+  /// Runs `options.epochs` epochs; returns per-epoch stats.
+  std::vector<EpochStats> Fit(raster::Dataset* ds);
+
+  /// Inference accuracy and confusion matrix on `ds`.
+  ConfusionMatrix Evaluate(const raster::Dataset& ds);
+
+  SgdOptimizer& optimizer() { return optimizer_; }
+
+ private:
+  Network* network_;
+  TrainOptions options_;
+  SgdOptimizer optimizer_;
+  common::Rng rng_;
+};
+
+/// Predicted class per sample (argmax of logits).
+std::vector<int> Predict(Network* network, const raster::Dataset& ds,
+                         bool as_images, int batch_size = 256);
+
+}  // namespace exearth::ml
+
+#endif  // EXEARTH_ML_TRAINER_H_

@@ -1,0 +1,133 @@
+#include "platform/autoscale.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace exearth::platform {
+
+using common::Result;
+using common::Status;
+
+Result<AutoscaleReport> SimulateAutoscaling(const AutoscaleOptions& options) {
+  if (options.min_nodes < 1 || options.max_nodes < options.min_nodes) {
+    return Status::InvalidArgument("need 1 <= min_nodes <= max_nodes");
+  }
+  if (options.scenes_per_hour <= 0 || options.hours_per_scene <= 0 ||
+      options.horizon_hours <= 0) {
+    return Status::InvalidArgument("rates and horizon must be positive");
+  }
+
+  common::Rng rng(options.seed);
+  sim::EventQueue clock;
+  AutoscaleReport report;
+
+  struct Scene {
+    double arrival = 0.0;
+  };
+  std::deque<Scene> queue;
+  // Per-node: time the node becomes free (< now = idle).
+  std::vector<double> node_free(static_cast<size_t>(options.min_nodes), 0.0);
+  double node_hours = 0.0;
+  double node_integral = 0.0;  // for mean_nodes
+  double last_account = 0.0;
+  double total_latency = 0.0;
+
+  auto account = [&](double now) {
+    const double dt = now - last_account;
+    node_hours += dt * static_cast<double>(node_free.size());
+    node_integral += dt * static_cast<double>(node_free.size());
+    last_account = now;
+  };
+
+  // Dispatch queued scenes onto free nodes.
+  std::function<void()> dispatch = [&] {
+    const double now = clock.now();
+    while (!queue.empty()) {
+      auto it = std::min_element(node_free.begin(), node_free.end());
+      if (*it > now) break;  // no free node right now
+      Scene scene = queue.front();
+      queue.pop_front();
+      const double end = now + options.hours_per_scene;
+      *it = end;
+      clock.ScheduleAt(end, [&, scene, end] {
+        ++report.scenes_processed;
+        const double latency = end - scene.arrival;
+        total_latency += latency;
+        report.max_latency_hours = std::max(report.max_latency_hours, latency);
+        dispatch();
+      });
+    }
+    report.max_backlog = std::max(report.max_backlog,
+                                  static_cast<uint64_t>(queue.size()));
+  };
+
+  // Satellite passes: bursts of scenes.
+  const double scenes_per_pass =
+      options.scenes_per_hour * options.pass_interval_hours;
+  double t = 0.0;
+  while (t < options.horizon_hours) {
+    t += rng.Exponential(1.0 / options.pass_interval_hours);
+    if (t >= options.horizon_hours) break;
+    const int64_t burst = rng.Poisson(scenes_per_pass);
+    clock.ScheduleAt(t, [&, t, burst] {
+      for (int64_t i = 0; i < burst; ++i) queue.push_back(Scene{t});
+      dispatch();
+    });
+  }
+
+  // Controller ticks.
+  std::function<void()> control = [&] {
+    const double now = clock.now();
+    account(now);
+    const double per_node = static_cast<double>(queue.size()) /
+                            static_cast<double>(node_free.size());
+    if (per_node > options.scale_up_backlog &&
+        static_cast<int>(node_free.size()) < options.max_nodes) {
+      // Add nodes proportionally to the excess backlog.
+      int add = std::max<int>(
+          1, static_cast<int>(per_node / options.scale_up_backlog));
+      while (add-- > 0 &&
+             static_cast<int>(node_free.size()) < options.max_nodes) {
+        node_free.push_back(now);
+      }
+      dispatch();
+    } else if (static_cast<int>(node_free.size()) > options.min_nodes) {
+      // Retire one node that has been idle long enough.
+      for (size_t i = 0; i < node_free.size(); ++i) {
+        if (node_free[i] + options.scale_down_idle_hours <= now) {
+          node_free.erase(node_free.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    report.peak_nodes =
+        std::max(report.peak_nodes, static_cast<int>(node_free.size()));
+    if (now + options.control_interval_hours < options.horizon_hours * 2) {
+      // Keep controlling until the queue drains after the horizon.
+      if (!queue.empty() || now < options.horizon_hours) {
+        clock.ScheduleAfter(options.control_interval_hours, control);
+      }
+    }
+  };
+  clock.ScheduleAt(0.0, control);
+
+  clock.Run();
+  account(clock.now());
+  if (report.scenes_processed > 0) {
+    report.mean_latency_hours =
+        total_latency / static_cast<double>(report.scenes_processed);
+  }
+  report.node_hours_used = node_hours;
+  report.mean_nodes = clock.now() > 0 ? node_integral / clock.now() : 0;
+  report.peak_nodes =
+      std::max(report.peak_nodes, static_cast<int>(node_free.size()));
+  return report;
+}
+
+}  // namespace exearth::platform

@@ -1,0 +1,53 @@
+// On-demand elastic processing (Challenge A2: "processing resources will
+// need to be on demand and scalable to ensure efficiency" — acquisitions
+// arrive in bursts as satellites pass, but capacity is only needed while
+// the backlog exists). A discrete-event simulation of a scene-processing
+// queue with a reactive autoscaler, comparable against fixed provisioning
+// by setting min_nodes == max_nodes.
+
+#ifndef EXEARTH_PLATFORM_AUTOSCALE_H_
+#define EXEARTH_PLATFORM_AUTOSCALE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace exearth::platform {
+
+struct AutoscaleOptions {
+  /// Mean scene arrivals per simulated hour; arrivals come in satellite-
+  /// pass bursts (a pass every `pass_interval_hours` delivers a Poisson
+  /// number of scenes at once).
+  double scenes_per_hour = 20.0;
+  double pass_interval_hours = 1.6;  // ~polar-orbit revisit
+  /// Node-hours of processing per scene.
+  double hours_per_scene = 0.25;
+  int min_nodes = 1;
+  int max_nodes = 64;
+  /// Scale up when queued scenes exceed `scale_up_backlog` per node;
+  /// scale down when a node has been idle for `scale_down_idle_hours`.
+  double scale_up_backlog = 2.0;
+  double scale_down_idle_hours = 1.0;
+  /// Controller evaluation period.
+  double control_interval_hours = 0.25;
+  double horizon_hours = 48.0;
+  uint64_t seed = 1;
+};
+
+struct AutoscaleReport {
+  uint64_t scenes_processed = 0;
+  double mean_latency_hours = 0.0;  // arrival -> completion
+  double max_latency_hours = 0.0;
+  double node_hours_used = 0.0;     // provisioned node time (the bill)
+  int peak_nodes = 0;
+  double mean_nodes = 0.0;
+  uint64_t max_backlog = 0;
+};
+
+/// Runs the simulation. Fixed provisioning: min_nodes == max_nodes.
+common::Result<AutoscaleReport> SimulateAutoscaling(
+    const AutoscaleOptions& options);
+
+}  // namespace exearth::platform
+
+#endif  // EXEARTH_PLATFORM_AUTOSCALE_H_

@@ -1,0 +1,60 @@
+#include "platform/ingestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace exearth::platform {
+
+using common::Result;
+using common::Status;
+
+Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
+  if (options.products_per_day <= 0 || options.mean_product_gb <= 0 ||
+      options.days <= 0) {
+    return Status::InvalidArgument("rates and duration must be positive");
+  }
+  common::Rng rng(options.seed);
+  sim::EventQueue clock;
+  IngestionReport report;
+
+  // Processing pipeline: a single FIFO whose service rate is the
+  // processing capacity.
+  double processor_free_at = 0.0;
+  double backlog_gb = 0.0;
+  const double gb_per_day = options.processing_gb_per_day;
+
+  // Schedule Poisson arrivals over the horizon.
+  double t = 0.0;
+  const double rate = options.products_per_day;  // per day
+  while (true) {
+    t += rng.Exponential(rate);
+    if (t > options.days) break;
+    // Product size: lognormal-ish around the mean.
+    double size_gb =
+        options.mean_product_gb * std::max(0.1, 1.0 + rng.Gaussian(0, 0.4));
+    int64_t downloads = rng.Poisson(options.mean_downloads_per_product);
+    clock.ScheduleAt(t, [&, size_gb, downloads] {
+      ++report.products_ingested;
+      report.ingested_gb += size_gb;
+      report.disseminated_gb += size_gb * static_cast<double>(downloads);
+      // Enqueue for processing.
+      const double start = std::max(clock.now(), processor_free_at);
+      const double service_days = size_gb / gb_per_day;
+      processor_free_at = start + service_days;
+      backlog_gb += size_gb;
+      report.max_processing_backlog_gb =
+          std::max(report.max_processing_backlog_gb, backlog_gb);
+      clock.ScheduleAt(processor_free_at, [&, size_gb] {
+        backlog_gb -= size_gb;
+        ++report.products_processed;
+        report.derived_information_gb += size_gb * options.information_ratio;
+      });
+    });
+  }
+  report.processing_drain_time_days = clock.Run();
+  return report;
+}
+
+}  // namespace exearth::platform

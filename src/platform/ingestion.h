@@ -1,0 +1,55 @@
+// The 5-Vs ingestion/dissemination model (paper §1, experiment E14).
+//
+// The paper quantifies Copernicus circa 2016: ~6 TB of new products
+// generated per day, ~100 TB disseminated per day, >5M products published,
+// and an information-extraction ratio of ~450 TB of derived content per
+// 1 PB (~45%). This module simulates a day of the product lifecycle on the
+// discrete-event clock: products arrive (Poisson), are stored (HopsFS-sim
+// byte accounting), disseminated to a user population, and processed into
+// derived information.
+
+#ifndef EXEARTH_PLATFORM_INGESTION_H_
+#define EXEARTH_PLATFORM_INGESTION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace exearth::platform {
+
+struct IngestionOptions {
+  /// Mean product arrivals per simulated day.
+  double products_per_day = 1500.0;  // ~6 TB/day at ~4 GB/product
+  double mean_product_gb = 4.0;
+  /// Each product is downloaded this many times on average (dissemination
+  /// amplification: 100 TB out / 6 TB in ~ 17x).
+  double mean_downloads_per_product = 17.0;
+  /// Fraction of ingested volume turned into derived information (the
+  /// paper's 450 TB per 1 PB ~ 0.45).
+  double information_ratio = 0.45;
+  /// Processing capacity in GB/day; arrivals beyond it queue.
+  double processing_gb_per_day = 10000.0;
+  double days = 1.0;
+  uint64_t seed = 1;
+};
+
+struct IngestionReport {
+  uint64_t products_ingested = 0;
+  double ingested_gb = 0.0;
+  double disseminated_gb = 0.0;
+  double derived_information_gb = 0.0;
+  uint64_t products_processed = 0;
+  double max_processing_backlog_gb = 0.0;
+  /// Virtual time when the last queued product finished processing.
+  double processing_drain_time_days = 0.0;
+};
+
+/// Runs the lifecycle simulation.
+common::Result<IngestionReport> SimulateIngestion(
+    const IngestionOptions& options);
+
+}  // namespace exearth::platform
+
+#endif  // EXEARTH_PLATFORM_INGESTION_H_

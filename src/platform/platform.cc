@@ -1,0 +1,56 @@
+#include "platform/platform.h"
+
+#include "common/string_util.h"
+
+namespace exearth::platform {
+
+using common::Status;
+
+ExtremeEarthPlatform::ExtremeEarthPlatform(const PlatformOptions& options)
+    : storage_(options.storage),
+      namenode_(&storage_),
+      cluster_(options.compute_nodes, options.node, options.network) {
+  // Archive layout.
+  EEA_CHECK_OK(namenode_.Mkdir("/products"));
+  EEA_CHECK_OK(namenode_.Mkdir("/products/S1"));
+  EEA_CHECK_OK(namenode_.Mkdir("/products/S2"));
+  EEA_CHECK_OK(namenode_.Mkdir("/derived"));
+}
+
+namespace {
+std::string ProductPath(const raster::SceneMetadata& metadata) {
+  const char* mission_dir =
+      metadata.mission == raster::Mission::kSentinel1 ? "S1" : "S2";
+  return common::StrFormat("/products/%s/%s", mission_dir,
+                           metadata.product_id.c_str());
+}
+}  // namespace
+
+Status ExtremeEarthPlatform::RegisterProduct(
+    const raster::SceneMetadata& metadata) {
+  EEA_RETURN_NOT_OK(
+      namenode_.Create(ProductPath(metadata), metadata.size_bytes, ""));
+  catalogue_.Ingest(metadata);
+  return Status::OK();
+}
+
+Status ExtremeEarthPlatform::RegisterProductWithData(
+    const raster::SentinelProduct& product) {
+  std::string blob = raster::SerializeProduct(product);
+  EEA_RETURN_NOT_OK(namenode_.Create(ProductPath(product.metadata),
+                                     blob.size(), blob));
+  catalogue_.Ingest(product.metadata);
+  return Status::OK();
+}
+
+common::Result<raster::SentinelProduct> ExtremeEarthPlatform::LoadProduct(
+    const std::string& product_id, raster::Mission mission) {
+  raster::SceneMetadata key;
+  key.product_id = product_id;
+  key.mission = mission;
+  EEA_ASSIGN_OR_RETURN(std::string blob,
+                       namenode_.ReadFile(ProductPath(key)));
+  return raster::DeserializeProduct(blob);
+}
+
+}  // namespace exearth::platform

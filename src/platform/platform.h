@@ -1,0 +1,74 @@
+// The ExtremeEarth platform facade (Challenge C5): one object wiring the
+// HOPS-style storage layer, the semantic catalogue, and the simulated
+// compute cluster together, with product registration and processing-chain
+// execution as the integration points the applications (A1/A2) use.
+
+#ifndef EXEARTH_PLATFORM_PLATFORM_H_
+#define EXEARTH_PLATFORM_PLATFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalogue.h"
+#include "common/result.h"
+#include "dfs/hopsfs.h"
+#include "platform/scheduler.h"
+#include "raster/io.h"
+#include "raster/sentinel.h"
+#include "sim/cluster.h"
+
+namespace exearth::platform {
+
+struct PlatformOptions {
+  dfs::HopsFsCluster::Options storage;
+  int compute_nodes = 8;
+  sim::NodeSpec node;
+  sim::NetworkSpec network;
+};
+
+/// The integrated platform.
+class ExtremeEarthPlatform {
+ public:
+  explicit ExtremeEarthPlatform(const PlatformOptions& options);
+
+  dfs::HopsFsNameNode& filesystem() { return namenode_; }
+  catalog::SemanticCatalogue& catalogue() { return catalogue_; }
+  const sim::Cluster& cluster() const { return cluster_; }
+
+  /// Registers a product: stores its metadata record in the catalogue and
+  /// creates its archive entry in the filesystem (under
+  /// /products/<mission>/<id>). Data bytes are accounted, not copied.
+  common::Status RegisterProduct(const raster::SceneMetadata& metadata);
+
+  /// Registers a product *with its pixels*: the serialized product blob is
+  /// written into the HopsFS-sim archive and can be read back with
+  /// LoadProduct. For full scenes this stores megabytes per product.
+  common::Status RegisterProductWithData(
+      const raster::SentinelProduct& product);
+
+  /// Reads a product (stored with data) back from the archive.
+  common::Result<raster::SentinelProduct> LoadProduct(
+      const std::string& product_id, raster::Mission mission);
+
+  /// Finalizes the catalogue indexes after a batch of registrations.
+  common::Status BuildCatalogue() { return catalogue_.Build(); }
+
+  /// Runs a processing chain on the cluster.
+  common::Result<ScheduleResult> RunChain(const std::vector<JobSpec>& jobs) {
+    return ScheduleJobs(jobs, cluster_);
+  }
+
+  /// Number of products registered so far.
+  size_t num_products() const { return catalogue_.num_products(); }
+
+ private:
+  dfs::HopsFsCluster storage_;
+  dfs::HopsFsNameNode namenode_;
+  catalog::SemanticCatalogue catalogue_;
+  sim::Cluster cluster_;
+};
+
+}  // namespace exearth::platform
+
+#endif  // EXEARTH_PLATFORM_PLATFORM_H_

@@ -1,0 +1,91 @@
+#include "platform/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::platform {
+
+using common::Result;
+using common::Status;
+
+Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
+                                    const sim::Cluster& cluster) {
+  const int n = static_cast<int>(jobs.size());
+  // Validate dependencies.
+  for (int i = 0; i < n; ++i) {
+    for (int dep : jobs[static_cast<size_t>(i)].dependencies) {
+      if (dep < 0 || dep >= n) {
+        return Status::InvalidArgument(
+            common::StrFormat("job %d has out-of-range dependency %d", i,
+                              dep));
+      }
+      if (dep == i) {
+        return Status::InvalidArgument(
+            common::StrFormat("job %d depends on itself", i));
+      }
+    }
+  }
+  // Kahn topological order (also detects cycles).
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  std::vector<std::vector<int>> dependents(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int dep : jobs[static_cast<size_t>(i)].dependencies) {
+      ++indegree[static_cast<size_t>(i)];
+      dependents[static_cast<size_t>(dep)].push_back(i);
+    }
+  }
+
+  ScheduleResult result;
+  result.jobs.resize(static_cast<size_t>(n));
+  std::vector<double> ready_time(static_cast<size_t>(n), 0.0);
+  std::vector<double> node_free(static_cast<size_t>(cluster.num_nodes()), 0.0);
+
+  // Ready queue ordered by ready time then index (deterministic).
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
+  int scheduled = 0;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<size_t>(i)] == 0) ready.push({0.0, i});
+  }
+  while (!ready.empty()) {
+    auto [rt, i] = ready.top();
+    ready.pop();
+    // Earliest-free node.
+    auto node_it = std::min_element(node_free.begin(), node_free.end());
+    const int node = static_cast<int>(node_it - node_free.begin());
+    const double start = std::max(rt, *node_it);
+    const double end = start + jobs[static_cast<size_t>(i)].compute_seconds;
+    *node_it = end;
+    JobResult& jr = result.jobs[static_cast<size_t>(i)];
+    jr.name = jobs[static_cast<size_t>(i)].name;
+    jr.start_time = start;
+    jr.end_time = end;
+    jr.node = node;
+    ++scheduled;
+    for (int dep : dependents[static_cast<size_t>(i)]) {
+      ready_time[static_cast<size_t>(dep)] =
+          std::max(ready_time[static_cast<size_t>(dep)], end);
+      if (--indegree[static_cast<size_t>(dep)] == 0) {
+        ready.push({ready_time[static_cast<size_t>(dep)], dep});
+      }
+    }
+  }
+  if (scheduled != n) {
+    return Status::InvalidArgument("dependency cycle in job graph");
+  }
+  double total_work = 0.0;
+  for (const JobSpec& j : jobs) total_work += j.compute_seconds;
+  for (const JobResult& jr : result.jobs) {
+    result.makespan_seconds = std::max(result.makespan_seconds, jr.end_time);
+  }
+  result.utilization =
+      result.makespan_seconds > 0
+          ? total_work / (result.makespan_seconds * cluster.num_nodes())
+          : 1.0;
+  return result;
+}
+
+}  // namespace exearth::platform

@@ -1,0 +1,47 @@
+// Elastic job scheduling on the simulated cluster (Challenge C5): jobs with
+// dependencies and compute demands scheduled onto cluster nodes through the
+// discrete-event clock; reports per-job times and the makespan.
+
+#ifndef EXEARTH_PLATFORM_SCHEDULER_H_
+#define EXEARTH_PLATFORM_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+
+namespace exearth::platform {
+
+/// A unit of platform work (a processing-chain stage).
+struct JobSpec {
+  std::string name;
+  double compute_seconds = 1.0;  // node-seconds of work
+  std::vector<int> dependencies; // indexes of jobs that must finish first
+};
+
+struct JobResult {
+  std::string name;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  int node = -1;
+};
+
+struct ScheduleResult {
+  std::vector<JobResult> jobs;
+  double makespan_seconds = 0.0;
+  /// Mean node busy fraction over the makespan.
+  double utilization = 0.0;
+};
+
+/// List-schedules the DAG onto `cluster.num_nodes()` nodes (earliest-
+/// available node, dependency-respecting). Fails on cyclic or out-of-range
+/// dependencies.
+common::Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
+                                            const sim::Cluster& cluster);
+
+}  // namespace exearth::platform
+
+#endif  // EXEARTH_PLATFORM_SCHEDULER_H_

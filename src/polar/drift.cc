@@ -1,0 +1,104 @@
+#include "polar/drift.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace exearth::polar {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Mean/variance of a block.
+void BlockStats(const raster::Raster& r, int x0, int y0, int block,
+                double* mean, double* var) {
+  double sum = 0;
+  double sum2 = 0;
+  for (int y = y0; y < y0 + block; ++y) {
+    for (int x = x0; x < x0 + block; ++x) {
+      double v = r.Get(0, x, y);
+      sum += v;
+      sum2 += v * v;
+    }
+  }
+  const double n = static_cast<double>(block) * block;
+  *mean = sum / n;
+  *var = std::max(0.0, sum2 / n - *mean * *mean);
+}
+
+// Normalized cross-correlation between block (x0,y0) in a and the block at
+// (x0+dx, y0+dy) in b.
+double Ncc(const raster::Raster& a, const raster::Raster& b, int x0, int y0,
+           int dx, int dy, int block) {
+  double mean_a;
+  double var_a;
+  double mean_b;
+  double var_b;
+  BlockStats(a, x0, y0, block, &mean_a, &var_a);
+  BlockStats(b, x0 + dx, y0 + dy, block, &mean_b, &var_b);
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  double cov = 0;
+  for (int y = 0; y < block; ++y) {
+    for (int x = 0; x < block; ++x) {
+      cov += (a.Get(0, x0 + x, y0 + y) - mean_a) *
+             (b.Get(0, x0 + dx + x, y0 + dy + y) - mean_b);
+    }
+  }
+  cov /= static_cast<double>(block) * block;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+Result<std::vector<DriftVector>> EstimateIceDrift(const raster::Raster& t0,
+                                                  const raster::Raster& t1,
+                                                  const DriftOptions& options) {
+  if (t0.bands() != 1 || t1.bands() != 1) {
+    return Status::InvalidArgument("drift needs single-band rasters");
+  }
+  if (t0.width() != t1.width() || t0.height() != t1.height()) {
+    return Status::InvalidArgument("rasters must share the grid");
+  }
+  if (options.block <= 1 || options.max_shift < 1) {
+    return Status::InvalidArgument("block > 1 and max_shift >= 1 required");
+  }
+  std::vector<DriftVector> out;
+  const int block = options.block;
+  const int shift = options.max_shift;
+  const double pixel = t0.transform().pixel_size;
+  for (int y0 = shift; y0 + block + shift <= t0.height(); y0 += block) {
+    for (int x0 = shift; x0 + block + shift <= t0.width(); x0 += block) {
+      double mean;
+      double var;
+      BlockStats(t0, x0, y0, block, &mean, &var);
+      if (var < options.min_variance) continue;  // featureless
+      double best = -2.0;
+      int best_dx = 0;
+      int best_dy = 0;
+      for (int dy = -shift; dy <= shift; ++dy) {
+        for (int dx = -shift; dx <= shift; ++dx) {
+          double c = Ncc(t0, t1, x0, y0, dx, dy, block);
+          if (c > best) {
+            best = c;
+            best_dx = dx;
+            best_dy = dy;
+          }
+        }
+      }
+      if (best < options.min_correlation) continue;
+      DriftVector v;
+      v.cell_x = x0 / block;
+      v.cell_y = y0 / block;
+      v.dx_m = best_dx * pixel;
+      // Pixel +y is world -y (north-up rasters).
+      v.dy_m = -best_dy * pixel;
+      v.correlation = best;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace exearth::polar

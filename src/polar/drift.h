@@ -1,0 +1,43 @@
+// Sea-ice drift estimation between two acquisitions (Challenge A2: the
+// paper stresses that "the temporal dimension plays a very important role
+// ... (e.g. ... sea ice) and its dynamics"). Classic block-matching:
+// maximize normalized cross-correlation of concentration blocks within a
+// search radius, yielding a drift vector field for maritime users.
+
+#ifndef EXEARTH_POLAR_DRIFT_H_
+#define EXEARTH_POLAR_DRIFT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "raster/raster.h"
+
+namespace exearth::polar {
+
+struct DriftVector {
+  int cell_x = 0;  // block index in the t0 grid
+  int cell_y = 0;
+  double dx_m = 0.0;  // displacement in world units (t0 -> t1)
+  double dy_m = 0.0;
+  double correlation = 0.0;  // NCC of the best match, in [-1, 1]
+};
+
+struct DriftOptions {
+  int block = 8;        // block size in pixels
+  int max_shift = 4;    // search radius in pixels
+  /// Blocks with variance below this are featureless (open ocean or solid
+  /// pack) and produce no vector.
+  double min_variance = 1e-4;
+  /// Matches with correlation below this are discarded.
+  double min_correlation = 0.5;
+};
+
+/// Estimates drift from two single-band rasters on the same grid
+/// (typically ice-concentration charts from consecutive days).
+common::Result<std::vector<DriftVector>> EstimateIceDrift(
+    const raster::Raster& t0, const raster::Raster& t1,
+    const DriftOptions& options);
+
+}  // namespace exearth::polar
+
+#endif  // EXEARTH_POLAR_DRIFT_H_

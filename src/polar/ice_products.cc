@@ -1,0 +1,326 @@
+#include "polar/ice_products.h"
+
+#include <algorithm>
+#include <cstring>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace exearth::polar {
+
+using common::Result;
+using common::Status;
+
+Result<IceChart> MakeIceChart(const raster::ClassMap& pixel_classes,
+                              const raster::GeoTransform& transform,
+                              int cell_pixels) {
+  const int w = pixel_classes.width();
+  const int h = pixel_classes.height();
+  if (cell_pixels <= 0 || w % cell_pixels != 0 || h % cell_pixels != 0) {
+    return Status::InvalidArgument(common::StrFormat(
+        "cell_pixels %d does not divide %dx%d", cell_pixels, w, h));
+  }
+  const int cw = w / cell_pixels;
+  const int ch = h / cell_pixels;
+  raster::GeoTransform cell_transform = transform;
+  cell_transform.pixel_size = transform.pixel_size * cell_pixels;
+  IceChart chart;
+  chart.cell_pixels = cell_pixels;
+  chart.concentration = raster::Raster(cw, ch, 1, cell_transform);
+  chart.lead_fraction = raster::Raster(cw, ch, 1, cell_transform);
+  chart.dominant = raster::ClassMap(cw, ch);
+  std::vector<int> counts(raster::kNumIceClasses);
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int dy = 0; dy < cell_pixels; ++dy) {
+        for (int dx = 0; dx < cell_pixels; ++dx) {
+          uint8_t cls = pixel_classes.at(cx * cell_pixels + dx,
+                                         cy * cell_pixels + dy);
+          if (cls < raster::kNumIceClasses) ++counts[cls];
+        }
+      }
+      const int total = cell_pixels * cell_pixels;
+      const int water = counts[static_cast<int>(raster::IceClass::kOpenWater)];
+      const int ice = total - water;
+      chart.concentration.Set(0, cx, cy,
+                              static_cast<float>(ice) / total);
+      // Dominant *ice* class (ignoring water) when there is ice; water
+      // cells keep kOpenWater.
+      int best = static_cast<int>(raster::IceClass::kOpenWater);
+      if (ice > 0) {
+        best = 1;
+        for (int c = 2; c < raster::kNumIceClasses; ++c) {
+          if (counts[c] > counts[best]) best = c;
+        }
+      }
+      chart.dominant.at(cx, cy) = static_cast<uint8_t>(best);
+      // Leads: open water inside ice-covered cells (> 50% ice).
+      float leads = 0.0f;
+      if (ice * 2 > total) {
+        leads = static_cast<float>(water) / total;
+      }
+      chart.lead_fraction.Set(0, cx, cy, leads);
+    }
+  }
+  return chart;
+}
+
+std::vector<double> StageOfDevelopmentFractions(const IceChart& chart) {
+  std::vector<double> fractions(raster::kNumIceClasses, 0.0);
+  const auto& map = chart.dominant;
+  if (map.size() == 0) return fractions;
+  for (uint8_t v : map.data()) {
+    if (v < raster::kNumIceClasses) fractions[v] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(map.size());
+  return fractions;
+}
+
+raster::ClassMap MajorityFilter(const raster::ClassMap& map, int radius,
+                                int num_classes) {
+  EEA_CHECK(radius >= 0 && num_classes > 0);
+  const int w = map.width();
+  const int h = map.height();
+  raster::ClassMap out(w, h);
+  std::vector<int> counts(static_cast<size_t>(num_classes));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          uint8_t v = map.at_clamped(x + dx, y + dy);
+          if (v < num_classes) ++counts[v];
+        }
+      }
+      int best = 0;
+      for (int c = 1; c < num_classes; ++c) {
+        if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(best)])
+          best = c;
+      }
+      out.at(x, y) = static_cast<uint8_t>(best);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Payload layout:
+//   u16 width, u16 height, u8 cell_pixels,
+//   f64 origin_x, f64 origin_y, f64 pixel_size,
+//   RLE stream of (count u8, value u8) where value packs
+//   (concentration_tenths << 4) | dominant_class.
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+uint16_t GetU16(const std::vector<uint8_t>& in, size_t* pos) {
+  uint16_t v = static_cast<uint16_t>(in[*pos] | (in[*pos + 1] << 8));
+  *pos += 2;
+  return v;
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+double GetF64(const std::vector<uint8_t>& in, size_t* pos) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(in[*pos + static_cast<size_t>(i)])
+            << (8 * i);
+  }
+  *pos += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint8_t PackCell(float concentration, uint8_t dominant) {
+  int tenths = static_cast<int>(std::lround(concentration * 10.0f));
+  tenths = std::clamp(tenths, 0, 10);
+  // 4 bits hold 0..10; dominant class fits in 4 bits (5 classes).
+  return static_cast<uint8_t>((tenths << 4) | (dominant & 0x0f));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodePcdss(const IceChart& chart) {
+  std::vector<uint8_t> out;
+  const int w = chart.concentration.width();
+  const int h = chart.concentration.height();
+  PutU16(&out, static_cast<uint16_t>(w));
+  PutU16(&out, static_cast<uint16_t>(h));
+  out.push_back(static_cast<uint8_t>(chart.cell_pixels));
+  const raster::GeoTransform& t = chart.concentration.transform();
+  PutF64(&out, t.origin_x);
+  PutF64(&out, t.origin_y);
+  PutF64(&out, t.pixel_size);
+  // RLE over row-major cells.
+  uint8_t run_value = 0;
+  int run_len = 0;
+  auto flush = [&] {
+    while (run_len > 0) {
+      int chunk = std::min(run_len, 255);
+      out.push_back(static_cast<uint8_t>(chunk));
+      out.push_back(run_value);
+      run_len -= chunk;
+    }
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      uint8_t v = PackCell(chart.concentration.Get(0, x, y),
+                           chart.dominant.at(x, y));
+      if (run_len > 0 && v == run_value) {
+        ++run_len;
+      } else {
+        flush();
+        run_value = v;
+        run_len = 1;
+      }
+    }
+  }
+  flush();
+  return out;
+}
+
+Result<IceChart> DecodePcdss(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 5 + 24) {
+    return Status::InvalidArgument("PCDSS payload too short");
+  }
+  size_t pos = 0;
+  const int w = GetU16(payload, &pos);
+  const int h = GetU16(payload, &pos);
+  const int cell_pixels = payload[pos++];
+  raster::GeoTransform t;
+  t.origin_x = GetF64(payload, &pos);
+  t.origin_y = GetF64(payload, &pos);
+  t.pixel_size = GetF64(payload, &pos);
+  IceChart chart;
+  chart.cell_pixels = cell_pixels;
+  chart.concentration = raster::Raster(w, h, 1, t);
+  chart.lead_fraction = raster::Raster(w, h, 1, t);
+  chart.dominant = raster::ClassMap(w, h);
+  int64_t cell = 0;
+  const int64_t total = static_cast<int64_t>(w) * h;
+  while (pos + 1 < payload.size() + 1 && pos + 2 <= payload.size()) {
+    int count = payload[pos];
+    uint8_t value = payload[pos + 1];
+    pos += 2;
+    for (int i = 0; i < count; ++i) {
+      if (cell >= total) {
+        return Status::InvalidArgument("PCDSS payload overflows grid");
+      }
+      int x = static_cast<int>(cell % w);
+      int y = static_cast<int>(cell / w);
+      chart.concentration.Set(0, x, y, static_cast<float>(value >> 4) / 10.0f);
+      chart.dominant.at(x, y) = static_cast<uint8_t>(value & 0x0f);
+      ++cell;
+    }
+  }
+  if (cell != total) {
+    return Status::InvalidArgument("PCDSS payload truncated");
+  }
+  return chart;
+}
+
+double TransferSeconds(size_t payload_bytes, double bits_per_second) {
+  EEA_CHECK(bits_per_second > 0);
+  return static_cast<double>(payload_bytes) * 8.0 / bits_per_second;
+}
+
+
+Result<raster::Raster> RidgeFraction(const raster::ClassMap& pixel_classes,
+                                     const raster::SentinelProduct& sar_scene,
+                                     int cell_pixels, double threshold_db) {
+  const raster::Raster& r = sar_scene.raster;
+  const int w = pixel_classes.width();
+  const int h = pixel_classes.height();
+  if (r.width() != w || r.height() != h || r.bands() < 1) {
+    return Status::InvalidArgument("SAR scene does not match the class map");
+  }
+  if (cell_pixels <= 0 || w % cell_pixels != 0 || h % cell_pixels != 0) {
+    return Status::InvalidArgument("cell_pixels must divide the scene");
+  }
+  const int cw = w / cell_pixels;
+  const int ch = h / cell_pixels;
+  raster::GeoTransform t = r.transform();
+  t.pixel_size *= cell_pixels;
+  raster::Raster out(cw, ch, 1, t);
+  const uint8_t water = static_cast<uint8_t>(raster::IceClass::kOpenWater);
+  const double factor = std::pow(10.0, threshold_db / 10.0);
+  std::vector<float> ice_values;
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      // The threshold is relative to the cell *median*: medians are robust
+      // to the very bright outliers we are trying to detect, unlike means.
+      ice_values.clear();
+      for (int dy = 0; dy < cell_pixels; ++dy) {
+        for (int dx = 0; dx < cell_pixels; ++dx) {
+          int x = cx * cell_pixels + dx;
+          int y = cy * cell_pixels + dy;
+          if (pixel_classes.at(x, y) == water) continue;
+          ice_values.push_back(r.Get(0, x, y));
+        }
+      }
+      if (ice_values.empty()) {
+        out.Set(0, cx, cy, 0.0f);
+        continue;
+      }
+      auto mid = ice_values.begin() +
+                 static_cast<ptrdiff_t>(ice_values.size() / 2);
+      std::nth_element(ice_values.begin(), mid, ice_values.end());
+      const double threshold = static_cast<double>(*mid) * factor;
+      int64_t ridged = 0;
+      for (float v : ice_values) {
+        if (v > threshold) ++ridged;
+      }
+      out.Set(0, cx, cy, static_cast<float>(ridged) /
+                             static_cast<float>(ice_values.size()));
+    }
+  }
+  return out;
+}
+
+int64_t InjectRidges(raster::SentinelProduct* sar_scene,
+                     const raster::ClassMap& ice_map, int count,
+                     double brightness_boost_db, uint64_t seed) {
+  common::Rng rng(seed);
+  raster::Raster& r = sar_scene->raster;
+  const int w = r.width();
+  const int h = r.height();
+  const uint8_t water = static_cast<uint8_t>(raster::IceClass::kOpenWater);
+  const float boost =
+      static_cast<float>(std::pow(10.0, brightness_boost_db / 10.0));
+  int64_t painted = 0;
+  for (int i = 0; i < count; ++i) {
+    // A random line segment; only its ice pixels get brightened.
+    double x = rng.UniformDouble(0, w);
+    double y = rng.UniformDouble(0, h);
+    double angle = rng.UniformDouble(0, 2 * M_PI);
+    double len = rng.UniformDouble(0.1, 0.3) * std::min(w, h);
+    const int steps = static_cast<int>(len);
+    for (int s = 0; s < steps; ++s) {
+      int px = static_cast<int>(x + std::cos(angle) * s);
+      int py = static_cast<int>(y + std::sin(angle) * s);
+      if (px < 0 || px >= w || py < 0 || py >= h) break;
+      if (ice_map.at(px, py) == water) continue;
+      for (int b = 0; b < r.bands(); ++b) {
+        r.Set(b, px, py, r.Get(b, px, py) * boost);
+      }
+      ++painted;
+    }
+  }
+  return painted;
+}
+
+}  // namespace exearth::polar

@@ -1,0 +1,84 @@
+// A2 ice products: aggregation of per-pixel ice classes into chart cells
+// (concentration, WMO stage of development, lead fraction) at the paper's
+// ≤ 1 km product resolution, plus the PCDSS low-bandwidth encoding used to
+// ship charts to vessels over constrained links.
+
+#ifndef EXEARTH_POLAR_ICE_PRODUCTS_H_
+#define EXEARTH_POLAR_ICE_PRODUCTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::polar {
+
+/// An ice chart: per-cell products aggregated from pixel classifications.
+struct IceChart {
+  /// Ice concentration in [0,1] (fraction of non-open-water pixels).
+  raster::Raster concentration;
+  /// Dominant WMO stage of development per cell (IceClass values).
+  raster::ClassMap dominant{0, 0};
+  /// Fraction of open-water pixels embedded in ice (leads).
+  raster::Raster lead_fraction;
+  int cell_pixels = 1;  // aggregation factor
+};
+
+/// Aggregates a per-pixel IceClass map into chart cells of
+/// `cell_pixels` x `cell_pixels` (e.g. 40 m pixels, cell_pixels=25 -> 1 km).
+/// Fails unless cell_pixels divides both dimensions.
+common::Result<IceChart> MakeIceChart(const raster::ClassMap& pixel_classes,
+                                      const raster::GeoTransform& transform,
+                                      int cell_pixels);
+
+/// Per-class area fractions of a chart's dominant map (WMO "partial
+/// concentrations" proxy); indexed by IceClass.
+std::vector<double> StageOfDevelopmentFractions(const IceChart& chart);
+
+/// Per-cell ridge fraction (the WMO chart's "fraction of ridges"): the
+/// fraction of ice pixels in each cell whose VV backscatter exceeds the
+/// cell's ice *median* by more than `threshold_db` — deformed/ridged ice
+/// is anomalously bright, and the median is robust to those outliers.
+/// `cell_pixels` must divide the scene as in MakeIceChart; returns a
+/// 1-band raster aligned with the chart grid.
+common::Result<raster::Raster> RidgeFraction(
+    const raster::ClassMap& pixel_classes,
+    const raster::SentinelProduct& sar_scene, int cell_pixels,
+    double threshold_db = 5.0);
+
+/// Plants synthetic ridges into a SAR scene: bright line segments across
+/// ice areas (test/bench support; the simulator's speckle alone contains
+/// no deformation features). Returns the number of ridge pixels painted.
+int64_t InjectRidges(raster::SentinelProduct* sar_scene,
+                     const raster::ClassMap& ice_map, int count,
+                     double brightness_boost_db, uint64_t seed);
+
+/// Majority (mode) filter over a (2*radius+1)^2 neighbourhood. Used to
+/// build the iceberg-detection water mask: isolated bright targets flip
+/// their own classification window to "ice", and the majority filter
+/// suppresses such islands so the CFAR-style detector still sees them as
+/// water. Ties resolve to the smallest class value.
+raster::ClassMap MajorityFilter(const raster::ClassMap& map, int radius,
+                                int num_classes);
+
+// --- PCDSS product encoding --------------------------------------------
+
+/// Encodes concentration (quantized to 1/10ths, the WMO "tenths"
+/// convention) + dominant class with run-length encoding; the payload a
+/// Polar Code Decision Support System would ship over Iridium.
+std::vector<uint8_t> EncodePcdss(const IceChart& chart);
+
+/// Decodes a PCDSS payload. Concentration is recovered at 1/10
+/// quantization; dominant classes exactly.
+common::Result<IceChart> DecodePcdss(const std::vector<uint8_t>& payload);
+
+/// Transfer seconds for a payload over a link of `bits_per_second`
+/// (e.g. Iridium ~ 2400 bps).
+double TransferSeconds(size_t payload_bytes, double bits_per_second);
+
+}  // namespace exearth::polar
+
+#endif  // EXEARTH_POLAR_ICE_PRODUCTS_H_

@@ -1,0 +1,152 @@
+#include "polar/icebergs.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace exearth::polar {
+
+namespace {
+double ToDb(float linear) {
+  return 10.0 * std::log10(std::max(1e-9, static_cast<double>(linear)));
+}
+}  // namespace
+
+std::vector<Iceberg> DetectIcebergs(const raster::SentinelProduct& sar_scene,
+                                    const raster::ClassMap& ice_map,
+                                    const IcebergDetectionOptions& options) {
+  const raster::Raster& r = sar_scene.raster;
+  EEA_CHECK(r.bands() >= 1);
+  EEA_CHECK(ice_map.width() == r.width() && ice_map.height() == r.height());
+  const int w = r.width();
+  const int h = r.height();
+  const uint8_t water = static_cast<uint8_t>(raster::IceClass::kOpenWater);
+
+  // Background: mean open-water backscatter in dB.
+  double bg_sum = 0.0;
+  int64_t bg_n = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (ice_map.at(x, y) == water) {
+        bg_sum += ToDb(r.Get(0, x, y));
+        ++bg_n;
+      }
+    }
+  }
+  if (bg_n == 0) return {};
+  const double background_db = bg_sum / static_cast<double>(bg_n);
+  const double threshold = background_db + options.threshold_db;
+
+  // Connected components (8-connectivity) of bright water pixels.
+  std::vector<int8_t> bright(static_cast<size_t>(w) * h, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      bright[static_cast<size_t>(y) * w + x] =
+          ice_map.at(x, y) == water && ToDb(r.Get(0, x, y)) > threshold ? 1
+                                                                        : 0;
+    }
+  }
+  std::vector<int8_t> visited(static_cast<size_t>(w) * h, 0);
+  std::vector<Iceberg> out;
+  std::vector<std::pair<int, int>> stack;
+  int next_id = 0;
+  const double pixel_area =
+      r.transform().pixel_size * r.transform().pixel_size;
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      size_t idx0 = static_cast<size_t>(y0) * w + x0;
+      if (!bright[idx0] || visited[idx0]) continue;
+      Iceberg berg;
+      double sum_x = 0;
+      double sum_y = 0;
+      double sum_db = 0;
+      stack.clear();
+      stack.emplace_back(x0, y0);
+      visited[idx0] = 1;
+      while (!stack.empty()) {
+        auto [x, y] = stack.back();
+        stack.pop_back();
+        ++berg.pixels;
+        geo::Point world = r.transform().PixelCenter(x, y);
+        sum_x += world.x;
+        sum_y += world.y;
+        sum_db += ToDb(r.Get(0, x, y));
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            int nx = x + dx;
+            int ny = y + dy;
+            if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+            size_t idx = static_cast<size_t>(ny) * w + nx;
+            if (bright[idx] && !visited[idx]) {
+              visited[idx] = 1;
+              stack.emplace_back(nx, ny);
+            }
+          }
+        }
+      }
+      if (berg.pixels >= options.min_pixels &&
+          berg.pixels <= options.max_pixels) {
+        berg.id = next_id++;
+        berg.position = geo::Point{sum_x / static_cast<double>(berg.pixels),
+                                   sum_y / static_cast<double>(berg.pixels)};
+        berg.area_m2 = static_cast<double>(berg.pixels) * pixel_area;
+        berg.mean_backscatter_db =
+            sum_db / static_cast<double>(berg.pixels);
+        out.push_back(berg);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<geo::Point> InjectIcebergs(raster::SentinelProduct* sar_scene,
+                                       const raster::ClassMap& ice_map,
+                                       int count, double brightness_db,
+                                       uint64_t seed) {
+  common::Rng rng(seed);
+  raster::Raster& r = sar_scene->raster;
+  const int w = r.width();
+  const int h = r.height();
+  const uint8_t water = static_cast<uint8_t>(raster::IceClass::kOpenWater);
+  const float level =
+      static_cast<float>(std::pow(10.0, brightness_db / 10.0));
+  std::vector<geo::Point> positions;
+  int attempts = 0;
+  while (static_cast<int>(positions.size()) < count && attempts < count * 200) {
+    ++attempts;
+    int x = static_cast<int>(rng.Uniform(static_cast<uint64_t>(w - 2))) + 1;
+    int y = static_cast<int>(rng.Uniform(static_cast<uint64_t>(h - 2))) + 1;
+    // Need a clear 3x3 water neighbourhood away from other bergs.
+    bool ok = true;
+    for (int dy = -1; dy <= 1 && ok; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (ice_map.at(x + dx, y + dy) != water) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    for (const geo::Point& p : positions) {
+      geo::Point cand = r.transform().PixelCenter(x, y);
+      if (geo::Distance(p, cand) < 6.0 * r.transform().pixel_size) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    // A 2x2 bright target in all bands.
+    for (int b = 0; b < r.bands(); ++b) {
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          r.Set(b, x + dx, y + dy, level);
+        }
+      }
+    }
+    positions.push_back(r.transform().PixelCenter(x, y));
+  }
+  return positions;
+}
+
+}  // namespace exearth::polar

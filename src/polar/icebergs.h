@@ -1,0 +1,49 @@
+// Iceberg detection (Challenge C4's flagship query feeds on this): bright
+// point targets in open water in SAR scenes, found by thresholding against
+// the local water background and connected-component grouping.
+
+#ifndef EXEARTH_POLAR_ICEBERGS_H_
+#define EXEARTH_POLAR_ICEBERGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "raster/landcover.h"
+#include "raster/sentinel.h"
+
+namespace exearth::polar {
+
+struct Iceberg {
+  int id = 0;
+  geo::Point position;   // world coordinates of the centroid
+  int64_t pixels = 0;
+  double area_m2 = 0.0;
+  double mean_backscatter_db = 0.0;
+};
+
+struct IcebergDetectionOptions {
+  /// Detection threshold above the open-water background, in dB.
+  double threshold_db = 6.0;
+  /// Minimum / maximum object size in pixels. Single bright pixels are
+  /// speckle; larger objects are floes.
+  int64_t min_pixels = 2;
+  int64_t max_pixels = 50;
+};
+
+/// Detects icebergs in the VV band of `sar_scene`, restricted to pixels the
+/// ice map calls open water.
+std::vector<Iceberg> DetectIcebergs(const raster::SentinelProduct& sar_scene,
+                                    const raster::ClassMap& ice_map,
+                                    const IcebergDetectionOptions& options);
+
+/// Plants synthetic icebergs (bright clusters) into a SAR scene's open
+/// water; returns their true positions (for detection recall tests).
+std::vector<geo::Point> InjectIcebergs(raster::SentinelProduct* sar_scene,
+                                       const raster::ClassMap& ice_map,
+                                       int count, double brightness_db,
+                                       uint64_t seed);
+
+}  // namespace exearth::polar
+
+#endif  // EXEARTH_POLAR_ICEBERGS_H_

@@ -1,0 +1,189 @@
+#include "polar/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "ml/network.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+
+namespace exearth::polar {
+
+using common::Result;
+using common::Status;
+
+raster::ClassMap ClassifyIcePixels(
+    const raster::SentinelProduct& sar_scene, ml::Network* network, int patch,
+    const std::vector<std::pair<float, float>>& standardization) {
+  const raster::Raster& r = sar_scene.raster;
+  const int w = r.width();
+  const int h = r.height();
+  raster::ClassMap out(w, h);
+  const int feature_dim = r.bands() * patch * patch;
+  EEA_CHECK(standardization.size() == static_cast<size_t>(feature_dim));
+  // Batch one row of windows at a time.
+  const int windows_x = w / patch;
+  ml::Tensor batch({windows_x, feature_dim});
+  for (int wy = 0; wy + patch <= h; wy += patch) {
+    float* p = batch.data();
+    for (int wx = 0; wx < windows_x; ++wx) {
+      int x0 = wx * patch;
+      size_t idx = static_cast<size_t>(wx) * feature_dim;
+      for (int b = 0; b < r.bands(); ++b) {
+        for (int y = wy; y < wy + patch; ++y) {
+          for (int x = x0; x < x0 + patch; ++x) {
+            float v = 10.0f * std::log10(std::max(1e-6f, r.Get(b, x, y)));
+            auto [mean, stddev] =
+                standardization[idx % static_cast<size_t>(feature_dim)];
+            p[idx] = (v - mean) / stddev;
+            ++idx;
+          }
+        }
+      }
+    }
+    ml::Tensor logits = network->Forward(batch, /*training=*/false);
+    const int c = logits.dim(1);
+    for (int wx = 0; wx < windows_x; ++wx) {
+      const float* row = logits.data() + static_cast<int64_t>(wx) * c;
+      uint8_t best = static_cast<uint8_t>(
+          std::max_element(row, row + c) - row);
+      for (int y = wy; y < wy + patch; ++y) {
+        for (int x = wx * patch; x < (wx + 1) * patch; ++x) {
+          out.at(x, y) = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<PolarReport> RunPolarPipeline(const PolarOptions& options,
+                                     catalog::SemanticCatalogue* catalogue) {
+  if (options.width % options.classifier_patch != 0 ||
+      options.height % options.classifier_patch != 0) {
+    return Status::InvalidArgument("patch must divide scene dimensions");
+  }
+  common::Rng rng(options.seed);
+  PolarReport report;
+
+  // 1. Ground-truth ice map (floes/leads structure via Voronoi patches),
+  //    skewed toward first-year ice with open-water leads.
+  raster::ClassMapOptions map_opt;
+  map_opt.width = options.width;
+  map_opt.height = options.height;
+  map_opt.num_classes = raster::kNumIceClasses;
+  map_opt.num_patches = options.ice_patches;
+  map_opt.class_weights = {2.0, 1.0, 1.5, 2.5, 1.5};
+  report.true_ice = raster::GenerateClassMap(map_opt, &rng);
+
+  // 2. SAR acquisition.
+  raster::SentinelSimulator::Options sim_opt;
+  sim_opt.pixel_size = options.pixel_size;
+  raster::SentinelSimulator sim(sim_opt, options.seed + 1);
+  raster::SentinelProduct scene = sim.SimulateS1Ice(report.true_ice, 60);
+
+  // 3. Inject icebergs into open water (they are part of the real scene
+  //    the classifier sees).
+  report.true_iceberg_positions =
+      InjectIcebergs(&scene, report.true_ice, options.injected_icebergs,
+                     /*brightness_db=*/-2.0, options.seed + 2);
+
+  // 4. Train the ice classifier on a second, independent scene (so
+  //    training pixels are not the evaluation pixels).
+  raster::SentinelProduct train_scene =
+      sim.SimulateS1Ice(report.true_ice, 61);
+  EEA_ASSIGN_OR_RETURN(
+      raster::Dataset train,
+      raster::MakeIceDataset(train_scene, report.true_ice,
+                             options.classifier_patch,
+                             options.classifier_patch));
+  common::Rng shuffle_rng(options.seed + 3);
+  train.Shuffle(&shuffle_rng);
+  if (static_cast<int>(train.size()) > options.training_samples) {
+    train.samples.resize(static_cast<size_t>(options.training_samples));
+  }
+  auto standardization = train.Standardize();
+  ml::Network net = ml::BuildMlp(train.feature_dim, {32},
+                                 raster::kNumIceClasses, options.seed + 4);
+  ml::TrainOptions topt;
+  topt.epochs = options.epochs;
+  topt.batch_size = 32;
+  topt.sgd.learning_rate = options.learning_rate;
+  ml::Trainer trainer(&net, topt);
+  trainer.Fit(&train);
+
+  // 5. Wall-to-wall classification of the operational scene.
+  report.predicted_ice = ClassifyIcePixels(scene, &net,
+                                           options.classifier_patch,
+                                           standardization);
+  int64_t correct = 0;
+  for (int y = 0; y < options.height; ++y) {
+    for (int x = 0; x < options.width; ++x) {
+      int truth = report.true_ice.at(x, y);
+      int pred = report.predicted_ice.at(x, y);
+      report.ice_confusion.Add(truth, pred);
+      if (truth == pred) ++correct;
+    }
+  }
+  report.ice_accuracy =
+      static_cast<double>(correct) /
+      (static_cast<double>(options.width) * options.height);
+
+  // 6. Chart products at <= 1 km, including the ridge fraction.
+  EEA_ASSIGN_OR_RETURN(report.chart,
+                       MakeIceChart(report.predicted_ice,
+                                    scene.raster.transform(),
+                                    options.chart_cell_pixels));
+  EEA_ASSIGN_OR_RETURN(report.ridge_fraction,
+                       RidgeFraction(report.predicted_ice, scene,
+                                     options.chart_cell_pixels));
+
+  // 7. Iceberg detection on the operational scene. The water mask is the
+  //    majority-filtered predicted map: a bright berg flips its own
+  //    classification window to "ice", and the filter suppresses such
+  //    isolated islands so the detector still scans them as water.
+  raster::ClassMap detection_mask = MajorityFilter(
+      report.predicted_ice, options.classifier_patch, raster::kNumIceClasses);
+  report.icebergs =
+      DetectIcebergs(scene, detection_mask, IcebergDetectionOptions{});
+  // Recall vs injected truth (within 3 pixels).
+  int found = 0;
+  for (const geo::Point& truth : report.true_iceberg_positions) {
+    for (const Iceberg& berg : report.icebergs) {
+      if (geo::Distance(truth, berg.position) <=
+          3.0 * options.pixel_size) {
+        ++found;
+        break;
+      }
+    }
+  }
+  report.iceberg_recall =
+      report.true_iceberg_positions.empty()
+          ? 1.0
+          : static_cast<double>(found) /
+                static_cast<double>(report.true_iceberg_positions.size());
+
+  // 8. PCDSS product for ship delivery.
+  std::vector<uint8_t> payload = EncodePcdss(report.chart);
+  report.pcdss_bytes = payload.size();
+  report.pcdss_transfer_seconds = TransferSeconds(payload.size(), 2400.0);
+
+  // 9. Catalogue publication.
+  if (catalogue != nullptr) {
+    catalogue->Ingest(scene.metadata);
+    for (const Iceberg& berg : report.icebergs) {
+      catalogue->AddObservation(
+          common::StrFormat("http://extremeearth.eu/iceberg/%s/%d",
+                            scene.metadata.product_id.c_str(), berg.id),
+          kIcebergClassIri, geo::Geometry(berg.position),
+          scene.metadata.product_id, scene.metadata.year,
+          scene.metadata.day_of_year);
+    }
+    EEA_RETURN_NOT_OK(catalogue->Build());
+  }
+  return report;
+}
+
+}  // namespace exearth::polar

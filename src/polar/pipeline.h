@@ -1,0 +1,71 @@
+// The A2 end-to-end pipeline: simulate Arctic SAR scenes, train a sea-ice
+// classifier, classify wall-to-wall, aggregate to 1 km chart products
+// (concentration, WMO stage of development, lead fraction), detect
+// icebergs, and publish observations into the semantic catalogue.
+
+#ifndef EXEARTH_POLAR_PIPELINE_H_
+#define EXEARTH_POLAR_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalogue.h"
+#include "common/result.h"
+#include "ml/metrics.h"
+#include "ml/network.h"
+#include "polar/ice_products.h"
+#include "polar/icebergs.h"
+#include "raster/landcover.h"
+#include "raster/sentinel.h"
+
+namespace exearth::polar {
+
+inline constexpr char kIcebergClassIri[] =
+    "http://extremeearth.eu/ontology#Iceberg";
+
+struct PolarOptions {
+  int width = 200;          // pixels
+  int height = 200;
+  double pixel_size = 40.0; // Sentinel-1 EW-ish
+  int ice_patches = 40;     // Voronoi patches of the true ice map
+  int classifier_patch = 4; // classification window (pixels)
+  int training_samples = 4000;
+  int epochs = 5;
+  double learning_rate = 0.05;
+  int chart_cell_pixels = 25;  // 25 x 40 m = 1 km cells
+  int injected_icebergs = 12;
+  uint64_t seed = 1;
+};
+
+struct PolarReport {
+  raster::ClassMap true_ice{0, 0};
+  raster::ClassMap predicted_ice{0, 0};
+  double ice_accuracy = 0.0;
+  ml::ConfusionMatrix ice_confusion{raster::kNumIceClasses};
+  IceChart chart;
+  /// Per-cell ridge fraction aligned with the chart grid (WMO "fraction
+  /// of ridges").
+  raster::Raster ridge_fraction;
+  std::vector<Iceberg> icebergs;
+  std::vector<geo::Point> true_iceberg_positions;
+  double iceberg_recall = 0.0;
+  size_t pcdss_bytes = 0;
+  double pcdss_transfer_seconds = 0.0;  // over a 2400 bps link
+};
+
+/// Runs the pipeline. If `catalogue` is non-null, the scene metadata is
+/// ingested and each detected iceberg becomes a knowledge observation
+/// (catalogue->Build() is called).
+common::Result<PolarReport> RunPolarPipeline(
+    const PolarOptions& options, catalog::SemanticCatalogue* catalogue);
+
+/// Wall-to-wall patch classification of a SAR scene (exposed for benches):
+/// slides a `patch` window with stride `patch` and writes the predicted
+/// class into every covered pixel.
+raster::ClassMap ClassifyIcePixels(
+    const raster::SentinelProduct& sar_scene, ml::Network* network, int patch,
+    const std::vector<std::pair<float, float>>& standardization);
+
+}  // namespace exearth::polar
+
+#endif  // EXEARTH_POLAR_PIPELINE_H_

@@ -1,0 +1,258 @@
+#include "raster/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::raster {
+
+using common::Result;
+using common::Status;
+
+void Dataset::Shuffle(common::Rng* rng) {
+  for (size_t i = samples.size(); i > 1; --i) {
+    size_t j = rng->Uniform(i);
+    std::swap(samples[i - 1], samples[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction) const {
+  Dataset train;
+  Dataset test;
+  train.feature_dim = test.feature_dim = feature_dim;
+  train.num_classes = test.num_classes = num_classes;
+  train.channels = test.channels = channels;
+  train.patch_height = test.patch_height = patch_height;
+  train.patch_width = test.patch_width = patch_width;
+  const size_t cut = static_cast<size_t>(
+      std::clamp(train_fraction, 0.0, 1.0) * static_cast<double>(samples.size()));
+  train.samples.assign(samples.begin(), samples.begin() + cut);
+  test.samples.assign(samples.begin() + cut, samples.end());
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<int64_t> Dataset::LabelHistogram() const {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (const Sample& s : samples) {
+    if (s.label >= 0 && s.label < num_classes) ++hist[static_cast<size_t>(s.label)];
+  }
+  return hist;
+}
+
+std::vector<std::pair<float, float>> Dataset::Standardize() {
+  std::vector<std::pair<float, float>> stats(
+      static_cast<size_t>(feature_dim), {0.0f, 1.0f});
+  if (samples.empty()) return stats;
+  std::vector<double> sum(static_cast<size_t>(feature_dim), 0.0);
+  std::vector<double> sum2(static_cast<size_t>(feature_dim), 0.0);
+  for (const Sample& s : samples) {
+    for (int d = 0; d < feature_dim; ++d) {
+      sum[static_cast<size_t>(d)] += s.features[static_cast<size_t>(d)];
+      sum2[static_cast<size_t>(d)] +=
+          static_cast<double>(s.features[static_cast<size_t>(d)]) *
+          s.features[static_cast<size_t>(d)];
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  for (int d = 0; d < feature_dim; ++d) {
+    double mean = sum[static_cast<size_t>(d)] / n;
+    double var = sum2[static_cast<size_t>(d)] / n - mean * mean;
+    double stddev = std::sqrt(std::max(1e-12, var));
+    stats[static_cast<size_t>(d)] = {static_cast<float>(mean),
+                                     static_cast<float>(stddev)};
+  }
+  ApplyStandardization(stats);
+  return stats;
+}
+
+void Dataset::ApplyStandardization(
+    const std::vector<std::pair<float, float>>& stats) {
+  EEA_CHECK(static_cast<int>(stats.size()) == feature_dim);
+  for (Sample& s : samples) {
+    for (int d = 0; d < feature_dim; ++d) {
+      auto [mean, stddev] = stats[static_cast<size_t>(d)];
+      s.features[static_cast<size_t>(d)] =
+          (s.features[static_cast<size_t>(d)] - mean) / stddev;
+    }
+  }
+}
+
+Dataset MakeEurosatLike(const EurosatOptions& options, uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset ds;
+  ds.num_classes = kNumLandCoverClasses;
+  ds.channels = kS2Bands;
+  ds.patch_height = options.patch_size;
+  ds.patch_width = options.patch_size;
+  ds.feature_dim = kS2Bands * options.patch_size * options.patch_size;
+  ds.samples.reserve(static_cast<size_t>(options.num_samples));
+  const int p = options.patch_size;
+  for (int i = 0; i < options.num_samples; ++i) {
+    auto main_cls = static_cast<LandCoverClass>(rng.Uniform(kNumLandCoverClasses));
+    auto second_cls =
+        static_cast<LandCoverClass>(rng.Uniform(kNumLandCoverClasses));
+    const auto& main_sig = LandCoverSignature(main_cls);
+    const auto& second_sig = LandCoverSignature(second_cls);
+    // A random half-plane through the patch separates the main class from
+    // the contaminating class (field edge / road / shoreline structure).
+    bool mixed = rng.Bernoulli(options.mixed_fraction);
+    double nx = rng.Gaussian(0, 1);
+    double ny = rng.Gaussian(0, 1);
+    double norm = std::sqrt(nx * nx + ny * ny) + 1e-9;
+    nx /= norm;
+    ny /= norm;
+    // Offset so the contamination covers < 50% of the patch.
+    double offset = rng.UniformDouble(0.15, 0.45) * p;
+    Sample s;
+    s.label = static_cast<int>(main_cls);
+    s.features.resize(static_cast<size_t>(ds.feature_dim));
+    for (int b = 0; b < kS2Bands; ++b) {
+      for (int y = 0; y < p; ++y) {
+        for (int x = 0; x < p; ++x) {
+          double proj = nx * (x - p / 2.0) + ny * (y - p / 2.0);
+          bool in_second = mixed && proj > offset;
+          float base = in_second ? second_sig[static_cast<size_t>(b)]
+                                 : main_sig[static_cast<size_t>(b)];
+          float v = base +
+                    static_cast<float>(rng.Gaussian(0, options.noise_stddev));
+          s.features[static_cast<size_t>(b) * p * p +
+                     static_cast<size_t>(y) * p + x] = std::max(0.0f, v);
+        }
+      }
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Result<Dataset> MakePatchDataset(const SentinelProduct& product,
+                                 const ClassMap& labels, int num_classes,
+                                 int patch_size, int stride) {
+  const Raster& r = product.raster;
+  if (labels.width() != r.width() || labels.height() != r.height()) {
+    return Status::InvalidArgument("label map size != raster size");
+  }
+  if (patch_size <= 0 || stride <= 0) {
+    return Status::InvalidArgument("patch_size and stride must be positive");
+  }
+  Dataset ds;
+  ds.num_classes = num_classes;
+  ds.channels = r.bands();
+  ds.patch_height = patch_size;
+  ds.patch_width = patch_size;
+  ds.feature_dim = r.bands() * patch_size * patch_size;
+  const bool has_mask = !product.cloud_mask.empty();
+  std::vector<int> counts(static_cast<size_t>(num_classes));
+  for (int y0 = 0; y0 + patch_size <= r.height(); y0 += stride) {
+    for (int x0 = 0; x0 + patch_size <= r.width(); x0 += stride) {
+      // Skip cloud-contaminated patches.
+      bool cloudy = false;
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int y = y0; y < y0 + patch_size && !cloudy; ++y) {
+        for (int x = x0; x < x0 + patch_size; ++x) {
+          if (has_mask && product.cloud_mask.at(x, y)) {
+            cloudy = true;
+            break;
+          }
+          uint8_t cls = labels.at(x, y);
+          if (cls < num_classes) ++counts[cls];
+        }
+      }
+      if (cloudy) continue;
+      int best = 0;
+      for (int c = 1; c < num_classes; ++c) {
+        if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(best)])
+          best = c;
+      }
+      Sample s;
+      s.label = best;
+      s.features.resize(static_cast<size_t>(ds.feature_dim));
+      size_t idx = 0;
+      for (int b = 0; b < r.bands(); ++b) {
+        for (int y = y0; y < y0 + patch_size; ++y) {
+          for (int x = x0; x < x0 + patch_size; ++x) {
+            s.features[idx++] = r.Get(b, x, y);
+          }
+        }
+      }
+      ds.samples.push_back(std::move(s));
+    }
+  }
+  return ds;
+}
+
+Result<Dataset> MakeCropTimeSeriesDataset(
+    const std::vector<SentinelProduct>& scenes, const ClassMap& crops,
+    int max_samples, uint64_t seed) {
+  if (scenes.empty()) return Status::InvalidArgument("no scenes");
+  for (const SentinelProduct& p : scenes) {
+    if (p.raster.width() != crops.width() ||
+        p.raster.height() != crops.height()) {
+      return Status::InvalidArgument("scene size != crop map size");
+    }
+    if (p.raster.bands() != kS2Bands) {
+      return Status::InvalidArgument("crop time series needs S2 scenes");
+    }
+  }
+  // Bands: B04 = red (index 3), B08 = NIR (index 7).
+  constexpr int kRed = 3;
+  constexpr int kNir = 7;
+  common::Rng rng(seed);
+  Dataset ds;
+  ds.num_classes = kNumCropTypes;
+  ds.feature_dim = static_cast<int>(scenes.size()) * 3;
+  const int64_t total =
+      static_cast<int64_t>(crops.width()) * crops.height();
+  const int64_t want = std::min<int64_t>(max_samples, total);
+  ds.samples.reserve(static_cast<size_t>(want));
+  for (int64_t i = 0; i < want; ++i) {
+    int x = static_cast<int>(rng.Uniform(static_cast<uint64_t>(crops.width())));
+    int y =
+        static_cast<int>(rng.Uniform(static_cast<uint64_t>(crops.height())));
+    Sample s;
+    s.label = crops.at(x, y);
+    s.features.reserve(static_cast<size_t>(ds.feature_dim));
+    for (const SentinelProduct& p : scenes) {
+      if (!p.cloud_mask.empty() && p.cloud_mask.at(x, y)) {
+        // Cloudy observation: fill with the neutral value (gap in the
+        // series); real pipelines interpolate, the classifier must cope.
+        s.features.push_back(0.0f);
+        s.features.push_back(0.0f);
+        s.features.push_back(0.0f);
+        continue;
+      }
+      float red = p.raster.Get(kRed, x, y);
+      float nir = p.raster.Get(kNir, x, y);
+      float denom = nir + red;
+      float ndvi = denom == 0.0f ? 0.0f : (nir - red) / denom;
+      s.features.push_back(ndvi);
+      s.features.push_back(nir);
+      s.features.push_back(red);
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Result<Dataset> MakeIceDataset(const SentinelProduct& sar_scene,
+                               const ClassMap& ice, int patch_size,
+                               int stride) {
+  const Raster& r = sar_scene.raster;
+  if (r.bands() != kS1Bands) {
+    return Status::InvalidArgument("ice dataset needs a 2-band SAR scene");
+  }
+  EEA_ASSIGN_OR_RETURN(
+      Dataset ds,
+      MakePatchDataset(sar_scene, ice, kNumIceClasses, patch_size, stride));
+  // SAR intensities are log-normal-ish; classify in dB space.
+  for (Sample& s : ds.samples) {
+    for (float& v : s.features) {
+      v = 10.0f * std::log10(std::max(1e-6f, v));
+    }
+  }
+  return ds;
+}
+
+}  // namespace exearth::raster

@@ -1,0 +1,100 @@
+// Labelled training datasets for the C1 classifiers and the C2 dataset-
+// generation tooling.
+//
+// A Dataset is a flat feature-vector + label collection; the ml module
+// consumes it directly. Generators cover:
+//  * MakeEurosatLike — the EuroSAT shape (13 bands, 10 classes, N samples),
+//    the benchmark the paper cites as the largest available (27,000 images);
+//  * MakePatchDataset — sliding-window patches from a simulated scene with
+//    labels from the class map (the "leverage cartographic products" path);
+//  * MakeCropTimeSeriesDataset — per-pixel multi-temporal features from a
+//    year of Sentinel-2 acquisitions over a crop map (A1);
+//  * MakeIceDataset — SAR patch features over an ice map (A2).
+
+#ifndef EXEARTH_RASTER_DATASET_H_
+#define EXEARTH_RASTER_DATASET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::raster {
+
+/// One labelled sample.
+struct Sample {
+  std::vector<float> features;
+  int label = 0;
+};
+
+/// A labelled dataset with a fixed feature dimension.
+struct Dataset {
+  std::vector<Sample> samples;
+  int feature_dim = 0;
+  int num_classes = 0;
+  /// For image-shaped features: channels/height/width (0 if not image-like).
+  int channels = 0;
+  int patch_height = 0;
+  int patch_width = 0;
+
+  size_t size() const { return samples.size(); }
+
+  /// In-place Fisher-Yates shuffle.
+  void Shuffle(common::Rng* rng);
+
+  /// Splits into (train, test) with `train_fraction` going to train.
+  std::pair<Dataset, Dataset> Split(double train_fraction) const;
+
+  /// Per-class sample counts.
+  std::vector<int64_t> LabelHistogram() const;
+
+  /// Standardizes features to zero mean / unit variance computed on this
+  /// dataset; returns the per-dimension (mean, stddev) used.
+  std::vector<std::pair<float, float>> Standardize();
+  /// Applies a previously computed standardization (from the train split).
+  void ApplyStandardization(
+      const std::vector<std::pair<float, float>>& stats);
+};
+
+/// Options for the EuroSAT-like generator.
+struct EurosatOptions {
+  int num_samples = 27000;   // EuroSAT's published size
+  int patch_size = 8;        // pixels per side (EuroSAT uses 64; smaller
+                             // patches keep the laptop-scale benches fast)
+  double noise_stddev = 0.03;
+  /// Fraction of each patch covered by a second "contaminating" class,
+  /// making the task realistically non-trivial.
+  double mixed_fraction = 0.3;
+};
+
+/// Generates an EuroSAT-shaped dataset: 13-band patches, 10 classes.
+Dataset MakeEurosatLike(const EurosatOptions& options, uint64_t seed);
+
+/// Extracts patch_size x patch_size windows every `stride` pixels from the
+/// product; the label is the majority class of the window in `labels`.
+/// Cloudy patches (any masked pixel) are skipped.
+common::Result<Dataset> MakePatchDataset(const SentinelProduct& product,
+                                         const ClassMap& labels,
+                                         int num_classes, int patch_size,
+                                         int stride);
+
+/// Per-pixel multi-temporal crop features: for each sampled pixel the
+/// feature vector concatenates [NDVI, NIR, Red] at each acquisition date.
+/// `scenes` must all cover the same grid as `crops`.
+common::Result<Dataset> MakeCropTimeSeriesDataset(
+    const std::vector<SentinelProduct>& scenes, const ClassMap& crops,
+    int max_samples, uint64_t seed);
+
+/// SAR ice-classification patches: features are dB-scaled VV/VH windows.
+common::Result<Dataset> MakeIceDataset(const SentinelProduct& sar_scene,
+                                       const ClassMap& ice, int patch_size,
+                                       int stride);
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_DATASET_H_

@@ -1,0 +1,65 @@
+// Grid<T>: a dense row-major 2-D array, the storage primitive for rasters,
+// class maps and model outputs.
+
+#ifndef EXEARTH_RASTER_GRID_H_
+#define EXEARTH_RASTER_GRID_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace exearth::raster {
+
+/// Dense row-major width x height grid of T.
+template <typename T>
+class Grid {
+ public:
+  Grid() : width_(0), height_(0) {}
+  Grid(int width, int height, T fill = T{})
+      : width_(width),
+        height_(height),
+        data_(static_cast<size_t>(width) * height, fill) {
+    EEA_CHECK(width >= 0 && height >= 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  T& at(int x, int y) {
+    EEA_DCHECK(InBounds(x, y)) << "(" << x << "," << y << ")";
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    EEA_DCHECK(InBounds(x, y)) << "(" << x << "," << y << ")";
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  /// at() clamped to the border; convenient for neighbourhood filters.
+  const T& at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return data_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<T> data_;
+};
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_GRID_H_

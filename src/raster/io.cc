@@ -1,0 +1,177 @@
+#include "raster/io.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace exearth::raster {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr uint32_t kVersion = 1;
+constexpr char kRasterMagic[4] = {'E', 'E', 'A', 'R'};
+constexpr char kProductMagic[4] = {'E', 'E', 'A', 'P'};
+
+// Little-endian raw writers/readers over a std::string buffer.
+template <typename T>
+void Put(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&value);
+  out->append(p, sizeof(T));
+}
+
+template <typename T>
+bool Get(std::string_view in, size_t* pos, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(std::string_view in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!Get(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeRaster(const Raster& raster) {
+  std::string out;
+  out.reserve(16 + raster.NumValues() * sizeof(float));
+  out.append(kRasterMagic, 4);
+  Put<uint32_t>(&out, kVersion);
+  Put<int32_t>(&out, raster.width());
+  Put<int32_t>(&out, raster.height());
+  Put<int32_t>(&out, raster.bands());
+  Put<double>(&out, raster.transform().origin_x);
+  Put<double>(&out, raster.transform().origin_y);
+  Put<double>(&out, raster.transform().pixel_size);
+  out.append(reinterpret_cast<const char*>(raster.data().data()),
+             raster.data().size() * sizeof(float));
+  return out;
+}
+
+Result<Raster> DeserializeRaster(std::string_view bytes) {
+  size_t pos = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kRasterMagic, 4) != 0) {
+    return Status::InvalidArgument("not an EEAR raster blob");
+  }
+  pos = 4;
+  uint32_t version = 0;
+  int32_t w = 0;
+  int32_t h = 0;
+  int32_t bands = 0;
+  GeoTransform t;
+  if (!Get(bytes, &pos, &version) || version != kVersion ||
+      !Get(bytes, &pos, &w) || !Get(bytes, &pos, &h) ||
+      !Get(bytes, &pos, &bands) || !Get(bytes, &pos, &t.origin_x) ||
+      !Get(bytes, &pos, &t.origin_y) || !Get(bytes, &pos, &t.pixel_size)) {
+    return Status::InvalidArgument("truncated raster header");
+  }
+  if (w < 0 || h < 0 || bands < 0) {
+    return Status::InvalidArgument("negative raster dimensions");
+  }
+  const size_t values = static_cast<size_t>(w) * static_cast<size_t>(h) *
+                        static_cast<size_t>(bands);
+  if (pos + values * sizeof(float) != bytes.size()) {
+    return Status::InvalidArgument("raster payload size mismatch");
+  }
+  Raster out(w, h, bands, t);
+  std::memcpy(out.data().data(), bytes.data() + pos, values * sizeof(float));
+  return out;
+}
+
+std::string SerializeProduct(const SentinelProduct& product) {
+  std::string out;
+  out.append(kProductMagic, 4);
+  Put<uint32_t>(&out, kVersion);
+  const SceneMetadata& md = product.metadata;
+  PutString(&out, md.product_id);
+  Put<uint8_t>(&out, static_cast<uint8_t>(md.mission));
+  Put<int32_t>(&out, md.year);
+  Put<int32_t>(&out, md.day_of_year);
+  Put<double>(&out, md.footprint.min_x);
+  Put<double>(&out, md.footprint.min_y);
+  Put<double>(&out, md.footprint.max_x);
+  Put<double>(&out, md.footprint.max_y);
+  Put<double>(&out, md.cloud_cover);
+  Put<uint64_t>(&out, md.size_bytes);
+  PutString(&out, SerializeRaster(product.raster));
+  const bool has_mask = !product.cloud_mask.empty();
+  Put<uint8_t>(&out, has_mask ? 1 : 0);
+  if (has_mask) {
+    Put<int32_t>(&out, product.cloud_mask.width());
+    Put<int32_t>(&out, product.cloud_mask.height());
+    out.append(reinterpret_cast<const char*>(product.cloud_mask.data().data()),
+               product.cloud_mask.data().size());
+  }
+  return out;
+}
+
+Result<SentinelProduct> DeserializeProduct(std::string_view bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kProductMagic, 4) != 0) {
+    return Status::InvalidArgument("not an EEAP product blob");
+  }
+  size_t pos = 4;
+  uint32_t version = 0;
+  if (!Get(bytes, &pos, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported product version");
+  }
+  SentinelProduct product;
+  SceneMetadata& md = product.metadata;
+  uint8_t mission = 0;
+  if (!GetString(bytes, &pos, &md.product_id) ||
+      !Get(bytes, &pos, &mission) || !Get(bytes, &pos, &md.year) ||
+      !Get(bytes, &pos, &md.day_of_year) ||
+      !Get(bytes, &pos, &md.footprint.min_x) ||
+      !Get(bytes, &pos, &md.footprint.min_y) ||
+      !Get(bytes, &pos, &md.footprint.max_x) ||
+      !Get(bytes, &pos, &md.footprint.max_y) ||
+      !Get(bytes, &pos, &md.cloud_cover) ||
+      !Get(bytes, &pos, &md.size_bytes)) {
+    return Status::InvalidArgument("truncated product metadata");
+  }
+  md.mission = static_cast<Mission>(mission);
+  std::string raster_blob;
+  if (!GetString(bytes, &pos, &raster_blob)) {
+    return Status::InvalidArgument("truncated raster blob");
+  }
+  EEA_ASSIGN_OR_RETURN(product.raster, DeserializeRaster(raster_blob));
+  uint8_t has_mask = 0;
+  if (!Get(bytes, &pos, &has_mask)) {
+    return Status::InvalidArgument("truncated mask flag");
+  }
+  if (has_mask) {
+    int32_t mw = 0;
+    int32_t mh = 0;
+    if (!Get(bytes, &pos, &mw) || !Get(bytes, &pos, &mh) || mw < 0 ||
+        mh < 0) {
+      return Status::InvalidArgument("truncated mask header");
+    }
+    const size_t n = static_cast<size_t>(mw) * static_cast<size_t>(mh);
+    if (pos + n > bytes.size()) {
+      return Status::InvalidArgument("truncated mask payload");
+    }
+    product.cloud_mask = Grid<uint8_t>(mw, mh);
+    std::memcpy(product.cloud_mask.data().data(), bytes.data() + pos, n);
+    pos += n;
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes in product blob");
+  }
+  return product;
+}
+
+}  // namespace exearth::raster

@@ -1,0 +1,30 @@
+// Binary (de)serialization of rasters and Sentinel products: the archive
+// format used to store real product bytes in the HopsFS-sim filesystem and
+// to move scenes between pipeline stages.
+//
+// Format (little-endian):
+//   raster  : "EEAR" u32 version | i32 w,h,bands | f64 ox,oy,px | f32 data[]
+//   product : "EEAP" u32 version | metadata block | raster blob |
+//             u8 has_mask [mask bytes]
+
+#ifndef EXEARTH_RASTER_IO_H_
+#define EXEARTH_RASTER_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::raster {
+
+std::string SerializeRaster(const Raster& raster);
+common::Result<Raster> DeserializeRaster(std::string_view bytes);
+
+std::string SerializeProduct(const SentinelProduct& product);
+common::Result<SentinelProduct> DeserializeProduct(std::string_view bytes);
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_IO_H_

@@ -1,0 +1,208 @@
+#include "raster/landcover.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace exearth::raster {
+
+const char* LandCoverClassName(LandCoverClass c) {
+  switch (c) {
+    case LandCoverClass::kAnnualCrop:
+      return "AnnualCrop";
+    case LandCoverClass::kForest:
+      return "Forest";
+    case LandCoverClass::kHerbaceousVegetation:
+      return "HerbaceousVegetation";
+    case LandCoverClass::kHighway:
+      return "Highway";
+    case LandCoverClass::kIndustrial:
+      return "Industrial";
+    case LandCoverClass::kPasture:
+      return "Pasture";
+    case LandCoverClass::kPermanentCrop:
+      return "PermanentCrop";
+    case LandCoverClass::kResidential:
+      return "Residential";
+    case LandCoverClass::kRiver:
+      return "River";
+    case LandCoverClass::kSeaLake:
+      return "SeaLake";
+  }
+  return "Unknown";
+}
+
+const char* CropTypeName(CropType c) {
+  switch (c) {
+    case CropType::kWheat:
+      return "Wheat";
+    case CropType::kMaize:
+      return "Maize";
+    case CropType::kBarley:
+      return "Barley";
+    case CropType::kRapeseed:
+      return "Rapeseed";
+    case CropType::kSugarBeet:
+      return "SugarBeet";
+    case CropType::kPotato:
+      return "Potato";
+    case CropType::kGrassland:
+      return "Grassland";
+    case CropType::kFallow:
+      return "Fallow";
+  }
+  return "Unknown";
+}
+
+const char* IceClassName(IceClass c) {
+  switch (c) {
+    case IceClass::kOpenWater:
+      return "OpenWater";
+    case IceClass::kNewIce:
+      return "NewIce";
+    case IceClass::kYoungIce:
+      return "YoungIce";
+    case IceClass::kFirstYearIce:
+      return "FirstYearIce";
+    case IceClass::kOldIce:
+      return "OldIce";
+  }
+  return "Unknown";
+}
+
+int IceClassWmoCode(IceClass c) {
+  // Simplified SIGRID-3 stage-of-development codes.
+  switch (c) {
+    case IceClass::kOpenWater:
+      return 1;
+    case IceClass::kNewIce:
+      return 81;
+    case IceClass::kYoungIce:
+      return 83;
+    case IceClass::kFirstYearIce:
+      return 86;
+    case IceClass::kOldIce:
+      return 95;
+  }
+  return 0;
+}
+
+ClassMap GenerateClassMap(const ClassMapOptions& options, common::Rng* rng) {
+  EEA_CHECK(options.num_classes > 0 && options.num_classes <= 256);
+  EEA_CHECK(options.num_patches > 0);
+  struct Seed {
+    double x;
+    double y;
+    uint8_t cls;
+  };
+  // Cumulative class prior.
+  std::vector<double> cum(options.num_classes);
+  {
+    double total = 0;
+    for (int c = 0; c < options.num_classes; ++c) {
+      double w = options.class_weights.empty()
+                     ? 1.0
+                     : options.class_weights[static_cast<size_t>(c)];
+      total += w;
+      cum[static_cast<size_t>(c)] = total;
+    }
+    for (double& v : cum) v /= total;
+  }
+  auto draw_class = [&]() -> uint8_t {
+    double u = rng->NextDouble();
+    for (int c = 0; c < options.num_classes; ++c) {
+      if (u <= cum[static_cast<size_t>(c)]) return static_cast<uint8_t>(c);
+    }
+    return static_cast<uint8_t>(options.num_classes - 1);
+  };
+
+  std::vector<Seed> seeds;
+  seeds.reserve(static_cast<size_t>(options.num_patches));
+  for (int i = 0; i < options.num_patches; ++i) {
+    seeds.push_back(Seed{rng->UniformDouble(0, options.width),
+                         rng->UniformDouble(0, options.height), draw_class()});
+  }
+
+  // Coarse spatial bucketing of seeds to avoid O(pixels * seeds).
+  const int grid_dim = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(options.num_patches))));
+  std::vector<std::vector<int>> buckets(
+      static_cast<size_t>(grid_dim) * grid_dim);
+  auto bucket_of = [&](double x, double y) {
+    int bx = std::min(grid_dim - 1,
+                      static_cast<int>(x / options.width * grid_dim));
+    int by = std::min(grid_dim - 1,
+                      static_cast<int>(y / options.height * grid_dim));
+    return static_cast<size_t>(by) * grid_dim + bx;
+  };
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    buckets[bucket_of(seeds[i].x, seeds[i].y)].push_back(static_cast<int>(i));
+  }
+
+  ClassMap map(options.width, options.height);
+  for (int y = 0; y < options.height; ++y) {
+    for (int x = 0; x < options.width; ++x) {
+      // Search outward ring by ring in the bucket grid until a seed is found,
+      // then one extra ring to guarantee correctness near bucket borders.
+      double px = x + 0.5;
+      double py = y + 0.5;
+      int bx = std::min(grid_dim - 1,
+                        static_cast<int>(px / options.width * grid_dim));
+      int by = std::min(grid_dim - 1,
+                        static_cast<int>(py / options.height * grid_dim));
+      double best_d2 = std::numeric_limits<double>::max();
+      uint8_t best_cls = 0;
+      bool found = false;
+      int extra = 0;
+      for (int radius = 0; radius < grid_dim; ++radius) {
+        bool any_in_ring = false;
+        for (int dy = -radius; dy <= radius; ++dy) {
+          for (int dx = -radius; dx <= radius; ++dx) {
+            if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+            int gx = bx + dx;
+            int gy = by + dy;
+            if (gx < 0 || gx >= grid_dim || gy < 0 || gy >= grid_dim) continue;
+            any_in_ring = true;
+            for (int si : buckets[static_cast<size_t>(gy) * grid_dim + gx]) {
+              double ddx = seeds[static_cast<size_t>(si)].x - px;
+              double ddy = seeds[static_cast<size_t>(si)].y - py;
+              double d2 = ddx * ddx + ddy * ddy;
+              if (d2 < best_d2) {
+                best_d2 = d2;
+                best_cls = seeds[static_cast<size_t>(si)].cls;
+                found = true;
+              }
+            }
+          }
+        }
+        if (found) {
+          if (++extra >= 2) break;  // one safety ring beyond first hit
+        }
+        if (!any_in_ring && radius > 0 && found) break;
+      }
+      map.at(x, y) = best_cls;
+    }
+  }
+  return map;
+}
+
+std::vector<int64_t> ClassHistogram(const ClassMap& map, int num_classes) {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (uint8_t v : map.data()) {
+    if (v < num_classes) ++hist[v];
+  }
+  return hist;
+}
+
+double Agreement(const ClassMap& a, const ClassMap& b) {
+  EEA_CHECK(a.width() == b.width() && a.height() == b.height());
+  if (a.size() == 0) return 1.0;
+  size_t same = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    if (a.data()[i] == b.data()[i]) ++same;
+  }
+  return static_cast<double>(same) / a.size();
+}
+
+}  // namespace exearth::raster

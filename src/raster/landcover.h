@@ -1,0 +1,94 @@
+// Thematic class nomenclatures and synthetic class-map generation.
+//
+// Three nomenclatures are used across the stack:
+//  * LandCoverClass — the 10 EuroSAT land-use/land-cover classes (C2);
+//  * CropType      — crop classes for the Food Security application (A1);
+//  * IceClass      — WMO Sea Ice Nomenclature stages of development (A2).
+//
+// Class maps are generated with a seeded Voronoi tessellation, which yields
+// the patchy parcel/floe structure real scenes have — the property that
+// matters for classifier training and for field-boundary extraction.
+
+#ifndef EXEARTH_RASTER_LANDCOVER_H_
+#define EXEARTH_RASTER_LANDCOVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "raster/grid.h"
+
+namespace exearth::raster {
+
+/// EuroSAT's 10 land-use / land-cover classes (Helber et al. 2018).
+enum class LandCoverClass : uint8_t {
+  kAnnualCrop = 0,
+  kForest,
+  kHerbaceousVegetation,
+  kHighway,
+  kIndustrial,
+  kPasture,
+  kPermanentCrop,
+  kResidential,
+  kRiver,
+  kSeaLake,
+};
+inline constexpr int kNumLandCoverClasses = 10;
+const char* LandCoverClassName(LandCoverClass c);
+
+/// Crop types for A1 (field-level classification and Kc coefficients).
+enum class CropType : uint8_t {
+  kWheat = 0,
+  kMaize,
+  kBarley,
+  kRapeseed,
+  kSugarBeet,
+  kPotato,
+  kGrassland,
+  kFallow,
+};
+inline constexpr int kNumCropTypes = 8;
+const char* CropTypeName(CropType c);
+
+/// WMO Sea Ice Nomenclature stage-of-development classes for A2.
+enum class IceClass : uint8_t {
+  kOpenWater = 0,
+  kNewIce,        // < 10 cm
+  kYoungIce,      // 10-30 cm
+  kFirstYearIce,  // 30-200 cm
+  kOldIce,        // survived at least one melt season
+};
+inline constexpr int kNumIceClasses = 5;
+const char* IceClassName(IceClass c);
+/// WMO "stage of development" code (SIGRID-3 SA codes, simplified).
+int IceClassWmoCode(IceClass c);
+
+/// A class map: per-pixel label grid (values index into one of the
+/// nomenclatures above; the map does not know which).
+using ClassMap = Grid<uint8_t>;
+
+/// Options for synthetic class-map generation.
+struct ClassMapOptions {
+  int width = 256;
+  int height = 256;
+  int num_classes = kNumLandCoverClasses;
+  /// Number of Voronoi seed patches; more seeds -> smaller parcels.
+  int num_patches = 150;
+  /// Optional per-class prior weights (size num_classes). Empty = uniform.
+  std::vector<double> class_weights;
+};
+
+/// Generates a patchy class map: `num_patches` Voronoi seeds, each assigned
+/// a class drawn from the prior; pixels take the class of the nearest seed.
+ClassMap GenerateClassMap(const ClassMapOptions& options, common::Rng* rng);
+
+/// Per-class pixel counts; histogram.size() == num_classes.
+std::vector<int64_t> ClassHistogram(const ClassMap& map, int num_classes);
+
+/// Fraction of pixels where `a` and `b` agree (maps must have equal size).
+double Agreement(const ClassMap& a, const ClassMap& b);
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_LANDCOVER_H_

@@ -1,0 +1,138 @@
+#include "raster/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::raster {
+
+using common::Result;
+using common::Status;
+
+Raster::Raster(int width, int height, int bands, GeoTransform transform)
+    : width_(width), height_(height), bands_(bands), transform_(transform) {
+  EEA_CHECK(width >= 0 && height >= 0 && bands >= 0);
+  data_.assign(static_cast<size_t>(width) * height * bands, 0.0f);
+}
+
+geo::Box Raster::Extent() const {
+  return geo::Box::Of(transform_.origin_x,
+                      transform_.origin_y - height_ * transform_.pixel_size,
+                      transform_.origin_x + width_ * transform_.pixel_size,
+                      transform_.origin_y);
+}
+
+Raster::BandStats Raster::ComputeStats(int band) const {
+  BandStats stats;
+  const float* p = BandData(band);
+  const size_t n = BandSize();
+  if (n == 0) return stats;
+  double sum = 0;
+  double sum2 = 0;
+  float mn = p[0];
+  float mx = p[0];
+  for (size_t i = 0; i < n; ++i) {
+    sum += p[i];
+    sum2 += static_cast<double>(p[i]) * p[i];
+    mn = std::min(mn, p[i]);
+    mx = std::max(mx, p[i]);
+  }
+  stats.mean = static_cast<float>(sum / n);
+  double var = sum2 / n - static_cast<double>(stats.mean) * stats.mean;
+  stats.stddev = static_cast<float>(std::sqrt(std::max(0.0, var)));
+  stats.min = mn;
+  stats.max = mx;
+  return stats;
+}
+
+std::vector<float> Raster::PixelVector(int x, int y) const {
+  std::vector<float> v(bands_);
+  for (int b = 0; b < bands_; ++b) v[b] = Get(b, x, y);
+  return v;
+}
+
+Result<Raster> Raster::ExtractPatch(int x0, int y0, int w, int h) const {
+  if (x0 < 0 || y0 < 0 || w <= 0 || h <= 0 || x0 + w > width_ ||
+      y0 + h > height_) {
+    return Status::OutOfRange(common::StrFormat(
+        "patch [%d,%d %dx%d] outside raster %dx%d", x0, y0, w, h, width_,
+        height_));
+  }
+  GeoTransform t = transform_;
+  t.origin_x += x0 * t.pixel_size;
+  t.origin_y -= y0 * t.pixel_size;
+  Raster out(w, h, bands_, t);
+  for (int b = 0; b < bands_; ++b) {
+    for (int y = 0; y < h; ++y) {
+      const float* src = BandData(b) + static_cast<size_t>(y0 + y) * width_ + x0;
+      float* dst = out.BandData(b) + static_cast<size_t>(y) * w;
+      std::copy(src, src + w, dst);
+    }
+  }
+  return out;
+}
+
+Raster Raster::ResampleNearest(int new_width, int new_height) const {
+  GeoTransform t = transform_;
+  if (new_width > 0) {
+    t.pixel_size = transform_.pixel_size * width_ / new_width;
+  }
+  Raster out(new_width, new_height, bands_, t);
+  for (int b = 0; b < bands_; ++b) {
+    for (int y = 0; y < new_height; ++y) {
+      int sy = std::min(height_ - 1, y * height_ / new_height);
+      for (int x = 0; x < new_width; ++x) {
+        int sx = std::min(width_ - 1, x * width_ / new_width);
+        out.Set(b, x, y, Get(b, sx, sy));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Raster> Raster::DownsampleMean(int factor) const {
+  if (factor <= 0 || width_ % factor != 0 || height_ % factor != 0) {
+    return Status::InvalidArgument(common::StrFormat(
+        "factor %d does not divide %dx%d", factor, width_, height_));
+  }
+  const int nw = width_ / factor;
+  const int nh = height_ / factor;
+  GeoTransform t = transform_;
+  t.pixel_size *= factor;
+  Raster out(nw, nh, bands_, t);
+  const double inv = 1.0 / (static_cast<double>(factor) * factor);
+  for (int b = 0; b < bands_; ++b) {
+    for (int y = 0; y < nh; ++y) {
+      for (int x = 0; x < nw; ++x) {
+        double sum = 0;
+        for (int dy = 0; dy < factor; ++dy) {
+          for (int dx = 0; dx < factor; ++dx) {
+            sum += Get(b, x * factor + dx, y * factor + dy);
+          }
+        }
+        out.Set(b, x, y, static_cast<float>(sum * inv));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Raster> NormalizedDifference(const Raster& r, int band_a, int band_b) {
+  if (band_a < 0 || band_a >= r.bands() || band_b < 0 || band_b >= r.bands()) {
+    return Status::InvalidArgument("band index out of range");
+  }
+  Raster out(r.width(), r.height(), 1, r.transform());
+  const float* a = r.BandData(band_a);
+  const float* b = r.BandData(band_b);
+  float* o = out.BandData(0);
+  const size_t n = r.BandSize();
+  for (size_t i = 0; i < n; ++i) {
+    float denom = a[i] + b[i];
+    o[i] = denom == 0.0f ? 0.0f : (a[i] - b[i]) / denom;
+  }
+  return out;
+}
+
+}  // namespace exearth::raster

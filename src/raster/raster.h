@@ -1,0 +1,123 @@
+// Multi-band georeferenced rasters: the in-memory representation of a
+// (synthetic) Sentinel product, of classification outputs and of the
+// water-availability / ice-concentration map products.
+
+#ifndef EXEARTH_RASTER_RASTER_H_
+#define EXEARTH_RASTER_RASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/geometry.h"
+
+namespace exearth::raster {
+
+/// Affine georeferencing for north-up rasters with square pixels: world
+/// coordinates of the top-left corner plus the pixel size in world units.
+struct GeoTransform {
+  double origin_x = 0.0;  // world x of the left edge of pixel (0,0)
+  double origin_y = 0.0;  // world y of the TOP edge of pixel (0,0)
+  double pixel_size = 1.0;
+
+  /// World coordinates of the center of pixel (x, y). y grows downward in
+  /// pixel space, upward in world space.
+  geo::Point PixelCenter(int x, int y) const {
+    return geo::Point{origin_x + (x + 0.5) * pixel_size,
+                      origin_y - (y + 0.5) * pixel_size};
+  }
+
+  /// Pixel containing world point `p` (may be out of raster bounds).
+  void WorldToPixel(const geo::Point& p, int* x, int* y) const {
+    *x = static_cast<int>((p.x - origin_x) / pixel_size);
+    *y = static_cast<int>((origin_y - p.y) / pixel_size);
+  }
+};
+
+/// A dense float32 raster with one or more bands (band-sequential layout).
+class Raster {
+ public:
+  Raster() = default;
+  Raster(int width, int height, int bands, GeoTransform transform = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int bands() const { return bands_; }
+  const GeoTransform& transform() const { return transform_; }
+
+  /// Size of one band in pixels.
+  size_t BandSize() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+  /// Total number of float values (bands * width * height).
+  size_t NumValues() const { return data_.size(); }
+  /// Approximate in-memory footprint in bytes.
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  float Get(int band, int x, int y) const {
+    return data_[Index(band, x, y)];
+  }
+  void Set(int band, int x, int y, float v) { data_[Index(band, x, y)] = v; }
+
+  /// Pointer to the start of a band's pixel block.
+  float* BandData(int band) { return data_.data() + band * BandSize(); }
+  const float* BandData(int band) const {
+    return data_.data() + band * BandSize();
+  }
+
+  /// World-space extent covered by the raster.
+  geo::Box Extent() const;
+
+  /// Per-band mean and standard deviation.
+  struct BandStats {
+    float mean = 0;
+    float stddev = 0;
+    float min = 0;
+    float max = 0;
+  };
+  BandStats ComputeStats(int band) const;
+
+  /// All band values at one pixel, band order.
+  std::vector<float> PixelVector(int x, int y) const;
+
+  /// Copies a window [x0, x0+w) x [y0, y0+h) of all bands into a new raster.
+  /// Fails if the window leaves the raster.
+  common::Result<Raster> ExtractPatch(int x0, int y0, int w, int h) const;
+
+  /// Nearest-neighbour resampling to a new size (all bands).
+  Raster ResampleNearest(int new_width, int new_height) const;
+
+  /// Block-average downsampling by an integer factor; the natural way to
+  /// produce 1 km ice products from 40 m SAR pixels. Fails unless `factor`
+  /// divides both dimensions.
+  common::Result<Raster> DownsampleMean(int factor) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  size_t Index(int band, int x, int y) const {
+    return band * BandSize() + static_cast<size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int bands_ = 0;
+  GeoTransform transform_;
+  std::vector<float> data_;
+};
+
+/// Normalized difference of two bands: (a - b) / (a + b), 0 where a+b == 0.
+/// With a = NIR, b = Red this is NDVI; with a = Green, b = NIR, NDWI.
+common::Result<Raster> NormalizedDifference(const Raster& r, int band_a,
+                                            int band_b);
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_RASTER_H_

@@ -1,0 +1,376 @@
+#include "raster/sentinel.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::raster {
+
+namespace {
+
+// Reflectance signatures, bands ordered B01, B02(Blue), B03(Green), B04(Red),
+// B05, B06, B07 (red edge), B08 (NIR), B8A, B09, B10, B11, B12 (SWIR).
+// Values are plausible top-of-canopy reflectances; what matters for the
+// experiments is that classes are separable but overlapping.
+constexpr std::array<std::array<float, kS2Bands>, kNumLandCoverClasses>
+    kSignatures = {{
+        // AnnualCrop: strong red edge / NIR when green.
+        {{0.08f, 0.07f, 0.09f, 0.07f, 0.14f, 0.30f, 0.36f, 0.38f, 0.40f,
+          0.12f, 0.02f, 0.22f, 0.12f}},
+        // Forest: high NIR, low red, low SWIR.
+        {{0.06f, 0.04f, 0.06f, 0.04f, 0.09f, 0.24f, 0.30f, 0.32f, 0.33f,
+          0.10f, 0.01f, 0.14f, 0.07f}},
+        // HerbaceousVegetation.
+        {{0.07f, 0.06f, 0.08f, 0.06f, 0.12f, 0.24f, 0.29f, 0.31f, 0.32f,
+          0.11f, 0.02f, 0.20f, 0.11f}},
+        // Highway: asphalt, flat spectrum.
+        {{0.11f, 0.11f, 0.12f, 0.13f, 0.14f, 0.15f, 0.16f, 0.16f, 0.17f,
+          0.08f, 0.02f, 0.18f, 0.16f}},
+        // Industrial: bright flat.
+        {{0.16f, 0.17f, 0.18f, 0.19f, 0.20f, 0.21f, 0.22f, 0.23f, 0.23f,
+          0.10f, 0.02f, 0.24f, 0.22f}},
+        // Pasture.
+        {{0.07f, 0.06f, 0.09f, 0.07f, 0.13f, 0.26f, 0.30f, 0.32f, 0.33f,
+          0.11f, 0.02f, 0.21f, 0.12f}},
+        // PermanentCrop (orchards/vineyards): mixed soil+canopy.
+        {{0.08f, 0.07f, 0.09f, 0.08f, 0.13f, 0.22f, 0.26f, 0.28f, 0.29f,
+          0.10f, 0.02f, 0.23f, 0.14f}},
+        // Residential.
+        {{0.13f, 0.13f, 0.14f, 0.15f, 0.16f, 0.17f, 0.18f, 0.19f, 0.19f,
+          0.09f, 0.02f, 0.20f, 0.18f}},
+        // River: water with sediment.
+        {{0.08f, 0.07f, 0.06f, 0.05f, 0.04f, 0.03f, 0.03f, 0.02f, 0.02f,
+          0.01f, 0.01f, 0.01f, 0.01f}},
+        // SeaLake: clear water.
+        {{0.06f, 0.05f, 0.04f, 0.03f, 0.02f, 0.02f, 0.01f, 0.01f, 0.01f,
+          0.01f, 0.01f, 0.01f, 0.01f}},
+    }};
+
+// Bands that carry the vegetation signal (red edge, NIR) and respond to
+// phenology; the rest are structural.
+constexpr std::array<float, kS2Bands> kVegetationResponse = {
+    0.0f, 0.0f, 0.1f, -0.5f, 0.2f, 0.8f, 1.0f, 1.0f, 1.0f,
+    0.1f, 0.0f, 0.3f, 0.2f};
+
+bool IsVegetated(LandCoverClass c) {
+  switch (c) {
+    case LandCoverClass::kAnnualCrop:
+    case LandCoverClass::kForest:
+    case LandCoverClass::kHerbaceousVegetation:
+    case LandCoverClass::kPasture:
+    case LandCoverClass::kPermanentCrop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Generic land-cover seasonality (strongest for annual crops, none for
+// built-up and water).
+double LandCoverSeasonality(LandCoverClass c, int day_of_year) {
+  if (!IsVegetated(c)) return 1.0;
+  double amplitude = 0.0;
+  switch (c) {
+    case LandCoverClass::kAnnualCrop:
+      amplitude = 0.6;
+      break;
+    case LandCoverClass::kPasture:
+    case LandCoverClass::kHerbaceousVegetation:
+      amplitude = 0.35;
+      break;
+    case LandCoverClass::kPermanentCrop:
+      amplitude = 0.25;
+      break;
+    case LandCoverClass::kForest:
+      amplitude = 0.15;
+      break;
+    default:
+      break;
+  }
+  // Peak around day 180 (northern-hemisphere summer).
+  double phase = std::sin(2.0 * M_PI * (day_of_year - 90) / 365.0);
+  return 1.0 - amplitude * 0.5 * (1.0 - phase);
+}
+
+float DbToLinear(float db) { return std::pow(10.0f, db / 10.0f); }
+
+}  // namespace
+
+const std::array<float, kS2Bands>& LandCoverSignature(LandCoverClass c) {
+  return kSignatures[static_cast<size_t>(c)];
+}
+
+std::array<float, kS1Bands> LandCoverBackscatter(LandCoverClass c) {
+  // sigma0 in dB (VV, VH), converted to linear power.
+  float vv_db = -10.0f;
+  float vh_db = -17.0f;
+  switch (c) {
+    case LandCoverClass::kForest:
+      vv_db = -8.5f;
+      vh_db = -13.5f;  // volume scattering raises cross-pol
+      break;
+    case LandCoverClass::kResidential:
+    case LandCoverClass::kIndustrial:
+      vv_db = -5.0f;
+      vh_db = -11.0f;  // double bounce
+      break;
+    case LandCoverClass::kRiver:
+    case LandCoverClass::kSeaLake:
+      vv_db = -18.0f;
+      vh_db = -26.0f;  // specular water
+      break;
+    case LandCoverClass::kAnnualCrop:
+    case LandCoverClass::kPermanentCrop:
+      vv_db = -11.0f;
+      vh_db = -17.0f;
+      break;
+    case LandCoverClass::kPasture:
+    case LandCoverClass::kHerbaceousVegetation:
+      vv_db = -12.0f;
+      vh_db = -18.5f;
+      break;
+    case LandCoverClass::kHighway:
+      vv_db = -14.0f;
+      vh_db = -22.0f;
+      break;
+  }
+  return {DbToLinear(vv_db), DbToLinear(vh_db)};
+}
+
+std::array<float, kS1Bands> IceBackscatter(IceClass c) {
+  float vv_db = -20.0f;
+  float vh_db = -28.0f;
+  switch (c) {
+    case IceClass::kOpenWater:
+      vv_db = -20.0f;
+      vh_db = -28.0f;
+      break;
+    case IceClass::kNewIce:
+      vv_db = -17.0f;
+      vh_db = -25.0f;
+      break;
+    case IceClass::kYoungIce:
+      vv_db = -14.0f;
+      vh_db = -22.0f;
+      break;
+    case IceClass::kFirstYearIce:
+      vv_db = -11.0f;
+      vh_db = -18.0f;
+      break;
+    case IceClass::kOldIce:
+      vv_db = -8.0f;
+      vh_db = -14.0f;  // deformed multi-year ice is bright, esp. cross-pol
+      break;
+  }
+  return {DbToLinear(vv_db), DbToLinear(vh_db)};
+}
+
+double CropPhenology(CropType crop, int day_of_year) {
+  // Gaussian-ish green-up around a crop-specific peak day.
+  double peak = 180.0;
+  double width = 60.0;
+  double amplitude = 1.0;
+  switch (crop) {
+    case CropType::kWheat:
+      peak = 150;
+      width = 55;
+      break;
+    case CropType::kBarley:
+      peak = 140;
+      width = 50;
+      break;
+    case CropType::kRapeseed:
+      peak = 125;
+      width = 45;
+      break;
+    case CropType::kMaize:
+      peak = 210;
+      width = 55;
+      break;
+    case CropType::kSugarBeet:
+      peak = 220;
+      width = 70;
+      break;
+    case CropType::kPotato:
+      peak = 195;
+      width = 50;
+      break;
+    case CropType::kGrassland:
+      // Persistent cover with mild seasonality.
+      return 0.55 + 0.25 * std::sin(2.0 * M_PI * (day_of_year - 90) / 365.0);
+    case CropType::kFallow:
+      return 0.12;
+  }
+  double d = (day_of_year - peak) / width;
+  return amplitude * std::exp(-d * d);
+}
+
+SentinelSimulator::SentinelSimulator(const Options& options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+SceneMetadata SentinelSimulator::MakeMetadata(Mission mission, int day_of_year,
+                                              int width, int height,
+                                              uint64_t bytes) {
+  SceneMetadata md;
+  md.mission = mission;
+  md.day_of_year = day_of_year;
+  md.product_id = common::StrFormat(
+      "S%d_EEA_%04d%03d_%06lld", mission == Mission::kSentinel1 ? 1 : 2,
+      md.year, day_of_year, static_cast<long long>(product_counter_++));
+  md.footprint = geo::Box::Of(
+      options_.origin_x, options_.origin_y - height * options_.pixel_size,
+      options_.origin_x + width * options_.pixel_size, options_.origin_y);
+  md.size_bytes = bytes;
+  return md;
+}
+
+SentinelProduct SentinelSimulator::SimulateS2(const ClassMap& land_cover,
+                                              int day_of_year) {
+  const int w = land_cover.width();
+  const int h = land_cover.height();
+  GeoTransform t{options_.origin_x, options_.origin_y, options_.pixel_size};
+  SentinelProduct product;
+  product.raster = Raster(w, h, kS2Bands, t);
+  common::Rng rng = rng_.Fork();
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      auto cls = static_cast<LandCoverClass>(land_cover.at(x, y));
+      const auto& sig = LandCoverSignature(cls);
+      double season = LandCoverSeasonality(cls, day_of_year);
+      for (int b = 0; b < kS2Bands; ++b) {
+        // Seasonality scales the vegetation-responsive bands around their
+        // base value; red reflectance moves opposite to greenness.
+        float base = sig[static_cast<size_t>(b)];
+        float response = kVegetationResponse[static_cast<size_t>(b)];
+        float value = base;
+        if (IsVegetated(cls) && response != 0.0f) {
+          value = base * static_cast<float>(
+                             1.0 + response * (season - 1.0));
+        }
+        value += static_cast<float>(rng.Gaussian(0.0, options_.noise_stddev));
+        product.raster.Set(b, x, y, std::max(0.0f, value));
+      }
+    }
+  }
+  product.cloud_mask = Grid<uint8_t>(w, h, 0);
+  product.metadata = MakeMetadata(Mission::kSentinel2, day_of_year, w, h,
+                                  product.raster.ByteSize());
+  AddClouds(&product);
+  return product;
+}
+
+SentinelProduct SentinelSimulator::SimulateCropS2(const ClassMap& crops,
+                                                  int day_of_year) {
+  const int w = crops.width();
+  const int h = crops.height();
+  GeoTransform t{options_.origin_x, options_.origin_y, options_.pixel_size};
+  SentinelProduct product;
+  product.raster = Raster(w, h, kS2Bands, t);
+  common::Rng rng = rng_.Fork();
+  // Crop pixels interpolate between a bare-soil and a full-canopy signature
+  // according to the crop's phenology at this date.
+  const std::array<float, kS2Bands> kSoil = {
+      0.11f, 0.10f, 0.12f, 0.14f, 0.17f, 0.19f, 0.20f, 0.21f, 0.22f,
+      0.09f, 0.02f, 0.28f, 0.24f};
+  const auto& canopy = LandCoverSignature(LandCoverClass::kAnnualCrop);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      auto crop = static_cast<CropType>(crops.at(x, y));
+      double g = CropPhenology(crop, day_of_year);
+      for (int b = 0; b < kS2Bands; ++b) {
+        float soil = kSoil[static_cast<size_t>(b)];
+        float green = canopy[static_cast<size_t>(b)];
+        float value = static_cast<float>(soil + g * (green - soil));
+        value += static_cast<float>(rng.Gaussian(0.0, options_.noise_stddev));
+        product.raster.Set(b, x, y, std::max(0.0f, value));
+      }
+    }
+  }
+  product.cloud_mask = Grid<uint8_t>(w, h, 0);
+  product.metadata = MakeMetadata(Mission::kSentinel2, day_of_year, w, h,
+                                  product.raster.ByteSize());
+  AddClouds(&product);
+  return product;
+}
+
+SentinelProduct SentinelSimulator::MakeSar(const ClassMap& map,
+                                           int day_of_year, bool ice_classes) {
+  const int w = map.width();
+  const int h = map.height();
+  GeoTransform t{options_.origin_x, options_.origin_y, options_.pixel_size};
+  SentinelProduct product;
+  product.raster = Raster(w, h, kS1Bands, t);
+  common::Rng rng = rng_.Fork();
+  const double looks = options_.sar_looks;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::array<float, kS1Bands> mean =
+          ice_classes
+              ? IceBackscatter(static_cast<IceClass>(map.at(x, y)))
+              : LandCoverBackscatter(static_cast<LandCoverClass>(map.at(x, y)));
+      for (int b = 0; b < kS1Bands; ++b) {
+        // Multi-look speckle: intensity ~ mean * Gamma(L, 1/L).
+        double speckle = rng.Gamma(looks, 1.0 / looks);
+        product.raster.Set(b, x, y,
+                           static_cast<float>(mean[static_cast<size_t>(b)] *
+                                              speckle));
+      }
+    }
+  }
+  product.metadata = MakeMetadata(Mission::kSentinel1, day_of_year, w, h,
+                                  product.raster.ByteSize());
+  return product;
+}
+
+SentinelProduct SentinelSimulator::SimulateS1(const ClassMap& land_cover,
+                                              int day_of_year) {
+  return MakeSar(land_cover, day_of_year, /*ice_classes=*/false);
+}
+
+SentinelProduct SentinelSimulator::SimulateS1Ice(const ClassMap& ice,
+                                                 int day_of_year) {
+  return MakeSar(ice, day_of_year, /*ice_classes=*/true);
+}
+
+void SentinelSimulator::AddClouds(SentinelProduct* product) {
+  if (!rng_.Bernoulli(options_.cloud_probability)) return;
+  const int w = product->raster.width();
+  const int h = product->raster.height();
+  common::Rng rng = rng_.Fork();
+  // A few elliptical cloud blobs up to roughly the target fraction.
+  double target = rng.UniformDouble(0.2, 1.8) * options_.mean_cloud_fraction;
+  int64_t cloudy = 0;
+  const int64_t total = static_cast<int64_t>(w) * h;
+  int attempts = 0;
+  while (cloudy < static_cast<int64_t>(target * total) && attempts < 64) {
+    ++attempts;
+    double cx = rng.UniformDouble(0, w);
+    double cy = rng.UniformDouble(0, h);
+    double rx = rng.UniformDouble(0.05, 0.25) * w;
+    double ry = rng.UniformDouble(0.05, 0.25) * h;
+    int x0 = std::max(0, static_cast<int>(cx - rx));
+    int x1 = std::min(w - 1, static_cast<int>(cx + rx));
+    int y0 = std::max(0, static_cast<int>(cy - ry));
+    int y1 = std::min(h - 1, static_cast<int>(cy + ry));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        double dx = (x - cx) / rx;
+        double dy = (y - cy) / ry;
+        if (dx * dx + dy * dy > 1.0) continue;
+        if (product->cloud_mask.at(x, y)) continue;
+        product->cloud_mask.at(x, y) = 1;
+        ++cloudy;
+        for (int b = 0; b < product->raster.bands(); ++b) {
+          product->raster.Set(
+              b, x, y,
+              0.85f + static_cast<float>(rng.Gaussian(0.0, 0.03)));
+        }
+      }
+    }
+  }
+  product->metadata.cloud_cover =
+      static_cast<double>(cloudy) / static_cast<double>(total);
+}
+
+}  // namespace exearth::raster

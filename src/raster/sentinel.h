@@ -1,0 +1,114 @@
+// Synthetic Sentinel-1/2 product simulation.
+//
+// The paper's experiments need PB-scale Copernicus archives we do not have;
+// per DESIGN.md §2 this simulator is the substitution. It produces
+// multi-band products with:
+//  * class-conditional spectral signatures (Sentinel-2 MSI, 13 bands),
+//  * crop phenology (per-crop seasonal NDVI trajectories),
+//  * SAR backscatter with gamma-distributed multi-look speckle
+//    (Sentinel-1 IW, VV+VH) including ice-class signatures,
+//  * cloud cover (Sentinel-2) with a per-pixel mask,
+//  * product metadata (id, footprint, acquisition day, size) feeding the
+//    semantic catalogue (C4) and the 5-Vs ingestion bench (E14).
+
+#ifndef EXEARTH_RASTER_SENTINEL_H_
+#define EXEARTH_RASTER_SENTINEL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "raster/grid.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+
+namespace exearth::raster {
+
+/// Sentinel-2 MSI has 13 spectral bands (B01..B08, B8A, B09..B12).
+inline constexpr int kS2Bands = 13;
+/// Sentinel-1 IW GRD dual-pol: VV and VH.
+inline constexpr int kS1Bands = 2;
+
+enum class Mission : uint8_t { kSentinel1 = 1, kSentinel2 = 2 };
+
+/// Product-level metadata, the unit record of the Copernicus catalogue.
+struct SceneMetadata {
+  std::string product_id;
+  Mission mission = Mission::kSentinel2;
+  int year = 2019;
+  int day_of_year = 1;  // 1..365
+  geo::Box footprint;
+  double cloud_cover = 0.0;  // fraction, S2 only
+  uint64_t size_bytes = 0;
+};
+
+/// A simulated product: metadata + pixels (+ cloud mask for S2).
+struct SentinelProduct {
+  SceneMetadata metadata;
+  Raster raster;
+  Grid<uint8_t> cloud_mask;  // 1 = cloudy; empty for S1
+};
+
+/// Mean top-of-canopy reflectance per land-cover class and S2 band.
+const std::array<float, kS2Bands>& LandCoverSignature(LandCoverClass c);
+
+/// Mean SAR backscatter (linear power units) per land-cover class (VV, VH).
+std::array<float, kS1Bands> LandCoverBackscatter(LandCoverClass c);
+
+/// Mean SAR backscatter per WMO ice class (VV, VH). Older/deformed ice is
+/// brighter; calm open water is dark.
+std::array<float, kS1Bands> IceBackscatter(IceClass c);
+
+/// Seasonal growth factor in [0,1] for a crop at the given day of year.
+/// Each crop has its own sowing/peak/harvest trajectory, so multi-temporal
+/// features separate crops that are identical at a single date.
+double CropPhenology(CropType crop, int day_of_year);
+
+/// Generates Sentinel products for a fixed scene geometry.
+class SentinelSimulator {
+ public:
+  struct Options {
+    double origin_x = 500000.0;  // projected coordinates (UTM-like)
+    double origin_y = 4650000.0;
+    double pixel_size = 10.0;    // metres
+    double noise_stddev = 0.015; // reflectance noise (S2)
+    int sar_looks = 4;           // equivalent number of looks (speckle)
+    double cloud_probability = 0.3;  // chance a S2 scene has clouds at all
+    double mean_cloud_fraction = 0.25;
+  };
+
+  SentinelSimulator(const Options& options, uint64_t seed);
+
+  /// Sentinel-2 scene over a land-cover map (values are LandCoverClass).
+  SentinelProduct SimulateS2(const ClassMap& land_cover, int day_of_year);
+
+  /// Sentinel-2 scene over a crop map (values are CropType); phenology
+  /// modulates the vegetation signal per crop.
+  SentinelProduct SimulateCropS2(const ClassMap& crops, int day_of_year);
+
+  /// Sentinel-1 scene over a land-cover map.
+  SentinelProduct SimulateS1(const ClassMap& land_cover, int day_of_year);
+
+  /// Sentinel-1 scene over a sea-ice map (values are IceClass).
+  SentinelProduct SimulateS1Ice(const ClassMap& ice, int day_of_year);
+
+  const Options& options() const { return options_; }
+
+ private:
+  SentinelProduct MakeSar(const ClassMap& map, int day_of_year,
+                          bool ice_classes);
+  void AddClouds(SentinelProduct* product);
+  SceneMetadata MakeMetadata(Mission mission, int day_of_year, int width,
+                             int height, uint64_t bytes);
+
+  Options options_;
+  common::Rng rng_;
+  int64_t product_counter_ = 0;
+};
+
+}  // namespace exearth::raster
+
+#endif  // EXEARTH_RASTER_SENTINEL_H_

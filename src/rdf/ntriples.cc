@@ -1,0 +1,216 @@
+#include "rdf/ntriples.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::rdf {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Parses one escaped literal body starting after the opening quote;
+// advances *pos past the closing quote.
+Result<std::string> ParseLiteralBody(std::string_view line, size_t* pos) {
+  std::string out;
+  while (*pos < line.size()) {
+    char c = line[*pos];
+    if (c == '"') {
+      ++*pos;
+      return out;
+    }
+    if (c == '\\') {
+      ++*pos;
+      if (*pos >= line.size()) break;
+      switch (line[*pos]) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          return Status::InvalidArgument("unknown escape in literal");
+      }
+      ++*pos;
+    } else {
+      out += c;
+      ++*pos;
+    }
+  }
+  return Status::InvalidArgument("unterminated literal");
+}
+
+void SkipSpace(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+}
+
+Result<Term> ParseTerm(std::string_view line, size_t* pos) {
+  SkipSpace(line, pos);
+  if (*pos >= line.size()) {
+    return Status::InvalidArgument("unexpected end of line");
+  }
+  char c = line[*pos];
+  if (c == '<') {
+    size_t close = line.find('>', *pos);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated IRI");
+    }
+    Term t = Term::Iri(std::string(line.substr(*pos + 1, close - *pos - 1)));
+    *pos = close + 1;
+    return t;
+  }
+  if (c == '_') {
+    if (*pos + 1 >= line.size() || line[*pos + 1] != ':') {
+      return Status::InvalidArgument("malformed blank node");
+    }
+    size_t end = *pos + 2;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '.') {
+      ++end;
+    }
+    Term t = Term::Blank(std::string(line.substr(*pos + 2, end - *pos - 2)));
+    *pos = end;
+    return t;
+  }
+  if (c == '"') {
+    ++*pos;
+    EEA_ASSIGN_OR_RETURN(std::string body, ParseLiteralBody(line, pos));
+    std::string datatype;
+    if (*pos + 1 < line.size() && line[*pos] == '^' &&
+        line[*pos + 1] == '^') {
+      *pos += 2;
+      if (*pos >= line.size() || line[*pos] != '<') {
+        return Status::InvalidArgument("malformed datatype IRI");
+      }
+      size_t close = line.find('>', *pos);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated datatype IRI");
+      }
+      datatype = std::string(line.substr(*pos + 1, close - *pos - 1));
+      *pos = close + 1;
+    }
+    return Term::Literal(std::move(body), std::move(datatype));
+  }
+  return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                 "'");
+}
+
+}  // namespace
+
+std::string ToNTriples(const Term& term) {
+  switch (term.type) {
+    case TermType::kIri:
+      return "<" + term.value + ">";
+    case TermType::kBlank:
+      return "_:" + term.value;
+    case TermType::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(term.value) + "\"";
+      if (!term.datatype.empty()) out += "^^<" + term.datatype + ">";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string SerializeNTriples(const TripleStore& store) {
+  EEA_CHECK(store.built()) << "SerializeNTriples on unbuilt store";
+  std::string out;
+  store.Scan(IdPattern{}, [&](const TripleId& t) {
+    out += ToNTriples(store.dict().Decode(t.s));
+    out += ' ';
+    out += ToNTriples(store.dict().Decode(t.p));
+    out += ' ';
+    out += ToNTriples(store.dict().Decode(t.o));
+    out += " .\n";
+    return true;
+  });
+  return out;
+}
+
+Result<NTriplesParseStats> ParseNTriples(std::string_view text,
+                                         TripleStore* store) {
+  NTriplesParseStats stats;
+  size_t line_start = 0;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++stats.lines;
+    std::string_view trimmed = common::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      if (line_end == text.size()) break;
+      continue;
+    }
+    size_t pos = 0;
+    auto fail = [&](const Status& s) {
+      return Status::InvalidArgument(common::StrFormat(
+          "line %llu: %s", static_cast<unsigned long long>(stats.lines),
+          s.message().c_str()));
+    };
+    auto s_term = ParseTerm(trimmed, &pos);
+    if (!s_term.ok()) return fail(s_term.status());
+    auto p_term = ParseTerm(trimmed, &pos);
+    if (!p_term.ok()) return fail(p_term.status());
+    if (!p_term->IsIri()) {
+      return fail(Status::InvalidArgument("predicate must be an IRI"));
+    }
+    auto o_term = ParseTerm(trimmed, &pos);
+    if (!o_term.ok()) return fail(o_term.status());
+    SkipSpace(trimmed, &pos);
+    if (pos >= trimmed.size() || trimmed[pos] != '.') {
+      return fail(Status::InvalidArgument("missing terminating '.'"));
+    }
+    ++pos;
+    SkipSpace(trimmed, &pos);
+    if (pos != trimmed.size()) {
+      return fail(Status::InvalidArgument("trailing characters after '.'"));
+    }
+    store->Add(*s_term, *p_term, *o_term);
+    ++stats.triples;
+    if (line_end == text.size()) break;
+  }
+  return stats;
+}
+
+}  // namespace exearth::rdf

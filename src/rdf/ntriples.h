@@ -1,0 +1,40 @@
+// N-Triples serialization: the line-based RDF exchange format used to move
+// graphs between the stack's components (GeoTriples output, federation
+// dumps, catalogue exports) and to/from the HopsFS-sim archive.
+//
+// Supported subset: IRIs, blank nodes, plain literals, datatyped literals
+// (no language tags), with \" \\ \n \r \t escapes in literals.
+
+#ifndef EXEARTH_RDF_NTRIPLES_H_
+#define EXEARTH_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::rdf {
+
+/// Serializes one term in N-Triples syntax (escaping literal content).
+std::string ToNTriples(const Term& term);
+
+/// Serializes the whole store, one triple per line, sorted SPO order.
+/// Requires store.built().
+std::string SerializeNTriples(const TripleStore& store);
+
+/// Statistics of a parse.
+struct NTriplesParseStats {
+  uint64_t triples = 0;
+  uint64_t lines = 0;
+};
+
+/// Parses N-Triples text into `store` (appends; caller Build()s after).
+/// Comment lines (#...) and blank lines are skipped. Fails with line
+/// information on malformed input.
+common::Result<NTriplesParseStats> ParseNTriples(std::string_view text,
+                                                 TripleStore* store);
+
+}  // namespace exearth::rdf
+
+#endif  // EXEARTH_RDF_NTRIPLES_H_

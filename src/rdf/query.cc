@@ -1,0 +1,228 @@
+#include "rdf/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::rdf {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// A triple pattern with constants resolved to ids. Variables keep names.
+struct ResolvedPattern {
+  // For each slot: id != 0 means constant; otherwise `var` holds the name.
+  uint64_t s_id = 0, p_id = 0, o_id = 0;
+  std::string s_var, p_var, o_var;
+};
+
+// Resolves constants; returns false if some constant term is not in the
+// dictionary (query has no results).
+bool ResolvePattern(const TriplePattern& tp, const Dictionary& dict,
+                    ResolvedPattern* out) {
+  auto resolve = [&](const PatternSlot& slot, uint64_t* id,
+                     std::string* var) {
+    if (slot.is_var) {
+      *var = slot.var;
+      return true;
+    }
+    auto found = dict.Lookup(slot.term);
+    if (!found.has_value()) return false;
+    *id = *found;
+    return true;
+  };
+  return resolve(tp.s, &out->s_id, &out->s_var) &&
+         resolve(tp.p, &out->p_id, &out->p_var) &&
+         resolve(tp.o, &out->o_id, &out->o_var);
+}
+
+// Builds the IdPattern for `rp` under the current binding.
+IdPattern BindPattern(const ResolvedPattern& rp, const Binding& binding) {
+  IdPattern q;
+  auto slot = [&](uint64_t id, const std::string& var)
+      -> std::optional<uint64_t> {
+    if (id != 0) return id;
+    auto it = binding.find(var);
+    if (it != binding.end()) return it->second;
+    return std::nullopt;
+  };
+  q.s = slot(rp.s_id, rp.s_var);
+  q.p = slot(rp.p_id, rp.p_var);
+  q.o = slot(rp.o_id, rp.o_var);
+  return q;
+}
+
+// Variables of `rp` currently unbound under `bound`.
+int UnboundVars(const ResolvedPattern& rp, const std::set<std::string>& bound) {
+  int n = 0;
+  for (const std::string* v : {&rp.s_var, &rp.p_var, &rp.o_var}) {
+    if (!v->empty() && !bound.count(*v)) ++n;
+  }
+  return n;
+}
+
+bool SharesVar(const ResolvedPattern& rp, const std::set<std::string>& bound) {
+  for (const std::string* v : {&rp.s_var, &rp.p_var, &rp.o_var}) {
+    if (!v->empty() && bound.count(*v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Binding>> QueryEngine::Execute(const Query& query) const {
+  stats_ = QueryStats{};
+  EEA_CHECK(store_->built()) << "query on unbuilt store";
+  if (query.where.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  std::vector<ResolvedPattern> patterns;
+  patterns.reserve(query.where.size());
+  for (const TriplePattern& tp : query.where) {
+    ResolvedPattern rp;
+    if (!ResolvePattern(tp, store_->dict(), &rp)) {
+      return std::vector<Binding>{};  // unknown constant: no matches
+    }
+    patterns.push_back(std::move(rp));
+  }
+
+  // Greedy join order: start from the pattern with the smallest base
+  // cardinality; then repeatedly pick the connected pattern with the
+  // smallest cardinality (falling back to disconnected ones).
+  std::vector<bool> used(patterns.size(), false);
+  std::vector<size_t> order;
+  std::set<std::string> bound;
+  auto base_count = [&](const ResolvedPattern& rp) {
+    IdPattern q;
+    if (rp.s_id) q.s = rp.s_id;
+    if (rp.p_id) q.p = rp.p_id;
+    if (rp.o_id) q.o = rp.o_id;
+    return store_->Count(q);
+  };
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    size_t best = patterns.size();
+    uint64_t best_count = std::numeric_limits<uint64_t>::max();
+    bool best_connected = false;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = step == 0 || SharesVar(patterns[i], bound);
+      uint64_t count = base_count(patterns[i]);
+      // Prefer connected patterns; among equals, smaller cardinality.
+      if ((connected && !best_connected) ||
+          (connected == best_connected && count < best_count)) {
+        best = i;
+        best_count = count;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const std::string* v :
+         {&patterns[best].s_var, &patterns[best].p_var,
+          &patterns[best].o_var}) {
+      if (!v->empty()) bound.insert(*v);
+    }
+  }
+
+  // Index nested-loop join following `order`.
+  std::vector<Binding> current = {Binding{}};
+  for (size_t oi : order) {
+    const ResolvedPattern& rp = patterns[oi];
+    std::vector<Binding> next;
+    for (const Binding& b : current) {
+      IdPattern q = BindPattern(rp, b);
+      ++stats_.index_scans;
+      store_->Scan(q, [&](const TripleId& t) {
+        Binding extended = b;
+        bool ok = true;
+        auto extend = [&](const std::string& var, uint64_t value) {
+          if (var.empty()) return;
+          auto it = extended.find(var);
+          if (it == extended.end()) {
+            extended[var] = value;
+          } else if (it->second != value) {
+            ok = false;  // same variable twice in one pattern, mismatch
+          }
+        };
+        extend(rp.s_var, t.s);
+        if (ok) extend(rp.p_var, t.p);
+        if (ok) extend(rp.o_var, t.o);
+        if (ok) next.push_back(std::move(extended));
+        return true;
+      });
+    }
+    current = std::move(next);
+    stats_.intermediate_rows += current.size();
+    if (current.empty()) break;
+  }
+
+  // Filters.
+  if (!query.filters.empty()) {
+    std::vector<Binding> filtered;
+    filtered.reserve(current.size());
+    for (Binding& b : current) {
+      bool keep = true;
+      for (const Filter& f : query.filters) {
+        if (!f(b, store_->dict())) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(std::move(b));
+    }
+    current = std::move(filtered);
+  }
+
+  // Limit.
+  if (query.limit > 0 && current.size() > query.limit) {
+    current.resize(query.limit);
+  }
+
+  // Projection.
+  if (!query.select.empty()) {
+    for (Binding& b : current) {
+      Binding projected;
+      for (const std::string& v : query.select) {
+        auto it = b.find(v);
+        if (it != b.end()) projected.insert(*it);
+      }
+      b = std::move(projected);
+    }
+  }
+  stats_.results = current.size();
+  return current;
+}
+
+Result<uint64_t> QueryEngine::Count(const Query& query) const {
+  EEA_ASSIGN_OR_RETURN(std::vector<Binding> rows, Execute(query));
+  return static_cast<uint64_t>(rows.size());
+}
+
+namespace {
+Filter NumericCompare(const std::string& var, double threshold, bool ge) {
+  return [var, threshold, ge](const Binding& b, const Dictionary& dict) {
+    auto it = b.find(var);
+    if (it == b.end()) return false;
+    const Term& term = dict.Decode(it->second);
+    if (!term.IsLiteral()) return false;
+    double value = 0;
+    if (!common::ParseDouble(term.value, &value)) return false;
+    return ge ? value >= threshold : value <= threshold;
+  };
+}
+}  // namespace
+
+Filter NumericGreaterEqual(const std::string& var, double threshold) {
+  return NumericCompare(var, threshold, /*ge=*/true);
+}
+
+Filter NumericLessEqual(const std::string& var, double threshold) {
+  return NumericCompare(var, threshold, /*ge=*/false);
+}
+
+}  // namespace exearth::rdf

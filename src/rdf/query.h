@@ -1,0 +1,93 @@
+// A SPARQL-subset query engine over TripleStore: basic graph patterns with
+// variables, greedy cardinality-ordered index nested-loop joins, filters,
+// projection, limit and COUNT. This is the querying layer that the Strabon
+// module extends with spatial pushdown and that Semagrow federates.
+
+#ifndef EXEARTH_RDF_QUERY_H_
+#define EXEARTH_RDF_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::rdf {
+
+/// One slot of a triple pattern: a variable or a constant term.
+struct PatternSlot {
+  bool is_var = false;
+  std::string var;  // when is_var
+  Term term;        // when !is_var
+
+  static PatternSlot Var(std::string name) {
+    PatternSlot s;
+    s.is_var = true;
+    s.var = std::move(name);
+    return s;
+  }
+  static PatternSlot Of(Term term) {
+    PatternSlot s;
+    s.term = std::move(term);
+    return s;
+  }
+  static PatternSlot Iri(std::string iri) {
+    return Of(Term::Iri(std::move(iri)));
+  }
+};
+
+struct TriplePattern {
+  PatternSlot s, p, o;
+};
+
+/// A solution mapping: variable name -> term id (ordered for determinism).
+using Binding = std::map<std::string, uint64_t>;
+
+/// A filter over a (complete) binding.
+using Filter = std::function<bool(const Binding&, const Dictionary&)>;
+
+struct Query {
+  std::vector<TriplePattern> where;
+  std::vector<Filter> filters;
+  /// Variables to keep; empty = all.
+  std::vector<std::string> select;
+  /// 0 = unlimited.
+  size_t limit = 0;
+};
+
+/// Execution statistics of the last query (for the benchmarks).
+struct QueryStats {
+  uint64_t index_scans = 0;        // pattern scans issued
+  uint64_t intermediate_rows = 0;  // bindings produced before filters
+  uint64_t results = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const TripleStore* store) : store_(store) {}
+
+  /// Evaluates the query. Unknown constant terms yield an empty result.
+  common::Result<std::vector<Binding>> Execute(const Query& query) const;
+
+  /// COUNT(*) of the query's solutions.
+  common::Result<uint64_t> Count(const Query& query) const;
+
+  const QueryStats& last_stats() const { return stats_; }
+
+  const TripleStore* store() const { return store_; }
+
+ private:
+  const TripleStore* store_;
+  mutable QueryStats stats_;
+};
+
+/// Helper: numeric-literal comparison filter, e.g. Filter ?v >= x.
+Filter NumericGreaterEqual(const std::string& var, double threshold);
+Filter NumericLessEqual(const std::string& var, double threshold);
+
+}  // namespace exearth::rdf
+
+#endif  // EXEARTH_RDF_QUERY_H_

@@ -1,0 +1,56 @@
+#include "rdf/term.h"
+
+#include "common/logging.h"
+
+namespace exearth::rdf {
+
+std::string Term::ToString() const {
+  switch (type) {
+    case TermType::kIri:
+      return "<" + value + ">";
+    case TermType::kLiteral:
+      if (datatype.empty()) return "\"" + value + "\"";
+      return "\"" + value + "\"^^<" + datatype + ">";
+    case TermType::kBlank:
+      return "_:" + value;
+  }
+  return value;
+}
+
+std::string Dictionary::KeyOf(const Term& term) {
+  // A type tag + separator that cannot appear in IRIs keeps keys unique.
+  std::string key;
+  key.reserve(term.value.size() + term.datatype.size() + 4);
+  key += static_cast<char>('0' + static_cast<int>(term.type));
+  key += '\x01';
+  key += term.value;
+  if (!term.datatype.empty()) {
+    key += '\x01';
+    key += term.datatype;
+  }
+  return key;
+}
+
+uint64_t Dictionary::Encode(const Term& term) {
+  std::string key = KeyOf(term);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  terms_.push_back(term);
+  uint64_t id = terms_.size();  // ids start at 1
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<uint64_t> Dictionary::Lookup(const Term& term) const {
+  auto it = ids_.find(KeyOf(term));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Term& Dictionary::Decode(uint64_t id) const {
+  EEA_CHECK(id != kInvalidId && id <= terms_.size())
+      << "invalid term id " << id;
+  return terms_[static_cast<size_t>(id - 1)];
+}
+
+}  // namespace exearth::rdf

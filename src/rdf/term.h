@@ -1,0 +1,88 @@
+// RDF terms and the dictionary encoding that maps terms to dense ids.
+//
+// The triple store (rdf/triple_store.h) operates purely on ids; the
+// dictionary is the only place term strings live. This is the standard
+// Strabon/virtuoso-style design the paper's C3 systems assume.
+
+#ifndef EXEARTH_RDF_TERM_H_
+#define EXEARTH_RDF_TERM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exearth::rdf {
+
+enum class TermType : uint8_t { kIri = 0, kLiteral = 1, kBlank = 2 };
+
+/// An RDF term. Literals may carry a datatype IRI (e.g. geo:wktLiteral).
+struct Term {
+  TermType type = TermType::kIri;
+  std::string value;     // IRI string, literal lexical form, or blank label
+  std::string datatype;  // literal datatype IRI ("" = plain literal)
+
+  static Term Iri(std::string iri) {
+    return Term{TermType::kIri, std::move(iri), ""};
+  }
+  static Term Literal(std::string value, std::string datatype = "") {
+    return Term{TermType::kLiteral, std::move(value), std::move(datatype)};
+  }
+  static Term Blank(std::string label) {
+    return Term{TermType::kBlank, std::move(label), ""};
+  }
+
+  bool IsIri() const { return type == TermType::kIri; }
+  bool IsLiteral() const { return type == TermType::kLiteral; }
+
+  /// N-Triples-style rendering: <iri>, "lit"^^<dt>, _:label.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.type == b.type && a.value == b.value && a.datatype == b.datatype;
+  }
+};
+
+/// Well-known vocabulary IRIs used across the stack.
+namespace vocab {
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kAsWkt[] = "http://www.opengis.net/ont/geosparql#asWKT";
+inline constexpr char kHasGeometry[] =
+    "http://www.opengis.net/ont/geosparql#hasGeometry";
+inline constexpr char kWktLiteral[] =
+    "http://www.opengis.net/ont/geosparql#wktLiteral";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kLabel[] = "http://www.w3.org/2000/01/rdf-schema#label";
+}  // namespace vocab
+
+/// Bidirectional term <-> id map. Ids are dense, starting at 1 (0 is
+/// reserved as "invalid"). Not thread-safe for writes.
+class Dictionary {
+ public:
+  static constexpr uint64_t kInvalidId = 0;
+
+  /// Interns `term`, returning its id (existing or new).
+  uint64_t Encode(const Term& term);
+
+  /// Id of `term` if already interned.
+  std::optional<uint64_t> Lookup(const Term& term) const;
+
+  /// The term for `id`. id must be valid.
+  const Term& Decode(uint64_t id) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  static std::string KeyOf(const Term& term);
+
+  std::vector<Term> terms_;                       // id - 1 -> term
+  std::unordered_map<std::string, uint64_t> ids_; // encoded key -> id
+};
+
+}  // namespace exearth::rdf
+
+#endif  // EXEARTH_RDF_TERM_H_

@@ -1,0 +1,194 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace exearth::rdf {
+
+namespace {
+
+// Orderings for the three permutations.
+struct SpoLess {
+  bool operator()(const TripleId& a, const TripleId& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct PosLess {
+  bool operator()(const TripleId& a, const TripleId& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OspLess {
+  bool operator()(const TripleId& a, const TripleId& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+// Equal-range over a sorted permutation for the bound prefix of `pattern`.
+// Key ordering: k1 (major), k2 (minor). k2 may only be bound if k1 is.
+template <typename Less, typename Key1, typename Key2>
+std::pair<const TripleId*, const TripleId*> PrefixRange(
+    const std::vector<TripleId>& index, std::optional<uint64_t> k1,
+    std::optional<uint64_t> k2, Key1 key1, Key2 key2) {
+  const TripleId* begin = index.data();
+  const TripleId* end = index.data() + index.size();
+  if (!k1.has_value()) return {begin, end};
+  // Binary search on the first key.
+  auto lo1 = std::lower_bound(begin, end, *k1, [&](const TripleId& t,
+                                                   uint64_t v) {
+    return key1(t) < v;
+  });
+  auto hi1 = std::upper_bound(lo1, end, *k1, [&](uint64_t v,
+                                                 const TripleId& t) {
+    return v < key1(t);
+  });
+  if (!k2.has_value()) return {lo1, hi1};
+  auto lo2 = std::lower_bound(lo1, hi1, *k2, [&](const TripleId& t,
+                                                 uint64_t v) {
+    return key2(t) < v;
+  });
+  auto hi2 = std::upper_bound(lo2, hi1, *k2, [&](uint64_t v,
+                                                 const TripleId& t) {
+    return v < key2(t);
+  });
+  return {lo2, hi2};
+}
+
+}  // namespace
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  AddIds(dict_.Encode(s), dict_.Encode(p), dict_.Encode(o));
+}
+
+void TripleStore::AddIds(uint64_t s, uint64_t p, uint64_t o) {
+  EEA_DCHECK(s != Dictionary::kInvalidId && p != Dictionary::kInvalidId &&
+             o != Dictionary::kInvalidId);
+  spo_.push_back(TripleId{s, p, o});
+  built_ = false;
+}
+
+void TripleStore::Build() {
+  if (built_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess{});
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess{});
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess{});
+  built_ = true;
+}
+
+TripleStore::Index TripleStore::ChooseIndex(const IdPattern& q) const {
+  // Pick the permutation whose sort order matches the bound slots as a
+  // prefix: s -> SPO, p -> POS, o -> OSP; s+p -> SPO, p+o -> POS, o+s -> OSP.
+  if (q.s.has_value()) {
+    return Index::kSpo;  // covers s, s+p, s+p+o, s+o (partially)
+  }
+  if (q.p.has_value()) return Index::kPos;
+  if (q.o.has_value()) return Index::kOsp;
+  return Index::kSpo;  // full scan
+}
+
+void TripleStore::Scan(
+    const IdPattern& q,
+    const std::function<bool(const TripleId&)>& visitor) const {
+  EEA_CHECK(built_) << "Scan on unbuilt TripleStore";
+  const TripleId* begin = nullptr;
+  const TripleId* end = nullptr;
+  Index index = ChooseIndex(q);
+  switch (index) {
+    case Index::kSpo: {
+      auto range = PrefixRange<SpoLess>(
+          spo_, q.s, q.s.has_value() ? q.p : std::nullopt,
+          [](const TripleId& t) { return t.s; },
+          [](const TripleId& t) { return t.p; });
+      begin = range.first;
+      end = range.second;
+      break;
+    }
+    case Index::kPos: {
+      auto range = PrefixRange<PosLess>(
+          pos_, q.p, q.o,
+          [](const TripleId& t) { return t.p; },
+          [](const TripleId& t) { return t.o; });
+      begin = range.first;
+      end = range.second;
+      break;
+    }
+    case Index::kOsp: {
+      auto range = PrefixRange<OspLess>(
+          osp_, q.o, q.s,
+          [](const TripleId& t) { return t.o; },
+          [](const TripleId& t) { return t.s; });
+      begin = range.first;
+      end = range.second;
+      break;
+    }
+  }
+  for (const TripleId* t = begin; t != end; ++t) {
+    // Residual filters for slots not covered by the index prefix.
+    if (q.s.has_value() && t->s != *q.s) continue;
+    if (q.p.has_value() && t->p != *q.p) continue;
+    if (q.o.has_value() && t->o != *q.o) continue;
+    if (!visitor(*t)) return;
+  }
+}
+
+std::vector<TripleId> TripleStore::Match(const IdPattern& pattern) const {
+  std::vector<TripleId> out;
+  Scan(pattern, [&](const TripleId& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+uint64_t TripleStore::Count(const IdPattern& q) const {
+  EEA_CHECK(built_) << "Count on unbuilt TripleStore";
+  // Fully-bound prefix cases can be answered from range widths.
+  const bool s = q.s.has_value();
+  const bool p = q.p.has_value();
+  const bool o = q.o.has_value();
+  if (!s && !p && !o) return spo_.size();
+  // For prefix-matching combinations, use the range; count residuals
+  // otherwise.
+  uint64_t count = 0;
+  Scan(q, [&](const TripleId&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> TripleStore::PredicateStats()
+    const {
+  EEA_CHECK(built_) << "PredicateStats on unbuilt TripleStore";
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  size_t i = 0;
+  while (i < pos_.size()) {
+    size_t j = i;
+    while (j < pos_.size() && pos_[j].p == pos_[i].p) ++j;
+    out.emplace_back(pos_[i].p, static_cast<uint64_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool TripleStore::Contains(uint64_t s, uint64_t p, uint64_t o) const {
+  bool found = false;
+  Scan(IdPattern{s, p, o}, [&](const TripleId&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace exearth::rdf

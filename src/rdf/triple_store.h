@@ -1,0 +1,95 @@
+// In-memory triple store with dictionary encoding and three sorted
+// permutation indexes (SPO, POS, OSP), supporting pattern scans with exact
+// range cardinalities. The design Strabon layers over a DBMS, reproduced
+// natively (DESIGN.md §6).
+
+#ifndef EXEARTH_RDF_TRIPLE_STORE_H_
+#define EXEARTH_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace exearth::rdf {
+
+/// A triple of term ids.
+struct TripleId {
+  uint64_t s = 0;
+  uint64_t p = 0;
+  uint64_t o = 0;
+
+  friend bool operator==(const TripleId& a, const TripleId& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+/// A triple pattern over ids: unset slots are wildcards.
+struct IdPattern {
+  std::optional<uint64_t> s;
+  std::optional<uint64_t> p;
+  std::optional<uint64_t> o;
+};
+
+/// Append-then-Build triple store. Adds are buffered; Build() (re)sorts the
+/// three indexes. Scans require a built store; Add invalidates it.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Adds a triple of terms (interning them).
+  void Add(const Term& s, const Term& p, const Term& o);
+  /// Adds a triple of existing ids.
+  void AddIds(uint64_t s, uint64_t p, uint64_t o);
+
+  /// Sorts the permutation indexes and deduplicates. Idempotent.
+  void Build();
+  bool built() const { return built_; }
+
+  size_t size() const { return spo_.size(); }
+
+  /// Visits triples matching `pattern` (requires built()). Return false
+  /// from the visitor to stop.
+  void Scan(const IdPattern& pattern,
+            const std::function<bool(const TripleId&)>& visitor) const;
+
+  /// All matches as a vector.
+  std::vector<TripleId> Match(const IdPattern& pattern) const;
+
+  /// Exact number of matching triples, via index ranges (O(log n)) for
+  /// prefix-bound patterns; falls back to a scan count otherwise.
+  uint64_t Count(const IdPattern& pattern) const;
+
+  /// Distinct predicate ids with their triple counts (for federation
+  /// source selection). Requires built().
+  std::vector<std::pair<uint64_t, uint64_t>> PredicateStats() const;
+
+  /// Convenience: true if the store contains the exact triple.
+  bool Contains(uint64_t s, uint64_t p, uint64_t o) const;
+
+ private:
+  // Returns [begin, end) of the index range matching the bound prefix of
+  // `pattern` in the best index, plus which permutation was chosen.
+  enum class Index { kSpo, kPos, kOsp };
+  Index ChooseIndex(const IdPattern& pattern) const;
+
+  Dictionary dict_;
+  std::vector<TripleId> spo_;
+  std::vector<TripleId> pos_;
+  std::vector<TripleId> osp_;
+  bool built_ = false;
+};
+
+}  // namespace exearth::rdf
+
+#endif  // EXEARTH_RDF_TRIPLE_STORE_H_

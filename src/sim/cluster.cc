@@ -1,0 +1,63 @@
+#include "sim/cluster.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace exearth::sim {
+
+Cluster::Cluster(int num_nodes, NodeSpec node, NetworkSpec network)
+    : num_nodes_(num_nodes), node_(node), network_(network) {
+  EEA_CHECK(num_nodes >= 1);
+  EEA_CHECK(node.gpus >= 1);
+  EEA_CHECK(node.gpu.flops > 0);
+  EEA_CHECK(network.latency_s >= 0);
+  EEA_CHECK(network.bandwidth_bytes_s > 0);
+}
+
+double Cluster::PointToPointTime(uint64_t bytes) const {
+  return network_.latency_s +
+         static_cast<double>(bytes) / network_.bandwidth_bytes_s;
+}
+
+double Cluster::RingAllReduceTime(uint64_t bytes, int participants) const {
+  EEA_CHECK(participants >= 1);
+  if (participants == 1) return 0.0;
+  const double p = participants;
+  const double n = static_cast<double>(bytes);
+  // Reduce-scatter + all-gather: 2(p-1) steps, each moving n/p per link.
+  return 2.0 * (p - 1.0) * network_.latency_s +
+         2.0 * n * (p - 1.0) / (p * network_.bandwidth_bytes_s);
+}
+
+double Cluster::ParameterServerTime(uint64_t bytes, int workers,
+                                    int servers) const {
+  EEA_CHECK(workers >= 1);
+  EEA_CHECK(servers >= 1);
+  if (workers == 1 && servers >= 1) {
+    // Single worker still pays push + pull.
+    return 2.0 * PointToPointTime(bytes);
+  }
+  // Each server shard holds bytes/servers of the model and receives that
+  // much from every worker (push) and sends it back (pull). The server link
+  // serializes the w transfers.
+  const double shard = static_cast<double>(bytes) / servers;
+  const double push =
+      network_.latency_s + workers * shard / network_.bandwidth_bytes_s;
+  const double pull =
+      network_.latency_s + workers * shard / network_.bandwidth_bytes_s;
+  return push + pull;
+}
+
+double Cluster::BroadcastTime(uint64_t bytes, int participants) const {
+  EEA_CHECK(participants >= 1);
+  if (participants == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(participants)));
+  return rounds * PointToPointTime(bytes);
+}
+
+double Cluster::GpuComputeTime(double flops) const {
+  return flops / node_.gpu.flops;
+}
+
+}  // namespace exearth::sim

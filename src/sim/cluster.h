@@ -1,0 +1,79 @@
+// Analytic cluster model: nodes with GPUs, and an alpha-beta network.
+//
+// DESIGN.md §2: the paper's experiments assume a DIAS cloud with GPU
+// clusters. This module substitutes an explicit cost model so the
+// distributed-training experiment (E5) measures real gradient computation
+// and charges communication through a published, inspectable model:
+//
+//   point-to-point   T(n)        = alpha + n/B
+//   ring all-reduce  T(n, p)     = 2(p-1) alpha + 2 n (p-1) / (p B)
+//   parameter server T(n, w, s)  = 2 (alpha + n ceil(w/s) / B)   (congestion
+//                                  at the busiest server link)
+//
+// These are the standard closed forms (Thakur et al. for all-reduce); they
+// produce the scaling shapes published for TensorFlow's distribution
+// strategies that HOPS exposes (collective all-reduce vs parameter server).
+
+#ifndef EXEARTH_SIM_CLUSTER_H_
+#define EXEARTH_SIM_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exearth::sim {
+
+/// A GPU's effective training throughput.
+struct GpuSpec {
+  /// Sustained FLOP/s on conv/dense workloads (not peak).
+  double flops = 10e12;
+};
+
+/// A cluster node: identical nodes, each with `gpus` GPUs.
+struct NodeSpec {
+  int gpus = 1;
+  GpuSpec gpu;
+};
+
+/// Alpha-beta network: per-message latency and per-link bandwidth.
+struct NetworkSpec {
+  double latency_s = 50e-6;            // alpha
+  double bandwidth_bytes_s = 1.25e9;   // 1/beta; default 10 Gbit/s
+};
+
+/// An immutable description of a homogeneous cluster.
+class Cluster {
+ public:
+  Cluster(int num_nodes, NodeSpec node, NetworkSpec network);
+
+  int num_nodes() const { return num_nodes_; }
+  int total_gpus() const { return num_nodes_ * node_.gpus; }
+  const NodeSpec& node() const { return node_; }
+  const NetworkSpec& network() const { return network_; }
+
+  /// Seconds to move `bytes` point-to-point.
+  double PointToPointTime(uint64_t bytes) const;
+
+  /// Seconds for a ring all-reduce of `bytes` across `participants` workers
+  /// (reduce-scatter + all-gather).
+  double RingAllReduceTime(uint64_t bytes, int participants) const;
+
+  /// Seconds for a parameter-server round: every one of `workers` pushes
+  /// `bytes` of gradients sharded over `servers` and pulls the updated
+  /// parameters back. The busiest server link is the bottleneck.
+  double ParameterServerTime(uint64_t bytes, int workers, int servers) const;
+
+  /// Seconds for a binomial-tree broadcast of `bytes` to `participants`.
+  double BroadcastTime(uint64_t bytes, int participants) const;
+
+  /// Seconds for one GPU to execute `flops` floating-point operations.
+  double GpuComputeTime(double flops) const;
+
+ private:
+  int num_nodes_;
+  NodeSpec node_;
+  NetworkSpec network_;
+};
+
+}  // namespace exearth::sim
+
+#endif  // EXEARTH_SIM_CLUSTER_H_

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace exearth::sim {
+
+void EventQueue::ScheduleAt(double time, Handler handler) {
+  EEA_CHECK(time >= now_) << "cannot schedule in the past: " << time << " < "
+                          << now_;
+  queue_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+double EventQueue::Run() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.handler();
+  }
+  return now_;
+}
+
+double EventQueue::RunUntil(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.handler();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace exearth::sim

@@ -1,0 +1,64 @@
+// A minimal discrete-event simulation clock: schedule closures at virtual
+// times and run them in order. Used by the platform job scheduler (C5) and
+// the 5-Vs ingestion model (E14).
+
+#ifndef EXEARTH_SIM_EVENT_QUEUE_H_
+#define EXEARTH_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace exearth::sim {
+
+/// Single-threaded discrete-event executor over virtual time.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `handler` to run at absolute virtual time `time` (>= now).
+  /// Events at equal times run in scheduling order.
+  void ScheduleAt(double time, Handler handler);
+
+  /// Schedules `handler` `delay` seconds from now.
+  void ScheduleAfter(double delay, Handler handler) {
+    ScheduleAt(now_ + delay, std::move(handler));
+  }
+
+  /// Runs events until the queue drains; returns the final virtual time.
+  double Run();
+
+  /// Runs events with time <= `until`; returns the virtual time reached
+  /// (== until if events remain).
+  double RunUntil(double until);
+
+  size_t pending() const { return queue_.size(); }
+  /// Total number of events executed so far.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  // tie-break: FIFO at equal times
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace exearth::sim
+
+#endif  // EXEARTH_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,221 @@
+#include "strabon/geostore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "geo/wkt.h"
+
+namespace exearth::strabon {
+
+using common::Result;
+using common::Status;
+
+void GeoStore::AddFeature(const std::string& subject_iri,
+                          const geo::Geometry& geom) {
+  store_.Add(rdf::Term::Iri(subject_iri),
+             rdf::Term::Iri(rdf::vocab::kAsWkt),
+             rdf::Term::Literal(geo::ToWkt(geom), rdf::vocab::kWktLiteral));
+}
+
+Result<size_t> GeoStore::Build() {
+  store_.Build();
+  geometries_.clear();
+  auto aswkt = store_.dict().Lookup(rdf::Term::Iri(rdf::vocab::kAsWkt));
+  std::vector<geo::RTree::Entry> entries;
+  if (aswkt.has_value()) {
+    Status parse_error;
+    store_.Scan(rdf::IdPattern{std::nullopt, *aswkt, std::nullopt},
+                [&](const rdf::TripleId& t) {
+                  const rdf::Term& lit = store_.dict().Decode(t.o);
+                  auto geom = geo::ParseWkt(lit.value);
+                  if (!geom.ok()) {
+                    parse_error = geom.status();
+                    return false;
+                  }
+                  geo::Box env = geom->Envelope();
+                  entries.push_back(
+                      {env, static_cast<int64_t>(t.s)});
+                  geometries_.emplace(t.s, std::move(*geom));
+                  return true;
+                });
+    if (!parse_error.ok()) return parse_error;
+  }
+  rtree_ = geo::RTree::BulkLoad(std::move(entries));
+  spatial_built_ = true;
+  return geometries_.size();
+}
+
+bool GeoStore::EvalRelation(const geo::Geometry& g, const geo::Box& query,
+                            SpatialRelation relation) const {
+  ++stats_.geometry_tests;
+  switch (relation) {
+    case SpatialRelation::kIntersects:
+      return geo::Intersects(g, query);
+    case SpatialRelation::kContains: {
+      // Feature contains the query rectangle.
+      geo::Polygon rect;
+      rect.outer.points = {geo::Point{query.min_x, query.min_y},
+                           geo::Point{query.max_x, query.min_y},
+                           geo::Point{query.max_x, query.max_y},
+                           geo::Point{query.min_x, query.max_y}};
+      return geo::Contains(g, geo::Geometry(std::move(rect)));
+    }
+    case SpatialRelation::kWithin:
+      return query.Contains(g.Envelope()) &&
+             geo::Intersects(g, query);  // envelope inside box => within
+  }
+  return false;
+}
+
+std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
+                                              SpatialRelation relation,
+                                              bool use_index) const {
+  EEA_CHECK(spatial_built_) << "SpatialSelect before Build()";
+  stats_ = SpatialQueryStats{};
+  std::vector<uint64_t> out;
+  if (use_index) {
+    // R-tree candidates, then exact test.
+    rtree_.Visit(query, [&](const geo::RTree::Entry& e) {
+      ++stats_.candidates;
+      auto it = geometries_.find(static_cast<uint64_t>(e.id));
+      EEA_DCHECK(it != geometries_.end());
+      if (EvalRelation(it->second, query, relation)) {
+        out.push_back(it->first);
+      }
+      return true;
+    });
+  } else {
+    // Baseline: test every geometry (full scan, the GraphDB stand-in).
+    for (const auto& [subject, geom] : geometries_) {
+      ++stats_.candidates;
+      if (EvalRelation(geom, query, relation)) {
+        out.push_back(subject);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  stats_.results = out.size();
+  return out;
+}
+
+Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
+    const rdf::Query& query, const std::string& subject_var,
+    const geo::Box& query_box, bool use_index) const {
+  EEA_CHECK(spatial_built_) << "spatial query before Build()";
+  rdf::QueryEngine engine(&store_);
+  if (use_index) {
+    // Pushdown: compute the spatial candidates first, then restrict the
+    // BGP results to them (semantically identical to post-filtering).
+    std::vector<uint64_t> subjects =
+        SpatialSelect(query_box, SpatialRelation::kIntersects, true);
+    std::vector<rdf::Binding> out;
+    EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
+                         engine.Execute(query));
+    for (rdf::Binding& b : rows) {
+      auto it = b.find(subject_var);
+      if (it == b.end()) continue;
+      if (std::binary_search(subjects.begin(), subjects.end(), it->second)) {
+        out.push_back(std::move(b));
+      }
+    }
+    return out;
+  }
+  // Baseline: evaluate the BGP, then test each binding's geometry.
+  stats_ = SpatialQueryStats{};
+  EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows, engine.Execute(query));
+  std::vector<rdf::Binding> out;
+  for (rdf::Binding& b : rows) {
+    auto it = b.find(subject_var);
+    if (it == b.end()) continue;
+    const geo::Geometry* g = GeometryOf(it->second);
+    if (g == nullptr) continue;
+    ++stats_.candidates;
+    if (EvalRelation(*g, query_box, SpatialRelation::kIntersects)) {
+      out.push_back(std::move(b));
+    }
+  }
+  stats_.results = out.size();
+  return out;
+}
+
+namespace {
+
+// True when the relation between two concrete geometries holds.
+bool EvalGeomRelation(const geo::Geometry& a, const geo::Geometry& b,
+                      SpatialRelation relation) {
+  switch (relation) {
+    case SpatialRelation::kIntersects:
+      return geo::Intersects(a, b);
+    case SpatialRelation::kContains:
+      return geo::Contains(a, b);
+    case SpatialRelation::kWithin:
+      return geo::Within(a, b);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
+    const std::string& class_a_iri, const std::string& class_b_iri,
+    SpatialRelation relation, bool use_index) const {
+  EEA_CHECK(spatial_built_) << "SpatialJoin before Build()";
+  stats_ = SpatialQueryStats{};
+  // Members of a class that carry geometry.
+  auto members_of = [&](const std::string& class_iri) {
+    std::vector<uint64_t> out;
+    auto type_id = store_.dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
+    auto class_id = store_.dict().Lookup(rdf::Term::Iri(class_iri));
+    if (!type_id || !class_id) return out;
+    store_.Scan(rdf::IdPattern{std::nullopt, *type_id, *class_id},
+                [&](const rdf::TripleId& t) {
+                  if (geometries_.count(t.s)) out.push_back(t.s);
+                  return true;
+                });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const std::vector<uint64_t> as = members_of(class_a_iri);
+  const std::vector<uint64_t> bs = members_of(class_b_iri);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  if (use_index) {
+    // Probe the shared R-tree with each a-envelope; restrict hits to B
+    // members via binary search.
+    for (uint64_t a : as) {
+      const geo::Geometry& ga = geometries_.at(a);
+      rtree_.Visit(ga.Envelope(), [&](const geo::RTree::Entry& e) {
+        const uint64_t b = static_cast<uint64_t>(e.id);
+        if (b == a) return true;
+        if (!std::binary_search(bs.begin(), bs.end(), b)) return true;
+        ++stats_.candidates;
+        ++stats_.geometry_tests;
+        if (EvalGeomRelation(ga, geometries_.at(b), relation)) {
+          out.emplace_back(a, b);
+        }
+        return true;
+      });
+    }
+  } else {
+    for (uint64_t a : as) {
+      const geo::Geometry& ga = geometries_.at(a);
+      for (uint64_t b : bs) {
+        if (a == b) continue;
+        ++stats_.candidates;
+        ++stats_.geometry_tests;
+        if (EvalGeomRelation(ga, geometries_.at(b), relation)) {
+          out.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  stats_.results = out.size();
+  return out;
+}
+
+const geo::Geometry* GeoStore::GeometryOf(uint64_t subject_id) const {
+  auto it = geometries_.find(subject_id);
+  return it == geometries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace exearth::strabon

@@ -1,0 +1,112 @@
+// Strabon-style geospatial RDF store (Challenge C3, experiments E1/E2).
+//
+// GeoStore wraps a TripleStore and understands GeoSPARQL/stSPARQL geometry
+// literals: objects of geo:asWKT typed geo:wktLiteral. BuildSpatialIndex()
+// parses every geometry literal once and packs their envelopes into an
+// R-tree keyed by the *subject* term id (the feature), enabling pushdown:
+//
+//   indexed path  : R-tree candidates -> exact geometry test
+//   baseline path : full scan of geo:asWKT triples -> parse/test each
+//                   (the GraphDB stand-in, see DESIGN.md §2)
+//
+// Exact predicate evaluation always runs on the parsed geometries, so both
+// paths return identical answers; only the work differs.
+
+#ifndef EXEARTH_STRABON_GEOSTORE_H_
+#define EXEARTH_STRABON_GEOSTORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/geometry.h"
+#include "geo/rtree.h"
+#include "rdf/query.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::strabon {
+
+/// Spatial predicate for selections and joins.
+enum class SpatialRelation {
+  kIntersects,
+  kContains,
+  kWithin,
+};
+
+/// Per-query execution statistics (for E1/E2 reporting).
+struct SpatialQueryStats {
+  uint64_t candidates = 0;        // geometries tested exactly
+  uint64_t geometry_tests = 0;    // exact predicate evaluations
+  uint64_t results = 0;
+};
+
+/// A TripleStore with a spatial index over its geometry literals.
+class GeoStore {
+ public:
+  GeoStore() = default;
+
+  GeoStore(const GeoStore&) = delete;
+  GeoStore& operator=(const GeoStore&) = delete;
+  GeoStore(GeoStore&&) = default;
+  GeoStore& operator=(GeoStore&&) = default;
+
+  rdf::TripleStore& triples() { return store_; }
+  const rdf::TripleStore& triples() const { return store_; }
+
+  /// Adds a feature: subject IRI with a WKT geometry (emits the
+  /// geo:asWKT triple). Additional thematic triples go through triples().
+  void AddFeature(const std::string& subject_iri, const geo::Geometry& geom);
+
+  /// Builds the triple indexes, parses all geometry literals and packs the
+  /// R-tree. Returns the number of indexed geometries; fails on malformed
+  /// WKT.
+  common::Result<size_t> Build();
+
+  size_t num_geometries() const { return geometries_.size(); }
+
+  /// Subjects whose geometry satisfies `relation` with the query box
+  /// (rectangular spatial selection — the E1 workload). `use_index`
+  /// selects pushdown vs full scan; results are identical.
+  std::vector<uint64_t> SpatialSelect(const geo::Box& query,
+                                      SpatialRelation relation,
+                                      bool use_index) const;
+
+  /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
+  /// subject geometry intersects `query_box` — with the spatial constraint
+  /// pushed into the R-tree when `use_index` (the rewriter of DESIGN.md §6).
+  common::Result<std::vector<rdf::Binding>> QueryWithSpatialFilter(
+      const rdf::Query& query, const std::string& subject_var,
+      const geo::Box& query_box, bool use_index) const;
+
+  /// Spatial join between two feature classes (stSPARQL's
+  /// `?a strdf:relation ?b` pattern): all (a, b) subject-id pairs where a
+  /// is an instance of `class_a_iri`, b of `class_b_iri`, and a's geometry
+  /// stands in `relation` to b's. The indexed path probes the R-tree with
+  /// each a-envelope; the baseline nested-loops. Results are identical,
+  /// sorted, and exclude a == b.
+  std::vector<std::pair<uint64_t, uint64_t>> SpatialJoin(
+      const std::string& class_a_iri, const std::string& class_b_iri,
+      SpatialRelation relation, bool use_index) const;
+
+  /// The parsed geometry of a subject (nullptr if it has none).
+  const geo::Geometry* GeometryOf(uint64_t subject_id) const;
+
+  const SpatialQueryStats& last_stats() const { return stats_; }
+
+ private:
+  bool EvalRelation(const geo::Geometry& g, const geo::Box& query,
+                    SpatialRelation relation) const;
+
+  rdf::TripleStore store_;
+  geo::RTree rtree_;
+  std::unordered_map<uint64_t, geo::Geometry> geometries_;  // subject id ->
+  bool spatial_built_ = false;
+  mutable SpatialQueryStats stats_;
+};
+
+}  // namespace exearth::strabon
+
+#endif  // EXEARTH_STRABON_GEOSTORE_H_

@@ -1,0 +1,508 @@
+#include "strabon/sparql.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "geo/wkt.h"
+
+namespace exearth::strabon {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// ---- Tokenizer --------------------------------------------------------
+
+enum class TokenType {
+  kKeyword,   // SELECT, WHERE, PREFIX, FILTER, LIMIT (upper-cased)
+  kVariable,  // ?name (value without '?')
+  kIri,       // <...> (value without brackets)
+  kPname,     // prefix:local (value as written)
+  kLiteral,   // "..." with optional ^^datatype (datatype in `extra`)
+  kNumber,    // 123 or 1.5
+  kPunct,     // { } ( ) . , * and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string value;
+  std::string extra;  // literal datatype (IRI or pname)
+  size_t position = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      EEA_ASSIGN_OR_RETURN(Token t, Next());
+      out.push_back(std::move(t));
+    }
+    out.push_back(Token{TokenType::kEnd, "", "", pos_});
+    return out;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(common::StrFormat(
+        "SPARQL parse error at offset %zu: %s", pos_, message.c_str()));
+  }
+
+  Result<Token> Next() {
+    const size_t start = pos_;
+    char c = text_[pos_];
+    if (c == '?') {
+      ++pos_;
+      std::string name;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        name += text_[pos_++];
+      }
+      if (name.empty()) return Error("empty variable name");
+      return Token{TokenType::kVariable, name, "", start};
+    }
+    if (c == '<') {
+      // '<' opens an IRI only if a whitespace-free <...> follows; otherwise
+      // it is the less-than operator (the standard SPARQL disambiguation).
+      size_t close = text_.find('>', pos_);
+      bool is_iri = close != std::string_view::npos;
+      if (is_iri) {
+        std::string_view body = text_.substr(pos_ + 1, close - pos_ - 1);
+        for (char bc : body) {
+          if (std::isspace(static_cast<unsigned char>(bc)) || bc == '(' ||
+              bc == ')') {
+            is_iri = false;
+            break;
+          }
+        }
+      }
+      if (is_iri) {
+        Token t{TokenType::kIri,
+                std::string(text_.substr(pos_ + 1, close - pos_ - 1)), "",
+                start};
+        pos_ = close + 1;
+        return t;
+      }
+      // fall through to operator handling below
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string body;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          ++pos_;
+          switch (text_[pos_]) {
+            case '"':
+              body += '"';
+              break;
+            case '\\':
+              body += '\\';
+              break;
+            case 'n':
+              body += '\n';
+              break;
+            default:
+              return Error("unknown escape in literal");
+          }
+          ++pos_;
+        } else {
+          body += text_[pos_++];
+        }
+      }
+      if (pos_ >= text_.size()) return Error("unterminated literal");
+      ++pos_;  // closing quote
+      Token t{TokenType::kLiteral, std::move(body), "", start};
+      if (pos_ + 1 < text_.size() && text_[pos_] == '^' &&
+          text_[pos_ + 1] == '^') {
+        pos_ += 2;
+        if (pos_ < text_.size() && text_[pos_] == '<') {
+          size_t close = text_.find('>', pos_);
+          if (close == std::string_view::npos) {
+            return Error("unterminated datatype IRI");
+          }
+          t.extra = std::string(text_.substr(pos_ + 1, close - pos_ - 1));
+          pos_ = close + 1;
+        } else {
+          // pname datatype
+          std::string pname;
+          while (pos_ < text_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                  text_[pos_] == ':' || text_[pos_] == '_')) {
+            pname += text_[pos_++];
+          }
+          if (pname.empty()) return Error("missing datatype after ^^");
+          t.extra = pname;
+        }
+      }
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      std::string num;
+      num += text_[pos_++];
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        num += text_[pos_++];
+      }
+      return Token{TokenType::kNumber, std::move(num), "", start};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string word;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == ':')) {
+        word += text_[pos_++];
+      }
+      if (word.find(':') != std::string::npos) {
+        return Token{TokenType::kPname, std::move(word), "", start};
+      }
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (upper == "SELECT" || upper == "WHERE" || upper == "PREFIX" ||
+          upper == "FILTER" || upper == "LIMIT" || upper == "A") {
+        return Token{TokenType::kKeyword, upper, "", start};
+      }
+      return Error("unexpected word '" + word + "'");
+    }
+    // Comparison operators and punctuation.
+    if (c == '<' || c == '>' || c == '!' || c == '=') {
+      std::string op;
+      op += text_[pos_++];
+      if (pos_ < text_.size() && text_[pos_] == '=') op += text_[pos_++];
+      return Token{TokenType::kPunct, std::move(op), "", start};
+    }
+    if (c == '{' || c == '}' || c == '(' || c == ')' || c == '.' ||
+        c == ',' || c == '*' || c == ';') {
+      ++pos_;
+      return Token{TokenType::kPunct, std::string(1, c), "", start};
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---- Parser ------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery out;
+    // Prefixes.
+    while (PeekKeyword("PREFIX")) {
+      ++pos_;
+      EEA_RETURN_NOT_OK(ParsePrefix());
+    }
+    EEA_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (PeekPunct("*")) {
+      ++pos_;  // select all: leave query.select empty
+    } else {
+      while (Peek().type == TokenType::kVariable) {
+        out.query.select.push_back(Peek().value);
+        ++pos_;
+      }
+      if (out.query.select.empty()) {
+        return Error("SELECT needs '*' or at least one variable");
+      }
+    }
+    EEA_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    EEA_RETURN_NOT_OK(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      if (PeekKeyword("FILTER")) {
+        ++pos_;
+        EEA_RETURN_NOT_OK(ParseFilter(&out));
+        if (PeekPunct(".")) ++pos_;  // optional separator
+        continue;
+      }
+      EEA_RETURN_NOT_OK(ParsePattern(&out.query));
+      if (PeekPunct(".")) {
+        ++pos_;
+      } else if (!PeekPunct("}")) {
+        return Error("expected '.' or '}' after triple pattern");
+      }
+    }
+    ++pos_;  // consume '}'
+    if (PeekKeyword("LIMIT")) {
+      ++pos_;
+      if (Peek().type != TokenType::kNumber) {
+        return Error("LIMIT needs a number");
+      }
+      int64_t limit = 0;
+      if (!common::ParseInt64(Peek().value, &limit) || limit < 0) {
+        return Error("bad LIMIT value");
+      }
+      out.query.limit = static_cast<size_t>(limit);
+      ++pos_;
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing tokens after query");
+    }
+    if (out.query.where.empty()) {
+      return Error("empty WHERE clause");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().value == kw;
+  }
+  bool PeekPunct(const char* p) const {
+    return Peek().type == TokenType::kPunct && Peek().value == p;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(common::StrFormat(
+        "SPARQL parse error at offset %zu: %s", Peek().position,
+        message.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return Error(std::string("expected ") + kw);
+    ++pos_;
+    return Status::OK();
+  }
+  Status ExpectPunct(const char* p) {
+    if (!PeekPunct(p)) return Error(std::string("expected '") + p + "'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParsePrefix() {
+    if (Peek().type != TokenType::kPname ||
+        Peek().value.back() != ':') {
+      // Accept "pname:" as a kPname whose local part is empty.
+      if (Peek().type != TokenType::kPname) {
+        return Error("expected prefix name after PREFIX");
+      }
+    }
+    std::string pname = Peek().value;
+    ++pos_;
+    // pname may be "ex:" (colon included).
+    if (pname.back() != ':') return Error("prefix must end with ':'");
+    pname.pop_back();
+    if (Peek().type != TokenType::kIri) {
+      return Error("expected <iri> after prefix name");
+    }
+    prefixes_[pname] = Peek().value;
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpandPname(const std::string& pname) const {
+    size_t colon = pname.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("not a prefixed name: " + pname);
+    }
+    std::string prefix = pname.substr(0, colon);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::InvalidArgument("unknown prefix '" + prefix + ":'");
+    }
+    return it->second + pname.substr(colon + 1);
+  }
+
+  Result<rdf::PatternSlot> ParseTermSlot() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kVariable:
+        ++pos_;
+        return rdf::PatternSlot::Var(t.value);
+      case TokenType::kIri:
+        ++pos_;
+        return rdf::PatternSlot::Iri(t.value);
+      case TokenType::kKeyword:
+        if (t.value == "A") {  // rdf:type shorthand
+          ++pos_;
+          return rdf::PatternSlot::Iri(rdf::vocab::kRdfType);
+        }
+        return Error("unexpected keyword in triple pattern");
+      case TokenType::kPname: {
+        EEA_ASSIGN_OR_RETURN(std::string iri, ExpandPname(t.value));
+        ++pos_;
+        return rdf::PatternSlot::Iri(iri);
+      }
+      case TokenType::kLiteral: {
+        std::string datatype = t.extra;
+        if (!datatype.empty() && datatype.find("://") == std::string::npos) {
+          EEA_ASSIGN_OR_RETURN(datatype, ExpandPname(datatype));
+        }
+        rdf::PatternSlot slot = rdf::PatternSlot::Of(
+            rdf::Term::Literal(t.value, datatype));
+        ++pos_;
+        return slot;
+      }
+      case TokenType::kNumber: {
+        rdf::PatternSlot slot = rdf::PatternSlot::Of(rdf::Term::Literal(
+            t.value, t.value.find('.') == std::string::npos
+                         ? rdf::vocab::kXsdInteger
+                         : rdf::vocab::kXsdDouble));
+        ++pos_;
+        return slot;
+      }
+      default:
+        return Error("expected term in triple pattern");
+    }
+  }
+
+  Status ParsePattern(rdf::Query* query) {
+    EEA_ASSIGN_OR_RETURN(rdf::PatternSlot s, ParseTermSlot());
+    EEA_ASSIGN_OR_RETURN(rdf::PatternSlot p, ParseTermSlot());
+    EEA_ASSIGN_OR_RETURN(rdf::PatternSlot o, ParseTermSlot());
+    query->where.push_back(rdf::TriplePattern{std::move(s), std::move(p),
+                                              std::move(o)});
+    return Status::OK();
+  }
+
+  Status ParseFilter(ParsedQuery* out) {
+    EEA_RETURN_NOT_OK(ExpectPunct("("));
+    const Token& head = Peek();
+    if (head.type == TokenType::kPname &&
+        (head.value == "geof:sfIntersects" ||
+         head.value == "strdf:intersects")) {
+      ++pos_;
+      EEA_RETURN_NOT_OK(ExpectPunct("("));
+      if (Peek().type != TokenType::kVariable) {
+        return Error("spatial filter needs a variable first argument");
+      }
+      std::string var = Peek().value;
+      ++pos_;
+      EEA_RETURN_NOT_OK(ExpectPunct(","));
+      if (Peek().type != TokenType::kLiteral) {
+        return Error("spatial filter needs a WKT literal second argument");
+      }
+      auto geom = geo::ParseWkt(Peek().value);
+      if (!geom.ok()) {
+        return Error("bad WKT in spatial filter: " +
+                     geom.status().message());
+      }
+      ++pos_;
+      EEA_RETURN_NOT_OK(ExpectPunct(")"));
+      EEA_RETURN_NOT_OK(ExpectPunct(")"));
+      if (out->spatial.has_value()) {
+        return Error("only one spatial filter is supported");
+      }
+      out->spatial =
+          ParsedQuery::SpatialConstraint{std::move(var), std::move(*geom)};
+      return Status::OK();
+    }
+    // Numeric comparison: ?var op NUMBER.
+    if (head.type != TokenType::kVariable) {
+      return Error("FILTER must be a spatial function or ?var cmp number");
+    }
+    std::string var = head.value;
+    ++pos_;
+    if (Peek().type != TokenType::kPunct) {
+      return Error("expected comparison operator in FILTER");
+    }
+    std::string op = Peek().value;
+    ++pos_;
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected number in FILTER comparison");
+    }
+    double threshold = 0;
+    if (!common::ParseDouble(Peek().value, &threshold)) {
+      return Error("bad number in FILTER");
+    }
+    ++pos_;
+    EEA_RETURN_NOT_OK(ExpectPunct(")"));
+    if (op == ">=") {
+      out->query.filters.push_back(rdf::NumericGreaterEqual(var, threshold));
+    } else if (op == "<=") {
+      out->query.filters.push_back(rdf::NumericLessEqual(var, threshold));
+    } else if (op == ">") {
+      out->query.filters.push_back(
+          [var, threshold](const rdf::Binding& b, const rdf::Dictionary& d) {
+            return rdf::NumericGreaterEqual(var, threshold)(b, d) &&
+                   !NumericEquals(b, d, var, threshold);
+          });
+    } else if (op == "<") {
+      out->query.filters.push_back(
+          [var, threshold](const rdf::Binding& b, const rdf::Dictionary& d) {
+            return rdf::NumericLessEqual(var, threshold)(b, d) &&
+                   !NumericEquals(b, d, var, threshold);
+          });
+    } else if (op == "=") {
+      out->query.filters.push_back(
+          [var, threshold](const rdf::Binding& b, const rdf::Dictionary& d) {
+            return NumericEquals(b, d, var, threshold);
+          });
+    } else if (op == "!=") {
+      out->query.filters.push_back(
+          [var, threshold](const rdf::Binding& b, const rdf::Dictionary& d) {
+            return !NumericEquals(b, d, var, threshold);
+          });
+    } else {
+      return Error("unsupported comparison operator '" + op + "'");
+    }
+    return Status::OK();
+  }
+
+  static bool NumericEquals(const rdf::Binding& b, const rdf::Dictionary& d,
+                            const std::string& var, double threshold) {
+    auto it = b.find(var);
+    if (it == b.end()) return false;
+    const rdf::Term& term = d.Decode(it->second);
+    double value = 0;
+    if (!term.IsLiteral() || !common::ParseDouble(term.value, &value)) {
+      return false;
+    }
+    return value == threshold;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSparql(std::string_view text) {
+  EEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenizer(text).Run());
+  return Parser(std::move(tokens)).Run();
+}
+
+Result<std::vector<rdf::Binding>> ExecuteSparql(const GeoStore& store,
+                                                std::string_view text) {
+  EEA_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSparql(text));
+  if (parsed.spatial.has_value()) {
+    return store.QueryWithSpatialFilter(parsed.query,
+                                        parsed.spatial->variable,
+                                        parsed.spatial->geometry.Envelope(),
+                                        /*use_index=*/true);
+  }
+  rdf::QueryEngine engine(&store.triples());
+  return engine.Execute(parsed.query);
+}
+
+}  // namespace exearth::strabon

@@ -1,0 +1,56 @@
+// A textual stSPARQL/GeoSPARQL query subset for the Strabon layer: the
+// query language surface users of the original system write. Supported
+// grammar (whitespace-insensitive):
+//
+//   query   := prefix* 'SELECT' ('*' | ?var+) 'WHERE' '{' clause* '}'
+//              ('LIMIT' INT)?
+//   prefix  := 'PREFIX' pname ':' '<' iri '>'
+//   clause  := pattern '.' | filter ('.'?)
+//   pattern := term term term
+//   term    := ?var | '<'iri'>' | pname ':' local | literal
+//   literal := '"' chars '"' ('^^' ('<'iri'>' | pname':'local))?
+//   filter  := 'FILTER' '(' geof ')' | 'FILTER' '(' ?var cmp NUMBER ')'
+//   geof    := ('geof:sfIntersects'|'strdf:intersects')
+//              '(' ?var ',' literal ')'     -- literal is a WKT geometry
+//   cmp     := '<' | '<=' | '>' | '>=' | '=' | '!='
+//
+// The spatial FILTER compiles to an indexed GeoStore constraint on the
+// *feature variable*; thematic FILTERs compile to rdf::Query filters.
+
+#ifndef EXEARTH_STRABON_SPARQL_H_
+#define EXEARTH_STRABON_SPARQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geo/geometry.h"
+#include "rdf/query.h"
+#include "strabon/geostore.h"
+
+namespace exearth::strabon {
+
+/// A parsed query: the BGP/filters plus at most one spatial constraint.
+struct ParsedQuery {
+  rdf::Query query;
+  /// Spatial constraint: the named variable's feature geometry must
+  /// intersect `window` (the envelope of the FILTER's WKT geometry).
+  struct SpatialConstraint {
+    std::string variable;
+    geo::Geometry geometry;
+  };
+  std::optional<SpatialConstraint> spatial;
+};
+
+/// Parses the SPARQL text. InvalidArgument with position info on errors.
+common::Result<ParsedQuery> ParseSparql(std::string_view text);
+
+/// Parses and executes against a GeoStore (spatial constraint pushed into
+/// the R-tree when present).
+common::Result<std::vector<rdf::Binding>> ExecuteSparql(
+    const GeoStore& store, std::string_view text);
+
+}  // namespace exearth::strabon
+
+#endif  // EXEARTH_STRABON_SPARQL_H_

@@ -1,0 +1,73 @@
+#include "strabon/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::strabon {
+
+geo::Polygon RandomPolygon(double cx, double cy, double size, int vertices,
+                           common::Rng* rng) {
+  EEA_CHECK(vertices >= 3);
+  geo::Polygon poly;
+  poly.outer.points.reserve(static_cast<size_t>(vertices));
+  // Star-shaped: angles sorted, radii jittered — always a simple polygon.
+  for (int i = 0; i < vertices; ++i) {
+    double angle = 2.0 * M_PI * i / vertices;
+    double radius = size * 0.5 * rng->UniformDouble(0.5, 1.0);
+    poly.outer.points.push_back(geo::Point{cx + radius * std::cos(angle),
+                                           cy + radius * std::sin(angle)});
+  }
+  return poly;
+}
+
+GeoStore MakeGeoWorkload(const GeoWorkloadOptions& options) {
+  common::Rng rng(options.seed);
+  GeoStore store;
+  const rdf::Term type_pred = rdf::Term::Iri(rdf::vocab::kRdfType);
+  const rdf::Term label_pred = rdf::Term::Iri(rdf::vocab::kLabel);
+  const rdf::Term feature_class =
+      rdf::Term::Iri("http://extremeearth.eu/ontology#Feature");
+  for (int64_t i = 0; i < options.num_features; ++i) {
+    const std::string iri = common::StrFormat(
+        "http://extremeearth.eu/feature/%lld", static_cast<long long>(i));
+    double cx = rng.UniformDouble(0, options.world_size);
+    double cy = rng.UniformDouble(0, options.world_size);
+    if (options.kind == GeoWorkloadOptions::GeometryKind::kPoint) {
+      store.AddFeature(iri, geo::Geometry(geo::Point{cx, cy}));
+    } else {
+      geo::MultiPolygon mp;
+      for (int part = 0; part < options.polygons_per_multi; ++part) {
+        double px = cx + rng.Gaussian(0, options.feature_size);
+        double py = cy + rng.Gaussian(0, options.feature_size);
+        mp.polygons.push_back(RandomPolygon(px, py, options.feature_size,
+                                            options.vertices_per_ring, &rng));
+      }
+      store.AddFeature(iri, geo::Geometry(std::move(mp)));
+    }
+    if (options.with_thematic) {
+      store.triples().Add(rdf::Term::Iri(iri), type_pred, feature_class);
+      store.triples().Add(
+          rdf::Term::Iri(iri), label_pred,
+          rdf::Term::Literal(common::StrFormat(
+              "feature %lld", static_cast<long long>(i))));
+    }
+  }
+  auto built = store.Build();
+  EEA_CHECK(built.ok()) << built.status();
+  return store;
+}
+
+geo::Box RandomSelectionBox(double world_size, double selectivity,
+                            common::Rng* rng) {
+  EEA_CHECK(selectivity > 0 && selectivity <= 1.0);
+  const double side = world_size * std::sqrt(selectivity);
+  const double max_origin = std::max(0.0, world_size - side);
+  double x = rng->UniformDouble(0, max_origin == 0 ? 1e-9 : max_origin);
+  double y = rng->UniformDouble(0, max_origin == 0 ? 1e-9 : max_origin);
+  return geo::Box::Of(x, y, x + side, y + side);
+}
+
+}  // namespace exearth::strabon

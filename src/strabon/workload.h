@@ -1,0 +1,47 @@
+// Synthetic geospatial-RDF workload generation for E1/E2: point and
+// multipolygon feature sets with thematic triples, plus selection-box
+// sampling at a target selectivity.
+
+#ifndef EXEARTH_STRABON_WORKLOAD_H_
+#define EXEARTH_STRABON_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "strabon/geostore.h"
+
+namespace exearth::strabon {
+
+struct GeoWorkloadOptions {
+  enum class GeometryKind { kPoint, kMultiPolygon };
+
+  int64_t num_features = 10000;
+  GeometryKind kind = GeometryKind::kPoint;
+  /// Vertices per polygon ring (multipolygons only).
+  int vertices_per_ring = 8;
+  /// Parts per multipolygon.
+  int polygons_per_multi = 2;
+  /// Mean feature diameter in world units (multipolygons only).
+  double feature_size = 50.0;
+  /// Features are uniform in [0, world_size)^2.
+  double world_size = 100000.0;
+  /// Also emit rdf:type and rdfs:label triples per feature.
+  bool with_thematic = true;
+  uint64_t seed = 7;
+};
+
+/// Builds and Build()s a GeoStore with the synthetic feature set.
+GeoStore MakeGeoWorkload(const GeoWorkloadOptions& options);
+
+/// A random query rectangle covering `selectivity` of the world's area.
+geo::Box RandomSelectionBox(double world_size, double selectivity,
+                            common::Rng* rng);
+
+/// A random (possibly concave) polygon with `vertices` vertices around a
+/// center, radius ~ size/2 (star-shaped, so it is simple/non-intersecting).
+geo::Polygon RandomPolygon(double cx, double cy, double size, int vertices,
+                           common::Rng* rng);
+
+}  // namespace exearth::strabon
+
+#endif  // EXEARTH_STRABON_WORKLOAD_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalogue.h"
+#include "common/string_util.h"
+
+namespace exearth::catalog {
+namespace {
+
+raster::SceneMetadata MakeProduct(int i, raster::Mission mission, int year,
+                                  int doy, double cloud, double x0,
+                                  double y0) {
+  raster::SceneMetadata md;
+  md.product_id = common::StrFormat("P%05d", i);
+  md.mission = mission;
+  md.year = year;
+  md.day_of_year = doy;
+  md.cloud_cover = cloud;
+  md.footprint = geo::Box::Of(x0, y0, x0 + 100, y0 + 100);
+  md.size_bytes = 1000;
+  return md;
+}
+
+class CatalogueTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // A 10x10 grid of S2 products in 2017 plus some S1 in 2018.
+    int id = 0;
+    for (int gy = 0; gy < 10; ++gy) {
+      for (int gx = 0; gx < 10; ++gx) {
+        cat_.Ingest(MakeProduct(id, raster::Mission::kSentinel2, 2017,
+                                100 + id % 200, (id % 10) / 10.0, gx * 100,
+                                gy * 100));
+        ++id;
+      }
+    }
+    for (int i = 0; i < 20; ++i) {
+      cat_.Ingest(MakeProduct(1000 + i, raster::Mission::kSentinel1, 2018,
+                              50 + i, 0.0, i * 100, 0));
+    }
+    ASSERT_TRUE(cat_.Build().ok());
+  }
+
+  SemanticCatalogue cat_;
+};
+
+TEST_F(CatalogueTest, CountsProducts) {
+  EXPECT_EQ(cat_.num_products(), 120u);
+}
+
+TEST_F(CatalogueTest, AreaSearch) {
+  SearchRequest req;
+  req.area = geo::Box::Of(0, 250, 150, 350);  // rows gy=2..3, gx=0..1 region
+  auto results = cat_.Search(req);
+  // Footprints are 100x100 at grid positions; the box intersects gx in
+  // {0,1}, gy in {2,3} -> at least 4 S2 products.
+  EXPECT_GE(results.size(), 4u);
+  for (const auto& md : results) {
+    EXPECT_TRUE(md.footprint.Intersects(*req.area));
+  }
+}
+
+TEST_F(CatalogueTest, AttributeFilters) {
+  SearchRequest req;
+  req.mission = raster::Mission::kSentinel1;
+  auto s1 = cat_.Search(req);
+  EXPECT_EQ(s1.size(), 20u);
+  req.year = 2017;
+  EXPECT_TRUE(cat_.Search(req).empty());  // no S1 in 2017
+  SearchRequest cloud;
+  cloud.mission = raster::Mission::kSentinel2;
+  cloud.max_cloud_cover = 0.15;
+  for (const auto& md : cat_.Search(cloud)) {
+    EXPECT_LE(md.cloud_cover, 0.15);
+  }
+}
+
+TEST_F(CatalogueTest, TimeWindow) {
+  SearchRequest req;
+  req.year = 2018;
+  req.day_from = 55;
+  req.day_to = 60;
+  auto results = cat_.Search(req);
+  EXPECT_EQ(results.size(), 6u);
+  for (const auto& md : results) {
+    EXPECT_GE(md.day_of_year, 55);
+    EXPECT_LE(md.day_of_year, 60);
+  }
+}
+
+TEST_F(CatalogueTest, LimitAndStats) {
+  SearchRequest req;
+  req.limit = 7;
+  auto results = cat_.Search(req);
+  EXPECT_EQ(results.size(), 7u);
+  EXPECT_EQ(cat_.last_stats().results, 7u);
+  EXPECT_GE(cat_.last_stats().candidates, 7u);
+}
+
+TEST_F(CatalogueTest, AreaSearchPrunesCandidates) {
+  SearchRequest narrow;
+  narrow.area = geo::Box::Of(0, 0, 50, 50);
+  cat_.Search(narrow);
+  EXPECT_LT(cat_.last_stats().candidates, 20u);
+}
+
+TEST(CatalogueKnowledgeTest, IcebergCountQuery) {
+  // The paper's flagship: "how many icebergs were embedded in the ice
+  // barrier at its maximum extent in 2017?".
+  SemanticCatalogue cat;
+  cat.Ingest(MakeProduct(0, raster::Mission::kSentinel1, 2017, 80, 0, 0, 0));
+  const char* iceberg = "http://extremeearth.eu/ontology#Iceberg";
+  // 5 icebergs inside the barrier region in 2017, 2 outside, 1 in 2018.
+  for (int i = 0; i < 5; ++i) {
+    cat.AddObservation(
+        common::StrFormat("http://x/berg/%d", i), iceberg,
+        geo::Geometry(geo::Point{10.0 + i, 10.0}), "P00000", 2017, 80);
+  }
+  for (int i = 5; i < 7; ++i) {
+    cat.AddObservation(
+        common::StrFormat("http://x/berg/%d", i), iceberg,
+        geo::Geometry(geo::Point{500.0 + i, 500.0}), "P00000", 2017, 80);
+  }
+  cat.AddObservation("http://x/berg/7", iceberg,
+                     geo::Geometry(geo::Point{11.0, 11.0}), "P00000", 2018,
+                     80);
+  ASSERT_TRUE(cat.Build().ok());
+  geo::Box barrier = geo::Box::Of(0, 0, 100, 100);
+  auto in_2017 = cat.CountObservations(iceberg, barrier, 2017);
+  ASSERT_TRUE(in_2017.ok()) << in_2017.status();
+  EXPECT_EQ(*in_2017, 5u);
+  auto any_year = cat.CountObservations(iceberg, barrier, std::nullopt);
+  ASSERT_TRUE(any_year.ok());
+  EXPECT_EQ(*any_year, 6u);
+  auto other_class = cat.CountObservations("http://x/Other", barrier, 2017);
+  ASSERT_TRUE(other_class.ok());
+  EXPECT_EQ(*other_class, 0u);
+}
+
+TEST(CatalogueKnowledgeTest, ObservationTriples) {
+  SemanticCatalogue cat;
+  cat.AddObservation("http://x/berg/0",
+                     "http://extremeearth.eu/ontology#Iceberg",
+                     geo::Geometry(geo::Point{1, 2}), "PROD1", 2019, 42);
+  ASSERT_TRUE(cat.Build().ok());
+  // geometry + type + observedIn + year + day = 5 triples.
+  EXPECT_EQ(cat.knowledge().triples().size(), 5u);
+}
+
+TEST(CatalogueScalingTest, ExtrapolationIsLogarithmic) {
+  // Measured 1 ms at 1M records -> at 1 trillion records the R-tree is
+  // only ~2x deeper, not 1e6x slower.
+  double t = SemanticCatalogue::ExtrapolateLatency(1e-3, 1000000,
+                                                   1000000000000ULL);
+  EXPECT_GT(t, 1e-3);
+  EXPECT_LT(t, 3e-3);
+}
+
+TEST(CatalogueEmptyTest, BuildAndSearchEmpty) {
+  SemanticCatalogue cat;
+  ASSERT_TRUE(cat.Build().ok());
+  SearchRequest req;
+  EXPECT_TRUE(cat.Search(req).empty());
+}
+
+}  // namespace
+}  // namespace exearth::catalog

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dfs/filesystem.h"
+#include "dfs/hdfs_baseline.h"
+#include "dfs/hopsfs.h"
+
+namespace exearth::dfs {
+namespace {
+
+TEST(SplitPathTest, Valid) {
+  auto r = SplitPath("/a/b/c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+  auto root = SplitPath("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->empty());
+}
+
+TEST(SplitPathTest, Invalid) {
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("relative/path").ok());
+  EXPECT_FALSE(SplitPath("/a//b").ok());
+}
+
+// Fixture running the same behavioural suite against both implementations.
+class FileSystemTest : public testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "hopsfs") {
+      HopsFsCluster::Options opt;
+      opt.kv_partitions = 4;
+      opt.inline_threshold_bytes = 1024;
+      opt.block_size_bytes = 512;
+      cluster_ = std::make_unique<HopsFsCluster>(opt);
+      fs_ = std::make_unique<HopsFsNameNode>(cluster_.get());
+    } else {
+      fs_ = std::make_unique<SingleNameNodeFs>();
+    }
+  }
+
+  std::unique_ptr<HopsFsCluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_P(FileSystemTest, MkdirAndStat) {
+  ASSERT_TRUE(fs_->Mkdir("/data").ok());
+  auto info = fs_->GetFileInfo("/data");
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_TRUE(info->is_directory);
+  EXPECT_GT(info->inode_id, 1);
+}
+
+TEST_P(FileSystemTest, RootStat) {
+  auto info = fs_->GetFileInfo("/");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_directory);
+  EXPECT_EQ(info->inode_id, 1);
+}
+
+TEST_P(FileSystemTest, MkdirRequiresParent) {
+  EXPECT_FALSE(fs_->Mkdir("/no/such/parent").ok());
+}
+
+TEST_P(FileSystemTest, MkdirDuplicateFails) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  EXPECT_TRUE(fs_->Mkdir("/dir").IsAlreadyExists());
+}
+
+TEST_P(FileSystemTest, NestedDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b/c").ok());
+  auto info = fs_->GetFileInfo("/a/b/c");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_directory);
+}
+
+TEST_P(FileSystemTest, CreateAndRead) {
+  ASSERT_TRUE(fs_->Mkdir("/files").ok());
+  const std::string data = "hello extreme earth";
+  ASSERT_TRUE(fs_->Create("/files/f1", data.size(), data).ok());
+  auto read = fs_->ReadFile("/files/f1");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, data);
+  auto info = fs_->GetFileInfo("/files/f1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->is_directory);
+  EXPECT_EQ(info->size_bytes, data.size());
+}
+
+TEST_P(FileSystemTest, CreateDuplicateFails) {
+  ASSERT_TRUE(fs_->Create("/f", 3, "abc").ok());
+  EXPECT_TRUE(fs_->Create("/f", 3, "abc").IsAlreadyExists());
+}
+
+TEST_P(FileSystemTest, CreateSizeMismatchRejected) {
+  EXPECT_TRUE(fs_->Create("/f", 5, "abc").IsInvalidArgument());
+}
+
+TEST_P(FileSystemTest, ListChildren) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/d/x", 1, "x").ok());
+  ASSERT_TRUE(fs_->Create("/d/y", 1, "y").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d/sub").ok());
+  auto names = fs_->List("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], "sub");  // sorted
+  EXPECT_EQ((*names)[1], "x");
+  auto on_file = fs_->List("/d/x");
+  EXPECT_TRUE(on_file.status().IsFailedPrecondition());
+}
+
+TEST_P(FileSystemTest, RemoveFileAndEmptyDir) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/d/f", 2, "ab").ok());
+  EXPECT_TRUE(fs_->Remove("/d").IsFailedPrecondition());  // not empty
+  ASSERT_TRUE(fs_->Remove("/d/f").ok());
+  EXPECT_TRUE(fs_->GetFileInfo("/d/f").status().IsNotFound());
+  ASSERT_TRUE(fs_->Remove("/d").ok());
+  EXPECT_TRUE(fs_->GetFileInfo("/d").status().IsNotFound());
+}
+
+TEST_P(FileSystemTest, RemoveMissingFails) {
+  EXPECT_TRUE(fs_->Remove("/nope").IsNotFound());
+}
+
+TEST_P(FileSystemTest, ReadDirectoryFails) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_TRUE(fs_->ReadFile("/d").status().IsFailedPrecondition());
+}
+
+TEST_P(FileSystemTest, StatMissing) {
+  EXPECT_TRUE(fs_->GetFileInfo("/missing").status().IsNotFound());
+}
+
+TEST_P(FileSystemTest, FileAsIntermediateComponentFails) {
+  ASSERT_TRUE(fs_->Create("/f", 1, "x").ok());
+  auto s = fs_->Mkdir("/f/child");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_P(FileSystemTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        fs_->Create(common::StrFormat("/big/file%03d", i), 0, "").ok());
+  }
+  auto names = fs_->List("/big");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Implementations, FileSystemTest,
+                         testing::Values("hopsfs", "single"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- HopsFS-specific behaviour ---------------------------------------------
+
+class HopsFsTest : public testing::Test {
+ protected:
+  HopsFsTest() {
+    HopsFsCluster::Options opt;
+    opt.kv_partitions = 8;
+    opt.inline_threshold_bytes = 64;
+    opt.block_size_bytes = 32;
+    cluster_ = std::make_unique<HopsFsCluster>(opt);
+  }
+  std::unique_ptr<HopsFsCluster> cluster_;
+};
+
+TEST_F(HopsFsTest, SmallFileStoredInline) {
+  HopsFsNameNode nn(cluster_.get());
+  std::string small(32, 'a');
+  ASSERT_TRUE(nn.Create("/small", small.size(), small).ok());
+  auto info = nn.GetFileInfo("/small");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->inline_data);
+  EXPECT_EQ(info->num_blocks, 0);
+  EXPECT_EQ(*nn.ReadFile("/small"), small);
+}
+
+TEST_F(HopsFsTest, LargeFileUsesBlocks) {
+  HopsFsNameNode nn(cluster_.get());
+  std::string big(200, 'b');
+  ASSERT_TRUE(nn.Create("/big", big.size(), big).ok());
+  auto info = nn.GetFileInfo("/big");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->inline_data);
+  EXPECT_EQ(info->num_blocks, (200 + 31) / 32);
+  EXPECT_EQ(*nn.ReadFile("/big"), big);
+}
+
+TEST_F(HopsFsTest, RemoveCleansDataRows) {
+  HopsFsNameNode nn(cluster_.get());
+  std::string big(100, 'c');
+  ASSERT_TRUE(nn.Create("/big", big.size(), big).ok());
+  size_t before = cluster_->store().Size();
+  ASSERT_TRUE(nn.Remove("/big").ok());
+  // inode + 4 block rows gone.
+  EXPECT_EQ(cluster_->store().Size(), before - 5);
+}
+
+TEST_F(HopsFsTest, MultipleNameNodesShareNamespace) {
+  HopsFsNameNode nn1(cluster_.get());
+  HopsFsNameNode nn2(cluster_.get());
+  ASSERT_TRUE(nn1.Mkdir("/shared").ok());
+  ASSERT_TRUE(nn2.Create("/shared/f", 2, "hi").ok());
+  EXPECT_EQ(*nn1.ReadFile("/shared/f"), "hi");
+}
+
+TEST_F(HopsFsTest, ConcurrentNameNodesCreateDistinctFiles) {
+  constexpr int kThreads = 4;
+  constexpr int kFiles = 100;
+  HopsFsNameNode setup(cluster_.get());
+  ASSERT_TRUE(setup.Mkdir("/work").ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &errors] {
+      HopsFsNameNode nn(cluster_.get());
+      for (int i = 0; i < kFiles; ++i) {
+        auto s = nn.Create(common::StrFormat("/work/t%d-f%d", t, i), 0, "");
+        if (!s.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  HopsFsNameNode nn(cluster_.get());
+  auto names = nn.List("/work");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), static_cast<size_t>(kThreads * kFiles));
+}
+
+TEST_F(HopsFsTest, ConcurrentSameNameOneWins) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &successes] {
+      HopsFsNameNode nn(cluster_.get());
+      if (nn.Create("/contested", 0, "").ok()) successes.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(successes.load(), 1);
+}
+
+TEST_F(HopsFsTest, InodeIdsUniqueAcrossNameNodes) {
+  HopsFsNameNode nn1(cluster_.get());
+  HopsFsNameNode nn2(cluster_.get());
+  ASSERT_TRUE(nn1.Mkdir("/a").ok());
+  ASSERT_TRUE(nn2.Mkdir("/b").ok());
+  auto ia = nn1.GetFileInfo("/a");
+  auto ib = nn1.GetFileInfo("/b");
+  ASSERT_TRUE(ia.ok() && ib.ok());
+  EXPECT_NE(ia->inode_id, ib->inode_id);
+}
+
+TEST_F(HopsFsTest, EmptyFileReadsEmpty) {
+  HopsFsNameNode nn(cluster_.get());
+  ASSERT_TRUE(nn.Create("/empty", 0, "").ok());
+  auto r = nn.ReadFile("/empty");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace exearth::dfs

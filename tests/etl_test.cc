@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "etl/mapping.h"
+#include "etl/table.h"
+#include "etl/training_data.h"
+#include "geo/wkt.h"
+#include "rdf/query.h"
+
+namespace exearth::etl {
+namespace {
+
+// --- Table ---------------------------------------------------------------
+
+TEST(TableTest, ParsesCsv) {
+  auto t = Table::FromCsv("id,name,wkt\n1,field-a,POINT (1 2)\n2,field-b,POINT (3 4)\n");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_columns(), 3u);
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->rows[1][1], "field-b");
+  auto idx = t->ColumnIndex("wkt");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2);
+  EXPECT_TRUE(t->ColumnIndex("missing").status().IsNotFound());
+}
+
+TEST(TableTest, SkipsBlankLinesTrimsCells) {
+  auto t = Table::FromCsv("a,b\n\n 1 , 2 \n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->rows[0][0], "1");
+}
+
+TEST(TableTest, RejectsRaggedRows) {
+  EXPECT_FALSE(Table::FromCsv("a,b\n1,2,3\n").ok());
+  EXPECT_FALSE(Table::FromCsv("").ok());
+}
+
+// --- Template expansion ----------------------------------------------------
+
+TEST(TemplateTest, Expands) {
+  Table t;
+  t.columns = {"id", "crop"};
+  std::vector<std::string> row = {"42", "wheat"};
+  auto r = ExpandTemplate("http://x/field/{id}/{crop}", t, row);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "http://x/field/42/wheat");
+}
+
+TEST(TemplateTest, Errors) {
+  Table t;
+  t.columns = {"id"};
+  std::vector<std::string> row = {"1"};
+  EXPECT_FALSE(ExpandTemplate("http://x/{missing}", t, row).ok());
+  EXPECT_FALSE(ExpandTemplate("http://x/{id", t, row).ok());
+}
+
+// --- Mapping engine ----------------------------------------------------------
+
+Table FieldsTable() {
+  auto t = Table::FromCsv(
+      "id,crop,area,wkt\n"
+      "1,wheat,12.5,\"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\"\n");
+  // The CSV helper does not support quotes; build the table directly.
+  Table out;
+  out.columns = {"id", "crop", "area", "wkt"};
+  out.rows = {{"1", "wheat", "12.5", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"},
+              {"2", "maize", "30.0", "POINT (5 5)"}};
+  (void)t;
+  return out;
+}
+
+TriplesMap FieldMapping() {
+  TriplesMap map;
+  map.subject = TermMap::Template("http://x/field/{id}");
+  map.subject_class = "http://x/ontology#Field";
+  map.predicate_objects.push_back(
+      {"http://x/ontology#cropType", TermMap::Column("crop")});
+  map.predicate_objects.push_back(
+      {"http://x/ontology#areaHa",
+       TermMap::Column("area", rdf::vocab::kXsdDouble)});
+  map.wkt_column = "wkt";
+  return map;
+}
+
+TEST(MappingTest, GeneratesExpectedTriples) {
+  Table table = FieldsTable();
+  rdf::TripleStore store;
+  auto stats = ExecuteMapping(table, FieldMapping(), &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->rows_processed, 2u);
+  // Per row: type + crop + area + wkt = 4.
+  EXPECT_EQ(stats->triples_generated, 8u);
+  store.Build();
+  EXPECT_EQ(store.size(), 8u);
+
+  rdf::QueryEngine engine(&store);
+  rdf::Query q;
+  q.where.push_back(
+      rdf::TriplePattern{rdf::PatternSlot::Var("f"),
+                         rdf::PatternSlot::Iri("http://x/ontology#cropType"),
+                         rdf::PatternSlot::Of(rdf::Term::Literal("wheat"))});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(store.dict().Decode(rows->front().at("f")).value,
+            "http://x/field/1");
+}
+
+TEST(MappingTest, OutputLoadsIntoGeoStoreShape) {
+  // The geo:asWKT triples must parse as geometries.
+  Table table = FieldsTable();
+  rdf::TripleStore store;
+  ASSERT_TRUE(ExecuteMapping(table, FieldMapping(), &store).ok());
+  store.Build();
+  auto aswkt = store.dict().Lookup(rdf::Term::Iri(rdf::vocab::kAsWkt));
+  ASSERT_TRUE(aswkt.has_value());
+  int geoms = 0;
+  store.Scan(rdf::IdPattern{std::nullopt, *aswkt, std::nullopt},
+             [&](const rdf::TripleId& t) {
+               auto g = geo::ParseWkt(store.dict().Decode(t.o).value);
+               EXPECT_TRUE(g.ok());
+               ++geoms;
+               return true;
+             });
+  EXPECT_EQ(geoms, 2);
+}
+
+TEST(MappingTest, RejectsBadWkt) {
+  Table table;
+  table.columns = {"id", "wkt"};
+  table.rows = {{"1", "JUNK"}};
+  TriplesMap map;
+  map.subject = TermMap::Template("http://x/{id}");
+  map.wkt_column = "wkt";
+  rdf::TripleStore store;
+  EXPECT_FALSE(ExecuteMapping(table, map, &store).ok());
+  // With validation off it goes through.
+  rdf::TripleStore store2;
+  EXPECT_TRUE(ExecuteMapping(table, map, &store2, false).ok());
+}
+
+TEST(MappingTest, MissingColumnFails) {
+  Table table;
+  table.columns = {"id"};
+  table.rows = {{"1"}};
+  TriplesMap map;
+  map.subject = TermMap::Template("http://x/{id}");
+  map.predicate_objects.push_back(
+      {"http://x/p", TermMap::Column("nope")});
+  rdf::TripleStore store;
+  EXPECT_FALSE(ExecuteMapping(table, map, &store).ok());
+}
+
+TEST(MappingTest, ConstantAndColumnIriObjects) {
+  Table table;
+  table.columns = {"id", "ref"};
+  table.rows = {{"1", "http://other/x"}};
+  TriplesMap map;
+  map.subject = TermMap::Template("http://x/{id}");
+  map.predicate_objects.push_back(
+      {"http://x/seeAlso", TermMap::ColumnIri("ref")});
+  map.predicate_objects.push_back(
+      {"http://x/source", TermMap::Constant("http://x/dataset")});
+  rdf::TripleStore store;
+  auto stats = ExecuteMapping(table, map, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triples_generated, 2u);
+  store.Build();
+  EXPECT_TRUE(store.dict().Lookup(rdf::Term::Iri("http://other/x")).has_value());
+}
+
+// --- Training data (C2) --------------------------------------------------
+
+TEST(RasterizeTest, LabelsFromPolygons) {
+  VectorLayer layer;
+  auto forest = geo::ParseWkt("POLYGON ((0 0, 50 0, 50 100, 0 100, 0 0))");
+  auto water = geo::ParseWkt("POLYGON ((50 0, 100 0, 100 100, 50 100, 50 0))");
+  ASSERT_TRUE(forest.ok() && water.ok());
+  layer.features.push_back({*forest, 1});
+  layer.features.push_back({*water, 9});
+  raster::GeoTransform t{0.0, 100.0, 10.0};  // 10x10 pixels of 10 units
+  raster::ClassMap map = RasterizeLabels(layer, 10, 10, t, 255);
+  // Left half = 1, right half = 9 (pixel centers at 5, 15, ..., 95).
+  EXPECT_EQ(map.at(0, 0), 1);
+  EXPECT_EQ(map.at(4, 5), 1);
+  EXPECT_EQ(map.at(5, 5), 9);
+  EXPECT_EQ(map.at(9, 9), 9);
+}
+
+TEST(RasterizeTest, UncoveredPixelsGetFill) {
+  VectorLayer layer;
+  auto small = geo::ParseWkt("POLYGON ((0 90, 10 90, 10 100, 0 100, 0 90))");
+  ASSERT_TRUE(small.ok());
+  layer.features.push_back({*small, 3});
+  raster::GeoTransform t{0.0, 100.0, 10.0};
+  raster::ClassMap map = RasterizeLabels(layer, 10, 10, t, 7);
+  EXPECT_EQ(map.at(0, 0), 3);   // top-left pixel center (5, 95)
+  EXPECT_EQ(map.at(5, 5), 7);   // uncovered
+}
+
+TEST(FlipTest, HorizontalAndVertical) {
+  raster::Sample s;
+  s.label = 2;
+  // 1 channel, 2x2 patch: [[1,2],[3,4]].
+  s.features = {1, 2, 3, 4};
+  raster::Sample h = FlipSample(s, 1, 2, 2, true);
+  EXPECT_EQ(h.features, (std::vector<float>{2, 1, 4, 3}));
+  raster::Sample v = FlipSample(s, 1, 2, 2, false);
+  EXPECT_EQ(v.features, (std::vector<float>{3, 4, 1, 2}));
+  EXPECT_EQ(h.label, 2);
+}
+
+TEST(EnlargeTest, ReachesTargetWithConsistentShape) {
+  common::Rng rng(4);
+  raster::ClassMapOptions mopt;
+  mopt.width = 64;
+  mopt.height = 64;
+  mopt.num_patches = 20;
+  raster::ClassMap labels = raster::GenerateClassMap(mopt, &rng);
+  raster::SentinelSimulator::Options sopt;
+  sopt.cloud_probability = 0.0;
+  EnlargeOptions eopt;
+  eopt.target_samples = 2000;
+  eopt.patch_size = 8;
+  eopt.stride = 8;
+  eopt.days = {120, 200};
+  auto ds = BuildEnlargedDataset(labels, raster::kNumLandCoverClasses, sopt,
+                                 eopt);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->size(), 2000u);
+  EXPECT_EQ(ds->feature_dim, 13 * 8 * 8);
+  for (const auto& s : ds->samples) {
+    EXPECT_EQ(s.features.size(), static_cast<size_t>(ds->feature_dim));
+  }
+}
+
+TEST(EnlargeTest, ValidatesOptions) {
+  raster::ClassMap labels(8, 8);
+  raster::SentinelSimulator::Options sopt;
+  EnlargeOptions bad;
+  bad.target_samples = 0;
+  EXPECT_FALSE(
+      BuildEnlargedDataset(labels, 10, sopt, bad).ok());
+  EnlargeOptions no_days;
+  no_days.days.clear();
+  EXPECT_FALSE(
+      BuildEnlargedDataset(labels, 10, sopt, no_days).ok());
+}
+
+}  // namespace
+}  // namespace exearth::etl

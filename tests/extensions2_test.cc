@@ -1,0 +1,289 @@
+#include <set>
+// Tests for the second extension batch: filesystem rename / recursive
+// remove / disk usage, ridge fractions, elastic autoscaling, and the
+// Strabon spatial join.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "dfs/hdfs_baseline.h"
+#include "dfs/hopsfs.h"
+#include "geo/wkt.h"
+#include "platform/autoscale.h"
+#include "polar/ice_products.h"
+#include "strabon/geostore.h"
+
+namespace exearth {
+namespace {
+
+// --- Filesystem ops (parameterized over both implementations) ---------------
+
+class FsOpsTest : public testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "hopsfs") {
+      dfs::HopsFsCluster::Options opt;
+      opt.kv_partitions = 4;
+      opt.inline_threshold_bytes = 1024;
+      cluster_ = std::make_unique<dfs::HopsFsCluster>(opt);
+      fs_ = std::make_unique<dfs::HopsFsNameNode>(cluster_.get());
+    } else {
+      fs_ = std::make_unique<dfs::SingleNameNodeFs>();
+    }
+    ASSERT_TRUE(fs_->Mkdir("/data").ok());
+    ASSERT_TRUE(fs_->Mkdir("/data/sub").ok());
+    ASSERT_TRUE(fs_->Create("/data/a", 3, "aaa").ok());
+    ASSERT_TRUE(fs_->Create("/data/sub/b", 5, "bbbbb").ok());
+  }
+
+  std::unique_ptr<dfs::HopsFsCluster> cluster_;
+  std::unique_ptr<dfs::FileSystem> fs_;
+};
+
+TEST_P(FsOpsTest, RenameFile) {
+  ASSERT_TRUE(fs_->Rename("/data/a", "/data/renamed").ok());
+  EXPECT_TRUE(fs_->GetFileInfo("/data/a").status().IsNotFound());
+  auto read = fs_->ReadFile("/data/renamed");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "aaa");
+}
+
+TEST_P(FsOpsTest, RenameMovesSubtree) {
+  ASSERT_TRUE(fs_->Mkdir("/elsewhere").ok());
+  ASSERT_TRUE(fs_->Rename("/data/sub", "/elsewhere/moved").ok());
+  auto read = fs_->ReadFile("/elsewhere/moved/b");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, "bbbbb");
+  EXPECT_TRUE(fs_->GetFileInfo("/data/sub").status().IsNotFound());
+}
+
+TEST_P(FsOpsTest, RenameErrors) {
+  EXPECT_TRUE(fs_->Rename("/missing", "/x").IsNotFound());
+  EXPECT_TRUE(fs_->Rename("/data/a", "/data/sub/b").IsAlreadyExists());
+  // Directory into itself.
+  EXPECT_FALSE(fs_->Rename("/data", "/data/sub/inner").ok());
+}
+
+TEST_P(FsOpsTest, RemoveRecursive) {
+  ASSERT_TRUE(fs_->RemoveRecursive("/data").ok());
+  EXPECT_TRUE(fs_->GetFileInfo("/data").status().IsNotFound());
+  EXPECT_TRUE(fs_->GetFileInfo("/data/sub/b").status().IsNotFound());
+  EXPECT_TRUE(fs_->RemoveRecursive("/data").IsNotFound());
+}
+
+TEST_P(FsOpsTest, RemoveRecursiveOnFile) {
+  ASSERT_TRUE(fs_->RemoveRecursive("/data/a").ok());
+  EXPECT_TRUE(fs_->GetFileInfo("/data/a").status().IsNotFound());
+  // The rest survives.
+  EXPECT_TRUE(fs_->ReadFile("/data/sub/b").ok());
+}
+
+TEST_P(FsOpsTest, DiskUsage) {
+  auto du = fs_->DiskUsage("/data");
+  ASSERT_TRUE(du.ok());
+  EXPECT_EQ(*du, 8u);  // 3 + 5
+  auto file_du = fs_->DiskUsage("/data/sub/b");
+  ASSERT_TRUE(file_du.ok());
+  EXPECT_EQ(*file_du, 5u);
+  ASSERT_TRUE(fs_->Mkdir("/empty").ok());
+  EXPECT_EQ(*fs_->DiskUsage("/empty"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Implementations, FsOpsTest,
+                         testing::Values("hopsfs", "single"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(HopsFsRowsTest, RemoveRecursiveCleansAllRows) {
+  dfs::HopsFsCluster::Options opt;
+  opt.kv_partitions = 4;
+  opt.inline_threshold_bytes = 2;
+  opt.block_size_bytes = 2;
+  dfs::HopsFsCluster cluster(opt);
+  dfs::HopsFsNameNode nn(&cluster);
+  const size_t base_rows = cluster.store().Size();
+  ASSERT_TRUE(nn.Mkdir("/t").ok());
+  ASSERT_TRUE(nn.Mkdir("/t/d").ok());
+  ASSERT_TRUE(nn.Create("/t/d/big", 6, "xxxxxx").ok());  // 3 block rows
+  ASSERT_TRUE(nn.RemoveRecursive("/t").ok());
+  EXPECT_EQ(cluster.store().Size(), base_rows);
+}
+
+// --- Ridge fraction -----------------------------------------------------
+
+TEST(RidgeTest, InjectedRidgesRaiseFraction) {
+  raster::ClassMap ice(64, 64);
+  ice.Fill(static_cast<uint8_t>(raster::IceClass::kFirstYearIce));
+  raster::SentinelSimulator::Options opt;
+  opt.pixel_size = 40.0;
+  raster::SentinelSimulator sim(opt, 31);
+  auto smooth = sim.SimulateS1Ice(ice, 60);
+  auto ridged = smooth;  // copy, then deform
+  int64_t painted = polar::InjectRidges(&ridged, ice, 6, 8.0, 32);
+  ASSERT_GT(painted, 50);
+  auto f_smooth = polar::RidgeFraction(ice, smooth, 16);
+  auto f_ridged = polar::RidgeFraction(ice, ridged, 16);
+  ASSERT_TRUE(f_smooth.ok() && f_ridged.ok());
+  EXPECT_GT(f_ridged->ComputeStats(0).mean,
+            f_smooth->ComputeStats(0).mean * 1.5);
+}
+
+TEST(RidgeTest, OpenWaterCellsAreZero) {
+  raster::ClassMap water(32, 32);
+  water.Fill(static_cast<uint8_t>(raster::IceClass::kOpenWater));
+  raster::SentinelSimulator sim({}, 33);
+  auto scene = sim.SimulateS1Ice(water, 60);
+  auto f = polar::RidgeFraction(water, scene, 8);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->ComputeStats(0).max, 0.0f);
+}
+
+TEST(RidgeTest, Validation) {
+  raster::ClassMap ice(32, 32);
+  raster::SentinelSimulator sim({}, 34);
+  auto scene = sim.SimulateS1Ice(ice, 60);
+  EXPECT_FALSE(polar::RidgeFraction(ice, scene, 5).ok());   // 32 % 5 != 0
+  raster::ClassMap wrong(16, 16);
+  EXPECT_FALSE(polar::RidgeFraction(wrong, scene, 8).ok());
+}
+
+// --- Autoscaling ----------------------------------------------------------
+
+TEST(AutoscaleTest, ElasticBeatsMinimalFixedOnLatency) {
+  platform::AutoscaleOptions elastic;
+  elastic.min_nodes = 1;
+  elastic.max_nodes = 32;
+  elastic.seed = 5;
+  auto e = platform::SimulateAutoscaling(elastic);
+  ASSERT_TRUE(e.ok()) << e.status();
+
+  platform::AutoscaleOptions fixed_small = elastic;
+  fixed_small.max_nodes = fixed_small.min_nodes = 2;  // under-provisioned
+  auto f = platform::SimulateAutoscaling(fixed_small);
+  ASSERT_TRUE(f.ok());
+
+  EXPECT_EQ(e->scenes_processed, f->scenes_processed);
+  EXPECT_LT(e->mean_latency_hours, f->mean_latency_hours / 2);
+}
+
+TEST(AutoscaleTest, ElasticCheaperThanPeakFixed) {
+  platform::AutoscaleOptions elastic;
+  elastic.min_nodes = 1;
+  elastic.max_nodes = 32;
+  elastic.seed = 7;
+  auto e = platform::SimulateAutoscaling(elastic);
+  ASSERT_TRUE(e.ok());
+  // Fixed provisioning at the elastic run's peak: same latency class but
+  // pays for the peak around the clock.
+  platform::AutoscaleOptions fixed_peak = elastic;
+  fixed_peak.min_nodes = fixed_peak.max_nodes = std::max(1, e->peak_nodes);
+  auto f = platform::SimulateAutoscaling(fixed_peak);
+  ASSERT_TRUE(f.ok());
+  EXPECT_LT(e->node_hours_used, f->node_hours_used);
+}
+
+TEST(AutoscaleTest, ProcessesEverythingAndScalesWithinBounds) {
+  platform::AutoscaleOptions opt;
+  opt.min_nodes = 2;
+  opt.max_nodes = 8;
+  opt.horizon_hours = 24;
+  opt.seed = 9;
+  auto r = platform::SimulateAutoscaling(opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scenes_processed, 100u);
+  EXPECT_GE(r->peak_nodes, 2);
+  EXPECT_LE(r->peak_nodes, 8);
+  EXPECT_GT(r->mean_latency_hours, 0.0);
+  EXPECT_GT(r->node_hours_used, 0.0);
+}
+
+TEST(AutoscaleTest, Validation) {
+  platform::AutoscaleOptions bad;
+  bad.min_nodes = 4;
+  bad.max_nodes = 2;
+  EXPECT_FALSE(platform::SimulateAutoscaling(bad).ok());
+  platform::AutoscaleOptions zero;
+  zero.scenes_per_hour = 0;
+  EXPECT_FALSE(platform::SimulateAutoscaling(zero).ok());
+}
+
+// --- Spatial join ------------------------------------------------------------
+
+TEST(SpatialJoinTest, FieldsIntersectingRivers) {
+  strabon::GeoStore store;
+  const char* field_cls = "http://x/ontology#Field";
+  const char* river_cls = "http://x/ontology#River";
+  // Fields: unit squares along the x axis. River: a long thin rectangle
+  // crossing fields 2..4.
+  for (int i = 0; i < 8; ++i) {
+    std::string iri = common::StrFormat("http://x/field/%d", i);
+    auto poly = geo::ParseWkt(common::StrFormat(
+        "POLYGON ((%d 0, %d 0, %d 1, %d 1, %d 0))", i * 2, i * 2 + 1,
+        i * 2 + 1, i * 2, i * 2));
+    ASSERT_TRUE(poly.ok());
+    store.AddFeature(iri, *poly);
+    store.triples().Add(rdf::Term::Iri(iri),
+                        rdf::Term::Iri(rdf::vocab::kRdfType),
+                        rdf::Term::Iri(field_cls));
+  }
+  auto river = geo::ParseWkt(
+      "POLYGON ((3.5 -1, 9.5 -1, 9.5 2, 3.5 2, 3.5 -1))");
+  ASSERT_TRUE(river.ok());
+  store.AddFeature("http://x/river/0", *river);
+  store.triples().Add(rdf::Term::Iri("http://x/river/0"),
+                      rdf::Term::Iri(rdf::vocab::kRdfType),
+                      rdf::Term::Iri(river_cls));
+  ASSERT_TRUE(store.Build().ok());
+
+  auto indexed = store.SpatialJoin(field_cls, river_cls,
+                                   strabon::SpatialRelation::kIntersects,
+                                   true);
+  auto nested = store.SpatialJoin(field_cls, river_cls,
+                                  strabon::SpatialRelation::kIntersects,
+                                  false);
+  EXPECT_EQ(indexed, nested);
+  // Fields 2, 3, 4 overlap the river's x-range [3.5, 9.5]:
+  // field i covers [2i, 2i+1] -> i=2 [4,5], i=3 [6,7], i=4 [8,9].
+  ASSERT_EQ(indexed.size(), 3u);
+  std::set<std::string> names;
+  for (auto& [a, b] : indexed) {
+    names.insert(store.triples().dict().Decode(a).value);
+    EXPECT_EQ(store.triples().dict().Decode(b).value, "http://x/river/0");
+  }
+  EXPECT_TRUE(names.count("http://x/field/2"));
+  EXPECT_TRUE(names.count("http://x/field/3"));
+  EXPECT_TRUE(names.count("http://x/field/4"));
+}
+
+TEST(SpatialJoinTest, ContainsAndWithin) {
+  strabon::GeoStore store;
+  auto big = geo::ParseWkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  auto small = geo::ParseWkt("POLYGON ((2 2, 3 2, 3 3, 2 3, 2 2))");
+  ASSERT_TRUE(big.ok() && small.ok());
+  store.AddFeature("http://x/region", *big);
+  store.triples().Add(rdf::Term::Iri("http://x/region"),
+                      rdf::Term::Iri(rdf::vocab::kRdfType),
+                      rdf::Term::Iri("http://x/Region"));
+  store.AddFeature("http://x/parcel", *small);
+  store.triples().Add(rdf::Term::Iri("http://x/parcel"),
+                      rdf::Term::Iri(rdf::vocab::kRdfType),
+                      rdf::Term::Iri("http://x/Parcel"));
+  ASSERT_TRUE(store.Build().ok());
+  auto contains = store.SpatialJoin("http://x/Region", "http://x/Parcel",
+                                    strabon::SpatialRelation::kContains,
+                                    true);
+  ASSERT_EQ(contains.size(), 1u);
+  auto within = store.SpatialJoin("http://x/Parcel", "http://x/Region",
+                                  strabon::SpatialRelation::kWithin, true);
+  ASSERT_EQ(within.size(), 1u);
+  // Unknown classes: empty.
+  EXPECT_TRUE(store.SpatialJoin("http://x/Nope", "http://x/Region",
+                                strabon::SpatialRelation::kIntersects, true)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace exearth

@@ -1,0 +1,491 @@
+// Tests for the extension features: N-Triples I/O, geometry
+// simplification/hulls, temporal link discovery, raster/product and
+// weight serialization, Adam, time-series gap filling, ice drift, and the
+// catalogue's maximum-extent query.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "catalog/catalogue.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "foodsec/timeseries.h"
+#include "geo/simplify.h"
+#include "geo/wkt.h"
+#include "link/temporal_links.h"
+#include "ml/network.h"
+#include "ml/optimizer.h"
+#include "ml/trainer.h"
+#include "polar/drift.h"
+#include "raster/io.h"
+#include "rdf/ntriples.h"
+#include "strabon/workload.h"
+
+namespace exearth {
+namespace {
+
+// --- N-Triples ----------------------------------------------------------
+
+TEST(NTriplesTest, RoundTrip) {
+  rdf::TripleStore store;
+  store.Add(rdf::Term::Iri("http://x/a"), rdf::Term::Iri("http://x/p"),
+            rdf::Term::Iri("http://x/b"));
+  store.Add(rdf::Term::Iri("http://x/a"), rdf::Term::Iri("http://x/label"),
+            rdf::Term::Literal("line1\nline2 \"quoted\" \\slash"));
+  store.Add(rdf::Term::Blank("b0"), rdf::Term::Iri("http://x/v"),
+            rdf::Term::Literal("3.5", rdf::vocab::kXsdDouble));
+  store.Build();
+  std::string text = rdf::SerializeNTriples(store);
+  rdf::TripleStore parsed;
+  auto stats = rdf::ParseNTriples(text, &parsed);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->triples, 3u);
+  parsed.Build();
+  EXPECT_EQ(parsed.size(), 3u);
+  // Re-serialize: identical canonical text.
+  EXPECT_EQ(rdf::SerializeNTriples(parsed), text);
+}
+
+TEST(NTriplesTest, ParsesCommentsAndBlankLines) {
+  rdf::TripleStore store;
+  auto stats = rdf::ParseNTriples(
+      "# header comment\n\n<http://a> <http://p> \"v\" .\n", &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->triples, 1u);
+}
+
+TEST(NTriplesTest, RejectsMalformed) {
+  rdf::TripleStore store;
+  EXPECT_FALSE(rdf::ParseNTriples("<http://a> <http://p> .\n", &store).ok());
+  EXPECT_FALSE(rdf::ParseNTriples("<http://a> <http://p> \"v\"\n", &store).ok());
+  EXPECT_FALSE(
+      rdf::ParseNTriples("<http://a> \"litpred\" <http://b> .\n", &store)
+          .ok());
+  EXPECT_FALSE(
+      rdf::ParseNTriples("<http://a> <http://p> \"unterminated .\n", &store)
+          .ok());
+  // Error carries the line number.
+  auto bad = rdf::ParseNTriples("<http://a> <http://p> <http://b> .\njunk\n",
+                                &store);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, DatatypedLiteralRoundTrip) {
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseNTriples(
+                  "<http://a> <http://p> \"42\"^^<" +
+                      std::string(rdf::vocab::kXsdInteger) + "> .\n",
+                  &store)
+                  .ok());
+  store.Build();
+  auto matches = store.Match(rdf::IdPattern{});
+  ASSERT_EQ(matches.size(), 1u);
+  const rdf::Term& o = store.dict().Decode(matches[0].o);
+  EXPECT_TRUE(o.IsLiteral());
+  EXPECT_EQ(o.datatype, rdf::vocab::kXsdInteger);
+}
+
+// --- Simplification / hulls -------------------------------------------------
+
+TEST(SimplifyTest, CollinearPointsCollapse) {
+  geo::LineString line;
+  for (int i = 0; i <= 10; ++i) {
+    line.points.push_back(geo::Point{static_cast<double>(i), 0.0});
+  }
+  geo::LineString out = geo::Simplify(line, 0.01);
+  EXPECT_EQ(out.points.size(), 2u);
+  EXPECT_EQ(out.points.front().x, 0);
+  EXPECT_EQ(out.points.back().x, 10);
+}
+
+TEST(SimplifyTest, KeepsSignificantVertices) {
+  geo::LineString line;
+  line.points = {{0, 0}, {5, 5}, {10, 0}};  // a peak of height 5
+  geo::LineString out = geo::Simplify(line, 1.0);
+  EXPECT_EQ(out.points.size(), 3u);
+  out = geo::Simplify(line, 10.0);  // tolerance above the peak
+  EXPECT_EQ(out.points.size(), 2u);
+}
+
+TEST(SimplifyTest, RingPreservesShapeWithinTolerance) {
+  common::Rng rng(3);
+  geo::Polygon poly = strabon::RandomPolygon(50, 50, 40, 64, &rng);
+  geo::Polygon simplified = geo::Simplify(poly, 0.8);
+  EXPECT_LT(simplified.outer.points.size(), poly.outer.points.size());
+  EXPECT_GE(simplified.outer.points.size(), 3u);
+  // Area change bounded (tolerance * perimeter is a crude bound).
+  EXPECT_NEAR(simplified.Area(), poly.Area(), 0.15 * poly.Area());
+}
+
+TEST(SimplifyTest, DegenerateInputsReturned) {
+  geo::LineString two;
+  two.points = {{0, 0}, {1, 1}};
+  EXPECT_EQ(geo::Simplify(two, 5.0).points.size(), 2u);
+  geo::Ring tri;
+  tri.points = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(geo::Simplify(tri, 100.0).points.size(), 3u);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  std::vector<geo::Point> pts = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                                 {2, 2}, {1, 3}, {3, 1}};
+  geo::Ring hull = geo::ConvexHull(pts);
+  EXPECT_EQ(hull.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.Area(), 16.0);
+  // CCW orientation.
+  EXPECT_GT(hull.SignedArea(), 0.0);
+}
+
+TEST(ConvexHullTest, CollinearAndTinyInputs) {
+  geo::Ring hull =
+      geo::ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_LE(hull.points.size(), 2u);  // degenerate: endpoints only
+  EXPECT_EQ(geo::ConvexHull({{5, 5}}).points.size(), 1u);
+  EXPECT_TRUE(geo::ConvexHull({}).points.empty());
+}
+
+TEST(ConvexHullTest, HullContainsAllPoints) {
+  common::Rng rng(4);
+  std::vector<geo::Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(geo::Point{rng.Gaussian(0, 10), rng.Gaussian(0, 10)});
+  }
+  geo::Ring hull = geo::ConvexHull(pts);
+  for (const geo::Point& p : pts) {
+    EXPECT_TRUE(hull.Contains(p));
+  }
+}
+
+// --- Temporal links ------------------------------------------------------
+
+std::vector<link::Interval> RandomIntervals(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<link::Interval> out;
+  for (int i = 0; i < n; ++i) {
+    double start = rng.UniformDouble(0, 365);
+    out.push_back({start, start + rng.UniformDouble(0, 60)});
+  }
+  return out;
+}
+
+TEST(TemporalLinksTest, EvalRelations) {
+  link::Interval a{10, 20};
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {25, 30},
+                                         link::TemporalRelation::kBefore));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {20, 30},
+                                         link::TemporalRelation::kMeets));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {15, 30},
+                                         link::TemporalRelation::kOverlaps));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {5, 25},
+                                         link::TemporalRelation::kDuring));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {10, 40},
+                                         link::TemporalRelation::kStarts));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {0, 20},
+                                         link::TemporalRelation::kFinishes));
+  EXPECT_TRUE(link::EvalTemporalRelation(a, {10, 20},
+                                         link::TemporalRelation::kEquals));
+  EXPECT_FALSE(link::EvalTemporalRelation(a, {21, 30},
+                                          link::TemporalRelation::kOverlaps));
+}
+
+TEST(TemporalLinksTest, IndexedMatchesNestedLoopAllRelations) {
+  auto a = RandomIntervals(120, 1);
+  auto b = RandomIntervals(150, 2);
+  for (auto relation :
+       {link::TemporalRelation::kBefore, link::TemporalRelation::kMeets,
+        link::TemporalRelation::kOverlaps, link::TemporalRelation::kDuring,
+        link::TemporalRelation::kStarts, link::TemporalRelation::kFinishes,
+        link::TemporalRelation::kEquals}) {
+    link::TemporalLinkOptions opt;
+    opt.relation = relation;
+    opt.use_index = true;
+    auto indexed = link::DiscoverTemporalLinks(a, b, opt);
+    opt.use_index = false;
+    auto nested = link::DiscoverTemporalLinks(a, b, opt);
+    EXPECT_EQ(indexed.links, nested.links)
+        << link::TemporalRelationName(relation);
+  }
+}
+
+TEST(TemporalLinksTest, IndexPrunesCandidates) {
+  auto a = RandomIntervals(300, 3);
+  auto b = RandomIntervals(300, 4);
+  link::TemporalLinkOptions opt;
+  opt.relation = link::TemporalRelation::kOverlaps;
+  opt.use_index = true;
+  auto indexed = link::DiscoverTemporalLinks(a, b, opt);
+  EXPECT_LT(indexed.exact_tests, 300u * 300u);
+  EXPECT_FALSE(indexed.links.empty());
+}
+
+TEST(TemporalLinksTest, EmptyInputs) {
+  link::TemporalLinkOptions opt;
+  EXPECT_TRUE(link::DiscoverTemporalLinks({}, {}, opt).links.empty());
+  auto a = RandomIntervals(5, 9);
+  EXPECT_TRUE(link::DiscoverTemporalLinks(a, {}, opt).links.empty());
+}
+
+// --- Raster / product serialization ------------------------------------
+
+TEST(RasterIoTest, RasterRoundTrip) {
+  raster::Raster r(7, 5, 3, raster::GeoTransform{100, 200, 2.5});
+  common::Rng rng(5);
+  for (auto& v : r.data()) v = static_cast<float>(rng.NextDouble());
+  std::string blob = raster::SerializeRaster(r);
+  auto back = raster::DeserializeRaster(blob);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->width(), 7);
+  EXPECT_EQ(back->height(), 5);
+  EXPECT_EQ(back->bands(), 3);
+  EXPECT_DOUBLE_EQ(back->transform().pixel_size, 2.5);
+  EXPECT_EQ(back->data(), r.data());
+}
+
+TEST(RasterIoTest, ProductRoundTrip) {
+  raster::SentinelSimulator::Options opt;
+  opt.cloud_probability = 1.0;
+  raster::SentinelSimulator sim(opt, 6);
+  raster::ClassMap map(16, 16);
+  map.Fill(1);
+  raster::SentinelProduct p = sim.SimulateS2(map, 123);
+  std::string blob = raster::SerializeProduct(p);
+  auto back = raster::DeserializeProduct(blob);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->metadata.product_id, p.metadata.product_id);
+  EXPECT_EQ(back->metadata.mission, p.metadata.mission);
+  EXPECT_EQ(back->metadata.day_of_year, 123);
+  EXPECT_EQ(back->raster.data(), p.raster.data());
+  EXPECT_EQ(back->cloud_mask.data(), p.cloud_mask.data());
+}
+
+TEST(RasterIoTest, RejectsCorruptBlobs) {
+  EXPECT_FALSE(raster::DeserializeRaster("garbage").ok());
+  EXPECT_FALSE(raster::DeserializeProduct("EEAPxx").ok());
+  raster::Raster r(2, 2, 1);
+  std::string blob = raster::SerializeRaster(r);
+  blob.resize(blob.size() - 1);  // truncate payload
+  EXPECT_FALSE(raster::DeserializeRaster(blob).ok());
+  blob = raster::SerializeRaster(r);
+  blob += 'x';  // trailing byte
+  EXPECT_FALSE(raster::DeserializeRaster(blob).ok());
+}
+
+// --- Adam + weight serialization ------------------------------------------
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||p - target||^2 with Adam.
+  ml::Tensor p({4});
+  ml::Tensor target({4});
+  for (int i = 0; i < 4; ++i) target[i] = static_cast<float>(i) - 1.5f;
+  ml::AdamOptimizer adam({.learning_rate = 0.05});
+  ml::Tensor grad({4});
+  for (int step = 0; step < 400; ++step) {
+    for (int i = 0; i < 4; ++i) grad[i] = 2.0f * (p[i] - target[i]);
+    adam.Step({&p}, {&grad});
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(p[i], target[i], 1e-2);
+}
+
+TEST(AdamTest, TrainsClassifier) {
+  raster::EurosatOptions opt;
+  opt.num_samples = 600;
+  opt.patch_size = 4;
+  raster::Dataset ds = raster::MakeEurosatLike(opt, 9);
+  ds.Standardize();
+  ml::Network net = ml::BuildMlp(ds.feature_dim, {24}, 10, 11);
+  ml::AdamOptimizer adam({.learning_rate = 2e-3});
+  common::Rng rng(1);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ds.Shuffle(&rng);
+    for (size_t b = 0; b + 32 <= ds.size(); b += 32) {
+      std::vector<int> labels;
+      ml::Tensor batch = ml::MakeBatch(ds, b, b + 32, false, &labels);
+      net.ZeroGrads();
+      ml::Tensor logits = net.Forward(batch, true);
+      auto loss = ml::SoftmaxCrossEntropy(logits, labels);
+      net.Backward(loss.grad);
+      adam.Step(net.Params(), net.Grads());
+    }
+  }
+  auto preds = ml::Predict(&net, ds, false);
+  int correct = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (preds[i] == ds.samples[i].label) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.7);
+}
+
+TEST(WeightsTest, SaveLoadRoundTrip) {
+  ml::Network a = ml::BuildCnn(3, 8, 8, 4, 5, 1);
+  ml::Network b = ml::BuildCnn(3, 8, 8, 4, 5, 2);  // different init
+  std::string blob = ml::SerializeWeights(a);
+  ASSERT_TRUE(ml::LoadWeights(blob, &b).ok());
+  common::Rng rng(3);
+  ml::Tensor x = ml::Tensor::HeNormal({2, 3, 8, 8}, 192, &rng);
+  ml::Tensor ya = a.Forward(x, false);
+  ml::Tensor yb = b.Forward(x, false);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(WeightsTest, RejectsMismatchedArchitecture) {
+  ml::Network a = ml::BuildMlp(10, {8}, 3, 1);
+  ml::Network other = ml::BuildMlp(10, {16}, 3, 1);
+  std::string blob = ml::SerializeWeights(a);
+  EXPECT_FALSE(ml::LoadWeights(blob, &other).ok());
+  EXPECT_FALSE(ml::LoadWeights("junk", &a).ok());
+  std::string truncated = blob.substr(0, blob.size() / 2);
+  EXPECT_FALSE(ml::LoadWeights(truncated, &a).ok());
+}
+
+// --- Time-series gap filling -------------------------------------------
+
+TEST(GapFillTest, InteriorGapInterpolated) {
+  std::vector<float> v = {1.0f, 0.0f, 0.0f, 4.0f};
+  std::vector<bool> valid = {true, false, false, true};
+  EXPECT_EQ(foodsec::FillGaps(&v, valid), 2);
+  EXPECT_FLOAT_EQ(v[1], 2.0f);
+  EXPECT_FLOAT_EQ(v[2], 3.0f);
+}
+
+TEST(GapFillTest, EdgeGapsExtend) {
+  std::vector<float> v = {0.0f, 5.0f, 0.0f};
+  std::vector<bool> valid = {false, true, false};
+  EXPECT_EQ(foodsec::FillGaps(&v, valid), 2);
+  EXPECT_FLOAT_EQ(v[0], 5.0f);
+  EXPECT_FLOAT_EQ(v[2], 5.0f);
+}
+
+TEST(GapFillTest, AllInvalidIsNoop) {
+  std::vector<float> v = {1.0f, 2.0f};
+  std::vector<bool> valid = {false, false};
+  EXPECT_EQ(foodsec::FillGaps(&v, valid), 0);
+}
+
+TEST(GapFillTest, MovingAverageSmooths) {
+  std::vector<float> v = {0, 0, 9, 0, 0};
+  auto out = foodsec::MovingAverage(v, 3);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  // Window 1: identity.
+  EXPECT_EQ(foodsec::MovingAverage(v, 1), v);
+}
+
+TEST(GapFillTest, NdviStackFillsCloudyPixels) {
+  raster::ClassMap crops(16, 16);
+  crops.Fill(static_cast<uint8_t>(raster::CropType::kWheat));
+  raster::SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  opt.noise_stddev = 0.0;
+  raster::SentinelSimulator sim(opt, 12);
+  std::vector<raster::SentinelProduct> scenes;
+  for (int day : {100, 140, 180}) {
+    scenes.push_back(sim.SimulateCropS2(crops, day));
+  }
+  // Hand-inject a cloud over the middle scene at one pixel.
+  scenes[1].cloud_mask.at(5, 5) = 1;
+  scenes[1].raster.Set(7, 5, 5, 0.9f);  // bright cloud garbage in NIR
+  auto stack = foodsec::GapFilledNdviStack(scenes, 1);
+  ASSERT_TRUE(stack.ok()) << stack.status();
+  ASSERT_EQ(stack->size(), 3u);
+  // Filled value is between the neighbours, not cloud garbage.
+  float before = (*stack)[0].Get(0, 5, 5);
+  float filled = (*stack)[1].Get(0, 5, 5);
+  float after = (*stack)[2].Get(0, 5, 5);
+  EXPECT_GE(filled, std::min(before, after) - 1e-5);
+  EXPECT_LE(filled, std::max(before, after) + 1e-5);
+}
+
+TEST(GapFillTest, NdviStackValidation) {
+  EXPECT_FALSE(foodsec::GapFilledNdviStack({}, 1).ok());
+}
+
+// --- Ice drift ------------------------------------------------------------
+
+TEST(DriftTest, RecoversKnownShift) {
+  // A textured concentration field shifted by (+2, +1) pixels.
+  const int n = 64;
+  common::Rng rng(21);
+  raster::Raster t0(n, n, 1, raster::GeoTransform{0, 6400, 100.0});
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      t0.Set(0, x, y,
+             static_cast<float>(
+                 0.5 + 0.3 * std::sin(x * 0.7) * std::cos(y * 0.5) +
+                 rng.Gaussian(0, 0.03)));
+    }
+  }
+  raster::Raster t1(n, n, 1, t0.transform());
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      int sx = std::clamp(x - 2, 0, n - 1);
+      int sy = std::clamp(y - 1, 0, n - 1);
+      t1.Set(0, x, y, t0.Get(0, sx, sy));
+    }
+  }
+  polar::DriftOptions opt;
+  opt.block = 8;
+  opt.max_shift = 4;
+  auto drift = polar::EstimateIceDrift(t0, t1, opt);
+  ASSERT_TRUE(drift.ok()) << drift.status();
+  ASSERT_GT(drift->size(), 10u);
+  int correct = 0;
+  for (const auto& v : *drift) {
+    // Expected displacement: +2 px east (200 m), +1 px down = -100 m north.
+    if (std::abs(v.dx_m - 200.0) < 1e-9 && std::abs(v.dy_m + 100.0) < 1e-9) {
+      ++correct;
+    }
+    EXPECT_GE(v.correlation, 0.5);
+  }
+  EXPECT_GT(static_cast<double>(correct) / drift->size(), 0.8);
+}
+
+TEST(DriftTest, FeaturelessFieldsGiveNoVectors) {
+  raster::Raster flat0(32, 32, 1);
+  raster::Raster flat1(32, 32, 1);
+  flat0.data().assign(flat0.data().size(), 0.8f);
+  flat1.data().assign(flat1.data().size(), 0.8f);
+  auto drift = polar::EstimateIceDrift(flat0, flat1, polar::DriftOptions{});
+  ASSERT_TRUE(drift.ok());
+  EXPECT_TRUE(drift->empty());
+}
+
+TEST(DriftTest, Validation) {
+  raster::Raster a(16, 16, 1);
+  raster::Raster b(8, 8, 1);
+  EXPECT_FALSE(polar::EstimateIceDrift(a, b, polar::DriftOptions{}).ok());
+  raster::Raster two_band(16, 16, 2);
+  EXPECT_FALSE(
+      polar::EstimateIceDrift(two_band, two_band, polar::DriftOptions{})
+          .ok());
+}
+
+// --- Catalogue max extent ---------------------------------------------------
+
+TEST(MaxExtentTest, FindsPeakDay) {
+  catalog::SemanticCatalogue cat;
+  const char* ice = "http://extremeearth.eu/ontology#IceObservation";
+  // Day 80: 5 observations; day 50: 2; day 200: 1. Plus one outside area.
+  int id = 0;
+  auto add = [&](int day, double x) {
+    cat.AddObservation(common::StrFormat("http://x/obs/%d", id++), ice,
+                       geo::Geometry(geo::Point{x, 10}), "P0", 2017, day);
+  };
+  for (int i = 0; i < 5; ++i) add(80, 10 + i);
+  for (int i = 0; i < 2; ++i) add(50, 20 + i);
+  add(200, 30);
+  add(80, 9999);  // outside the barrier area
+  ASSERT_TRUE(cat.Build().ok());
+  geo::Box barrier = geo::Box::Of(0, 0, 100, 100);
+  auto peak = cat.MaxExtentDay(ice, barrier, 2017);
+  ASSERT_TRUE(peak.ok()) << peak.status();
+  EXPECT_EQ(peak->day_of_year, 80);
+  EXPECT_EQ(peak->observations, 5u);
+  // Wrong year: NotFound.
+  EXPECT_TRUE(cat.MaxExtentDay(ice, barrier, 2019).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace exearth

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/string_util.h"
+#include "fed/federation.h"
+#include "rdf/query.h"
+
+namespace exearth::fed {
+namespace {
+
+// Three endpoints mirroring the ExtremeEarth setting: a crop layer, an ice
+// layer, and a base layer with labels for both.
+class FederationTest : public testing::Test {
+ protected:
+  FederationTest() {
+    rdf::TripleStore crops;
+    for (int i = 0; i < 50; ++i) {
+      std::string field = common::StrFormat("http://x/field/%d", i);
+      crops.Add(rdf::Term::Iri(field), rdf::Term::Iri("http://x/cropType"),
+                rdf::Term::Literal(i % 2 == 0 ? "wheat" : "maize"));
+    }
+    rdf::TripleStore ice;
+    for (int i = 0; i < 30; ++i) {
+      std::string floe = common::StrFormat("http://x/floe/%d", i);
+      ice.Add(rdf::Term::Iri(floe), rdf::Term::Iri("http://x/iceClass"),
+              rdf::Term::Literal("FirstYearIce"));
+    }
+    rdf::TripleStore base;
+    for (int i = 0; i < 50; ++i) {
+      std::string field = common::StrFormat("http://x/field/%d", i);
+      base.Add(rdf::Term::Iri(field), rdf::Term::Iri(rdf::vocab::kLabel),
+               rdf::Term::Literal(common::StrFormat("field %d", i)));
+    }
+    for (int i = 0; i < 30; ++i) {
+      std::string floe = common::StrFormat("http://x/floe/%d", i);
+      base.Add(rdf::Term::Iri(floe), rdf::Term::Iri(rdf::vocab::kLabel),
+               rdf::Term::Literal(common::StrFormat("floe %d", i)));
+    }
+    crop_endpoint_ = std::make_unique<Endpoint>("crops", std::move(crops));
+    ice_endpoint_ = std::make_unique<Endpoint>("ice", std::move(ice));
+    base_endpoint_ = std::make_unique<Endpoint>("base", std::move(base));
+    engine_.Register(crop_endpoint_.get());
+    engine_.Register(ice_endpoint_.get());
+    engine_.Register(base_endpoint_.get());
+  }
+
+  rdf::Query CropLabelQuery() {
+    rdf::Query q;
+    q.where.push_back(rdf::TriplePattern{
+        rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri("http://x/cropType"),
+        rdf::PatternSlot::Of(rdf::Term::Literal("wheat"))});
+    q.where.push_back(rdf::TriplePattern{
+        rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri(rdf::vocab::kLabel),
+        rdf::PatternSlot::Var("label")});
+    return q;
+  }
+
+  std::unique_ptr<Endpoint> crop_endpoint_, ice_endpoint_, base_endpoint_;
+  FederationEngine engine_;
+};
+
+TEST_F(FederationTest, EndpointSummary) {
+  EXPECT_TRUE(crop_endpoint_->Advertises("http://x/cropType"));
+  EXPECT_FALSE(crop_endpoint_->Advertises("http://x/iceClass"));
+  EXPECT_EQ(crop_endpoint_->summary().at("http://x/cropType"), 50u);
+}
+
+TEST_F(FederationTest, CrossEndpointJoin) {
+  FederationOptions opt;
+  auto rows = engine_.Execute(CropLabelQuery(), opt);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 25u);  // 25 wheat fields, each with a label
+  for (const FedBinding& row : *rows) {
+    EXPECT_TRUE(row.count("f"));
+    EXPECT_TRUE(row.count("label"));
+    EXPECT_TRUE(common::StartsWith(row.at("label").value, "field "));
+  }
+}
+
+TEST_F(FederationTest, SourceSelectionSkipsIrrelevantEndpoints) {
+  FederationOptions with;
+  with.source_selection = true;
+  auto r1 = engine_.Execute(CropLabelQuery(), with);
+  ASSERT_TRUE(r1.ok());
+  auto stats_with = engine_.last_stats();
+
+  FederationOptions without;
+  without.source_selection = false;
+  auto r2 = engine_.Execute(CropLabelQuery(), without);
+  ASSERT_TRUE(r2.ok());
+  auto stats_without = engine_.last_stats();
+
+  EXPECT_EQ(r1->size(), r2->size());
+  EXPECT_LT(stats_with.subqueries_sent, stats_without.subqueries_sent);
+  EXPECT_LT(stats_with.endpoints_contacted,
+            stats_without.endpoints_contacted);
+}
+
+TEST_F(FederationTest, JoinReorderingReducesTransfers) {
+  // Query order puts the big unselective pattern (labels, 80 rows) first;
+  // the optimizer should run the selective crop pattern first instead.
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri(rdf::vocab::kLabel),
+      rdf::PatternSlot::Var("label")});
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri("http://x/cropType"),
+      rdf::PatternSlot::Of(rdf::Term::Literal("wheat"))});
+
+  FederationOptions reorder;
+  reorder.join_reordering = true;
+  auto r1 = engine_.Execute(q, reorder);
+  ASSERT_TRUE(r1.ok());
+  auto stats_reordered = engine_.last_stats();
+
+  FederationOptions keep;
+  keep.join_reordering = false;
+  auto r2 = engine_.Execute(q, keep);
+  ASSERT_TRUE(r2.ok());
+  auto stats_plain = engine_.last_stats();
+
+  EXPECT_EQ(r1->size(), r2->size());
+  EXPECT_LE(stats_reordered.rows_transferred, stats_plain.rows_transferred);
+}
+
+TEST_F(FederationTest, TermFilters) {
+  FederationOptions opt;
+  FederationEngine::FedFilter only_field_2 = [](const FedBinding& row) {
+    auto it = row.find("label");
+    return it != row.end() && it->second.value == "field 2";
+  };
+  auto rows = engine_.Execute(CropLabelQuery(), opt, {only_field_2});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(FederationTest, ProjectionAndLimit) {
+  rdf::Query q = CropLabelQuery();
+  q.select = {"label"};
+  q.limit = 5;
+  FederationOptions opt;
+  auto rows = engine_.Execute(q, opt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+  for (const FedBinding& row : *rows) {
+    EXPECT_EQ(row.size(), 1u);
+    EXPECT_TRUE(row.count("label"));
+  }
+}
+
+TEST_F(FederationTest, EmptyQueryRejected) {
+  FederationOptions opt;
+  EXPECT_FALSE(engine_.Execute(rdf::Query{}, opt).ok());
+}
+
+TEST_F(FederationTest, NoEndpointsRejected) {
+  FederationEngine empty;
+  FederationOptions opt;
+  EXPECT_FALSE(empty.Execute(CropLabelQuery(), opt).ok());
+}
+
+TEST_F(FederationTest, UnknownPredicateYieldsEmpty) {
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{rdf::PatternSlot::Var("s"),
+                                       rdf::PatternSlot::Iri("http://x/nope"),
+                                       rdf::PatternSlot::Var("o")});
+  FederationOptions opt;
+  auto rows = engine_.Execute(q, opt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  // With source selection, nothing advertises the predicate: zero calls.
+  EXPECT_EQ(engine_.last_stats().subqueries_sent, 0u);
+}
+
+TEST_F(FederationTest, SameResultsRegardlessOfOptimizations) {
+  rdf::Query q = CropLabelQuery();
+  std::set<std::string> expected;
+  for (int combo = 0; combo < 4; ++combo) {
+    FederationOptions opt;
+    opt.source_selection = combo & 1;
+    opt.join_reordering = combo & 2;
+    auto rows = engine_.Execute(q, opt);
+    ASSERT_TRUE(rows.ok());
+    std::set<std::string> got;
+    for (const FedBinding& row : *rows) got.insert(row.at("f").value);
+    if (expected.empty()) {
+      expected = got;
+    } else {
+      EXPECT_EQ(got, expected) << "combo " << combo;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exearth::fed

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "foodsec/fields.h"
+#include "foodsec/pipeline.h"
+#include "foodsec/water.h"
+#include "rdf/query.h"
+
+namespace exearth::foodsec {
+namespace {
+
+// --- Field extraction -----------------------------------------------------
+
+raster::ClassMap QuadrantMap(int size) {
+  // Four quadrants with distinct crops.
+  raster::ClassMap map(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      uint8_t crop = static_cast<uint8_t>((x < size / 2 ? 0 : 1) +
+                                          (y < size / 2 ? 0 : 2));
+      map.at(x, y) = crop;
+    }
+  }
+  return map;
+}
+
+TEST(FieldsTest, ExtractsQuadrants) {
+  raster::ClassMap map = QuadrantMap(16);
+  raster::GeoTransform t{0, 160, 10.0};
+  auto fields = ExtractFields(map, t, FieldExtractionOptions{});
+  ASSERT_EQ(fields.size(), 4u);
+  for (const Field& f : fields) {
+    EXPECT_EQ(f.pixels, 64);
+    // 64 pixels x 100 m2 = 6400 m2 = 0.64 ha.
+    EXPECT_NEAR(f.area_ha, 0.64, 1e-9);
+  }
+  // Crops distinct.
+  std::set<int> crops;
+  for (const Field& f : fields) crops.insert(static_cast<int>(f.crop));
+  EXPECT_EQ(crops.size(), 4u);
+}
+
+TEST(FieldsTest, MinPixelsFilters) {
+  raster::ClassMap map(8, 8);
+  map.Fill(0);
+  map.at(7, 7) = 3;  // single-pixel speck
+  raster::GeoTransform t{0, 80, 10.0};
+  FieldExtractionOptions opt;
+  opt.min_pixels = 4;
+  auto fields = ExtractFields(map, t, opt);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].pixels, 63);
+  opt.min_pixels = 1;
+  EXPECT_EQ(ExtractFields(map, t, opt).size(), 2u);
+}
+
+TEST(FieldsTest, CentroidAndBounds) {
+  raster::ClassMap map(4, 4);
+  map.Fill(2);
+  raster::GeoTransform t{100, 140, 10.0};
+  auto fields = ExtractFields(map, t, FieldExtractionOptions{});
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_NEAR(fields[0].centroid.x, 120.0, 1e-9);
+  EXPECT_NEAR(fields[0].centroid.y, 120.0, 1e-9);
+  EXPECT_NEAR(fields[0].bounds.min_x, 100.0, 1e-9);
+  EXPECT_NEAR(fields[0].bounds.max_y, 140.0, 1e-9);
+}
+
+TEST(FieldsTest, PublishAsLinkedData) {
+  raster::ClassMap map = QuadrantMap(8);
+  raster::GeoTransform t{0, 80, 10.0};
+  auto fields = ExtractFields(map, t, FieldExtractionOptions{});
+  strabon::GeoStore store;
+  size_t triples = PublishFields(fields, "http://x", &store);
+  EXPECT_EQ(triples, fields.size() * 4);
+  ASSERT_TRUE(store.Build().ok());
+  // Spatial query: fields intersecting the lower-left quadrant.
+  auto hits = store.SpatialSelect(geo::Box::Of(0, 0, 35, 35),
+                                  strabon::SpatialRelation::kIntersects,
+                                  true);
+  EXPECT_GE(hits.size(), 1u);
+  // Thematic query: crop type per field.
+  rdf::QueryEngine engine(&store.triples());
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("f"),
+      rdf::PatternSlot::Iri("http://extremeearth.eu/ontology#cropType"),
+      rdf::PatternSlot::Var("crop")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), fields.size());
+}
+
+// --- Water model -----------------------------------------------------------
+
+TEST(WeatherTest, SynthesisIsSeasonalAndDeterministic) {
+  auto a = SynthesizeWeather(7);
+  auto b = SynthesizeWeather(7);
+  ASSERT_EQ(a.size(), 365u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tmax_c, b[i].tmax_c);
+    EXPECT_GE(a[i].tmax_c, a[i].tmin_c);
+    EXPECT_GE(a[i].precip_mm, 0.0);
+  }
+  // Summer warmer than winter on average.
+  double summer = 0;
+  double winter = 0;
+  for (int d = 180; d < 210; ++d) summer += a[static_cast<size_t>(d)].tmax_c;
+  for (int d = 0; d < 30; ++d) winter += a[static_cast<size_t>(d)].tmax_c;
+  EXPECT_GT(summer / 30, winter / 30 + 5);
+}
+
+TEST(WaterTest, Et0PositiveAndSeasonal) {
+  WeatherDay summer{15, 28, 0};
+  WeatherDay winter{-2, 4, 0};
+  double et_summer = ReferenceEvapotranspiration(summer, 190);
+  double et_winter = ReferenceEvapotranspiration(winter, 10);
+  EXPECT_GT(et_summer, et_winter);
+  EXPECT_GT(et_summer, 2.0);
+  EXPECT_GE(et_winter, 0.0);
+}
+
+TEST(WaterTest, KcFollowsPhenology) {
+  // Wheat peaks before maize.
+  EXPECT_GT(CropCoefficient(raster::CropType::kWheat, 150),
+            CropCoefficient(raster::CropType::kMaize, 150));
+  EXPECT_GT(CropCoefficient(raster::CropType::kMaize, 210),
+            CropCoefficient(raster::CropType::kWheat, 210));
+  // Fallow stays near the bare-soil coefficient.
+  EXPECT_LT(CropCoefficient(raster::CropType::kFallow, 180), 0.45);
+}
+
+TEST(WaterTest, ProductsShapeAndRanges) {
+  raster::ClassMap crops(16, 16);
+  crops.Fill(static_cast<uint8_t>(raster::CropType::kMaize));
+  raster::GeoTransform t{0, 160, 10.0};
+  auto weather = SynthesizeWeather(3);
+  WaterBalanceOptions opt;
+  auto products = ComputeWaterProducts(crops, t, weather, opt);
+  ASSERT_TRUE(products.ok()) << products.status();
+  EXPECT_EQ(products->availability.width(), 16);
+  EXPECT_EQ(products->irrigation_mm.bands(), 1);
+  auto stats = products->availability.ComputeStats(0);
+  EXPECT_GE(stats.min, 0.0f);
+  EXPECT_LE(stats.max, 1.0f);
+  EXPECT_GT(products->irrigation_mm.ComputeStats(0).mean, 0.0f);
+}
+
+TEST(WaterTest, ThirstyCropNeedsMoreIrrigation) {
+  raster::GeoTransform t{0, 80, 10.0};
+  auto weather = SynthesizeWeather(5);
+  WaterBalanceOptions opt;
+  opt.capacity_variability = 0.0;  // isolate the crop effect
+  raster::ClassMap maize(8, 8);
+  maize.Fill(static_cast<uint8_t>(raster::CropType::kMaize));
+  raster::ClassMap fallow(8, 8);
+  fallow.Fill(static_cast<uint8_t>(raster::CropType::kFallow));
+  auto m = ComputeWaterProducts(maize, t, weather, opt);
+  auto f = ComputeWaterProducts(fallow, t, weather, opt);
+  ASSERT_TRUE(m.ok() && f.ok());
+  EXPECT_GT(m->irrigation_mm.ComputeStats(0).mean,
+            f->irrigation_mm.ComputeStats(0).mean);
+  // Fallow keeps soil wetter.
+  EXPECT_GT(f->availability.ComputeStats(0).mean,
+            m->availability.ComputeStats(0).mean);
+}
+
+TEST(WaterTest, Validation) {
+  raster::ClassMap crops(4, 4);
+  raster::GeoTransform t;
+  WaterBalanceOptions opt;
+  EXPECT_FALSE(ComputeWaterProducts(crops, t, {}, opt).ok());
+  auto weather = SynthesizeWeather(1);
+  opt.soil_capacity_mm = 0;
+  EXPECT_FALSE(ComputeWaterProducts(crops, t, weather, opt).ok());
+}
+
+// --- Full pipeline ----------------------------------------------------------
+
+TEST(FoodSecPipelineTest, EndToEnd) {
+  FoodSecurityOptions opt;
+  opt.width = 48;
+  opt.height = 48;
+  opt.num_parcels = 12;
+  opt.training_samples = 1200;
+  opt.epochs = 5;
+  opt.cloud_probability = 0.0;
+  strabon::GeoStore linked;
+  auto report = RunFoodSecurityPipeline(opt, &linked);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // The classifier must do far better than chance (1/8).
+  EXPECT_GT(report->crop_accuracy, 0.55) << report->crop_confusion.ToString();
+  EXPECT_FALSE(report->fields.empty());
+  EXPECT_GT(report->triples_published, 0u);
+  EXPECT_EQ(report->water.availability.width(), 48);
+  // Published linked data is queryable.
+  auto hits = linked.SpatialSelect(
+      geo::Box::Of(0, 0, 1e9, 1e9), strabon::SpatialRelation::kIntersects,
+      true);
+  EXPECT_EQ(hits.size(), report->fields.size());
+}
+
+TEST(FoodSecPipelineTest, ValidatesOptions) {
+  FoodSecurityOptions opt;
+  opt.acquisition_days.clear();
+  EXPECT_FALSE(RunFoodSecurityPipeline(opt, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace exearth::foodsec

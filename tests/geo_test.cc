@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "geo/rtree.h"
+#include "geo/wkt.h"
+
+namespace exearth::geo {
+namespace {
+
+Polygon MakeSquare(double x0, double y0, double size) {
+  Polygon p;
+  p.outer.points = {Point{x0, y0}, Point{x0 + size, y0},
+                    Point{x0 + size, y0 + size}, Point{x0, y0 + size}};
+  return p;
+}
+
+// --- Box -----------------------------------------------------------------
+
+TEST(BoxTest, EmptyByDefault) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Area(), 0.0);
+}
+
+TEST(BoxTest, ExpandToInclude) {
+  Box b;
+  b.ExpandToInclude(Point{1, 2});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.Area(), 0.0);
+  b.ExpandToInclude(Point{3, 5});
+  EXPECT_DOUBLE_EQ(b.Area(), 2.0 * 3.0);
+}
+
+TEST(BoxTest, ContainsAndIntersects) {
+  Box a = Box::Of(0, 0, 10, 10);
+  Box b = Box::Of(2, 2, 4, 4);
+  Box c = Box::Of(9, 9, 12, 12);
+  Box d = Box::Of(11, 11, 12, 12);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(d));
+  EXPECT_TRUE(a.Contains(Point{10, 10}));  // boundary inclusive
+  EXPECT_FALSE(a.Contains(Point{10.001, 10}));
+}
+
+TEST(BoxTest, TouchingBoxesIntersect) {
+  Box a = Box::Of(0, 0, 1, 1);
+  Box b = Box::Of(1, 0, 2, 1);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BoxTest, Distance) {
+  Box a = Box::Of(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(a.Distance(Point{0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Point{3, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Box::Of(4, 1, 5, 2)), 3.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Box::Of(4, 5, 6, 7)), 5.0);  // 3-4-5 triangle
+  EXPECT_DOUBLE_EQ(a.Distance(Box::Of(0.5, 0.5, 2, 2)), 0.0);
+}
+
+TEST(BoxTest, EnlargementToInclude) {
+  Box a = Box::Of(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Box::Of(0, 0, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Box::Of(0, 0, 4, 2)), 4.0);
+}
+
+TEST(BoxTest, Buffered) {
+  Box a = Box::Of(1, 1, 2, 2).Buffered(0.5);
+  EXPECT_DOUBLE_EQ(a.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(a.max_y, 2.5);
+}
+
+// --- Ring / Polygon --------------------------------------------------------
+
+TEST(RingTest, SignedArea) {
+  Ring ccw;
+  ccw.points = {Point{0, 0}, Point{2, 0}, Point{2, 2}, Point{0, 2}};
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 4.0);
+  Ring cw;
+  cw.points = {Point{0, 0}, Point{0, 2}, Point{2, 2}, Point{2, 0}};
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -4.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 4.0);
+}
+
+TEST(RingTest, ContainsInteriorBoundaryExterior) {
+  Ring r;
+  r.points = {Point{0, 0}, Point{4, 0}, Point{4, 4}, Point{0, 4}};
+  EXPECT_TRUE(r.Contains(Point{2, 2}));
+  EXPECT_TRUE(r.Contains(Point{0, 2}));   // on edge
+  EXPECT_TRUE(r.Contains(Point{4, 4}));   // on vertex
+  EXPECT_FALSE(r.Contains(Point{5, 2}));
+  EXPECT_FALSE(r.Contains(Point{-0.001, 2}));
+}
+
+TEST(RingTest, ContainsConcave) {
+  // L-shaped ring.
+  Ring r;
+  r.points = {Point{0, 0}, Point{4, 0}, Point{4, 2}, Point{2, 2},
+              Point{2, 4}, Point{0, 4}};
+  EXPECT_TRUE(r.Contains(Point{1, 3}));
+  EXPECT_TRUE(r.Contains(Point{3, 1}));
+  EXPECT_FALSE(r.Contains(Point{3, 3}));  // in the notch
+}
+
+TEST(PolygonTest, AreaWithHole) {
+  Polygon p = MakeSquare(0, 0, 10);
+  Ring hole;
+  hole.points = {Point{2, 2}, Point{4, 2}, Point{4, 4}, Point{2, 4}};
+  p.holes.push_back(hole);
+  EXPECT_DOUBLE_EQ(p.Area(), 100.0 - 4.0);
+  EXPECT_EQ(p.NumVertices(), 8u);
+}
+
+TEST(PolygonTest, ContainsRespectsHoles) {
+  Polygon p = MakeSquare(0, 0, 10);
+  Ring hole;
+  hole.points = {Point{2, 2}, Point{4, 2}, Point{4, 4}, Point{2, 4}};
+  p.holes.push_back(hole);
+  EXPECT_TRUE(p.Contains(Point{1, 1}));
+  EXPECT_FALSE(p.Contains(Point{3, 3}));  // inside hole
+  EXPECT_TRUE(p.Contains(Point{2, 3}));   // on hole boundary
+}
+
+TEST(MultiPolygonTest, AreaAndContains) {
+  MultiPolygon mp;
+  mp.polygons.push_back(MakeSquare(0, 0, 1));
+  mp.polygons.push_back(MakeSquare(10, 10, 2));
+  EXPECT_DOUBLE_EQ(mp.Area(), 1.0 + 4.0);
+  EXPECT_TRUE(mp.Contains(Point{11, 11}));
+  EXPECT_FALSE(mp.Contains(Point{5, 5}));
+  EXPECT_EQ(mp.NumVertices(), 8u);
+  Box env = mp.Envelope();
+  EXPECT_DOUBLE_EQ(env.min_x, 0);
+  EXPECT_DOUBLE_EQ(env.max_x, 12);
+}
+
+// --- Primitives -------------------------------------------------------------
+
+TEST(PrimitivesTest, PointDistance) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+}
+
+TEST(PrimitivesTest, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{0, 1}, Point{-1, 0}, Point{1, 0}),
+                   1.0);
+  // Beyond the endpoint: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{5, 0}, Point{-1, 0}, Point{1, 0}),
+                   4.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}),
+                   5.0);
+}
+
+TEST(PrimitivesTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 2}, Point{0, 2},
+                                Point{2, 0}));
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{1, 1}, Point{2, 2},
+                                 Point{3, 3}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 0}, Point{1, 0},
+                                Point{3, 0}));
+  // Touching at an endpoint.
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{1, 0},
+                                Point{2, 5}));
+}
+
+// --- Geometry predicates ----------------------------------------------------
+
+TEST(GeometryPredicates, PointInPolygon) {
+  Geometry poly(MakeSquare(0, 0, 4));
+  Geometry inside(Point{1, 1});
+  Geometry outside(Point{9, 9});
+  EXPECT_TRUE(Intersects(poly, inside));
+  EXPECT_TRUE(Intersects(inside, poly));  // symmetric
+  EXPECT_FALSE(Intersects(poly, outside));
+  EXPECT_TRUE(Contains(poly, inside));
+  EXPECT_TRUE(Within(inside, poly));
+  EXPECT_TRUE(Disjoint(poly, outside));
+}
+
+TEST(GeometryPredicates, PolygonPolygon) {
+  Geometry a(MakeSquare(0, 0, 4));
+  Geometry b(MakeSquare(2, 2, 4));   // overlaps a
+  Geometry c(MakeSquare(10, 10, 2)); // disjoint
+  Geometry d(MakeSquare(1, 1, 1));   // inside a
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+  EXPECT_TRUE(Contains(a, d));
+  EXPECT_FALSE(Contains(a, b));
+  EXPECT_TRUE(Within(d, a));
+}
+
+TEST(GeometryPredicates, NestedPolygonIntersects) {
+  // One polygon fully inside another: no edge crossings, still intersects.
+  Geometry outer(MakeSquare(0, 0, 10));
+  Geometry inner(MakeSquare(4, 4, 1));
+  EXPECT_TRUE(Intersects(outer, inner));
+  EXPECT_TRUE(Intersects(inner, outer));
+}
+
+TEST(GeometryPredicates, HolePreventsContainment) {
+  Polygon donut = MakeSquare(0, 0, 10);
+  Ring hole;
+  hole.points = {Point{3, 3}, Point{7, 3}, Point{7, 7}, Point{3, 7}};
+  donut.holes.push_back(hole);
+  Geometry a(donut);
+  Geometry in_hole(MakeSquare(4, 4, 1));
+  EXPECT_FALSE(Contains(a, in_hole));
+  Geometry solid_part(MakeSquare(0.5, 0.5, 1));
+  EXPECT_TRUE(Contains(a, solid_part));
+}
+
+TEST(GeometryPredicates, LineStringPolygon) {
+  LineString crossing;
+  crossing.points = {Point{-1, 2}, Point{5, 2}};
+  LineString outside;
+  outside.points = {Point{-5, -5}, Point{-4, -4}};
+  Geometry poly(MakeSquare(0, 0, 4));
+  EXPECT_TRUE(Intersects(Geometry(crossing), poly));
+  EXPECT_FALSE(Intersects(Geometry(outside), poly));
+  LineString inside;
+  inside.points = {Point{1, 1}, Point{2, 2}};
+  EXPECT_TRUE(Contains(poly, Geometry(inside)));
+}
+
+TEST(GeometryPredicates, LineStringLineString) {
+  LineString a;
+  a.points = {Point{0, 0}, Point{4, 4}};
+  LineString b;
+  b.points = {Point{0, 4}, Point{4, 0}};
+  LineString c;
+  c.points = {Point{10, 10}, Point{11, 11}};
+  EXPECT_TRUE(Intersects(Geometry(a), Geometry(b)));
+  EXPECT_FALSE(Intersects(Geometry(a), Geometry(c)));
+  EXPECT_DOUBLE_EQ(Distance(Geometry(a), Geometry(b)), 0.0);
+}
+
+TEST(GeometryPredicates, MultiPolygonIntersects) {
+  MultiPolygon mp;
+  mp.polygons.push_back(MakeSquare(0, 0, 1));
+  mp.polygons.push_back(MakeSquare(10, 0, 1));
+  Geometry gmp(mp);
+  EXPECT_TRUE(Intersects(gmp, Geometry(Point{10.5, 0.5})));
+  EXPECT_FALSE(Intersects(gmp, Geometry(Point{5, 0.5})));
+  EXPECT_TRUE(Intersects(gmp, Geometry(MakeSquare(0.5, 0.5, 10))));
+}
+
+TEST(GeometryPredicates, IntersectsBox) {
+  Geometry poly(MakeSquare(0, 0, 4));
+  EXPECT_TRUE(Intersects(poly, Box::Of(3, 3, 5, 5)));
+  EXPECT_FALSE(Intersects(poly, Box::Of(5, 5, 6, 6)));
+  // Box fully inside polygon.
+  EXPECT_TRUE(Intersects(poly, Box::Of(1, 1, 2, 2)));
+  // Polygon fully inside box.
+  EXPECT_TRUE(Intersects(poly, Box::Of(-10, -10, 10, 10)));
+  Geometry pt(Point{1, 1});
+  EXPECT_TRUE(Intersects(pt, Box::Of(0, 0, 2, 2)));
+  EXPECT_FALSE(Intersects(pt, Box::Of(2, 2, 3, 3)));
+}
+
+TEST(GeometryPredicates, DistancePolygonPolygon) {
+  Geometry a(MakeSquare(0, 0, 1));
+  Geometry b(MakeSquare(4, 0, 1));
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+  EXPECT_TRUE(WithinDistance(a, b, 3.0));
+  EXPECT_FALSE(WithinDistance(a, b, 2.9));
+  Geometry c(MakeSquare(0.5, 0.5, 1));
+  EXPECT_DOUBLE_EQ(Distance(a, c), 0.0);
+}
+
+TEST(GeometryPredicates, DistancePointGeometry) {
+  Geometry poly(MakeSquare(0, 0, 2));
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Point{5, 0}), poly), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Point{1, 1}), poly), 0.0);
+  LineString ls;
+  ls.points = {Point{0, 10}, Point{10, 10}};
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Point{5, 13}), Geometry(ls)), 3.0);
+}
+
+TEST(GeometryTest, EnvelopeAndVertices) {
+  Geometry p(Point{3, 4});
+  EXPECT_TRUE(p.Envelope().Contains(Point{3, 4}));
+  EXPECT_EQ(p.NumVertices(), 1u);
+  MultiPolygon mp;
+  mp.polygons.push_back(MakeSquare(0, 0, 1));
+  mp.polygons.push_back(MakeSquare(2, 2, 1));
+  Geometry g(mp);
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_DOUBLE_EQ(g.Area(), 2.0);
+}
+
+// --- WKT ---------------------------------------------------------------------
+
+TEST(WktTest, ParsePoint) {
+  auto r = ParseWkt("POINT (3.5 -2)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->IsPoint());
+  EXPECT_DOUBLE_EQ(r->AsPoint().x, 3.5);
+  EXPECT_DOUBLE_EQ(r->AsPoint().y, -2.0);
+}
+
+TEST(WktTest, ParseLineString) {
+  auto r = ParseWkt("LINESTRING (0 0, 1 1, 2 0)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsLineString().points.size(), 3u);
+}
+
+TEST(WktTest, ParsePolygonWithHole) {
+  auto r = ParseWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Polygon& p = r->AsPolygon();
+  EXPECT_EQ(p.outer.points.size(), 4u);  // closing vertex dropped
+  ASSERT_EQ(p.holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.Area(), 96.0);
+}
+
+TEST(WktTest, ParseMultiPolygon) {
+  auto r = ParseWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 "
+      "5)))");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->AsMultiPolygon().polygons.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->Area(), 2.0);
+}
+
+TEST(WktTest, CaseInsensitiveTag) {
+  EXPECT_TRUE(ParseWkt("point(1 2)").ok());
+  EXPECT_TRUE(ParseWkt("Polygon((0 0,1 0,1 1,0 1,0 0))").ok());
+}
+
+TEST(WktTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseWkt("").ok());
+  EXPECT_FALSE(ParseWkt("CIRCLE (0 0, 5)").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1)").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1 2").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1 2) garbage").ok());
+  EXPECT_FALSE(ParseWkt("LINESTRING (0 0)").ok());
+  // Unclosed ring.
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 1 1, 0 1))").ok());
+  // Too few vertices.
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0, 0 0))").ok());
+}
+
+TEST(WktTest, RoundTripPolygon) {
+  const char* wkt = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))";
+  auto g = ParseWkt(wkt);
+  ASSERT_TRUE(g.ok());
+  auto g2 = ParseWkt(ToWkt(*g));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_DOUBLE_EQ(g2->Area(), 100.0);
+  EXPECT_EQ(g2->NumVertices(), g->NumVertices());
+}
+
+TEST(WktTest, RoundTripMultiPolygon) {
+  MultiPolygon mp;
+  mp.polygons.push_back(MakeSquare(0, 0, 2));
+  mp.polygons.push_back(MakeSquare(5, 5, 3));
+  Geometry g(mp);
+  auto parsed = ParseWkt(ToWkt(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->Area(), g.Area());
+}
+
+TEST(WktTest, ToWktBox) {
+  auto g = ParseWkt(ToWkt(Box::Of(0, 0, 2, 3)));
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Area(), 6.0);
+}
+
+// --- RTree ---------------------------------------------------------------
+
+TEST(RTreeTest, EmptyTreeQueries) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Query(Box::Of(0, 0, 1, 1)).empty());
+}
+
+TEST(RTreeTest, InsertAndQuery) {
+  RTree tree;
+  for (int i = 0; i < 100; ++i) {
+    double x = static_cast<double>(i % 10);
+    double y = static_cast<double>(i / 10);
+    tree.Insert(Box::Of(x, y, x + 0.5, y + 0.5), i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  auto hits = tree.Query(Box::Of(0, 0, 2.9, 0.9));
+  std::set<int64_t> s(hits.begin(), hits.end());
+  EXPECT_EQ(s, (std::set<int64_t>{0, 1, 2}));
+}
+
+TEST(RTreeTest, QueryMatchesBruteForce) {
+  common::Rng rng(42);
+  std::vector<RTree::Entry> entries;
+  RTree tree;
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    double w = rng.UniformDouble(0, 5);
+    double h = rng.UniformDouble(0, 5);
+    Box b = Box::Of(x, y, x + w, y + h);
+    entries.push_back({b, i});
+    tree.Insert(b, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    double x = rng.UniformDouble(0, 950);
+    double y = rng.UniformDouble(0, 950);
+    Box query = Box::Of(x, y, x + 50, y + 50);
+    std::set<int64_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) expected.insert(e.id);
+    }
+    auto hits = tree.Query(query);
+    std::set<int64_t> actual(hits.begin(), hits.end());
+    EXPECT_EQ(actual, expected) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  common::Rng rng(43);
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    entries.push_back({Box::Of(x, y, x + 1, y + 1), i});
+  }
+  RTree tree = RTree::BulkLoad(entries);
+  EXPECT_EQ(tree.size(), 5000u);
+  for (int q = 0; q < 30; ++q) {
+    double x = rng.UniformDouble(0, 900);
+    double y = rng.UniformDouble(0, 900);
+    Box query = Box::Of(x, y, x + 100, y + 100);
+    std::set<int64_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) expected.insert(e.id);
+    }
+    auto hits = tree.Query(query);
+    std::set<int64_t> actual(hits.begin(), hits.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndSingle) {
+  RTree empty = RTree::BulkLoad({});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.Query(Box::Of(0, 0, 1, 1)).empty());
+  RTree single = RTree::BulkLoad({{Box::Of(0, 0, 1, 1), 7}});
+  auto hits = single.Query(Box::Of(0.5, 0.5, 2, 2));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  common::Rng rng(44);
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    entries.push_back({Box::Of(x, y, x, y), i});
+  }
+  RTree tree = RTree::BulkLoad(entries);
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_LE(tree.Height(), 6);
+}
+
+TEST(RTreeTest, VisitEarlyStop) {
+  RTree tree;
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Box::Of(0, 0, 1, 1), i);
+  }
+  int count = 0;
+  tree.Visit(Box::Of(0, 0, 1, 1), [&](const RTree::Entry&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(RTreeTest, QueryTouchesFewNodesOnPointQuery) {
+  common::Rng rng(45);
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    entries.push_back({Box::Of(x, y, x + 0.1, y + 0.1), i});
+  }
+  RTree tree = RTree::BulkLoad(entries);
+  tree.Query(Box::Of(500, 500, 500.5, 500.5));
+  // A point-ish query should touch a tiny fraction of ~1900 nodes.
+  EXPECT_LT(tree.last_nodes_visited(), 60u);
+}
+
+TEST(RTreeTest, Nearest) {
+  RTree tree;
+  for (int i = 0; i < 10; ++i) {
+    double x = static_cast<double>(i * 10);
+    tree.Insert(Box::Of(x, 0, x + 1, 1), i);
+  }
+  auto nearest = tree.Nearest(Point{0.5, 0.5}, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0].id, 0);
+  EXPECT_EQ(nearest[1].id, 1);
+  EXPECT_EQ(nearest[2].id, 2);
+}
+
+TEST(RTreeTest, NearestMoreThanSize) {
+  RTree tree;
+  tree.Insert(Box::Of(0, 0, 1, 1), 1);
+  auto nearest = tree.Nearest(Point{5, 5}, 10);
+  EXPECT_EQ(nearest.size(), 1u);
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree a;
+  a.Insert(Box::Of(0, 0, 1, 1), 1);
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.Query(Box::Of(0, 0, 2, 2)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace exearth::geo

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "kv/kvstore.h"
+
+namespace exearth::kv {
+namespace {
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore store(4);
+  EXPECT_TRUE(store.Put("a", "1").ok());
+  auto r = store.Get("a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "1");
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("a").ok());
+  EXPECT_TRUE(store.Get("a").status().IsNotFound());
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+TEST(KvStoreTest, OverwriteValue) {
+  KvStore store(2);
+  ASSERT_TRUE(store.Put("k", "v1").ok());
+  ASSERT_TRUE(store.Put("k", "v2").ok());
+  EXPECT_EQ(*store.Get("k"), "v2");
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(KvStoreTest, TransactionReadsOwnWrites) {
+  KvStore store(4);
+  auto txn = store.Begin();
+  ASSERT_TRUE(txn->Put("x", "new").ok());
+  auto r = txn->Get("x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "new");
+  ASSERT_TRUE(txn->Delete("x").ok());
+  EXPECT_TRUE(txn->Get("x").status().IsNotFound());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(store.Get("x").status().IsNotFound());
+}
+
+TEST(KvStoreTest, AbortDiscardsWrites) {
+  KvStore store(4);
+  ASSERT_TRUE(store.Put("k", "old").ok());
+  {
+    auto txn = store.Begin();
+    ASSERT_TRUE(txn->Put("k", "new").ok());
+    txn->Abort();
+  }
+  EXPECT_EQ(*store.Get("k"), "old");
+}
+
+TEST(KvStoreTest, DestructorAborts) {
+  KvStore store(4);
+  { auto txn = store.Begin();
+    ASSERT_TRUE(txn->Put("k", "v").ok());
+  }  // destroyed without commit
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  // Lock must have been released: a new transaction can take it.
+  auto txn = store.Begin();
+  EXPECT_TRUE(txn->Put("k", "v2").ok());
+  EXPECT_TRUE(txn->Commit().ok());
+}
+
+TEST(KvStoreTest, ConflictAbortsSecondTransaction) {
+  KvStore store(4);
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  auto t1 = store.Begin();
+  ASSERT_TRUE(t1->Get("k").ok());  // t1 locks k
+  auto t2 = store.Begin();
+  EXPECT_TRUE(t2->Get("k").status().IsAborted());
+  EXPECT_TRUE(t2->Put("k", "w").IsAborted());
+  t2->Abort();
+  ASSERT_TRUE(t1->Commit().ok());
+  // After t1 commits, the row is free again.
+  auto t3 = store.Begin();
+  EXPECT_TRUE(t3->Get("k").ok());
+  EXPECT_TRUE(t3->Commit().ok());
+  EXPECT_GE(store.stats().aborts, 2u);
+}
+
+TEST(KvStoreTest, ReacquiringOwnLockIsFine) {
+  KvStore store(4);
+  auto txn = store.Begin();
+  ASSERT_TRUE(txn->Put("k", "1").ok());
+  ASSERT_TRUE(txn->Get("k").ok());
+  ASSERT_TRUE(txn->Put("k", "2").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*store.Get("k"), "2");
+}
+
+TEST(KvStoreTest, ExistsHelper) {
+  KvStore store(2);
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  auto txn = store.Begin();
+  auto ra = txn->Exists("a");
+  ASSERT_TRUE(ra.ok());
+  EXPECT_TRUE(*ra);
+  auto rb = txn->Exists("b");
+  ASSERT_TRUE(rb.ok());
+  EXPECT_FALSE(*rb);
+  EXPECT_TRUE(txn->Commit().ok());
+}
+
+TEST(KvStoreTest, MultiKeyAtomicCommit) {
+  KvStore store(8);
+  auto txn = store.Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        txn->Put(common::StrFormat("key%02d", i), std::to_string(i)).ok());
+  }
+  EXPECT_GT(txn->PartitionsTouched(), 1);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(store.Size(), 20u);
+  auto stats = store.stats();
+  EXPECT_EQ(stats.multi_partition_commits, 1u);
+}
+
+TEST(KvStoreTest, SinglePartitionCommitCounted) {
+  KvStore store(4);
+  ASSERT_TRUE(store.Put("solo", "1").ok());
+  EXPECT_EQ(store.stats().single_partition_commits, 1u);
+}
+
+TEST(KvStoreTest, ScanPrefixSortedAndLimited) {
+  KvStore store(8);
+  ASSERT_TRUE(store.Put("p|b", "2").ok());
+  ASSERT_TRUE(store.Put("p|a", "1").ok());
+  ASSERT_TRUE(store.Put("p|c", "3").ok());
+  ASSERT_TRUE(store.Put("q|x", "9").ok());
+  auto all = store.ScanPrefix("p|");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, "p|a");
+  EXPECT_EQ(all[2].first, "p|c");
+  auto limited = store.ScanPrefix("p|", 2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[1].first, "p|b");
+  EXPECT_TRUE(store.ScanPrefix("zz").empty());
+}
+
+TEST(KvStoreTest, PartitionOfStable) {
+  KvStore store(8);
+  int p1 = store.PartitionOf("somekey");
+  int p2 = store.PartitionOf("somekey");
+  EXPECT_EQ(p1, p2);
+  EXPECT_GE(p1, 0);
+  EXPECT_LT(p1, 8);
+}
+
+TEST(KvStoreTest, KeysSpreadOverPartitions) {
+  KvStore store(8);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++counts[static_cast<size_t>(
+        store.PartitionOf(common::StrFormat("key-%d", i)))];
+  }
+  for (int c : counts) EXPECT_GT(c, 50);  // roughly balanced
+}
+
+TEST(KvStoreTest, ConcurrentDisjointWriters) {
+  KvStore store(16);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      for (int i = 0; i < kOps; ++i) {
+        auto key = common::StrFormat("t%d-key%d", t, i);
+        if (!store.Put(key, "v").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.Size(), static_cast<size_t>(kThreads * kOps));
+}
+
+TEST(KvStoreTest, ConcurrentContendedCounterConvergesWithRetry) {
+  // Increment one counter from many threads with retry-on-abort; strict 2PL
+  // must serialize the increments so none are lost.
+  KvStore store(4);
+  ASSERT_TRUE(store.Put("counter", "0").ok());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kIncrements; ++i) {
+        while (true) {
+          auto txn = store.Begin();
+          auto v = txn->Get("counter");
+          if (!v.ok()) {
+            txn->Abort();
+            continue;
+          }
+          int64_t n = 0;
+          ASSERT_TRUE(common::ParseInt64(*v, &n));
+          if (!txn->Put("counter", std::to_string(n + 1)).ok()) {
+            txn->Abort();
+            continue;
+          }
+          if (txn->Commit().ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(*store.Get("counter"),
+            std::to_string(kThreads * kIncrements));
+  EXPECT_GT(store.stats().commits, 0u);
+}
+
+TEST(KvStoreTest, StatsCount) {
+  KvStore store(2);
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Get("a").ok());
+  auto stats = store.stats();
+  EXPECT_GE(stats.puts, 1u);
+  EXPECT_GE(stats.gets, 1u);
+  EXPECT_GE(stats.commits, 2u);
+}
+
+}  // namespace
+}  // namespace exearth::kv

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "link/entity_resolution.h"
+#include "geo/wkt.h"
+#include "link/spatial_links.h"
+#include "strabon/workload.h"
+
+namespace exearth::link {
+namespace {
+
+// --- Workload -----------------------------------------------------------
+
+TEST(ErWorkloadTest, GeneratesDuplicatesWithGroundTruth) {
+  ErWorkloadOptions opt;
+  opt.num_records = 200;
+  opt.duplicate_probability = 0.5;
+  ErDataset ds = MakeDirtyErDataset(opt);
+  EXPECT_GE(ds.entities.size(), 200u);
+  EXPECT_GT(ds.true_matches.size(), 50u);
+  EXPECT_LT(ds.true_matches.size(), 160u);
+  // Ids unique.
+  std::set<int64_t> ids;
+  for (const Entity& e : ds.entities) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), ds.entities.size());
+}
+
+TEST(ErWorkloadTest, Deterministic) {
+  ErWorkloadOptions opt;
+  opt.num_records = 50;
+  ErDataset a = MakeDirtyErDataset(opt);
+  ErDataset b = MakeDirtyErDataset(opt);
+  ASSERT_EQ(a.entities.size(), b.entities.size());
+  for (size_t i = 0; i < a.entities.size(); ++i) {
+    EXPECT_EQ(a.entities[i].tokens, b.entities[i].tokens);
+  }
+}
+
+TEST(JaccardTest, Values) {
+  Entity a{0, {"x", "y", "z"}};
+  Entity b{1, {"x", "y", "w"}};
+  EXPECT_NEAR(Jaccard(a, b), 2.0 / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Jaccard(a, a), 1.0);
+  Entity empty{2, {}};
+  EXPECT_DOUBLE_EQ(Jaccard(empty, empty), 0.0);
+  // Duplicate tokens count once.
+  Entity c{3, {"x", "x", "y"}};
+  EXPECT_NEAR(Jaccard(a, c), 2.0 / 3.0, 1e-9);
+}
+
+// --- Resolution ---------------------------------------------------------
+
+class ResolutionTest : public testing::Test {
+ protected:
+  ResolutionTest() {
+    ErWorkloadOptions opt;
+    opt.num_records = 300;
+    opt.duplicate_probability = 0.5;
+    opt.noise = 0.15;
+    ds_ = MakeDirtyErDataset(opt);
+    match_ = JaccardMatcher(0.45);
+  }
+  ErDataset ds_;
+  MatchFn match_;
+};
+
+TEST_F(ResolutionTest, NaiveHasHighRecall) {
+  ResolutionResult r = ResolveNaive(ds_.entities, match_);
+  PairMetrics m = ComputePairMetrics(r.matches, ds_.true_matches);
+  EXPECT_GT(m.recall, 0.9);
+  const uint64_t n = ds_.entities.size();
+  EXPECT_EQ(r.comparisons, n * (n - 1) / 2);
+}
+
+TEST_F(ResolutionTest, TokenBlockingCutsComparisonsKeepsRecall) {
+  ResolutionResult naive = ResolveNaive(ds_.entities, match_);
+  BlockingOptions opt;
+  ResolutionResult blocked =
+      ResolveWithTokenBlocking(ds_.entities, match_, opt);
+  PairMetrics m = ComputePairMetrics(blocked.matches, ds_.true_matches);
+  PairMetrics mn = ComputePairMetrics(naive.matches, ds_.true_matches);
+  EXPECT_LT(blocked.comparisons, naive.comparisons / 2);
+  EXPECT_GE(m.recall, mn.recall - 0.05);
+}
+
+TEST_F(ResolutionTest, MetaBlockingCutsComparisonsFurther) {
+  BlockingOptions opt;
+  ResolutionResult blocked =
+      ResolveWithTokenBlocking(ds_.entities, match_, opt);
+  ResolutionResult meta = ResolveWithMetaBlocking(ds_.entities, match_, opt);
+  EXPECT_LT(meta.comparisons, blocked.comparisons);
+  PairMetrics mb = ComputePairMetrics(blocked.matches, ds_.true_matches);
+  PairMetrics mm = ComputePairMetrics(meta.matches, ds_.true_matches);
+  // Pruning may cost a little recall but not much.
+  EXPECT_GE(mm.recall, mb.recall - 0.1);
+  EXPECT_GT(mm.recall, 0.75);
+}
+
+TEST_F(ResolutionTest, ParallelMetaBlockingMatchesSequential) {
+  BlockingOptions seq;
+  seq.num_threads = 1;
+  BlockingOptions par;
+  par.num_threads = 4;
+  ResolutionResult a = ResolveWithMetaBlocking(ds_.entities, match_, seq);
+  ResolutionResult b = ResolveWithMetaBlocking(ds_.entities, match_, par);
+  auto sorted = [](std::vector<std::pair<int64_t, int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(a.matches), sorted(b.matches));
+  EXPECT_EQ(a.candidate_pairs, b.candidate_pairs);
+}
+
+TEST_F(ResolutionTest, JaccardSchemeAlsoWorks) {
+  BlockingOptions opt;
+  opt.scheme = WeightScheme::kJaccard;
+  ResolutionResult meta = ResolveWithMetaBlocking(ds_.entities, match_, opt);
+  PairMetrics m = ComputePairMetrics(meta.matches, ds_.true_matches);
+  EXPECT_GT(m.recall, 0.7);
+}
+
+TEST(ResolutionEdgeTest, EmptyAndSingleton) {
+  MatchFn match = JaccardMatcher(0.5);
+  ResolutionResult r = ResolveNaive({}, match);
+  EXPECT_TRUE(r.matches.empty());
+  std::vector<Entity> one = {{0, {"a"}}};
+  r = ResolveWithMetaBlocking(one, match, BlockingOptions{});
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.comparisons, 0u);
+}
+
+TEST(PairMetricsTest, Computation) {
+  std::vector<std::pair<int64_t, int64_t>> truth = {{1, 2}, {3, 4}};
+  std::vector<std::pair<int64_t, int64_t>> found = {{1, 2}, {5, 6}};
+  PairMetrics m = ComputePairMetrics(found, truth);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  PairMetrics empty = ComputePairMetrics({}, {});
+  EXPECT_DOUBLE_EQ(empty.recall, 1.0);
+  EXPECT_DOUBLE_EQ(empty.precision, 1.0);
+}
+
+// --- Spatial links ------------------------------------------------------
+
+std::vector<geo::Geometry> RandomPolygons(int n, double world, double size,
+                                          uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<geo::Geometry> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double cx = rng.UniformDouble(0, world);
+    double cy = rng.UniformDouble(0, world);
+    out.push_back(geo::Geometry(
+        strabon::RandomPolygon(cx, cy, size, 8, &rng)));
+  }
+  return out;
+}
+
+TEST(SpatialLinksTest, IndexedMatchesNestedLoopIntersects) {
+  auto a = RandomPolygons(150, 500, 40, 1);
+  auto b = RandomPolygons(150, 500, 40, 2);
+  SpatialLinkOptions opt;
+  opt.use_index = true;
+  auto indexed = DiscoverSpatialLinks(a, b, opt);
+  opt.use_index = false;
+  auto nested = DiscoverSpatialLinks(a, b, opt);
+  EXPECT_EQ(indexed.links, nested.links);
+  EXPECT_FALSE(indexed.links.empty());
+  EXPECT_LT(indexed.exact_tests, nested.exact_tests);
+}
+
+TEST(SpatialLinksTest, WithinDistance) {
+  std::vector<geo::Geometry> a = {geo::Geometry(geo::Point{0, 0})};
+  std::vector<geo::Geometry> b = {geo::Geometry(geo::Point{3, 4}),
+                                  geo::Geometry(geo::Point{30, 40})};
+  SpatialLinkOptions opt;
+  opt.relation = SpatialLinkRelation::kWithinDistance;
+  opt.distance = 5.0;
+  for (bool use_index : {true, false}) {
+    opt.use_index = use_index;
+    auto r = DiscoverSpatialLinks(a, b, opt);
+    ASSERT_EQ(r.links.size(), 1u) << "use_index=" << use_index;
+    EXPECT_EQ(r.links[0], (std::pair<size_t, size_t>{0, 0}));
+  }
+}
+
+TEST(SpatialLinksTest, Contains) {
+  auto big = geo::ParseWkt("POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))");
+  auto small = geo::ParseWkt("POLYGON ((10 10, 20 10, 20 20, 10 20, 10 10))");
+  auto outside = geo::ParseWkt(
+      "POLYGON ((200 200, 210 200, 210 210, 200 210, 200 200))");
+  ASSERT_TRUE(big.ok() && small.ok() && outside.ok());
+  std::vector<geo::Geometry> a = {*big};
+  std::vector<geo::Geometry> b = {*small, *outside};
+  SpatialLinkOptions opt;
+  opt.relation = SpatialLinkRelation::kContains;
+  for (bool use_index : {true, false}) {
+    opt.use_index = use_index;
+    auto r = DiscoverSpatialLinks(a, b, opt);
+    ASSERT_EQ(r.links.size(), 1u);
+    EXPECT_EQ(r.links[0].second, 0u);
+  }
+}
+
+TEST(SpatialLinksTest, EmptyInputs) {
+  SpatialLinkOptions opt;
+  auto r = DiscoverSpatialLinks({}, {}, opt);
+  EXPECT_TRUE(r.links.empty());
+  auto r2 = DiscoverSpatialLinks(RandomPolygons(5, 100, 10, 3), {}, opt);
+  EXPECT_TRUE(r2.links.empty());
+}
+
+TEST(SpatialLinksTest, RelationNames) {
+  EXPECT_STREQ(SpatialLinkRelationName(SpatialLinkRelation::kIntersects),
+               "intersects");
+  EXPECT_STREQ(SpatialLinkRelationName(SpatialLinkRelation::kContains),
+               "contains");
+}
+
+}  // namespace
+}  // namespace exearth::link

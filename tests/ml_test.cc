@@ -1,0 +1,595 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/distributed.h"
+#include "ml/metrics.h"
+#include "ml/network.h"
+#include "ml/optimizer.h"
+#include "ml/tensor.h"
+#include "ml/trainer.h"
+#include "raster/dataset.h"
+
+namespace exearth::ml {
+namespace {
+
+// --- Tensor ------------------------------------------------------------
+
+TEST(TensorTest, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t.ShapeString(), "[2,3,4]");
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3});
+  for (int i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[5], 5.0f);
+}
+
+TEST(TensorTest, AddScale) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  a.Add(b);
+  EXPECT_EQ(a[3], 3.0f);
+  a.Scale(0.5f);
+  EXPECT_EQ(a[0], 1.5f);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 4 * 1.5 * 1.5);
+}
+
+TEST(TensorTest, HeNormalStats) {
+  common::Rng rng(1);
+  Tensor t = Tensor::HeNormal({100, 100}, 100, &rng);
+  double mean = 0;
+  for (int64_t i = 0; i < t.size(); ++i) mean += t[i];
+  mean /= t.size();
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(t.SquaredNorm() / t.size()), std::sqrt(2.0 / 100),
+              0.01);
+}
+
+TEST(TensorTest, MatMul) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  // a = [[1,2,3],[4,5,6]]; b = [[7,8],[9,10],[11,12]].
+  for (int i = 0; i < 6; ++i) a[i] = static_cast<float>(i + 1);
+  for (int i = 0; i < 6; ++i) b[i] = static_cast<float>(i + 7);
+  Tensor c({2, 2});
+  MatMul(a, b, &c);
+  EXPECT_FLOAT_EQ(c[0], 58.0f);
+  EXPECT_FLOAT_EQ(c[1], 64.0f);
+  EXPECT_FLOAT_EQ(c[2], 139.0f);
+  EXPECT_FLOAT_EQ(c[3], 154.0f);
+}
+
+TEST(TensorTest, MatMulTransVariantsConsistent) {
+  common::Rng rng(3);
+  Tensor a = Tensor::HeNormal({4, 5}, 5, &rng);
+  Tensor b = Tensor::HeNormal({4, 6}, 6, &rng);
+  // C1 = A^T B via MatMulTransA.
+  Tensor c1({5, 6});
+  MatMulTransA(a, b, &c1);
+  // Reference: transpose A manually then MatMul.
+  Tensor at({5, 4});
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) at[j * 4 + i] = a[i * 5 + j];
+  Tensor c2({5, 6});
+  MatMul(at, b, &c2);
+  for (int64_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5);
+  // C3 = B A^T? — check MatMulTransB: D(4,4) = A(4,5) * E(4,5)^T.
+  Tensor e = Tensor::HeNormal({4, 5}, 5, &rng);
+  Tensor d1({4, 4});
+  MatMulTransB(a, e, &d1);
+  Tensor et({5, 4});
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 5; ++j) et[j * 4 + i] = e[i * 5 + j];
+  Tensor d2({4, 4});
+  MatMul(a, et, &d2);
+  for (int64_t i = 0; i < d1.size(); ++i) EXPECT_NEAR(d1[i], d2[i], 1e-5);
+}
+
+// --- Numerical gradient checking -------------------------------------------
+
+// Computes loss for the current network parameters on a fixed batch.
+double ComputeLoss(Network* net, const Tensor& x,
+                   const std::vector<int>& labels) {
+  Tensor logits = net->Forward(x, /*training=*/true);
+  return SoftmaxCrossEntropy(logits, labels).loss;
+}
+
+// Verifies analytic parameter gradients against central differences.
+void CheckParamGradients(Network* net, const Tensor& x,
+                         const std::vector<int>& labels, double tol) {
+  net->ZeroGrads();
+  Tensor logits = net->Forward(x, true);
+  LossResult loss = SoftmaxCrossEntropy(logits, labels);
+  net->Backward(loss.grad);
+  auto params = net->Params();
+  auto grads = net->Grads();
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor* p = params[pi];
+    Tensor* g = grads[pi];
+    // Probe a handful of entries per tensor.
+    const int64_t stride = std::max<int64_t>(1, p->size() / 7);
+    for (int64_t i = 0; i < p->size(); i += stride) {
+      const float orig = (*p)[i];
+      (*p)[i] = orig + eps;
+      double lp = ComputeLoss(net, x, labels);
+      (*p)[i] = orig - eps;
+      double lm = ComputeLoss(net, x, labels);
+      (*p)[i] = orig;
+      double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR((*g)[i], numeric, tol)
+          << "param tensor " << pi << " index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(GradientCheck, DenseRelu) {
+  common::Rng rng(11);
+  Network net = BuildMlp(6, {5}, 3, 42);
+  Tensor x = Tensor::HeNormal({4, 6}, 6, &rng);
+  std::vector<int> labels = {0, 2, 1, 2};
+  CheckParamGradients(&net, x, labels, 2e-3);
+}
+
+TEST(GradientCheck, ConvPoolDense) {
+  common::Rng rng(13);
+  Network net = BuildCnn(2, 4, 4, 3, 3, 43);
+  Tensor x = Tensor::HeNormal({2, 2, 4, 4}, 16, &rng);
+  std::vector<int> labels = {1, 2};
+  CheckParamGradients(&net, x, labels, 3e-3);
+}
+
+TEST(GradientCheck, InputGradientDense) {
+  // Check dL/dx through the whole MLP.
+  common::Rng rng(17);
+  Network net = BuildMlp(5, {4}, 2, 44);
+  Tensor x = Tensor::HeNormal({3, 5}, 5, &rng);
+  std::vector<int> labels = {0, 1, 1};
+  net.ZeroGrads();
+  Tensor logits = net.Forward(x, true);
+  LossResult loss = SoftmaxCrossEntropy(logits, labels);
+  // Re-implement backward to capture dx: run layer-by-layer.
+  Tensor g = loss.grad;
+  std::vector<Layer*> layers;
+  for (size_t i = 0; i < net.num_layers(); ++i) layers.push_back(net.layer(i));
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < x.size(); i += 2) {
+    Tensor xp = x;
+    xp[i] += eps;
+    double lp = ComputeLoss(&net, xp, labels);
+    Tensor xm = x;
+    xm[i] -= eps;
+    double lm = ComputeLoss(&net, xm, labels);
+    EXPECT_NEAR(g[i], (lp - lm) / (2 * eps), 2e-3);
+  }
+}
+
+// --- Loss ---------------------------------------------------------------
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, ConfidentCorrectLowLoss) {
+  Tensor logits({1, 3});
+  logits[0] = 10.0f;
+  LossResult r = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(LossTest, GradSumsToZeroPerRow) {
+  common::Rng rng(5);
+  Tensor logits = Tensor::HeNormal({3, 5}, 5, &rng);
+  LossResult r = SoftmaxCrossEntropy(logits, {1, 0, 4});
+  for (int i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (int j = 0; j < 5; ++j) sum += r.grad[i * 5 + j];
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(LossTest, NumericallyStableWithHugeLogits) {
+  Tensor logits({1, 2});
+  logits[0] = 1000.0f;
+  logits[1] = -1000.0f;
+  LossResult r = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+}
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  common::Rng rng(6);
+  Tensor logits = Tensor::HeNormal({4, 7}, 7, &rng);
+  Tensor probs = Softmax(logits);
+  for (int i = 0; i < 4; ++i) {
+    double sum = 0;
+    for (int j = 0; j < 7; ++j) sum += probs[i * 7 + j];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+// --- Optimizer / schedule ---------------------------------------------------
+
+TEST(OptimizerTest, SgdStepMovesAgainstGradient) {
+  Tensor p({2});
+  p.Fill(1.0f);
+  Tensor g({2});
+  g.Fill(0.5f);
+  SgdOptimizer opt({.learning_rate = 0.1, .momentum = 0.0});
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p[0], 0.95f, 1e-6);
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  Tensor p({1});
+  Tensor g({1});
+  g[0] = 1.0f;
+  SgdOptimizer opt({.learning_rate = 1.0, .momentum = 0.5});
+  opt.Step({&p}, {&g});  // v=1, p=-1
+  EXPECT_NEAR(p[0], -1.0f, 1e-6);
+  opt.Step({&p}, {&g});  // v=1.5, p=-2.5
+  EXPECT_NEAR(p[0], -2.5f, 1e-6);
+}
+
+TEST(OptimizerTest, WeightDecayShrinks) {
+  Tensor p({1});
+  p[0] = 2.0f;
+  Tensor g({1});  // zero grad
+  SgdOptimizer opt({.learning_rate = 0.1, .momentum = 0.0,
+                    .weight_decay = 0.5});
+  opt.Step({&p}, {&g});
+  EXPECT_NEAR(p[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  WarmupSchedule sched({.base_lr = 0.1, .scale = 8.0, .warmup_steps = 10});
+  EXPECT_LT(sched.LearningRate(0), 0.2);
+  EXPECT_NEAR(sched.LearningRate(9), 0.8, 1e-9);
+  EXPECT_NEAR(sched.LearningRate(100), 0.8, 1e-9);
+  // Monotone during warmup.
+  for (int s = 1; s < 10; ++s) {
+    EXPECT_GT(sched.LearningRate(s), sched.LearningRate(s - 1));
+  }
+}
+
+TEST(ScheduleTest, NoWarmupJumpsToScaled) {
+  WarmupSchedule sched({.base_lr = 0.1, .scale = 4.0, .warmup_steps = 0});
+  EXPECT_NEAR(sched.LearningRate(0), 0.4, 1e-9);
+}
+
+TEST(ScheduleTest, MilestoneDecay) {
+  WarmupSchedule sched({.base_lr = 0.1,
+                        .scale = 1.0,
+                        .warmup_steps = 0,
+                        .decay_milestones = {10, 20},
+                        .decay_factor = 0.1});
+  EXPECT_NEAR(sched.LearningRate(5), 0.1, 1e-9);
+  EXPECT_NEAR(sched.LearningRate(15), 0.01, 1e-9);
+  EXPECT_NEAR(sched.LearningRate(25), 0.001, 1e-9);
+}
+
+// --- Metrics ------------------------------------------------------------
+
+TEST(MetricsTest, ConfusionBasics) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(2, 2);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_NEAR(cm.Accuracy(), 4.0 / 5.0, 1e-9);
+  EXPECT_NEAR(cm.Recall(0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.Precision(1), 0.5, 1e-9);
+  EXPECT_GT(cm.MacroF1(), 0.5);
+  EXPECT_FALSE(cm.ToString().empty());
+}
+
+TEST(MetricsTest, EmptyClassSafe) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  EXPECT_EQ(cm.Recall(1), 0.0);
+  EXPECT_EQ(cm.Precision(1), 0.0);
+  EXPECT_EQ(cm.F1(1), 0.0);
+}
+
+// --- Training integration -----------------------------------------------
+
+raster::Dataset SmallEurosat(int n, int patch) {
+  raster::EurosatOptions opt;
+  opt.num_samples = n;
+  opt.patch_size = patch;
+  raster::Dataset ds = raster::MakeEurosatLike(opt, 99);
+  ds.Standardize();
+  return ds;
+}
+
+TEST(TrainerTest, MlpLearnsEurosatLike) {
+  raster::Dataset ds = SmallEurosat(1200, 4);
+  common::Rng rng(1);
+  ds.Shuffle(&rng);
+  auto [train, test] = ds.Split(0.8);
+  Network net = BuildMlp(train.feature_dim, {32}, train.num_classes, 7);
+  TrainOptions opt;
+  opt.epochs = 6;
+  opt.batch_size = 32;
+  opt.sgd.learning_rate = 0.05;
+  Trainer trainer(&net, opt);
+  auto history = trainer.Fit(&train);
+  // Loss decreases substantially.
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss * 0.7);
+  auto cm = trainer.Evaluate(test);
+  EXPECT_GT(cm.Accuracy(), 0.6) << cm.ToString();
+}
+
+TEST(TrainerTest, CnnLearnsEurosatLike) {
+  raster::Dataset ds = SmallEurosat(600, 4);
+  common::Rng rng(2);
+  ds.Shuffle(&rng);
+  auto [train, test] = ds.Split(0.8);
+  Network net = BuildCnn(13, 4, 4, 8, 10, 17);
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch_size = 32;
+  opt.as_images = true;
+  opt.sgd.learning_rate = 0.05;
+  Trainer trainer(&net, opt);
+  trainer.Fit(&train);
+  auto cm = trainer.Evaluate(test);
+  EXPECT_GT(cm.Accuracy(), 0.5) << cm.ToString();
+}
+
+TEST(TrainerTest, NetworkParamAccounting) {
+  Network net = BuildMlp(10, {20}, 5, 3);
+  // Dense(10,20): 200+20; Dense(20,5): 100+5.
+  EXPECT_EQ(net.NumParams(), 325);
+  EXPECT_EQ(net.GradientBytes(), 325u * 4u);
+  EXPECT_GT(net.FlopsPerSample(), 0.0);
+}
+
+TEST(TrainerTest, CopyParamsMakesNetworksAgree) {
+  raster::Dataset ds = SmallEurosat(50, 4);
+  Network a = BuildMlp(ds.feature_dim, {16}, 10, 1);
+  Network b = BuildMlp(ds.feature_dim, {16}, 10, 2);
+  b.CopyParamsFrom(a);
+  auto pa = Predict(&a, ds, false);
+  auto pb = Predict(&b, ds, false);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(TrainerTest, MakeBatchShapes) {
+  raster::Dataset ds = SmallEurosat(10, 4);
+  std::vector<int> labels;
+  Tensor flat = MakeBatch(ds, 0, 10, false, &labels);
+  EXPECT_EQ(flat.shape(), (std::vector<int>{10, ds.feature_dim}));
+  EXPECT_EQ(labels.size(), 10u);
+  Tensor img = MakeBatch(ds, 2, 6, true, &labels);
+  EXPECT_EQ(img.shape(), (std::vector<int>{4, 13, 4, 4}));
+}
+
+// --- Distributed --------------------------------------------------------
+
+sim::Cluster TestCluster(int nodes, double gpu_flops = 1e12) {
+  sim::NodeSpec node;
+  node.gpu.flops = gpu_flops;
+  sim::NetworkSpec net;
+  net.latency_s = 5e-6;
+  return sim::Cluster(nodes, node, net);
+}
+
+TEST(DistributedTest, MatchesSingleWorkerSgd) {
+  // W workers with per-worker batch B must produce the same parameters as
+  // one worker with batch W*B (synchronous data parallelism).
+  raster::Dataset ds1 = SmallEurosat(256, 4);
+  raster::Dataset ds2 = ds1;  // identical copy
+  sim::Cluster cluster = TestCluster(4);
+
+  Network single = BuildMlp(ds1.feature_dim, {16}, 10, 5);
+  Network dist = BuildMlp(ds1.feature_dim, {16}, 10, 6);
+  dist.CopyParamsFrom(single);
+
+  TrainOptions sopt;
+  sopt.epochs = 1;
+  sopt.batch_size = 64;
+  sopt.sgd.learning_rate = 0.02;
+  sopt.sgd.momentum = 0.9;
+  sopt.shuffle_seed = 123;
+  Trainer strainer(&single, sopt);
+  strainer.TrainEpoch(&ds1);
+
+  DistributedOptions dopt;
+  dopt.num_workers = 4;
+  dopt.per_worker_batch = 16;
+  dopt.base_lr = 0.02;
+  dopt.linear_scaling = false;  // match the single lr exactly
+  dopt.momentum = 0.9;
+  dopt.shuffle_seed = 123;
+  DataParallelTrainer dtrainer(&dist, &cluster, dopt);
+  dtrainer.TrainEpoch(&ds2);
+
+  auto ps = single.Params();
+  auto pd = dist.Params();
+  double max_diff = 0;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    for (int64_t j = 0; j < ps[i]->size(); ++j) {
+      max_diff = std::max(
+          max_diff, std::abs(static_cast<double>((*ps[i])[j] - (*pd[i])[j])));
+    }
+  }
+  EXPECT_LT(max_diff, 1e-4);
+}
+
+TEST(DistributedTest, SimTimeAccounting) {
+  raster::Dataset ds = SmallEurosat(128, 4);
+  sim::Cluster cluster = TestCluster(8);
+  Network net = BuildMlp(ds.feature_dim, {16}, 10, 5);
+  DistributedOptions opt;
+  opt.num_workers = 8;
+  opt.per_worker_batch = 16;
+  DataParallelTrainer trainer(&net, &cluster, opt);
+  auto stats = trainer.TrainEpoch(&ds);
+  EXPECT_GT(stats.sim_compute_seconds, 0.0);
+  EXPECT_GT(stats.sim_comm_seconds, 0.0);
+  EXPECT_GT(trainer.last_epoch_throughput(), 0.0);
+  EXPECT_NEAR(trainer.total_sim_seconds(), stats.sim_seconds(), 1e-12);
+}
+
+TEST(DistributedTest, MoreWorkersFasterSimTime) {
+  // Slow GPUs so the workload is compute-bound (the regime where data
+  // parallelism pays off).
+  sim::Cluster cluster = TestCluster(16, /*gpu_flops=*/1e9);
+  raster::Dataset ds = SmallEurosat(512, 4);
+  double prev = 1e18;
+  for (int workers : {1, 4, 16}) {
+    raster::Dataset copy = ds;
+    Network net = BuildMlp(ds.feature_dim, {16}, 10, 5);
+    DistributedOptions opt;
+    opt.num_workers = workers;
+    opt.per_worker_batch = 16;
+    DataParallelTrainer trainer(&net, &cluster, opt);
+    auto stats = trainer.TrainEpoch(&copy);
+    EXPECT_LT(stats.sim_seconds(), prev) << workers << " workers";
+    prev = stats.sim_seconds();
+  }
+}
+
+TEST(DistributedTest, LinearScalingRaisesLr) {
+  sim::Cluster cluster = TestCluster(4);
+  raster::Dataset ds = SmallEurosat(128, 4);
+  Network net = BuildMlp(ds.feature_dim, {8}, 10, 5);
+  DistributedOptions opt;
+  opt.num_workers = 4;
+  opt.per_worker_batch = 32;
+  opt.base_batch = 32;
+  opt.base_lr = 0.01;
+  opt.linear_scaling = true;
+  opt.warmup_epochs = 0;
+  DataParallelTrainer trainer(&net, &cluster, opt);
+  trainer.TrainEpoch(&ds);
+  EXPECT_NEAR(trainer.current_learning_rate(), 0.04, 1e-9);
+}
+
+TEST(DistributedTest, WarmupKeepsEarlyLrLow) {
+  sim::Cluster cluster = TestCluster(4);
+  raster::Dataset ds = SmallEurosat(640, 4);
+  Network net = BuildMlp(ds.feature_dim, {8}, 10, 5);
+  DistributedOptions opt;
+  opt.num_workers = 4;
+  opt.per_worker_batch = 32;
+  opt.base_batch = 32;
+  opt.base_lr = 0.01;
+  opt.linear_scaling = true;
+  opt.warmup_epochs = 3;
+  DataParallelTrainer trainer(&net, &cluster, opt);
+  trainer.TrainEpoch(&ds);
+  // After 1 of 3 warmup epochs the lr must still be below the target 0.04.
+  EXPECT_LT(trainer.current_learning_rate(), 0.04);
+  EXPECT_GT(trainer.current_learning_rate(), 0.01);
+}
+
+TEST(DistributedTest, PsVsAllReduceShapes) {
+  sim::Cluster cluster = TestCluster(32);
+  raster::Dataset ds = SmallEurosat(128, 4);
+  auto comm_time = [&](SyncStrategy strategy, int workers) {
+    raster::Dataset copy = ds;
+    // A wider model so gradients are large enough that bandwidth (not
+    // per-message latency) dominates — the regime of real CNNs.
+    Network net = BuildMlp(ds.feature_dim, {256}, 10, 5);
+    DistributedOptions opt;
+    opt.num_workers = workers;
+    opt.per_worker_batch = 8;
+    opt.strategy = strategy;
+    opt.num_parameter_servers = 1;
+    DataParallelTrainer trainer(&net, &cluster, opt);
+    auto stats = trainer.TrainEpoch(&copy);
+    return stats.sim_comm_seconds / stats.steps;
+  };
+  // With many workers, PS through one server is slower than the ring.
+  EXPECT_GT(comm_time(SyncStrategy::kParameterServer, 16),
+            comm_time(SyncStrategy::kRingAllReduce, 16));
+}
+
+TEST(DistributedTest, EvaluateWorks) {
+  sim::Cluster cluster = TestCluster(2);
+  raster::Dataset ds = SmallEurosat(200, 4);
+  Network net = BuildMlp(ds.feature_dim, {16}, 10, 5);
+  DistributedOptions opt;
+  opt.num_workers = 2;
+  opt.per_worker_batch = 25;
+  DataParallelTrainer trainer(&net, &cluster, opt);
+  trainer.Fit(&ds, 3);
+  auto cm = trainer.Evaluate(ds);
+  EXPECT_GT(cm.Accuracy(), 0.3);  // learned something
+}
+
+TEST(ParallelExperimentsTest, FindsBestAndComputesMakespans) {
+  std::vector<Trial> trials;
+  for (double lr : {0.001, 0.01, 0.1}) {
+    trials.push_back(Trial{.learning_rate = lr, .batch_size = 32});
+  }
+  auto run = [](const Trial& t) {
+    TrialResult r;
+    r.trial = t;
+    r.accuracy = t.learning_rate == 0.01 ? 0.9 : 0.5;  // pretend 0.01 is best
+    r.sim_seconds = 10.0;
+    return r;
+  };
+  SearchResult result = RunParallelExperiments(trials, 3, run);
+  ASSERT_EQ(result.best_index, 1);
+  EXPECT_NEAR(result.serial_makespan_seconds, 30.0, 1e-9);
+  EXPECT_NEAR(result.parallel_makespan_seconds, 10.0, 1e-9);
+  SearchResult serial = RunParallelExperiments(trials, 1, run);
+  EXPECT_NEAR(serial.parallel_makespan_seconds, 30.0, 1e-9);
+}
+
+TEST(ParallelExperimentsTest, SearchImprovesAccuracy) {
+  // A real mini-search over learning rates on a small dataset.
+  raster::Dataset base = SmallEurosat(400, 4);
+  std::vector<Trial> trials;
+  for (double lr : {0.0001, 0.03}) {
+    trials.push_back(Trial{.learning_rate = lr, .batch_size = 32, .width = 16});
+  }
+  auto run = [&](const Trial& t) {
+    raster::Dataset ds = base;
+    Network net = BuildMlp(ds.feature_dim, {t.width}, 10, 5);
+    TrainOptions opt;
+    opt.epochs = 3;
+    opt.batch_size = t.batch_size;
+    opt.sgd.learning_rate = t.learning_rate;
+    Trainer trainer(&net, opt);
+    trainer.Fit(&ds);
+    TrialResult r;
+    r.trial = t;
+    r.accuracy = trainer.Evaluate(ds).Accuracy();
+    r.sim_seconds = 1.0;
+    return r;
+  };
+  SearchResult result = RunParallelExperiments(trials, 2, run);
+  // The sane learning rate must win over the tiny one.
+  EXPECT_EQ(result.best_index, 1);
+}
+
+}  // namespace
+}  // namespace exearth::ml

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "platform/ingestion.h"
+#include "platform/platform.h"
+#include "platform/scheduler.h"
+#include "raster/landcover.h"
+
+namespace exearth::platform {
+namespace {
+
+sim::Cluster MakeCluster(int nodes) {
+  return sim::Cluster(nodes, sim::NodeSpec{}, sim::NetworkSpec{});
+}
+
+// --- Scheduler ------------------------------------------------------------
+
+TEST(SchedulerTest, IndependentJobsRunInParallel) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(JobSpec{common::StrFormat("job%d", i), 10.0, {}});
+  }
+  auto result = ScheduleJobs(jobs, MakeCluster(8));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 10.0);
+  EXPECT_NEAR(result->utilization, 1.0, 1e-9);
+  auto serial = ScheduleJobs(jobs, MakeCluster(1));
+  ASSERT_TRUE(serial.ok());
+  EXPECT_DOUBLE_EQ(serial->makespan_seconds, 80.0);
+}
+
+TEST(SchedulerTest, DependenciesRespected) {
+  // A diamond: 0 -> {1, 2} -> 3.
+  std::vector<JobSpec> jobs = {
+      {"ingest", 5.0, {}},
+      {"classify", 10.0, {0}},
+      {"water", 7.0, {0}},
+      {"publish", 2.0, {1, 2}},
+  };
+  auto result = ScheduleJobs(jobs, MakeCluster(4));
+  ASSERT_TRUE(result.ok());
+  const auto& r = result->jobs;
+  EXPECT_GE(r[1].start_time, r[0].end_time);
+  EXPECT_GE(r[2].start_time, r[0].end_time);
+  EXPECT_GE(r[3].start_time, std::max(r[1].end_time, r[2].end_time));
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 5.0 + 10.0 + 2.0);
+}
+
+TEST(SchedulerTest, RejectsCycles) {
+  std::vector<JobSpec> cyclic = {{"a", 1.0, {1}}, {"b", 1.0, {0}}};
+  EXPECT_FALSE(ScheduleJobs(cyclic, MakeCluster(2)).ok());
+  std::vector<JobSpec> self = {{"a", 1.0, {0}}};
+  EXPECT_FALSE(ScheduleJobs(self, MakeCluster(2)).ok());
+  std::vector<JobSpec> oob = {{"a", 1.0, {5}}};
+  EXPECT_FALSE(ScheduleJobs(oob, MakeCluster(2)).ok());
+}
+
+TEST(SchedulerTest, EmptyJobs) {
+  auto result = ScheduleJobs({}, MakeCluster(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 0.0);
+}
+
+TEST(SchedulerTest, MoreNodesShortenMakespan) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back(JobSpec{common::StrFormat("j%d", i), 1.0, {}});
+  }
+  double prev = 1e18;
+  for (int nodes : {1, 4, 16}) {
+    auto result = ScheduleJobs(jobs, MakeCluster(nodes));
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->makespan_seconds, prev);
+    prev = result->makespan_seconds;
+  }
+}
+
+// --- Ingestion (E14 model) -----------------------------------------------
+
+TEST(IngestionTest, FiveVsShapes) {
+  IngestionOptions opt;
+  opt.days = 1.0;
+  opt.seed = 3;
+  auto report = SimulateIngestion(opt);
+  ASSERT_TRUE(report.ok());
+  // ~1500 products x ~4 GB ~ 6 TB/day generated.
+  EXPECT_NEAR(report->ingested_gb, 6000.0, 1500.0);
+  // Dissemination amplification ~ 17x.
+  EXPECT_NEAR(report->disseminated_gb / report->ingested_gb, 17.0, 4.0);
+  // Derived information ~ 45% of ingest.
+  EXPECT_NEAR(report->derived_information_gb / report->ingested_gb, 0.45,
+              0.02);
+  EXPECT_EQ(report->products_ingested, report->products_processed);
+}
+
+TEST(IngestionTest, UnderProvisionedProcessingBacklogs) {
+  IngestionOptions fast;
+  fast.processing_gb_per_day = 100000.0;
+  IngestionOptions slow = fast;
+  slow.processing_gb_per_day = 3000.0;  // < 6 TB/day arrival
+  auto fr = SimulateIngestion(fast);
+  auto sr = SimulateIngestion(slow);
+  ASSERT_TRUE(fr.ok() && sr.ok());
+  EXPECT_GT(sr->max_processing_backlog_gb, fr->max_processing_backlog_gb);
+  EXPECT_GT(sr->processing_drain_time_days, 1.5);
+  EXPECT_LT(fr->processing_drain_time_days, 1.2);
+}
+
+TEST(IngestionTest, Validation) {
+  IngestionOptions bad;
+  bad.products_per_day = 0;
+  EXPECT_FALSE(SimulateIngestion(bad).ok());
+}
+
+TEST(IngestionTest, Deterministic) {
+  IngestionOptions opt;
+  opt.seed = 42;
+  auto a = SimulateIngestion(opt);
+  auto b = SimulateIngestion(opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->products_ingested, b->products_ingested);
+  EXPECT_DOUBLE_EQ(a->ingested_gb, b->ingested_gb);
+}
+
+// --- Platform facade --------------------------------------------------------
+
+TEST(PlatformTest, RegisterProductsAndSearch) {
+  PlatformOptions opt;
+  opt.storage.kv_partitions = 4;
+  ExtremeEarthPlatform platform(opt);
+  for (int i = 0; i < 10; ++i) {
+    raster::SceneMetadata md;
+    md.product_id = common::StrFormat("S2_TEST_%03d", i);
+    md.mission = i % 2 == 0 ? raster::Mission::kSentinel2
+                            : raster::Mission::kSentinel1;
+    md.year = 2019;
+    md.day_of_year = 100 + i;
+    md.footprint = geo::Box::Of(i * 10.0, 0, i * 10.0 + 10, 10);
+    md.size_bytes = 1 << 20;
+    ASSERT_TRUE(platform.RegisterProduct(md).ok());
+  }
+  ASSERT_TRUE(platform.BuildCatalogue().ok());
+  EXPECT_EQ(platform.num_products(), 10u);
+  // Files landed in the archive.
+  auto s2 = platform.filesystem().List("/products/S2");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->size(), 5u);
+  // Catalogue searchable.
+  catalog::SearchRequest req;
+  req.mission = raster::Mission::kSentinel1;
+  EXPECT_EQ(platform.catalogue().Search(req).size(), 5u);
+  // Duplicate registration fails cleanly.
+  raster::SceneMetadata dup;
+  dup.product_id = "S2_TEST_000";
+  dup.mission = raster::Mission::kSentinel2;
+  EXPECT_TRUE(platform.RegisterProduct(dup).IsAlreadyExists());
+}
+
+TEST(PlatformTest, ProductDataRoundTripThroughArchive) {
+  PlatformOptions opt;
+  // Large files go through the block path; keep blocks small to exercise it.
+  opt.storage.inline_threshold_bytes = 4 * 1024;
+  opt.storage.block_size_bytes = 64 * 1024;
+  ExtremeEarthPlatform platform(opt);
+  exearth::common::Rng rng(8);
+  exearth::raster::ClassMapOptions mopt;
+  mopt.width = 32;
+  mopt.height = 32;
+  exearth::raster::ClassMap map = exearth::raster::GenerateClassMap(mopt, &rng);
+  exearth::raster::SentinelSimulator sim({}, 9);
+  auto product = sim.SimulateS2(map, 77);
+  ASSERT_TRUE(platform.RegisterProductWithData(product).ok());
+  auto back = platform.LoadProduct(product.metadata.product_id,
+                                   exearth::raster::Mission::kSentinel2);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->raster.data(), product.raster.data());
+  EXPECT_EQ(back->metadata.day_of_year, 77);
+  // Missing product fails cleanly.
+  EXPECT_FALSE(
+      platform.LoadProduct("nope", exearth::raster::Mission::kSentinel2)
+          .ok());
+}
+
+TEST(PlatformTest, RunChain) {
+  PlatformOptions opt;
+  opt.compute_nodes = 4;
+  ExtremeEarthPlatform platform(opt);
+  std::vector<JobSpec> chain = {
+      {"preprocess", 4.0, {}},
+      {"classify", 8.0, {0}},
+      {"aggregate", 2.0, {1}},
+  };
+  auto result = platform.RunChain(chain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 14.0);
+}
+
+}  // namespace
+}  // namespace exearth::platform

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "polar/ice_products.h"
+#include "polar/icebergs.h"
+#include "polar/pipeline.h"
+
+namespace exearth::polar {
+namespace {
+
+// --- Ice chart ---------------------------------------------------------
+
+TEST(IceChartTest, AggregatesConcentration) {
+  // 4x4 map: left half first-year ice, right half open water.
+  raster::ClassMap map(4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      map.at(x, y) = static_cast<uint8_t>(
+          x < 2 ? raster::IceClass::kFirstYearIce
+                : raster::IceClass::kOpenWater);
+    }
+  }
+  raster::GeoTransform t{0, 160, 40.0};
+  auto chart = MakeIceChart(map, t, 2);
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ(chart->concentration.width(), 2);
+  EXPECT_FLOAT_EQ(chart->concentration.Get(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(chart->concentration.Get(0, 1, 0), 0.0f);
+  EXPECT_EQ(chart->dominant.at(0, 0),
+            static_cast<uint8_t>(raster::IceClass::kFirstYearIce));
+  EXPECT_EQ(chart->dominant.at(1, 0),
+            static_cast<uint8_t>(raster::IceClass::kOpenWater));
+  // Cell georeferencing is coarsened.
+  EXPECT_DOUBLE_EQ(chart->concentration.transform().pixel_size, 80.0);
+}
+
+TEST(IceChartTest, LeadFraction) {
+  // A mostly-ice cell with one water pixel = a lead.
+  raster::ClassMap map(2, 2);
+  map.Fill(static_cast<uint8_t>(raster::IceClass::kYoungIce));
+  map.at(0, 0) = static_cast<uint8_t>(raster::IceClass::kOpenWater);
+  raster::GeoTransform t;
+  auto chart = MakeIceChart(map, t, 2);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_FLOAT_EQ(chart->concentration.Get(0, 0, 0), 0.75f);
+  EXPECT_FLOAT_EQ(chart->lead_fraction.Get(0, 0, 0), 0.25f);
+}
+
+TEST(IceChartTest, RejectsNonDividingCell) {
+  raster::ClassMap map(5, 5);
+  raster::GeoTransform t;
+  EXPECT_FALSE(MakeIceChart(map, t, 2).ok());
+  EXPECT_FALSE(MakeIceChart(map, t, 0).ok());
+}
+
+TEST(IceChartTest, StageFractionsSumToOne) {
+  raster::ClassMap map(8, 8);
+  for (int i = 0; i < 64; ++i) {
+    map.data()[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(i % raster::kNumIceClasses);
+  }
+  raster::GeoTransform t;
+  auto chart = MakeIceChart(map, t, 2);
+  ASSERT_TRUE(chart.ok());
+  auto fractions = StageOfDevelopmentFractions(*chart);
+  EXPECT_NEAR(std::accumulate(fractions.begin(), fractions.end(), 0.0), 1.0,
+              1e-9);
+}
+
+// --- PCDSS -------------------------------------------------------------
+
+TEST(PcdssTest, RoundTrip) {
+  raster::ClassMap map(20, 20);
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      map.at(x, y) = static_cast<uint8_t>(
+          x < 10 ? raster::IceClass::kOldIce : raster::IceClass::kOpenWater);
+    }
+  }
+  raster::GeoTransform t{3000.0, 9000.0, 40.0};
+  auto chart = MakeIceChart(map, t, 4);
+  ASSERT_TRUE(chart.ok());
+  auto payload = EncodePcdss(*chart);
+  auto decoded = DecodePcdss(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->concentration.width(), chart->concentration.width());
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      EXPECT_NEAR(decoded->concentration.Get(0, x, y),
+                  chart->concentration.Get(0, x, y), 0.051);
+      EXPECT_EQ(decoded->dominant.at(x, y), chart->dominant.at(x, y));
+    }
+  }
+  EXPECT_DOUBLE_EQ(decoded->concentration.transform().origin_x, 3000.0);
+}
+
+TEST(PcdssTest, RleCompressesUniformCharts) {
+  raster::ClassMap uniform(100, 100);
+  uniform.Fill(static_cast<uint8_t>(raster::IceClass::kFirstYearIce));
+  raster::GeoTransform t;
+  auto chart = MakeIceChart(uniform, t, 4);
+  ASSERT_TRUE(chart.ok());
+  auto payload = EncodePcdss(*chart);
+  // 625 cells compress to ~3 runs (+29-byte header), far below raw size.
+  EXPECT_LT(payload.size(), 100u);
+}
+
+TEST(PcdssTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodePcdss({1, 2, 3}).ok());
+  // Truncated payload: valid header claiming 4 cells but no runs.
+  raster::ClassMap map(2, 2);
+  raster::GeoTransform t;
+  auto chart = MakeIceChart(map, t, 1);
+  ASSERT_TRUE(chart.ok());
+  auto payload = EncodePcdss(*chart);
+  payload.resize(payload.size() - 2);
+  EXPECT_FALSE(DecodePcdss(payload).ok());
+}
+
+TEST(PcdssTest, TransferTime) {
+  // 1 KB over Iridium 2400 bps ~ 3.4 s.
+  EXPECT_NEAR(TransferSeconds(1024, 2400.0), 1024 * 8 / 2400.0, 1e-9);
+}
+
+// --- Icebergs -----------------------------------------------------------
+
+TEST(IcebergTest, InjectedBergsAreDetected) {
+  raster::ClassMap water(64, 64);
+  water.Fill(static_cast<uint8_t>(raster::IceClass::kOpenWater));
+  raster::SentinelSimulator::Options opt;
+  opt.pixel_size = 40.0;
+  raster::SentinelSimulator sim(opt, 9);
+  auto scene = sim.SimulateS1Ice(water, 60);
+  auto truth = InjectIcebergs(&scene, water, 8, -2.0, 10);
+  ASSERT_EQ(truth.size(), 8u);
+  auto bergs = DetectIcebergs(scene, water, IcebergDetectionOptions{});
+  // Every injected berg found within 3 pixels.
+  int found = 0;
+  for (const geo::Point& p : truth) {
+    for (const Iceberg& b : bergs) {
+      if (geo::Distance(p, b.position) <= 120.0) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, 8);
+  // Few false alarms: detections are not wildly more numerous than truth.
+  EXPECT_LE(bergs.size(), 16u);
+  for (const Iceberg& b : bergs) {
+    EXPECT_GT(b.area_m2, 0.0);
+    EXPECT_GT(b.mean_backscatter_db, -10.0);
+  }
+}
+
+TEST(IcebergTest, NoWaterNoBergs) {
+  raster::ClassMap ice(16, 16);
+  ice.Fill(static_cast<uint8_t>(raster::IceClass::kOldIce));
+  raster::SentinelSimulator::Options opt;
+  raster::SentinelSimulator sim(opt, 2);
+  auto scene = sim.SimulateS1Ice(ice, 60);
+  EXPECT_TRUE(DetectIcebergs(scene, ice, IcebergDetectionOptions{}).empty());
+}
+
+TEST(IcebergTest, MaxPixelsExcludesFloes) {
+  raster::ClassMap water(32, 32);
+  water.Fill(static_cast<uint8_t>(raster::IceClass::kOpenWater));
+  raster::SentinelSimulator::Options opt;
+  raster::SentinelSimulator sim(opt, 3);
+  auto scene = sim.SimulateS1Ice(water, 60);
+  // Paint a large bright blob (a floe, 10x10) by hand.
+  for (int y = 10; y < 20; ++y) {
+    for (int x = 10; x < 20; ++x) {
+      scene.raster.Set(0, x, y, 1.0f);
+      scene.raster.Set(1, x, y, 1.0f);
+    }
+  }
+  IcebergDetectionOptions dopt;
+  dopt.max_pixels = 50;
+  EXPECT_TRUE(DetectIcebergs(scene, water, dopt).empty());
+}
+
+// --- Full pipeline -----------------------------------------------------
+
+TEST(PolarPipelineTest, EndToEnd) {
+  PolarOptions opt;
+  opt.width = 100;
+  opt.height = 100;
+  opt.ice_patches = 15;
+  opt.training_samples = 2500;
+  opt.epochs = 5;
+  opt.chart_cell_pixels = 25;
+  opt.injected_icebergs = 6;
+  catalog::SemanticCatalogue catalogue;
+  auto report = RunPolarPipeline(opt, &catalogue);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // 5 ice classes, chance = 0.2; SAR classes are very separable in dB.
+  EXPECT_GT(report->ice_accuracy, 0.6) << report->ice_confusion.ToString();
+  EXPECT_EQ(report->chart.concentration.width(), 4);
+  EXPECT_GT(report->pcdss_bytes, 0u);
+  EXPECT_GT(report->pcdss_transfer_seconds, 0.0);
+  EXPECT_GE(report->iceberg_recall, 0.5);
+  // Catalogue got the scene and the iceberg observations.
+  EXPECT_EQ(catalogue.num_products(), 1u);
+  auto count = catalogue.CountObservations(
+      kIcebergClassIri, geo::Box::Of(-1e9, -1e9, 1e9, 1e9), std::nullopt);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, report->icebergs.size());
+}
+
+TEST(PolarPipelineTest, ValidatesOptions) {
+  PolarOptions opt;
+  opt.width = 101;  // not divisible by patch
+  EXPECT_FALSE(RunPolarPipeline(opt, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace exearth::polar

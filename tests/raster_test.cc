@@ -1,0 +1,596 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "raster/dataset.h"
+#include "raster/grid.h"
+#include "raster/landcover.h"
+#include "raster/raster.h"
+#include "raster/sentinel.h"
+
+namespace exearth::raster {
+namespace {
+
+// --- Grid --------------------------------------------------------------
+
+TEST(GridTest, BasicAccess) {
+  Grid<int> g(4, 3, 7);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.at(0, 0), 7);
+  g.at(3, 2) = 42;
+  EXPECT_EQ(g.at(3, 2), 42);
+  EXPECT_TRUE(g.InBounds(3, 2));
+  EXPECT_FALSE(g.InBounds(4, 2));
+  EXPECT_FALSE(g.InBounds(-1, 0));
+}
+
+TEST(GridTest, ClampedAccess) {
+  Grid<int> g(2, 2);
+  g.at(0, 0) = 1;
+  g.at(1, 1) = 4;
+  EXPECT_EQ(g.at_clamped(-5, -5), 1);
+  EXPECT_EQ(g.at_clamped(10, 10), 4);
+}
+
+TEST(GridTest, Fill) {
+  Grid<float> g(3, 3);
+  g.Fill(2.5f);
+  for (float v : g.data()) EXPECT_EQ(v, 2.5f);
+}
+
+// --- GeoTransform / Raster -----------------------------------------------
+
+TEST(GeoTransformTest, PixelWorldRoundTrip) {
+  GeoTransform t{1000.0, 2000.0, 10.0};
+  geo::Point c = t.PixelCenter(0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 1005.0);
+  EXPECT_DOUBLE_EQ(c.y, 1995.0);
+  int x = 0;
+  int y = 0;
+  t.WorldToPixel(c, &x, &y);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 0);
+  t.WorldToPixel(t.PixelCenter(7, 3), &x, &y);
+  EXPECT_EQ(x, 7);
+  EXPECT_EQ(y, 3);
+}
+
+TEST(RasterTest, ConstructionAndAccess) {
+  Raster r(8, 4, 3);
+  EXPECT_EQ(r.width(), 8);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.bands(), 3);
+  EXPECT_EQ(r.BandSize(), 32u);
+  EXPECT_EQ(r.NumValues(), 96u);
+  r.Set(2, 7, 3, 1.5f);
+  EXPECT_EQ(r.Get(2, 7, 3), 1.5f);
+  EXPECT_EQ(r.Get(0, 7, 3), 0.0f);
+}
+
+TEST(RasterTest, Extent) {
+  Raster r(10, 5, 1, GeoTransform{100.0, 50.0, 2.0});
+  geo::Box e = r.Extent();
+  EXPECT_DOUBLE_EQ(e.min_x, 100.0);
+  EXPECT_DOUBLE_EQ(e.max_x, 120.0);
+  EXPECT_DOUBLE_EQ(e.max_y, 50.0);
+  EXPECT_DOUBLE_EQ(e.min_y, 40.0);
+}
+
+TEST(RasterTest, Stats) {
+  Raster r(2, 2, 1);
+  r.Set(0, 0, 0, 1.0f);
+  r.Set(0, 1, 0, 2.0f);
+  r.Set(0, 0, 1, 3.0f);
+  r.Set(0, 1, 1, 4.0f);
+  auto stats = r.ComputeStats(0);
+  EXPECT_FLOAT_EQ(stats.mean, 2.5f);
+  EXPECT_FLOAT_EQ(stats.min, 1.0f);
+  EXPECT_FLOAT_EQ(stats.max, 4.0f);
+  EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-5);
+}
+
+TEST(RasterTest, PixelVector) {
+  Raster r(2, 2, 3);
+  for (int b = 0; b < 3; ++b) r.Set(b, 1, 0, static_cast<float>(b + 1));
+  auto v = r.PixelVector(1, 0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[2], 3.0f);
+}
+
+TEST(RasterTest, ExtractPatch) {
+  Raster r(10, 10, 2, GeoTransform{0.0, 100.0, 10.0});
+  r.Set(1, 5, 5, 9.0f);
+  auto patch = r.ExtractPatch(4, 4, 3, 3);
+  ASSERT_TRUE(patch.ok());
+  EXPECT_EQ(patch->width(), 3);
+  EXPECT_EQ(patch->Get(1, 1, 1), 9.0f);
+  // Georeferencing shifts with the window.
+  EXPECT_DOUBLE_EQ(patch->transform().origin_x, 40.0);
+  EXPECT_DOUBLE_EQ(patch->transform().origin_y, 60.0);
+}
+
+TEST(RasterTest, ExtractPatchOutOfRange) {
+  Raster r(10, 10, 1);
+  EXPECT_FALSE(r.ExtractPatch(8, 8, 4, 4).ok());
+  EXPECT_FALSE(r.ExtractPatch(-1, 0, 2, 2).ok());
+  EXPECT_FALSE(r.ExtractPatch(0, 0, 0, 2).ok());
+}
+
+TEST(RasterTest, ResampleNearest) {
+  Raster r(4, 4, 1);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) r.Set(0, x, y, static_cast<float>(x));
+  Raster up = r.ResampleNearest(8, 8);
+  EXPECT_EQ(up.width(), 8);
+  EXPECT_EQ(up.Get(0, 0, 0), 0.0f);
+  EXPECT_EQ(up.Get(0, 7, 7), 3.0f);
+  Raster down = r.ResampleNearest(2, 2);
+  EXPECT_EQ(down.Get(0, 1, 1), 2.0f);
+}
+
+TEST(RasterTest, DownsampleMean) {
+  Raster r(4, 4, 1, GeoTransform{0, 0, 10.0});
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x)
+      r.Set(0, x, y, static_cast<float>(y * 4 + x));
+  auto d = r.DownsampleMean(2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->width(), 2);
+  // Mean of {0,1,4,5} = 2.5.
+  EXPECT_FLOAT_EQ(d->Get(0, 0, 0), 2.5f);
+  EXPECT_DOUBLE_EQ(d->transform().pixel_size, 20.0);
+  EXPECT_FALSE(r.DownsampleMean(3).ok());
+  EXPECT_FALSE(r.DownsampleMean(0).ok());
+}
+
+TEST(RasterTest, NormalizedDifference) {
+  Raster r(2, 1, 2);
+  r.Set(0, 0, 0, 0.8f);  // NIR
+  r.Set(1, 0, 0, 0.2f);  // Red
+  r.Set(0, 1, 0, 0.0f);
+  r.Set(1, 1, 0, 0.0f);
+  auto ndvi = NormalizedDifference(r, 0, 1);
+  ASSERT_TRUE(ndvi.ok());
+  EXPECT_NEAR(ndvi->Get(0, 0, 0), 0.6f, 1e-6);
+  EXPECT_EQ(ndvi->Get(0, 1, 0), 0.0f);  // 0/0 guarded
+  EXPECT_FALSE(NormalizedDifference(r, 0, 5).ok());
+}
+
+// --- Land cover ----------------------------------------------------------
+
+TEST(LandCoverTest, Names) {
+  EXPECT_STREQ(LandCoverClassName(LandCoverClass::kSeaLake), "SeaLake");
+  EXPECT_STREQ(CropTypeName(CropType::kMaize), "Maize");
+  EXPECT_STREQ(IceClassName(IceClass::kOldIce), "OldIce");
+}
+
+TEST(LandCoverTest, WmoCodesDistinct) {
+  std::set<int> codes;
+  for (int i = 0; i < kNumIceClasses; ++i) {
+    codes.insert(IceClassWmoCode(static_cast<IceClass>(i)));
+  }
+  EXPECT_EQ(codes.size(), static_cast<size_t>(kNumIceClasses));
+}
+
+TEST(ClassMapTest, GenerateCoversAllPixels) {
+  common::Rng rng(1);
+  ClassMapOptions opt;
+  opt.width = 64;
+  opt.height = 48;
+  opt.num_classes = 5;
+  opt.num_patches = 30;
+  ClassMap map = GenerateClassMap(opt, &rng);
+  EXPECT_EQ(map.width(), 64);
+  EXPECT_EQ(map.height(), 48);
+  for (uint8_t v : map.data()) EXPECT_LT(v, 5);
+}
+
+TEST(ClassMapTest, Deterministic) {
+  ClassMapOptions opt;
+  opt.width = 32;
+  opt.height = 32;
+  opt.num_patches = 10;
+  common::Rng a(7);
+  common::Rng b(7);
+  ClassMap ma = GenerateClassMap(opt, &a);
+  ClassMap mb = GenerateClassMap(opt, &b);
+  EXPECT_EQ(Agreement(ma, mb), 1.0);
+}
+
+TEST(ClassMapTest, MatchesBruteForceVoronoi) {
+  // The bucketed nearest-seed search must agree with brute force.
+  ClassMapOptions opt;
+  opt.width = 40;
+  opt.height = 40;
+  opt.num_classes = 7;
+  opt.num_patches = 25;
+  common::Rng rng(99);
+  ClassMap map = GenerateClassMap(opt, &rng);
+  // Regenerate seeds with an identical Rng to recover them.
+  common::Rng rng2(99);
+  struct Seed {
+    double x, y;
+    uint8_t cls;
+  };
+  std::vector<Seed> seeds;
+  for (int i = 0; i < opt.num_patches; ++i) {
+    Seed s;
+    s.x = rng2.UniformDouble(0, opt.width);
+    s.y = rng2.UniformDouble(0, opt.height);
+    double u = rng2.NextDouble();
+    s.cls = static_cast<uint8_t>(std::min<int>(
+        opt.num_classes - 1, static_cast<int>(u * opt.num_classes)));
+    seeds.push_back(s);
+  }
+  int mismatches = 0;
+  for (int y = 0; y < opt.height; ++y) {
+    for (int x = 0; x < opt.width; ++x) {
+      double best = 1e18;
+      uint8_t cls = 0;
+      for (const Seed& s : seeds) {
+        double dx = s.x - (x + 0.5);
+        double dy = s.y - (y + 0.5);
+        double d2 = dx * dx + dy * dy;
+        if (d2 < best) {
+          best = d2;
+          cls = s.cls;
+        }
+      }
+      if (map.at(x, y) != cls) ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ClassMapTest, WeightsSkewDistribution) {
+  ClassMapOptions opt;
+  opt.width = 128;
+  opt.height = 128;
+  opt.num_classes = 3;
+  opt.num_patches = 400;
+  opt.class_weights = {8.0, 1.0, 1.0};
+  common::Rng rng(5);
+  ClassMap map = GenerateClassMap(opt, &rng);
+  auto hist = ClassHistogram(map, 3);
+  EXPECT_GT(hist[0], hist[1] * 2);
+  EXPECT_GT(hist[0], hist[2] * 2);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), int64_t{0}),
+            128 * 128);
+}
+
+// --- Sentinel simulator ----------------------------------------------------
+
+ClassMap UniformMap(int w, int h, uint8_t cls) {
+  ClassMap m(w, h);
+  m.Fill(cls);
+  return m;
+}
+
+TEST(SentinelTest, S2SceneShape) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  SentinelSimulator sim(opt, 42);
+  common::Rng rng(2);
+  ClassMapOptions mopt;
+  mopt.width = 32;
+  mopt.height = 32;
+  ClassMap map = GenerateClassMap(mopt, &rng);
+  SentinelProduct p = sim.SimulateS2(map, 180);
+  EXPECT_EQ(p.raster.bands(), kS2Bands);
+  EXPECT_EQ(p.raster.width(), 32);
+  EXPECT_EQ(p.metadata.mission, Mission::kSentinel2);
+  EXPECT_EQ(p.metadata.day_of_year, 180);
+  EXPECT_EQ(p.metadata.cloud_cover, 0.0);
+  EXPECT_GT(p.metadata.size_bytes, 0u);
+  EXPECT_FALSE(p.metadata.product_id.empty());
+  // Footprint matches raster extent.
+  EXPECT_EQ(p.metadata.footprint.min_x, p.raster.Extent().min_x);
+}
+
+TEST(SentinelTest, WaterDarkerThanVegetationInNir) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  opt.noise_stddev = 0.0;
+  SentinelSimulator sim(opt, 1);
+  auto forest = UniformMap(8, 8, static_cast<uint8_t>(LandCoverClass::kForest));
+  auto water = UniformMap(8, 8, static_cast<uint8_t>(LandCoverClass::kSeaLake));
+  auto pf = sim.SimulateS2(forest, 180);
+  auto pw = sim.SimulateS2(water, 180);
+  // Band 7 is NIR.
+  EXPECT_GT(pf.raster.ComputeStats(7).mean, pw.raster.ComputeStats(7).mean);
+}
+
+TEST(SentinelTest, SeasonalityChangesCropSignal) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  opt.noise_stddev = 0.0;
+  SentinelSimulator sim(opt, 1);
+  auto crop = UniformMap(8, 8, static_cast<uint8_t>(LandCoverClass::kAnnualCrop));
+  auto summer = sim.SimulateS2(crop, 200);
+  auto winter = sim.SimulateS2(crop, 20);
+  EXPECT_GT(summer.raster.ComputeStats(7).mean,
+            winter.raster.ComputeStats(7).mean);
+}
+
+TEST(SentinelTest, CloudsMaskedAndBright) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 1.0;
+  opt.mean_cloud_fraction = 0.3;
+  SentinelSimulator sim(opt, 11);
+  auto map = UniformMap(64, 64, static_cast<uint8_t>(LandCoverClass::kForest));
+  auto p = sim.SimulateS2(map, 180);
+  EXPECT_GT(p.metadata.cloud_cover, 0.0);
+  int64_t masked = 0;
+  double cloud_sum = 0;
+  double clear_sum = 0;
+  int64_t clear = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (p.cloud_mask.at(x, y)) {
+        ++masked;
+        cloud_sum += p.raster.Get(7, x, y);
+      } else {
+        ++clear;
+        clear_sum += p.raster.Get(7, x, y);
+      }
+    }
+  }
+  ASSERT_GT(masked, 0);
+  ASSERT_GT(clear, 0);
+  EXPECT_NEAR(p.metadata.cloud_cover,
+              static_cast<double>(masked) / (64.0 * 64.0), 1e-9);
+  EXPECT_GT(cloud_sum / masked, clear_sum / clear);
+}
+
+TEST(SentinelTest, SarSpeckleHasGammaMoments) {
+  SentinelSimulator::Options opt;
+  opt.sar_looks = 4;
+  SentinelSimulator sim(opt, 3);
+  auto map = UniformMap(64, 64, static_cast<uint8_t>(LandCoverClass::kForest));
+  auto p = sim.SimulateS1(map, 100);
+  EXPECT_EQ(p.raster.bands(), kS1Bands);
+  EXPECT_EQ(p.metadata.mission, Mission::kSentinel1);
+  auto stats = p.raster.ComputeStats(0);
+  auto mean_bs = LandCoverBackscatter(LandCoverClass::kForest)[0];
+  EXPECT_NEAR(stats.mean, mean_bs, 0.2 * mean_bs);
+  // For L looks the coefficient of variation is 1/sqrt(L) = 0.5.
+  EXPECT_NEAR(stats.stddev / stats.mean, 0.5, 0.1);
+}
+
+TEST(SentinelTest, IceClassesOrderedByBrightness) {
+  SentinelSimulator::Options opt;
+  SentinelSimulator sim(opt, 4);
+  double prev = -1;
+  for (int c = 0; c < kNumIceClasses; ++c) {
+    auto map = UniformMap(32, 32, static_cast<uint8_t>(c));
+    auto p = sim.SimulateS1Ice(map, 60);
+    double mean = p.raster.ComputeStats(0).mean;
+    EXPECT_GT(mean, prev) << IceClassName(static_cast<IceClass>(c));
+    prev = mean;
+  }
+}
+
+TEST(SentinelTest, ProductIdsUnique) {
+  SentinelSimulator::Options opt;
+  SentinelSimulator sim(opt, 5);
+  auto map = UniformMap(8, 8, 0);
+  auto a = sim.SimulateS2(map, 1);
+  auto b = sim.SimulateS2(map, 1);
+  EXPECT_NE(a.metadata.product_id, b.metadata.product_id);
+}
+
+TEST(SentinelTest, CropPhenologyPeaksDiffer) {
+  // Rapeseed peaks well before maize.
+  double rapeseed_early = CropPhenology(CropType::kRapeseed, 125);
+  double maize_early = CropPhenology(CropType::kMaize, 125);
+  EXPECT_GT(rapeseed_early, maize_early);
+  double maize_late = CropPhenology(CropType::kMaize, 210);
+  double rapeseed_late = CropPhenology(CropType::kRapeseed, 210);
+  EXPECT_GT(maize_late, rapeseed_late);
+  // Fallow stays low all year.
+  EXPECT_LT(CropPhenology(CropType::kFallow, 180), 0.2);
+}
+
+// --- Datasets ---------------------------------------------------------------
+
+TEST(DatasetTest, EurosatLikeShape) {
+  EurosatOptions opt;
+  opt.num_samples = 500;
+  opt.patch_size = 4;
+  Dataset ds = MakeEurosatLike(opt, 77);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_EQ(ds.feature_dim, 13 * 4 * 4);
+  EXPECT_EQ(ds.channels, 13);
+  for (const Sample& s : ds.samples) {
+    EXPECT_EQ(s.features.size(), static_cast<size_t>(ds.feature_dim));
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+  }
+  // All classes present in 500 draws.
+  auto hist = ds.LabelHistogram();
+  for (int64_t c : hist) EXPECT_GT(c, 0);
+}
+
+TEST(DatasetTest, EurosatLikeDeterministic) {
+  EurosatOptions opt;
+  opt.num_samples = 20;
+  Dataset a = MakeEurosatLike(opt, 5);
+  Dataset b = MakeEurosatLike(opt, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].label, b.samples[i].label);
+    EXPECT_EQ(a.samples[i].features, b.samples[i].features);
+  }
+}
+
+TEST(DatasetTest, ShuffleAndSplit) {
+  EurosatOptions opt;
+  opt.num_samples = 100;
+  opt.patch_size = 2;
+  Dataset ds = MakeEurosatLike(opt, 9);
+  common::Rng rng(1);
+  ds.Shuffle(&rng);
+  auto [train, test] = ds.Split(0.8);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.feature_dim, ds.feature_dim);
+  EXPECT_EQ(test.num_classes, ds.num_classes);
+}
+
+TEST(DatasetTest, StandardizeZeroMeanUnitVar) {
+  EurosatOptions opt;
+  opt.num_samples = 200;
+  opt.patch_size = 2;
+  Dataset ds = MakeEurosatLike(opt, 13);
+  ds.Standardize();
+  // Check a few dimensions.
+  for (int d = 0; d < ds.feature_dim; d += 7) {
+    double sum = 0;
+    double sum2 = 0;
+    for (const Sample& s : ds.samples) {
+      sum += s.features[static_cast<size_t>(d)];
+      sum2 += static_cast<double>(s.features[static_cast<size_t>(d)]) *
+              s.features[static_cast<size_t>(d)];
+    }
+    double mean = sum / ds.size();
+    double var = sum2 / ds.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(DatasetTest, ApplyStandardizationUsesTrainStats) {
+  EurosatOptions opt;
+  opt.num_samples = 100;
+  opt.patch_size = 2;
+  Dataset ds = MakeEurosatLike(opt, 21);
+  auto [train, test] = ds.Split(0.5);
+  auto stats = train.Standardize();
+  test.ApplyStandardization(stats);
+  EXPECT_EQ(test.samples[0].features.size(),
+            static_cast<size_t>(test.feature_dim));
+}
+
+TEST(DatasetTest, PatchDatasetFromScene) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  SentinelSimulator sim(opt, 31);
+  common::Rng rng(3);
+  ClassMapOptions mopt;
+  mopt.width = 64;
+  mopt.height = 64;
+  mopt.num_patches = 20;
+  ClassMap map = GenerateClassMap(mopt, &rng);
+  auto product = sim.SimulateS2(map, 150);
+  auto ds = MakePatchDataset(product, map, kNumLandCoverClasses, 8, 8);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->size(), 64u);  // 8x8 grid of non-overlapping windows
+  EXPECT_EQ(ds->feature_dim, 13 * 8 * 8);
+}
+
+TEST(DatasetTest, PatchDatasetSkipsClouds) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 1.0;
+  opt.mean_cloud_fraction = 0.5;
+  SentinelSimulator sim(opt, 32);
+  auto map = UniformMap(64, 64, 0);
+  auto product = sim.SimulateS2(map, 150);
+  auto clouded = MakePatchDataset(product, map, 10, 8, 8);
+  ASSERT_TRUE(clouded.ok());
+  EXPECT_LT(clouded->size(), 64u);
+}
+
+TEST(DatasetTest, PatchDatasetValidation) {
+  SentinelSimulator::Options opt;
+  SentinelSimulator sim(opt, 33);
+  auto map = UniformMap(16, 16, 0);
+  auto product = sim.SimulateS2(map, 1);
+  auto wrong_map = UniformMap(8, 8, 0);
+  EXPECT_FALSE(MakePatchDataset(product, wrong_map, 10, 4, 4).ok());
+  EXPECT_FALSE(MakePatchDataset(product, map, 10, 0, 4).ok());
+}
+
+TEST(DatasetTest, CropTimeSeriesSeparatesCrops) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  opt.noise_stddev = 0.005;
+  SentinelSimulator sim(opt, 41);
+  // Half wheat, half maize.
+  ClassMap crops(16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      crops.at(x, y) = static_cast<uint8_t>(
+          x < 8 ? CropType::kWheat : CropType::kMaize);
+  std::vector<SentinelProduct> scenes;
+  for (int doy : {100, 140, 180, 220, 260}) {
+    scenes.push_back(sim.SimulateCropS2(crops, doy));
+  }
+  auto ds = MakeCropTimeSeriesDataset(scenes, crops, 200, 55);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->feature_dim, 15);
+  EXPECT_EQ(ds->num_classes, kNumCropTypes);
+  ASSERT_GT(ds->size(), 50u);
+  // Mean early-season NDVI (feature 3: date 140's NDVI) should be higher
+  // for wheat than maize.
+  double wheat_ndvi = 0;
+  int wheat_n = 0;
+  double maize_ndvi = 0;
+  int maize_n = 0;
+  for (const Sample& s : ds->samples) {
+    if (s.label == static_cast<int>(CropType::kWheat)) {
+      wheat_ndvi += s.features[3];
+      ++wheat_n;
+    } else {
+      maize_ndvi += s.features[3];
+      ++maize_n;
+    }
+  }
+  ASSERT_GT(wheat_n, 0);
+  ASSERT_GT(maize_n, 0);
+  EXPECT_GT(wheat_ndvi / wheat_n, maize_ndvi / maize_n);
+}
+
+TEST(DatasetTest, CropTimeSeriesValidation) {
+  ClassMap crops(8, 8);
+  EXPECT_FALSE(MakeCropTimeSeriesDataset({}, crops, 10, 1).ok());
+}
+
+TEST(DatasetTest, IceDatasetInDbSpace) {
+  SentinelSimulator::Options opt;
+  SentinelSimulator sim(opt, 51);
+  auto ice = UniformMap(32, 32, static_cast<uint8_t>(IceClass::kOldIce));
+  auto scene = sim.SimulateS1Ice(ice, 60);
+  auto ds = MakeIceDataset(scene, ice, 4, 4);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->num_classes, kNumIceClasses);
+  EXPECT_EQ(ds->feature_dim, 2 * 4 * 4);
+  // dB values for old ice VV should be around -8 dB.
+  double mean = 0;
+  size_t n = 0;
+  for (const Sample& s : ds->samples) {
+    for (size_t d = 0; d < 16; ++d) {  // first band block = VV
+      mean += s.features[d];
+      ++n;
+    }
+  }
+  EXPECT_NEAR(mean / n, -8.0, 1.5);
+}
+
+TEST(DatasetTest, IceDatasetRejectsS2) {
+  SentinelSimulator::Options opt;
+  opt.cloud_probability = 0.0;
+  SentinelSimulator sim(opt, 52);
+  auto map = UniformMap(16, 16, 0);
+  auto s2 = sim.SimulateS2(map, 1);
+  EXPECT_FALSE(MakeIceDataset(s2, map, 4, 4).ok());
+}
+
+}  // namespace
+}  // namespace exearth::raster

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/string_util.h"
+#include "rdf/query.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+
+namespace exearth::rdf {
+namespace {
+
+// --- Term / Dictionary ----------------------------------------------------
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToString(), "<http://x/a>");
+  EXPECT_EQ(Term::Literal("42").ToString(), "\"42\"");
+  EXPECT_EQ(Term::Literal("42", vocab::kXsdInteger).ToString(),
+            "\"42\"^^<" + std::string(vocab::kXsdInteger) + ">");
+  EXPECT_EQ(Term::Blank("b0").ToString(), "_:b0");
+}
+
+TEST(DictionaryTest, EncodeIsIdempotent) {
+  Dictionary dict;
+  uint64_t a = dict.Encode(Term::Iri("http://x/a"));
+  uint64_t a2 = dict.Encode(Term::Iri("http://x/a"));
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_NE(a, Dictionary::kInvalidId);
+}
+
+TEST(DictionaryTest, DistinctTermsDistinctIds) {
+  Dictionary dict;
+  uint64_t iri = dict.Encode(Term::Iri("x"));
+  uint64_t lit = dict.Encode(Term::Literal("x"));
+  uint64_t blank = dict.Encode(Term::Blank("x"));
+  uint64_t typed = dict.Encode(Term::Literal("x", "dt"));
+  std::set<uint64_t> ids = {iri, lit, blank, typed};
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary dict;
+  Term t = Term::Literal("POINT (1 2)", vocab::kWktLiteral);
+  uint64_t id = dict.Encode(t);
+  EXPECT_EQ(dict.Decode(id), t);
+}
+
+TEST(DictionaryTest, LookupMissing) {
+  Dictionary dict;
+  dict.Encode(Term::Iri("a"));
+  EXPECT_FALSE(dict.Lookup(Term::Iri("b")).has_value());
+  EXPECT_TRUE(dict.Lookup(Term::Iri("a")).has_value());
+}
+
+// --- TripleStore -------------------------------------------------------
+
+class TripleStoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // A small social-ish graph.
+    //   a type Person; b type Person; c type City.
+    //   a knows b; a livesIn c; b livesIn c.
+    store_.Add(Term::Iri("a"), Term::Iri("type"), Term::Iri("Person"));
+    store_.Add(Term::Iri("b"), Term::Iri("type"), Term::Iri("Person"));
+    store_.Add(Term::Iri("c"), Term::Iri("type"), Term::Iri("City"));
+    store_.Add(Term::Iri("a"), Term::Iri("knows"), Term::Iri("b"));
+    store_.Add(Term::Iri("a"), Term::Iri("livesIn"), Term::Iri("c"));
+    store_.Add(Term::Iri("b"), Term::Iri("livesIn"), Term::Iri("c"));
+    store_.Build();
+  }
+
+  uint64_t Id(const std::string& iri) {
+    auto id = store_.dict().Lookup(Term::Iri(iri));
+    EXPECT_TRUE(id.has_value()) << iri;
+    return id.value_or(0);
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, SizeAndDedup) {
+  EXPECT_EQ(store_.size(), 6u);
+  store_.Add(Term::Iri("a"), Term::Iri("knows"), Term::Iri("b"));  // dup
+  store_.Build();
+  EXPECT_EQ(store_.size(), 6u);
+}
+
+TEST_F(TripleStoreTest, ScanByS) {
+  auto matches = store_.Match(IdPattern{Id("a"), std::nullopt, std::nullopt});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(TripleStoreTest, ScanByP) {
+  auto matches = store_.Match(IdPattern{std::nullopt, Id("type"),
+                                        std::nullopt});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(TripleStoreTest, ScanByO) {
+  auto matches = store_.Match(IdPattern{std::nullopt, std::nullopt, Id("c")});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, ScanBySp) {
+  auto matches =
+      store_.Match(IdPattern{Id("a"), Id("livesIn"), std::nullopt});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].o, Id("c"));
+}
+
+TEST_F(TripleStoreTest, ScanByPo) {
+  auto matches =
+      store_.Match(IdPattern{std::nullopt, Id("type"), Id("Person")});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, ScanBySo) {
+  auto matches = store_.Match(IdPattern{Id("a"), std::nullopt, Id("b")});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].p, Id("knows"));
+}
+
+TEST_F(TripleStoreTest, FullScanAndExactMatch) {
+  EXPECT_EQ(store_.Match(IdPattern{}).size(), 6u);
+  EXPECT_TRUE(store_.Contains(Id("a"), Id("knows"), Id("b")));
+  EXPECT_FALSE(store_.Contains(Id("b"), Id("knows"), Id("a")));
+}
+
+TEST_F(TripleStoreTest, CountMatchesMatch) {
+  for (const IdPattern& q :
+       {IdPattern{}, IdPattern{Id("a"), std::nullopt, std::nullopt},
+        IdPattern{std::nullopt, Id("type"), std::nullopt},
+        IdPattern{std::nullopt, Id("type"), Id("Person")}}) {
+    EXPECT_EQ(store_.Count(q), store_.Match(q).size());
+  }
+}
+
+TEST_F(TripleStoreTest, PredicateStats) {
+  auto stats = store_.PredicateStats();
+  ASSERT_EQ(stats.size(), 3u);
+  uint64_t total = 0;
+  for (auto& [p, count] : stats) total += count;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST_F(TripleStoreTest, EarlyStopScan) {
+  int seen = 0;
+  store_.Scan(IdPattern{}, [&](const TripleId&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(TripleStoreEmptyTest, EmptyStoreWorks) {
+  TripleStore store;
+  store.Build();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Match(IdPattern{}).empty());
+  EXPECT_TRUE(store.PredicateStats().empty());
+}
+
+// --- QueryEngine ------------------------------------------------------------
+
+class QueryTest : public TripleStoreTest {};
+
+TEST_F(QueryTest, SingleLookup) {
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("type"),
+                                  PatternSlot::Iri("Person")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  std::set<uint64_t> subjects;
+  for (const Binding& b : *rows) subjects.insert(b.at("s"));
+  EXPECT_EQ(subjects, (std::set<uint64_t>{Id("a"), Id("b")}));
+}
+
+TEST_F(QueryTest, JoinTwoPatterns) {
+  // Persons who live in c.
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("type"),
+                                  PatternSlot::Iri("Person")});
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("livesIn"),
+                                  PatternSlot::Var("city")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  for (const Binding& b : *rows) EXPECT_EQ(b.at("city"), Id("c"));
+}
+
+TEST_F(QueryTest, ThreeWayJoin) {
+  // ?x knows ?y, both live in the same city.
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("x"),
+                                  PatternSlot::Iri("knows"),
+                                  PatternSlot::Var("y")});
+  q.where.push_back(TriplePattern{PatternSlot::Var("x"),
+                                  PatternSlot::Iri("livesIn"),
+                                  PatternSlot::Var("c")});
+  q.where.push_back(TriplePattern{PatternSlot::Var("y"),
+                                  PatternSlot::Iri("livesIn"),
+                                  PatternSlot::Var("c")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->front().at("x"), Id("a"));
+  EXPECT_EQ(rows->front().at("y"), Id("b"));
+}
+
+TEST_F(QueryTest, UnknownConstantYieldsEmpty) {
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("no-such-predicate"),
+                                  PatternSlot::Var("o")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, EmptyBgpRejected) {
+  QueryEngine engine(&store_);
+  EXPECT_FALSE(engine.Execute(Query{}).ok());
+}
+
+TEST_F(QueryTest, ProjectionAndLimit) {
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Var("p"),
+                                  PatternSlot::Var("o")});
+  q.select = {"p"};
+  q.limit = 3;
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  for (const Binding& b : *rows) {
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_TRUE(b.count("p"));
+  }
+}
+
+TEST_F(QueryTest, CountAggregate) {
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("type"),
+                                  PatternSlot::Var("cls")});
+  auto count = engine.Count(q);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+}
+
+TEST_F(QueryTest, SameVariableTwiceInPattern) {
+  // ?x knows ?x — nobody knows themselves here.
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("x"),
+                                  PatternSlot::Iri("knows"),
+                                  PatternSlot::Var("x")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, StatsPopulated) {
+  QueryEngine engine(&store_);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("type"),
+                                  PatternSlot::Iri("Person")});
+  ASSERT_TRUE(engine.Execute(q).ok());
+  EXPECT_GE(engine.last_stats().index_scans, 1u);
+  EXPECT_EQ(engine.last_stats().results, 2u);
+}
+
+TEST(QueryFilterTest, NumericFilters) {
+  TripleStore store;
+  store.Add(Term::Iri("x"), Term::Iri("value"),
+            Term::Literal("5.5", vocab::kXsdDouble));
+  store.Add(Term::Iri("y"), Term::Iri("value"),
+            Term::Literal("1.5", vocab::kXsdDouble));
+  store.Build();
+  QueryEngine engine(&store);
+  Query q;
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("value"),
+                                  PatternSlot::Var("v")});
+  q.filters.push_back(NumericGreaterEqual("v", 3.0));
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  q.filters = {NumericLessEqual("v", 3.0)};
+  rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST(QueryJoinOrderTest, SelectiveFirstReducesIntermediates) {
+  // A star dataset: one hub with many ravels; the selective pattern should
+  // be evaluated first, keeping intermediate rows small.
+  TripleStore store;
+  for (int i = 0; i < 500; ++i) {
+    store.Add(Term::Iri(common::StrFormat("n%d", i)), Term::Iri("type"),
+              Term::Iri("Node"));
+  }
+  store.Add(Term::Iri("n42"), Term::Iri("special"), Term::Iri("yes"));
+  store.Build();
+  QueryEngine engine(&store);
+  Query q;
+  // Deliberately put the unselective pattern first.
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("type"),
+                                  PatternSlot::Iri("Node")});
+  q.where.push_back(TriplePattern{PatternSlot::Var("s"),
+                                  PatternSlot::Iri("special"),
+                                  PatternSlot::Iri("yes")});
+  auto rows = engine.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  // With the selective pattern first, intermediates stay tiny (2 not 501).
+  EXPECT_LE(engine.last_stats().intermediate_rows, 4u);
+}
+
+}  // namespace
+}  // namespace exearth::rdf

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+
+namespace exearth::sim {
+namespace {
+
+Cluster MakeCluster(int nodes) {
+  NodeSpec node;
+  node.gpus = 1;
+  node.gpu.flops = 1e12;
+  NetworkSpec net;
+  net.latency_s = 1e-4;
+  net.bandwidth_bytes_s = 1e9;
+  return Cluster(nodes, node, net);
+}
+
+TEST(ClusterTest, Basics) {
+  Cluster c = MakeCluster(4);
+  EXPECT_EQ(c.num_nodes(), 4);
+  EXPECT_EQ(c.total_gpus(), 4);
+}
+
+TEST(ClusterTest, PointToPoint) {
+  Cluster c = MakeCluster(2);
+  // 1 GB at 1 GB/s + 100 us latency.
+  EXPECT_NEAR(c.PointToPointTime(1000000000ULL), 1.0001, 1e-6);
+  EXPECT_NEAR(c.PointToPointTime(0), 1e-4, 1e-12);
+}
+
+TEST(ClusterTest, RingAllReduceSingleWorkerFree) {
+  Cluster c = MakeCluster(8);
+  EXPECT_EQ(c.RingAllReduceTime(1 << 20, 1), 0.0);
+}
+
+TEST(ClusterTest, RingAllReduceBandwidthTermSaturates) {
+  Cluster c = MakeCluster(64);
+  const uint64_t n = 100 * 1000 * 1000;  // 100 MB
+  double t8 = c.RingAllReduceTime(n, 8);
+  double t64 = c.RingAllReduceTime(n, 64);
+  // The bandwidth term approaches 2n/B regardless of p; latency adds a
+  // little. Ratio should be close to 1, not 8.
+  EXPECT_LT(t64 / t8, 1.3);
+  // And both are >= the 2n(p-1)/(pB) lower bound.
+  EXPECT_GE(t8, 2.0 * n * 7.0 / (8.0 * 1e9));
+}
+
+TEST(ClusterTest, RingAllReduceLatencyGrowsLinearly) {
+  Cluster c = MakeCluster(64);
+  // Tiny message: latency-dominated, ~2(p-1) alpha.
+  double t4 = c.RingAllReduceTime(64, 4);
+  double t32 = c.RingAllReduceTime(64, 32);
+  EXPECT_NEAR(t32 / t4, 31.0 / 3.0, 0.5);
+}
+
+TEST(ClusterTest, ParameterServerCongestsWithWorkers) {
+  Cluster c = MakeCluster(32);
+  const uint64_t n = 10 * 1000 * 1000;
+  double t1s = c.ParameterServerTime(n, 16, 1);
+  double t4s = c.ParameterServerTime(n, 16, 4);
+  // Sharding over 4 servers divides the bottleneck link load by ~4.
+  EXPECT_NEAR(t1s / t4s, 4.0, 0.3);
+  // Doubling workers with fixed servers roughly doubles time.
+  double w8 = c.ParameterServerTime(n, 8, 2);
+  double w16 = c.ParameterServerTime(n, 16, 2);
+  EXPECT_NEAR(w16 / w8, 2.0, 0.1);
+}
+
+TEST(ClusterTest, AllReduceBeatsParameterServerAtScale) {
+  // The published crossover: with many workers and one/few servers, the PS
+  // central link congests while the ring stays near-constant.
+  Cluster c = MakeCluster(64);
+  const uint64_t grads = 25 * 1000 * 1000;  // 25 MB of gradients
+  double ring = c.RingAllReduceTime(grads, 32);
+  double ps = c.ParameterServerTime(grads, 32, 1);
+  EXPECT_LT(ring, ps);
+}
+
+TEST(ClusterTest, BroadcastLogRounds) {
+  Cluster c = MakeCluster(16);
+  EXPECT_EQ(c.BroadcastTime(1000, 1), 0.0);
+  double t2 = c.BroadcastTime(1000, 2);
+  double t16 = c.BroadcastTime(1000, 16);
+  EXPECT_NEAR(t16 / t2, 4.0, 1e-9);  // log2(16)/log2(2)
+}
+
+TEST(ClusterTest, GpuComputeTime) {
+  Cluster c = MakeCluster(1);
+  EXPECT_NEAR(c.GpuComputeTime(2e12), 2.0, 1e-12);
+}
+
+// --- EventQueue -------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  double end = q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) q.ScheduleAfter(1.0, tick);
+  };
+  q.ScheduleAt(0.0, tick);
+  double end = q.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(end, 9.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndResumes) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.ScheduleAt(t, [&fired, t] { fired.push_back(t); });
+  }
+  double reached = q.RunUntil(2.5);
+  EXPECT_DOUBLE_EQ(reached, 2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(q.pending(), 2u);
+  q.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  double when = -1;
+  q.ScheduleAt(5.0, [&] {
+    q.ScheduleAfter(2.0, [&] { when = q.now(); });
+  });
+  q.Run();
+  EXPECT_DOUBLE_EQ(when, 7.0);
+}
+
+}  // namespace
+}  // namespace exearth::sim

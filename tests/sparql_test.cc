@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "geo/wkt.h"
+#include "strabon/sparql.h"
+
+namespace exearth::strabon {
+namespace {
+
+// A small store: 10 stations on a line, each with a type, a temperature
+// and a geometry.
+class SparqlTest : public testing::Test {
+ protected:
+  SparqlTest() {
+    for (int i = 0; i < 10; ++i) {
+      std::string iri = common::StrFormat("http://x/station/%d", i);
+      store_.AddFeature(iri,
+                        geo::Geometry(geo::Point{i * 10.0, 5.0}));
+      store_.triples().Add(
+          rdf::Term::Iri(iri), rdf::Term::Iri(rdf::vocab::kRdfType),
+          rdf::Term::Iri("http://x/ontology#Station"));
+      store_.triples().Add(
+          rdf::Term::Iri(iri), rdf::Term::Iri("http://x/ontology#temp"),
+          rdf::Term::Literal(std::to_string(i * 5),
+                             rdf::vocab::kXsdInteger));
+    }
+    EEA_CHECK(store_.Build().ok());
+  }
+
+  std::string Decode(uint64_t id) {
+    return store_.triples().dict().Decode(id).value;
+  }
+
+  GeoStore store_;
+};
+
+TEST_F(SparqlTest, BasicSelect) {
+  auto rows = ExecuteSparql(store_, R"q(
+    PREFIX ont: <http://x/ontology#>
+    SELECT ?s WHERE { ?s a ont:Station . }
+  )q");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 10u);
+  for (const rdf::Binding& b : *rows) {
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_TRUE(common::StartsWith(Decode(b.at("s")), "http://x/station/"));
+  }
+}
+
+TEST_F(SparqlTest, JoinAndNumericFilter) {
+  auto rows = ExecuteSparql(store_, R"q(
+    PREFIX ont: <http://x/ontology#>
+    SELECT ?s ?t WHERE {
+      ?s a ont:Station .
+      ?s ont:temp ?t .
+      FILTER(?t >= 30)
+    }
+  )q");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 4u);  // temps 30, 35, 40, 45
+}
+
+TEST_F(SparqlTest, StrictComparisons) {
+  auto gt = ExecuteSparql(store_,
+                          "SELECT ?s WHERE { ?s <http://x/ontology#temp> ?t "
+                          ". FILTER(?t > 30) }");
+  ASSERT_TRUE(gt.ok()) << gt.status();
+  EXPECT_EQ(gt->size(), 3u);
+  auto lt = ExecuteSparql(store_,
+                          "SELECT ?s WHERE { ?s <http://x/ontology#temp> ?t "
+                          ". FILTER(?t < 10) }");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->size(), 2u);  // 0 and 5
+  auto eq = ExecuteSparql(store_,
+                          "SELECT ?s WHERE { ?s <http://x/ontology#temp> ?t "
+                          ". FILTER(?t = 25) }");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->size(), 1u);
+  auto ne = ExecuteSparql(store_,
+                          "SELECT ?s WHERE { ?s <http://x/ontology#temp> ?t "
+                          ". FILTER(?t != 25) }");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->size(), 9u);
+}
+
+TEST_F(SparqlTest, SpatialFilterPushdown) {
+  // Stations 0..3 lie within x <= 35.
+  auto rows = ExecuteSparql(store_, R"q(
+    PREFIX ont: <http://x/ontology#>
+    SELECT ?s WHERE {
+      ?s a ont:Station .
+      FILTER(geof:sfIntersects(?s, "POLYGON ((-1 0, 35 0, 35 10, -1 10, -1 0))"))
+    }
+  )q");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  std::set<std::string> names;
+  for (const rdf::Binding& b : *rows) names.insert(Decode(b.at("s")));
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_TRUE(names.count("http://x/station/0"));
+  EXPECT_TRUE(names.count("http://x/station/3"));
+}
+
+TEST_F(SparqlTest, StrdfAliasAndLimit) {
+  auto rows = ExecuteSparql(store_, R"q(
+    SELECT * WHERE {
+      ?s <http://x/ontology#temp> ?t .
+      FILTER(strdf:intersects(?s, "POLYGON ((-1 -1, 100 -1, 100 10, -1 10, -1 -1))"))
+    } LIMIT 3
+  )q");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(SparqlTest, LiteralObjectsAndNumbers) {
+  GeoStore store;
+  store.triples().Add(rdf::Term::Iri("http://x/a"),
+                      rdf::Term::Iri("http://x/name"),
+                      rdf::Term::Literal("alpha"));
+  store.triples().Add(
+      rdf::Term::Iri("http://x/a"), rdf::Term::Iri("http://x/count"),
+      rdf::Term::Literal("7", rdf::vocab::kXsdInteger));
+  ASSERT_TRUE(store.Build().ok());
+  auto by_name = ExecuteSparql(
+      store, "SELECT ?s WHERE { ?s <http://x/name> \"alpha\" . }");
+  ASSERT_TRUE(by_name.ok()) << by_name.status();
+  EXPECT_EQ(by_name->size(), 1u);
+  // Bare numbers parse as typed literals.
+  auto by_count = ExecuteSparql(
+      store, "SELECT ?s WHERE { ?s <http://x/count> 7 . }");
+  ASSERT_TRUE(by_count.ok()) << by_count.status();
+  EXPECT_EQ(by_count->size(), 1u);
+}
+
+TEST_F(SparqlTest, ParseOnlyExposesStructure) {
+  auto parsed = ParseSparql(R"q(
+    PREFIX ont: <http://x/ontology#>
+    SELECT ?s WHERE {
+      ?s a ont:Station .
+      FILTER(geof:sfIntersects(?s, "POINT (1 2)"))
+    } LIMIT 5
+  )q");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query.where.size(), 1u);
+  EXPECT_EQ(parsed->query.limit, 5u);
+  ASSERT_TRUE(parsed->spatial.has_value());
+  EXPECT_EQ(parsed->spatial->variable, "s");
+  EXPECT_TRUE(parsed->spatial->geometry.IsPoint());
+}
+
+TEST_F(SparqlTest, CommentsIgnored) {
+  auto rows = ExecuteSparql(store_, R"q(
+    # this query counts stations
+    SELECT ?s WHERE {
+      ?s a <http://x/ontology#Station> .  # inline comment
+    }
+  )q");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST_F(SparqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSparql("").ok());
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?s ?p ?o . }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?s { ?s ?p ?o . }").ok());  // no WHERE
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p . }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p ?o . } LIMIT x").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?s WHERE { ?s ont:undeclared ?o . }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?s WHERE { ?s ?p ?o . "
+                  "FILTER(geof:sfIntersects(?s, \"NOT WKT\")) }")
+          .ok());
+  // Errors carry positions.
+  auto bad = ParseSparql("SELECT ?s WHERE { ?s ?p ?o . } garbage");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
+}
+
+TEST_F(SparqlTest, DatatypedLiteralWithPnameDatatype) {
+  auto parsed = ParseSparql(R"q(
+    PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+    SELECT ?s WHERE { ?s <http://x/ontology#temp> "25"^^xsd:integer . }
+  )q");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto rows = ExecuteSparql(store_, R"q(
+    PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+    SELECT ?s WHERE { ?s <http://x/ontology#temp> "25"^^xsd:integer . }
+  )q");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+}  // namespace
+}  // namespace exearth::strabon

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "geo/wkt.h"
+#include "strabon/geostore.h"
+#include "strabon/workload.h"
+
+namespace exearth::strabon {
+namespace {
+
+TEST(GeoStoreTest, AddFeatureEmitsWktTriple) {
+  GeoStore store;
+  store.AddFeature("http://x/f1", geo::Geometry(geo::Point{1, 2}));
+  auto built = store.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(*built, 1u);
+  EXPECT_EQ(store.triples().size(), 1u);
+  EXPECT_EQ(store.num_geometries(), 1u);
+}
+
+TEST(GeoStoreTest, BuildFailsOnMalformedWkt) {
+  GeoStore store;
+  store.triples().Add(
+      rdf::Term::Iri("f"), rdf::Term::Iri(rdf::vocab::kAsWkt),
+      rdf::Term::Literal("NOT A GEOMETRY", rdf::vocab::kWktLiteral));
+  EXPECT_FALSE(store.Build().ok());
+}
+
+TEST(GeoStoreTest, SpatialSelectPointsIndexedEqualsScan) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 3000;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kPoint;
+  opt.world_size = 1000.0;
+  opt.seed = 3;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    geo::Box box = RandomSelectionBox(1000.0, 0.01, &rng);
+    auto indexed =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+    auto scanned =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+    EXPECT_EQ(indexed, scanned);
+  }
+}
+
+TEST(GeoStoreTest, SpatialSelectMultiPolygonsIndexedEqualsScan) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 500;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kMultiPolygon;
+  opt.vertices_per_ring = 12;
+  opt.world_size = 1000.0;
+  opt.feature_size = 30.0;
+  opt.seed = 5;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    geo::Box box = RandomSelectionBox(1000.0, 0.02, &rng);
+    auto indexed =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+    auto scanned =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+    EXPECT_EQ(indexed, scanned);
+  }
+}
+
+TEST(GeoStoreTest, IndexedSelectTestsFarFewerCandidates) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 20000;
+  opt.world_size = 100000.0;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::Rng rng(1);
+  geo::Box box = RandomSelectionBox(opt.world_size, 0.001, &rng);
+  store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+  uint64_t indexed_tests = store.last_stats().geometry_tests;
+  store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+  uint64_t scan_tests = store.last_stats().geometry_tests;
+  EXPECT_EQ(scan_tests, 20000u);
+  EXPECT_LT(indexed_tests, scan_tests / 50);
+}
+
+TEST(GeoStoreTest, WithinAndContainsRelations) {
+  GeoStore store;
+  // A small square fully inside the query box; a big square containing it.
+  auto small = geo::ParseWkt("POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))");
+  auto big = geo::ParseWkt("POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))");
+  ASSERT_TRUE(small.ok() && big.ok());
+  store.AddFeature("http://x/small", *small);
+  store.AddFeature("http://x/big", *big);
+  ASSERT_TRUE(store.Build().ok());
+  geo::Box query = geo::Box::Of(5, 5, 20, 20);
+  auto within = store.SpatialSelect(query, SpatialRelation::kWithin, true);
+  ASSERT_EQ(within.size(), 1u);
+  EXPECT_EQ(store.triples().dict().Decode(within[0]).value, "http://x/small");
+  auto contains =
+      store.SpatialSelect(query, SpatialRelation::kContains, true);
+  ASSERT_EQ(contains.size(), 1u);
+  EXPECT_EQ(store.triples().dict().Decode(contains[0]).value, "http://x/big");
+}
+
+TEST(GeoStoreTest, QueryWithSpatialFilterBothPathsAgree) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 2000;
+  opt.world_size = 1000.0;
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("s"), rdf::PatternSlot::Iri(rdf::vocab::kRdfType),
+      rdf::PatternSlot::Iri("http://extremeearth.eu/ontology#Feature")});
+  geo::Box box = geo::Box::Of(100, 100, 300, 300);
+  auto pushed = store.QueryWithSpatialFilter(q, "s", box, true);
+  auto baseline = store.QueryWithSpatialFilter(q, "s", box, false);
+  ASSERT_TRUE(pushed.ok() && baseline.ok());
+  ASSERT_FALSE(pushed->empty());
+  auto key = [](const rdf::Binding& b) { return b.at("s"); };
+  std::set<uint64_t> a, b;
+  for (auto& row : *pushed) a.insert(key(row));
+  for (auto& row : *baseline) b.insert(key(row));
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeoStoreTest, GeometryOf) {
+  GeoStore store;
+  store.AddFeature("http://x/f", geo::Geometry(geo::Point{5, 6}));
+  ASSERT_TRUE(store.Build().ok());
+  auto id = store.triples().dict().Lookup(rdf::Term::Iri("http://x/f"));
+  ASSERT_TRUE(id.has_value());
+  const geo::Geometry* g = store.GeometryOf(*id);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->AsPoint().x, 5);
+  EXPECT_EQ(store.GeometryOf(999999), nullptr);
+}
+
+TEST(WorkloadTest, PointWorkloadShape) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 100;
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  // 1 wkt + 1 type + 1 label per feature.
+  EXPECT_EQ(store.triples().size(), 300u);
+  EXPECT_EQ(store.num_geometries(), 100u);
+}
+
+TEST(WorkloadTest, MultiPolygonVertexBudget) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 10;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kMultiPolygon;
+  opt.vertices_per_ring = 20;
+  opt.polygons_per_multi = 3;
+  opt.with_thematic = false;
+  GeoStore store = MakeGeoWorkload(opt);
+  // Check one geometry's vertex count through the public API.
+  auto subjects = store.SpatialSelect(
+      geo::Box::Of(-1e9, -1e9, 1e9, 1e9), SpatialRelation::kIntersects, false);
+  ASSERT_EQ(subjects.size(), 10u);
+  const geo::Geometry* g = store.GeometryOf(subjects[0]);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->NumVertices(), 60u);
+}
+
+TEST(WorkloadTest, SelectionBoxMatchesSelectivity) {
+  common::Rng rng(2);
+  geo::Box box = RandomSelectionBox(1000.0, 0.04, &rng);
+  EXPECT_NEAR(box.Area() / (1000.0 * 1000.0), 0.04, 1e-9);
+  EXPECT_GE(box.min_x, 0);
+  EXPECT_LE(box.max_x, 1000.0);
+}
+
+TEST(WorkloadTest, RandomPolygonIsSimpleStar) {
+  common::Rng rng(3);
+  geo::Polygon p = RandomPolygon(50, 50, 20, 16, &rng);
+  EXPECT_EQ(p.outer.points.size(), 16u);
+  EXPECT_GT(p.Area(), 0.0);
+  // Center is inside a star-shaped polygon around it.
+  EXPECT_TRUE(p.Contains(geo::Point{50, 50}));
+}
+
+TEST(WorkloadTest, Deterministic) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 50;
+  GeoStore a = MakeGeoWorkload(opt);
+  GeoStore b = MakeGeoWorkload(opt);
+  geo::Box box = geo::Box::Of(0, 0, 50000, 50000);
+  EXPECT_EQ(a.SpatialSelect(box, SpatialRelation::kIntersects, true),
+            b.SpatialSelect(box, SpatialRelation::kIntersects, true));
+}
+
+}  // namespace
+}  // namespace exearth::strabon
