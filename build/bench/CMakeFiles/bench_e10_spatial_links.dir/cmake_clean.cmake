@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_spatial_links.dir/bench_e10_spatial_links.cc.o"
+  "CMakeFiles/bench_e10_spatial_links.dir/bench_e10_spatial_links.cc.o.d"
+  "bench_e10_spatial_links"
+  "bench_e10_spatial_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_spatial_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_federation.dir/bench_e11_federation.cc.o"
+  "CMakeFiles/bench_e11_federation.dir/bench_e11_federation.cc.o.d"
+  "bench_e11_federation"
+  "bench_e11_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_geotriples.dir/bench_e12_geotriples.cc.o"
+  "CMakeFiles/bench_e12_geotriples.dir/bench_e12_geotriples.cc.o.d"
+  "bench_e12_geotriples"
+  "bench_e12_geotriples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_geotriples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_catalogue.dir/bench_e13_catalogue.cc.o"
+  "CMakeFiles/bench_e13_catalogue.dir/bench_e13_catalogue.cc.o.d"
+  "bench_e13_catalogue"
+  "bench_e13_catalogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_catalogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_five_vs.dir/bench_e14_five_vs.cc.o"
+  "CMakeFiles/bench_e14_five_vs.dir/bench_e14_five_vs.cc.o.d"
+  "bench_e14_five_vs"
+  "bench_e14_five_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_five_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

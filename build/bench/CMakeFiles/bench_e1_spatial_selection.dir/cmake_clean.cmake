@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_spatial_selection.dir/bench_e1_spatial_selection.cc.o"
+  "CMakeFiles/bench_e1_spatial_selection.dir/bench_e1_spatial_selection.cc.o.d"
+  "bench_e1_spatial_selection"
+  "bench_e1_spatial_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_spatial_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_multipolygon.dir/bench_e2_multipolygon.cc.o"
+  "CMakeFiles/bench_e2_multipolygon.dir/bench_e2_multipolygon.cc.o.d"
+  "bench_e2_multipolygon"
+  "bench_e2_multipolygon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_multipolygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_small_files.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_scaleout_training.dir/bench_e5_scaleout_training.cc.o"
+  "CMakeFiles/bench_e5_scaleout_training.dir/bench_e5_scaleout_training.cc.o.d"
+  "bench_e5_scaleout_training"
+  "bench_e5_scaleout_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_scaleout_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

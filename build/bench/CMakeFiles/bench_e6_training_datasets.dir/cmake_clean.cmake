@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_training_datasets.dir/bench_e6_training_datasets.cc.o"
+  "CMakeFiles/bench_e6_training_datasets.dir/bench_e6_training_datasets.cc.o.d"
+  "bench_e6_training_datasets"
+  "bench_e6_training_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_training_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_ice_mapping.dir/bench_e8_ice_mapping.cc.o"
+  "CMakeFiles/bench_e8_ice_mapping.dir/bench_e8_ice_mapping.cc.o.d"
+  "bench_e8_ice_mapping"
+  "bench_e8_ice_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_ice_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

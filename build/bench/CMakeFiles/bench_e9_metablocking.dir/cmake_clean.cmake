@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_metablocking.dir/bench_e9_metablocking.cc.o"
+  "CMakeFiles/bench_e9_metablocking.dir/bench_e9_metablocking.cc.o.d"
+  "bench_e9_metablocking"
+  "bench_e9_metablocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_metablocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/food_security.cc" "examples/CMakeFiles/food_security.dir/food_security.cc.o" "gcc" "examples/CMakeFiles/food_security.dir/food_security.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foodsec/CMakeFiles/eea_foodsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/eea_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/strabon/CMakeFiles/eea_strabon.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/eea_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/food_security.dir/food_security.cc.o"
+  "CMakeFiles/food_security.dir/food_security.cc.o.d"
+  "food_security"
+  "food_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/food_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

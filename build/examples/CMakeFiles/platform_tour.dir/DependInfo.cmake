@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/platform_tour.cc" "examples/CMakeFiles/platform_tour.dir/platform_tour.cc.o" "gcc" "examples/CMakeFiles/platform_tour.dir/platform_tour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/eea_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/eea_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eea_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/strabon/CMakeFiles/eea_strabon.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/eea_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/eea_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/eea_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

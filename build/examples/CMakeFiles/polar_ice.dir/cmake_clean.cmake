@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_ice.dir/polar_ice.cc.o"
+  "CMakeFiles/polar_ice.dir/polar_ice.cc.o.d"
+  "polar_ice"
+  "polar_ice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("raster")
+subdirs("sim")
+subdirs("kv")
+subdirs("dfs")
+subdirs("ml")
+subdirs("rdf")
+subdirs("strabon")
+subdirs("etl")
+subdirs("link")
+subdirs("fed")
+subdirs("catalog")
+subdirs("foodsec")
+subdirs("polar")
+subdirs("platform")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_catalog.dir/catalogue.cc.o"
+  "CMakeFiles/eea_catalog.dir/catalogue.cc.o.d"
+  "libeea_catalog.a"
+  "libeea_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

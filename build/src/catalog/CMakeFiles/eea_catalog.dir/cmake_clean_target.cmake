@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeea_catalog.a"
+)

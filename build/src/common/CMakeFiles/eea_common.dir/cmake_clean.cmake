@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_common.dir/logging.cc.o"
+  "CMakeFiles/eea_common.dir/logging.cc.o.d"
+  "CMakeFiles/eea_common.dir/status.cc.o"
+  "CMakeFiles/eea_common.dir/status.cc.o.d"
+  "CMakeFiles/eea_common.dir/string_util.cc.o"
+  "CMakeFiles/eea_common.dir/string_util.cc.o.d"
+  "CMakeFiles/eea_common.dir/thread_pool.cc.o"
+  "CMakeFiles/eea_common.dir/thread_pool.cc.o.d"
+  "libeea_common.a"
+  "libeea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

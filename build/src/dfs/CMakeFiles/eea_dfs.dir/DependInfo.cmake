@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/hdfs_baseline.cc" "src/dfs/CMakeFiles/eea_dfs.dir/hdfs_baseline.cc.o" "gcc" "src/dfs/CMakeFiles/eea_dfs.dir/hdfs_baseline.cc.o.d"
+  "/root/repo/src/dfs/hopsfs.cc" "src/dfs/CMakeFiles/eea_dfs.dir/hopsfs.cc.o" "gcc" "src/dfs/CMakeFiles/eea_dfs.dir/hopsfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/eea_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_dfs.dir/hdfs_baseline.cc.o"
+  "CMakeFiles/eea_dfs.dir/hdfs_baseline.cc.o.d"
+  "CMakeFiles/eea_dfs.dir/hopsfs.cc.o"
+  "CMakeFiles/eea_dfs.dir/hopsfs.cc.o.d"
+  "libeea_dfs.a"
+  "libeea_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

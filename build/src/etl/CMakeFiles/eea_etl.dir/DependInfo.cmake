@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/mapping.cc" "src/etl/CMakeFiles/eea_etl.dir/mapping.cc.o" "gcc" "src/etl/CMakeFiles/eea_etl.dir/mapping.cc.o.d"
+  "/root/repo/src/etl/table.cc" "src/etl/CMakeFiles/eea_etl.dir/table.cc.o" "gcc" "src/etl/CMakeFiles/eea_etl.dir/table.cc.o.d"
+  "/root/repo/src/etl/training_data.cc" "src/etl/CMakeFiles/eea_etl.dir/training_data.cc.o" "gcc" "src/etl/CMakeFiles/eea_etl.dir/training_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/eea_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/eea_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_etl.dir/mapping.cc.o"
+  "CMakeFiles/eea_etl.dir/mapping.cc.o.d"
+  "CMakeFiles/eea_etl.dir/table.cc.o"
+  "CMakeFiles/eea_etl.dir/table.cc.o.d"
+  "CMakeFiles/eea_etl.dir/training_data.cc.o"
+  "CMakeFiles/eea_etl.dir/training_data.cc.o.d"
+  "libeea_etl.a"
+  "libeea_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

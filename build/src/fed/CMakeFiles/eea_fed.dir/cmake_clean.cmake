@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_fed.dir/federation.cc.o"
+  "CMakeFiles/eea_fed.dir/federation.cc.o.d"
+  "libeea_fed.a"
+  "libeea_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

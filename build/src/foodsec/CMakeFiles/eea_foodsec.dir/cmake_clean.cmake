@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_foodsec.dir/fields.cc.o"
+  "CMakeFiles/eea_foodsec.dir/fields.cc.o.d"
+  "CMakeFiles/eea_foodsec.dir/pipeline.cc.o"
+  "CMakeFiles/eea_foodsec.dir/pipeline.cc.o.d"
+  "CMakeFiles/eea_foodsec.dir/timeseries.cc.o"
+  "CMakeFiles/eea_foodsec.dir/timeseries.cc.o.d"
+  "CMakeFiles/eea_foodsec.dir/water.cc.o"
+  "CMakeFiles/eea_foodsec.dir/water.cc.o.d"
+  "libeea_foodsec.a"
+  "libeea_foodsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_foodsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_geo.dir/geometry.cc.o"
+  "CMakeFiles/eea_geo.dir/geometry.cc.o.d"
+  "CMakeFiles/eea_geo.dir/rtree.cc.o"
+  "CMakeFiles/eea_geo.dir/rtree.cc.o.d"
+  "CMakeFiles/eea_geo.dir/simplify.cc.o"
+  "CMakeFiles/eea_geo.dir/simplify.cc.o.d"
+  "CMakeFiles/eea_geo.dir/wkt.cc.o"
+  "CMakeFiles/eea_geo.dir/wkt.cc.o.d"
+  "libeea_geo.a"
+  "libeea_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

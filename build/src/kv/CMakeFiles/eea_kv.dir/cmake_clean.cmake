@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_kv.dir/kvstore.cc.o"
+  "CMakeFiles/eea_kv.dir/kvstore.cc.o.d"
+  "libeea_kv.a"
+  "libeea_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

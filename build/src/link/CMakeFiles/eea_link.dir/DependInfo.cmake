@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/entity_resolution.cc" "src/link/CMakeFiles/eea_link.dir/entity_resolution.cc.o" "gcc" "src/link/CMakeFiles/eea_link.dir/entity_resolution.cc.o.d"
+  "/root/repo/src/link/spatial_links.cc" "src/link/CMakeFiles/eea_link.dir/spatial_links.cc.o" "gcc" "src/link/CMakeFiles/eea_link.dir/spatial_links.cc.o.d"
+  "/root/repo/src/link/temporal_links.cc" "src/link/CMakeFiles/eea_link.dir/temporal_links.cc.o" "gcc" "src/link/CMakeFiles/eea_link.dir/temporal_links.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

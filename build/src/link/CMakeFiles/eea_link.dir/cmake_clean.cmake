@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_link.dir/entity_resolution.cc.o"
+  "CMakeFiles/eea_link.dir/entity_resolution.cc.o.d"
+  "CMakeFiles/eea_link.dir/spatial_links.cc.o"
+  "CMakeFiles/eea_link.dir/spatial_links.cc.o.d"
+  "CMakeFiles/eea_link.dir/temporal_links.cc.o"
+  "CMakeFiles/eea_link.dir/temporal_links.cc.o.d"
+  "libeea_link.a"
+  "libeea_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/distributed.cc" "src/ml/CMakeFiles/eea_ml.dir/distributed.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/distributed.cc.o.d"
+  "/root/repo/src/ml/layers.cc" "src/ml/CMakeFiles/eea_ml.dir/layers.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/layers.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/eea_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/network.cc" "src/ml/CMakeFiles/eea_ml.dir/network.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/network.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/eea_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/tensor.cc" "src/ml/CMakeFiles/eea_ml.dir/tensor.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/tensor.cc.o.d"
+  "/root/repo/src/ml/trainer.cc" "src/ml/CMakeFiles/eea_ml.dir/trainer.cc.o" "gcc" "src/ml/CMakeFiles/eea_ml.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/eea_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_ml.dir/distributed.cc.o"
+  "CMakeFiles/eea_ml.dir/distributed.cc.o.d"
+  "CMakeFiles/eea_ml.dir/layers.cc.o"
+  "CMakeFiles/eea_ml.dir/layers.cc.o.d"
+  "CMakeFiles/eea_ml.dir/metrics.cc.o"
+  "CMakeFiles/eea_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/eea_ml.dir/network.cc.o"
+  "CMakeFiles/eea_ml.dir/network.cc.o.d"
+  "CMakeFiles/eea_ml.dir/optimizer.cc.o"
+  "CMakeFiles/eea_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/eea_ml.dir/tensor.cc.o"
+  "CMakeFiles/eea_ml.dir/tensor.cc.o.d"
+  "CMakeFiles/eea_ml.dir/trainer.cc.o"
+  "CMakeFiles/eea_ml.dir/trainer.cc.o.d"
+  "libeea_ml.a"
+  "libeea_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

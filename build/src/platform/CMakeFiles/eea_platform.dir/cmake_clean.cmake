@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_platform.dir/autoscale.cc.o"
+  "CMakeFiles/eea_platform.dir/autoscale.cc.o.d"
+  "CMakeFiles/eea_platform.dir/ingestion.cc.o"
+  "CMakeFiles/eea_platform.dir/ingestion.cc.o.d"
+  "CMakeFiles/eea_platform.dir/platform.cc.o"
+  "CMakeFiles/eea_platform.dir/platform.cc.o.d"
+  "CMakeFiles/eea_platform.dir/scheduler.cc.o"
+  "CMakeFiles/eea_platform.dir/scheduler.cc.o.d"
+  "libeea_platform.a"
+  "libeea_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

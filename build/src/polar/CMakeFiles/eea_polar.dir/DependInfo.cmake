@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polar/drift.cc" "src/polar/CMakeFiles/eea_polar.dir/drift.cc.o" "gcc" "src/polar/CMakeFiles/eea_polar.dir/drift.cc.o.d"
+  "/root/repo/src/polar/ice_products.cc" "src/polar/CMakeFiles/eea_polar.dir/ice_products.cc.o" "gcc" "src/polar/CMakeFiles/eea_polar.dir/ice_products.cc.o.d"
+  "/root/repo/src/polar/icebergs.cc" "src/polar/CMakeFiles/eea_polar.dir/icebergs.cc.o" "gcc" "src/polar/CMakeFiles/eea_polar.dir/icebergs.cc.o.d"
+  "/root/repo/src/polar/pipeline.cc" "src/polar/CMakeFiles/eea_polar.dir/pipeline.cc.o" "gcc" "src/polar/CMakeFiles/eea_polar.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eea_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/eea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/eea_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/strabon/CMakeFiles/eea_strabon.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/eea_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eea_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_polar.dir/drift.cc.o"
+  "CMakeFiles/eea_polar.dir/drift.cc.o.d"
+  "CMakeFiles/eea_polar.dir/ice_products.cc.o"
+  "CMakeFiles/eea_polar.dir/ice_products.cc.o.d"
+  "CMakeFiles/eea_polar.dir/icebergs.cc.o"
+  "CMakeFiles/eea_polar.dir/icebergs.cc.o.d"
+  "CMakeFiles/eea_polar.dir/pipeline.cc.o"
+  "CMakeFiles/eea_polar.dir/pipeline.cc.o.d"
+  "libeea_polar.a"
+  "libeea_polar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_polar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

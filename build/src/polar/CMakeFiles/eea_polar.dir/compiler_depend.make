@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eea_polar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for eea_polar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/dataset.cc" "src/raster/CMakeFiles/eea_raster.dir/dataset.cc.o" "gcc" "src/raster/CMakeFiles/eea_raster.dir/dataset.cc.o.d"
+  "/root/repo/src/raster/io.cc" "src/raster/CMakeFiles/eea_raster.dir/io.cc.o" "gcc" "src/raster/CMakeFiles/eea_raster.dir/io.cc.o.d"
+  "/root/repo/src/raster/landcover.cc" "src/raster/CMakeFiles/eea_raster.dir/landcover.cc.o" "gcc" "src/raster/CMakeFiles/eea_raster.dir/landcover.cc.o.d"
+  "/root/repo/src/raster/raster.cc" "src/raster/CMakeFiles/eea_raster.dir/raster.cc.o" "gcc" "src/raster/CMakeFiles/eea_raster.dir/raster.cc.o.d"
+  "/root/repo/src/raster/sentinel.cc" "src/raster/CMakeFiles/eea_raster.dir/sentinel.cc.o" "gcc" "src/raster/CMakeFiles/eea_raster.dir/sentinel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eea_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_raster.dir/dataset.cc.o"
+  "CMakeFiles/eea_raster.dir/dataset.cc.o.d"
+  "CMakeFiles/eea_raster.dir/io.cc.o"
+  "CMakeFiles/eea_raster.dir/io.cc.o.d"
+  "CMakeFiles/eea_raster.dir/landcover.cc.o"
+  "CMakeFiles/eea_raster.dir/landcover.cc.o.d"
+  "CMakeFiles/eea_raster.dir/raster.cc.o"
+  "CMakeFiles/eea_raster.dir/raster.cc.o.d"
+  "CMakeFiles/eea_raster.dir/sentinel.cc.o"
+  "CMakeFiles/eea_raster.dir/sentinel.cc.o.d"
+  "libeea_raster.a"
+  "libeea_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

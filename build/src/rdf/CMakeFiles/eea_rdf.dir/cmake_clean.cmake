@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/eea_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/eea_rdf.dir/query.cc.o"
+  "CMakeFiles/eea_rdf.dir/query.cc.o.d"
+  "CMakeFiles/eea_rdf.dir/term.cc.o"
+  "CMakeFiles/eea_rdf.dir/term.cc.o.d"
+  "CMakeFiles/eea_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/eea_rdf.dir/triple_store.cc.o.d"
+  "libeea_rdf.a"
+  "libeea_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_sim.dir/cluster.cc.o"
+  "CMakeFiles/eea_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/eea_sim.dir/event_queue.cc.o"
+  "CMakeFiles/eea_sim.dir/event_queue.cc.o.d"
+  "libeea_sim.a"
+  "libeea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eea_strabon.dir/geostore.cc.o"
+  "CMakeFiles/eea_strabon.dir/geostore.cc.o.d"
+  "CMakeFiles/eea_strabon.dir/sparql.cc.o"
+  "CMakeFiles/eea_strabon.dir/sparql.cc.o.d"
+  "CMakeFiles/eea_strabon.dir/workload.cc.o"
+  "CMakeFiles/eea_strabon.dir/workload.cc.o.d"
+  "libeea_strabon.a"
+  "libeea_strabon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eea_strabon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foodsec_test.dir/foodsec_test.cc.o"
+  "CMakeFiles/foodsec_test.dir/foodsec_test.cc.o.d"
+  "foodsec_test"
+  "foodsec_test.pdb"
+  "foodsec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foodsec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

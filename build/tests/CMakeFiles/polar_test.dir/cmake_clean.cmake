@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_test.dir/polar_test.cc.o"
+  "CMakeFiles/polar_test.dir/polar_test.cc.o.d"
+  "polar_test"
+  "polar_test.pdb"
+  "polar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

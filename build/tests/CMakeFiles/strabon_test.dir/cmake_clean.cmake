@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strabon_test.dir/strabon_test.cc.o"
+  "CMakeFiles/strabon_test.dir/strabon_test.cc.o.d"
+  "strabon_test"
+  "strabon_test.pdb"
+  "strabon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strabon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
