@@ -117,4 +117,5 @@ BENCHMARK(BM_TemporalLinkDiscovery)
     ->Args({10000, 0})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -127,4 +127,5 @@ BENCHMARK(BM_FederatedQuery)
     ->Args({12, 0, 0})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -95,4 +95,5 @@ BENCHMARK(BM_GeoTriplesMapping)
     ->Args({100000, 2, 0})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

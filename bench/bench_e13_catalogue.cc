@@ -139,4 +139,5 @@ BENCHMARK(BM_CatalogueSemanticCount)
 
 BENCHMARK(BM_TrillionRecordExtrapolation);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -96,4 +96,5 @@ BENCHMARK(BM_FiveVsDay)
     ->Arg(8)   // saturates the fixed 10 TB/day processing capacity
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

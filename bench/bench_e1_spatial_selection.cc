@@ -82,4 +82,5 @@ BENCHMARK(BM_SpatialSelection)
     ->Args({300000, 0})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -77,4 +77,5 @@ BENCHMARK(BM_MultiPolygonSelection)
     ->Args({128, 0})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

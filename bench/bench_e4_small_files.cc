@@ -85,4 +85,5 @@ BENCHMARK(BM_SmallFileCreateRead)
     ->Args({1 << 20, 0})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -151,4 +151,5 @@ BENCHMARK(BM_LargeBatchRecipe)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

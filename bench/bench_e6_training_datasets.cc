@@ -102,4 +102,5 @@ BENCHMARK(BM_DatasetEnlargement)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

@@ -100,4 +100,5 @@ BENCHMARK(BM_PcdssEncoding)
     ->Arg(512)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

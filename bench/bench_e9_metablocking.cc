@@ -109,4 +109,5 @@ BENCHMARK(BM_MetaBlocking)
     ->Args({10000, 1, 1})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() comes from bench_main.cc (adds --smoke and the
+// metrics-snapshot JSON dump).

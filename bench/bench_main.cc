@@ -1,0 +1,71 @@
+// Shared main() for every bench_e* binary (replaces BENCHMARK_MAIN).
+//
+// Extra flags, stripped before google-benchmark sees argv:
+//   --smoke               fast CI mode: minimal measurement time, one
+//                         repetition — proves the bench still runs
+//   --metrics_out=<path>  where to write the metrics snapshot
+//                         (default: <binary>.metrics.json next to argv[0])
+//
+// After the benchmarks run, the process-wide MetricsRegistry and span
+// Tracer are dumped as one JSON document so every bench run leaves a
+// machine-diffable record of what the instrumented subsystems did (see
+// README "Observability" for the schema).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string metrics_out;
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics_out=").size());
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (smoke) {
+    // benchmark 1.7 takes min_time as seconds; with 1ms each benchmark
+    // case settles after a handful of iterations.
+    args.push_back("--benchmark_min_time=0.001");
+    args.push_back("--benchmark_repetitions=1");
+  }
+
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (metrics_out.empty()) {
+    metrics_out = std::string(argv[0]) + ".metrics.json";
+  }
+  const std::string json =
+      "{\n\"metrics\": " + exearth::common::MetricsRegistry::Default().ToJson() +
+      ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() + "\n}\n";
+  std::ofstream out(metrics_out);
+  if (!out) {
+    std::fprintf(stderr, "failed to open metrics output %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fprintf(stderr, "metrics snapshot: %s\n", metrics_out.c_str());
+  return 0;
+}

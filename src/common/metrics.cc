@@ -1,0 +1,265 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::common {
+
+namespace {
+
+// Relaxed compare-exchange accumulate for atomic<double> (fetch_add on
+// floating atomics is C++20 but not universally lock-free; CAS is).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+// Formats a double compactly: integers without trailing ".000000".
+std::string NumToJson(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.6g", v);
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+void Gauge::Max(double v) { AtomicMax(&value_, v); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  EEA_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    EEA_CHECK(bounds_[i] > bounds_[i - 1])
+        << "histogram bounds must be strictly increasing";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  return ExponentialBounds(1.0, 2.0, 24);  // 1us .. ~8.4s
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  EEA_CHECK(start > 0 && factor > 1.0 && count > 0);
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; everything above the last bound overflows.
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based; p=0 maps to rank 1.
+  const double target = std::max(1.0, p / 100.0 * static_cast<double>(n));
+  uint64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const uint64_t prev = cum;
+    cum += in_bucket;
+    if (static_cast<double>(cum) >= target) {
+      // Interpolate within [lower, upper]. The first bucket starts at the
+      // smallest observation; the overflow bucket ends at the largest.
+      double lower = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
+      double upper = i < bounds_.size() ? bounds_[i] : std::max(max(), lower);
+      lower = std::max(lower, min());
+      upper = std::min(upper, max());
+      if (upper <= lower) return upper;
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsUs();
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                     JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c->value()));
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",",
+                     JsonEscape(name).c_str(), NumToJson(g->value()).c_str());
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"buckets\": [",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h->count()),
+        NumToJson(h->sum()).c_str(), NumToJson(h->min()).c_str(),
+        NumToJson(h->max()).c_str(), NumToJson(h->Percentile(50)).c_str(),
+        NumToJson(h->Percentile(95)).c_str(),
+        NumToJson(h->Percentile(99)).c_str());
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      const std::string le =
+          i < bounds.size() ? "\"" + NumToJson(bounds[i]) + "\"" : "\"+Inf\"";
+      out += StrFormat("{\"le\": %s, \"count\": %llu}", le.c_str(),
+                       static_cast<unsigned long long>(h->bucket_count(i)));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace exearth::common

@@ -1,0 +1,136 @@
+#include "common/trace.h"
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace exearth::common {
+
+namespace trace_internal {
+
+ThreadTraceState::ThreadTraceState(Tracer* t) : tracer(t) {
+  tracer->RegisterThread(this);
+}
+
+ThreadTraceState::~ThreadTraceState() { tracer->RetireThread(this); }
+
+}  // namespace trace_internal
+
+using trace_internal::TraceNode;
+using trace_internal::ThreadTraceState;
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // never freed: threads may outlive
+  return *tracer;
+}
+
+void Tracer::RegisterThread(ThreadTraceState* state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.insert(state);
+}
+
+namespace {
+
+// Folds `src`'s counts and children into the tree under `dst`; caller
+// holds the tracer mutex.
+void MergeTree(const TraceNode& src, TraceNode* dst) {
+  dst->count.fetch_add(src.count.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  dst->total_ns.fetch_add(src.total_ns.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  for (const auto& [name, child] : src.children) {
+    auto [it, inserted] = dst->children.emplace(name, nullptr);
+    if (inserted) it->second = std::make_unique<TraceNode>(name);
+    MergeTree(*child, it->second.get());
+  }
+}
+
+std::string NodeToJson(const TraceNode& node, int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = StrFormat(
+      "%s{\"name\": \"%s\", \"count\": %llu, \"total_us\": %.3f",
+      pad.c_str(), JsonEscape(node.name).c_str(),
+      static_cast<unsigned long long>(
+          node.count.load(std::memory_order_relaxed)),
+      static_cast<double>(node.total_ns.load(std::memory_order_relaxed)) /
+          1000.0);
+  if (!node.children.empty()) {
+    out += ", \"children\": [\n";
+    bool first = true;
+    for (const auto& [name, child] : node.children) {
+      if (!first) out += ",\n";
+      out += NodeToJson(*child, indent + 1);
+      first = false;
+    }
+    out += "\n" + pad + "]";
+  }
+  out += "}";
+  return out;
+}
+
+void ZeroTree(TraceNode* node) {
+  node->count.store(0, std::memory_order_relaxed);
+  node->total_ns.store(0, std::memory_order_relaxed);
+  for (auto& [name, child] : node->children) ZeroTree(child.get());
+}
+
+}  // namespace
+
+void Tracer::RetireThread(ThreadTraceState* state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeTree(state->root, &retired_);
+  live_.erase(state);
+}
+
+TraceNode* Tracer::Child(TraceNode* parent, const char* name) {
+  // The owning thread is the only structural mutator of its tree, so a
+  // lock-free lookup is safe; inserts take the mutex to serialize against
+  // export traversals.
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) return it->second.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it2, inserted] = parent->children.emplace(name, nullptr);
+  if (inserted) it2->second = std::make_unique<TraceNode>(name);
+  return it2->second.get();
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge retired + live trees into one aggregate keyed by path.
+  TraceNode merged("root");
+  MergeTree(retired_, &merged);
+  for (const ThreadTraceState* state : live_) {
+    MergeTree(state->root, &merged);
+  }
+  return NodeToJson(merged, 0);
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.children.clear();
+  retired_.count.store(0, std::memory_order_relaxed);
+  retired_.total_ns.store(0, std::memory_order_relaxed);
+  // Live threads hold pointers into their trees, so zero in place rather
+  // than deleting nodes.
+  for (ThreadTraceState* state : live_) ZeroTree(&state->root);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  thread_local ThreadTraceState state(&Tracer::Default());
+  state_ = &state;
+  parent_ = state_->current;
+  node_ = state_->tracer->Child(parent_, name);
+  state_->current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  node_->total_ns.fetch_add(static_cast<uint64_t>(ns),
+                            std::memory_order_relaxed);
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  state_->current = parent_;
+}
+
+}  // namespace exearth::common

@@ -1,0 +1,112 @@
+// RAII trace spans recording nested timing trees.
+//
+// A TraceSpan marks a named scope; nested spans on the same thread become
+// children of the enclosing span. Timings are *aggregated by path*: every
+// execution of the same name-path accumulates into one node (count +
+// total time), so the tree stays bounded no matter how many times a hot
+// path runs. Trees from all threads merge by path on export.
+//
+//   void HandleQuery() {
+//     common::TraceSpan span("strabon.SpatialSelect");
+//     ...
+//     { common::TraceSpan probe("index_probe"); ... }
+//   }
+//
+// Hot-path cost: two steady_clock reads plus relaxed atomic adds. The
+// tracer mutex is taken only the first time a thread sees a new path and
+// during export/reset.
+
+#ifndef EXEARTH_COMMON_TRACE_H_
+#define EXEARTH_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace exearth::common {
+
+class Tracer;
+
+namespace trace_internal {
+
+/// One aggregated node of the span tree. count/total_ns are written by the
+/// owning thread and read during export, hence atomic.
+struct TraceNode {
+  explicit TraceNode(std::string n) : name(std::move(n)) {}
+  std::string name;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  // Structure mutations (insert) and export traversals are serialized by
+  // the tracer mutex; the owning thread may read lock-free.
+  std::map<std::string, std::unique_ptr<TraceNode>> children;
+};
+
+/// Per-thread span state; registers with the tracer on first span and
+/// merges its tree into the tracer's retired tree at thread exit.
+struct ThreadTraceState {
+  explicit ThreadTraceState(Tracer* tracer);
+  ~ThreadTraceState();
+  Tracer* tracer;
+  TraceNode root{"root"};
+  TraceNode* current = &root;
+};
+
+}  // namespace trace_internal
+
+/// Process-wide collector of aggregated span trees.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer TraceSpan records into (never destroyed).
+  static Tracer& Default();
+
+  /// JSON tree merged across all threads (live and exited):
+  ///   {"name": "root", "count": N, "total_us": T, "children": [...]}
+  std::string ToJson() const;
+
+  /// Drops all recorded timings. Spans still open on other threads keep
+  /// recording into their (now zeroed) nodes.
+  void Reset();
+
+ private:
+  friend struct trace_internal::ThreadTraceState;
+  friend class TraceSpan;
+
+  void RegisterThread(trace_internal::ThreadTraceState* state);
+  void RetireThread(trace_internal::ThreadTraceState* state);
+  /// Finds or creates `parent`'s child named `name` (locks only on create).
+  trace_internal::TraceNode* Child(trace_internal::TraceNode* parent,
+                                   const char* name);
+
+  mutable std::mutex mu_;
+  std::set<trace_internal::ThreadTraceState*> live_;
+  trace_internal::TraceNode retired_{"root"};
+};
+
+/// RAII scope: charges its wall-clock lifetime to the node at the current
+/// thread's span path. `name` must outlive the span (string literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  trace_internal::ThreadTraceState* state_;
+  trace_internal::TraceNode* parent_;
+  trace_internal::TraceNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_TRACE_H_

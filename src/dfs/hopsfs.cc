@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace exearth::dfs {
 
@@ -96,6 +98,49 @@ std::string BlockKey(int64_t inode_id, int index) {
                            static_cast<long long>(inode_id), index);
 }
 
+// Shared metric handles for the metadata hot path.
+struct DfsMetrics {
+  common::Counter* ops;
+  common::Counter* txn_retries;
+  common::Counter* files_created;
+  common::Counter* small_files_inline;
+  common::Histogram* op_latency_us;
+
+  static const DfsMetrics& Get() {
+    static DfsMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return DfsMetrics{
+          reg.GetCounter("dfs.metadata.ops"),
+          reg.GetCounter("dfs.metadata.txn_retries"),
+          reg.GetCounter("dfs.files_created"),
+          reg.GetCounter("dfs.small_files_inline"),
+          reg.GetHistogram("dfs.metadata.op_latency_us"),
+      };
+    }();
+    return m;
+  }
+};
+
+// Per-operation instrumentation: one relaxed increment for the op class,
+// one for the total throughput counter, a latency observation and a trace
+// span. `op_counter` is the call site's cached per-op counter.
+class MetadataOpScope {
+ public:
+  MetadataOpScope(const char* span_name, common::Counter* op_counter)
+      : span_(span_name), timer_(DfsMetrics::Get().op_latency_us) {
+    DfsMetrics::Get().ops->Increment();
+    op_counter->Increment();
+  }
+
+ private:
+  common::TraceSpan span_;
+  common::ScopedLatencyTimer timer_;
+};
+
+common::Counter* OpCounter(const char* name) {
+  return common::MetricsRegistry::Default().GetCounter(name);
+}
+
 // Runs `fn` in a transaction with transparent retry on conflicts.
 template <typename Fn>
 Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
@@ -113,6 +158,7 @@ Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
     if (!s.IsAborted()) return s;
     last = s;
     cluster->CountRetry();
+    DfsMetrics::Get().txn_retries->Increment();
     // Exponential backoff avoids retry starvation under heavy contention.
     std::this_thread::sleep_for(
         std::chrono::microseconds(1ULL << std::min(attempt, 10)));
@@ -171,6 +217,8 @@ Result<int64_t> HopsFsNameNode::ResolveParent(kv::Transaction* txn,
 }
 
 Status HopsFsNameNode::Mkdir(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.mkdir");
+  MetadataOpScope scope("dfs.Mkdir", ops);
   return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
@@ -190,6 +238,8 @@ Status HopsFsNameNode::Create(const std::string& path, uint64_t size_bytes,
     return Status::InvalidArgument("data size mismatch");
   }
   const auto& opt = cluster_->options();
+  static common::Counter* ops = OpCounter("dfs.ops.create");
+  MetadataOpScope scope("dfs.Create", ops);
   return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
@@ -200,7 +250,9 @@ Status HopsFsNameNode::Create(const std::string& path, uint64_t size_bytes,
     row.id = cluster_->AllocateInodeId();
     row.size = size_bytes;
     row.inline_data = size_bytes <= opt.inline_threshold_bytes;
+    DfsMetrics::Get().files_created->Increment();
     if (row.inline_data) {
+      DfsMetrics::Get().small_files_inline->Increment();
       row.blocks = 0;
       row.inline_content = data;
     } else {
@@ -222,6 +274,8 @@ Status HopsFsNameNode::Create(const std::string& path, uint64_t size_bytes,
 }
 
 Result<FileInfo> HopsFsNameNode::GetFileInfo(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.stat");
+  MetadataOpScope scope("dfs.GetFileInfo", ops);
   FileInfo info;
   Status s = RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
@@ -246,6 +300,8 @@ Result<FileInfo> HopsFsNameNode::GetFileInfo(const std::string& path) {
 }
 
 Result<std::vector<std::string>> HopsFsNameNode::List(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.list");
+  MetadataOpScope scope("dfs.List", ops);
   EEA_ASSIGN_OR_RETURN(FileInfo info, GetFileInfo(path));
   if (!info.is_directory) {
     return Status::FailedPrecondition(path + " is not a directory");
@@ -259,6 +315,8 @@ Result<std::vector<std::string>> HopsFsNameNode::List(const std::string& path) {
 }
 
 Status HopsFsNameNode::Remove(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.remove");
+  MetadataOpScope scope("dfs.Remove", ops);
   return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
@@ -281,6 +339,8 @@ Status HopsFsNameNode::Remove(const std::string& path) {
 }
 
 Result<std::string> HopsFsNameNode::ReadFile(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.read");
+  MetadataOpScope scope("dfs.ReadFile", ops);
   std::string out;
   Status s = RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     std::string leaf;
@@ -310,6 +370,8 @@ Result<std::string> HopsFsNameNode::ReadFile(const std::string& path) {
 
 
 Status HopsFsNameNode::Rename(const std::string& from, const std::string& to) {
+  static common::Counter* ops = OpCounter("dfs.ops.rename");
+  MetadataOpScope scope("dfs.Rename", ops);
   return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
     std::string from_leaf;
     EEA_ASSIGN_OR_RETURN(int64_t from_parent,
@@ -359,6 +421,8 @@ void CollectSubtree(kv::KvStore* store, int64_t dir_id,
 }  // namespace
 
 Status HopsFsNameNode::RemoveRecursive(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.remove_recursive");
+  MetadataOpScope scope("dfs.RemoveRecursive", ops);
   // Resolve the root of the subtree first (one transaction), then delete
   // the collected rows (a second transaction). Between the two, concurrent
   // creates under the subtree can be lost-and-recreated, matching the
@@ -390,6 +454,8 @@ Status HopsFsNameNode::RemoveRecursive(const std::string& path) {
 }
 
 common::Result<uint64_t> HopsFsNameNode::DiskUsage(const std::string& path) {
+  static common::Counter* ops = OpCounter("dfs.ops.disk_usage");
+  MetadataOpScope scope("dfs.DiskUsage", ops);
   EEA_ASSIGN_OR_RETURN(FileInfo info, GetFileInfo(path));
   if (!info.is_directory) return info.size_bytes;
   std::vector<std::string> keys;

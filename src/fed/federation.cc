@@ -5,11 +5,40 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace exearth::fed {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+// Cached handles for the mediator's fan-out hot path.
+struct FedMetrics {
+  common::Counter* queries;
+  common::Counter* subqueries;
+  common::Counter* rows_transferred;
+  common::Histogram* query_latency_us;
+  common::Histogram* endpoint_call_latency_us;
+
+  static const FedMetrics& Get() {
+    static FedMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return FedMetrics{
+          reg.GetCounter("fed.queries"),
+          reg.GetCounter("fed.subqueries"),
+          reg.GetCounter("fed.rows_transferred"),
+          reg.GetHistogram("fed.query_latency_us"),
+          reg.GetHistogram("fed.endpoint_call_latency_us"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Endpoint::Endpoint(std::string name, rdf::TripleStore store)
     : name_(std::move(name)), store_(std::move(store)) {
@@ -118,6 +147,10 @@ std::string PatternKey(const rdf::TriplePattern& p) {
 Result<std::vector<FedBinding>> FederationEngine::Execute(
     const rdf::Query& query, const FederationOptions& options,
     const std::vector<FedFilter>& filters) const {
+  const FedMetrics& metrics = FedMetrics::Get();
+  common::TraceSpan span("fed.Execute");
+  common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
+  metrics.queries->Increment();
   stats_ = FederationStats{};
   if (query.where.empty()) {
     return Status::InvalidArgument("empty basic graph pattern");
@@ -176,9 +209,18 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
     std::vector<FedBinding> rows;
     for (const Endpoint* e : SelectSources(pattern, options)) {
       ++stats_.subqueries_sent;
+      metrics.subqueries->Increment();
       contacted.insert(e);
-      auto endpoint_rows = e->ExecutePattern(pattern);
+      std::vector<FedBinding> endpoint_rows;
+      {
+        // Per-source fan-out latency: one observation per remote call.
+        common::TraceSpan call_span("endpoint_call");
+        common::ScopedLatencyTimer call_timer(
+            metrics.endpoint_call_latency_us);
+        endpoint_rows = e->ExecutePattern(pattern);
+      }
       stats_.rows_transferred += endpoint_rows.size();
+      metrics.rows_transferred->Increment(endpoint_rows.size());
       for (auto& row : endpoint_rows) rows.push_back(std::move(row));
     }
     return memo.emplace(key, std::move(rows)).first->second;

@@ -3,8 +3,56 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace exearth::ml {
+
+namespace {
+
+// Cached handles for the per-step hot path. Simulated durations are
+// recorded in simulated microseconds so the same histogram scale works
+// for wall-clock and cluster-clock latencies.
+struct DistMetrics {
+  common::Counter* steps;
+  common::Counter* sync_bytes_moved;
+  common::Histogram* step_sim_us;
+  common::Histogram* allreduce_sim_us;
+  common::Histogram* parameter_server_sim_us;
+  common::Histogram* step_wall_us;
+
+  static const DistMetrics& Get() {
+    static DistMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return DistMetrics{
+          reg.GetCounter("ml.distributed.steps"),
+          reg.GetCounter("ml.distributed.sync_bytes_moved"),
+          reg.GetHistogram("ml.distributed.step_sim_us"),
+          reg.GetHistogram("ml.distributed.allreduce_sim_us"),
+          reg.GetHistogram("ml.distributed.parameter_server_sim_us"),
+          reg.GetHistogram("ml.distributed.step_wall_us"),
+      };
+    }();
+    return m;
+  }
+};
+
+// Total bytes crossing the network for one gradient synchronization.
+uint64_t SyncBytesMoved(SyncStrategy strategy, uint64_t gradient_bytes,
+                        int workers) {
+  if (workers <= 1) return 0;
+  switch (strategy) {
+    case SyncStrategy::kRingAllReduce:
+      // Each of W workers ships 2*(W-1)/W of the gradient.
+      return 2 * static_cast<uint64_t>(workers - 1) * gradient_bytes;
+    case SyncStrategy::kParameterServer:
+      // Every worker pushes gradients and pulls parameters.
+      return 2 * static_cast<uint64_t>(workers) * gradient_bytes;
+  }
+  return 0;
+}
+
+}  // namespace
 
 const char* SyncStrategyName(SyncStrategy s) {
   switch (s) {
@@ -61,6 +109,8 @@ double DataParallelTrainer::SyncTime(uint64_t gradient_bytes) const {
 }
 
 DistributedEpochStats DataParallelTrainer::TrainEpoch(raster::Dataset* ds) {
+  common::TraceSpan epoch_span("ml.TrainEpoch");
+  const DistMetrics& metrics = DistMetrics::Get();
   ds->Shuffle(&rng_);
   DistributedEpochStats stats;
   const size_t n = ds->samples.size();
@@ -83,6 +133,8 @@ DistributedEpochStats DataParallelTrainer::TrainEpoch(raster::Dataset* ds) {
                                   ? options_.gradient_bytes_override
                                   : network_->GradientBytes();
   for (size_t begin = 0; begin < n; begin += global_bs) {
+    common::TraceSpan step_span("step");
+    common::ScopedLatencyTimer step_wall(metrics.step_wall_us);
     const size_t end = std::min(n, begin + global_bs);
     optimizer_.set_learning_rate(schedule.LearningRate(global_step_));
     network_->ZeroGrads();
@@ -130,6 +182,17 @@ DistributedEpochStats DataParallelTrainer::TrainEpoch(raster::Dataset* ds) {
     const double comm = active_workers > 1 ? SyncTime(grad_bytes) : 0.0;
     stats.sim_compute_seconds += compute;
     stats.sim_comm_seconds += comm;
+    metrics.steps->Increment();
+    metrics.step_sim_us->Observe((compute + comm) * 1e6);
+    if (active_workers > 1) {
+      common::Histogram* sync_hist =
+          options_.strategy == SyncStrategy::kRingAllReduce
+              ? metrics.allreduce_sim_us
+              : metrics.parameter_server_sim_us;
+      sync_hist->Observe(comm * 1e6);
+      metrics.sync_bytes_moved->Increment(
+          SyncBytesMoved(options_.strategy, grad_bytes, active_workers));
+    }
   }
   total_compute_seconds_ += stats.sim_compute_seconds;
   total_comm_seconds_ += stats.sim_comm_seconds;

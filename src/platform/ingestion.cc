@@ -4,13 +4,44 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace exearth::platform {
 
 using common::Result;
 using common::Status;
 
+namespace {
+
+struct IngestionMetrics {
+  common::Counter* runs;
+  common::Counter* products_ingested;
+  common::Gauge* peak_backlog_gb;
+  common::Histogram* product_gb;
+
+  static const IngestionMetrics& Get() {
+    static IngestionMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return IngestionMetrics{
+          reg.GetCounter("platform.ingestion.runs"),
+          reg.GetCounter("platform.ingestion.products_ingested"),
+          reg.GetGauge("platform.ingestion.peak_backlog_gb"),
+          reg.GetHistogram("platform.ingestion.product_gb",
+                           common::Histogram::ExponentialBounds(0.125, 2.0,
+                                                                12)),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
+  const IngestionMetrics& metrics = IngestionMetrics::Get();
+  common::TraceSpan span("platform.SimulateIngestion");
+  metrics.runs->Increment();
   if (options.products_per_day <= 0 || options.mean_product_gb <= 0 ||
       options.days <= 0) {
     return Status::InvalidArgument("rates and duration must be positive");
@@ -37,6 +68,8 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
     int64_t downloads = rng.Poisson(options.mean_downloads_per_product);
     clock.ScheduleAt(t, [&, size_gb, downloads] {
       ++report.products_ingested;
+      metrics.products_ingested->Increment();
+      metrics.product_gb->Observe(size_gb);
       report.ingested_gb += size_gb;
       report.disseminated_gb += size_gb * static_cast<double>(downloads);
       // Enqueue for processing.
@@ -46,6 +79,7 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
       backlog_gb += size_gb;
       report.max_processing_backlog_gb =
           std::max(report.max_processing_backlog_gb, backlog_gb);
+      metrics.peak_backlog_gb->Max(backlog_gb);
       clock.ScheduleAt(processor_free_at, [&, size_gb] {
         backlog_gb -= size_gb;
         ++report.products_processed;

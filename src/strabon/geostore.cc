@@ -3,12 +3,46 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "geo/wkt.h"
 
 namespace exearth::strabon {
 
 using common::Result;
 using common::Status;
+
+namespace {
+
+// Cached metric handles (registration locks; increments are relaxed
+// atomics — see common/metrics.h).
+struct GeoStoreMetrics {
+  common::Counter* queries;
+  common::Counter* results;
+  common::Counter* index_probes;
+  common::Histogram* query_latency_us;
+  common::Histogram* probe_latency_us;
+  common::Histogram* result_cardinality;
+
+  static const GeoStoreMetrics& Get() {
+    static GeoStoreMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return GeoStoreMetrics{
+          reg.GetCounter("strabon.geostore.queries"),
+          reg.GetCounter("strabon.geostore.results"),
+          reg.GetCounter("strabon.geostore.index_probes"),
+          reg.GetHistogram("strabon.geostore.query_latency_us"),
+          reg.GetHistogram("strabon.geostore.index_probe_latency_us"),
+          reg.GetHistogram(
+              "strabon.geostore.result_cardinality",
+              common::Histogram::ExponentialBounds(1.0, 4.0, 16)),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void GeoStore::AddFeature(const std::string& subject_iri,
                           const geo::Geometry& geom) {
@@ -71,10 +105,17 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
                                               SpatialRelation relation,
                                               bool use_index) const {
   EEA_CHECK(spatial_built_) << "SpatialSelect before Build()";
+  const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
+  common::TraceSpan span("strabon.SpatialSelect");
+  common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
+  metrics.queries->Increment();
   stats_ = SpatialQueryStats{};
   std::vector<uint64_t> out;
   if (use_index) {
     // R-tree candidates, then exact test.
+    common::TraceSpan probe_span("index_probe");
+    common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
+    metrics.index_probes->Increment();
     rtree_.Visit(query, [&](const geo::RTree::Entry& e) {
       ++stats_.candidates;
       auto it = geometries_.find(static_cast<uint64_t>(e.id));
@@ -95,6 +136,8 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
   }
   std::sort(out.begin(), out.end());
   stats_.results = out.size();
+  metrics.results->Increment(out.size());
+  metrics.result_cardinality->Observe(static_cast<double>(out.size()));
   return out;
 }
 
@@ -102,6 +145,10 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     const rdf::Query& query, const std::string& subject_var,
     const geo::Box& query_box, bool use_index) const {
   EEA_CHECK(spatial_built_) << "spatial query before Build()";
+  common::TraceSpan span("strabon.QueryWithSpatialFilter");
+  common::ScopedLatencyTimer query_timer(
+      GeoStoreMetrics::Get().query_latency_us);
+  GeoStoreMetrics::Get().queries->Increment();
   rdf::QueryEngine engine(&store_);
   if (use_index) {
     // Pushdown: compute the spatial candidates first, then restrict the
@@ -160,6 +207,10 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
     const std::string& class_a_iri, const std::string& class_b_iri,
     SpatialRelation relation, bool use_index) const {
   EEA_CHECK(spatial_built_) << "SpatialJoin before Build()";
+  const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
+  common::TraceSpan span("strabon.SpatialJoin");
+  common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
+  metrics.queries->Increment();
   stats_ = SpatialQueryStats{};
   // Members of a class that carry geometry.
   auto members_of = [&](const std::string& class_iri) {
@@ -210,6 +261,8 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
   }
   std::sort(out.begin(), out.end());
   stats_.results = out.size();
+  metrics.results->Increment(out.size());
+  metrics.result_cardinality->Observe(static_cast<double>(out.size()));
   return out;
 }
 
