@@ -10,6 +10,7 @@
 
 #include <map>
 
+#include "bench_flags.h"
 #include "common/rng.h"
 #include "link/spatial_links.h"
 #include "link/temporal_links.h"
@@ -45,10 +46,13 @@ void BM_SpatialLinkDiscovery(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const bool use_index = state.range(1) != 0;
   const bool distance_join = state.range(2) != 0;
+  const int threads =
+      exearth::bench::EffectiveThreads(static_cast<int>(state.range(3)));
   auto& a = CachedPolygons(n, 31);
   auto& b = CachedPolygons(n, 37);
   eea::link::SpatialLinkOptions opt;
   opt.use_index = use_index;
+  opt.num_threads = static_cast<size_t>(threads);
   if (distance_join) {
     opt.relation = eea::link::SpatialLinkRelation::kWithinDistance;
     opt.distance = 50.0;
@@ -64,6 +68,7 @@ void BM_SpatialLinkDiscovery(benchmark::State& state) {
   state.counters["links"] = static_cast<double>(links);
   state.counters["exact_tests"] = static_cast<double>(tests);
   state.counters["pairs"] = static_cast<double>(n) * n;
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 // The paper also cites the *temporal* extension of Silk: Allen-relation
@@ -98,15 +103,17 @@ void BM_TemporalLinkDiscovery(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_SpatialLinkDiscovery)
-    ->ArgNames({"n", "indexed", "distance"})
-    ->Args({500, 1, 0})
-    ->Args({500, 0, 0})
-    ->Args({2000, 1, 0})
-    ->Args({2000, 0, 0})
-    ->Args({8000, 1, 0})
-    ->Args({8000, 0, 0})
-    ->Args({2000, 1, 1})
-    ->Args({2000, 0, 1})
+    ->ArgNames({"n", "indexed", "distance", "threads"})
+    ->Args({500, 1, 0, 1})
+    ->Args({500, 0, 0, 1})
+    ->Args({2000, 1, 0, 1})
+    ->Args({2000, 0, 0, 1})
+    ->Args({8000, 1, 0, 1})
+    ->Args({8000, 0, 0, 1})
+    ->Args({8000, 1, 0, 4})
+    ->Args({2000, 1, 1, 1})
+    ->Args({2000, 0, 1, 1})
+    ->Args({2000, 1, 1, 4})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_TemporalLinkDiscovery)

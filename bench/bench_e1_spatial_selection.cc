@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_flags.h"
 #include "common/rng.h"
 #include "strabon/workload.h"
 
@@ -47,21 +48,27 @@ GeoStore& CachedPointStore(int64_t num_features) {
 void BM_SpatialSelection(benchmark::State& state) {
   const int64_t num_features = state.range(0);
   const bool use_index = state.range(1) != 0;
+  const int threads =
+      exearth::bench::EffectiveThreads(static_cast<int>(state.range(2)));
   GeoStore& store = CachedPointStore(num_features);
+  store.set_num_threads(static_cast<size_t>(threads));
   Rng rng(99);
   uint64_t results = 0;
   uint64_t tests = 0;
   uint64_t queries = 0;
+  exearth::strabon::SpatialQueryStats stats;
   for (auto _ : state) {
     auto box = RandomSelectionBox(100000.0, 0.001, &rng);
-    auto hits =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, use_index);
+    auto hits = store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                    use_index, &stats);
     benchmark::DoNotOptimize(hits);
     results += hits.size();
-    tests += store.last_stats().geometry_tests;
+    tests += stats.geometry_tests;
     ++queries;
   }
+  store.set_num_threads(1);
   state.counters["features"] = static_cast<double>(num_features);
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["mean_results"] =
       static_cast<double>(results) / static_cast<double>(queries);
   state.counters["geom_tests_per_query"] =
@@ -71,15 +78,18 @@ void BM_SpatialSelection(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_SpatialSelection)
-    ->ArgNames({"features", "indexed"})
-    ->Args({10000, 1})
-    ->Args({10000, 0})
-    ->Args({30000, 1})
-    ->Args({30000, 0})
-    ->Args({100000, 1})
-    ->Args({100000, 0})
-    ->Args({300000, 1})
-    ->Args({300000, 0})
+    ->ArgNames({"features", "indexed", "threads"})
+    ->Args({10000, 1, 1})
+    ->Args({10000, 0, 1})
+    ->Args({30000, 1, 1})
+    ->Args({30000, 0, 1})
+    ->Args({100000, 1, 1})
+    ->Args({100000, 0, 1})
+    ->Args({100000, 0, 4})
+    ->Args({300000, 1, 1})
+    ->Args({300000, 1, 4})
+    ->Args({300000, 0, 1})
+    ->Args({300000, 0, 4})
     ->Unit(benchmark::kMicrosecond);
 
 // main() comes from bench_main.cc (adds --smoke and the

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_flags.h"
 #include "common/rng.h"
 #include "strabon/workload.h"
 
@@ -48,7 +49,10 @@ GeoStore& CachedMultiPolygonStore(int vertices) {
 void BM_MultiPolygonSelection(benchmark::State& state) {
   const int vertices = static_cast<int>(state.range(0));
   const bool use_index = state.range(1) != 0;
+  const int threads =
+      exearth::bench::EffectiveThreads(static_cast<int>(state.range(2)));
   GeoStore& store = CachedMultiPolygonStore(vertices);
+  store.set_num_threads(static_cast<size_t>(threads));
   Rng rng(101);
   uint64_t results = 0;
   uint64_t queries = 0;
@@ -60,7 +64,9 @@ void BM_MultiPolygonSelection(benchmark::State& state) {
     results += hits.size();
     ++queries;
   }
+  store.set_num_threads(1);
   state.counters["vertices_per_ring"] = vertices;
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["mean_results"] =
       static_cast<double>(results) / static_cast<double>(queries);
 }
@@ -68,13 +74,14 @@ void BM_MultiPolygonSelection(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_MultiPolygonSelection)
-    ->ArgNames({"vertices", "indexed"})
-    ->Args({8, 1})
-    ->Args({8, 0})
-    ->Args({32, 1})
-    ->Args({32, 0})
-    ->Args({128, 1})
-    ->Args({128, 0})
+    ->ArgNames({"vertices", "indexed", "threads"})
+    ->Args({8, 1, 1})
+    ->Args({8, 0, 1})
+    ->Args({32, 1, 1})
+    ->Args({32, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({128, 0, 1})
+    ->Args({128, 0, 4})
     ->Unit(benchmark::kMicrosecond);
 
 // main() comes from bench_main.cc (adds --smoke and the

@@ -1,0 +1,12 @@
+#include "bench_flags.h"
+
+namespace exearth::bench {
+
+namespace {
+int g_threads = 0;
+}  // namespace
+
+int ThreadsFlag() { return g_threads; }
+void SetThreadsFlag(int n) { g_threads = n; }
+
+}  // namespace exearth::bench

@@ -1,0 +1,27 @@
+// Shared flags for the bench_e* binaries, parsed by bench_main.cc before
+// google-benchmark sees argv.
+//
+//   --threads=N   worker-thread override for the parallel query paths.
+//                 Benchmark rows whose `threads` argument is > 1 use this
+//                 value instead when set; rows with threads=1 stay
+//                 single-threaded so the baseline column survives. Recorded
+//                 in the metrics JSON snapshot ("config": {"threads": N}).
+
+#ifndef EXEARTH_BENCH_BENCH_FLAGS_H_
+#define EXEARTH_BENCH_BENCH_FLAGS_H_
+
+namespace exearth::bench {
+
+/// Value of --threads, or 0 when the flag was not given.
+int ThreadsFlag();
+void SetThreadsFlag(int n);
+
+/// The thread count a benchmark row should actually run with: the row's
+/// own `threads` argument, overridden by --threads for parallel rows.
+inline int EffectiveThreads(int row_threads) {
+  return row_threads > 1 && ThreadsFlag() > 0 ? ThreadsFlag() : row_threads;
+}
+
+}  // namespace exearth::bench
+
+#endif  // EXEARTH_BENCH_BENCH_FLAGS_H_

@@ -5,6 +5,8 @@
 //                         repetition — proves the bench still runs
 //   --metrics_out=<path>  where to write the metrics snapshot
 //                         (default: <binary>.metrics.json next to argv[0])
+//   --threads=N           worker-thread override for parallel query rows
+//                         (see bench_flags.h); recorded in the snapshot
 //
 // After the benchmarks run, the process-wide MetricsRegistry and span
 // Tracer are dumped as one JSON document so every bench run leaves a
@@ -14,10 +16,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_flags.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -32,6 +36,9 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg.rfind("--metrics_out=", 0) == 0) {
       metrics_out = arg.substr(std::string("--metrics_out=").size());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      exearth::bench::SetThreadsFlag(
+          std::atoi(arg.c_str() + std::string("--threads=").size()));
     } else {
       args.push_back(arg);
     }
@@ -56,7 +63,9 @@ int main(int argc, char** argv) {
     metrics_out = std::string(argv[0]) + ".metrics.json";
   }
   const std::string json =
-      "{\n\"metrics\": " + exearth::common::MetricsRegistry::Default().ToJson() +
+      "{\n\"config\": {\"threads\": " +
+      std::to_string(exearth::bench::ThreadsFlag()) +
+      "},\n\"metrics\": " + exearth::common::MetricsRegistry::Default().ToJson() +
       ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() + "\n}\n";
   std::ofstream out(metrics_out);
   if (!out) {

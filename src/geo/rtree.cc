@@ -157,6 +157,11 @@ int HeightOf(const Node* node) {
 }  // namespace
 
 void RTree::Insert(const Box& box, int64_t id) {
+  // Writes go to the incremental tree; the frozen arena is stale until the
+  // next Freeze().
+  frozen_ = false;
+  flat_nodes_.clear();
+  flat_entries_.clear();
   std::unique_ptr<Node> sibling = InsertInto(root_.get(), box, id);
   if (sibling != nullptr) {
     auto new_root = std::make_unique<Node>();
@@ -240,24 +245,61 @@ RTree RTree::BulkLoad(std::vector<Entry> entries) {
     level = std::move(next);
   }
   tree.root_ = std::move(level[0]);
+  tree.Freeze();
   return tree;
+}
+
+void RTree::Freeze() {
+  if (frozen_) return;
+  flat_nodes_.clear();
+  flat_entries_.clear();
+  if (size_ > 0) {
+    // Breadth-first layout: when a node is processed its children are
+    // appended consecutively, so one (first, count) pair addresses them
+    // and sibling subtrees stay adjacent in memory.
+    std::vector<const Node*> bfs = {root_.get()};
+    flat_nodes_.reserve(size_ / kMinEntries + 2);
+    flat_entries_.reserve(size_);
+    for (size_t i = 0; i < bfs.size(); ++i) {
+      const Node* n = bfs[i];
+      FlatNode fn;
+      fn.box = n->box;
+      fn.leaf = n->is_leaf ? 1 : 0;
+      if (n->is_leaf) {
+        fn.first = static_cast<uint32_t>(flat_entries_.size());
+        fn.count = static_cast<uint16_t>(n->entries.size());
+        flat_entries_.insert(flat_entries_.end(), n->entries.begin(),
+                             n->entries.end());
+      } else {
+        fn.first = static_cast<uint32_t>(bfs.size());
+        fn.count = static_cast<uint16_t>(n->children.size());
+        for (const auto& c : n->children) bfs.push_back(c.get());
+      }
+      flat_nodes_.push_back(fn);
+    }
+  }
+  frozen_ = true;
 }
 
 int RTree::Height() const { return HeightOf(root_.get()); }
 
-void RTree::Visit(const Box& query,
-                  const std::function<bool(const Entry&)>& visitor) const {
-  last_nodes_visited_ = 0;
+void RTree::VisitPointerTree(const Box& query,
+                             const std::function<bool(const Entry&)>& visitor,
+                             TraversalStats* stats) const {
+  size_t visited = 0;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    ++last_nodes_visited_;
+    ++visited;
     if (!node->box.Intersects(query)) continue;
     if (node->is_leaf) {
       for (const Entry& e : node->entries) {
         if (e.box.Intersects(query)) {
-          if (!visitor(e)) return;
+          if (!visitor(e)) {
+            if (stats != nullptr) stats->nodes_visited += visited;
+            return;
+          }
         }
       }
     } else {
@@ -266,14 +308,27 @@ void RTree::Visit(const Box& query,
       }
     }
   }
+  if (stats != nullptr) stats->nodes_visited += visited;
+}
+
+void RTree::Visit(const Box& query,
+                  const std::function<bool(const Entry&)>& visitor) const {
+  TraversalStats stats;
+  VisitWith(query, visitor, &stats);
+  last_nodes_visited_ = stats.nodes_visited;
 }
 
 std::vector<int64_t> RTree::Query(const Box& query) const {
   std::vector<int64_t> out;
-  Visit(query, [&](const Entry& e) {
-    out.push_back(e.id);
-    return true;
-  });
+  TraversalStats stats;
+  VisitWith(
+      query,
+      [&](const Entry& e) {
+        out.push_back(e.id);
+        return true;
+      },
+      &stats);
+  last_nodes_visited_ = stats.nodes_visited;
   return out;
 }
 

@@ -5,6 +5,16 @@
 // queries, and nearest-neighbour search. This is the index Strabon-style
 // spatial selection pushdown (E1/E2) and spatial link discovery (E10) sit
 // on.
+//
+// Two representations coexist:
+//   - the *incremental* tree: pointer-per-node, supports Insert;
+//   - the *frozen* tree: after Freeze() (BulkLoad freezes automatically)
+//     the nodes are packed into one contiguous arena of fixed-width
+//     FlatNodes with children addressed by index, and all leaf entries
+//     into a second contiguous array. Queries over the frozen form are
+//     allocation-free and touch cache lines sequentially; the templated
+//     VisitWith avoids the std::function indirection per node.
+// Insert invalidates the frozen form; Freeze() rebuilds it.
 
 #ifndef EXEARTH_GEO_RTREE_H_
 #define EXEARTH_GEO_RTREE_H_
@@ -12,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "geo/geometry.h"
@@ -29,6 +40,22 @@ class RTree {
     int64_t id = 0;
   };
 
+  /// Fixed-width node of the frozen representation. Children of an
+  /// internal node (and entries of a leaf) are contiguous, so `first` +
+  /// `count` fully address them.
+  struct FlatNode {
+    Box box;
+    uint32_t first = 0;  // index of first child (internal) / entry (leaf)
+    uint16_t count = 0;
+    uint16_t leaf = 0;
+  };
+
+  /// Per-traversal statistics, returned to the caller so concurrent
+  /// queries never share mutable state.
+  struct TraversalStats {
+    size_t nodes_visited = 0;
+  };
+
   // Tree node; defined in rtree.cc (opaque to users).
   struct Node;
 
@@ -41,11 +68,19 @@ class RTree {
   RTree& operator=(RTree&&) noexcept;
 
   /// Builds a tree from scratch with Sort-Tile-Recursive packing. Much
-  /// faster and better-packed than repeated Insert for static data.
+  /// faster and better-packed than repeated Insert for static data. The
+  /// result is frozen.
   static RTree BulkLoad(std::vector<Entry> entries);
 
-  /// Inserts one entry.
+  /// Inserts one entry. Invalidates the frozen form (Freeze() rebuilds).
   void Insert(const Box& box, int64_t id);
+
+  /// Packs the incremental tree into the contiguous frozen arena. Idempotent;
+  /// queries fall back to the pointer tree while unfrozen.
+  void Freeze();
+
+  /// True when the frozen arena is current (queries run allocation-free).
+  bool frozen() const { return frozen_; }
 
   size_t size() const { return size_; }
   /// Height of the tree (1 for a single leaf).
@@ -59,16 +94,66 @@ class RTree {
   void Visit(const Box& query,
              const std::function<bool(const Entry&)>& visitor) const;
 
+  /// Like Visit but templated on the visitor (no std::function indirection)
+  /// and with traversal statistics returned through `stats` instead of a
+  /// mutable member — safe for concurrent queries. Runs over the frozen
+  /// arena when available, else the pointer tree.
+  template <typename Visitor>
+  void VisitWith(const Box& query, Visitor&& visitor,
+                 TraversalStats* stats = nullptr) const {
+    if (!frozen_) {
+      VisitPointerTree(query, std::forward<Visitor>(visitor), stats);
+      return;
+    }
+    if (flat_nodes_.empty()) return;
+    // Depth is bounded by log_kMinEntries(size); 32 levels of kMaxEntries
+    // children each covers any tree that fits in memory.
+    uint32_t stack[32 * kMaxEntries];
+    size_t top = 0;
+    stack[top++] = 0;
+    size_t visited = 0;
+    while (top > 0) {
+      const FlatNode& node = flat_nodes_[stack[--top]];
+      ++visited;
+      if (!node.box.Intersects(query)) continue;
+      if (node.leaf != 0) {
+        const Entry* entries = flat_entries_.data() + node.first;
+        for (uint16_t i = 0; i < node.count; ++i) {
+          if (entries[i].box.Intersects(query)) {
+            if (!visitor(entries[i])) {
+              if (stats != nullptr) stats->nodes_visited += visited;
+              return;
+            }
+          }
+        }
+      } else {
+        const uint32_t end = node.first + node.count;
+        for (uint32_t c = node.first; c < end; ++c) {
+          if (flat_nodes_[c].box.Intersects(query)) stack[top++] = c;
+        }
+      }
+    }
+    if (stats != nullptr) stats->nodes_visited += visited;
+  }
+
   /// The `k` entries nearest to `p` by box distance, closest first.
   std::vector<Entry> Nearest(const Point& p, size_t k) const;
 
   /// Number of tree nodes touched by the last Query/Visit call (statistics
-  /// for the benchmarks; not thread-safe across concurrent queries).
+  /// for the benchmarks; not thread-safe across concurrent queries —
+  /// concurrent callers should use VisitWith with a TraversalStats).
   size_t last_nodes_visited() const { return last_nodes_visited_; }
 
  private:
+  void VisitPointerTree(const Box& query,
+                        const std::function<bool(const Entry&)>& visitor,
+                        TraversalStats* stats) const;
+
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
+  bool frozen_ = false;
+  std::vector<FlatNode> flat_nodes_;   // breadth-first; children contiguous
+  std::vector<Entry> flat_entries_;    // leaf entries, leaf-by-leaf
   mutable size_t last_nodes_visited_ = 0;
 };
 

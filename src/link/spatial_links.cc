@@ -1,7 +1,9 @@
 #include "link/spatial_links.h"
 
 #include <algorithm>
+#include <functional>
 
+#include "common/thread_pool.h"
 #include "geo/rtree.h"
 
 namespace exearth::link {
@@ -33,46 +35,92 @@ bool ExactTest(const geo::Geometry& ga, const geo::Geometry& gb,
   return false;
 }
 
+// Runs fn(chunk, begin, end) over [0, n) split across `threads` workers
+// (inline when threads <= 1 or n is small); returns chunks used.
+size_t RunChunked(size_t n, size_t threads,
+                  const std::function<void(size_t, size_t, size_t)>& fn) {
+  constexpr size_t kMinItemsPerChunk = 16;
+  size_t chunks = 1;
+  if (threads > 1) {
+    chunks = std::min(threads, (n + kMinItemsPerChunk - 1) / kMinItemsPerChunk);
+  }
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return 1;
+  }
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  common::ThreadPool pool(chunks);
+  pool.ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(begin + chunk_size, n);
+    if (begin < end) fn(c, begin, end);
+  });
+  return chunks;
+}
+
 }  // namespace
 
 SpatialLinkResult DiscoverSpatialLinks(const std::vector<geo::Geometry>& a,
                                        const std::vector<geo::Geometry>& b,
                                        const SpatialLinkOptions& options) {
   SpatialLinkResult result;
+  // Worker-local accumulators, merged in chunk order below.
+  struct Local {
+    std::vector<std::pair<size_t, size_t>> links;
+    uint64_t candidate_pairs = 0;
+    uint64_t exact_tests = 0;
+  };
+  const size_t max_chunks = std::max<size_t>(1, options.num_threads);
+  std::vector<Local> locals(max_chunks);
+  size_t used = 1;
   if (!options.use_index) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      for (size_t j = 0; j < b.size(); ++j) {
-        ++result.candidate_pairs;
-        ++result.exact_tests;
-        if (ExactTest(a[i], b[j], options)) {
-          result.links.emplace_back(i, j);
-        }
-      }
+    used = RunChunked(a.size(), options.num_threads,
+                      [&](size_t c, size_t begin, size_t end) {
+                        Local& local = locals[c];
+                        for (size_t i = begin; i < end; ++i) {
+                          for (size_t j = 0; j < b.size(); ++j) {
+                            ++local.candidate_pairs;
+                            ++local.exact_tests;
+                            if (ExactTest(a[i], b[j], options)) {
+                              local.links.emplace_back(i, j);
+                            }
+                          }
+                        }
+                      });
+  } else {
+    // Index side B; probe each A envelope (buffered for distance joins).
+    std::vector<geo::RTree::Entry> entries;
+    entries.reserve(b.size());
+    for (size_t j = 0; j < b.size(); ++j) {
+      entries.push_back({b[j].Envelope(), static_cast<int64_t>(j)});
     }
-    return result;
+    geo::RTree tree = geo::RTree::BulkLoad(std::move(entries));
+    const double margin =
+        options.relation == SpatialLinkRelation::kWithinDistance
+            ? options.distance
+            : 0.0;
+    used = RunChunked(
+        a.size(), options.num_threads, [&](size_t c, size_t begin, size_t end) {
+          Local& local = locals[c];
+          for (size_t i = begin; i < end; ++i) {
+            geo::Box probe = a[i].Envelope().Buffered(margin);
+            tree.VisitWith(probe, [&](const geo::RTree::Entry& e) {
+              ++local.candidate_pairs;
+              ++local.exact_tests;
+              const size_t j = static_cast<size_t>(e.id);
+              if (ExactTest(a[i], b[j], options)) {
+                local.links.emplace_back(i, j);
+              }
+              return true;
+            });
+          }
+        });
   }
-  // Index side B; probe each A envelope (buffered for distance joins).
-  std::vector<geo::RTree::Entry> entries;
-  entries.reserve(b.size());
-  for (size_t j = 0; j < b.size(); ++j) {
-    entries.push_back({b[j].Envelope(), static_cast<int64_t>(j)});
-  }
-  geo::RTree tree = geo::RTree::BulkLoad(std::move(entries));
-  const double margin =
-      options.relation == SpatialLinkRelation::kWithinDistance
-          ? options.distance
-          : 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    geo::Box probe = a[i].Envelope().Buffered(margin);
-    tree.Visit(probe, [&](const geo::RTree::Entry& e) {
-      ++result.candidate_pairs;
-      ++result.exact_tests;
-      const size_t j = static_cast<size_t>(e.id);
-      if (ExactTest(a[i], b[j], options)) {
-        result.links.emplace_back(i, j);
-      }
-      return true;
-    });
+  for (size_t c = 0; c < used; ++c) {
+    result.candidate_pairs += locals[c].candidate_pairs;
+    result.exact_tests += locals[c].exact_tests;
+    result.links.insert(result.links.end(), locals[c].links.begin(),
+                        locals[c].links.end());
   }
   std::sort(result.links.begin(), result.links.end());
   return result;

@@ -25,6 +25,9 @@ struct SpatialLinkOptions {
   double distance = 0.0;  // for kWithinDistance
   /// Index side B in an R-tree and probe with A (vs full nested loop).
   bool use_index = true;
+  /// Probe/scan loop workers; <= 1 runs inline. Results are identical and
+  /// deterministically ordered regardless of thread count.
+  size_t num_threads = 1;
 };
 
 struct SpatialLinkResult {

@@ -1,6 +1,7 @@
 #include "strabon/geostore.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -20,9 +21,14 @@ struct GeoStoreMetrics {
   common::Counter* queries;
   common::Counter* results;
   common::Counter* index_probes;
+  common::Counter* envelope_hits;
+  common::Counter* parallel_chunks;
+  common::Gauge* num_threads;
+  common::Gauge* parallel_speedup;
   common::Histogram* query_latency_us;
   common::Histogram* probe_latency_us;
   common::Histogram* result_cardinality;
+  common::Histogram* chunk_candidates;
 
   static const GeoStoreMetrics& Get() {
     static GeoStoreMetrics m = [] {
@@ -31,16 +37,38 @@ struct GeoStoreMetrics {
           reg.GetCounter("strabon.geostore.queries"),
           reg.GetCounter("strabon.geostore.results"),
           reg.GetCounter("strabon.geostore.index_probes"),
+          reg.GetCounter("strabon.geostore.envelope_hits"),
+          reg.GetCounter("strabon.geostore.parallel_chunks"),
+          reg.GetGauge("strabon.geostore.num_threads"),
+          reg.GetGauge("strabon.geostore.parallel_speedup"),
           reg.GetHistogram("strabon.geostore.query_latency_us"),
           reg.GetHistogram("strabon.geostore.index_probe_latency_us"),
           reg.GetHistogram(
               "strabon.geostore.result_cardinality",
+              common::Histogram::ExponentialBounds(1.0, 4.0, 16)),
+          reg.GetHistogram(
+              "strabon.geostore.chunk_candidates",
               common::Histogram::ExponentialBounds(1.0, 4.0, 16)),
       };
     }();
     return m;
   }
 };
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Folds a worker-local stats object into the query-wide one (results is
+// set by the caller from the merged output).
+void MergeStats(const SpatialQueryStats& in, SpatialQueryStats* out) {
+  out->candidates += in.candidates;
+  out->geometry_tests += in.geometry_tests;
+  out->envelope_hits += in.envelope_hits;
+  out->nodes_visited += in.nodes_visited;
+}
 
 }  // namespace
 
@@ -53,11 +81,13 @@ void GeoStore::AddFeature(const std::string& subject_iri,
 
 Result<size_t> GeoStore::Build() {
   store_.Build();
-  geometries_.clear();
+  geom_subjects_.clear();
+  geoms_.clear();
+  envelopes_.clear();
   auto aswkt = store_.dict().Lookup(rdf::Term::Iri(rdf::vocab::kAsWkt));
-  std::vector<geo::RTree::Entry> entries;
   if (aswkt.has_value()) {
     Status parse_error;
+    std::vector<std::pair<uint64_t, geo::Geometry>> parsed;
     store_.Scan(rdf::IdPattern{std::nullopt, *aswkt, std::nullopt},
                 [&](const rdf::TripleId& t) {
                   const rdf::Term& lit = store_.dict().Decode(t.o);
@@ -66,95 +96,212 @@ Result<size_t> GeoStore::Build() {
                     parse_error = geom.status();
                     return false;
                   }
-                  geo::Box env = geom->Envelope();
-                  entries.push_back(
-                      {env, static_cast<int64_t>(t.s)});
-                  geometries_.emplace(t.s, std::move(*geom));
+                  parsed.emplace_back(t.s, std::move(*geom));
                   return true;
                 });
     if (!parse_error.ok()) return parse_error;
+    // Dense arena: subjects sorted so lookup is a binary search and the
+    // R-tree can address geometries by index.
+    std::sort(parsed.begin(), parsed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    geom_subjects_.reserve(parsed.size());
+    geoms_.reserve(parsed.size());
+    envelopes_.reserve(parsed.size());
+    std::vector<geo::RTree::Entry> entries;
+    entries.reserve(parsed.size());
+    for (auto& [subject, geom] : parsed) {
+      const auto idx = static_cast<int64_t>(geoms_.size());
+      geom_subjects_.push_back(subject);
+      envelopes_.push_back(geom.Envelope());
+      geoms_.push_back(std::move(geom));
+      entries.push_back({envelopes_.back(), idx});
+    }
+    rtree_ = geo::RTree::BulkLoad(std::move(entries));
+  } else {
+    rtree_ = geo::RTree::BulkLoad({});
   }
-  rtree_ = geo::RTree::BulkLoad(std::move(entries));
   spatial_built_ = true;
-  return geometries_.size();
+  return geom_subjects_.size();
 }
 
-bool GeoStore::EvalRelation(const geo::Geometry& g, const geo::Box& query,
-                            SpatialRelation relation) const {
-  ++stats_.geometry_tests;
+void GeoStore::set_num_threads(size_t n) {
+  num_threads_ = std::max<size_t>(1, n);
+  if (num_threads_ > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != num_threads_) {
+      pool_ = std::make_unique<common::ThreadPool>(num_threads_);
+    }
+  } else {
+    pool_.reset();
+  }
+  GeoStoreMetrics::Get().num_threads->Set(static_cast<double>(num_threads_));
+}
+
+size_t GeoStore::IndexOf(uint64_t subject_id) const {
+  auto it = std::lower_bound(geom_subjects_.begin(), geom_subjects_.end(),
+                             subject_id);
+  if (it == geom_subjects_.end() || *it != subject_id) return kNpos;
+  return static_cast<size_t>(it - geom_subjects_.begin());
+}
+
+bool GeoStore::EvalRelationAt(size_t idx, const geo::Box& query,
+                              SpatialRelation relation,
+                              SpatialQueryStats* stats) const {
+  ++stats->geometry_tests;
+  const geo::Box& env = envelopes_[idx];
   switch (relation) {
     case SpatialRelation::kIntersects:
-      return geo::Intersects(g, query);
+      // Envelope fully inside the query box: the geometry is too, so it
+      // certainly intersects — skip the exact test.
+      if (query.Contains(env)) {
+        ++stats->envelope_hits;
+        return true;
+      }
+      return geo::Intersects(geoms_[idx], query);
     case SpatialRelation::kContains: {
-      // Feature contains the query rectangle.
+      // The feature can only contain the query rectangle if its envelope
+      // does.
+      if (!env.Contains(query)) {
+        ++stats->envelope_hits;
+        return false;
+      }
       geo::Polygon rect;
       rect.outer.points = {geo::Point{query.min_x, query.min_y},
                            geo::Point{query.max_x, query.min_y},
                            geo::Point{query.max_x, query.max_y},
                            geo::Point{query.min_x, query.max_y}};
-      return geo::Contains(g, geo::Geometry(std::move(rect)));
+      return geo::Contains(geoms_[idx], geo::Geometry(std::move(rect)));
     }
     case SpatialRelation::kWithin:
-      return query.Contains(g.Envelope()) &&
-             geo::Intersects(g, query);  // envelope inside box => within
+      // Envelope inside the box <=> geometry inside the box.
+      if (query.Contains(env)) ++stats->envelope_hits;
+      return query.Contains(env);
   }
   return false;
 }
 
+size_t GeoStore::RunChunked(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) const {
+  // Below this size the fork/join overhead dominates any refinement win.
+  constexpr size_t kMinItemsPerChunk = 64;
+  size_t chunks = 1;
+  if (pool_ != nullptr && num_threads_ > 1) {
+    chunks = std::min(num_threads_, (n + kMinItemsPerChunk - 1) /
+                                        kMinItemsPerChunk);
+  }
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return 1;
+  }
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  pool_->ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(begin + chunk_size, n);
+    if (begin < end) fn(c, begin, end);
+  });
+  GeoStoreMetrics::Get().parallel_chunks->Increment(chunks);
+  return chunks;
+}
+
 std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
                                               SpatialRelation relation,
-                                              bool use_index) const {
+                                              bool use_index,
+                                              SpatialQueryStats* stats_out)
+    const {
   EEA_CHECK(spatial_built_) << "SpatialSelect before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
   common::TraceSpan span("strabon.SpatialSelect");
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
-  stats_ = SpatialQueryStats{};
+  SpatialQueryStats stats;
   std::vector<uint64_t> out;
+
+  // Candidate set: dense arena indices.
+  std::vector<uint32_t> candidates;
   if (use_index) {
-    // R-tree candidates, then exact test.
     common::TraceSpan probe_span("index_probe");
     common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
     metrics.index_probes->Increment();
-    rtree_.Visit(query, [&](const geo::RTree::Entry& e) {
-      ++stats_.candidates;
-      auto it = geometries_.find(static_cast<uint64_t>(e.id));
-      EEA_DCHECK(it != geometries_.end());
-      if (EvalRelation(it->second, query, relation)) {
-        out.push_back(it->first);
-      }
-      return true;
-    });
+    geo::RTree::TraversalStats tstats;
+    rtree_.VisitWith(
+        query,
+        [&](const geo::RTree::Entry& e) {
+          candidates.push_back(static_cast<uint32_t>(e.id));
+          return true;
+        },
+        &tstats);
+    stats.nodes_visited = tstats.nodes_visited;
   } else {
     // Baseline: test every geometry (full scan, the GraphDB stand-in).
-    for (const auto& [subject, geom] : geometries_) {
-      ++stats_.candidates;
-      if (EvalRelation(geom, query, relation)) {
-        out.push_back(subject);
-      }
-    }
+    candidates.resize(geoms_.size());
+    for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
+  stats.candidates = candidates.size();
+
+  // Refinement, partitioned across the pool: thread-local result vectors
+  // and stats, merged in chunk order (final order fixed by the sort).
+  const auto refine_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<uint64_t>> chunk_out;
+  std::vector<SpatialQueryStats> chunk_stats;
+  std::vector<double> chunk_secs;
+  const size_t max_chunks = std::max<size_t>(1, num_threads_);
+  chunk_out.resize(max_chunks);
+  chunk_stats.resize(max_chunks);
+  chunk_secs.assign(max_chunks, 0.0);
+  const size_t used =
+      RunChunked(candidates.size(), [&](size_t c, size_t begin, size_t end) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<uint64_t>& local = chunk_out[c];
+        SpatialQueryStats& lstats = chunk_stats[c];
+        for (size_t i = begin; i < end; ++i) {
+          const size_t idx = candidates[i];
+          if (EvalRelationAt(idx, query, relation, &lstats)) {
+            local.push_back(geom_subjects_[idx]);
+          }
+        }
+        metrics.chunk_candidates->Observe(static_cast<double>(end - begin));
+        chunk_secs[c] = SecondsSince(t0);
+      });
+  stats.threads_used = used;
+  for (size_t c = 0; c < used; ++c) {
+    MergeStats(chunk_stats[c], &stats);
+    out.insert(out.end(), chunk_out[c].begin(), chunk_out[c].end());
+  }
+  if (used > 1) {
+    const double wall = SecondsSince(refine_start);
+    double busy = 0.0;
+    for (size_t c = 0; c < used; ++c) busy += chunk_secs[c];
+    if (wall > 0.0) metrics.parallel_speedup->Set(busy / wall);
+  }
+
   std::sort(out.begin(), out.end());
-  stats_.results = out.size();
+  stats.results = out.size();
   metrics.results->Increment(out.size());
+  metrics.envelope_hits->Increment(stats.envelope_hits);
   metrics.result_cardinality->Observe(static_cast<double>(out.size()));
+  RecordLastStats(stats);
+  if (stats_out != nullptr) *stats_out = stats;
   return out;
 }
 
 Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     const rdf::Query& query, const std::string& subject_var,
-    const geo::Box& query_box, bool use_index) const {
+    const geo::Box& query_box, bool use_index,
+    SpatialQueryStats* stats_out) const {
   EEA_CHECK(spatial_built_) << "spatial query before Build()";
+  const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
   common::TraceSpan span("strabon.QueryWithSpatialFilter");
-  common::ScopedLatencyTimer query_timer(
-      GeoStoreMetrics::Get().query_latency_us);
-  GeoStoreMetrics::Get().queries->Increment();
+  common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
+  metrics.queries->Increment();
   rdf::QueryEngine engine(&store_);
   if (use_index) {
     // Pushdown: compute the spatial candidates first, then restrict the
     // BGP results to them (semantically identical to post-filtering).
+    SpatialQueryStats stats;
     std::vector<uint64_t> subjects =
-        SpatialSelect(query_box, SpatialRelation::kIntersects, true);
+        SpatialSelect(query_box, SpatialRelation::kIntersects, true, &stats);
+    if (stats_out != nullptr) *stats_out = stats;
+    // No subject survives the spatial constraint: skip the BGP entirely.
+    if (subjects.empty()) return std::vector<rdf::Binding>{};
     std::vector<rdf::Binding> out;
     EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
                          engine.Execute(query));
@@ -168,20 +315,22 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     return out;
   }
   // Baseline: evaluate the BGP, then test each binding's geometry.
-  stats_ = SpatialQueryStats{};
+  SpatialQueryStats stats;
   EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows, engine.Execute(query));
   std::vector<rdf::Binding> out;
   for (rdf::Binding& b : rows) {
     auto it = b.find(subject_var);
     if (it == b.end()) continue;
-    const geo::Geometry* g = GeometryOf(it->second);
-    if (g == nullptr) continue;
-    ++stats_.candidates;
-    if (EvalRelation(*g, query_box, SpatialRelation::kIntersects)) {
+    const size_t idx = IndexOf(it->second);
+    if (idx == kNpos) continue;
+    ++stats.candidates;
+    if (EvalRelationAt(idx, query_box, SpatialRelation::kIntersects, &stats)) {
       out.push_back(std::move(b));
     }
   }
-  stats_.results = out.size();
+  stats.results = out.size();
+  RecordLastStats(stats);
+  if (stats_out != nullptr) *stats_out = stats;
   return out;
 }
 
@@ -205,70 +354,125 @@ bool EvalGeomRelation(const geo::Geometry& a, const geo::Geometry& b,
 
 std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
     const std::string& class_a_iri, const std::string& class_b_iri,
-    SpatialRelation relation, bool use_index) const {
+    SpatialRelation relation, bool use_index,
+    SpatialQueryStats* stats_out) const {
   EEA_CHECK(spatial_built_) << "SpatialJoin before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
   common::TraceSpan span("strabon.SpatialJoin");
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
-  stats_ = SpatialQueryStats{};
-  // Members of a class that carry geometry.
+  SpatialQueryStats stats;
+  // Members of a class that carry geometry, as dense arena indices.
   auto members_of = [&](const std::string& class_iri) {
-    std::vector<uint64_t> out;
+    std::vector<uint32_t> out;
     auto type_id = store_.dict().Lookup(rdf::Term::Iri(rdf::vocab::kRdfType));
     auto class_id = store_.dict().Lookup(rdf::Term::Iri(class_iri));
     if (!type_id || !class_id) return out;
     store_.Scan(rdf::IdPattern{std::nullopt, *type_id, *class_id},
                 [&](const rdf::TripleId& t) {
-                  if (geometries_.count(t.s)) out.push_back(t.s);
+                  const size_t idx = IndexOf(t.s);
+                  if (idx != kNpos) out.push_back(static_cast<uint32_t>(idx));
                   return true;
                 });
     std::sort(out.begin(), out.end());
     return out;
   };
-  const std::vector<uint64_t> as = members_of(class_a_iri);
-  const std::vector<uint64_t> bs = members_of(class_b_iri);
-  std::vector<std::pair<uint64_t, uint64_t>> out;
+  const std::vector<uint32_t> as = members_of(class_a_iri);
+  const std::vector<uint32_t> bs = members_of(class_b_iri);
+
+  // Probe loop over `as`, partitioned across the pool; each worker probes
+  // with thread-local output and stats, merged in chunk order before the
+  // final deterministic sort.
+  const auto probe_start = std::chrono::steady_clock::now();
+  using Pairs = std::vector<std::pair<uint64_t, uint64_t>>;
+  const size_t max_chunks = std::max<size_t>(1, num_threads_);
+  std::vector<Pairs> chunk_out(max_chunks);
+  std::vector<SpatialQueryStats> chunk_stats(max_chunks);
+  std::vector<double> chunk_secs(max_chunks, 0.0);
+  size_t used = 1;
   if (use_index) {
     // Probe the shared R-tree with each a-envelope; restrict hits to B
-    // members via binary search.
-    for (uint64_t a : as) {
-      const geo::Geometry& ga = geometries_.at(a);
-      rtree_.Visit(ga.Envelope(), [&](const geo::RTree::Entry& e) {
-        const uint64_t b = static_cast<uint64_t>(e.id);
-        if (b == a) return true;
-        if (!std::binary_search(bs.begin(), bs.end(), b)) return true;
-        ++stats_.candidates;
-        ++stats_.geometry_tests;
-        if (EvalGeomRelation(ga, geometries_.at(b), relation)) {
-          out.emplace_back(a, b);
-        }
-        return true;
-      });
-    }
+    // members via binary search on the sorted dense indices.
+    used = RunChunked(as.size(), [&](size_t c, size_t begin, size_t end) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Pairs& local = chunk_out[c];
+      SpatialQueryStats& lstats = chunk_stats[c];
+      geo::RTree::TraversalStats tstats;
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t a = as[i];
+        const geo::Geometry& ga = geoms_[a];
+        rtree_.VisitWith(
+            envelopes_[a],
+            [&](const geo::RTree::Entry& e) {
+              const auto b = static_cast<uint32_t>(e.id);
+              if (b == a) return true;
+              if (!std::binary_search(bs.begin(), bs.end(), b)) return true;
+              ++lstats.candidates;
+              ++lstats.geometry_tests;
+              if (EvalGeomRelation(ga, geoms_[b], relation)) {
+                local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
+              }
+              return true;
+            },
+            &tstats);
+      }
+      lstats.nodes_visited += tstats.nodes_visited;
+      chunk_secs[c] = SecondsSince(t0);
+    });
   } else {
-    for (uint64_t a : as) {
-      const geo::Geometry& ga = geometries_.at(a);
-      for (uint64_t b : bs) {
-        if (a == b) continue;
-        ++stats_.candidates;
-        ++stats_.geometry_tests;
-        if (EvalGeomRelation(ga, geometries_.at(b), relation)) {
-          out.emplace_back(a, b);
+    used = RunChunked(as.size(), [&](size_t c, size_t begin, size_t end) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Pairs& local = chunk_out[c];
+      SpatialQueryStats& lstats = chunk_stats[c];
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t a = as[i];
+        const geo::Geometry& ga = geoms_[a];
+        for (uint32_t b : bs) {
+          if (a == b) continue;
+          ++lstats.candidates;
+          ++lstats.geometry_tests;
+          if (EvalGeomRelation(ga, geoms_[b], relation)) {
+            local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
+          }
         }
       }
-    }
+      chunk_secs[c] = SecondsSince(t0);
+    });
+  }
+  stats.threads_used = used;
+  Pairs out;
+  for (size_t c = 0; c < used; ++c) {
+    MergeStats(chunk_stats[c], &stats);
+    out.insert(out.end(), chunk_out[c].begin(), chunk_out[c].end());
+  }
+  if (used > 1) {
+    const double wall = SecondsSince(probe_start);
+    double busy = 0.0;
+    for (size_t c = 0; c < used; ++c) busy += chunk_secs[c];
+    if (wall > 0.0) metrics.parallel_speedup->Set(busy / wall);
   }
   std::sort(out.begin(), out.end());
-  stats_.results = out.size();
+  stats.results = out.size();
   metrics.results->Increment(out.size());
   metrics.result_cardinality->Observe(static_cast<double>(out.size()));
+  RecordLastStats(stats);
+  if (stats_out != nullptr) *stats_out = stats;
   return out;
 }
 
 const geo::Geometry* GeoStore::GeometryOf(uint64_t subject_id) const {
-  auto it = geometries_.find(subject_id);
-  return it == geometries_.end() ? nullptr : &it->second;
+  const size_t idx = IndexOf(subject_id);
+  return idx == kNpos ? nullptr : &geoms_[idx];
+}
+
+SpatialQueryStats GeoStore::last_stats() const {
+  std::lock_guard<std::mutex> lock(last_stats_->mu);
+  return last_stats_->stats;
+}
+
+void GeoStore::RecordLastStats(const SpatialQueryStats& stats) const {
+  std::lock_guard<std::mutex> lock(last_stats_->mu);
+  last_stats_->stats = stats;
 }
 
 }  // namespace exearth::strabon

@@ -11,17 +11,31 @@
 //
 // Exact predicate evaluation always runs on the parsed geometries, so both
 // paths return identical answers; only the work differs.
+//
+// Storage layout (see README "Performance"): geometries live in a dense
+// arena — subject ids sorted into one vector, parsed geometries and
+// precomputed envelopes in parallel vectors — and the R-tree stores *dense
+// indices*, so a candidate probe is one array access instead of a hash
+// lookup. The R-tree itself is queried in its frozen (contiguous,
+// index-addressed) form. With set_num_threads(n > 1) the refinement step
+// of SpatialSelect and the probe loop of SpatialJoin are partitioned
+// across a common::ThreadPool; results are merged deterministically and
+// are byte-identical to the single-threaded path.
 
 #ifndef EXEARTH_STRABON_GEOSTORE_H_
 #define EXEARTH_STRABON_GEOSTORE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geo/geometry.h"
 #include "geo/rtree.h"
 #include "rdf/query.h"
@@ -36,10 +50,14 @@ enum class SpatialRelation {
   kWithin,
 };
 
-/// Per-query execution statistics (for E1/E2 reporting).
+/// Per-query execution statistics (for E1/E2 reporting). Returned to the
+/// caller per query; safe under concurrent queries.
 struct SpatialQueryStats {
-  uint64_t candidates = 0;        // geometries tested exactly
-  uint64_t geometry_tests = 0;    // exact predicate evaluations
+  uint64_t candidates = 0;      // geometries tested exactly
+  uint64_t geometry_tests = 0;  // relation evaluations (incl. envelope wins)
+  uint64_t envelope_hits = 0;   // resolved by envelope containment alone
+  uint64_t nodes_visited = 0;   // R-tree nodes touched
+  uint64_t threads_used = 1;    // parallelism of the refinement/probe step
   uint64_t results = 0;
 };
 
@@ -65,21 +83,29 @@ class GeoStore {
   /// WKT.
   common::Result<size_t> Build();
 
-  size_t num_geometries() const { return geometries_.size(); }
+  size_t num_geometries() const { return geom_subjects_.size(); }
+
+  /// Number of worker threads for SpatialSelect refinement and SpatialJoin
+  /// probing; n <= 1 runs inline. Not safe to call concurrently with
+  /// queries.
+  void set_num_threads(size_t n);
+  size_t num_threads() const { return num_threads_; }
 
   /// Subjects whose geometry satisfies `relation` with the query box
   /// (rectangular spatial selection — the E1 workload). `use_index`
-  /// selects pushdown vs full scan; results are identical.
+  /// selects pushdown vs full scan; results are identical. Per-query
+  /// statistics are written to `stats` when non-null.
   std::vector<uint64_t> SpatialSelect(const geo::Box& query,
-                                      SpatialRelation relation,
-                                      bool use_index) const;
+                                      SpatialRelation relation, bool use_index,
+                                      SpatialQueryStats* stats = nullptr) const;
 
   /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
   /// subject geometry intersects `query_box` — with the spatial constraint
   /// pushed into the R-tree when `use_index` (the rewriter of DESIGN.md §6).
   common::Result<std::vector<rdf::Binding>> QueryWithSpatialFilter(
       const rdf::Query& query, const std::string& subject_var,
-      const geo::Box& query_box, bool use_index) const;
+      const geo::Box& query_box, bool use_index,
+      SpatialQueryStats* stats = nullptr) const;
 
   /// Spatial join between two feature classes (stSPARQL's
   /// `?a strdf:relation ?b` pattern): all (a, b) subject-id pairs where a
@@ -89,22 +115,51 @@ class GeoStore {
   /// sorted, and exclude a == b.
   std::vector<std::pair<uint64_t, uint64_t>> SpatialJoin(
       const std::string& class_a_iri, const std::string& class_b_iri,
-      SpatialRelation relation, bool use_index) const;
+      SpatialRelation relation, bool use_index,
+      SpatialQueryStats* stats = nullptr) const;
 
   /// The parsed geometry of a subject (nullptr if it has none).
   const geo::Geometry* GeometryOf(uint64_t subject_id) const;
 
-  const SpatialQueryStats& last_stats() const { return stats_; }
+  /// Deprecated: statistics of the most recently *completed* query on this
+  /// store. Meaningful only when queries do not overlap; concurrent
+  /// callers should read the SpatialQueryStats out-param instead.
+  SpatialQueryStats last_stats() const;
 
  private:
-  bool EvalRelation(const geo::Geometry& g, const geo::Box& query,
-                    SpatialRelation relation) const;
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  /// Dense index of `subject_id` in the geometry arena, or kNpos.
+  size_t IndexOf(uint64_t subject_id) const;
+
+  /// Evaluates `relation` between arena geometry `idx` and the query box,
+  /// taking the envelope fast path when it decides the predicate alone.
+  bool EvalRelationAt(size_t idx, const geo::Box& query,
+                      SpatialRelation relation, SpatialQueryStats* stats) const;
+
+  /// Runs fn(chunk, begin, end) over [0, n) split into `chunks` ranges,
+  /// on the pool when parallel, inline otherwise. Returns chunks used.
+  size_t RunChunked(size_t n,
+                    const std::function<void(size_t, size_t, size_t)>& fn) const;
+
+  void RecordLastStats(const SpatialQueryStats& stats) const;
 
   rdf::TripleStore store_;
-  geo::RTree rtree_;
-  std::unordered_map<uint64_t, geo::Geometry> geometries_;  // subject id ->
+  geo::RTree rtree_;  // entry ids are dense arena indices
+  // Dense geometry arena: sorted subject ids with parallel geometry and
+  // envelope vectors (replaces the old unordered_map<id, Geometry>).
+  std::vector<uint64_t> geom_subjects_;
+  std::vector<geo::Geometry> geoms_;
+  std::vector<geo::Box> envelopes_;
   bool spatial_built_ = false;
-  mutable SpatialQueryStats stats_;
+  size_t num_threads_ = 1;
+  std::unique_ptr<common::ThreadPool> pool_;
+  // Boxed so GeoStore stays movable despite the mutex.
+  struct LastStats {
+    std::mutex mu;
+    SpatialQueryStats stats;
+  };
+  std::unique_ptr<LastStats> last_stats_ = std::make_unique<LastStats>();
 };
 
 }  // namespace exearth::strabon

@@ -525,5 +525,97 @@ TEST(RTreeTest, MoveSemantics) {
   EXPECT_EQ(b.Query(Box::Of(0, 0, 2, 2)).size(), 1u);
 }
 
+TEST(RTreeTest, NearestOnEmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.Nearest(Point{0, 0}, 5).empty());
+  RTree bulk = RTree::BulkLoad({});
+  EXPECT_TRUE(bulk.Nearest(Point{3, 3}, 1).empty());
+}
+
+TEST(RTreeTest, NearestKLargerThanSize) {
+  RTree tree = RTree::BulkLoad({{Box::Of(0, 0, 1, 1), 1},
+                                {Box::Of(5, 5, 6, 6), 2},
+                                {Box::Of(9, 9, 10, 10), 3}});
+  auto nearest = tree.Nearest(Point{0, 0}, 100);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0].id, 1);
+  EXPECT_EQ(nearest[1].id, 2);
+  EXPECT_EQ(nearest[2].id, 3);
+}
+
+TEST(RTreeTest, BulkLoadIsFrozenInsertThaws) {
+  RTree tree = RTree::BulkLoad({{Box::Of(0, 0, 1, 1), 1}});
+  EXPECT_TRUE(tree.frozen());
+  tree.Insert(Box::Of(2, 2, 3, 3), 2);
+  EXPECT_FALSE(tree.frozen());
+  // Unfrozen queries fall back to the pointer tree and stay correct.
+  EXPECT_EQ(tree.Query(Box::Of(0, 0, 4, 4)).size(), 2u);
+  tree.Freeze();
+  EXPECT_TRUE(tree.frozen());
+  EXPECT_EQ(tree.Query(Box::Of(0, 0, 4, 4)).size(), 2u);
+}
+
+TEST(RTreeTest, FrozenMatchesIncrementalRandomized) {
+  common::Rng rng(46);
+  std::vector<RTree::Entry> entries;
+  RTree incremental;
+  for (int i = 0; i < 3000; ++i) {
+    double x = rng.UniformDouble(0, 1000);
+    double y = rng.UniformDouble(0, 1000);
+    double w = rng.UniformDouble(0, 8);
+    double h = rng.UniformDouble(0, 8);
+    Box b = Box::Of(x, y, x + w, y + h);
+    entries.push_back({b, i});
+    incremental.Insert(b, i);
+  }
+  RTree bulk = RTree::BulkLoad(entries);
+  ASSERT_TRUE(bulk.frozen());
+  ASSERT_FALSE(incremental.frozen());
+  for (int q = 0; q < 40; ++q) {
+    double x = rng.UniformDouble(0, 950);
+    double y = rng.UniformDouble(0, 950);
+    Box query = Box::Of(x, y, x + 60, y + 60);
+    auto pointer_hits = incremental.Query(query);  // pointer-tree path
+    std::set<int64_t> expected(pointer_hits.begin(), pointer_hits.end());
+    auto frozen_hits = bulk.Query(query);  // flat-arena path
+    EXPECT_EQ(std::set<int64_t>(frozen_hits.begin(), frozen_hits.end()),
+              expected)
+        << "query " << q;
+  }
+  // Freezing the incrementally built tree must not change its answers.
+  incremental.Freeze();
+  for (int q = 0; q < 40; ++q) {
+    double x = rng.UniformDouble(0, 950);
+    double y = rng.UniformDouble(0, 950);
+    Box query = Box::Of(x, y, x + 60, y + 60);
+    std::set<int64_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) expected.insert(e.id);
+    }
+    auto hits = incremental.Query(query);
+    EXPECT_EQ(std::set<int64_t>(hits.begin(), hits.end()), expected);
+  }
+}
+
+TEST(RTreeTest, VisitWithReportsStatsAndStopsEarly) {
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries.push_back({Box::Of(i, 0, i + 0.5, 1), i});
+  }
+  RTree tree = RTree::BulkLoad(entries);
+  RTree::TraversalStats stats;
+  size_t count = 0;
+  tree.VisitWith(
+      Box::Of(0, 0, 1000, 1), [&](const RTree::Entry&) { return ++count < 7; },
+      &stats);
+  EXPECT_EQ(count, 7u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  // A full traversal visits more nodes than the early-stopped one.
+  RTree::TraversalStats full;
+  tree.VisitWith(
+      Box::Of(0, 0, 1000, 1), [](const RTree::Entry&) { return true; }, &full);
+  EXPECT_GT(full.nodes_visited, stats.nodes_visited);
+}
+
 }  // namespace
 }  // namespace exearth::geo

@@ -213,6 +213,22 @@ TEST(SpatialLinksTest, EmptyInputs) {
   EXPECT_TRUE(r2.links.empty());
 }
 
+TEST(SpatialLinksTest, ParallelMatchesSingleThread) {
+  auto a = RandomPolygons(200, 500, 40, 5);
+  auto b = RandomPolygons(200, 500, 40, 6);
+  SpatialLinkOptions opt;
+  for (bool use_index : {true, false}) {
+    opt.use_index = use_index;
+    opt.num_threads = 1;
+    auto single = DiscoverSpatialLinks(a, b, opt);
+    opt.num_threads = 4;
+    auto parallel = DiscoverSpatialLinks(a, b, opt);
+    EXPECT_EQ(parallel.links, single.links) << "use_index=" << use_index;
+    EXPECT_EQ(parallel.exact_tests, single.exact_tests);
+    EXPECT_EQ(parallel.candidate_pairs, single.candidate_pairs);
+  }
+}
+
 TEST(SpatialLinksTest, RelationNames) {
   EXPECT_STREQ(SpatialLinkRelationName(SpatialLinkRelation::kIntersects),
                "intersects");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "geo/wkt.h"
@@ -123,6 +125,130 @@ TEST(GeoStoreTest, QueryWithSpatialFilterBothPathsAgree) {
   EXPECT_EQ(a, b);
 }
 
+TEST(GeoStoreTest, EnvelopeFastPathCountedAndEquivalent) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 5000;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kPoint;
+  opt.world_size = 1000.0;
+  opt.seed = 21;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::Rng rng(23);
+  geo::Box box = RandomSelectionBox(1000.0, 0.05, &rng);
+  SpatialQueryStats stats;
+  auto indexed = store.SpatialSelect(box, SpatialRelation::kIntersects, true,
+                                     &stats);
+  // Point envelopes inside the query box resolve without an exact test.
+  EXPECT_GT(stats.envelope_hits, 0u);
+  EXPECT_EQ(stats.results, indexed.size());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  auto scanned =
+      store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+  EXPECT_EQ(indexed, scanned);
+}
+
+TEST(GeoStoreTest, ParallelSelectMatchesSingleThreadRandomized) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 4000;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kMultiPolygon;
+  opt.vertices_per_ring = 10;
+  opt.world_size = 1000.0;
+  opt.feature_size = 25.0;
+  opt.seed = 17;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::Rng rng(19);
+  for (int i = 0; i < 15; ++i) {
+    geo::Box box = RandomSelectionBox(1000.0, 0.05, &rng);
+    store.set_num_threads(1);
+    auto single_idx =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+    auto single_scan =
+        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+    store.set_num_threads(4);
+    SpatialQueryStats stats;
+    auto parallel_idx = store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                            true, &stats);
+    auto parallel_scan = store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                             false);
+    EXPECT_EQ(parallel_idx, single_idx) << "query " << i;
+    EXPECT_EQ(parallel_scan, single_scan) << "query " << i;
+    EXPECT_EQ(stats.results, parallel_idx.size());
+  }
+  // The scan path has enough candidates to actually fan out.
+  store.set_num_threads(4);
+  SpatialQueryStats scan_stats;
+  store.SpatialSelect(geo::Box::Of(0, 0, 1000, 1000),
+                      SpatialRelation::kIntersects, false, &scan_stats);
+  EXPECT_GT(scan_stats.threads_used, 1u);
+}
+
+TEST(GeoStoreTest, ParallelJoinMatchesSingleThread) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 600;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kMultiPolygon;
+  opt.vertices_per_ring = 8;
+  opt.world_size = 500.0;
+  opt.feature_size = 40.0;
+  opt.with_thematic = true;
+  opt.seed = 29;
+  GeoStore store = MakeGeoWorkload(opt);
+  const std::string cls = "http://extremeearth.eu/ontology#Feature";
+  store.set_num_threads(1);
+  auto single_idx =
+      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true);
+  auto single_nested =
+      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
+  ASSERT_EQ(single_idx, single_nested);
+  ASSERT_FALSE(single_idx.empty());
+  store.set_num_threads(4);
+  SpatialQueryStats stats;
+  auto parallel_idx =
+      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true, &stats);
+  auto parallel_nested =
+      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
+  EXPECT_EQ(parallel_idx, single_idx);
+  EXPECT_EQ(parallel_nested, single_nested);
+  EXPECT_GT(stats.threads_used, 1u);
+  EXPECT_EQ(stats.results, parallel_idx.size());
+}
+
+// Exercised under TSan in CI: concurrent queries against one shared store,
+// with the store's own pool refining in parallel underneath.
+TEST(GeoStoreTest, ConcurrentQueriesAreRaceFree) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 3000;
+  opt.kind = GeoWorkloadOptions::GeometryKind::kPoint;
+  opt.world_size = 1000.0;
+  opt.seed = 31;
+  GeoStore store = MakeGeoWorkload(opt);
+  store.set_num_threads(2);
+  // Expected answers computed up front, single-threaded.
+  std::vector<geo::Box> boxes;
+  std::vector<std::vector<uint64_t>> expected;
+  common::Rng rng(37);
+  for (int i = 0; i < 8; ++i) {
+    boxes.push_back(RandomSelectionBox(1000.0, 0.02, &rng));
+    expected.push_back(
+        store.SpatialSelect(boxes.back(), SpatialRelation::kIntersects, false));
+  }
+  std::vector<std::thread> workers;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 5; ++round) {
+        for (size_t q = 0; q < boxes.size(); ++q) {
+          SpatialQueryStats stats;
+          auto got = store.SpatialSelect(boxes[q],
+                                         SpatialRelation::kIntersects,
+                                         (t + round) % 2 == 0, &stats);
+          if (got != expected[q]) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
 TEST(GeoStoreTest, GeometryOf) {
   GeoStore store;
   store.AddFeature("http://x/f", geo::Geometry(geo::Point{5, 6}));
@@ -133,6 +259,29 @@ TEST(GeoStoreTest, GeometryOf) {
   ASSERT_NE(g, nullptr);
   EXPECT_EQ(g->AsPoint().x, 5);
   EXPECT_EQ(store.GeometryOf(999999), nullptr);
+}
+
+TEST(GeoStoreTest, QueryWithSpatialFilterShortCircuitsOnEmptySelection) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 500;
+  opt.world_size = 1000.0;
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("s"), rdf::PatternSlot::Iri(rdf::vocab::kRdfType),
+      rdf::PatternSlot::Iri("http://extremeearth.eu/ontology#Feature")});
+  // A box far outside the world: the pushdown finds no subjects and must
+  // skip the BGP entirely, still agreeing with the baseline.
+  geo::Box empty_region = geo::Box::Of(5000, 5000, 6000, 6000);
+  SpatialQueryStats stats;
+  auto pushed = store.QueryWithSpatialFilter(q, "s", empty_region, true,
+                                             &stats);
+  auto baseline = store.QueryWithSpatialFilter(q, "s", empty_region, false);
+  ASSERT_TRUE(pushed.ok() && baseline.ok());
+  EXPECT_TRUE(pushed->empty());
+  EXPECT_TRUE(baseline->empty());
+  EXPECT_EQ(stats.results, 0u);
 }
 
 TEST(WorkloadTest, PointWorkloadShape) {
