@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_flags.h"
 #include "common/string_util.h"
 #include "fed/federation.h"
 #include "rdf/query.h"
@@ -89,7 +90,10 @@ void BM_FederatedQuery(benchmark::State& state) {
   const int endpoints = static_cast<int>(state.range(0));
   const bool source_selection = state.range(1) != 0;
   const bool join_reordering = state.range(2) != 0;
+  const int threads =
+      eea::bench::EffectiveThreads(static_cast<int>(state.range(3)));
   Federation& fed = CachedFederation(endpoints);
+  fed.engine.set_num_threads(static_cast<size_t>(threads));
   eea::rdf::Query q = CrossEndpointQuery();
   eea::fed::FederationOptions opt;
   opt.source_selection = source_selection;
@@ -116,15 +120,16 @@ void BM_FederatedQuery(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_FederatedQuery)
-    ->ArgNames({"endpoints", "srcsel", "reorder"})
-    ->Args({3, 1, 1})
-    ->Args({3, 0, 1})
-    ->Args({3, 1, 0})
-    ->Args({3, 0, 0})
-    ->Args({6, 1, 1})
-    ->Args({6, 0, 0})
-    ->Args({12, 1, 1})
-    ->Args({12, 0, 0})
+    ->ArgNames({"endpoints", "srcsel", "reorder", "threads"})
+    ->Args({3, 1, 1, 1})
+    ->Args({3, 0, 1, 1})
+    ->Args({3, 1, 0, 1})
+    ->Args({3, 0, 0, 1})
+    ->Args({6, 1, 1, 1})
+    ->Args({6, 0, 0, 1})
+    ->Args({12, 1, 1, 1})
+    ->Args({12, 0, 0, 1})
+    ->Args({12, 0, 0, 4})
     ->Unit(benchmark::kMillisecond);
 
 // main() comes from bench_main.cc (adds --smoke and the

@@ -1,12 +1,126 @@
 #include "bench_flags.h"
 
+#include <cstdlib>
+
 namespace exearth::bench {
 
 namespace {
+
 int g_threads = 0;
+
+// Strict integer parse: the whole value must be digits (an optional
+// leading '-' is accepted so "-3" reports "out of range", not "not a
+// number").
+bool ParseInt(const std::string& value, long* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+// Splits "--name=value"; returns true if arg is exactly "--name=...".
+bool FlagValue(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
 }  // namespace
 
 int ThreadsFlag() { return g_threads; }
 void SetThreadsFlag(int n) { g_threads = n; }
+
+std::string BenchUsage(const char* argv0) {
+  return std::string("usage: ") + argv0 +
+         " [--smoke] [--metrics_out=PATH] [--trace_out=PATH]\n"
+         "       [--threads=N] [--slowlog=N] [--slowlog_threshold_us=T]\n"
+         "       [--benchmark_* flags passed to google-benchmark]\n"
+         "\n"
+         "  --smoke                   minimal measurement time, one "
+         "repetition\n"
+         "  --metrics_out=PATH        metrics snapshot destination\n"
+         "  --trace_out=PATH          record spans, write Chrome trace "
+         "JSON\n"
+         "  --threads=N               override worker threads for "
+         "parallel rows (N >= 1)\n"
+         "  --slowlog=N               keep the N worst requests (N >= 1)\n"
+         "  --slowlog_threshold_us=T  only log requests >= T us (T >= "
+         "0)\n";
+}
+
+bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
+                     std::vector<std::string>* passthrough,
+                     std::string* error) {
+  passthrough->emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--smoke") {
+      flags->smoke = true;
+    } else if (FlagValue(arg, "metrics_out", &value)) {
+      if (value.empty()) {
+        *error = "--metrics_out needs a path";
+        return false;
+      }
+      flags->metrics_out = value;
+    } else if (FlagValue(arg, "trace_out", &value)) {
+      if (value.empty()) {
+        *error = "--trace_out needs a path";
+        return false;
+      }
+      flags->trace_out = value;
+    } else if (FlagValue(arg, "threads", &value)) {
+      long n = 0;
+      if (!ParseInt(value, &n)) {
+        *error = "--threads=" + value + ": not an integer";
+        return false;
+      }
+      if (n < 1) {
+        *error = "--threads=" + value + ": want N >= 1";
+        return false;
+      }
+      flags->threads = static_cast<int>(n);
+    } else if (FlagValue(arg, "slowlog", &value)) {
+      long n = 0;
+      if (!ParseInt(value, &n)) {
+        *error = "--slowlog=" + value + ": not an integer";
+        return false;
+      }
+      if (n < 1) {
+        *error = "--slowlog=" + value + ": want N >= 1";
+        return false;
+      }
+      flags->slowlog = static_cast<int>(n);
+    } else if (FlagValue(arg, "slowlog_threshold_us", &value)) {
+      double t = 0.0;
+      if (!ParseDouble(value, &t) || t < 0.0) {
+        *error = "--slowlog_threshold_us=" + value + ": want T >= 0";
+        return false;
+      }
+      flags->slowlog_threshold_us = t;
+    } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
+      // google-benchmark's own flags (and any non-flag argument) pass
+      // through untouched.
+      passthrough->push_back(arg);
+    } else {
+      *error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  SetThreadsFlag(flags->threads);
+  return true;
+}
 
 }  // namespace exearth::bench

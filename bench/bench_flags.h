@@ -1,16 +1,59 @@
 // Shared flags for the bench_e* binaries, parsed by bench_main.cc before
 // google-benchmark sees argv.
 //
-//   --threads=N   worker-thread override for the parallel query paths.
-//                 Benchmark rows whose `threads` argument is > 1 use this
-//                 value instead when set; rows with threads=1 stay
-//                 single-threaded so the baseline column survives. Recorded
-//                 in the metrics JSON snapshot ("config": {"threads": N}).
+//   --smoke                     fast CI mode: minimal measurement time,
+//                               one repetition
+//   --metrics_out=<path>        metrics snapshot destination (default:
+//                               <binary>.metrics.json next to argv[0])
+//   --trace_out=<path>          enable the span EventRecorder and write a
+//                               Chrome trace_event JSON (load it in
+//                               chrome://tracing or Perfetto)
+//   --threads=N                 worker-thread override for the parallel
+//                               query paths; N >= 1. Benchmark rows whose
+//                               `threads` argument is > 1 use this value
+//                               instead when set; rows with threads=1 stay
+//                               single-threaded so the baseline column
+//                               survives. Recorded in the metrics JSON
+//                               snapshot ("config": {"threads": N}).
+//   --slowlog=N                 enable the slow-query log, keeping the N
+//                               worst requests; N >= 1
+//   --slowlog_threshold_us=T    only log requests at or above T
+//                               microseconds (default 0 = everything)
+//
+// Unknown --flags (other than --benchmark_*) are rejected with a usage
+// message so typos fail loudly instead of silently running a default
+// configuration.
 
 #ifndef EXEARTH_BENCH_BENCH_FLAGS_H_
 #define EXEARTH_BENCH_BENCH_FLAGS_H_
 
+#include <string>
+#include <vector>
+
 namespace exearth::bench {
+
+/// Parsed values of the shared bench flags.
+struct BenchFlags {
+  bool smoke = false;
+  std::string metrics_out;
+  std::string trace_out;
+  int threads = 0;  // 0 = flag not given
+  int slowlog = 0;  // 0 = slow-query log disabled
+  double slowlog_threshold_us = 0.0;
+};
+
+/// Parses and strips the exearth flags from argv. argv[0] and every
+/// google-benchmark argument (--benchmark_*) land in `passthrough`.
+/// Returns false on a malformed value (e.g. --threads=0) or an unknown
+/// --flag, with a one-line description in `error`; the caller should
+/// print it with BenchUsage() and exit non-zero. Side effect on success:
+/// the global threads override is set for EffectiveThreads().
+bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
+                     std::vector<std::string>* passthrough,
+                     std::string* error);
+
+/// Usage text listing the shared bench flags.
+std::string BenchUsage(const char* argv0);
 
 /// Value of --threads, or 0 when the flag was not given.
 int ThreadsFlag();

@@ -1,53 +1,63 @@
 // Shared main() for every bench_e* binary (replaces BENCHMARK_MAIN).
 //
-// Extra flags, stripped before google-benchmark sees argv:
-//   --smoke               fast CI mode: minimal measurement time, one
-//                         repetition — proves the bench still runs
-//   --metrics_out=<path>  where to write the metrics snapshot
-//                         (default: <binary>.metrics.json next to argv[0])
-//   --threads=N           worker-thread override for parallel query rows
-//                         (see bench_flags.h); recorded in the snapshot
-//
-// After the benchmarks run, the process-wide MetricsRegistry and span
-// Tracer are dumped as one JSON document so every bench run leaves a
-// machine-diffable record of what the instrumented subsystems did (see
-// README "Observability" for the schema).
+// Extra flags, stripped (and validated) before google-benchmark sees
+// argv — see bench_flags.h for the list. After the benchmarks run, the
+// process-wide MetricsRegistry, span Tracer and slow-query log are dumped
+// as one JSON document so every bench run leaves a machine-diffable
+// record of what the instrumented subsystems did (see README
+// "Observability" for the schema). With --trace_out= a Chrome
+// trace_event JSON of every recorded request span is written as well.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_flags.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/query_profile.h"
 #include "common/trace.h"
 
-int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string metrics_out;
-  std::vector<std::string> args;
-  args.emplace_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg.rfind("--metrics_out=", 0) == 0) {
-      metrics_out = arg.substr(std::string("--metrics_out=").size());
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      exearth::bench::SetThreadsFlag(
-          std::atoi(arg.c_str() + std::string("--threads=").size()));
-    } else {
-      args.push_back(arg);
-    }
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "failed to open output %s\n", path.c_str());
+    return false;
   }
-  if (smoke) {
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exearth::common::InitLoggingFromEnv();
+
+  exearth::bench::BenchFlags flags;
+  std::vector<std::string> args;
+  std::string error;
+  if (!exearth::bench::ParseBenchFlags(argc, argv, &flags, &args, &error)) {
+    std::fprintf(stderr, "%s\n%s", error.c_str(),
+                 exearth::bench::BenchUsage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.smoke) {
     // benchmark 1.7 takes min_time as seconds; with 1ms each benchmark
     // case settles after a handful of iterations.
     args.push_back("--benchmark_min_time=0.001");
     args.push_back("--benchmark_repetitions=1");
+  }
+  if (!flags.trace_out.empty()) {
+    exearth::common::EventRecorder::Default().set_enabled(true);
+  }
+  if (flags.slowlog > 0) {
+    exearth::common::SlowQueryLog::Default().Configure(
+        static_cast<size_t>(flags.slowlog), flags.slowlog_threshold_us);
   }
 
   std::vector<char*> argv2;
@@ -59,22 +69,25 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (metrics_out.empty()) {
-    metrics_out = std::string(argv[0]) + ".metrics.json";
+  if (flags.metrics_out.empty()) {
+    flags.metrics_out = std::string(argv[0]) + ".metrics.json";
   }
   const std::string json =
-      "{\n\"config\": {\"threads\": " +
-      std::to_string(exearth::bench::ThreadsFlag()) +
-      "},\n\"metrics\": " + exearth::common::MetricsRegistry::Default().ToJson() +
-      ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() + "\n}\n";
-  std::ofstream out(metrics_out);
-  if (!out) {
-    std::fprintf(stderr, "failed to open metrics output %s\n",
-                 metrics_out.c_str());
-    return 1;
+      "{\n\"config\": {\"threads\": " + std::to_string(flags.threads) +
+      "},\n\"metrics\": " +
+      exearth::common::MetricsRegistry::Default().ToJson() +
+      ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() +
+      ",\n\"slow_queries\": " +
+      exearth::common::SlowQueryLog::Default().ToJson() + "\n}\n";
+  if (!WriteFile(flags.metrics_out, json)) return 1;
+  std::fprintf(stderr, "metrics snapshot: %s\n", flags.metrics_out.c_str());
+
+  if (!flags.trace_out.empty()) {
+    const std::string trace_json =
+        exearth::common::EventRecorder::Default().ToChromeTraceJson();
+    if (!WriteFile(flags.trace_out, trace_json)) return 1;
+    std::fprintf(stderr, "chrome trace: %s (load in chrome://tracing)\n",
+                 flags.trace_out.c_str());
   }
-  out << json;
-  out.close();
-  std::fprintf(stderr, "metrics snapshot: %s\n", metrics_out.c_str());
   return 0;
 }

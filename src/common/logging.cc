@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 
 namespace exearth::common {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_json_logging{false};
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,35 +29,92 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLevel(const std::string& value, LogLevel* out) {
+  const std::string v = ToLower(Trim(value));
+  if (v == "debug" || v == "0") *out = LogLevel::kDebug;
+  else if (v == "info" || v == "1") *out = LogLevel::kInfo;
+  else if (v == "warn" || v == "warning" || v == "2") *out = LogLevel::kWarning;
+  else if (v == "error" || v == "3") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void ApplyEnv() {
+  if (const char* level = std::getenv("EXEARTH_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (ParseLevel(level, &parsed)) {
+      g_log_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr,
+                   "[WARN logging] unrecognized EXEARTH_LOG_LEVEL=%s "
+                   "(want DEBUG|INFO|WARN|ERROR or 0..3)\n",
+                   level);
+    }
+  }
+  if (const char* json = std::getenv("EXEARTH_LOG_JSON")) {
+    const std::string v = ToLower(Trim(json));
+    g_json_logging.store(v == "1" || v == "true" || v == "json",
+                         std::memory_order_relaxed);
+  }
+}
 }  // namespace
 
+void InitLoggingFromEnv() { std::call_once(g_env_once, ApplyEnv); }
+
 LogLevel GetLogLevel() {
+  InitLoggingFromEnv();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
 void SetLogLevel(LogLevel level) {
+  // Apply the environment first so an explicit programmatic setting is
+  // never clobbered later by the lazy env read.
+  InitLoggingFromEnv();
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetJsonLogging(bool enabled) {
+  InitLoggingFromEnv();
+  g_json_logging.store(enabled, std::memory_order_relaxed);
+}
+
+bool JsonLoggingEnabled() {
+  InitLoggingFromEnv();
+  return g_json_logging.load(std::memory_order_relaxed);
 }
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
-    : level_(level), fatal_(fatal) {
+    : level_(level), file_(file), line_(line), fatal_(fatal) {
   enabled_ = fatal || static_cast<int>(level) >=
                           static_cast<int>(common::GetLogLevel());
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-  }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    stream_ << "\n";
-    std::cerr << stream_.str();
+    const char* base = file_;
+    for (const char* p = file_; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::string out;
+    if (JsonLoggingEnabled()) {
+      const auto ts_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+      out = StrFormat(
+          "{\"ts_us\": %lld, \"level\": \"%s\", \"src\": \"%s:%d\", "
+          "\"trace_id\": %llu, \"msg\": \"%s\"}\n",
+          static_cast<long long>(ts_us), LevelName(level_), base, line_,
+          static_cast<unsigned long long>(CurrentTraceContext().trace_id),
+          JsonEscape(stream_.str()).c_str());
+    } else {
+      out = StrFormat("[%s %s:%d] ", LevelName(level_), base, line_) +
+            stream_.str() + "\n";
+    }
+    std::cerr << out;
     std::cerr.flush();
   }
   if (fatal_) std::abort();

@@ -1,7 +1,18 @@
 // Minimal leveled logging and CHECK macros.
 //
 // Logging goes to stderr. The level can be raised globally to silence
-// benchmarks; CHECK failures always abort.
+// benchmarks; CHECK failures always abort. The level and output format
+// are also picked up from the environment the first time logging is
+// touched (or explicitly via InitLoggingFromEnv()):
+//
+//   EXEARTH_LOG_LEVEL = DEBUG | INFO | WARN | WARNING | ERROR | 0..3
+//   EXEARTH_LOG_JSON  = 1 | true    one JSON object per line, stamped
+//                                   with the active trace_id so log lines
+//                                   correlate with Chrome trace exports
+//
+// EEA_CHECK always runs; EEA_DCHECK compiles to a NullStream in NDEBUG
+// builds (condition and message are never evaluated), so debug-only
+// invariants cost nothing on release hot paths.
 
 #ifndef EXEARTH_COMMON_LOGGING_H_
 #define EXEARTH_COMMON_LOGGING_H_
@@ -19,6 +30,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Applies EXEARTH_LOG_LEVEL / EXEARTH_LOG_JSON from the environment.
+/// Runs at most once per process; also triggered lazily by the first log
+/// statement, so calling it is only needed to control *when* (e.g. before
+/// programmatic SetLogLevel overrides).
+void InitLoggingFromEnv();
+
+/// Structured output: one JSON object per line
+///   {"ts_us": ..., "level": "INFO", "src": "file.cc:42",
+///    "trace_id": ..., "msg": "..."}
+/// instead of the human-readable "[LEVEL file:line] msg" prefix.
+void SetJsonLogging(bool enabled);
+bool JsonLoggingEnabled();
+
 namespace internal_logging {
 
 class LogMessage {
@@ -33,6 +57,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   bool fatal_;
   bool enabled_;
   std::ostringstream stream_;
@@ -67,6 +93,15 @@ struct NullStream {
     EEA_CHECK(_eea_chk.ok()) << _eea_chk.ToString();                    \
   } while (false)
 
+#ifdef NDEBUG
+// Dead code: `cond` is parsed (so its variables stay "used") but the
+// short-circuit guarantees it is never evaluated, and the optimizer
+// removes the whole statement including the streamed message.
+#define EEA_DCHECK(cond)                          \
+  while (false && static_cast<bool>(cond))        \
+  ::exearth::common::internal_logging::NullStream()
+#else
 #define EEA_DCHECK(cond) EEA_CHECK(cond)
+#endif
 
 #endif  // EXEARTH_COMMON_LOGGING_H_

@@ -1,0 +1,139 @@
+#include "common/query_profile.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace exearth::common {
+
+namespace {
+
+thread_local int g_profile_depth = 0;
+
+std::string OperatorToJson(const OperatorProfile& op) {
+  return StrFormat(
+      "{\"name\": \"%s\", \"wall_us\": %.3f, \"rows_in\": %llu, "
+      "\"rows_out\": %llu, \"envelope_hits\": %llu, \"chunks\": %llu, "
+      "\"threads\": %llu}",
+      JsonEscape(op.name).c_str(), op.wall_us,
+      static_cast<unsigned long long>(op.rows_in),
+      static_cast<unsigned long long>(op.rows_out),
+      static_cast<unsigned long long>(op.envelope_hits),
+      static_cast<unsigned long long>(op.chunks),
+      static_cast<unsigned long long>(op.threads));
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  std::string out = StrFormat(
+      "{\"query\": \"%s\", \"trace_id\": %llu, \"total_us\": %.3f, "
+      "\"operators\": [",
+      JsonEscape(query).c_str(),
+      static_cast<unsigned long long>(trace_id), total_us);
+  for (size_t i = 0; i < operators.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += OperatorToJson(operators[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfile::ToText() const {
+  std::string out =
+      StrFormat("%s  (trace %llu, total %.1f us)\n", query.c_str(),
+                static_cast<unsigned long long>(trace_id), total_us);
+  for (const OperatorProfile& op : operators) {
+    out += StrFormat("  %-28s wall=%.1fus rows=%llu->%llu", op.name.c_str(),
+                     op.wall_us, static_cast<unsigned long long>(op.rows_in),
+                     static_cast<unsigned long long>(op.rows_out));
+    if (op.envelope_hits > 0) {
+      out += StrFormat(" envelope_hits=%llu",
+                       static_cast<unsigned long long>(op.envelope_hits));
+    }
+    if (op.chunks > 1) {
+      out += StrFormat(" chunks=%llu",
+                       static_cast<unsigned long long>(op.chunks));
+    }
+    if (op.threads > 1) {
+      out += StrFormat(" threads=%llu",
+                       static_cast<unsigned long long>(op.threads));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ProfileScope::ProfileScope() : root_(g_profile_depth == 0) {
+  ++g_profile_depth;
+}
+
+ProfileScope::~ProfileScope() { --g_profile_depth; }
+
+SlowQueryLog& SlowQueryLog::Default() {
+  static SlowQueryLog* log = new SlowQueryLog();  // never freed
+  return *log;
+}
+
+void SlowQueryLog::Configure(size_t capacity, double threshold_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  threshold_us_ = threshold_us;
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SlowQueryLog::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double SlowQueryLog::threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_us_;
+}
+
+size_t SlowQueryLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void SlowQueryLog::Record(QueryProfile profile) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (profile.total_us < threshold_us_) return;
+  if (entries_.size() == capacity_ &&
+      profile.total_us <= entries_.back().total_us) {
+    return;
+  }
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), profile,
+      [](const QueryProfile& a, const QueryProfile& b) {
+        return a.total_us > b.total_us;
+      });
+  entries_.insert(pos, std::move(profile));
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<QueryProfile> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<QueryProfile> entries = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",\n ";
+    out += entries[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace exearth::common

@@ -1,0 +1,112 @@
+// EXPLAIN ANALYZE-style per-query profiles and the bounded slow-query
+// log.
+//
+// Query entry points (strabon::GeoStore, fed::FederationEngine) fill a
+// QueryProfile — one OperatorProfile per executed operator with wall
+// time and in/out cardinalities — and hand it to the caller and/or the
+// process-wide SlowQueryLog. The log keeps the N worst requests at or
+// above a latency threshold, so "which requests were slow, and where did
+// they spend it" survives without unbounded memory.
+//
+// Profiles are only materialized when a caller asked for one or the
+// slow-query log is enabled; otherwise the query paths skip all string
+// and vector work (one relaxed load per query).
+
+#ifndef EXEARTH_COMMON_QUERY_PROFILE_H_
+#define EXEARTH_COMMON_QUERY_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace exearth::common {
+
+/// One operator of an executed query plan.
+struct OperatorProfile {
+  std::string name;
+  double wall_us = 0.0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  /// Candidates resolved by envelope containment alone (spatial paths).
+  uint64_t envelope_hits = 0;
+  /// Parallel chunks the operator split into, or remote subqueries it
+  /// issued (federation).
+  uint64_t chunks = 1;
+  uint64_t threads = 1;
+};
+
+/// Execution profile of one request, returned alongside its results.
+struct QueryProfile {
+  std::string query;      // entry-point name, e.g. "strabon.SpatialSelect"
+  uint64_t trace_id = 0;  // links to the Chrome trace / JSON log lines
+  double total_us = 0.0;
+  std::vector<OperatorProfile> operators;
+
+  std::string ToJson() const;
+  /// Human-readable plan table (EXPLAIN ANALYZE style).
+  std::string ToText() const;
+};
+
+/// Marks "a profiled query is executing on this thread". Entry points
+/// create one; is_root() tells nested entry points (e.g. the
+/// SpatialSelect inside QueryWithSpatialFilter) to leave slow-query
+/// logging to the outermost request.
+class ProfileScope {
+ public:
+  ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+  ~ProfileScope();
+
+  bool is_root() const { return root_; }
+
+ private:
+  bool root_;
+};
+
+/// Bounded ring of the worst requests: keeps the `capacity` profiles with
+/// the highest total_us among those at or above `threshold_us`. Disabled
+/// (and free on the hot path) until Configure() is called. Thread-safe.
+class SlowQueryLog {
+ public:
+  /// The process-wide log (never destroyed).
+  static SlowQueryLog& Default();
+
+  SlowQueryLog() = default;
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Enables the log: keep the `capacity` worst profiles with
+  /// total_us >= threshold_us. Existing entries are kept (re-trimmed to
+  /// the new capacity).
+  void Configure(size_t capacity, double threshold_us);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  double threshold_us() const;
+  size_t capacity() const;
+
+  /// Admits `profile` if it qualifies; drops it otherwise.
+  void Record(QueryProfile profile);
+
+  /// Current entries, worst (highest total_us) first.
+  std::vector<QueryProfile> Snapshot() const;
+
+  /// JSON array of the entries, worst first.
+  std::string ToJson() const;
+
+  /// Drops all entries; configuration survives.
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  double threshold_us_ = 0.0;
+  std::vector<QueryProfile> entries_;  // sorted by total_us descending
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_QUERY_PROFILE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/trace.h"
+
 namespace exearth::common {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -23,7 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
+  // Capture the submitter's trace context so the task attaches to the
+  // originating request (chunked refinement, fan-out, ...) even though it
+  // runs on a pool thread.
+  std::packaged_task<void()> task(
+      [ctx = CurrentTraceContext(), fn = std::move(fn)] {
+        ScopedTraceContext adopt(ctx);
+        fn();
+      });
   std::future<void> fut = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -29,7 +29,10 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues `fn` for execution; the returned future completes when it ran.
+  /// Enqueues `fn` for execution; the returned future completes when it
+  /// ran. The submitter's TraceContext is captured at enqueue and adopted
+  /// by the worker for the task's duration, so request-scoped spans
+  /// recorded inside `fn` attach to the originating request.
   std::future<void> Submit(std::function<void()> fn);
 
   /// Runs fn(i) for i in [0, n), partitioned across the pool, and blocks

@@ -123,7 +123,11 @@ struct DfsMetrics {
 
 // Per-operation instrumentation: one relaxed increment for the op class,
 // one for the total throughput counter, a latency observation and a trace
-// span. `op_counter` is the call site's cached per-op counter.
+// request. Each metadata op is an entry point — when no request is active
+// it starts its own trace, so HopsFS ops called from inside a traced
+// request (e.g. ingestion) nest under it, while standalone ops still get
+// a trace_id of their own. `op_counter` is the call site's cached per-op
+// counter.
 class MetadataOpScope {
  public:
   MetadataOpScope(const char* span_name, common::Counter* op_counter)
@@ -133,7 +137,7 @@ class MetadataOpScope {
   }
 
  private:
-  common::TraceSpan span_;
+  common::TraceRequest span_;
   common::ScopedLatencyTimer timer_;
 };
 

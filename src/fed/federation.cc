@@ -1,6 +1,7 @@
 #include "fed/federation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <set>
 
@@ -38,10 +39,18 @@ struct FedMetrics {
   }
 };
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 Endpoint::Endpoint(std::string name, rdf::TripleStore store)
-    : name_(std::move(name)), store_(std::move(store)) {
+    : name_(std::move(name)),
+      trace_label_("endpoint:" + name_),
+      store_(std::move(store)) {
   store_.Build();
   for (const auto& [pred_id, count] : store_.PredicateStats()) {
     const rdf::Term& term = store_.dict().Decode(pred_id);
@@ -51,7 +60,7 @@ Endpoint::Endpoint(std::string name, rdf::TripleStore store)
 
 std::vector<std::map<std::string, rdf::Term>> Endpoint::ExecutePattern(
     const rdf::TriplePattern& pattern) const {
-  ++calls_served_;
+  calls_served_.fetch_add(1, std::memory_order_relaxed);
   rdf::QueryEngine engine(&store_);
   rdf::Query q;
   q.where.push_back(pattern);
@@ -71,6 +80,17 @@ std::vector<std::map<std::string, rdf::Term>> Endpoint::ExecutePattern(
 
 void FederationEngine::Register(const Endpoint* endpoint) {
   endpoints_.push_back(endpoint);
+}
+
+void FederationEngine::set_num_threads(size_t n) {
+  num_threads_ = std::max<size_t>(1, n);
+  if (num_threads_ > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != num_threads_) {
+      pool_ = std::make_unique<common::ThreadPool>(num_threads_);
+    }
+  } else {
+    pool_.reset();
+  }
 }
 
 std::vector<const Endpoint*> FederationEngine::SelectSources(
@@ -146,9 +166,15 @@ std::string PatternKey(const rdf::TriplePattern& p) {
 
 Result<std::vector<FedBinding>> FederationEngine::Execute(
     const rdf::Query& query, const FederationOptions& options,
-    const std::vector<FedFilter>& filters) const {
+    const std::vector<FedFilter>& filters,
+    common::QueryProfile* profile) const {
   const FedMetrics& metrics = FedMetrics::Get();
-  common::TraceSpan span("fed.Execute");
+  common::TraceRequest req("fed.Execute");
+  common::ProfileScope pscope;
+  const bool profiling =
+      profile != nullptr ||
+      (pscope.is_root() && common::SlowQueryLog::Default().enabled());
+  const auto query_start = std::chrono::steady_clock::now();
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
   stats_ = FederationStats{};
@@ -206,29 +232,47 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
     const std::string key = PatternKey(pattern);
     auto it = memo.find(key);
     if (it != memo.end()) return it->second;
+    const std::vector<const Endpoint*> sources =
+        SelectSources(pattern, options);
+    // Per-source result slots: the fan-out runs on the pool (one task per
+    // endpoint) but the merge below walks slots in SelectSources order, so
+    // results are deterministic regardless of completion order.
+    std::vector<std::vector<FedBinding>> slots(sources.size());
+    auto call_one = [&](size_t i) {
+      // Per-source fan-out latency: one observation per remote call.
+      common::TraceSpan call_span(sources[i]->trace_label());
+      common::ScopedLatencyTimer call_timer(metrics.endpoint_call_latency_us);
+      slots[i] = sources[i]->ExecutePattern(pattern);
+    };
+    if (pool_ != nullptr && sources.size() > 1) {
+      std::vector<std::future<void>> pending;
+      pending.reserve(sources.size());
+      for (size_t i = 0; i < sources.size(); ++i) {
+        pending.push_back(pool_->Submit([&call_one, i] { call_one(i); }));
+      }
+      for (auto& f : pending) f.get();
+    } else {
+      for (size_t i = 0; i < sources.size(); ++i) call_one(i);
+    }
     std::vector<FedBinding> rows;
-    for (const Endpoint* e : SelectSources(pattern, options)) {
+    for (size_t i = 0; i < sources.size(); ++i) {
       ++stats_.subqueries_sent;
       metrics.subqueries->Increment();
-      contacted.insert(e);
-      std::vector<FedBinding> endpoint_rows;
-      {
-        // Per-source fan-out latency: one observation per remote call.
-        common::TraceSpan call_span("endpoint_call");
-        common::ScopedLatencyTimer call_timer(
-            metrics.endpoint_call_latency_us);
-        endpoint_rows = e->ExecutePattern(pattern);
-      }
-      stats_.rows_transferred += endpoint_rows.size();
-      metrics.rows_transferred->Increment(endpoint_rows.size());
-      for (auto& row : endpoint_rows) rows.push_back(std::move(row));
+      contacted.insert(sources[i]);
+      stats_.rows_transferred += slots[i].size();
+      metrics.rows_transferred->Increment(slots[i].size());
+      for (auto& row : slots[i]) rows.push_back(std::move(row));
     }
     return memo.emplace(key, std::move(rows)).first->second;
   };
 
+  common::QueryProfile prof;
   std::vector<FedBinding> current = {FedBinding{}};
   for (size_t oi : order) {
     const rdf::TriplePattern& pattern = query.where[oi];
+    const auto step_start = std::chrono::steady_clock::now();
+    const uint64_t subqueries_before = stats_.subqueries_sent;
+    const size_t rows_in = current.size();
     std::vector<FedBinding> next;
     for (const FedBinding& row : current) {
       rdf::TriplePattern bound_pattern = BindPattern(pattern, row);
@@ -248,11 +292,23 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       }
     }
     current = std::move(next);
+    if (profiling) {
+      common::OperatorProfile op;
+      op.name = "join " + PatternKey(pattern);
+      op.wall_us = SecondsSince(step_start) * 1e6;
+      op.rows_in = rows_in;
+      op.rows_out = current.size();
+      op.chunks = stats_.subqueries_sent - subqueries_before;
+      op.threads = pool_ != nullptr ? num_threads_ : 1;
+      prof.operators.push_back(std::move(op));
+    }
     if (current.empty()) break;
   }
 
   // Term-level filters.
   if (!filters.empty()) {
+    const auto filter_start = std::chrono::steady_clock::now();
+    const size_t rows_in = current.size();
     std::vector<FedBinding> kept;
     for (FedBinding& row : current) {
       bool ok = true;
@@ -265,8 +321,17 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       if (ok) kept.push_back(std::move(row));
     }
     current = std::move(kept);
+    if (profiling) {
+      common::OperatorProfile op;
+      op.name = "filter";
+      op.wall_us = SecondsSince(filter_start) * 1e6;
+      op.rows_in = rows_in;
+      op.rows_out = current.size();
+      prof.operators.push_back(std::move(op));
+    }
   }
 
+  const size_t rows_before_project = current.size();
   if (query.limit > 0 && current.size() > query.limit) {
     current.resize(query.limit);
   }
@@ -282,6 +347,22 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
   }
   stats_.endpoints_contacted = contacted.size();
   stats_.results = current.size();
+  if (profiling) {
+    if (query.limit > 0 || !query.select.empty()) {
+      common::OperatorProfile op;
+      op.name = "project_limit";
+      op.rows_in = rows_before_project;
+      op.rows_out = current.size();
+      prof.operators.push_back(std::move(op));
+    }
+    prof.query = "fed.Execute";
+    prof.trace_id = req.trace_id();
+    prof.total_us = SecondsSince(query_start) * 1e6;
+    if (profile != nullptr) *profile = prof;
+    if (pscope.is_root()) {
+      common::SlowQueryLog::Default().Record(std::move(prof));
+    }
+  }
   return current;
 }
 

@@ -10,7 +10,9 @@
 #ifndef EXEARTH_FED_FEDERATION_H_
 #define EXEARTH_FED_FEDERATION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,7 +20,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/query_profile.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "rdf/query.h"
 #include "rdf/triple_store.h"
 
@@ -43,17 +47,25 @@ class Endpoint {
   }
 
   /// Executes a single-pattern subquery, returning term-level rows.
-  /// Counts one remote call.
+  /// Counts one remote call. Safe to call concurrently (the mediator
+  /// fans out to endpoints in parallel).
   std::vector<std::map<std::string, rdf::Term>> ExecutePattern(
       const rdf::TriplePattern& pattern) const;
 
-  uint64_t calls_served() const { return calls_served_; }
+  uint64_t calls_served() const {
+    return calls_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stable span name for this endpoint's remote calls ("endpoint:name");
+  /// outlives any query, so it is safe as a TraceSpan name.
+  const char* trace_label() const { return trace_label_.c_str(); }
 
  private:
   std::string name_;
+  std::string trace_label_;
   rdf::TripleStore store_;
   std::unordered_map<std::string, uint64_t> summary_;
-  mutable uint64_t calls_served_ = 0;
+  mutable std::atomic<uint64_t> calls_served_{0};
 };
 
 /// A federated solution row: variable -> term.
@@ -86,12 +98,22 @@ class FederationEngine {
   /// A term-level filter over a federated row.
   using FedFilter = std::function<bool(const FedBinding&)>;
 
+  /// Worker threads for the per-pattern endpoint fan-out; n <= 1 calls
+  /// endpoints serially. Not safe to call concurrently with Execute.
+  void set_num_threads(size_t n);
+  size_t num_threads() const { return num_threads_; }
+
   /// Evaluates a BGP (+projection/limit) across the federation.
   /// `query.filters` (id-level) are ignored — pass term-level filters via
-  /// `filters` instead, since ids are endpoint-private.
+  /// `filters` instead, since ids are endpoint-private. Opens a
+  /// common::TraceRequest, so endpoint calls (including those made on
+  /// pool workers) trace under one request; a per-join-step operator
+  /// breakdown is written to `profile` when non-null and fed to the
+  /// SlowQueryLog when that is enabled.
   common::Result<std::vector<FedBinding>> Execute(
       const rdf::Query& query, const FederationOptions& options,
-      const std::vector<FedFilter>& filters = {}) const;
+      const std::vector<FedFilter>& filters = {},
+      common::QueryProfile* profile = nullptr) const;
 
   const FederationStats& last_stats() const { return stats_; }
 
@@ -106,6 +128,8 @@ class FederationEngine {
                                const FederationOptions& options) const;
 
   std::vector<const Endpoint*> endpoints_;
+  size_t num_threads_ = 1;
+  std::unique_ptr<common::ThreadPool> pool_;
   mutable FederationStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "geo/rtree.h"
 
 namespace exearth::link {
@@ -63,6 +64,7 @@ size_t RunChunked(size_t n, size_t threads,
 SpatialLinkResult DiscoverSpatialLinks(const std::vector<geo::Geometry>& a,
                                        const std::vector<geo::Geometry>& b,
                                        const SpatialLinkOptions& options) {
+  common::TraceRequest req("link.DiscoverSpatialLinks");
   SpatialLinkResult result;
   // Worker-local accumulators, merged in chunk order below.
   struct Local {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace exearth::link {
 
@@ -83,6 +84,7 @@ SortedIndex BuildIndex(const std::vector<Interval>& b) {
 TemporalLinkResult DiscoverTemporalLinks(const std::vector<Interval>& a,
                                          const std::vector<Interval>& b,
                                          const TemporalLinkOptions& options) {
+  common::TraceRequest req("link.DiscoverTemporalLinks");
   TemporalLinkResult result;
   if (!options.use_index || b.empty()) {
     for (size_t i = 0; i < a.size(); ++i) {

@@ -109,7 +109,7 @@ double DataParallelTrainer::SyncTime(uint64_t gradient_bytes) const {
 }
 
 DistributedEpochStats DataParallelTrainer::TrainEpoch(raster::Dataset* ds) {
-  common::TraceSpan epoch_span("ml.TrainEpoch");
+  common::TraceRequest epoch_span("ml.TrainEpoch");
   const DistMetrics& metrics = DistMetrics::Get();
   ds->Shuffle(&rng_);
   DistributedEpochStats stats;

@@ -40,7 +40,7 @@ struct IngestionMetrics {
 
 Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
   const IngestionMetrics& metrics = IngestionMetrics::Get();
-  common::TraceSpan span("platform.SimulateIngestion");
+  common::TraceRequest span("platform.SimulateIngestion");
   metrics.runs->Increment();
   if (options.products_per_day <= 0 || options.mean_product_gb <= 0 ||
       options.days <= 0) {

@@ -44,7 +44,7 @@ struct SchedulerMetrics {
 Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
                                     const sim::Cluster& cluster) {
   const SchedulerMetrics& metrics = SchedulerMetrics::Get();
-  common::TraceSpan span("platform.ScheduleJobs");
+  common::TraceRequest span("platform.ScheduleJobs");
   metrics.runs->Increment();
   const int n = static_cast<int>(jobs.size());
   // Validate dependencies.

@@ -205,11 +205,17 @@ size_t GeoStore::RunChunked(
 std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
                                               SpatialRelation relation,
                                               bool use_index,
-                                              SpatialQueryStats* stats_out)
-    const {
+                                              SpatialQueryStats* stats_out,
+                                              common::QueryProfile*
+                                                  profile_out) const {
   EEA_CHECK(spatial_built_) << "SpatialSelect before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
-  common::TraceSpan span("strabon.SpatialSelect");
+  common::TraceRequest req("strabon.SpatialSelect");
+  common::ProfileScope pscope;
+  const bool profiling =
+      profile_out != nullptr ||
+      (pscope.is_root() && common::SlowQueryLog::Default().enabled());
+  const auto query_start = std::chrono::steady_clock::now();
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
   SpatialQueryStats stats;
@@ -217,6 +223,7 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
 
   // Candidate set: dense arena indices.
   std::vector<uint32_t> candidates;
+  const auto probe_start = std::chrono::steady_clock::now();
   if (use_index) {
     common::TraceSpan probe_span("index_probe");
     common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
@@ -236,6 +243,7 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
     for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
   stats.candidates = candidates.size();
+  const double probe_secs = SecondsSince(probe_start);
 
   // Refinement, partitioned across the pool: thread-local result vectors
   // and stats, merged in chunk order (final order fixed by the sort).
@@ -280,31 +288,97 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
   metrics.result_cardinality->Observe(static_cast<double>(out.size()));
   RecordLastStats(stats);
   if (stats_out != nullptr) *stats_out = stats;
+  if (profiling) {
+    common::QueryProfile prof;
+    prof.query = "strabon.SpatialSelect";
+    prof.trace_id = req.trace_id();
+    prof.total_us = SecondsSince(query_start) * 1e6;
+    common::OperatorProfile probe_op;
+    probe_op.name = use_index ? "index_probe" : "full_scan";
+    probe_op.wall_us = probe_secs * 1e6;
+    probe_op.rows_in = geoms_.size();
+    probe_op.rows_out = stats.candidates;
+    prof.operators.push_back(std::move(probe_op));
+    common::OperatorProfile refine_op;
+    refine_op.name = "refine";
+    refine_op.wall_us = SecondsSince(refine_start) * 1e6;
+    refine_op.rows_in = stats.candidates;
+    refine_op.rows_out = stats.results;
+    refine_op.envelope_hits = stats.envelope_hits;
+    refine_op.chunks = used;
+    refine_op.threads = used > 1 ? num_threads_ : 1;
+    prof.operators.push_back(std::move(refine_op));
+    if (profile_out != nullptr) *profile_out = prof;
+    if (pscope.is_root()) {
+      common::SlowQueryLog::Default().Record(std::move(prof));
+    }
+  }
   return out;
 }
 
 Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     const rdf::Query& query, const std::string& subject_var,
     const geo::Box& query_box, bool use_index,
-    SpatialQueryStats* stats_out) const {
+    SpatialQueryStats* stats_out, common::QueryProfile* profile_out) const {
   EEA_CHECK(spatial_built_) << "spatial query before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
-  common::TraceSpan span("strabon.QueryWithSpatialFilter");
+  common::TraceRequest req("strabon.QueryWithSpatialFilter");
+  common::ProfileScope pscope;
+  const bool profiling =
+      profile_out != nullptr ||
+      (pscope.is_root() && common::SlowQueryLog::Default().enabled());
+  const auto query_start = std::chrono::steady_clock::now();
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
+  common::QueryProfile prof;
+  prof.query = "strabon.QueryWithSpatialFilter";
+  prof.trace_id = req.trace_id();
+  auto finish_profile = [&] {
+    if (!profiling) return;
+    prof.total_us = SecondsSince(query_start) * 1e6;
+    if (profile_out != nullptr) *profile_out = prof;
+    if (pscope.is_root()) {
+      common::SlowQueryLog::Default().Record(std::move(prof));
+    }
+  };
+  auto add_op = [&](const char* name, double secs, uint64_t rows_in,
+                    uint64_t rows_out) -> common::OperatorProfile* {
+    if (!profiling) return nullptr;
+    common::OperatorProfile op;
+    op.name = name;
+    op.wall_us = secs * 1e6;
+    op.rows_in = rows_in;
+    op.rows_out = rows_out;
+    prof.operators.push_back(std::move(op));
+    return &prof.operators.back();
+  };
   rdf::QueryEngine engine(&store_);
   if (use_index) {
     // Pushdown: compute the spatial candidates first, then restrict the
     // BGP results to them (semantically identical to post-filtering).
     SpatialQueryStats stats;
+    const auto select_start = std::chrono::steady_clock::now();
     std::vector<uint64_t> subjects =
         SpatialSelect(query_box, SpatialRelation::kIntersects, true, &stats);
+    if (common::OperatorProfile* op =
+            add_op("spatial_select", SecondsSince(select_start),
+                   geoms_.size(), subjects.size())) {
+      op->envelope_hits = stats.envelope_hits;
+      op->chunks = stats.threads_used;
+      op->threads = stats.threads_used > 1 ? num_threads_ : 1;
+    }
     if (stats_out != nullptr) *stats_out = stats;
     // No subject survives the spatial constraint: skip the BGP entirely.
-    if (subjects.empty()) return std::vector<rdf::Binding>{};
+    if (subjects.empty()) {
+      finish_profile();
+      return std::vector<rdf::Binding>{};
+    }
     std::vector<rdf::Binding> out;
+    const auto bgp_start = std::chrono::steady_clock::now();
     EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
                          engine.Execute(query));
+    add_op("bgp", SecondsSince(bgp_start), 0, rows.size());
+    const auto filter_start = std::chrono::steady_clock::now();
     for (rdf::Binding& b : rows) {
       auto it = b.find(subject_var);
       if (it == b.end()) continue;
@@ -312,12 +386,18 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
         out.push_back(std::move(b));
       }
     }
+    add_op("subject_filter", SecondsSince(filter_start), rows.size(),
+           out.size());
+    finish_profile();
     return out;
   }
   // Baseline: evaluate the BGP, then test each binding's geometry.
   SpatialQueryStats stats;
+  const auto bgp_start = std::chrono::steady_clock::now();
   EEA_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows, engine.Execute(query));
+  add_op("bgp", SecondsSince(bgp_start), 0, rows.size());
   std::vector<rdf::Binding> out;
+  const auto filter_start = std::chrono::steady_clock::now();
   for (rdf::Binding& b : rows) {
     auto it = b.find(subject_var);
     if (it == b.end()) continue;
@@ -328,9 +408,15 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
       out.push_back(std::move(b));
     }
   }
+  if (common::OperatorProfile* op = add_op(
+          "geometry_filter", SecondsSince(filter_start), rows.size(),
+          out.size())) {
+    op->envelope_hits = stats.envelope_hits;
+  }
   stats.results = out.size();
   RecordLastStats(stats);
   if (stats_out != nullptr) *stats_out = stats;
+  finish_profile();
   return out;
 }
 
@@ -355,10 +441,15 @@ bool EvalGeomRelation(const geo::Geometry& a, const geo::Geometry& b,
 std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
     const std::string& class_a_iri, const std::string& class_b_iri,
     SpatialRelation relation, bool use_index,
-    SpatialQueryStats* stats_out) const {
+    SpatialQueryStats* stats_out, common::QueryProfile* profile_out) const {
   EEA_CHECK(spatial_built_) << "SpatialJoin before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
-  common::TraceSpan span("strabon.SpatialJoin");
+  common::TraceRequest req("strabon.SpatialJoin");
+  common::ProfileScope pscope;
+  const bool profiling =
+      profile_out != nullptr ||
+      (pscope.is_root() && common::SlowQueryLog::Default().enabled());
+  const auto query_start = std::chrono::steady_clock::now();
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
   SpatialQueryStats stats;
@@ -377,8 +468,10 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
     std::sort(out.begin(), out.end());
     return out;
   };
+  const auto members_start = std::chrono::steady_clock::now();
   const std::vector<uint32_t> as = members_of(class_a_iri);
   const std::vector<uint32_t> bs = members_of(class_b_iri);
+  const double members_secs = SecondsSince(members_start);
 
   // Probe loop over `as`, partitioned across the pool; each worker probes
   // with thread-local output and stats, merged in chunk order before the
@@ -457,6 +550,30 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
   metrics.result_cardinality->Observe(static_cast<double>(out.size()));
   RecordLastStats(stats);
   if (stats_out != nullptr) *stats_out = stats;
+  if (profiling) {
+    common::QueryProfile prof;
+    prof.query = "strabon.SpatialJoin";
+    prof.trace_id = req.trace_id();
+    prof.total_us = SecondsSince(query_start) * 1e6;
+    common::OperatorProfile members_op;
+    members_op.name = "members_scan";
+    members_op.wall_us = members_secs * 1e6;
+    members_op.rows_out = as.size() + bs.size();
+    prof.operators.push_back(std::move(members_op));
+    common::OperatorProfile probe_op;
+    probe_op.name = use_index ? "index_probe_join" : "nested_loop_join";
+    probe_op.wall_us = SecondsSince(probe_start) * 1e6;
+    probe_op.rows_in = as.size();
+    probe_op.rows_out = stats.results;
+    probe_op.envelope_hits = stats.envelope_hits;
+    probe_op.chunks = used;
+    probe_op.threads = used > 1 ? num_threads_ : 1;
+    prof.operators.push_back(std::move(probe_op));
+    if (profile_out != nullptr) *profile_out = prof;
+    if (pscope.is_root()) {
+      common::SlowQueryLog::Default().Record(std::move(prof));
+    }
+  }
   return out;
 }
 

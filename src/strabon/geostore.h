@@ -21,6 +21,12 @@
 // of SpatialSelect and the probe loop of SpatialJoin are partitioned
 // across a common::ThreadPool; results are merged deterministically and
 // are byte-identical to the single-threaded path.
+//
+// Each query method opens a common::TraceRequest, so with the
+// EventRecorder enabled the probe and every refinement chunk appear as
+// spans of one trace in the Chrome trace export; with the SlowQueryLog
+// enabled (or a `profile` out-param passed) a per-operator QueryProfile
+// is built as well.
 
 #ifndef EXEARTH_STRABON_GEOSTORE_H_
 #define EXEARTH_STRABON_GEOSTORE_H_
@@ -33,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_profile.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -94,10 +101,14 @@ class GeoStore {
   /// Subjects whose geometry satisfies `relation` with the query box
   /// (rectangular spatial selection — the E1 workload). `use_index`
   /// selects pushdown vs full scan; results are identical. Per-query
-  /// statistics are written to `stats` when non-null.
+  /// statistics are written to `stats` when non-null; an EXPLAIN
+  /// ANALYZE-style operator breakdown is written to `profile` when
+  /// non-null (and fed to the SlowQueryLog when that is enabled).
   std::vector<uint64_t> SpatialSelect(const geo::Box& query,
                                       SpatialRelation relation, bool use_index,
-                                      SpatialQueryStats* stats = nullptr) const;
+                                      SpatialQueryStats* stats = nullptr,
+                                      common::QueryProfile* profile =
+                                          nullptr) const;
 
   /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
   /// subject geometry intersects `query_box` — with the spatial constraint
@@ -105,7 +116,8 @@ class GeoStore {
   common::Result<std::vector<rdf::Binding>> QueryWithSpatialFilter(
       const rdf::Query& query, const std::string& subject_var,
       const geo::Box& query_box, bool use_index,
-      SpatialQueryStats* stats = nullptr) const;
+      SpatialQueryStats* stats = nullptr,
+      common::QueryProfile* profile = nullptr) const;
 
   /// Spatial join between two feature classes (stSPARQL's
   /// `?a strdf:relation ?b` pattern): all (a, b) subject-id pairs where a
@@ -116,7 +128,8 @@ class GeoStore {
   std::vector<std::pair<uint64_t, uint64_t>> SpatialJoin(
       const std::string& class_a_iri, const std::string& class_b_iri,
       SpatialRelation relation, bool use_index,
-      SpatialQueryStats* stats = nullptr) const;
+      SpatialQueryStats* stats = nullptr,
+      common::QueryProfile* profile = nullptr) const;
 
   /// The parsed geometry of a subject (nullptr if it has none).
   const geo::Geometry* GeometryOf(uint64_t subject_id) const;

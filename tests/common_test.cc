@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -335,6 +336,46 @@ TEST(StopwatchTest, MeasuresElapsed) {
   EXPECT_GE(sw.ElapsedSeconds(), t0);
   sw.Restart();
   EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+// --- Logging macros ----------------------------------------------------
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  int n = 0;
+  EEA_CHECK(++n == 1) << "never printed";
+  EXPECT_EQ(n, 1);
+}
+
+#ifdef NDEBUG
+TEST(LoggingTest, DcheckCompiledOutInRelease) {
+  // The condition must not be evaluated — side effects vanish — and the
+  // streamed message must compile without running.
+  int n = 0;
+  EEA_DCHECK(++n == 1) << "never evaluated " << n;
+  EXPECT_EQ(n, 0);
+  EEA_DCHECK(false) << "a failing DCHECK is a no-op in NDEBUG";
+}
+#else
+TEST(LoggingTest, DcheckEvaluatesInDebug) {
+  int n = 0;
+  EEA_DCHECK(++n == 1) << "never printed";
+  EXPECT_EQ(n, 1);
+  EXPECT_DEATH(EEA_DCHECK(n == 2) << "boom", "Check failed");
+}
+#endif
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, JsonLoggingToggle) {
+  SetJsonLogging(true);
+  EXPECT_TRUE(JsonLoggingEnabled());
+  SetJsonLogging(false);
+  EXPECT_FALSE(JsonLoggingEnabled());
 }
 
 }  // namespace

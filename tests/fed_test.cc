@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <vector>
 
+#include "common/query_profile.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "fed/federation.h"
 #include "rdf/query.h"
 
@@ -190,6 +194,93 @@ TEST_F(FederationTest, SameResultsRegardlessOfOptimizations) {
       EXPECT_EQ(got, expected) << "combo " << combo;
     }
   }
+}
+
+TEST_F(FederationTest, ParallelFanOutMatchesSerial) {
+  rdf::Query q = CropLabelQuery();
+  FederationOptions opt;
+  opt.source_selection = false;  // broadcast: real fan-out to 3 endpoints
+  auto serial = engine_.Execute(q, opt);
+  ASSERT_TRUE(serial.ok());
+  engine_.set_num_threads(3);
+  auto parallel = engine_.Execute(q, opt);
+  ASSERT_TRUE(parallel.ok());
+  engine_.set_num_threads(1);
+  EXPECT_EQ(*serial, *parallel);  // deterministic slot-order merge
+}
+
+TEST_F(FederationTest, ExecuteFillsQueryProfile) {
+  rdf::Query q = CropLabelQuery();
+  FederationOptions opt;
+  common::QueryProfile profile;
+  auto rows = engine_.Execute(q, opt, {}, &profile);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(profile.query, "fed.Execute");
+  EXPECT_GT(profile.total_us, 0.0);
+  ASSERT_EQ(profile.operators.size(), 2u);  // one join step per pattern
+  for (const auto& op : profile.operators) {
+    EXPECT_EQ(op.name.rfind("join ", 0), 0u) << op.name;
+  }
+  // The last join step lands on the final result cardinality.
+  EXPECT_EQ(profile.operators.back().rows_out, rows->size());
+  // Its subquery count is visible as `chunks`.
+  EXPECT_GT(profile.operators.back().chunks, 0u);
+}
+
+TEST_F(FederationTest, ProfileRecordsFilterAndProjection) {
+  rdf::Query q = CropLabelQuery();
+  q.select = {"label"};
+  q.limit = 5;
+  FederationOptions opt;
+  FederationEngine::FedFilter pass = [](const FedBinding&) { return true; };
+  common::QueryProfile profile;
+  auto rows = engine_.Execute(q, opt, {pass}, &profile);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GE(profile.operators.size(), 2u);
+  EXPECT_EQ(profile.operators[profile.operators.size() - 2].name, "filter");
+  EXPECT_EQ(profile.operators.back().name, "project_limit");
+  EXPECT_EQ(profile.operators.back().rows_out, 5u);
+}
+
+TEST_F(FederationTest, FederatedRequestTracesAsOneTree) {
+  common::EventRecorder& recorder = common::EventRecorder::Default();
+  recorder.Reset();
+  recorder.set_enabled(true);
+  engine_.set_num_threads(2);
+  rdf::Query q = CropLabelQuery();
+  FederationOptions opt;
+  opt.source_selection = false;  // broadcast: every endpoint appears
+  common::QueryProfile profile;
+  ASSERT_TRUE(engine_.Execute(q, opt, {}, &profile).ok());
+  recorder.set_enabled(false);
+  engine_.set_num_threads(1);
+
+  const std::vector<common::SpanEvent> events = recorder.Snapshot();
+  const common::SpanEvent* root = nullptr;
+  for (const auto& ev : events) {
+    if (std::string(ev.name) == "fed.Execute") root = &ev;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_span_id, 0u);
+  EXPECT_EQ(root->trace_id, profile.trace_id);
+  std::set<uint64_t> span_ids;
+  std::set<std::string> endpoint_spans;
+  for (const auto& ev : events) span_ids.insert(ev.span_id);
+  for (const auto& ev : events) {
+    // Every span belongs to the request's trace and hangs off a recorded
+    // parent — endpoint calls made on pool workers included.
+    EXPECT_EQ(ev.trace_id, root->trace_id);
+    if (&ev != root) EXPECT_TRUE(span_ids.count(ev.parent_span_id));
+    const std::string name = ev.name;
+    if (name.rfind("endpoint:", 0) == 0) {
+      endpoint_spans.insert(name);
+      EXPECT_EQ(ev.parent_span_id, root->span_id);
+    }
+  }
+  EXPECT_EQ(endpoint_spans,
+            (std::set<std::string>{"endpoint:crops", "endpoint:ice",
+                                   "endpoint:base"}));
+  recorder.Reset();
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -274,6 +275,61 @@ TEST(TraceTest, ScopedLatencyTimerObserves) {
   { ScopedLatencyTimer t(h); }
   EXPECT_EQ(h->count(), 1u);
   EXPECT_GE(h->min(), 0.0);
+}
+
+TEST(TraceTest, RetiredThreadSpansSurviveInExport) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  {
+    // Pool workers record spans into their thread-local trees; pool
+    // destruction retires those threads, merging the trees into the
+    // tracer's retired tree.
+    ThreadPool pool(3);
+    pool.ParallelFor(12, [&](size_t) { TraceSpan s("trace_test.retired"); });
+  }
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("trace_test.retired"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 12"), std::string::npos) << json;
+}
+
+TEST(TraceTest, RetiredTreesMergeWithLiveOnes) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(8, [&](size_t) { TraceSpan s("trace_test.merged"); });
+  }
+  // 8 retired executions + 4 on the live (main) thread aggregate by path.
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan s("trace_test.merged");
+  }
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"count\": 12"), std::string::npos) << json;
+}
+
+TEST(TraceTest, ConcurrentExportWhileRecording) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Reset();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 2000; ++i) {
+        TraceSpan outer("trace_test.export_outer");
+        TraceSpan inner("trace_test.export_inner");
+      }
+    });
+  }
+  // Exports race with span creation and thread registration/retirement;
+  // every snapshot must stay parseable (balanced braces).
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = tracer.ToJson();
+    ASSERT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+  }
+  for (std::thread& w : writers) w.join();
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("trace_test.export_outer"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.export_inner"), std::string::npos);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/query_profile.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "geo/wkt.h"
 #include "strabon/geostore.h"
 #include "strabon/workload.h"
@@ -326,6 +330,183 @@ TEST(WorkloadTest, RandomPolygonIsSimpleStar) {
   EXPECT_GT(p.Area(), 0.0);
   // Center is inside a star-shaped polygon around it.
   EXPECT_TRUE(p.Contains(geo::Point{50, 50}));
+}
+
+// --- Query profiles / slow-query log -----------------------------------
+
+TEST(GeoStoreProfileTest, SpatialSelectProfileMatchesStats) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 3000;
+  opt.world_size = 1000.0;
+  opt.seed = 11;
+  GeoStore store = MakeGeoWorkload(opt);
+  geo::Box box = geo::Box::Of(100, 100, 400, 400);
+  SpatialQueryStats stats;
+  common::QueryProfile profile;
+  auto results =
+      store.SpatialSelect(box, SpatialRelation::kIntersects, true, &stats,
+                          &profile);
+  EXPECT_EQ(profile.query, "strabon.SpatialSelect");
+  EXPECT_GT(profile.total_us, 0.0);
+  ASSERT_EQ(profile.operators.size(), 2u);
+  EXPECT_EQ(profile.operators[0].name, "index_probe");
+  EXPECT_EQ(profile.operators[0].rows_out, stats.candidates);
+  EXPECT_EQ(profile.operators[1].name, "refine");
+  EXPECT_EQ(profile.operators[1].rows_in, stats.candidates);
+  EXPECT_EQ(profile.operators[1].rows_out, results.size());
+  EXPECT_EQ(profile.operators[1].envelope_hits, stats.envelope_hits);
+  // Operator time is contained in the total.
+  double op_total = 0.0;
+  for (const auto& op : profile.operators) op_total += op.wall_us;
+  EXPECT_LE(op_total, profile.total_us * 1.5);
+}
+
+TEST(GeoStoreProfileTest, BaselineScanProfileNamesFullScan) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 1000;
+  opt.world_size = 1000.0;
+  GeoStore store = MakeGeoWorkload(opt);
+  geo::Box box = geo::Box::Of(0, 0, 500, 500);
+  common::QueryProfile profile;
+  store.SpatialSelect(box, SpatialRelation::kIntersects, false, nullptr,
+                      &profile);
+  ASSERT_FALSE(profile.operators.empty());
+  EXPECT_EQ(profile.operators[0].name, "full_scan");
+  EXPECT_EQ(profile.operators[0].rows_in, store.num_geometries());
+}
+
+TEST(GeoStoreProfileTest, ParallelRefineReportsChunksAndThreads) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 5000;
+  opt.world_size = 1000.0;
+  GeoStore store = MakeGeoWorkload(opt);
+  store.set_num_threads(4);
+  geo::Box box = geo::Box::Of(0, 0, 900, 900);  // wide: plenty to refine
+  common::QueryProfile profile;
+  store.SpatialSelect(box, SpatialRelation::kIntersects, true, nullptr,
+                      &profile);
+  ASSERT_EQ(profile.operators.size(), 2u);
+  EXPECT_GT(profile.operators[1].chunks, 1u);
+  EXPECT_EQ(profile.operators[1].threads, 4u);
+}
+
+TEST(GeoStoreProfileTest, QueryWithSpatialFilterProfileHasPlanOperators) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 2000;
+  opt.world_size = 1000.0;
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("s"), rdf::PatternSlot::Iri(rdf::vocab::kRdfType),
+      rdf::PatternSlot::Iri("http://extremeearth.eu/ontology#Feature")});
+  geo::Box box = geo::Box::Of(100, 100, 300, 300);
+  common::QueryProfile pushed, baseline;
+  ASSERT_TRUE(store.QueryWithSpatialFilter(q, "s", box, true, nullptr,
+                                           &pushed)
+                  .ok());
+  ASSERT_TRUE(store.QueryWithSpatialFilter(q, "s", box, false, nullptr,
+                                           &baseline)
+                  .ok());
+  auto names = [](const common::QueryProfile& p) {
+    std::vector<std::string> out;
+    for (const auto& op : p.operators) out.push_back(op.name);
+    return out;
+  };
+  EXPECT_EQ(names(pushed),
+            (std::vector<std::string>{"spatial_select", "bgp",
+                                      "subject_filter"}));
+  EXPECT_EQ(names(baseline),
+            (std::vector<std::string>{"bgp", "geometry_filter"}));
+  EXPECT_EQ(pushed.query, "strabon.QueryWithSpatialFilter");
+}
+
+TEST(GeoStoreProfileTest, SpatialJoinProfileCountsPairs) {
+  GeoWorkloadOptions opt;
+  opt.num_features = 400;
+  opt.world_size = 200.0;  // dense enough for join hits
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::QueryProfile profile;
+  auto pairs = store.SpatialJoin(
+      "http://extremeearth.eu/ontology#Feature",
+      "http://extremeearth.eu/ontology#Feature",
+      SpatialRelation::kIntersects, true, nullptr, &profile);
+  ASSERT_EQ(profile.operators.size(), 2u);
+  EXPECT_EQ(profile.operators[0].name, "members_scan");
+  EXPECT_EQ(profile.operators[1].name, "index_probe_join");
+  EXPECT_EQ(profile.operators[1].rows_out, pairs.size());
+}
+
+TEST(GeoStoreProfileTest, SlowQueryLogCapturesRootQueriesOnly) {
+  common::SlowQueryLog& log = common::SlowQueryLog::Default();
+  log.Configure(2, 0.0);
+  log.Clear();
+  GeoWorkloadOptions opt;
+  opt.num_features = 2000;
+  opt.world_size = 1000.0;
+  opt.with_thematic = true;
+  GeoStore store = MakeGeoWorkload(opt);
+  rdf::Query q;
+  q.where.push_back(rdf::TriplePattern{
+      rdf::PatternSlot::Var("s"), rdf::PatternSlot::Iri(rdf::vocab::kRdfType),
+      rdf::PatternSlot::Iri("http://extremeearth.eu/ontology#Feature")});
+  geo::Box box = geo::Box::Of(100, 100, 300, 300);
+  ASSERT_TRUE(store.QueryWithSpatialFilter(q, "s", box, true).ok());
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  // Only the outermost entry point logs; the nested SpatialSelect stays
+  // an operator of the outer profile.
+  EXPECT_EQ(entries[0].query, "strabon.QueryWithSpatialFilter");
+  log.Disable();
+  log.Clear();
+}
+
+TEST(GeoStoreProfileTest, SlowQueryLogKeepsWorstQueries) {
+  common::SlowQueryLog& log = common::SlowQueryLog::Default();
+  log.Configure(2, 0.0);
+  log.Clear();
+  GeoWorkloadOptions opt;
+  opt.num_features = 3000;
+  opt.world_size = 1000.0;
+  GeoStore store = MakeGeoWorkload(opt);
+  for (int i = 0; i < 3; ++i) {
+    store.SpatialSelect(geo::Box::Of(0, 0, 800, 800),
+                        SpatialRelation::kIntersects, true);
+  }
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);  // 3 queries, capacity 2: worst survive
+  EXPECT_GE(entries[0].total_us, entries[1].total_us);
+  EXPECT_EQ(entries[0].query, "strabon.SpatialSelect");
+  log.Disable();
+  log.Clear();
+}
+
+TEST(GeoStoreProfileTest, ProfileTotalAgreesWithAggregateTracer) {
+  common::Tracer::Default().Reset();
+  GeoWorkloadOptions opt;
+  opt.num_features = 3000;
+  opt.world_size = 1000.0;
+  GeoStore store = MakeGeoWorkload(opt);
+  common::QueryProfile profile;
+  store.SpatialSelect(geo::Box::Of(0, 0, 600, 600),
+                      SpatialRelation::kIntersects, true, nullptr, &profile);
+  // The aggregate tracer timed the same single request under the path
+  // "strabon.SpatialSelect"; its total must agree with the profile.
+  // Earlier tests in this process may have left zeroed same-named nodes
+  // on other paths, so locate the node that recorded this execution.
+  const std::string json = common::Tracer::Default().ToJson();
+  const std::string needle = "\"strabon.SpatialSelect\", \"count\": 1, ";
+  const size_t name_pos = json.find(needle);
+  ASSERT_NE(name_pos, std::string::npos) << json;
+  double tracer_us = 0.0;
+  ASSERT_EQ(std::sscanf(json.c_str() + name_pos + needle.size(),
+                        "\"total_us\": %lf", &tracer_us),
+            1)
+      << json.substr(name_pos, 120);
+  // Same interval measured by two clocks reads: generous tolerance.
+  EXPECT_NEAR(tracer_us, profile.total_us,
+              0.5 * std::max(tracer_us, profile.total_us) + 50.0);
 }
 
 TEST(WorkloadTest, Deterministic) {

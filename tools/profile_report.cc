@@ -1,0 +1,422 @@
+// profile_report — offline viewer for the observability artifacts the
+// bench binaries write.
+//
+//   profile_report trace.json            flame tree of a Chrome trace
+//                                        (--trace_out= output)
+//   profile_report e1.metrics.json       slow-query profiles of a metrics
+//                                        snapshot ("slow_queries" key)
+//   profile_report a.json b.json ...     any mix; each file is detected
+//                                        by its top-level keys
+//
+// The flame tree groups span events by trace_id, nests them by
+// parent_span_id and prints one line per span with its wall time and the
+// thread it ran on — the terminal version of loading the file in
+// chrome://tracing. Slow-query profiles print as EXPLAIN ANALYZE-style
+// operator tables, worst request first.
+//
+// Self-contained: a minimal recursive-descent JSON reader (objects,
+// arrays, strings, numbers, literals) is embedded so the tool needs
+// nothing beyond eea_common.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace {
+
+using exearth::common::StrFormat;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double NumberOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string_value
+                                                    : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!ParseValue(out)) {
+      *error = StrFormat("JSON parse error at byte %zu", pos_);
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = StrFormat("trailing bytes after JSON value at %zu", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          // Decode \uXXXX as a code point; non-ASCII renders as '?'
+          // (names in our traces are ASCII, this is belt-and-braces).
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* lit) {
+      const size_t n = std::string(lit).size();
+      if (text_.compare(pos_, n, lit) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (matches("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (matches("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (matches("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Flame tree from Chrome trace events.
+
+struct Span {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint64_t tid = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::vector<size_t> children;
+};
+
+void PrintSpanTree(const std::vector<Span>& spans, size_t idx, int depth) {
+  const Span& s = spans[idx];
+  std::printf("  %*s%-*s %12.1f us  [tid %llu]\n", 2 * depth, "",
+              std::max(1, 44 - 2 * depth), s.name.c_str(), s.dur_us,
+              static_cast<unsigned long long>(s.tid));
+  for (size_t child : spans[idx].children) {
+    PrintSpanTree(spans, child, depth + 1);
+  }
+}
+
+void ReportTrace(const JsonValue& root) {
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) return;
+  std::vector<Span> spans;
+  spans.reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (e.kind != JsonValue::Kind::kObject) continue;
+    if (e.StringOr("ph", "X") != "X") continue;
+    Span s;
+    s.name = e.StringOr("name", "?");
+    s.ts_us = e.NumberOr("ts", 0.0);
+    s.dur_us = e.NumberOr("dur", 0.0);
+    s.tid = static_cast<uint64_t>(e.NumberOr("tid", 0.0));
+    if (const JsonValue* args = e.Find("args")) {
+      s.trace_id = static_cast<uint64_t>(args->NumberOr("trace_id", 0.0));
+      s.span_id = static_cast<uint64_t>(args->NumberOr("span_id", 0.0));
+      s.parent_span_id =
+          static_cast<uint64_t>(args->NumberOr("parent_span_id", 0.0));
+    }
+    spans.push_back(std::move(s));
+  }
+  // Link children; spans whose parent was dropped from a full ring render
+  // as roots of their trace.
+  std::map<uint64_t, size_t> by_span_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_span_id[spans[i].span_id] = i;
+  std::map<uint64_t, std::vector<size_t>> roots_by_trace;
+  std::map<uint64_t, double> trace_total;
+  std::map<uint64_t, size_t> trace_spans;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    auto parent = by_span_id.find(spans[i].parent_span_id);
+    if (spans[i].parent_span_id != 0 && parent != by_span_id.end()) {
+      spans[parent->second].children.push_back(i);
+    } else {
+      roots_by_trace[spans[i].trace_id].push_back(i);
+      trace_total[spans[i].trace_id] += spans[i].dur_us;
+    }
+    trace_spans[spans[i].trace_id] += 1;
+  }
+  for (auto& [trace_id, indices] : roots_by_trace) {
+    // Children in start order within each parent.
+    (void)trace_id;
+    std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      return spans[a].ts_us < spans[b].ts_us;
+    });
+  }
+  // Slowest trace first.
+  std::vector<uint64_t> order;
+  for (const auto& [trace_id, total] : trace_total) order.push_back(trace_id);
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    return trace_total[a] > trace_total[b];
+  });
+  std::printf("%zu trace(s), %zu span event(s)\n\n", order.size(),
+              spans.size());
+  for (uint64_t trace_id : order) {
+    std::printf("trace %llu  (%zu spans, %.1f us)\n",
+                static_cast<unsigned long long>(trace_id),
+                trace_spans[trace_id], trace_total[trace_id]);
+    for (size_t root : roots_by_trace[trace_id]) {
+      PrintSpanTree(spans, root, 1);
+    }
+    std::printf("\n");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query profiles from a metrics snapshot.
+
+void ReportSlowQueries(const JsonValue& root) {
+  const JsonValue* slow = root.Find("slow_queries");
+  if (slow == nullptr || slow->kind != JsonValue::Kind::kArray) return;
+  std::printf("%zu slow quer%s (worst first)\n\n", slow->array.size(),
+              slow->array.size() == 1 ? "y" : "ies");
+  for (const JsonValue& q : slow->array) {
+    if (q.kind != JsonValue::Kind::kObject) continue;
+    std::printf("%s  total %.1f us  (trace %llu)\n",
+                q.StringOr("query", "?").c_str(), q.NumberOr("total_us", 0.0),
+                static_cast<unsigned long long>(q.NumberOr("trace_id", 0.0)));
+    const JsonValue* ops = q.Find("operators");
+    if (ops == nullptr || ops->kind != JsonValue::Kind::kArray) continue;
+    std::printf("  %-42s %12s %10s %10s %10s %7s %7s\n", "operator",
+                "wall_us", "rows_in", "rows_out", "env_hits", "chunks",
+                "threads");
+    for (const JsonValue& op : ops->array) {
+      std::printf(
+          "  %-42s %12.1f %10.0f %10.0f %10.0f %7.0f %7.0f\n",
+          op.StringOr("name", "?").c_str(), op.NumberOr("wall_us", 0.0),
+          op.NumberOr("rows_in", 0.0), op.NumberOr("rows_out", 0.0),
+          op.NumberOr("envelope_hits", 0.0), op.NumberOr("chunks", 1.0),
+          op.NumberOr("threads", 1.0));
+    }
+    std::printf("\n");
+  }
+}
+
+int ReportFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "profile_report: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(buf.str()).Parse(&root, &error)) {
+    std::fprintf(stderr, "profile_report: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "profile_report: %s: expected a JSON object\n", path);
+    return 1;
+  }
+  const bool has_trace = root.Find("traceEvents") != nullptr;
+  const bool has_slow = root.Find("slow_queries") != nullptr;
+  if (!has_trace && !has_slow) {
+    std::fprintf(stderr,
+                 "profile_report: %s has neither \"traceEvents\" nor "
+                 "\"slow_queries\"\n",
+                 path);
+    return 1;
+  }
+  std::printf("== %s ==\n", path);
+  if (has_trace) ReportTrace(root);
+  if (has_slow) ReportSlowQueries(root);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.json | snapshot.metrics.json>...\n"
+                 "Renders Chrome trace exports (--trace_out=) as a text "
+                 "flame tree and\nmetrics snapshots' slow-query logs as "
+                 "EXPLAIN ANALYZE tables.\n",
+                 argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= ReportFile(argv[i]);
+  }
+  return rc;
+}
