@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_flags.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "fed/federation.h"
 #include "rdf/query.h"
@@ -99,8 +100,9 @@ void BM_FederatedQuery(benchmark::State& state) {
   opt.source_selection = source_selection;
   opt.join_reordering = join_reordering;
   size_t results = 0;
+  eea::fed::FederationStats stats;
   for (auto _ : state) {
-    auto rows = fed.engine.Execute(q, opt);
+    auto rows = fed.engine.Execute(q, opt, {}, nullptr, &stats);
     if (!rows.ok()) {
       state.SkipWithError(rows.status().ToString().c_str());
       return;
@@ -108,13 +110,75 @@ void BM_FederatedQuery(benchmark::State& state) {
     results = rows->size();
     benchmark::DoNotOptimize(rows->data());
   }
-  const auto& stats = fed.engine.last_stats();
   state.counters["results"] = static_cast<double>(results);
   state.counters["subqueries"] = static_cast<double>(stats.subqueries_sent);
   state.counters["endpoints_contacted"] =
       static_cast<double>(stats.endpoints_contacted);
   state.counters["rows_transferred"] =
       static_cast<double>(stats.rows_transferred);
+}
+
+// Order-independent hash of a federated result set (FedBinding rows are
+// sorted maps, so each row hashes deterministically; rows combine with +
+// so the memo/fan-out order cannot matter).
+uint64_t HashResults(const std::vector<eea::fed::FedBinding>& rows) {
+  uint64_t total = 0;
+  for (const auto& row : rows) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [var, term] : row) {
+      for (char c : var + "=" + term.ToString() + ";") {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+    }
+    total += h;
+  }
+  return total;
+}
+
+// The chaos row: federation under whatever --fault_spec programmed, with
+// retries, partial-result degradation and circuit breaking enabled. Runs
+// a FIXED number of iterations so fault-injection call counts — and
+// therefore the injected fault sequence, the result hash and every
+// counter below — are identical across runs with the same seed (CI diffs
+// two runs to prove it). Do not add adaptive-time rows to this family.
+void BM_FederatedQueryFaults(benchmark::State& state) {
+  const int endpoints = static_cast<int>(state.range(0));
+  Federation& fed = CachedFederation(endpoints);
+  fed.engine.set_num_threads(1);
+  eea::rdf::Query q = CrossEndpointQuery();
+  eea::fed::FederationOptions opt;
+  opt.retry.max_attempts = 4;
+  opt.retry.initial_backoff_us = 10;
+  opt.retry.max_backoff_us = 500;
+  opt.partial_ok = true;
+  opt.breaker_failure_threshold = 8;
+  uint64_t result_hash = 0;
+  uint64_t failures = 0, retries = 0, skipped = 0;
+  size_t results = 0;
+  eea::fed::FederationStats stats;
+  for (auto _ : state) {
+    auto rows = fed.engine.Execute(q, opt, {}, nullptr, &stats);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    results = rows->size();
+    result_hash += HashResults(*rows);
+    failures += stats.endpoint_failures;
+    retries += stats.retries;
+    skipped += stats.endpoints_skipped;
+    benchmark::DoNotOptimize(rows->data());
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["endpoint_failures"] = static_cast<double>(failures);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["endpoints_skipped"] = static_cast<double>(skipped);
+  // Mask to 32 bits: metrics gauges are doubles, and 52 mantissa bits
+  // would silently round a full 64-bit hash.
+  eea::common::MetricsRegistry::Default()
+      .GetGauge("bench.e11.result_hash")
+      ->Set(static_cast<double>(result_hash & 0xffffffffULL));
 }
 
 }  // namespace
@@ -130,6 +194,13 @@ BENCHMARK(BM_FederatedQuery)
     ->Args({12, 1, 1, 1})
     ->Args({12, 0, 0, 1})
     ->Args({12, 0, 0, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FederatedQueryFaults)
+    ->ArgNames({"endpoints"})
+    ->Args({3})
+    ->Args({6})
+    ->Iterations(4)  // fixed: keeps fault call-counts reproducible
     ->Unit(benchmark::kMillisecond);
 
 // main() comes from bench_main.cc (adds --smoke and the

@@ -20,6 +20,15 @@ bool ParseInt(const std::string& value, long* out) {
   return true;
 }
 
+bool ParseUint64(const std::string& value, unsigned long long* out) {
+  if (value.empty() || value[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
 bool ParseDouble(const std::string& value, double* out) {
   if (value.empty()) return false;
   char* end = nullptr;
@@ -57,7 +66,11 @@ std::string BenchUsage(const char* argv0) {
          "parallel rows (N >= 1)\n"
          "  --slowlog=N               keep the N worst requests (N >= 1)\n"
          "  --slowlog_threshold_us=T  only log requests >= T us (T >= "
-         "0)\n";
+         "0)\n"
+         "  --fault_spec=SPEC         program the fault injector "
+         "(common/fault.h grammar)\n"
+         "  --fault_seed=N            injector seed for deterministic "
+         "fault sequences\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -110,6 +123,19 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
         return false;
       }
       flags->slowlog_threshold_us = t;
+    } else if (FlagValue(arg, "fault_spec", &value)) {
+      if (value.empty()) {
+        *error = "--fault_spec needs a spec (see common/fault.h)";
+        return false;
+      }
+      flags->fault_spec = value;
+    } else if (FlagValue(arg, "fault_seed", &value)) {
+      unsigned long long n = 0;
+      if (!ParseUint64(value, &n)) {
+        *error = "--fault_seed=" + value + ": not an unsigned integer";
+        return false;
+      }
+      flags->fault_seed = static_cast<uint64_t>(n);
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.

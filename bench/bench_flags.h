@@ -19,6 +19,15 @@
 //                               worst requests; N >= 1
 //   --slowlog_threshold_us=T    only log requests at or above T
 //                               microseconds (default 0 = everything)
+//   --fault_spec=SPEC           program the process-wide FaultInjector
+//                               before the benchmarks run (see
+//                               common/fault.h for the grammar, e.g.
+//                               "endpoint:0.3" = 30% endpoint failures);
+//                               recorded in the metrics JSON config
+//   --fault_seed=N              seed for the injector's deterministic
+//                               decisions (default 1); the same
+//                               (spec, seed) pair reproduces the exact
+//                               fault sequence, so two runs diff clean
 //
 // Unknown --flags (other than --benchmark_*) are rejected with a usage
 // message so typos fail loudly instead of silently running a default
@@ -27,6 +36,7 @@
 #ifndef EXEARTH_BENCH_BENCH_FLAGS_H_
 #define EXEARTH_BENCH_BENCH_FLAGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +50,8 @@ struct BenchFlags {
   int threads = 0;  // 0 = flag not given
   int slowlog = 0;  // 0 = slow-query log disabled
   double slowlog_threshold_us = 0.0;
+  std::string fault_spec;   // empty = no faults
+  uint64_t fault_seed = 1;  // injector seed when fault_spec is given
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every

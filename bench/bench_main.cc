@@ -16,12 +16,22 @@
 #include <vector>
 
 #include "bench_flags.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/query_profile.h"
 #include "common/trace.h"
 
 namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
 
 bool WriteFile(const std::string& path, const std::string& body) {
   std::ofstream out(path);
@@ -59,6 +69,18 @@ int main(int argc, char** argv) {
     exearth::common::SlowQueryLog::Default().Configure(
         static_cast<size_t>(flags.slowlog), flags.slowlog_threshold_us);
   }
+  if (!flags.fault_spec.empty()) {
+    auto& injector = exearth::common::FaultInjector::Default();
+    injector.set_seed(flags.fault_seed);
+    const exearth::common::Status programmed =
+        injector.ProgramSpec(flags.fault_spec);
+    if (!programmed.ok()) {
+      std::fprintf(stderr, "--fault_spec: %s\n%s",
+                   programmed.ToString().c_str(),
+                   exearth::bench::BenchUsage(argv[0]).c_str());
+      return 1;
+    }
+  }
 
   std::vector<char*> argv2;
   argv2.reserve(args.size());
@@ -74,6 +96,8 @@ int main(int argc, char** argv) {
   }
   const std::string json =
       "{\n\"config\": {\"threads\": " + std::to_string(flags.threads) +
+      ", \"fault_spec\": \"" + JsonEscape(flags.fault_spec) +
+      "\", \"fault_seed\": " + std::to_string(flags.fault_seed) +
       "},\n\"metrics\": " +
       exearth::common::MetricsRegistry::Default().ToJson() +
       ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() +

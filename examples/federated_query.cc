@@ -83,13 +83,13 @@ int main() {
     eea::fed::FederationOptions opt;
     opt.source_selection = optimized;
     opt.join_reordering = optimized;
-    auto rows = federation.Execute(q, opt);
+    eea::fed::FederationStats stats;
+    auto rows = federation.Execute(q, opt, {}, nullptr, &stats);
     if (!rows.ok()) {
       std::fprintf(stderr, "federation: %s\n",
                    rows.status().ToString().c_str());
       return 1;
     }
-    const auto& stats = federation.last_stats();
     std::printf(
         "federated query (%s): %zu results, %llu subqueries, "
         "%llu endpoints contacted, %llu rows transferred\n",

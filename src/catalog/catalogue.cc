@@ -63,9 +63,9 @@ Status SemanticCatalogue::Build() {
 }
 
 std::vector<raster::SceneMetadata> SemanticCatalogue::Search(
-    const SearchRequest& request) const {
+    const SearchRequest& request, SearchStats* stats) const {
   EEA_CHECK(built_) << "Search before Build()";
-  stats_ = SearchStats{};
+  SearchStats st;
   std::vector<size_t> candidate_ids;
   if (request.area.has_value()) {
     product_index_.Visit(*request.area, [&](const geo::RTree::Entry& e) {
@@ -80,7 +80,7 @@ std::vector<raster::SceneMetadata> SemanticCatalogue::Search(
   std::vector<raster::SceneMetadata> out;
   for (size_t id : candidate_ids) {
     const raster::SceneMetadata& md = products_[id];
-    ++stats_.candidates;
+    ++st.candidates;
     if (request.year.has_value() && md.year != *request.year) continue;
     if (request.day_from.has_value() && md.day_of_year < *request.day_from)
       continue;
@@ -94,7 +94,8 @@ std::vector<raster::SceneMetadata> SemanticCatalogue::Search(
     out.push_back(md);
     if (request.limit > 0 && out.size() >= request.limit) break;
   }
-  stats_.results = out.size();
+  st.results = out.size();
+  if (stats != nullptr) *stats = st;
   return out;
 }
 

@@ -69,9 +69,11 @@ class SemanticCatalogue {
   /// Builds the spatial indexes of both layers. Idempotent.
   common::Status Build();
 
-  /// Metadata search. Records are returned in ingest order.
-  std::vector<raster::SceneMetadata> Search(const SearchRequest& request) const;
-  const SearchStats& last_stats() const { return stats_; }
+  /// Metadata search. Records are returned in ingest order. Per-call
+  /// statistics are written to `stats` when non-null (there is no racy
+  /// last-call accessor; concurrent searches each get their own stats).
+  std::vector<raster::SceneMetadata> Search(const SearchRequest& request,
+                                            SearchStats* stats = nullptr) const;
 
   /// Semantic count: observations of `class_iri` whose geometry intersects
   /// `area`, optionally restricted to a year ("how many icebergs ... in
@@ -111,7 +113,6 @@ class SemanticCatalogue {
   geo::RTree product_index_;
   bool built_ = false;
   strabon::GeoStore knowledge_;
-  mutable SearchStats stats_;
 };
 
 }  // namespace exearth::catalog

@@ -1,0 +1,385 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace exearth::common {
+
+namespace {
+
+// SplitMix64 finalizer: the deterministic decision hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Uniform double in [0, 1) from a hash value.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+struct FaultInjector::PointState {
+  std::string name;
+  std::string trace_label;  // "fault:<name>"; outlives any recorded span
+  uint64_t name_hash = 0;
+  Counter* trigger_counter = nullptr;  // "fault.point.<name>"
+  // Resolution against the current rule set (guarded by the injector
+  // mutex; re-resolved when `resolved_generation` falls behind).
+  uint64_t resolved_generation = ~0ULL;
+  const FaultRule* rule = nullptr;
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> triggered{0};
+};
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Program(const std::string& pattern, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(rule.fail_calls.begin(), rule.fail_calls.end());
+  rules_.emplace_back(pattern, std::move(rule));
+  ++generation_;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_seed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::seed() const {
+  return seed_.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  ++generation_;
+  total_triggered_.store(0, std::memory_order_relaxed);
+  for (auto& [name, state] : points_) {
+    state->calls.store(0, std::memory_order_relaxed);
+    state->triggered.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t FaultInjector::calls(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end()
+             ? 0
+             : it->second->calls.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::triggered(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end()
+             ? 0
+             : it->second->triggered.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::total_triggered() const {
+  return total_triggered_.load(std::memory_order_relaxed);
+}
+
+FaultInjector::PointState* FaultInjector::StateFor(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    auto state = std::make_unique<PointState>();
+    state->name = point;
+    state->trace_label = std::string("fault:") + point;
+    state->name_hash = HashString(state->name);
+    state->trigger_counter = MetricsRegistry::Default().GetCounter(
+        std::string("fault.point.") + point);
+    it = points_.emplace(point, std::move(state)).first;
+  }
+  PointState* state = it->second.get();
+  if (state->resolved_generation != generation_) {
+    state->rule = nullptr;
+    for (const auto& [pattern, rule] : rules_) {
+      if (pattern == state->name) {  // exact match always wins
+        state->rule = &rule;
+        break;
+      }
+      if (state->rule == nullptr &&
+          state->name.find(pattern) != std::string::npos) {
+        state->rule = &rule;  // first substring match; keep scanning for
+                              // an exact one
+      }
+    }
+    state->resolved_generation = generation_;
+  }
+  return state;
+}
+
+Status FaultInjector::MaybeFailSlow(const char* point) {
+  static Counter* injected =
+      MetricsRegistry::Default().GetCounter("fault.injected");
+  PointState* state = StateFor(point);
+  const FaultRule* rule = state->rule;
+  if (rule == nullptr) return Status::OK();
+
+  const uint64_t call =
+      state->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool trigger = std::binary_search(rule->fail_calls.begin(),
+                                    rule->fail_calls.end(), call);
+  if (!trigger && rule->probability > 0.0) {
+    // Pure function of (seed, point, call number): the same seed yields
+    // the same decision for call #k regardless of thread interleaving.
+    trigger = ToUnit(Mix(seed_.load(std::memory_order_relaxed) ^
+                         Mix(state->name_hash ^ Mix(call)))) <
+              rule->probability;
+  }
+  if (!trigger) return Status::OK();
+
+  state->triggered.fetch_add(1, std::memory_order_relaxed);
+  total_triggered_.fetch_add(1, std::memory_order_relaxed);
+  injected->Increment();
+  state->trigger_counter->Increment();
+  TraceSpan span(state->trace_label.c_str());
+  if (rule->latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(rule->latency_us));
+  }
+  if (rule->code == StatusCode::kOk) return Status::OK();
+  return Status(rule->code, rule->message.empty()
+                                ? std::string("injected fault at ") + point
+                                : rule->message);
+}
+
+namespace {
+
+bool ParseCode(const std::string& name, StatusCode* code) {
+  if (name == "unavailable") *code = StatusCode::kUnavailable;
+  else if (name == "aborted") *code = StatusCode::kAborted;
+  else if (name == "deadline") *code = StatusCode::kDeadlineExceeded;
+  else if (name == "io") *code = StatusCode::kIOError;
+  else if (name == "internal") *code = StatusCode::kInternal;
+  else if (name == "notfound") *code = StatusCode::kNotFound;
+  else if (name == "ok") *code = StatusCode::kOk;
+  else return false;
+  return true;
+}
+
+// Parses "<pattern>:<outcome>" (split at the last ':') where outcome is
+// [prob][@latency(us|ms)][#c1,c2,...][=code]. Returns the pattern/rule or
+// an InvalidArgument status describing the bad entry.
+Status ParseEntry(const std::string& entry, std::string* pattern,
+                  FaultRule* rule) {
+  const size_t colon = entry.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("fault spec entry needs <pattern>:<rule>: " +
+                                   entry);
+  }
+  *pattern = entry.substr(0, colon);
+  std::string outcome = entry.substr(colon + 1);
+
+  // Peel the =code suffix.
+  const size_t eq = outcome.find('=');
+  if (eq != std::string::npos) {
+    if (!ParseCode(outcome.substr(eq + 1), &rule->code)) {
+      return Status::InvalidArgument("unknown fault status code in: " + entry);
+    }
+    outcome = outcome.substr(0, eq);
+  }
+  // Peel the #schedule suffix.
+  const size_t hash = outcome.find('#');
+  if (hash != std::string::npos) {
+    std::string calls = outcome.substr(hash + 1);
+    outcome = outcome.substr(0, hash);
+    size_t pos = 0;
+    while (pos <= calls.size()) {
+      size_t comma = calls.find(',', pos);
+      if (comma == std::string::npos) comma = calls.size();
+      const std::string num = calls.substr(pos, comma - pos);
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(num.c_str(), &end, 10);
+      if (num.empty() || end == num.c_str() || *end != '\0' || v == 0) {
+        return Status::InvalidArgument("bad fault schedule in: " + entry);
+      }
+      rule->fail_calls.push_back(v);
+      pos = comma + 1;
+    }
+  }
+  // Peel the @latency suffix.
+  const size_t at = outcome.find('@');
+  if (at != std::string::npos) {
+    std::string lat = outcome.substr(at + 1);
+    outcome = outcome.substr(0, at);
+    uint64_t scale = 1;
+    if (lat.size() >= 2 && lat.substr(lat.size() - 2) == "ms") {
+      scale = 1000;
+      lat = lat.substr(0, lat.size() - 2);
+    } else if (lat.size() >= 2 && lat.substr(lat.size() - 2) == "us") {
+      lat = lat.substr(0, lat.size() - 2);
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(lat.c_str(), &end, 10);
+    if (lat.empty() || end == lat.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad fault latency in: " + entry);
+    }
+    rule->latency_us = v * scale;
+  }
+  // What is left is the probability (optional when a schedule was given).
+  if (!outcome.empty()) {
+    char* end = nullptr;
+    const double p = std::strtod(outcome.c_str(), &end);
+    if (end == outcome.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad fault probability in: " + entry);
+    }
+    rule->probability = p;
+  } else if (rule->fail_calls.empty() && rule->latency_us == 0) {
+    return Status::InvalidArgument(
+        "fault spec entry has no probability, schedule or latency: " + entry);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjector::ProgramSpec(const std::string& spec) {
+  size_t pos = 0;
+  bool programmed = false;
+  while (pos <= spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    std::string pattern;
+    FaultRule rule;
+    EEA_RETURN_NOT_OK(ParseEntry(entry, &pattern, &rule));
+    Program(pattern, std::move(rule));
+    programmed = true;
+  }
+  if (!programmed) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  return Status::OK();
+}
+
+uint64_t BackoffUs(const RetryPolicy& policy, int attempt, uint64_t seed,
+                   uint64_t salt) {
+  if (attempt < 1 || policy.initial_backoff_us == 0) return 0;
+  double backoff = static_cast<double>(policy.initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_us)) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_us));
+  if (policy.jitter > 0.0) {
+    const double u = ToUnit(
+        Mix(seed ^ Mix(salt ^ Mix(static_cast<uint64_t>(attempt)))));
+    backoff *= 1.0 - policy.jitter + 2.0 * policy.jitter * u;
+  }
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_us));
+  return static_cast<uint64_t>(backoff);
+}
+
+void SleepForBackoff(const RetryPolicy& policy, int attempt, uint64_t seed,
+                     uint64_t salt) {
+  const uint64_t us = BackoffUs(policy, attempt, seed, salt);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : opt_(options) {}
+
+void CircuitBreaker::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opt_ = options;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (open_rejects_ < opt_.cooldown_calls) {
+        ++open_rejects_;
+        ++rejected_total_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;  // the probe
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++rejected_total_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: re-open with a fresh cooldown.
+    probe_in_flight_ = false;
+    state_ = State::kOpen;
+    open_rejects_ = 0;
+    return;
+  }
+  if (state_ == State::kClosed) {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= opt_.failure_threshold) {
+      state_ = State::kOpen;
+      open_rejects_ = 0;
+    }
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_total_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace exearth::common

@@ -1,0 +1,215 @@
+// Deterministic fault injection, retry/backoff policy and circuit
+// breaking — the robustness toolkit shared by the federation mediator,
+// the HopsFS metadata path and the platform simulators.
+//
+// FaultInjector is a process-wide registry of *named injection points*.
+// Production code marks a fallible boundary with a single call:
+//
+//   EEA_RETURN_NOT_OK(common::fault::MaybeFail("fed.endpoint.call:crops"));
+//
+// Tests and benches program points with rules: a failure probability, a
+// fixed schedule of failing call numbers, an injected latency, and the
+// error Status to return. Everything is deterministic — a rule's decision
+// for call #k of a point is a pure function of (seed, point name, k), so
+// the same seed reproduces a byte-identical failure sequence no matter
+// how threads interleave. Disabled cost is one relaxed atomic load (the
+// default: no rules programmed). Every triggered fault increments
+// `fault.injected` plus a per-point counter and records a `fault:<point>`
+// trace span, so chaos runs show up in metrics snapshots and profiles.
+//
+// Registered injection points (see README "Robustness"):
+//   fed.endpoint.call:<name>     one federated subquery to endpoint <name>
+//   dfs.txn.commit               a HopsFS metadata transaction commit
+//   platform.ingestion.ingest    arrival of one Copernicus granule
+//   platform.ingestion.process   derived-information processing of one
+//                                granule
+//   platform.scheduler.task      one scheduled task execution attempt
+//
+// RetryPolicy/BackoffUs give capped exponential backoff with
+// deterministic seeded jitter; CircuitBreaker is a call-count-based
+// closed/open/half-open breaker (call counts, not wall clock, drive the
+// cooldown, so transitions are exactly reproducible in tests).
+
+#ifndef EXEARTH_COMMON_FAULT_H_
+#define EXEARTH_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exearth::common {
+
+/// What happens at an injection point once its rule triggers.
+struct FaultRule {
+  /// Probability in [0, 1] that any given call triggers.
+  double probability = 0.0;
+  /// 1-based call numbers that always trigger (sorted or not; matched
+  /// exactly), independent of `probability`.
+  std::vector<uint64_t> fail_calls;
+  /// Wall-clock latency injected into triggered calls before the outcome
+  /// (models a slow dependency; combine with kOk for pure slowness).
+  uint64_t latency_us = 0;
+  /// Status code returned by triggered calls. kOk means the call still
+  /// succeeds (latency-only fault).
+  StatusCode code = StatusCode::kUnavailable;
+  /// Optional message; defaults to "injected fault at <point>".
+  std::string message;
+};
+
+/// Process-wide deterministic fault injector. All methods are
+/// thread-safe; MaybeFail is the hot-path entry (inline, one relaxed
+/// atomic load when no rules are programmed).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The injector production code consults (never destroyed).
+  static FaultInjector& Default();
+
+  /// Programs `pattern` with `rule` and enables the injector. A pattern
+  /// matches a point if it equals the point name or is a substring of it
+  /// ("endpoint" matches every "fed.endpoint.call:<name>"). An exact
+  /// match beats a substring match; among substring matches the first
+  /// programmed wins. Reprogramming re-resolves every point.
+  void Program(const std::string& pattern, FaultRule rule);
+
+  /// Parses and programs a spec string: entries separated by ';', each
+  ///   <pattern>:<probability>[@<latency_us>us|ms][#c1,c2,...][=<code>]
+  /// The split is at the *last* ':' so patterns may contain colons.
+  /// Probability may be empty when a #schedule is given. Codes:
+  /// unavailable (default), aborted, deadline, io, internal, notfound, ok.
+  /// Examples: "endpoint:0.3"   "fed.endpoint.call:crops:1.0#2,5"
+  ///           "dfs.txn.commit:0.2=aborted"   "endpoint:1.0@500us=ok".
+  Status ProgramSpec(const std::string& spec);
+
+  /// Seed for all probabilistic decisions. Programmed rules keep working;
+  /// call counters are NOT reset (use Reset() + reprogram for a fresh
+  /// deterministic run).
+  void set_seed(uint64_t seed);
+  uint64_t seed() const;
+
+  /// Drops all rules and zeroes call/trigger counters, disabling the
+  /// injector. Point registrations (and their trace labels) survive, so
+  /// span names recorded earlier stay valid.
+  void Reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// The injection point: OK, or the programmed fault outcome. `point`
+  /// must outlive the call (string literals or stable storage).
+  Status MaybeFail(const char* point) {
+    if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+    return MaybeFailSlow(point);
+  }
+
+  /// Calls seen / faults triggered at `point` since the last Reset().
+  uint64_t calls(const std::string& point) const;
+  uint64_t triggered(const std::string& point) const;
+  /// Faults triggered across all points since the last Reset().
+  uint64_t total_triggered() const;
+
+ private:
+  struct PointState;
+
+  Status MaybeFailSlow(const char* point);
+  PointState* StateFor(const char* point);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> total_triggered_{0};
+  std::atomic<uint64_t> seed_{1};
+  mutable std::mutex mu_;
+  uint64_t generation_ = 0;  // bumped by Program/Reset to re-resolve points
+  std::vector<std::pair<std::string, FaultRule>> rules_;
+  // Point states persist across Reset() so recorded trace-span name
+  // pointers never dangle.
+  std::unordered_map<std::string, std::unique_ptr<PointState>> points_;
+};
+
+namespace fault {
+
+/// Convenience: FaultInjector::Default().MaybeFail(point).
+inline Status MaybeFail(const char* point) {
+  return FaultInjector::Default().MaybeFail(point);
+}
+
+}  // namespace fault
+
+/// Capped exponential backoff with deterministic seeded jitter.
+struct RetryPolicy {
+  int max_attempts = 4;  // total attempts including the first
+  uint64_t initial_backoff_us = 100;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 100 * 1000;
+  /// Each backoff is scaled by a factor in [1 - jitter, 1 + jitter]
+  /// derived from (seed, salt, attempt) — deterministic, not wall-clock.
+  double jitter = 0.5;
+};
+
+/// Backoff before retry number `attempt` (1 = after the first failure).
+/// `salt` decorrelates independent retry loops (e.g. per-endpoint).
+uint64_t BackoffUs(const RetryPolicy& policy, int attempt, uint64_t seed,
+                   uint64_t salt = 0);
+
+/// Sleeps for BackoffUs(...) (no-op when it is zero).
+void SleepForBackoff(const RetryPolicy& policy, int attempt, uint64_t seed,
+                     uint64_t salt = 0);
+
+/// Closed/open/half-open circuit breaker driven by call counts, so state
+/// transitions are deterministic and testable without a clock:
+///  * closed:    requests pass; `failure_threshold` consecutive failures
+///               open the circuit;
+///  * open:      the next `cooldown_calls` requests are rejected without
+///               reaching the dependency; the one after transitions to
+///               half-open and passes as the probe;
+///  * half-open: the probe's success closes the circuit, its failure
+///               re-opens it (a fresh cooldown); further requests while
+///               the probe is outstanding are rejected.
+/// Thread-safe; one instance per protected dependency.
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 5;
+    int cooldown_calls = 16;
+  };
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(const Options& options);
+
+  /// Updates thresholds; current state and counters are kept.
+  void Configure(const Options& options);
+
+  /// True if the caller may issue the request (and must report the result
+  /// via RecordSuccess/RecordFailure); false if it is rejected.
+  bool Allow();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Requests rejected while open/half-open since construction.
+  uint64_t rejected() const;
+
+ private:
+  mutable std::mutex mu_;
+  Options opt_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int open_rejects_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t rejected_total_ = 0;
+};
+
+/// Stable name for a breaker state ("closed", "open", "half-open").
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_FAULT_H_

@@ -26,6 +26,8 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kIOError,
+  kUnavailable,        // transient remote failure; safe to retry
+  kDeadlineExceeded,   // the per-call deadline elapsed
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -79,6 +81,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -94,9 +102,14 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

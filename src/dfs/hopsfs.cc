@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -145,14 +146,30 @@ common::Counter* OpCounter(const char* name) {
   return common::MetricsRegistry::Default().GetCounter(name);
 }
 
-// Runs `fn` in a transaction with transparent retry on conflicts.
+// Runs `fn` in a transaction with bounded retry on conflicts. Backoff is
+// capped exponential with deterministic seeded jitter, which avoids both
+// retry starvation and lock-step re-collision under heavy contention.
+// Only Aborted (the conflict status) is retried; any other error — from
+// `fn`, the commit, or the `dfs.txn.commit` injection point — surfaces
+// immediately.
 template <typename Fn>
 Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
+  const HopsFsCluster::Options& opt = cluster->options();
+  const common::RetryPolicy policy{
+      .max_attempts = opt.max_txn_retries,
+      .initial_backoff_us = opt.retry_initial_backoff_us,
+      .backoff_multiplier = opt.retry_backoff_multiplier,
+      .max_backoff_us = opt.retry_max_backoff_us,
+      .jitter = opt.retry_jitter};
   Status last;
-  for (int attempt = 0; attempt < cluster->options().max_txn_retries;
-       ++attempt) {
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     auto txn = cluster->store().Begin();
     Status s = fn(txn.get());
+    // The commit boundary is the injection point: a programmed fault here
+    // models the metadata store rejecting the transaction (e.g. an NDB
+    // node failing over mid-commit). Inject Aborted to exercise the retry
+    // path, anything else to exercise hard failure.
+    if (s.ok()) s = common::fault::MaybeFail("dfs.txn.commit");
     if (s.ok()) {
       s = txn->Commit();
       if (s.ok()) return s;
@@ -161,11 +178,11 @@ Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
     }
     if (!s.IsAborted()) return s;
     last = s;
-    cluster->CountRetry();
-    DfsMetrics::Get().txn_retries->Increment();
-    // Exponential backoff avoids retry starvation under heavy contention.
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(1ULL << std::min(attempt, 10)));
+    if (attempt < policy.max_attempts) {
+      cluster->CountRetry();
+      DfsMetrics::Get().txn_retries->Increment();
+      common::SleepForBackoff(policy, attempt, opt.retry_seed);
+    }
   }
   return last.ok() ? Status::Aborted("transaction retries exhausted") : last;
 }

@@ -37,8 +37,16 @@ class HopsFsCluster {
     uint64_t inline_threshold_bytes = 64 * 1024;
     /// Simulated block size for the block path.
     uint64_t block_size_bytes = 1 * 1024 * 1024;
-    /// Transparent retries on transaction conflicts.
+    /// Transparent retries on transaction conflicts (total attempts).
     int max_txn_retries = 16;
+    /// Conflict-retry backoff: capped exponential with deterministic
+    /// seeded jitter (see common::RetryPolicy). Tiny defaults — conflicts
+    /// in the in-memory store resolve in microseconds.
+    uint64_t retry_initial_backoff_us = 1;
+    double retry_backoff_multiplier = 2.0;
+    uint64_t retry_max_backoff_us = 1024;
+    double retry_jitter = 0.5;
+    uint64_t retry_seed = 1;
   };
 
   explicit HopsFsCluster(const Options& options);

@@ -21,6 +21,11 @@ struct FedMetrics {
   common::Counter* queries;
   common::Counter* subqueries;
   common::Counter* rows_transferred;
+  common::Counter* endpoint_failures;
+  common::Counter* endpoint_retries;
+  common::Counter* deadline_exceeded;
+  common::Counter* breaker_rejects;
+  common::Counter* partial_results;
   common::Histogram* query_latency_us;
   common::Histogram* endpoint_call_latency_us;
 
@@ -31,6 +36,11 @@ struct FedMetrics {
           reg.GetCounter("fed.queries"),
           reg.GetCounter("fed.subqueries"),
           reg.GetCounter("fed.rows_transferred"),
+          reg.GetCounter("fed.endpoint_failures"),
+          reg.GetCounter("fed.endpoint_retries"),
+          reg.GetCounter("fed.deadline_exceeded"),
+          reg.GetCounter("fed.breaker_rejects"),
+          reg.GetCounter("fed.partial_results"),
           reg.GetHistogram("fed.query_latency_us"),
           reg.GetHistogram("fed.endpoint_call_latency_us"),
       };
@@ -45,11 +55,21 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+uint64_t HashName(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 Endpoint::Endpoint(std::string name, rdf::TripleStore store)
     : name_(std::move(name)),
       trace_label_("endpoint:" + name_),
+      fault_point_("fed.endpoint.call:" + name_),
       store_(std::move(store)) {
   store_.Build();
   for (const auto& [pred_id, count] : store_.PredicateStats()) {
@@ -58,8 +78,12 @@ Endpoint::Endpoint(std::string name, rdf::TripleStore store)
   }
 }
 
-std::vector<std::map<std::string, rdf::Term>> Endpoint::ExecutePattern(
+Result<std::vector<std::map<std::string, rdf::Term>>> Endpoint::ExecutePattern(
     const rdf::TriplePattern& pattern) const {
+  // The fault boundary: programmed rules fire here (error status and/or
+  // injected latency), before the simulated endpoint does any work —
+  // exactly where a network/endpoint failure would surface.
+  EEA_RETURN_NOT_OK(common::fault::MaybeFail(fault_point_.c_str()));
   calls_served_.fetch_add(1, std::memory_order_relaxed);
   rdf::QueryEngine engine(&store_);
   rdf::Query q;
@@ -80,6 +104,13 @@ std::vector<std::map<std::string, rdf::Term>> Endpoint::ExecutePattern(
 
 void FederationEngine::Register(const Endpoint* endpoint) {
   endpoints_.push_back(endpoint);
+  breakers_.emplace(endpoint, std::make_unique<common::CircuitBreaker>());
+}
+
+common::CircuitBreaker* FederationEngine::breaker(
+    const Endpoint* endpoint) const {
+  auto it = breakers_.find(endpoint);
+  return it == breakers_.end() ? nullptr : it->second.get();
 }
 
 void FederationEngine::set_num_threads(size_t n) {
@@ -162,12 +193,23 @@ std::string PatternKey(const rdf::TriplePattern& p) {
   return slot_key(p.s) + " " + slot_key(p.p) + " " + slot_key(p.o);
 }
 
+// Outcome of one endpoint's retried subquery: rows on success, the final
+// status on failure, plus the attempt bookkeeping merged into the stats
+// after the fan-out joins (workers never touch shared counters).
+struct CallOutcome {
+  Status status;
+  std::vector<FedBinding> rows;
+  uint64_t failures = 0;      // failed attempts
+  uint64_t retries = 0;       // re-attempts after a failure
+  bool breaker_rejected = false;
+};
+
 }  // namespace
 
 Result<std::vector<FedBinding>> FederationEngine::Execute(
     const rdf::Query& query, const FederationOptions& options,
-    const std::vector<FedFilter>& filters,
-    common::QueryProfile* profile) const {
+    const std::vector<FedFilter>& filters, common::QueryProfile* profile,
+    FederationStats* stats) const {
   const FedMetrics& metrics = FedMetrics::Get();
   common::TraceRequest req("fed.Execute");
   common::ProfileScope pscope;
@@ -177,12 +219,24 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
   const auto query_start = std::chrono::steady_clock::now();
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
-  stats_ = FederationStats{};
+  FederationStats st;
+  std::set<std::string> degraded;
+  auto publish = [&]() {
+    st.degraded_sources.assign(degraded.begin(), degraded.end());
+    if (stats != nullptr) *stats = st;
+  };
   if (query.where.empty()) {
+    publish();
     return Status::InvalidArgument("empty basic graph pattern");
   }
   if (endpoints_.empty()) {
+    publish();
     return Status::FailedPrecondition("no endpoints registered");
+  }
+  if (options.breaker_failure_threshold > 0) {
+    const common::CircuitBreaker::Options bopt{
+        options.breaker_failure_threshold, options.breaker_cooldown_calls};
+    for (const auto& [ep, breaker] : breakers_) breaker->Configure(bopt);
   }
 
   // Join order.
@@ -224,25 +278,77 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
   }
 
   std::set<const Endpoint*> contacted;
-  // Memo of bound-pattern results within this query execution.
+  // Memo of bound-pattern results within this query execution. Under
+  // partial_ok a memoized entry holds the surviving sources' merge.
   std::unordered_map<std::string, std::vector<FedBinding>> memo;
 
+  // One endpoint subquery with retry/backoff, deadline and breaker.
+  // Runs on a pool worker under parallel fan-out; touches only its own
+  // CallOutcome (the breaker is internally synchronized). Retry decisions
+  // and backoff jitter are deterministic per (endpoint, call number).
+  auto call_endpoint = [&](const Endpoint* ep,
+                           const rdf::TriplePattern& pattern) -> CallOutcome {
+    CallOutcome out;
+    common::CircuitBreaker* breaker =
+        options.breaker_failure_threshold > 0 ? this->breaker(ep) : nullptr;
+    const uint64_t salt = HashName(ep->name());
+    for (int attempt = 1; attempt <= options.retry.max_attempts; ++attempt) {
+      if (breaker != nullptr && !breaker->Allow()) {
+        out.status = Status::Unavailable("circuit open: " + ep->name());
+        out.breaker_rejected = true;
+        metrics.breaker_rejects->Increment();
+        break;  // an open breaker fails fast; retrying would burn cooldown
+      }
+      common::TraceSpan call_span(ep->trace_label());
+      common::ScopedLatencyTimer call_timer(metrics.endpoint_call_latency_us);
+      const auto call_start = std::chrono::steady_clock::now();
+      auto r = ep->ExecutePattern(pattern);
+      Status s = r.ok() ? Status::OK() : r.status();
+      if (s.ok() && options.endpoint_deadline_us > 0) {
+        const double elapsed_us = SecondsSince(call_start) * 1e6;
+        if (elapsed_us > static_cast<double>(options.endpoint_deadline_us)) {
+          s = Status::DeadlineExceeded(ep->name() + " exceeded " +
+                                       std::to_string(
+                                           options.endpoint_deadline_us) +
+                                       "us deadline");
+          metrics.deadline_exceeded->Increment();
+        }
+      }
+      if (breaker != nullptr) {
+        s.ok() ? breaker->RecordSuccess() : breaker->RecordFailure();
+      }
+      if (s.ok()) {
+        out.status = Status::OK();
+        out.rows = std::move(*r);
+        return out;
+      }
+      out.status = s;
+      ++out.failures;
+      metrics.endpoint_failures->Increment();
+      if (attempt < options.retry.max_attempts) {
+        ++out.retries;
+        metrics.endpoint_retries->Increment();
+        common::SleepForBackoff(options.retry, attempt, options.retry_seed,
+                                salt);
+      }
+    }
+    return out;
+  };
+
+  Status fetch_error;  // first fatal fan-out error (non-partial mode)
   auto fetch = [&](const rdf::TriplePattern& pattern)
-      -> const std::vector<FedBinding>& {
+      -> const std::vector<FedBinding>* {
     const std::string key = PatternKey(pattern);
     auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
+    if (it != memo.end()) return &it->second;
     const std::vector<const Endpoint*> sources =
         SelectSources(pattern, options);
     // Per-source result slots: the fan-out runs on the pool (one task per
     // endpoint) but the merge below walks slots in SelectSources order, so
     // results are deterministic regardless of completion order.
-    std::vector<std::vector<FedBinding>> slots(sources.size());
+    std::vector<CallOutcome> slots(sources.size());
     auto call_one = [&](size_t i) {
-      // Per-source fan-out latency: one observation per remote call.
-      common::TraceSpan call_span(sources[i]->trace_label());
-      common::ScopedLatencyTimer call_timer(metrics.endpoint_call_latency_us);
-      slots[i] = sources[i]->ExecutePattern(pattern);
+      slots[i] = call_endpoint(sources[i], pattern);
     };
     if (pool_ != nullptr && sources.size() > 1) {
       std::vector<std::future<void>> pending;
@@ -256,14 +362,28 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
     }
     std::vector<FedBinding> rows;
     for (size_t i = 0; i < sources.size(); ++i) {
-      ++stats_.subqueries_sent;
+      st.endpoint_failures += slots[i].failures;
+      st.retries += slots[i].retries;
+      if (slots[i].breaker_rejected) ++st.breaker_rejects;
+      if (!slots[i].status.ok()) {
+        if (!options.partial_ok) {
+          fetch_error = slots[i].status;
+          return nullptr;
+        }
+        ++st.endpoints_skipped;
+        st.partial = true;
+        degraded.insert(sources[i]->name());
+        metrics.partial_results->Increment();
+        continue;
+      }
+      ++st.subqueries_sent;
       metrics.subqueries->Increment();
       contacted.insert(sources[i]);
-      stats_.rows_transferred += slots[i].size();
-      metrics.rows_transferred->Increment(slots[i].size());
-      for (auto& row : slots[i]) rows.push_back(std::move(row));
+      st.rows_transferred += slots[i].rows.size();
+      metrics.rows_transferred->Increment(slots[i].rows.size());
+      for (auto& row : slots[i].rows) rows.push_back(std::move(row));
     }
-    return memo.emplace(key, std::move(rows)).first->second;
+    return &memo.emplace(key, std::move(rows)).first->second;
   };
 
   common::QueryProfile prof;
@@ -271,15 +391,21 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
   for (size_t oi : order) {
     const rdf::TriplePattern& pattern = query.where[oi];
     const auto step_start = std::chrono::steady_clock::now();
-    const uint64_t subqueries_before = stats_.subqueries_sent;
+    const uint64_t subqueries_before = st.subqueries_sent;
     const size_t rows_in = current.size();
     std::vector<FedBinding> next;
     for (const FedBinding& row : current) {
       rdf::TriplePattern bound_pattern = BindPattern(pattern, row);
-      for (const FedBinding& fetched : fetch(bound_pattern)) {
+      const std::vector<FedBinding>* fetched = fetch(bound_pattern);
+      if (fetched == nullptr) {
+        st.endpoints_contacted = contacted.size();
+        publish();
+        return fetch_error;
+      }
+      for (const FedBinding& fetched_row : *fetched) {
         FedBinding merged = row;
         bool ok = true;
-        for (const auto& [var, term] : fetched) {
+        for (const auto& [var, term] : fetched_row) {
           auto it = merged.find(var);
           if (it == merged.end()) {
             merged.emplace(var, term);
@@ -298,7 +424,7 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       op.wall_us = SecondsSince(step_start) * 1e6;
       op.rows_in = rows_in;
       op.rows_out = current.size();
-      op.chunks = stats_.subqueries_sent - subqueries_before;
+      op.chunks = st.subqueries_sent - subqueries_before;
       op.threads = pool_ != nullptr ? num_threads_ : 1;
       prof.operators.push_back(std::move(op));
     }
@@ -345,8 +471,9 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       row = std::move(projected);
     }
   }
-  stats_.endpoints_contacted = contacted.size();
-  stats_.results = current.size();
+  st.endpoints_contacted = contacted.size();
+  st.results = current.size();
+  publish();
   if (profiling) {
     if (query.limit > 0 || !query.select.empty()) {
       common::OperatorProfile op;

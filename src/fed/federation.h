@@ -6,6 +6,15 @@
 // join keys are materialized Terms (exactly the mediator situation
 // Semagrow faces); per-endpoint subqueries still run on the endpoint's own
 // id-level engine.
+//
+// Failure semantics (see README "Robustness"): every remote subquery
+// passes the `fed.endpoint.call:<name>` fault-injection point. The
+// mediator retries failed calls with capped exponential backoff and
+// deterministic seeded jitter, enforces an optional per-endpoint call
+// deadline, and routes every endpoint through a per-endpoint circuit
+// breaker. With `partial_ok` a query survives dead endpoints: the merged
+// result of the surviving sources is returned and FederationStats records
+// exactly which sources were skipped or degraded.
 
 #ifndef EXEARTH_FED_FEDERATION_H_
 #define EXEARTH_FED_FEDERATION_H_
@@ -20,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/query_profile.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -48,9 +58,11 @@ class Endpoint {
 
   /// Executes a single-pattern subquery, returning term-level rows.
   /// Counts one remote call. Safe to call concurrently (the mediator
-  /// fans out to endpoints in parallel).
-  std::vector<std::map<std::string, rdf::Term>> ExecutePattern(
-      const rdf::TriplePattern& pattern) const;
+  /// fans out to endpoints in parallel). Passes the
+  /// `fed.endpoint.call:<name>` injection point first, so programmed
+  /// faults surface here as error statuses (or injected latency).
+  common::Result<std::vector<std::map<std::string, rdf::Term>>>
+  ExecutePattern(const rdf::TriplePattern& pattern) const;
 
   uint64_t calls_served() const {
     return calls_served_.load(std::memory_order_relaxed);
@@ -60,9 +72,13 @@ class Endpoint {
   /// outlives any query, so it is safe as a TraceSpan name.
   const char* trace_label() const { return trace_label_.c_str(); }
 
+  /// Stable injection-point name ("fed.endpoint.call:name").
+  const char* fault_point() const { return fault_point_.c_str(); }
+
  private:
   std::string name_;
   std::string trace_label_;
+  std::string fault_point_;
   rdf::TripleStore store_;
   std::unordered_map<std::string, uint64_t> summary_;
   mutable std::atomic<uint64_t> calls_served_{0};
@@ -78,6 +94,32 @@ struct FederationOptions {
   /// Order pattern joins by estimated cardinality from the summaries.
   /// Off = execute in query order.
   bool join_reordering = true;
+
+  // --- Failure handling ---------------------------------------------------
+
+  /// Per-endpoint retry policy. The default (max_attempts = 1) keeps the
+  /// pre-fault fail-fast behavior; raise max_attempts to mask transient
+  /// endpoint failures with backoff between attempts.
+  common::RetryPolicy retry{.max_attempts = 1,
+                            .initial_backoff_us = 50,
+                            .backoff_multiplier = 2.0,
+                            .max_backoff_us = 5000,
+                            .jitter = 0.5};
+  /// Seed for the deterministic backoff jitter.
+  uint64_t retry_seed = 1;
+  /// Per-call wall-clock deadline; a call exceeding it counts as failed
+  /// (Status::DeadlineExceeded). 0 = no deadline.
+  uint64_t endpoint_deadline_us = 0;
+  /// Return the merged rows of the surviving endpoints instead of failing
+  /// the whole query when an endpoint stays down after retries (or its
+  /// breaker is open). Skipped sources land in FederationStats.
+  bool partial_ok = false;
+  /// Consecutive failures that open an endpoint's circuit breaker;
+  /// 0 disables circuit breaking.
+  int breaker_failure_threshold = 0;
+  /// Rejected calls an open breaker absorbs before half-opening with a
+  /// probe (call-count cooldown: deterministic).
+  int breaker_cooldown_calls = 8;
 };
 
 struct FederationStats {
@@ -85,12 +127,21 @@ struct FederationStats {
   uint64_t endpoints_contacted = 0;  // distinct endpoints with >= 1 call
   uint64_t rows_transferred = 0;     // rows shipped from endpoints
   uint64_t results = 0;
+  // Failure handling.
+  uint64_t endpoint_failures = 0;  // failed call attempts (incl. deadline)
+  uint64_t retries = 0;            // re-attempts after a failure
+  uint64_t breaker_rejects = 0;    // calls short-circuited by open breakers
+  uint64_t endpoints_skipped = 0;  // subqueries abandoned under partial_ok
+  bool partial = false;            // true if any source was skipped
+  /// Names of endpoints whose results are missing from a partial answer
+  /// (deduplicated, sorted).
+  std::vector<std::string> degraded_sources;
 };
 
 /// The mediator.
 class FederationEngine {
  public:
-  /// Registers an endpoint (not owned).
+  /// Registers an endpoint (not owned) and creates its circuit breaker.
   void Register(const Endpoint* endpoint);
 
   size_t num_endpoints() const { return endpoints_.size(); }
@@ -103,19 +154,24 @@ class FederationEngine {
   void set_num_threads(size_t n);
   size_t num_threads() const { return num_threads_; }
 
+  /// The circuit breaker guarding `endpoint` (nullptr if unregistered).
+  /// Exposed for tests; state persists across Execute calls.
+  common::CircuitBreaker* breaker(const Endpoint* endpoint) const;
+
   /// Evaluates a BGP (+projection/limit) across the federation.
   /// `query.filters` (id-level) are ignored — pass term-level filters via
   /// `filters` instead, since ids are endpoint-private. Opens a
   /// common::TraceRequest, so endpoint calls (including those made on
   /// pool workers) trace under one request; a per-join-step operator
   /// breakdown is written to `profile` when non-null and fed to the
-  /// SlowQueryLog when that is enabled.
+  /// SlowQueryLog when that is enabled. Per-query execution statistics
+  /// are written to `stats` when non-null (on success *and* on error —
+  /// there is no racy last_stats() accessor; stats are per call).
   common::Result<std::vector<FedBinding>> Execute(
       const rdf::Query& query, const FederationOptions& options,
       const std::vector<FedFilter>& filters = {},
-      common::QueryProfile* profile = nullptr) const;
-
-  const FederationStats& last_stats() const { return stats_; }
+      common::QueryProfile* profile = nullptr,
+      FederationStats* stats = nullptr) const;
 
  private:
   /// Endpoints that may contribute to `pattern` under the options.
@@ -128,9 +184,13 @@ class FederationEngine {
                                const FederationOptions& options) const;
 
   std::vector<const Endpoint*> endpoints_;
+  // One breaker per endpoint, keyed by identity; state survives queries
+  // (a breaker that opened stays open for the next Execute). The map is
+  // only mutated by Register, so concurrent Executes read it safely.
+  std::unordered_map<const Endpoint*, std::unique_ptr<common::CircuitBreaker>>
+      breakers_;
   size_t num_threads_ = 1;
   std::unique_ptr<common::ThreadPool> pool_;
-  mutable FederationStats stats_;
 };
 
 }  // namespace exearth::fed

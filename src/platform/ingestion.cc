@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -17,6 +19,8 @@ namespace {
 struct IngestionMetrics {
   common::Counter* runs;
   common::Counter* products_ingested;
+  common::Counter* products_retried;
+  common::Counter* products_quarantined;
   common::Gauge* peak_backlog_gb;
   common::Histogram* product_gb;
 
@@ -26,6 +30,8 @@ struct IngestionMetrics {
       return IngestionMetrics{
           reg.GetCounter("platform.ingestion.runs"),
           reg.GetCounter("platform.ingestion.products_ingested"),
+          reg.GetCounter("platform.ingestion.products_retried"),
+          reg.GetCounter("platform.ingestion.products_quarantined"),
           reg.GetGauge("platform.ingestion.peak_backlog_gb"),
           reg.GetHistogram("platform.ingestion.product_gb",
                            common::Histogram::ExponentialBounds(0.125, 2.0,
@@ -56,6 +62,35 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
   double backlog_gb = 0.0;
   const double gb_per_day = options.processing_gb_per_day;
 
+  // Books one processing pass for a product (attempt 1 is the first
+  // pass). A `platform.ingestion.process` fault at completion re-enqueues
+  // the product — burning processor capacity again — until the retry
+  // budget is spent, after which the product is quarantined and leaves
+  // the backlog without yielding derived information.
+  std::function<void(double, int)> schedule_processing =
+      [&](double size_gb, int attempt) {
+        const double start = std::max(clock.now(), processor_free_at);
+        const double service_days = size_gb / gb_per_day;
+        processor_free_at = start + service_days;
+        clock.ScheduleAt(processor_free_at, [&, size_gb, attempt] {
+          if (!common::fault::MaybeFail("platform.ingestion.process").ok()) {
+            if (attempt <= options.max_process_retries) {
+              ++report.products_retried;
+              metrics.products_retried->Increment();
+              schedule_processing(size_gb, attempt + 1);
+            } else {
+              backlog_gb -= size_gb;
+              ++report.products_quarantined;
+              metrics.products_quarantined->Increment();
+            }
+            return;
+          }
+          backlog_gb -= size_gb;
+          ++report.products_processed;
+          report.derived_information_gb += size_gb * options.information_ratio;
+        });
+      };
+
   // Schedule Poisson arrivals over the horizon.
   double t = 0.0;
   const double rate = options.products_per_day;  // per day
@@ -67,24 +102,24 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
         options.mean_product_gb * std::max(0.1, 1.0 + rng.Gaussian(0, 0.4));
     int64_t downloads = rng.Poisson(options.mean_downloads_per_product);
     clock.ScheduleAt(t, [&, size_gb, downloads] {
+      // A fault at arrival models a corrupt or unreadable granule: it is
+      // quarantined before any byte accounting.
+      if (!common::fault::MaybeFail("platform.ingestion.ingest").ok()) {
+        ++report.products_quarantined;
+        metrics.products_quarantined->Increment();
+        return;
+      }
       ++report.products_ingested;
       metrics.products_ingested->Increment();
       metrics.product_gb->Observe(size_gb);
       report.ingested_gb += size_gb;
       report.disseminated_gb += size_gb * static_cast<double>(downloads);
       // Enqueue for processing.
-      const double start = std::max(clock.now(), processor_free_at);
-      const double service_days = size_gb / gb_per_day;
-      processor_free_at = start + service_days;
       backlog_gb += size_gb;
       report.max_processing_backlog_gb =
           std::max(report.max_processing_backlog_gb, backlog_gb);
       metrics.peak_backlog_gb->Max(backlog_gb);
-      clock.ScheduleAt(processor_free_at, [&, size_gb] {
-        backlog_gb -= size_gb;
-        ++report.products_processed;
-        report.derived_information_gb += size_gb * options.information_ratio;
-      });
+      schedule_processing(size_gb, 1);
     });
   }
   report.processing_drain_time_days = clock.Run();

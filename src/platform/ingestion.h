@@ -33,6 +33,10 @@ struct IngestionOptions {
   double processing_gb_per_day = 10000.0;
   double days = 1.0;
   uint64_t seed = 1;
+  /// Re-processing attempts after a failed derived-information pass
+  /// (`platform.ingestion.process` faults) before the product is
+  /// quarantined and dropped from the backlog.
+  int max_process_retries = 2;
 };
 
 struct IngestionReport {
@@ -41,6 +45,12 @@ struct IngestionReport {
   double disseminated_gb = 0.0;
   double derived_information_gb = 0.0;
   uint64_t products_processed = 0;
+  /// Re-processing attempts scheduled after `platform.ingestion.process`
+  /// faults (a product may be retried more than once).
+  uint64_t products_retried = 0;
+  /// Products dropped: rejected at arrival (`platform.ingestion.ingest`
+  /// faults) or still failing after max_process_retries re-attempts.
+  uint64_t products_quarantined = 0;
   double max_processing_backlog_gb = 0.0;
   /// Virtual time when the last queued product finished processing.
   double processing_drain_time_days = 0.0;

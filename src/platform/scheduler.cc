@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -20,6 +21,8 @@ namespace {
 struct SchedulerMetrics {
   common::Counter* runs;
   common::Counter* jobs_scheduled;
+  common::Counter* tasks_retried;
+  common::Counter* tasks_quarantined;
   common::Gauge* peak_queue_depth;
   common::Histogram* task_latency_sim_us;
   common::Histogram* queue_wait_sim_us;
@@ -30,6 +33,8 @@ struct SchedulerMetrics {
       return SchedulerMetrics{
           reg.GetCounter("platform.scheduler.runs"),
           reg.GetCounter("platform.scheduler.jobs_scheduled"),
+          reg.GetCounter("platform.scheduler.tasks_retried"),
+          reg.GetCounter("platform.scheduler.tasks_quarantined"),
           reg.GetGauge("platform.scheduler.peak_queue_depth"),
           reg.GetHistogram("platform.scheduler.task_latency_sim_us"),
           reg.GetHistogram("platform.scheduler.queue_wait_sim_us"),
@@ -43,6 +48,12 @@ struct SchedulerMetrics {
 
 Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
                                     const sim::Cluster& cluster) {
+  return ScheduleJobs(jobs, cluster, ScheduleOptions());
+}
+
+Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
+                                    const sim::Cluster& cluster,
+                                    const ScheduleOptions& options) {
   const SchedulerMetrics& metrics = SchedulerMetrics::Get();
   common::TraceRequest span("platform.ScheduleJobs");
   metrics.runs->Increment();
@@ -79,6 +90,7 @@ Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
   // Ready queue ordered by ready time then index (deterministic).
   using Item = std::pair<double, int>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
+  std::vector<bool> poisoned(static_cast<size_t>(n), false);
   int scheduled = 0;
   for (int i = 0; i < n; ++i) {
     if (indegree[static_cast<size_t>(i)] == 0) ready.push({0.0, i});
@@ -87,22 +99,50 @@ Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
     metrics.peak_queue_depth->Max(static_cast<double>(ready.size()));
     auto [rt, i] = ready.top();
     ready.pop();
-    // Earliest-free node.
-    auto node_it = std::min_element(node_free.begin(), node_free.end());
-    const int node = static_cast<int>(node_it - node_free.begin());
-    const double start = std::max(rt, *node_it);
-    const double end = start + jobs[static_cast<size_t>(i)].compute_seconds;
-    *node_it = end;
     JobResult& jr = result.jobs[static_cast<size_t>(i)];
     jr.name = jobs[static_cast<size_t>(i)].name;
-    jr.start_time = start;
-    jr.end_time = end;
-    jr.node = node;
-    metrics.jobs_scheduled->Increment();
-    metrics.task_latency_sim_us->Observe((end - rt) * 1e6);
-    metrics.queue_wait_sim_us->Observe((start - rt) * 1e6);
-    ++scheduled;
+    ++scheduled;  // popped jobs count toward the cycle check, run or not
+    bool completed = false;
+    double end = rt;
+    if (poisoned[static_cast<size_t>(i)]) {
+      // A dependency was quarantined: skip without burning node time.
+      jr.failed = true;
+      ++result.tasks_quarantined;
+      metrics.tasks_quarantined->Increment();
+    } else {
+      // Execute with retries; every attempt (failed or not) occupies the
+      // earliest-free node for the job's full compute demand.
+      double attempt_ready = rt;
+      for (int attempt = 1;; ++attempt) {
+        auto node_it = std::min_element(node_free.begin(), node_free.end());
+        const int node = static_cast<int>(node_it - node_free.begin());
+        const double start = std::max(attempt_ready, *node_it);
+        end = start + jobs[static_cast<size_t>(i)].compute_seconds;
+        *node_it = end;
+        if (attempt == 1) jr.start_time = start;
+        jr.end_time = end;
+        jr.node = node;
+        jr.attempts = attempt;
+        if (common::fault::MaybeFail("platform.scheduler.task").ok()) {
+          completed = true;
+          metrics.jobs_scheduled->Increment();
+          metrics.task_latency_sim_us->Observe((end - rt) * 1e6);
+          metrics.queue_wait_sim_us->Observe((start - rt) * 1e6);
+          break;
+        }
+        if (attempt > options.max_task_retries) {
+          jr.failed = true;
+          ++result.tasks_quarantined;
+          metrics.tasks_quarantined->Increment();
+          break;
+        }
+        ++result.tasks_retried;
+        metrics.tasks_retried->Increment();
+        attempt_ready = end;
+      }
+    }
     for (int dep : dependents[static_cast<size_t>(i)]) {
+      if (!completed) poisoned[static_cast<size_t>(dep)] = true;
       ready_time[static_cast<size_t>(dep)] =
           std::max(ready_time[static_cast<size_t>(dep)], end);
       if (--indegree[static_cast<size_t>(dep)] == 0) {

@@ -27,6 +27,11 @@ struct JobResult {
   double start_time = 0.0;
   double end_time = 0.0;
   int node = -1;
+  /// Execution attempts made (0 = never ran: a dependency was
+  /// quarantined, so this job was poisoned and skipped).
+  int attempts = 0;
+  /// True if the job did not complete (quarantined or poisoned).
+  bool failed = false;
 };
 
 struct ScheduleResult {
@@ -34,11 +39,30 @@ struct ScheduleResult {
   double makespan_seconds = 0.0;
   /// Mean node busy fraction over the makespan.
   double utilization = 0.0;
+  /// Re-attempts after `platform.scheduler.task` faults. Each failed
+  /// attempt still burns its node time, so retries extend the makespan.
+  uint64_t tasks_retried = 0;
+  /// Jobs dropped: retry budget exhausted, or poisoned by a quarantined
+  /// dependency (JobResult::attempts == 0 distinguishes the latter).
+  uint64_t tasks_quarantined = 0;
+};
+
+struct ScheduleOptions {
+  /// Re-attempts after a failed task execution before the task is
+  /// quarantined and its dependents are poisoned.
+  int max_task_retries = 3;
 };
 
 /// List-schedules the DAG onto `cluster.num_nodes()` nodes (earliest-
 /// available node, dependency-respecting). Fails on cyclic or out-of-range
-/// dependencies.
+/// dependencies. Each execution attempt passes the
+/// `platform.scheduler.task` injection point; failed attempts are retried
+/// per `options` and a job that exhausts its budget is quarantined,
+/// transitively poisoning its dependents (reported per job, not as an
+/// error — a degraded schedule is still a schedule).
+common::Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
+                                            const sim::Cluster& cluster,
+                                            const ScheduleOptions& options);
 common::Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
                                             const sim::Cluster& cluster);
 

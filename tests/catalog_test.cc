@@ -90,17 +90,19 @@ TEST_F(CatalogueTest, TimeWindow) {
 TEST_F(CatalogueTest, LimitAndStats) {
   SearchRequest req;
   req.limit = 7;
-  auto results = cat_.Search(req);
+  SearchStats stats;
+  auto results = cat_.Search(req, &stats);
   EXPECT_EQ(results.size(), 7u);
-  EXPECT_EQ(cat_.last_stats().results, 7u);
-  EXPECT_GE(cat_.last_stats().candidates, 7u);
+  EXPECT_EQ(stats.results, 7u);
+  EXPECT_GE(stats.candidates, 7u);
 }
 
 TEST_F(CatalogueTest, AreaSearchPrunesCandidates) {
   SearchRequest narrow;
   narrow.area = geo::Box::Of(0, 0, 50, 50);
-  cat_.Search(narrow);
-  EXPECT_LT(cat_.last_stats().candidates, 20u);
+  SearchStats stats;
+  cat_.Search(narrow, &stats);
+  EXPECT_LT(stats.candidates, 20u);
 }
 
 TEST(CatalogueKnowledgeTest, IcebergCountQuery) {

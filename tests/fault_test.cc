@@ -1,0 +1,906 @@
+// Chaos suite for the deterministic fault-injection toolkit
+// (common/fault.h) and the failure semantics wired through the layers:
+// federation retry/partial/breaker behavior, HopsFS transaction retries,
+// ingestion retry-or-quarantine and scheduler task quarantine. Everything
+// here is seeded and call-count driven, so each test reproduces the exact
+// same failure sequence on every run (and under asan/tsan).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "dfs/hopsfs.h"
+#include "fed/federation.h"
+#include "platform/ingestion.h"
+#include "platform/scheduler.h"
+#include "rdf/query.h"
+#include "sim/cluster.h"
+
+namespace exearth {
+namespace {
+
+using common::CircuitBreaker;
+using common::FaultInjector;
+using common::FaultRule;
+using common::RetryPolicy;
+using common::Status;
+using common::StatusCode;
+
+// Every test starts and ends with a clean injector: the injector is
+// process-wide, so leaked rules would bleed into unrelated tests.
+class FaultInjectorTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Default().Reset();
+    FaultInjector::Default().set_seed(1);
+  }
+  void TearDown() override { FaultInjector::Default().Reset(); }
+
+  // Outcomes of `n` calls at `point` (true = fault triggered).
+  static std::vector<bool> CallSequence(const char* point, int n) {
+    std::vector<bool> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back(!FaultInjector::Default().MaybeFail(point).ok());
+    }
+    return out;
+  }
+};
+
+// --- FaultInjector core -----------------------------------------------------
+
+TEST_F(FaultInjectorTest, DisabledInjectorAlwaysOk) {
+  auto& inj = FaultInjector::Default();
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.MaybeFail("some.point").ok());
+  }
+  EXPECT_EQ(inj.calls("some.point"), 0u);  // disabled path counts nothing
+  EXPECT_EQ(inj.total_triggered(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysFails) {
+  FaultInjector::Default().Program("p.always", FaultRule{.probability = 1.0});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(FaultInjector::Default().MaybeFail("p.always").IsUnavailable());
+  }
+  EXPECT_EQ(FaultInjector::Default().triggered("p.always"), 20u);
+  EXPECT_EQ(FaultInjector::Default().calls("p.always"), 20u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFails) {
+  FaultInjector::Default().Program("p.never", FaultRule{.probability = 0.0});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(FaultInjector::Default().MaybeFail("p.never").ok());
+  }
+  EXPECT_EQ(FaultInjector::Default().triggered("p.never"), 0u);
+  EXPECT_EQ(FaultInjector::Default().calls("p.never"), 50u);
+}
+
+TEST_F(FaultInjectorTest, ScheduleFailsExactCalls) {
+  FaultInjector::Default().Program("p.sched",
+                                   FaultRule{.fail_calls = {5, 2}});  // unsorted
+  const std::vector<bool> seq = CallSequence("p.sched", 7);
+  const std::vector<bool> want = {false, true, false, false,
+                                  true,  false, false};
+  EXPECT_EQ(seq, want);
+  EXPECT_EQ(FaultInjector::Default().triggered("p.sched"), 2u);
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameSequence) {
+  auto& inj = FaultInjector::Default();
+  inj.set_seed(123);
+  inj.Program("p.seeded", FaultRule{.probability = 0.5});
+  const std::vector<bool> first = CallSequence("p.seeded", 64);
+  inj.Reset();
+  inj.set_seed(123);
+  inj.Program("p.seeded", FaultRule{.probability = 0.5});
+  const std::vector<bool> second = CallSequence("p.seeded", 64);
+  EXPECT_EQ(first, second);
+  // Sanity: a 0.5 rule over 64 calls triggers somewhere, but not always.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FaultInjectorTest, DifferentSeedDifferentSequence) {
+  auto& inj = FaultInjector::Default();
+  inj.set_seed(1);
+  inj.Program("p.seeded", FaultRule{.probability = 0.5});
+  const std::vector<bool> one = CallSequence("p.seeded", 64);
+  inj.Reset();
+  inj.set_seed(2);
+  inj.Program("p.seeded", FaultRule{.probability = 0.5});
+  const std::vector<bool> two = CallSequence("p.seeded", 64);
+  EXPECT_NE(one, two);
+}
+
+TEST_F(FaultInjectorTest, IndependentPointsGetIndependentDecisions) {
+  auto& inj = FaultInjector::Default();
+  inj.Program("p", FaultRule{.probability = 0.5});  // substring: matches both
+  const std::vector<bool> a = CallSequence("p.alpha", 64);
+  const std::vector<bool> b = CallSequence("p.beta", 64);
+  EXPECT_NE(a, b);  // decisions hash the point name
+}
+
+TEST_F(FaultInjectorTest, SubstringPatternMatchesPoint) {
+  FaultInjector::Default().Program("endpoint",
+                                   FaultRule{.probability = 1.0});
+  EXPECT_FALSE(
+      FaultInjector::Default().MaybeFail("fed.endpoint.call:crops").ok());
+  EXPECT_TRUE(FaultInjector::Default().MaybeFail("dfs.txn.commit").ok());
+}
+
+TEST_F(FaultInjectorTest, ExactMatchBeatsSubstringMatch) {
+  auto& inj = FaultInjector::Default();
+  inj.Program("fed.endpoint.call", FaultRule{.probability = 0.0});
+  inj.Program("fed.endpoint.call:ice", FaultRule{.probability = 1.0});
+  // The exact rule wins even though the substring rule was first.
+  EXPECT_FALSE(inj.MaybeFail("fed.endpoint.call:ice").ok());
+  EXPECT_TRUE(inj.MaybeFail("fed.endpoint.call:crops").ok());
+}
+
+TEST_F(FaultInjectorTest, FirstSubstringMatchWins) {
+  auto& inj = FaultInjector::Default();
+  inj.Program("call", FaultRule{.probability = 0.0});
+  inj.Program("endpoint", FaultRule{.probability = 1.0});
+  // Both are substrings of the point; the first programmed rule applies.
+  EXPECT_TRUE(inj.MaybeFail("fed.endpoint.call:ice").ok());
+}
+
+TEST_F(FaultInjectorTest, CustomStatusCodeAndMessage) {
+  FaultInjector::Default().Program(
+      "p.code", FaultRule{.probability = 1.0,
+                          .code = StatusCode::kAborted,
+                          .message = "simulated conflict"});
+  const Status s = FaultInjector::Default().MaybeFail("p.code");
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_NE(s.ToString().find("simulated conflict"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, DefaultMessageNamesThePoint) {
+  FaultInjector::Default().Program("p.msg", FaultRule{.probability = 1.0});
+  const Status s = FaultInjector::Default().MaybeFail("p.msg");
+  EXPECT_NE(s.ToString().find("p.msg"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, OkCodeInjectsLatencyOnly) {
+  FaultInjector::Default().Program(
+      "p.slow", FaultRule{.probability = 1.0,
+                          .latency_us = 2000,
+                          .code = StatusCode::kOk});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FaultInjector::Default().MaybeFail("p.slow").ok());
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_us, 1000.0);  // sleeps are >= requested; allow slack down
+  EXPECT_EQ(FaultInjector::Default().triggered("p.slow"), 1u);
+}
+
+TEST_F(FaultInjectorTest, TriggeredFaultsShowUpInMetrics) {
+  auto& reg = common::MetricsRegistry::Default();
+  common::Counter* injected = reg.GetCounter("fault.injected");
+  common::Counter* point_counter = reg.GetCounter("fault.point.p.metric");
+  const uint64_t injected_before = injected->value();
+  const uint64_t point_before = point_counter->value();
+  FaultInjector::Default().Program("p.metric",
+                                   FaultRule{.fail_calls = {1, 3}});
+  (void)CallSequence("p.metric", 4);
+  EXPECT_EQ(injected->value() - injected_before, 2u);
+  EXPECT_EQ(point_counter->value() - point_before, 2u);
+}
+
+TEST_F(FaultInjectorTest, TriggeredFaultRecordsTraceSpan) {
+  common::EventRecorder& recorder = common::EventRecorder::Default();
+  recorder.Reset();
+  recorder.set_enabled(true);
+  FaultInjector::Default().Program("p.traced", FaultRule{.probability = 1.0});
+  {
+    common::TraceRequest req("chaos.test");
+    (void)FaultInjector::Default().MaybeFail("p.traced");
+  }
+  recorder.set_enabled(false);
+  bool saw_fault_span = false;
+  for (const auto& ev : recorder.Snapshot()) {
+    if (std::string(ev.name) == "fault:p.traced") saw_fault_span = true;
+  }
+  recorder.Reset();
+  EXPECT_TRUE(saw_fault_span);
+}
+
+TEST_F(FaultInjectorTest, ResetDisablesAndZeroesCounters) {
+  auto& inj = FaultInjector::Default();
+  inj.Program("p.reset", FaultRule{.probability = 1.0});
+  (void)CallSequence("p.reset", 3);
+  EXPECT_EQ(inj.triggered("p.reset"), 3u);
+  inj.Reset();
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.calls("p.reset"), 0u);
+  EXPECT_EQ(inj.triggered("p.reset"), 0u);
+  EXPECT_EQ(inj.total_triggered(), 0u);
+  EXPECT_TRUE(inj.MaybeFail("p.reset").ok());
+}
+
+TEST_F(FaultInjectorTest, TotalTriggeredSumsAcrossPoints) {
+  auto& inj = FaultInjector::Default();
+  inj.Program("q.one", FaultRule{.probability = 1.0});
+  inj.Program("q.two", FaultRule{.probability = 1.0});
+  (void)CallSequence("q.one", 2);
+  (void)CallSequence("q.two", 3);
+  EXPECT_EQ(inj.total_triggered(), 5u);
+}
+
+// --- Spec grammar -----------------------------------------------------------
+
+TEST_F(FaultInjectorTest, ProgramSpecProbability) {
+  ASSERT_TRUE(FaultInjector::Default().ProgramSpec("p.spec:1.0").ok());
+  EXPECT_FALSE(FaultInjector::Default().MaybeFail("p.spec").ok());
+}
+
+TEST_F(FaultInjectorTest, ProgramSpecPatternMayContainColons) {
+  // Split happens at the LAST colon: the pattern keeps its own colons.
+  // (Schedule-only: probability and schedule trigger independently.)
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:crops:0.0#2").ok());
+  auto& inj = FaultInjector::Default();
+  EXPECT_TRUE(inj.MaybeFail("fed.endpoint.call:crops").ok());   // call 1
+  EXPECT_FALSE(inj.MaybeFail("fed.endpoint.call:crops").ok());  // call 2
+  EXPECT_TRUE(inj.MaybeFail("fed.endpoint.call:ice").ok());     // other point
+}
+
+TEST_F(FaultInjectorTest, ProgramSpecScheduleLatencyAndCode) {
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("dfs.txn.commit:0.0#1,2=aborted")
+                  .ok());
+  auto& inj = FaultInjector::Default();
+  EXPECT_TRUE(inj.MaybeFail("dfs.txn.commit").IsAborted());
+  EXPECT_TRUE(inj.MaybeFail("dfs.txn.commit").IsAborted());
+  EXPECT_TRUE(inj.MaybeFail("dfs.txn.commit").ok());
+}
+
+TEST_F(FaultInjectorTest, ProgramSpecMultipleEntries) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("a.pt:1.0;b.pt:0.0#1=io").ok());
+  EXPECT_TRUE(FaultInjector::Default().MaybeFail("a.pt").IsUnavailable());
+  EXPECT_TRUE(FaultInjector::Default().MaybeFail("b.pt").IsIOError());
+}
+
+TEST_F(FaultInjectorTest, ProgramSpecMillisecondLatency) {
+  ASSERT_TRUE(FaultInjector::Default().ProgramSpec("p.ms:1.0@2ms=ok").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FaultInjector::Default().MaybeFail("p.ms").ok());
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_us, 1000.0);
+}
+
+TEST_F(FaultInjectorTest, ProgramSpecRejectsMalformedEntries) {
+  auto& inj = FaultInjector::Default();
+  EXPECT_TRUE(inj.ProgramSpec("").IsInvalidArgument());
+  EXPECT_TRUE(inj.ProgramSpec("nocolon").IsInvalidArgument());
+  EXPECT_TRUE(inj.ProgramSpec("p:notaprob").IsInvalidArgument());
+  EXPECT_TRUE(inj.ProgramSpec("p:1.5").IsInvalidArgument());     // p > 1
+  EXPECT_TRUE(inj.ProgramSpec("p:0.5#0").IsInvalidArgument());   // call 0
+  EXPECT_TRUE(inj.ProgramSpec("p:0.5#x").IsInvalidArgument());
+  EXPECT_TRUE(inj.ProgramSpec("p:1.0=bogus").IsInvalidArgument());
+  EXPECT_TRUE(inj.ProgramSpec("p:").IsInvalidArgument());        // empty rule
+  EXPECT_TRUE(inj.ProgramSpec("p:1.0@zz").IsInvalidArgument());
+}
+
+// --- Backoff ----------------------------------------------------------------
+
+TEST(BackoffTest, GrowsExponentiallyWithoutJitter) {
+  RetryPolicy p{.max_attempts = 5,
+                .initial_backoff_us = 100,
+                .backoff_multiplier = 2.0,
+                .max_backoff_us = 100000,
+                .jitter = 0.0};
+  EXPECT_EQ(common::BackoffUs(p, 1, 1), 100u);
+  EXPECT_EQ(common::BackoffUs(p, 2, 1), 200u);
+  EXPECT_EQ(common::BackoffUs(p, 3, 1), 400u);
+  EXPECT_EQ(common::BackoffUs(p, 4, 1), 800u);
+}
+
+TEST(BackoffTest, CapsAtMaxBackoff) {
+  RetryPolicy p{.max_attempts = 64,
+                .initial_backoff_us = 100,
+                .backoff_multiplier = 2.0,
+                .max_backoff_us = 1000,
+                .jitter = 0.0};
+  EXPECT_EQ(common::BackoffUs(p, 10, 1), 1000u);
+  EXPECT_EQ(common::BackoffUs(p, 63, 1), 1000u);  // no overflow at high attempt
+}
+
+TEST(BackoffTest, JitterStaysInBounds) {
+  RetryPolicy p{.max_attempts = 16,
+                .initial_backoff_us = 1000,
+                .backoff_multiplier = 1.0,
+                .max_backoff_us = 1000000,
+                .jitter = 0.5};
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    for (uint64_t salt = 0; salt < 8; ++salt) {
+      const uint64_t b = common::BackoffUs(p, attempt, 7, salt);
+      EXPECT_GE(b, 500u) << attempt << "/" << salt;
+      EXPECT_LE(b, 1500u) << attempt << "/" << salt;
+    }
+  }
+}
+
+TEST(BackoffTest, JitterIsDeterministicInSeedAndSalt) {
+  RetryPolicy p{.max_attempts = 8,
+                .initial_backoff_us = 1000,
+                .backoff_multiplier = 2.0,
+                .max_backoff_us = 100000,
+                .jitter = 0.5};
+  EXPECT_EQ(common::BackoffUs(p, 3, 42, 9), common::BackoffUs(p, 3, 42, 9));
+  EXPECT_NE(common::BackoffUs(p, 3, 42, 9), common::BackoffUs(p, 3, 43, 9));
+  EXPECT_NE(common::BackoffUs(p, 3, 42, 9), common::BackoffUs(p, 3, 42, 10));
+}
+
+TEST(BackoffTest, ZeroInitialBackoffMeansNoSleep) {
+  RetryPolicy p{.max_attempts = 4, .initial_backoff_us = 0};
+  EXPECT_EQ(common::BackoffUs(p, 1, 1), 0u);
+  EXPECT_EQ(common::BackoffUs(p, 3, 1), 0u);
+}
+
+// --- Circuit breaker --------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker cb(CircuitBreaker::Options{2, 3});
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker cb(CircuitBreaker::Options{2, 3});
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(cb.Allow());
+    cb.RecordFailure();
+    ASSERT_TRUE(cb.Allow());
+    cb.RecordSuccess();  // streak broken: never reaches the threshold
+  }
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsForCooldownThenHalfOpens) {
+  CircuitBreaker cb(CircuitBreaker::Options{1, 3});
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();  // threshold 1: open immediately
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_EQ(cb.rejected(), 3u);
+  EXPECT_TRUE(cb.Allow());  // cooldown spent: this is the half-open probe
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker cb(CircuitBreaker::Options{1, 1});
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();
+  EXPECT_FALSE(cb.Allow());
+  ASSERT_TRUE(cb.Allow());  // probe
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensWithFreshCooldown) {
+  CircuitBreaker cb(CircuitBreaker::Options{1, 2});
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_FALSE(cb.Allow());
+  ASSERT_TRUE(cb.Allow());  // probe
+  cb.RecordFailure();       // probe failed: back to open
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.Allow());  // a fresh cooldown starts counting
+  EXPECT_FALSE(cb.Allow());
+  EXPECT_TRUE(cb.Allow());  // next probe
+}
+
+TEST(CircuitBreakerTest, HalfOpenRejectsWhileProbeOutstanding) {
+  CircuitBreaker cb(CircuitBreaker::Options{1, 1});
+  ASSERT_TRUE(cb.Allow());
+  cb.RecordFailure();
+  EXPECT_FALSE(cb.Allow());
+  ASSERT_TRUE(cb.Allow());   // probe in flight
+  EXPECT_FALSE(cb.Allow());  // concurrent request rejected
+  cb.RecordSuccess();
+  EXPECT_TRUE(cb.Allow());
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(common::CircuitBreakerStateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(common::CircuitBreakerStateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(
+      common::CircuitBreakerStateName(CircuitBreaker::State::kHalfOpen),
+      "half-open");
+}
+
+// --- Federation under faults ------------------------------------------------
+
+// The fed_test federation: crops + ice + base(labels).
+class FederationFaultTest : public FaultInjectorTest {
+ protected:
+  FederationFaultTest() {
+    rdf::TripleStore crops;
+    for (int i = 0; i < 50; ++i) {
+      crops.Add(rdf::Term::Iri(common::StrFormat("http://x/field/%d", i)),
+                rdf::Term::Iri("http://x/cropType"),
+                rdf::Term::Literal(i % 2 == 0 ? "wheat" : "maize"));
+    }
+    rdf::TripleStore ice;
+    for (int i = 0; i < 30; ++i) {
+      ice.Add(rdf::Term::Iri(common::StrFormat("http://x/floe/%d", i)),
+              rdf::Term::Iri("http://x/iceClass"),
+              rdf::Term::Literal("FirstYearIce"));
+    }
+    rdf::TripleStore base;
+    for (int i = 0; i < 50; ++i) {
+      base.Add(rdf::Term::Iri(common::StrFormat("http://x/field/%d", i)),
+               rdf::Term::Iri(rdf::vocab::kLabel),
+               rdf::Term::Literal(common::StrFormat("field %d", i)));
+    }
+    crop_endpoint_ = std::make_unique<fed::Endpoint>("crops", std::move(crops));
+    ice_endpoint_ = std::make_unique<fed::Endpoint>("ice", std::move(ice));
+    base_endpoint_ = std::make_unique<fed::Endpoint>("base", std::move(base));
+    engine_.Register(crop_endpoint_.get());
+    engine_.Register(ice_endpoint_.get());
+    engine_.Register(base_endpoint_.get());
+  }
+
+  rdf::Query CropLabelQuery() {
+    rdf::Query q;
+    q.where.push_back(rdf::TriplePattern{
+        rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri("http://x/cropType"),
+        rdf::PatternSlot::Of(rdf::Term::Literal("wheat"))});
+    q.where.push_back(rdf::TriplePattern{
+        rdf::PatternSlot::Var("f"), rdf::PatternSlot::Iri(rdf::vocab::kLabel),
+        rdf::PatternSlot::Var("label")});
+    return q;
+  }
+
+  rdf::Query LabelQuery() {
+    rdf::Query q;
+    q.where.push_back(rdf::TriplePattern{
+        rdf::PatternSlot::Var("s"), rdf::PatternSlot::Iri(rdf::vocab::kLabel),
+        rdf::PatternSlot::Var("label")});
+    return q;
+  }
+
+  std::unique_ptr<fed::Endpoint> crop_endpoint_, ice_endpoint_, base_endpoint_;
+  fed::FederationEngine engine_;
+};
+
+TEST_F(FederationFaultTest, RetriesMaskTransientFailures) {
+  // Fault-free baseline first.
+  fed::FederationOptions opt;
+  auto expected = engine_.Execute(CropLabelQuery(), opt);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 25u);
+
+  // 30% of every endpoint call fails; 4 attempts with tiny backoff mask it.
+  FaultInjector::Default().set_seed(42);
+  ASSERT_TRUE(FaultInjector::Default().ProgramSpec("endpoint:0.3").ok());
+  opt.retry.max_attempts = 4;
+  opt.retry.initial_backoff_us = 1;
+  opt.retry.max_backoff_us = 16;
+  fed::FederationStats stats;
+  auto rows = engine_.Execute(CropLabelQuery(), opt, {}, nullptr, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(*rows, *expected);  // identical rows despite injected chaos
+  EXPECT_GT(stats.endpoint_failures, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_FALSE(stats.partial);
+}
+
+TEST_F(FederationFaultTest, FailuresPropagateWithoutRetries) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:crops:1.0").ok());
+  fed::FederationOptions opt;  // max_attempts = 1, fail fast
+  fed::FederationStats stats;
+  auto rows = engine_.Execute(CropLabelQuery(), opt, {}, nullptr, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsUnavailable());
+  EXPECT_EQ(stats.endpoint_failures, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST_F(FederationFaultTest, PartialOkReturnsSurvivingSourcesRows) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:ice:1.0").ok());
+  fed::FederationOptions opt;
+  opt.source_selection = false;  // broadcast so the dead endpoint is hit
+  opt.partial_ok = true;
+  fed::FederationStats stats;
+  auto rows = engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // Exactly the surviving endpoints' rows: all 50 labels live on `base`
+  // (ice holds none anyway, but its failure must not sink the query).
+  EXPECT_EQ(rows->size(), 50u);
+  EXPECT_TRUE(stats.partial);
+  EXPECT_EQ(stats.endpoints_skipped, 1u);
+  ASSERT_EQ(stats.degraded_sources.size(), 1u);
+  EXPECT_EQ(stats.degraded_sources[0], "ice");
+}
+
+TEST_F(FederationFaultTest, PartialOkStillFailsWithoutTheFlag) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:ice:1.0").ok());
+  fed::FederationOptions opt;
+  opt.source_selection = false;
+  auto rows = engine_.Execute(LabelQuery(), opt);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(FederationFaultTest, DegradedSourcesAreDeduplicatedAndSorted) {
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("fed.endpoint.call:ice:1.0;"
+                               "fed.endpoint.call:crops:1.0")
+                  .ok());
+  fed::FederationOptions opt;
+  opt.source_selection = false;
+  opt.partial_ok = true;
+  fed::FederationStats stats;
+  auto rows = engine_.Execute(CropLabelQuery(), opt, {}, nullptr, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());  // the crop pattern's rows all came from crops
+  EXPECT_EQ(stats.degraded_sources,
+            (std::vector<std::string>{"crops", "ice"}));
+}
+
+TEST_F(FederationFaultTest, DeadlineExceededCountsAsFailure) {
+  // Calls succeed but take ~2ms; a 100us deadline turns them into errors.
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("fed.endpoint.call:crops:1.0@2ms=ok")
+                  .ok());
+  fed::FederationOptions opt;
+  opt.endpoint_deadline_us = 100;
+  auto rows = engine_.Execute(CropLabelQuery(), opt);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsDeadlineExceeded());
+}
+
+TEST_F(FederationFaultTest, BreakerShortCircuitsAfterRepeatedFailures) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:ice:1.0").ok());
+  fed::FederationOptions opt;
+  opt.source_selection = false;
+  opt.partial_ok = true;
+  opt.breaker_failure_threshold = 2;
+  opt.breaker_cooldown_calls = 100;
+
+  // Two queries = two failing ice calls: the breaker opens.
+  fed::FederationStats stats;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+    EXPECT_EQ(stats.breaker_rejects, 0u);
+  }
+  EXPECT_EQ(engine_.breaker(ice_endpoint_.get())->state(),
+            CircuitBreaker::State::kOpen);
+  const uint64_t ice_calls_before = ice_endpoint_->calls_served() +
+                                    FaultInjector::Default().triggered(
+                                        "fed.endpoint.call:ice");
+  // The next query is rejected at the breaker: no call reaches the
+  // endpoint (or its injection point).
+  ASSERT_TRUE(engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+  EXPECT_EQ(stats.breaker_rejects, 1u);
+  EXPECT_EQ(ice_endpoint_->calls_served() +
+                FaultInjector::Default().triggered("fed.endpoint.call:ice"),
+            ice_calls_before);
+  EXPECT_TRUE(stats.partial);
+}
+
+TEST_F(FederationFaultTest, BreakerRecoversThroughHalfOpenProbe) {
+  // ice fails exactly twice (calls #1 and #2), then heals.
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:ice:0.0#1,2").ok());
+  fed::FederationOptions opt;
+  opt.source_selection = false;
+  opt.partial_ok = true;
+  opt.breaker_failure_threshold = 2;
+  opt.breaker_cooldown_calls = 1;
+
+  fed::FederationStats stats;
+  // Queries 1 and 2: failures open the breaker.
+  ASSERT_TRUE(engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+  ASSERT_TRUE(engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+  ASSERT_EQ(engine_.breaker(ice_endpoint_.get())->state(),
+            CircuitBreaker::State::kOpen);
+  // Query 3: rejected (cooldown).
+  ASSERT_TRUE(engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+  EXPECT_EQ(stats.breaker_rejects, 1u);
+  // Query 4: the half-open probe reaches the healed endpoint and closes
+  // the circuit; the answer is complete again.
+  ASSERT_TRUE(engine_.Execute(LabelQuery(), opt, {}, nullptr, &stats).ok());
+  EXPECT_EQ(engine_.breaker(ice_endpoint_.get())->state(),
+            CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(stats.partial);
+  EXPECT_EQ(stats.breaker_rejects, 0u);
+}
+
+TEST_F(FederationFaultTest, SameSeedSameFaultCountsAndRows) {
+  fed::FederationOptions opt;
+  opt.retry.max_attempts = 3;
+  opt.retry.initial_backoff_us = 1;
+  opt.retry.max_backoff_us = 8;
+  opt.partial_ok = true;
+
+  auto run = [&]() {
+    FaultInjector::Default().Reset();
+    FaultInjector::Default().set_seed(7);
+    EXPECT_TRUE(FaultInjector::Default().ProgramSpec("endpoint:0.3").ok());
+    fed::FederationStats stats;
+    auto rows = engine_.Execute(CropLabelQuery(), opt, {}, nullptr, &stats);
+    EXPECT_TRUE(rows.ok());
+    return std::make_pair(*rows, stats);
+  };
+  auto [rows1, stats1] = run();
+  auto [rows2, stats2] = run();
+  EXPECT_EQ(rows1, rows2);
+  EXPECT_EQ(stats1.endpoint_failures, stats2.endpoint_failures);
+  EXPECT_EQ(stats1.retries, stats2.retries);
+  EXPECT_EQ(stats1.endpoints_skipped, stats2.endpoints_skipped);
+  EXPECT_EQ(stats1.degraded_sources, stats2.degraded_sources);
+}
+
+TEST_F(FederationFaultTest, StatsPublishedOnErrorToo) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("fed.endpoint.call:crops:1.0").ok());
+  fed::FederationOptions opt;
+  opt.retry.max_attempts = 2;
+  opt.retry.initial_backoff_us = 1;
+  fed::FederationStats stats;
+  auto rows = engine_.Execute(CropLabelQuery(), opt, {}, nullptr, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(stats.endpoint_failures, 2u);  // both attempts failed
+  EXPECT_EQ(stats.retries, 1u);
+}
+
+// --- HopsFS transaction faults ----------------------------------------------
+
+TEST_F(FaultInjectorTest, HopsFsCommitConflictsAreRetried) {
+  // The first two commits abort; the third lands.
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("dfs.txn.commit:0.0#1,2=aborted")
+                  .ok());
+  dfs::HopsFsCluster cluster(dfs::HopsFsCluster::Options{});
+  dfs::HopsFsNameNode nn(&cluster);
+  ASSERT_TRUE(nn.Create("/f", 3, "abc").ok());
+  EXPECT_EQ(cluster.txn_retries(), 2u);
+  auto info = nn.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 3u);
+}
+
+TEST_F(FaultInjectorTest, HopsFsRetriesExhaustedSurfacesAborted) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("dfs.txn.commit:1.0=aborted").ok());
+  dfs::HopsFsCluster::Options opt;
+  opt.max_txn_retries = 3;
+  opt.retry_initial_backoff_us = 1;
+  opt.retry_max_backoff_us = 4;
+  dfs::HopsFsCluster cluster(opt);
+  dfs::HopsFsNameNode nn(&cluster);
+  const Status s = nn.Create("/f", 3, "abc");
+  EXPECT_TRUE(s.IsAborted()) << s;
+  EXPECT_TRUE(nn.GetFileInfo("/f").status().IsNotFound());
+  EXPECT_EQ(FaultInjector::Default().triggered("dfs.txn.commit"), 3u);
+}
+
+TEST_F(FaultInjectorTest, HopsFsNonConflictErrorsAreNotRetried) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("dfs.txn.commit:1.0=io").ok());
+  dfs::HopsFsCluster cluster(dfs::HopsFsCluster::Options{});
+  dfs::HopsFsNameNode nn(&cluster);
+  const Status s = nn.Create("/f", 3, "abc");
+  EXPECT_TRUE(s.IsIOError()) << s;
+  // One attempt, no retries: an IO error is not a conflict.
+  EXPECT_EQ(FaultInjector::Default().calls("dfs.txn.commit"), 1u);
+  EXPECT_EQ(cluster.txn_retries(), 0u);
+}
+
+TEST_F(FaultInjectorTest, HopsFsFaultFreeOperationUnchanged) {
+  dfs::HopsFsCluster cluster(dfs::HopsFsCluster::Options{});
+  dfs::HopsFsNameNode nn(&cluster);
+  ASSERT_TRUE(nn.Mkdir("/d").ok());
+  ASSERT_TRUE(nn.Create("/d/f", 2, "hi").ok());
+  auto names = nn.List("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+  EXPECT_EQ(cluster.txn_retries(), 0u);
+}
+
+// --- Ingestion retry-or-quarantine ------------------------------------------
+
+platform::IngestionOptions SmallIngestion() {
+  platform::IngestionOptions opt;
+  opt.products_per_day = 200.0;
+  opt.days = 0.5;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST_F(FaultInjectorTest, IngestionFaultFreeBaselineHasNoQuarantine) {
+  auto report = platform::SimulateIngestion(SmallIngestion());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->products_ingested, 0u);
+  EXPECT_EQ(report->products_retried, 0u);
+  EXPECT_EQ(report->products_quarantined, 0u);
+  EXPECT_EQ(report->products_processed, report->products_ingested);
+}
+
+TEST_F(FaultInjectorTest, IngestFaultsQuarantineArrivals) {
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("platform.ingestion.ingest:1.0")
+                  .ok());
+  auto report = platform::SimulateIngestion(SmallIngestion());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->products_ingested, 0u);
+  EXPECT_EQ(report->products_processed, 0u);
+  EXPECT_GT(report->products_quarantined, 0u);
+  EXPECT_EQ(report->ingested_gb, 0.0);
+  EXPECT_EQ(report->derived_information_gb, 0.0);
+}
+
+TEST_F(FaultInjectorTest, ProcessingFaultsAreRetriedToCompletion) {
+  // Roughly a third of processing passes fail; the default budget of 2
+  // re-attempts (at ~1/9 and ~1/27 residual failure) absorbs nearly all
+  // of them — with this seed, all of them.
+  FaultInjector::Default().set_seed(5);
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("platform.ingestion.process:0.3")
+                  .ok());
+  auto report = platform::SimulateIngestion(SmallIngestion());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->products_retried, 0u);
+  EXPECT_EQ(report->products_processed + report->products_quarantined,
+            report->products_ingested);
+  EXPECT_GT(report->products_processed, 0u);
+}
+
+TEST_F(FaultInjectorTest, ProcessingQuarantinesAfterRetryBudget) {
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("platform.ingestion.process:1.0")
+                  .ok());
+  platform::IngestionOptions opt = SmallIngestion();
+  opt.max_process_retries = 1;
+  auto report = platform::SimulateIngestion(opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->products_ingested, 0u);
+  EXPECT_EQ(report->products_processed, 0u);
+  EXPECT_EQ(report->products_quarantined, report->products_ingested);
+  // Every product burned exactly one re-attempt before quarantine.
+  EXPECT_EQ(report->products_retried, report->products_ingested);
+  EXPECT_EQ(report->derived_information_gb, 0.0);
+}
+
+TEST_F(FaultInjectorTest, IngestionSameSeedSameOutcome) {
+  auto run = [&]() {
+    FaultInjector::Default().Reset();
+    FaultInjector::Default().set_seed(3);
+    EXPECT_TRUE(FaultInjector::Default()
+                    .ProgramSpec("platform.ingestion.process:0.4;"
+                                 "platform.ingestion.ingest:0.1")
+                    .ok());
+    auto report = platform::SimulateIngestion(SmallIngestion());
+    EXPECT_TRUE(report.ok());
+    return *report;
+  };
+  const platform::IngestionReport a = run();
+  const platform::IngestionReport b = run();
+  EXPECT_EQ(a.products_ingested, b.products_ingested);
+  EXPECT_EQ(a.products_processed, b.products_processed);
+  EXPECT_EQ(a.products_retried, b.products_retried);
+  EXPECT_EQ(a.products_quarantined, b.products_quarantined);
+  EXPECT_EQ(a.derived_information_gb, b.derived_information_gb);
+}
+
+// --- Scheduler task faults --------------------------------------------------
+
+sim::Cluster OneNodeCluster() {
+  return sim::Cluster(1, sim::NodeSpec{}, sim::NetworkSpec{});
+}
+
+TEST_F(FaultInjectorTest, SchedulerFaultFreeMatchesLegacyOverload) {
+  std::vector<platform::JobSpec> jobs = {
+      {"a", 2.0, {}}, {"b", 3.0, {0}}, {"c", 1.0, {0}}};
+  auto cluster = sim::Cluster(2, sim::NodeSpec{}, sim::NetworkSpec{});
+  auto legacy = platform::ScheduleJobs(jobs, cluster);
+  auto with_options =
+      platform::ScheduleJobs(jobs, cluster, platform::ScheduleOptions{});
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(with_options.ok());
+  EXPECT_EQ(legacy->makespan_seconds, with_options->makespan_seconds);
+  EXPECT_EQ(with_options->tasks_retried, 0u);
+  EXPECT_EQ(with_options->tasks_quarantined, 0u);
+  for (const auto& jr : with_options->jobs) {
+    EXPECT_EQ(jr.attempts, 1);
+    EXPECT_FALSE(jr.failed);
+  }
+}
+
+TEST_F(FaultInjectorTest, SchedulerRetriesExtendMakespan) {
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ProgramSpec("platform.scheduler.task:0.0#1")
+                  .ok());
+  std::vector<platform::JobSpec> jobs = {{"only", 4.0, {}}};
+  auto result = platform::ScheduleJobs(jobs, OneNodeCluster(),
+                                       platform::ScheduleOptions{});
+  ASSERT_TRUE(result.ok());
+  // First attempt burns 4s and fails; the retry runs 4..8s.
+  EXPECT_EQ(result->tasks_retried, 1u);
+  EXPECT_EQ(result->tasks_quarantined, 0u);
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 8.0);
+  EXPECT_EQ(result->jobs[0].attempts, 2);
+  EXPECT_FALSE(result->jobs[0].failed);
+}
+
+TEST_F(FaultInjectorTest, SchedulerQuarantinePoisonsDependents) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("platform.scheduler.task:1.0").ok());
+  std::vector<platform::JobSpec> jobs = {
+      {"root", 1.0, {}}, {"mid", 1.0, {0}}, {"leaf", 1.0, {1}}};
+  platform::ScheduleOptions opt;
+  opt.max_task_retries = 0;
+  auto result = platform::ScheduleJobs(jobs, OneNodeCluster(), opt);
+  ASSERT_TRUE(result.ok());  // a degraded schedule, not an error
+  EXPECT_EQ(result->tasks_quarantined, 3u);
+  EXPECT_TRUE(result->jobs[0].failed);
+  EXPECT_EQ(result->jobs[0].attempts, 1);  // actually ran (and failed)
+  EXPECT_TRUE(result->jobs[1].failed);
+  EXPECT_EQ(result->jobs[1].attempts, 0);  // poisoned: never ran
+  EXPECT_TRUE(result->jobs[2].failed);
+  EXPECT_EQ(result->jobs[2].attempts, 0);
+}
+
+TEST_F(FaultInjectorTest, SchedulerIndependentJobsSurviveQuarantine) {
+  // Job 0 always fails; job 1 has no dependency on it and must complete.
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("platform.scheduler.task:0.0#1,2").ok());
+  std::vector<platform::JobSpec> jobs = {{"doomed", 1.0, {}},
+                                         {"fine", 1.0, {}}};
+  platform::ScheduleOptions opt;
+  opt.max_task_retries = 1;
+  auto result = platform::ScheduleJobs(jobs, OneNodeCluster(), opt);
+  ASSERT_TRUE(result.ok());
+  // Calls 1,2 are doomed's two attempts; call 3 is fine's first attempt.
+  EXPECT_TRUE(result->jobs[0].failed);
+  EXPECT_EQ(result->jobs[0].attempts, 2);
+  EXPECT_FALSE(result->jobs[1].failed);
+  EXPECT_EQ(result->tasks_quarantined, 1u);
+  EXPECT_EQ(result->tasks_retried, 1u);
+}
+
+TEST_F(FaultInjectorTest, SchedulerCycleStillDetectedUnderFaults) {
+  ASSERT_TRUE(
+      FaultInjector::Default().ProgramSpec("platform.scheduler.task:1.0").ok());
+  std::vector<platform::JobSpec> jobs = {{"a", 1.0, {1}}, {"b", 1.0, {0}}};
+  auto result = platform::ScheduleJobs(jobs, OneNodeCluster(),
+                                       platform::ScheduleOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace exearth

@@ -85,15 +85,16 @@ TEST_F(FederationTest, CrossEndpointJoin) {
 TEST_F(FederationTest, SourceSelectionSkipsIrrelevantEndpoints) {
   FederationOptions with;
   with.source_selection = true;
-  auto r1 = engine_.Execute(CropLabelQuery(), with);
+  FederationStats stats_with;
+  auto r1 = engine_.Execute(CropLabelQuery(), with, {}, nullptr, &stats_with);
   ASSERT_TRUE(r1.ok());
-  auto stats_with = engine_.last_stats();
 
   FederationOptions without;
   without.source_selection = false;
-  auto r2 = engine_.Execute(CropLabelQuery(), without);
+  FederationStats stats_without;
+  auto r2 =
+      engine_.Execute(CropLabelQuery(), without, {}, nullptr, &stats_without);
   ASSERT_TRUE(r2.ok());
-  auto stats_without = engine_.last_stats();
 
   EXPECT_EQ(r1->size(), r2->size());
   EXPECT_LT(stats_with.subqueries_sent, stats_without.subqueries_sent);
@@ -114,15 +115,15 @@ TEST_F(FederationTest, JoinReorderingReducesTransfers) {
 
   FederationOptions reorder;
   reorder.join_reordering = true;
-  auto r1 = engine_.Execute(q, reorder);
+  FederationStats stats_reordered;
+  auto r1 = engine_.Execute(q, reorder, {}, nullptr, &stats_reordered);
   ASSERT_TRUE(r1.ok());
-  auto stats_reordered = engine_.last_stats();
 
   FederationOptions keep;
   keep.join_reordering = false;
-  auto r2 = engine_.Execute(q, keep);
+  FederationStats stats_plain;
+  auto r2 = engine_.Execute(q, keep, {}, nullptr, &stats_plain);
   ASSERT_TRUE(r2.ok());
-  auto stats_plain = engine_.last_stats();
 
   EXPECT_EQ(r1->size(), r2->size());
   EXPECT_LE(stats_reordered.rows_transferred, stats_plain.rows_transferred);
@@ -170,11 +171,12 @@ TEST_F(FederationTest, UnknownPredicateYieldsEmpty) {
                                        rdf::PatternSlot::Iri("http://x/nope"),
                                        rdf::PatternSlot::Var("o")});
   FederationOptions opt;
-  auto rows = engine_.Execute(q, opt);
+  FederationStats stats;
+  auto rows = engine_.Execute(q, opt, {}, nullptr, &stats);
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
   // With source selection, nothing advertises the predicate: zero calls.
-  EXPECT_EQ(engine_.last_stats().subqueries_sent, 0u);
+  EXPECT_EQ(stats.subqueries_sent, 0u);
 }
 
 TEST_F(FederationTest, SameResultsRegardlessOfOptimizations) {
