@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_flags.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "fed/federation.h"
@@ -181,6 +182,115 @@ void BM_FederatedQueryFaults(benchmark::State& state) {
       ->Set(static_cast<double>(result_hash & 0xffffffffULL));
 }
 
+// E16 — overload protection (deadline -> cancel -> shed). Deterministic
+// by construction, not by luck:
+//   * shed phase: the mediator's admission queue is pre-loaded to its
+//     depth limit through the exposed controller, so every offered query
+//     is shed with ResourceExhausted — no timing involved;
+//   * deadline phase: queries run under an already-expired request
+//     deadline, so the entry check fails before any endpoint is
+//     contacted — again no timing involved;
+//   * goodput phase: the queue is released and queries run normally
+//     (under --deadline_us when given, for manual latency sweeps; CI
+//     runs without it to keep the row byte-identical across runs).
+// Fixed iterations, single-threaded: every counter below and the
+// admission.fed.* / fed.* metrics in the JSON snapshot reproduce exactly
+// at a fixed --fault_seed (CI diffs two runs to prove it).
+void BM_FederatedQueryOverload(benchmark::State& state) {
+  static Federation* fed = [] {
+    auto* f = new Federation();
+    {
+      eea::rdf::TripleStore crops;
+      for (int i = 0; i < 2000; ++i) {
+        crops.Add(eea::rdf::Term::Iri(StrFormat("http://x/f/%d", i)),
+                  eea::rdf::Term::Iri("http://x/cropType"),
+                  eea::rdf::Term::Literal(i % 40 == 0 ? "rapeseed" : "other"));
+      }
+      f->endpoints.push_back(
+          std::make_unique<eea::fed::Endpoint>("crops", std::move(crops)));
+    }
+    {
+      eea::rdf::TripleStore labels;
+      for (int i = 0; i < 2000; ++i) {
+        labels.Add(eea::rdf::Term::Iri(StrFormat("http://x/f/%d", i)),
+                   eea::rdf::Term::Iri(eea::rdf::vocab::kLabel),
+                   eea::rdf::Term::Literal(StrFormat("field %d", i)));
+      }
+      f->endpoints.push_back(
+          std::make_unique<eea::fed::Endpoint>("labels", std::move(labels)));
+    }
+    for (auto& ep : f->endpoints) f->engine.Register(ep.get());
+    eea::common::AdmissionOptions adm;
+    adm.max_depth = 4;
+    f->engine.ConfigureAdmission(adm);
+    return f;
+  }();
+  fed->engine.set_num_threads(1);
+  eea::rdf::Query q = CrossEndpointQuery();
+  eea::fed::FederationOptions opt;
+  uint64_t accepted = 0, shed = 0, deadline_exceeded = 0;
+  uint64_t result_hash = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    eea::common::AdmissionController* ctrl = fed->engine.admission();
+    // Shed phase: saturate the queue, then offer 8 batch-class queries.
+    {
+      std::vector<eea::common::AdmissionTicket> held;
+      while (ctrl->TryAdmit(eea::common::Priority::kInteractive).ok()) {
+        held.emplace_back(ctrl);
+      }
+      eea::fed::FederationOptions offered = opt;
+      offered.priority = eea::common::Priority::kBatch;
+      for (int i = 0; i < 8; ++i) {
+        auto rows = fed->engine.Execute(q, offered);
+        if (rows.ok() || !rows.status().IsResourceExhausted()) {
+          state.SkipWithError("expected every offered query to be shed");
+          return;
+        }
+        ++shed;
+      }
+    }
+    // Deadline phase: the request context is already expired at entry.
+    for (int i = 0; i < 2; ++i) {
+      eea::common::RequestContext rctx;
+      rctx.deadline = eea::common::Deadline::FromNowUs(0);
+      eea::common::ScopedRequestContext scope(rctx);
+      auto rows = fed->engine.Execute(q, opt);
+      if (rows.ok() || !rows.status().IsDeadlineExceeded()) {
+        state.SkipWithError("expected DeadlineExceeded under expired deadline");
+        return;
+      }
+      ++deadline_exceeded;
+    }
+    // Goodput phase: queue free again; queries complete normally.
+    for (int i = 0; i < 4; ++i) {
+      eea::common::RequestContext rctx;
+      if (eea::bench::DeadlineUsFlag() > 0) {
+        rctx.deadline = eea::common::Deadline::FromNowUs(
+            static_cast<int64_t>(eea::bench::DeadlineUsFlag()));
+      }
+      eea::common::ScopedRequestContext scope(rctx);
+      auto rows = fed->engine.Execute(q, opt);
+      if (!rows.ok()) {
+        state.SkipWithError(rows.status().ToString().c_str());
+        return;
+      }
+      ++accepted;
+      results = rows->size();
+      result_hash += HashResults(*rows);
+      benchmark::DoNotOptimize(rows->data());
+    }
+  }
+  state.counters["accepted"] = static_cast<double>(accepted);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["deadline_exceeded"] =
+      static_cast<double>(deadline_exceeded);
+  state.counters["results"] = static_cast<double>(results);
+  eea::common::MetricsRegistry::Default()
+      .GetGauge("bench.e16.result_hash")
+      ->Set(static_cast<double>(result_hash & 0xffffffffULL));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FederatedQuery)
@@ -201,6 +311,10 @@ BENCHMARK(BM_FederatedQueryFaults)
     ->Args({3})
     ->Args({6})
     ->Iterations(4)  // fixed: keeps fault call-counts reproducible
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FederatedQueryOverload)
+    ->Iterations(2)  // fixed: keeps shed/deadline counts reproducible
     ->Unit(benchmark::kMillisecond);
 
 // main() comes from bench_main.cc (adds --smoke and the

@@ -59,8 +59,8 @@ void BM_SpatialSelection(benchmark::State& state) {
   exearth::strabon::SpatialQueryStats stats;
   for (auto _ : state) {
     auto box = RandomSelectionBox(100000.0, 0.001, &rng);
-    auto hits = store.SpatialSelect(box, SpatialRelation::kIntersects,
-                                    use_index, &stats);
+    auto hits = *store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                     use_index, &stats);
     benchmark::DoNotOptimize(hits);
     results += hits.size();
     tests += stats.geometry_tests;

@@ -59,7 +59,7 @@ void BM_MultiPolygonSelection(benchmark::State& state) {
   for (auto _ : state) {
     auto box = RandomSelectionBox(100000.0, 0.001, &rng);
     auto hits =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, use_index);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, use_index);
     benchmark::DoNotOptimize(hits);
     results += hits.size();
     ++queries;

@@ -1,21 +1,27 @@
 #include "bench_flags.h"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/fault.h"
 
 namespace exearth::bench {
 
 namespace {
 
 int g_threads = 0;
+uint64_t g_deadline_us = 0;
 
 // Strict integer parse: the whole value must be digits (an optional
 // leading '-' is accepted so "-3" reports "out of range", not "not a
-// number").
+// number"). Overflowing values (ERANGE) are rejected rather than
+// silently clamped to LONG_MAX/LONG_MIN.
 bool ParseInt(const std::string& value, long* out) {
   if (value.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') return false;
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) return false;
   *out = parsed;
   return true;
 }
@@ -23,8 +29,9 @@ bool ParseInt(const std::string& value, long* out) {
 bool ParseUint64(const std::string& value, unsigned long long* out) {
   if (value.empty() || value[0] == '-') return false;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') return false;
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) return false;
   *out = parsed;
   return true;
 }
@@ -32,8 +39,9 @@ bool ParseUint64(const std::string& value, unsigned long long* out) {
 bool ParseDouble(const std::string& value, double* out) {
   if (value.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0') return false;
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) return false;
   *out = parsed;
   return true;
 }
@@ -50,6 +58,9 @@ bool FlagValue(const std::string& arg, const char* name, std::string* value) {
 
 int ThreadsFlag() { return g_threads; }
 void SetThreadsFlag(int n) { g_threads = n; }
+
+uint64_t DeadlineUsFlag() { return g_deadline_us; }
+void SetDeadlineUsFlag(uint64_t us) { g_deadline_us = us; }
 
 std::string BenchUsage(const char* argv0) {
   return std::string("usage: ") + argv0 +
@@ -70,7 +81,9 @@ std::string BenchUsage(const char* argv0) {
          "  --fault_spec=SPEC         program the fault injector "
          "(common/fault.h grammar)\n"
          "  --fault_seed=N            injector seed for deterministic "
-         "fault sequences\n";
+         "fault sequences (N >= 0)\n"
+         "  --deadline_us=N           per-query deadline for rows that "
+         "honor it (N >= 1; 0 = off)\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -128,14 +141,31 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
         *error = "--fault_spec needs a spec (see common/fault.h)";
         return false;
       }
+      // Validate the grammar now, against a scratch injector, so a typo
+      // fails at the command line instead of after the benchmark suite
+      // has already started.
+      common::FaultInjector scratch;
+      common::Status parsed = scratch.ProgramSpec(value);
+      if (!parsed.ok()) {
+        *error = "--fault_spec=" + value + ": " + parsed.message();
+        return false;
+      }
       flags->fault_spec = value;
     } else if (FlagValue(arg, "fault_seed", &value)) {
       unsigned long long n = 0;
       if (!ParseUint64(value, &n)) {
-        *error = "--fault_seed=" + value + ": not an unsigned integer";
+        *error = "--fault_seed=" + value +
+                 ": not an unsigned integer (negative seeds are invalid)";
         return false;
       }
       flags->fault_seed = static_cast<uint64_t>(n);
+    } else if (FlagValue(arg, "deadline_us", &value)) {
+      unsigned long long n = 0;
+      if (!ParseUint64(value, &n) || n == 0) {
+        *error = "--deadline_us=" + value + ": want an integer >= 1";
+        return false;
+      }
+      flags->deadline_us = static_cast<uint64_t>(n);
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.
@@ -146,6 +176,7 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
     }
   }
   SetThreadsFlag(flags->threads);
+  SetDeadlineUsFlag(flags->deadline_us);
   return true;
 }
 

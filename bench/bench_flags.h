@@ -27,7 +27,16 @@
 //   --fault_seed=N              seed for the injector's deterministic
 //                               decisions (default 1); the same
 //                               (spec, seed) pair reproduces the exact
-//                               fault sequence, so two runs diff clean
+//                               fault sequence, so two runs diff clean.
+//                               Negative or overflowing values are
+//                               rejected with a usage message, and the
+//                               --fault_spec grammar is validated at
+//                               parse time (typos fail before any
+//                               benchmark runs)
+//   --deadline_us=N             per-query deadline in microseconds for
+//                               benchmark rows that honor it (e.g. the
+//                               E16 overload rows); 0/absent = none.
+//                               Recorded in the metrics JSON config
 //
 // Unknown --flags (other than --benchmark_*) are rejected with a usage
 // message so typos fail loudly instead of silently running a default
@@ -52,6 +61,7 @@ struct BenchFlags {
   double slowlog_threshold_us = 0.0;
   std::string fault_spec;   // empty = no faults
   uint64_t fault_seed = 1;  // injector seed when fault_spec is given
+  uint64_t deadline_us = 0;  // 0 = no per-query deadline
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every
@@ -70,6 +80,11 @@ std::string BenchUsage(const char* argv0);
 /// Value of --threads, or 0 when the flag was not given.
 int ThreadsFlag();
 void SetThreadsFlag(int n);
+
+/// Value of --deadline_us, or 0 when the flag was not given. Benchmark
+/// rows that honor deadlines read this to build their RequestContext.
+uint64_t DeadlineUsFlag();
+void SetDeadlineUsFlag(uint64_t us);
 
 /// The thread count a benchmark row should actually run with: the row's
 /// own `threads` argument, overridden by --threads for parallel rows.

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
       "{\n\"config\": {\"threads\": " + std::to_string(flags.threads) +
       ", \"fault_spec\": \"" + JsonEscape(flags.fault_spec) +
       "\", \"fault_seed\": " + std::to_string(flags.fault_seed) +
+      ", \"deadline_us\": " + std::to_string(flags.deadline_us) +
       "},\n\"metrics\": " +
       exearth::common::MetricsRegistry::Default().ToJson() +
       ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() +

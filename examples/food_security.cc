@@ -71,7 +71,7 @@ int main() {
   eea::geo::Box nw = eea::geo::Box::Of(
       extent.min_x, (extent.min_y + extent.max_y) / 2,
       (extent.min_x + extent.max_x) / 2, extent.max_y);
-  auto hits = linked_data.SpatialSelect(
+  auto hits = *linked_data.SpatialSelect(
       nw, eea::strabon::SpatialRelation::kIntersects, true);
   std::printf("fields intersecting the NW quarter %s: %zu\n",
               eea::geo::ToWkt(nw).c_str(), hits.size());

@@ -98,12 +98,13 @@ int main() {
   // 4. A Strabon-style rectangular spatial selection with index pushdown.
   eea::geo::Box query = eea::geo::Box::Of(
       extent.min_x, extent.min_y, extent.min_x + 300, extent.min_y + 300);
-  auto hits = store.SpatialSelect(
-      query, eea::strabon::SpatialRelation::kIntersects, /*use_index=*/true);
+  eea::strabon::SpatialQueryStats select_stats;
+  auto hits = *store.SpatialSelect(
+      query, eea::strabon::SpatialRelation::kIntersects, /*use_index=*/true,
+      &select_stats);
   std::printf("spatial selection %s -> %zu features (tested %llu of %zu)\n",
               eea::geo::ToWkt(query).c_str(), hits.size(),
-              static_cast<unsigned long long>(
-                  store.last_stats().geometry_tests),
+              static_cast<unsigned long long>(select_stats.geometry_tests),
               store.num_geometries());
   for (size_t i = 0; i < hits.size() && i < 3; ++i) {
     std::printf("  %s\n",

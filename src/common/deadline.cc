@@ -1,0 +1,32 @@
+#include "common/deadline.h"
+
+namespace exearth::common {
+
+namespace {
+thread_local RequestContext g_request_context;
+}  // namespace
+
+Status RequestContext::Check(const char* who) const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled(std::string(who) + ": request cancelled");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(std::string(who) +
+                                    ": request deadline exceeded");
+  }
+  return Status::OK();
+}
+
+RequestContext CurrentRequestContext() { return g_request_context; }
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext& ctx)
+    : saved_(g_request_context) {
+  RequestContext merged = ctx;
+  merged.deadline = Deadline::Min(ctx.deadline, saved_.deadline);
+  if (!merged.cancel.valid()) merged.cancel = saved_.cancel;
+  g_request_context = merged;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { g_request_context = saved_; }
+
+}  // namespace exearth::common

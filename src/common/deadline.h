@@ -1,0 +1,160 @@
+// Request-scoped deadlines and cooperative cancellation.
+//
+// Every request entering the system may carry a RequestContext: an
+// absolute Deadline plus a CancelToken. The context lives in a
+// thread-local (exactly like TraceContext, see common/trace.h) and is
+// captured at ThreadPool::Submit and re-installed on the worker, so
+// chunked refinement, fan-out calls, and retry loops all observe the
+// deadline of the request that spawned them without any plumbing through
+// function signatures.
+//
+// Long-running loops are expected to poll at *chunk* granularity:
+//
+//   RequestContext ctx = CurrentRequestContext();
+//   for (...) {
+//     if ((i % kStride) == 0) EEA_RETURN_NOT_OK(ctx.Check("geostore"));
+//     ...
+//   }
+//
+// Check() returns Cancelled if the token fired, DeadlineExceeded if the
+// deadline passed, OK otherwise. The poll costs one relaxed atomic load
+// plus (when a deadline is set) one steady_clock read — cheap enough for
+// every-64-items strides, far too expensive for every item.
+//
+// Deadlines nest: ScopedRequestContext installs the *tighter* of the new
+// and enclosing deadline; a scope without its own cancel token inherits
+// the enclosing one.
+
+#ifndef EXEARTH_COMMON_DEADLINE_H_
+#define EXEARTH_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace exearth::common {
+
+/// Absolute point in steady time after which a request is doomed. A
+/// default-constructed Deadline is infinite (never expires).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// A deadline `us` microseconds from now. Zero or negative values give
+  /// an already-expired deadline (useful for tests and for "fail fast").
+  static Deadline FromNowUs(int64_t us) {
+    return Deadline(Clock::now() + std::chrono::microseconds(us));
+  }
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point tp) { return Deadline(tp); }
+
+  bool is_infinite() const { return !finite_; }
+  bool expired() const { return finite_ && Clock::now() >= when_; }
+
+  /// Microseconds until expiry; negative once expired; INT64_MAX when
+  /// infinite.
+  int64_t remaining_us() const {
+    if (!finite_) return std::numeric_limits<int64_t>::max();
+    return std::chrono::duration_cast<std::chrono::microseconds>(when_ -
+                                                                 Clock::now())
+        .count();
+  }
+
+  Clock::time_point when() const { return when_; }
+
+  /// The earlier of two deadlines (infinite loses to any finite one).
+  static Deadline Min(const Deadline& a, const Deadline& b) {
+    if (a.is_infinite()) return b;
+    if (b.is_infinite()) return a;
+    return Deadline(a.when_ < b.when_ ? a.when_ : b.when_);
+  }
+
+ private:
+  explicit Deadline(Clock::time_point tp) : finite_(true), when_(tp) {}
+  bool finite_ = false;
+  Clock::time_point when_{};
+};
+
+/// Shared cancellation flag. The source side (CancelSource) flips it; any
+/// number of token copies observe it with a relaxed load. Copying a token
+/// is a shared_ptr copy; a default-constructed token can never fire.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+  /// True when this token is connected to a source (and could fire).
+  bool valid() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Owner side of a cancellation flag. Thread-safe; Cancel() is sticky.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The deadline + cancel token a piece of work runs under. Carried in a
+/// thread-local beside TraceContext; captured by ThreadPool::Submit.
+struct RequestContext {
+  Deadline deadline;
+  CancelToken cancel;
+
+  /// OK, or the reason this request must stop: Cancelled wins over
+  /// DeadlineExceeded (an explicit caller signal beats the clock).
+  /// `who` names the polling subsystem in the error message.
+  Status Check(const char* who) const;
+
+  /// True when polling can never fail — lets hot loops skip the poll.
+  bool unconstrained() const {
+    return deadline.is_infinite() && !cancel.valid();
+  }
+};
+
+/// The calling thread's current request context (unconstrained when none
+/// was installed).
+RequestContext CurrentRequestContext();
+
+/// RAII installation of a request context for the current scope.
+///
+/// Nesting semantics: the installed deadline is the tighter of `ctx`'s
+/// and the enclosing scope's — work only gets *more* time-constrained as
+/// it flows down the stack. A scope with its own cancel token replaces
+/// the enclosing token; one without inherits it. ThreadPool workers adopt
+/// the captured context through this same class (the worker's enclosing
+/// context is unconstrained, so the merge is a no-op there).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(const RequestContext& ctx);
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+  ~ScopedRequestContext();
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_DEADLINE_H_

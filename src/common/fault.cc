@@ -50,6 +50,9 @@ struct FaultInjector::PointState {
   std::atomic<uint64_t> triggered{0};
 };
 
+FaultInjector::FaultInjector() = default;
+FaultInjector::~FaultInjector() = default;
+
 FaultInjector& FaultInjector::Default() {
   static FaultInjector* injector = new FaultInjector();
   return *injector;
@@ -177,6 +180,8 @@ bool ParseCode(const std::string& name, StatusCode* code) {
   else if (name == "io") *code = StatusCode::kIOError;
   else if (name == "internal") *code = StatusCode::kInternal;
   else if (name == "notfound") *code = StatusCode::kNotFound;
+  else if (name == "cancelled") *code = StatusCode::kCancelled;
+  else if (name == "exhausted") *code = StatusCode::kResourceExhausted;
   else if (name == "ok") *code = StatusCode::kOk;
   else return false;
   return true;

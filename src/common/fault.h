@@ -67,7 +67,10 @@ struct FaultRule {
 /// atomic load when no rules are programmed).
 class FaultInjector {
  public:
-  FaultInjector() = default;
+  // Both out-of-line: PointState is incomplete here, and inline
+  // defaulted special members would instantiate its destructor.
+  FaultInjector();
+  ~FaultInjector();
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -85,7 +88,8 @@ class FaultInjector {
   ///   <pattern>:<probability>[@<latency_us>us|ms][#c1,c2,...][=<code>]
   /// The split is at the *last* ':' so patterns may contain colons.
   /// Probability may be empty when a #schedule is given. Codes:
-  /// unavailable (default), aborted, deadline, io, internal, notfound, ok.
+  /// unavailable (default), aborted, deadline, cancelled, exhausted, io,
+  /// internal, notfound, ok.
   /// Examples: "endpoint:0.3"   "fed.endpoint.call:crops:1.0#2,5"
   ///           "dfs.txn.commit:0.2=aborted"   "endpoint:1.0@500us=ok".
   Status ProgramSpec(const std::string& spec);

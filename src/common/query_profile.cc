@@ -29,9 +29,10 @@ std::string OperatorToJson(const OperatorProfile& op) {
 std::string QueryProfile::ToJson() const {
   std::string out = StrFormat(
       "{\"query\": \"%s\", \"trace_id\": %llu, \"total_us\": %.3f, "
-      "\"operators\": [",
+      "\"status\": \"%s\", \"operators\": [",
       JsonEscape(query).c_str(),
-      static_cast<unsigned long long>(trace_id), total_us);
+      static_cast<unsigned long long>(trace_id), total_us,
+      JsonEscape(status.empty() ? "OK" : status).c_str());
   for (size_t i = 0; i < operators.size(); ++i) {
     if (i > 0) out += ", ";
     out += OperatorToJson(operators[i]);
@@ -42,8 +43,9 @@ std::string QueryProfile::ToJson() const {
 
 std::string QueryProfile::ToText() const {
   std::string out =
-      StrFormat("%s  (trace %llu, total %.1f us)\n", query.c_str(),
-                static_cast<unsigned long long>(trace_id), total_us);
+      StrFormat("%s  (trace %llu, total %.1f us%s%s)\n", query.c_str(),
+                static_cast<unsigned long long>(trace_id), total_us,
+                status.empty() ? "" : ", ", status.c_str());
   for (const OperatorProfile& op : operators) {
     out += StrFormat("  %-28s wall=%.1fus rows=%llu->%llu", op.name.c_str(),
                      op.wall_us, static_cast<unsigned long long>(op.rows_in),

@@ -42,6 +42,10 @@ struct QueryProfile {
   std::string query;      // entry-point name, e.g. "strabon.SpatialSelect"
   uint64_t trace_id = 0;  // links to the Chrome trace / JSON log lines
   double total_us = 0.0;
+  /// How the request ended when not OK: "DeadlineExceeded", "Cancelled",
+  /// "ResourceExhausted" (shed), ... Empty for successful requests, so
+  /// shed and aborted work is visible in profiles and the slow-query log.
+  std::string status;
   std::vector<OperatorProfile> operators;
 
   std::string ToJson() const;

@@ -28,6 +28,7 @@ enum class StatusCode {
   kIOError,
   kUnavailable,        // transient remote failure; safe to retry
   kDeadlineExceeded,   // the per-call deadline elapsed
+  kCancelled,          // the caller gave up; stop work, don't retry
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -87,6 +88,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -110,6 +114,10 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".

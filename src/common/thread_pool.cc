@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 
+#include "common/deadline.h"
 #include "common/trace.h"
 
 namespace exearth::common {
@@ -25,12 +28,15 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  // Capture the submitter's trace context so the task attaches to the
-  // originating request (chunked refinement, fan-out, ...) even though it
-  // runs on a pool thread.
+  // Capture the submitter's trace and request contexts so the task
+  // attaches to the originating request (chunked refinement, fan-out,
+  // ...) and observes its deadline/cancellation even though it runs on a
+  // pool thread.
   std::packaged_task<void()> task(
-      [ctx = CurrentTraceContext(), fn = std::move(fn)] {
+      [ctx = CurrentTraceContext(), rctx = CurrentRequestContext(),
+       fn = std::move(fn)] {
         ScopedTraceContext adopt(ctx);
+        ScopedRequestContext adopt_request(rctx);
         fn();
       });
   std::future<void> fut = task.get_future();
@@ -39,6 +45,26 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
+  return fut;
+}
+
+Result<std::future<Status>> ThreadPool::TrySubmit(std::function<void()> fn,
+                                                  Priority priority) {
+  AdmissionController* ctrl = admission_controller();
+  if (ctrl != nullptr) {
+    EEA_RETURN_NOT_OK(ctrl->TryAdmit(priority));
+  }
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> fut = promise->get_future();
+  const auto admitted_at = std::chrono::steady_clock::now();
+  Submit([ctrl, admitted_at, promise, fn = std::move(fn)] {
+    // The slot is held until here so queue depth counts waiting *and*
+    // running work; the age check sheds tasks that sat in line too long.
+    AdmissionTicket ticket(ctrl);
+    Status s = ctrl ? ctrl->StartQueued(admitted_at) : Status::OK();
+    if (s.ok()) fn();
+    promise->set_value(std::move(s));
+  });
   return fut;
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -103,6 +104,8 @@ std::string BlockKey(int64_t inode_id, int index) {
 struct DfsMetrics {
   common::Counter* ops;
   common::Counter* txn_retries;
+  common::Counter* txn_deadline_exceeded;
+  common::Counter* txn_cancelled;
   common::Counter* files_created;
   common::Counter* small_files_inline;
   common::Histogram* op_latency_us;
@@ -113,6 +116,8 @@ struct DfsMetrics {
       return DfsMetrics{
           reg.GetCounter("dfs.metadata.ops"),
           reg.GetCounter("dfs.metadata.txn_retries"),
+          reg.GetCounter("dfs.metadata.txn_deadline_exceeded"),
+          reg.GetCounter("dfs.metadata.txn_cancelled"),
           reg.GetCounter("dfs.files_created"),
           reg.GetCounter("dfs.small_files_inline"),
           reg.GetHistogram("dfs.metadata.op_latency_us"),
@@ -161,8 +166,22 @@ Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
       .backoff_multiplier = opt.retry_backoff_multiplier,
       .max_backoff_us = opt.retry_max_backoff_us,
       .jitter = opt.retry_jitter};
+  const common::RequestContext rctx = common::CurrentRequestContext();
   Status last;
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    // Cooperative stop between attempts: a cancelled or out-of-deadline
+    // request must not keep burning conflict retries.
+    {
+      Status request = rctx.Check("dfs.txn");
+      if (!request.ok()) {
+        if (request.IsCancelled()) {
+          DfsMetrics::Get().txn_cancelled->Increment();
+        } else {
+          DfsMetrics::Get().txn_deadline_exceeded->Increment();
+        }
+        return request;
+      }
+    }
     auto txn = cluster->store().Begin();
     Status s = fn(txn.get());
     // The commit boundary is the injection point: a programmed fault here
@@ -181,7 +200,20 @@ Status RunTxn(HopsFsCluster* cluster, Fn&& fn) {
     if (attempt < policy.max_attempts) {
       cluster->CountRetry();
       DfsMetrics::Get().txn_retries->Increment();
-      common::SleepForBackoff(policy, attempt, opt.retry_seed);
+      uint64_t backoff_us = common::BackoffUs(policy, attempt, opt.retry_seed);
+      if (!rctx.deadline.is_infinite()) {
+        const int64_t remaining = rctx.deadline.remaining_us();
+        if (remaining <= 0) {
+          DfsMetrics::Get().txn_deadline_exceeded->Increment();
+          return Status::DeadlineExceeded(
+              "dfs.txn: request deadline exceeded during conflict retries");
+        }
+        // Never sleep past the request deadline.
+        backoff_us = std::min(backoff_us, static_cast<uint64_t>(remaining));
+      }
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
     }
   }
   return last.ok() ? Status::Aborted("transaction retries exhausted") : last;

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <limits>
 #include <set>
+#include <thread>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -26,6 +28,9 @@ struct FedMetrics {
   common::Counter* deadline_exceeded;
   common::Counter* breaker_rejects;
   common::Counter* partial_results;
+  common::Counter* query_deadline_exceeded;
+  common::Counter* query_cancelled;
+  common::Counter* shed;
   common::Histogram* query_latency_us;
   common::Histogram* endpoint_call_latency_us;
 
@@ -41,6 +46,9 @@ struct FedMetrics {
           reg.GetCounter("fed.deadline_exceeded"),
           reg.GetCounter("fed.breaker_rejects"),
           reg.GetCounter("fed.partial_results"),
+          reg.GetCounter("fed.query_deadline_exceeded"),
+          reg.GetCounter("fed.query_cancelled"),
+          reg.GetCounter("fed.shed"),
           reg.GetHistogram("fed.query_latency_us"),
           reg.GetHistogram("fed.endpoint_call_latency_us"),
       };
@@ -111,6 +119,10 @@ common::CircuitBreaker* FederationEngine::breaker(
     const Endpoint* endpoint) const {
   auto it = breakers_.find(endpoint);
   return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+void FederationEngine::ConfigureAdmission(common::AdmissionOptions options) {
+  admission_ = std::make_unique<common::AdmissionController>("fed", options);
 }
 
 void FederationEngine::set_num_threads(size_t n) {
@@ -202,6 +214,10 @@ struct CallOutcome {
   uint64_t failures = 0;      // failed attempts
   uint64_t retries = 0;       // re-attempts after a failure
   bool breaker_rejected = false;
+  /// The *request* died (cancelled / request deadline), as opposed to the
+  /// endpoint failing: fatal even under partial_ok — there is no caller
+  /// left to hand a partial answer to.
+  bool request_aborted = false;
 };
 
 }  // namespace
@@ -225,6 +241,54 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
     st.degraded_sources.assign(degraded.begin(), degraded.end());
     if (stats != nullptr) *stats = st;
   };
+  // Profile for queries that end before (or instead of) producing rows:
+  // shed at admission, cancelled, or out of deadline. The status lands in
+  // the profile and the slow-query log, so overload is visible there.
+  auto record_failed_profile = [&](const Status& s) {
+    if (!profiling) return;
+    common::QueryProfile failed;
+    failed.query = "fed.Execute";
+    failed.trace_id = req.trace_id();
+    failed.total_us = SecondsSince(query_start) * 1e6;
+    failed.status = common::StatusCodeToString(s.code());
+    if (profile != nullptr) *profile = failed;
+    if (pscope.is_root()) {
+      common::SlowQueryLog::Default().Record(std::move(failed));
+    }
+  };
+  auto count_abort = [&](const Status& s) {
+    if (s.IsCancelled()) {
+      metrics.query_cancelled->Increment();
+    } else if (s.IsDeadlineExceeded()) {
+      metrics.query_deadline_exceeded->Increment();
+    }
+  };
+
+  // Admission: shed at the door when the mediator's queue is full for
+  // this query's priority class — before any endpoint work happens.
+  common::AdmissionTicket ticket;
+  if (admission_ != nullptr) {
+    Status admitted = admission_->TryAdmit(options.priority);
+    if (!admitted.ok()) {
+      metrics.shed->Increment();
+      publish();
+      record_failed_profile(admitted);
+      return admitted;
+    }
+    ticket = common::AdmissionTicket(admission_.get());
+  }
+
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  {
+    Status entry = rctx.Check("fed.Execute");
+    if (!entry.ok()) {
+      count_abort(entry);
+      publish();
+      record_failed_profile(entry);
+      return entry;
+    }
+  }
+
   if (query.where.empty()) {
     publish();
     return Status::InvalidArgument("empty basic graph pattern");
@@ -293,23 +357,40 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
         options.breaker_failure_threshold > 0 ? this->breaker(ep) : nullptr;
     const uint64_t salt = HashName(ep->name());
     for (int attempt = 1; attempt <= options.retry.max_attempts; ++attempt) {
+      // Is the request itself still worth working for?
+      Status request = rctx.Check("fed.endpoint_call");
+      if (!request.ok()) {
+        out.status = request;
+        out.request_aborted = true;
+        break;
+      }
       if (breaker != nullptr && !breaker->Allow()) {
         out.status = Status::Unavailable("circuit open: " + ep->name());
         out.breaker_rejected = true;
         metrics.breaker_rejects->Increment();
         break;  // an open breaker fails fast; retrying would burn cooldown
       }
+      // Per-endpoint deadline: the configured per-call budget, tightened
+      // to whatever remains of the request deadline at this attempt.
+      uint64_t effective_deadline_us = options.endpoint_deadline_us;
+      if (!rctx.deadline.is_infinite()) {
+        const int64_t remaining = rctx.deadline.remaining_us();
+        const uint64_t rem =
+            remaining > 0 ? static_cast<uint64_t>(remaining) : 1;
+        effective_deadline_us = effective_deadline_us == 0
+                                    ? rem
+                                    : std::min(effective_deadline_us, rem);
+      }
       common::TraceSpan call_span(ep->trace_label());
       common::ScopedLatencyTimer call_timer(metrics.endpoint_call_latency_us);
       const auto call_start = std::chrono::steady_clock::now();
       auto r = ep->ExecutePattern(pattern);
       Status s = r.ok() ? Status::OK() : r.status();
-      if (s.ok() && options.endpoint_deadline_us > 0) {
+      if (s.ok() && effective_deadline_us > 0) {
         const double elapsed_us = SecondsSince(call_start) * 1e6;
-        if (elapsed_us > static_cast<double>(options.endpoint_deadline_us)) {
+        if (elapsed_us > static_cast<double>(effective_deadline_us)) {
           s = Status::DeadlineExceeded(ep->name() + " exceeded " +
-                                       std::to_string(
-                                           options.endpoint_deadline_us) +
+                                       std::to_string(effective_deadline_us) +
                                        "us deadline");
           metrics.deadline_exceeded->Increment();
         }
@@ -325,11 +406,38 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       out.status = s;
       ++out.failures;
       metrics.endpoint_failures->Increment();
+      // Distinguish "this endpoint blew its per-call budget" from "the
+      // request itself is out of time": the latter is fatal even under
+      // partial_ok (there is no caller left to hand a partial answer to),
+      // and must be flagged on the final attempt too, not just before a
+      // retry.
+      if (!rctx.deadline.is_infinite() && rctx.deadline.remaining_us() <= 0) {
+        out.status = Status::DeadlineExceeded(
+            "request deadline exceeded during " + ep->name() + " call");
+        out.request_aborted = true;
+        break;
+      }
       if (attempt < options.retry.max_attempts) {
+        uint64_t backoff_us =
+            common::BackoffUs(options.retry, attempt, options.retry_seed,
+                              salt);
+        if (!rctx.deadline.is_infinite()) {
+          const int64_t remaining = rctx.deadline.remaining_us();
+          if (remaining <= 0) {
+            out.status = Status::DeadlineExceeded(
+                "request deadline exceeded before retrying " + ep->name());
+            out.request_aborted = true;
+            break;
+          }
+          // Never sleep past the request deadline.
+          backoff_us =
+              std::min(backoff_us, static_cast<uint64_t>(remaining));
+        }
         ++out.retries;
         metrics.endpoint_retries->Increment();
-        common::SleepForBackoff(options.retry, attempt, options.retry_seed,
-                                salt);
+        if (backoff_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        }
       }
     }
     return out;
@@ -366,7 +474,9 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
       st.retries += slots[i].retries;
       if (slots[i].breaker_rejected) ++st.breaker_rejects;
       if (!slots[i].status.ok()) {
-        if (!options.partial_ok) {
+        // A dead *request* is fatal even under partial_ok — there is no
+        // caller left to hand a partial answer to.
+        if (slots[i].request_aborted || !options.partial_ok) {
           fetch_error = slots[i].status;
           return nullptr;
         }
@@ -390,16 +500,43 @@ Result<std::vector<FedBinding>> FederationEngine::Execute(
   std::vector<FedBinding> current = {FedBinding{}};
   for (size_t oi : order) {
     const rdf::TriplePattern& pattern = query.where[oi];
+    // Cooperative cancellation between join steps: a doomed query stops
+    // before fanning out the next pattern.
+    {
+      Status step_check = rctx.Check("fed.Execute");
+      if (!step_check.ok()) {
+        count_abort(step_check);
+        st.endpoints_contacted = contacted.size();
+        publish();
+        record_failed_profile(step_check);
+        return step_check;
+      }
+    }
     const auto step_start = std::chrono::steady_clock::now();
     const uint64_t subqueries_before = st.subqueries_sent;
     const size_t rows_in = current.size();
     std::vector<FedBinding> next;
+    size_t row_index = 0;
     for (const FedBinding& row : current) {
+      // Bound subqueries fan out once per input row, so poll the context
+      // at row granularity too (each fetch can be a full endpoint round).
+      if ((row_index++ % 64) == 0) {
+        Status row_check = rctx.Check("fed.Execute");
+        if (!row_check.ok()) {
+          count_abort(row_check);
+          st.endpoints_contacted = contacted.size();
+          publish();
+          record_failed_profile(row_check);
+          return row_check;
+        }
+      }
       rdf::TriplePattern bound_pattern = BindPattern(pattern, row);
       const std::vector<FedBinding>* fetched = fetch(bound_pattern);
       if (fetched == nullptr) {
+        count_abort(fetch_error);
         st.endpoints_contacted = contacted.size();
         publish();
+        record_failed_profile(fetch_error);
         return fetch_error;
       }
       for (const FedBinding& fetched_row : *fetched) {

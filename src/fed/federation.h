@@ -15,6 +15,13 @@
 // breaker. With `partial_ok` a query survives dead endpoints: the merged
 // result of the surviving sources is returned and FederationStats records
 // exactly which sources were skipped or degraded.
+//
+// Overload semantics: Execute honors the ambient common::RequestContext —
+// the per-endpoint deadline becomes min(endpoint_deadline_us, remaining
+// request deadline), join steps poll for cancellation, and retry backoff
+// never sleeps past the request deadline. With ConfigureAdmission() the
+// mediator sheds queries at the door (ResourceExhausted) when its bounded
+// queue is full for the query's priority class.
 
 #ifndef EXEARTH_FED_FEDERATION_H_
 #define EXEARTH_FED_FEDERATION_H_
@@ -29,6 +36,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/fault.h"
 #include "common/query_profile.h"
 #include "common/result.h"
@@ -120,6 +128,12 @@ struct FederationOptions {
   /// Rejected calls an open breaker absorbs before half-opening with a
   /// probe (call-count cooldown: deterministic).
   int breaker_cooldown_calls = 8;
+
+  // --- Overload handling --------------------------------------------------
+
+  /// Priority class for admission control (see ConfigureAdmission);
+  /// lower classes are shed earlier under overload.
+  common::Priority priority = common::Priority::kInteractive;
 };
 
 struct FederationStats {
@@ -158,6 +172,15 @@ class FederationEngine {
   /// Exposed for tests; state persists across Execute calls.
   common::CircuitBreaker* breaker(const Endpoint* endpoint) const;
 
+  /// Installs an admission gate (metrics prefix "admission.fed.*"): every
+  /// Execute must win a queue slot for its options.priority or it is shed
+  /// with ResourceExhausted before any endpoint is contacted. Not safe to
+  /// call concurrently with Execute.
+  void ConfigureAdmission(common::AdmissionOptions options);
+  /// The installed gate (nullptr when admission control is off). Exposed
+  /// so tests and benches can pre-load the queue deterministically.
+  common::AdmissionController* admission() const { return admission_.get(); }
+
   /// Evaluates a BGP (+projection/limit) across the federation.
   /// `query.filters` (id-level) are ignored — pass term-level filters via
   /// `filters` instead, since ids are endpoint-private. Opens a
@@ -191,6 +214,7 @@ class FederationEngine {
       breakers_;
   size_t num_threads_ = 1;
   std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<common::AdmissionController> admission_;
 };
 
 }  // namespace exearth::fed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -15,6 +16,7 @@ namespace {
 // for wall-clock and cluster-clock latencies.
 struct DistMetrics {
   common::Counter* steps;
+  common::Counter* steps_cancelled;
   common::Counter* sync_bytes_moved;
   common::Histogram* step_sim_us;
   common::Histogram* allreduce_sim_us;
@@ -26,6 +28,7 @@ struct DistMetrics {
       auto& reg = common::MetricsRegistry::Default();
       return DistMetrics{
           reg.GetCounter("ml.distributed.steps"),
+          reg.GetCounter("ml.distributed.steps_cancelled"),
           reg.GetCounter("ml.distributed.sync_bytes_moved"),
           reg.GetHistogram("ml.distributed.step_sim_us"),
           reg.GetHistogram("ml.distributed.allreduce_sim_us"),
@@ -132,7 +135,19 @@ DistributedEpochStats DataParallelTrainer::TrainEpoch(raster::Dataset* ds) {
   const uint64_t grad_bytes = options_.gradient_bytes_override != 0
                                   ? options_.gradient_bytes_override
                                   : network_->GradientBytes();
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  const bool guarded = !rctx.unconstrained();
   for (size_t begin = 0; begin < n; begin += global_bs) {
+    if (guarded) {
+      // A global step is the atomic unit: we poll between steps, so an
+      // interrupted epoch still leaves the parameters at a step boundary.
+      stats.interrupted = rctx.Check("ml.TrainEpoch");
+      if (!stats.interrupted.ok()) {
+        const size_t steps_left = (n - begin + global_bs - 1) / global_bs;
+        metrics.steps_cancelled->Increment(steps_left);
+        break;
+      }
+    }
     common::TraceSpan step_span("step");
     common::ScopedLatencyTimer step_wall(metrics.step_wall_us);
     const size_t end = std::min(n, begin + global_bs);
@@ -209,7 +224,10 @@ std::vector<DistributedEpochStats> DataParallelTrainer::Fit(
     raster::Dataset* ds, int epochs) {
   std::vector<DistributedEpochStats> out;
   out.reserve(static_cast<size_t>(epochs));
-  for (int e = 0; e < epochs; ++e) out.push_back(TrainEpoch(ds));
+  for (int e = 0; e < epochs; ++e) {
+    out.push_back(TrainEpoch(ds));
+    if (!out.back().interrupted.ok()) break;
+  }
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "ml/metrics.h"
 #include "ml/network.h"
@@ -68,6 +69,11 @@ struct DistributedEpochStats {
   double sim_compute_seconds = 0.0;
   double sim_comm_seconds = 0.0;
   double sim_seconds() const { return sim_compute_seconds + sim_comm_seconds; }
+  /// OK for a full epoch; Cancelled/DeadlineExceeded when the ambient
+  /// request context fired between steps — the stats then cover the
+  /// completed prefix of steps (the parameters stay valid: a step is
+  /// never torn mid-update).
+  common::Status interrupted;
 };
 
 /// Synchronous data-parallel trainer over a simulated cluster.
@@ -80,10 +86,13 @@ class DataParallelTrainer {
     return options_.num_workers * options_.per_worker_batch;
   }
 
-  /// One epoch of synchronous steps over `ds`.
+  /// One epoch of synchronous steps over `ds`. Cooperative: polls the
+  /// ambient common::RequestContext before each global step and stops
+  /// early (stats.interrupted) when it fires.
   DistributedEpochStats TrainEpoch(raster::Dataset* ds);
 
-  /// Runs `epochs` epochs. Returns per-epoch stats.
+  /// Runs `epochs` epochs. Returns per-epoch stats; stops after the
+  /// first interrupted epoch (its partial stats are the last entry).
   std::vector<DistributedEpochStats> Fit(raster::Dataset* ds, int epochs);
 
   ConfusionMatrix Evaluate(const raster::Dataset& ds);

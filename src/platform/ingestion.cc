@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -21,6 +22,8 @@ struct IngestionMetrics {
   common::Counter* products_ingested;
   common::Counter* products_retried;
   common::Counter* products_quarantined;
+  common::Counter* products_shed;
+  common::Counter* cancelled;
   common::Gauge* peak_backlog_gb;
   common::Histogram* product_gb;
 
@@ -32,6 +35,8 @@ struct IngestionMetrics {
           reg.GetCounter("platform.ingestion.products_ingested"),
           reg.GetCounter("platform.ingestion.products_retried"),
           reg.GetCounter("platform.ingestion.products_quarantined"),
+          reg.GetCounter("platform.ingestion.products_shed"),
+          reg.GetCounter("platform.ingestion.cancelled"),
           reg.GetGauge("platform.ingestion.peak_backlog_gb"),
           reg.GetHistogram("platform.ingestion.product_gb",
                            common::Histogram::ExponentialBounds(0.125, 2.0,
@@ -62,6 +67,20 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
   double backlog_gb = 0.0;
   const double gb_per_day = options.processing_gb_per_day;
 
+  // Cooperative cancellation: every event handler polls the ambient
+  // request context first; once it fires, the remaining events drain as
+  // no-ops and the report keeps the prefix handled so far.
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  const bool guarded = !rctx.unconstrained();
+  auto interrupted = [&]() -> bool {
+    if (!report.interrupted.ok()) return true;
+    if (!guarded) return false;
+    report.interrupted = rctx.Check("platform.ingestion");
+    if (report.interrupted.ok()) return false;
+    metrics.cancelled->Increment();
+    return true;
+  };
+
   // Books one processing pass for a product (attempt 1 is the first
   // pass). A `platform.ingestion.process` fault at completion re-enqueues
   // the product — burning processor capacity again — until the retry
@@ -73,6 +92,7 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
         const double service_days = size_gb / gb_per_day;
         processor_free_at = start + service_days;
         clock.ScheduleAt(processor_free_at, [&, size_gb, attempt] {
+          if (interrupted()) return;
           if (!common::fault::MaybeFail("platform.ingestion.process").ok()) {
             if (attempt <= options.max_process_retries) {
               ++report.products_retried;
@@ -102,11 +122,21 @@ Result<IngestionReport> SimulateIngestion(const IngestionOptions& options) {
         options.mean_product_gb * std::max(0.1, 1.0 + rng.Gaussian(0, 0.4));
     int64_t downloads = rng.Poisson(options.mean_downloads_per_product);
     clock.ScheduleAt(t, [&, size_gb, downloads] {
+      if (interrupted()) return;
       // A fault at arrival models a corrupt or unreadable granule: it is
       // quarantined before any byte accounting.
       if (!common::fault::MaybeFail("platform.ingestion.ingest").ok()) {
         ++report.products_quarantined;
         metrics.products_quarantined->Increment();
+        return;
+      }
+      // Load shedding: reject the arrival outright when accepting it
+      // would push the backlog past the bound (no byte accounting — the
+      // product is never stored or disseminated).
+      if (options.max_backlog_gb > 0 &&
+          backlog_gb + size_gb > options.max_backlog_gb) {
+        ++report.products_shed;
+        metrics.products_shed->Increment();
         return;
       }
       ++report.products_ingested;

@@ -15,6 +15,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "sim/event_queue.h"
 
 namespace exearth::platform {
@@ -37,6 +38,10 @@ struct IngestionOptions {
   /// (`platform.ingestion.process` faults) before the product is
   /// quarantined and dropped from the backlog.
   int max_process_retries = 2;
+  /// Overload protection: arrivals that would push the processing backlog
+  /// past this bound are shed (counted, no byte accounting, never
+  /// processed). 0 = unbounded backlog.
+  double max_backlog_gb = 0.0;
 };
 
 struct IngestionReport {
@@ -54,6 +59,13 @@ struct IngestionReport {
   double max_processing_backlog_gb = 0.0;
   /// Virtual time when the last queued product finished processing.
   double processing_drain_time_days = 0.0;
+  /// Arrivals shed because the backlog was at max_backlog_gb.
+  uint64_t products_shed = 0;
+  /// OK for a run-to-completion simulation; Cancelled/DeadlineExceeded
+  /// when the ambient request context fired mid-run — the report then
+  /// covers the prefix of events handled before the interrupt (remaining
+  /// events drain as no-ops).
+  common::Status interrupted;
 };
 
 /// Runs the lifecycle simulation.

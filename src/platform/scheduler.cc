@@ -1,8 +1,10 @@
 #include "platform/scheduler.h"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 
+#include "common/deadline.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -23,6 +25,8 @@ struct SchedulerMetrics {
   common::Counter* jobs_scheduled;
   common::Counter* tasks_retried;
   common::Counter* tasks_quarantined;
+  common::Counter* tasks_shed;
+  common::Counter* tasks_cancelled;
   common::Gauge* peak_queue_depth;
   common::Histogram* task_latency_sim_us;
   common::Histogram* queue_wait_sim_us;
@@ -35,6 +39,8 @@ struct SchedulerMetrics {
           reg.GetCounter("platform.scheduler.jobs_scheduled"),
           reg.GetCounter("platform.scheduler.tasks_retried"),
           reg.GetCounter("platform.scheduler.tasks_quarantined"),
+          reg.GetCounter("platform.scheduler.tasks_shed"),
+          reg.GetCounter("platform.scheduler.tasks_cancelled"),
           reg.GetGauge("platform.scheduler.peak_queue_depth"),
           reg.GetHistogram("platform.scheduler.task_latency_sim_us"),
           reg.GetHistogram("platform.scheduler.queue_wait_sim_us"),
@@ -92,9 +98,43 @@ Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
   std::priority_queue<Item, std::vector<Item>, std::greater<>> ready;
   std::vector<bool> poisoned(static_cast<size_t>(n), false);
   int scheduled = 0;
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  const bool guarded = !rctx.unconstrained();
+  // Admission control at the queue door: a job becoming ready while the
+  // queue is full is shed instead of enqueued. Shed jobs still count
+  // toward the cycle check and transitively poison their dependents
+  // (which may themselves be shed, hence std::function for recursion).
+  std::function<void(double, int)> push_ready = [&](double rt_, int i_) {
+    if (options.max_ready_queue_depth > 0 &&
+        ready.size() >= options.max_ready_queue_depth) {
+      JobResult& jr = result.jobs[static_cast<size_t>(i_)];
+      jr.name = jobs[static_cast<size_t>(i_)].name;
+      jr.start_time = jr.end_time = rt_;
+      jr.failed = true;
+      jr.shed = true;
+      ++scheduled;
+      ++result.tasks_shed;
+      metrics.tasks_shed->Increment();
+      for (int dep : dependents[static_cast<size_t>(i_)]) {
+        poisoned[static_cast<size_t>(dep)] = true;
+        ready_time[static_cast<size_t>(dep)] =
+            std::max(ready_time[static_cast<size_t>(dep)], rt_);
+        if (--indegree[static_cast<size_t>(dep)] == 0) {
+          push_ready(ready_time[static_cast<size_t>(dep)], dep);
+        }
+      }
+      return;
+    }
+    ready.push({rt_, i_});
+  };
+  // Snapshot the roots before seeding: a shed cascade decrements
+  // dependents' indegrees (and enqueues/sheds them itself), so reading
+  // live indegrees here would enqueue those jobs a second time.
+  std::vector<int> roots;
   for (int i = 0; i < n; ++i) {
-    if (indegree[static_cast<size_t>(i)] == 0) ready.push({0.0, i});
+    if (indegree[static_cast<size_t>(i)] == 0) roots.push_back(i);
   }
+  for (int i : roots) push_ready(0.0, i);
   while (!ready.empty()) {
     metrics.peak_queue_depth->Max(static_cast<double>(ready.size()));
     auto [rt, i] = ready.top();
@@ -102,6 +142,27 @@ Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
     JobResult& jr = result.jobs[static_cast<size_t>(i)];
     jr.name = jobs[static_cast<size_t>(i)].name;
     ++scheduled;  // popped jobs count toward the cycle check, run or not
+    if (guarded && result.interrupted.ok()) {
+      result.interrupted = rctx.Check("platform.scheduler");
+    }
+    if (!result.interrupted.ok()) {
+      // Cancelled / out of deadline: drain the queue without running
+      // anything, still propagating dependents so the cycle check and
+      // per-job accounting stay exact.
+      jr.start_time = jr.end_time = rt;
+      jr.failed = true;
+      jr.cancelled = true;
+      ++result.tasks_cancelled;
+      metrics.tasks_cancelled->Increment();
+      for (int dep : dependents[static_cast<size_t>(i)]) {
+        ready_time[static_cast<size_t>(dep)] =
+            std::max(ready_time[static_cast<size_t>(dep)], rt);
+        if (--indegree[static_cast<size_t>(dep)] == 0) {
+          ready.push({ready_time[static_cast<size_t>(dep)], dep});
+        }
+      }
+      continue;
+    }
     bool completed = false;
     double end = rt;
     if (poisoned[static_cast<size_t>(i)]) {
@@ -146,7 +207,7 @@ Result<ScheduleResult> ScheduleJobs(const std::vector<JobSpec>& jobs,
       ready_time[static_cast<size_t>(dep)] =
           std::max(ready_time[static_cast<size_t>(dep)], end);
       if (--indegree[static_cast<size_t>(dep)] == 0) {
-        ready.push({ready_time[static_cast<size_t>(dep)], dep});
+        push_ready(ready_time[static_cast<size_t>(dep)], dep);
       }
     }
   }

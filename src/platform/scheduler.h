@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
 
@@ -30,8 +31,13 @@ struct JobResult {
   /// Execution attempts made (0 = never ran: a dependency was
   /// quarantined, so this job was poisoned and skipped).
   int attempts = 0;
-  /// True if the job did not complete (quarantined or poisoned).
+  /// True if the job did not complete (quarantined, poisoned, shed, or
+  /// cancelled).
   bool failed = false;
+  /// Shed at enqueue: the ready queue was at max_ready_queue_depth.
+  bool shed = false;
+  /// Skipped because the request was cancelled / out of deadline.
+  bool cancelled = false;
 };
 
 struct ScheduleResult {
@@ -45,12 +51,26 @@ struct ScheduleResult {
   /// Jobs dropped: retry budget exhausted, or poisoned by a quarantined
   /// dependency (JobResult::attempts == 0 distinguishes the latter).
   uint64_t tasks_quarantined = 0;
+  /// Jobs shed at enqueue because the ready queue was full
+  /// (max_ready_queue_depth); their dependents are poisoned.
+  uint64_t tasks_shed = 0;
+  /// Jobs skipped after the request was cancelled or ran out of deadline.
+  uint64_t tasks_cancelled = 0;
+  /// OK for a run-to-completion schedule; Cancelled/DeadlineExceeded when
+  /// the run stopped early (the per-job results are then partial: every
+  /// unstarted job is marked cancelled). Reported here rather than as the
+  /// function's error so the completed prefix is not thrown away.
+  common::Status interrupted;
 };
 
 struct ScheduleOptions {
   /// Re-attempts after a failed task execution before the task is
   /// quarantined and its dependents are poisoned.
   int max_task_retries = 3;
+  /// Bound on the ready queue (admission control): a job becoming ready
+  /// while the queue holds this many entries is shed (JobResult::shed)
+  /// and its dependents are poisoned. 0 = unbounded.
+  size_t max_ready_queue_depth = 0;
 };
 
 /// List-schedules the DAG onto `cluster.num_nodes()` nodes (earliest-

@@ -1,8 +1,10 @@
 #include "strabon/geostore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -23,6 +25,10 @@ struct GeoStoreMetrics {
   common::Counter* index_probes;
   common::Counter* envelope_hits;
   common::Counter* parallel_chunks;
+  common::Counter* deadline_exceeded;
+  common::Counter* cancelled;
+  common::Counter* memory_budget_exceeded;
+  common::Counter* chunks_cancelled;
   common::Gauge* num_threads;
   common::Gauge* parallel_speedup;
   common::Histogram* query_latency_us;
@@ -39,6 +45,10 @@ struct GeoStoreMetrics {
           reg.GetCounter("strabon.geostore.index_probes"),
           reg.GetCounter("strabon.geostore.envelope_hits"),
           reg.GetCounter("strabon.geostore.parallel_chunks"),
+          reg.GetCounter("strabon.geostore.deadline_exceeded"),
+          reg.GetCounter("strabon.geostore.cancelled"),
+          reg.GetCounter("strabon.geostore.memory_budget_exceeded"),
+          reg.GetCounter("strabon.geostore.chunks_cancelled"),
           reg.GetGauge("strabon.geostore.num_threads"),
           reg.GetGauge("strabon.geostore.parallel_speedup"),
           reg.GetHistogram("strabon.geostore.query_latency_us"),
@@ -68,6 +78,55 @@ void MergeStats(const SpatialQueryStats& in, SpatialQueryStats* out) {
   out->geometry_tests += in.geometry_tests;
   out->envelope_hits += in.envelope_hits;
   out->nodes_visited += in.nodes_visited;
+  out->chunks_cancelled += in.chunks_cancelled;
+}
+
+// Shared abort channel for one query's chunk workers: the first trigger
+// (deadline, cancellation, or memory budget) wins, every other worker
+// sees the flag on its next item and stops. Polling the flag is one
+// relaxed load per item; the clock is only read every kPollStride items.
+constexpr size_t kPollStride = 64;
+
+struct QueryAbort {
+  std::atomic<int> reason{0};  // 0 = none, else a StatusCode
+
+  bool triggered() const {
+    return reason.load(std::memory_order_relaxed) != 0;
+  }
+  void Trigger(common::StatusCode code) {
+    int expected = 0;
+    reason.compare_exchange_strong(expected, static_cast<int>(code),
+                                   std::memory_order_relaxed);
+  }
+  common::Status ToStatus(const char* who) const {
+    const auto code =
+        static_cast<common::StatusCode>(reason.load(std::memory_order_relaxed));
+    switch (code) {
+      case common::StatusCode::kCancelled:
+        return common::Status::Cancelled(std::string(who) +
+                                         ": request cancelled");
+      case common::StatusCode::kResourceExhausted:
+        return common::Status::ResourceExhausted(
+            std::string(who) + ": per-query memory budget exceeded");
+      default:
+        return common::Status::DeadlineExceeded(
+            std::string(who) + ": request deadline exceeded");
+    }
+  }
+};
+
+// Bumps the right abort counter and the chunks_cancelled total after a
+// query stopped early.
+void CountAbort(const GeoStoreMetrics& metrics, const common::Status& status,
+                uint64_t chunks_cancelled) {
+  if (status.IsCancelled()) {
+    metrics.cancelled->Increment();
+  } else if (status.IsResourceExhausted()) {
+    metrics.memory_budget_exceeded->Increment();
+  } else {
+    metrics.deadline_exceeded->Increment();
+  }
+  metrics.chunks_cancelled->Increment(chunks_cancelled);
 }
 
 }  // namespace
@@ -202,12 +261,9 @@ size_t GeoStore::RunChunked(
   return chunks;
 }
 
-std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
-                                              SpatialRelation relation,
-                                              bool use_index,
-                                              SpatialQueryStats* stats_out,
-                                              common::QueryProfile*
-                                                  profile_out) const {
+Result<std::vector<uint64_t>> GeoStore::SpatialSelect(
+    const geo::Box& query, SpatialRelation relation, bool use_index,
+    SpatialQueryStats* stats_out, common::QueryProfile* profile_out) const {
   EEA_CHECK(spatial_built_) << "SpatialSelect before Build()";
   const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
   common::TraceRequest req("strabon.SpatialSelect");
@@ -220,6 +276,33 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
   metrics.queries->Increment();
   SpatialQueryStats stats;
   std::vector<uint64_t> out;
+
+  // Cooperative-abort machinery: skip all polling when the request is
+  // unconstrained and no memory budget is set (the common fast path).
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  const uint64_t budget = memory_budget_bytes_;
+  const bool guarded = !rctx.unconstrained() || budget > 0;
+  QueryAbort abort;
+  std::atomic<uint64_t> bytes_used{0};
+  {
+    Status entry = rctx.Check("strabon.SpatialSelect");
+    if (!entry.ok()) {
+      CountAbort(metrics, entry, 0);
+      if (stats_out != nullptr) *stats_out = stats;
+      if (profiling) {
+        common::QueryProfile prof;
+        prof.query = "strabon.SpatialSelect";
+        prof.trace_id = req.trace_id();
+        prof.total_us = SecondsSince(query_start) * 1e6;
+        prof.status = common::StatusCodeToString(entry.code());
+        if (profile_out != nullptr) *profile_out = prof;
+        if (pscope.is_root()) {
+          common::SlowQueryLog::Default().Record(std::move(prof));
+        }
+      }
+      return entry;
+    }
+  }
 
   // Candidate set: dense arena indices.
   std::vector<uint32_t> candidates;
@@ -261,9 +344,34 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
         std::vector<uint64_t>& local = chunk_out[c];
         SpatialQueryStats& lstats = chunk_stats[c];
         for (size_t i = begin; i < end; ++i) {
+          if (guarded) {
+            if (abort.triggered()) {
+              lstats.chunks_cancelled = 1;
+              break;
+            }
+            if (((i - begin) % kPollStride) == 0) {
+              Status s = rctx.Check("strabon.SpatialSelect");
+              if (!s.ok()) {
+                abort.Trigger(s.code());
+                lstats.chunks_cancelled = 1;
+                break;
+              }
+            }
+          }
           const size_t idx = candidates[i];
           if (EvalRelationAt(idx, query, relation, &lstats)) {
             local.push_back(geom_subjects_[idx]);
+            if (budget > 0) {
+              const uint64_t now_used =
+                  bytes_used.fetch_add(sizeof(uint64_t),
+                                       std::memory_order_relaxed) +
+                  sizeof(uint64_t);
+              if (now_used > budget) {
+                abort.Trigger(common::StatusCode::kResourceExhausted);
+                lstats.chunks_cancelled = 1;
+                break;
+              }
+            }
           }
         }
         metrics.chunk_candidates->Observe(static_cast<double>(end - begin));
@@ -281,18 +389,29 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
     if (wall > 0.0) metrics.parallel_speedup->Set(busy / wall);
   }
 
-  std::sort(out.begin(), out.end());
-  stats.results = out.size();
-  metrics.results->Increment(out.size());
-  metrics.envelope_hits->Increment(stats.envelope_hits);
-  metrics.result_cardinality->Observe(static_cast<double>(out.size()));
-  RecordLastStats(stats);
+  // A triggered abort discards the (partial) result set but keeps the
+  // partial-work accounting: stats, counters, and the profile all record
+  // how far the query got before it was stopped.
+  Status abort_status;
+  if (abort.triggered()) {
+    abort_status = abort.ToStatus("strabon.SpatialSelect");
+    CountAbort(metrics, abort_status, stats.chunks_cancelled);
+  } else {
+    std::sort(out.begin(), out.end());
+    stats.results = out.size();
+    metrics.results->Increment(out.size());
+    metrics.envelope_hits->Increment(stats.envelope_hits);
+    metrics.result_cardinality->Observe(static_cast<double>(out.size()));
+  }
   if (stats_out != nullptr) *stats_out = stats;
   if (profiling) {
     common::QueryProfile prof;
     prof.query = "strabon.SpatialSelect";
     prof.trace_id = req.trace_id();
     prof.total_us = SecondsSince(query_start) * 1e6;
+    if (!abort_status.ok()) {
+      prof.status = common::StatusCodeToString(abort_status.code());
+    }
     common::OperatorProfile probe_op;
     probe_op.name = use_index ? "index_probe" : "full_scan";
     probe_op.wall_us = probe_secs * 1e6;
@@ -313,6 +432,7 @@ std::vector<uint64_t> GeoStore::SpatialSelect(const geo::Box& query,
       common::SlowQueryLog::Default().Record(std::move(prof));
     }
   }
+  if (!abort_status.ok()) return abort_status;
   return out;
 }
 
@@ -352,14 +472,32 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     prof.operators.push_back(std::move(op));
     return &prof.operators.back();
   };
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  {
+    Status entry = rctx.Check("strabon.QueryWithSpatialFilter");
+    if (!entry.ok()) {
+      CountAbort(metrics, entry, 0);
+      prof.status = common::StatusCodeToString(entry.code());
+      finish_profile();
+      return entry;
+    }
+  }
   rdf::QueryEngine engine(&store_);
   if (use_index) {
     // Pushdown: compute the spatial candidates first, then restrict the
     // BGP results to them (semantically identical to post-filtering).
     SpatialQueryStats stats;
     const auto select_start = std::chrono::steady_clock::now();
-    std::vector<uint64_t> subjects =
+    auto subjects_result =
         SpatialSelect(query_box, SpatialRelation::kIntersects, true, &stats);
+    if (!subjects_result.ok()) {
+      if (stats_out != nullptr) *stats_out = stats;
+      prof.status =
+          common::StatusCodeToString(subjects_result.status().code());
+      finish_profile();
+      return subjects_result.status();
+    }
+    std::vector<uint64_t> subjects = std::move(*subjects_result);
     if (common::OperatorProfile* op =
             add_op("spatial_select", SecondsSince(select_start),
                    geoms_.size(), subjects.size())) {
@@ -398,7 +536,19 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
   add_op("bgp", SecondsSince(bgp_start), 0, rows.size());
   std::vector<rdf::Binding> out;
   const auto filter_start = std::chrono::steady_clock::now();
-  for (rdf::Binding& b : rows) {
+  const bool guarded = !rctx.unconstrained();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (guarded && (i % kPollStride) == 0) {
+      Status s = rctx.Check("strabon.QueryWithSpatialFilter");
+      if (!s.ok()) {
+        CountAbort(metrics, s, 1);
+        if (stats_out != nullptr) *stats_out = stats;
+        prof.status = common::StatusCodeToString(s.code());
+        finish_profile();
+        return s;
+      }
+    }
+    rdf::Binding& b = rows[i];
     auto it = b.find(subject_var);
     if (it == b.end()) continue;
     const size_t idx = IndexOf(it->second);
@@ -414,7 +564,6 @@ Result<std::vector<rdf::Binding>> GeoStore::QueryWithSpatialFilter(
     op->envelope_hits = stats.envelope_hits;
   }
   stats.results = out.size();
-  RecordLastStats(stats);
   if (stats_out != nullptr) *stats_out = stats;
   finish_profile();
   return out;
@@ -438,7 +587,7 @@ bool EvalGeomRelation(const geo::Geometry& a, const geo::Geometry& b,
 
 }  // namespace
 
-std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
+Result<std::vector<std::pair<uint64_t, uint64_t>>> GeoStore::SpatialJoin(
     const std::string& class_a_iri, const std::string& class_b_iri,
     SpatialRelation relation, bool use_index,
     SpatialQueryStats* stats_out, common::QueryProfile* profile_out) const {
@@ -453,6 +602,33 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
   common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
   metrics.queries->Increment();
   SpatialQueryStats stats;
+  // Cooperative abort: joins are the runaway-memory risk (output is
+  // quadratic in the worst case), so the per-query byte budget is
+  // enforced here on every emitted pair, alongside deadline/cancel polls.
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  const uint64_t budget = memory_budget_bytes_;
+  const bool guarded = !rctx.unconstrained() || budget > 0;
+  QueryAbort abort;
+  std::atomic<uint64_t> bytes_used{0};
+  {
+    Status entry = rctx.Check("strabon.SpatialJoin");
+    if (!entry.ok()) {
+      CountAbort(metrics, entry, 0);
+      if (stats_out != nullptr) *stats_out = stats;
+      if (profiling) {
+        common::QueryProfile prof;
+        prof.query = "strabon.SpatialJoin";
+        prof.trace_id = req.trace_id();
+        prof.total_us = SecondsSince(query_start) * 1e6;
+        prof.status = common::StatusCodeToString(entry.code());
+        if (profile_out != nullptr) *profile_out = prof;
+        if (pscope.is_root()) {
+          common::SlowQueryLog::Default().Record(std::move(prof));
+        }
+      }
+      return entry;
+    }
+  }
   // Members of a class that carry geometry, as dense arena indices.
   auto members_of = [&](const std::string& class_iri) {
     std::vector<uint32_t> out;
@@ -491,7 +667,22 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
       Pairs& local = chunk_out[c];
       SpatialQueryStats& lstats = chunk_stats[c];
       geo::RTree::TraversalStats tstats;
+      bool stopped = false;
       for (size_t i = begin; i < end; ++i) {
+        if (guarded) {
+          if (abort.triggered()) {
+            stopped = true;
+            break;
+          }
+          if (((i - begin) % kPollStride) == 0) {
+            Status s = rctx.Check("strabon.SpatialJoin");
+            if (!s.ok()) {
+              abort.Trigger(s.code());
+              stopped = true;
+              break;
+            }
+          }
+        }
         const uint32_t a = as[i];
         const geo::Geometry& ga = geoms_[a];
         rtree_.VisitWith(
@@ -504,11 +695,24 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
               ++lstats.geometry_tests;
               if (EvalGeomRelation(ga, geoms_[b], relation)) {
                 local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
+                if (budget > 0) {
+                  const uint64_t now_used =
+                      bytes_used.fetch_add(sizeof(local[0]),
+                                           std::memory_order_relaxed) +
+                      sizeof(local[0]);
+                  if (now_used > budget) {
+                    abort.Trigger(common::StatusCode::kResourceExhausted);
+                    stopped = true;
+                    return false;  // stop this R-tree traversal
+                  }
+                }
               }
               return true;
             },
             &tstats);
+        if (stopped) break;
       }
+      if (stopped) lstats.chunks_cancelled = 1;
       lstats.nodes_visited += tstats.nodes_visited;
       chunk_secs[c] = SecondsSince(t0);
     });
@@ -517,18 +721,60 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
       const auto t0 = std::chrono::steady_clock::now();
       Pairs& local = chunk_out[c];
       SpatialQueryStats& lstats = chunk_stats[c];
-      for (size_t i = begin; i < end; ++i) {
+      bool stopped = false;
+      for (size_t i = begin; i < end && !stopped; ++i) {
+        if (guarded) {
+          if (abort.triggered()) {
+            stopped = true;
+            break;
+          }
+          if (((i - begin) % kPollStride) == 0) {
+            Status s = rctx.Check("strabon.SpatialJoin");
+            if (!s.ok()) {
+              abort.Trigger(s.code());
+              stopped = true;
+              break;
+            }
+          }
+        }
         const uint32_t a = as[i];
         const geo::Geometry& ga = geoms_[a];
         for (uint32_t b : bs) {
           if (a == b) continue;
+          // The inner loop dominates the baseline join, so the poll
+          // rides the candidate count: one clock read per kPollStride
+          // geometry tests.
+          if (guarded && (lstats.candidates % kPollStride) == 0) {
+            if (abort.triggered()) {
+              stopped = true;
+              break;
+            }
+            Status s = rctx.Check("strabon.SpatialJoin");
+            if (!s.ok()) {
+              abort.Trigger(s.code());
+              stopped = true;
+              break;
+            }
+          }
           ++lstats.candidates;
           ++lstats.geometry_tests;
           if (EvalGeomRelation(ga, geoms_[b], relation)) {
             local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
+            if (budget > 0) {
+              const uint64_t now_used =
+                  bytes_used.fetch_add(sizeof(local[0]),
+                                       std::memory_order_relaxed) +
+                  sizeof(local[0]);
+              if (now_used > budget) {
+                abort.Trigger(common::StatusCode::kResourceExhausted);
+                stopped = true;
+                break;
+              }
+            }
           }
         }
       }
+      if (stopped) lstats.chunks_cancelled = 1;
       chunk_secs[c] = SecondsSince(t0);
     });
   }
@@ -544,17 +790,25 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
     for (size_t c = 0; c < used; ++c) busy += chunk_secs[c];
     if (wall > 0.0) metrics.parallel_speedup->Set(busy / wall);
   }
-  std::sort(out.begin(), out.end());
-  stats.results = out.size();
-  metrics.results->Increment(out.size());
-  metrics.result_cardinality->Observe(static_cast<double>(out.size()));
-  RecordLastStats(stats);
+  Status abort_status;
+  if (abort.triggered()) {
+    abort_status = abort.ToStatus("strabon.SpatialJoin");
+    CountAbort(metrics, abort_status, stats.chunks_cancelled);
+  } else {
+    std::sort(out.begin(), out.end());
+    stats.results = out.size();
+    metrics.results->Increment(out.size());
+    metrics.result_cardinality->Observe(static_cast<double>(out.size()));
+  }
   if (stats_out != nullptr) *stats_out = stats;
   if (profiling) {
     common::QueryProfile prof;
     prof.query = "strabon.SpatialJoin";
     prof.trace_id = req.trace_id();
     prof.total_us = SecondsSince(query_start) * 1e6;
+    if (!abort_status.ok()) {
+      prof.status = common::StatusCodeToString(abort_status.code());
+    }
     common::OperatorProfile members_op;
     members_op.name = "members_scan";
     members_op.wall_us = members_secs * 1e6;
@@ -574,22 +828,13 @@ std::vector<std::pair<uint64_t, uint64_t>> GeoStore::SpatialJoin(
       common::SlowQueryLog::Default().Record(std::move(prof));
     }
   }
+  if (!abort_status.ok()) return abort_status;
   return out;
 }
 
 const geo::Geometry* GeoStore::GeometryOf(uint64_t subject_id) const {
   const size_t idx = IndexOf(subject_id);
   return idx == kNpos ? nullptr : &geoms_[idx];
-}
-
-SpatialQueryStats GeoStore::last_stats() const {
-  std::lock_guard<std::mutex> lock(last_stats_->mu);
-  return last_stats_->stats;
-}
-
-void GeoStore::RecordLastStats(const SpatialQueryStats& stats) const {
-  std::lock_guard<std::mutex> lock(last_stats_->mu);
-  last_stats_->stats = stats;
 }
 
 }  // namespace exearth::strabon

@@ -27,6 +27,16 @@
 // spans of one trace in the Chrome trace export; with the SlowQueryLog
 // enabled (or a `profile` out-param passed) a per-operator QueryProfile
 // is built as well.
+//
+// Queries are cooperative: refinement and probe chunks poll the ambient
+// common::RequestContext (deadline + cancel token) and a shared abort
+// flag at chunk-stride granularity, so a query whose deadline expires —
+// or whose join output outgrows the per-query memory budget — stops all
+// its workers within a few dozen geometry tests and returns
+// DeadlineExceeded / Cancelled / ResourceExhausted. Partial work is
+// accounted in SpatialQueryStats (chunks_cancelled) and the
+// strabon.geostore.{deadline_exceeded,cancelled,memory_budget_exceeded,
+// chunks_cancelled} counters.
 
 #ifndef EXEARTH_STRABON_GEOSTORE_H_
 #define EXEARTH_STRABON_GEOSTORE_H_
@@ -34,7 +44,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +75,10 @@ struct SpatialQueryStats {
   uint64_t nodes_visited = 0;   // R-tree nodes touched
   uint64_t threads_used = 1;    // parallelism of the refinement/probe step
   uint64_t results = 0;
+  /// Chunks that stopped early because the query was cancelled, its
+  /// deadline expired, or it blew the memory budget (partial-work
+  /// accounting: equals threads_used when every worker was stopped).
+  uint64_t chunks_cancelled = 0;
 };
 
 /// A TripleStore with a spatial index over its geometry literals.
@@ -98,17 +111,27 @@ class GeoStore {
   void set_num_threads(size_t n);
   size_t num_threads() const { return num_threads_; }
 
+  /// Per-query cap on result memory (bytes of matched ids/pairs across
+  /// all chunks); a query that exceeds it aborts with ResourceExhausted.
+  /// 0 (the default) disables the budget. Not safe to call concurrently
+  /// with queries.
+  void set_memory_budget_bytes(uint64_t bytes) {
+    memory_budget_bytes_ = bytes;
+  }
+  uint64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+
   /// Subjects whose geometry satisfies `relation` with the query box
   /// (rectangular spatial selection — the E1 workload). `use_index`
   /// selects pushdown vs full scan; results are identical. Per-query
   /// statistics are written to `stats` when non-null; an EXPLAIN
   /// ANALYZE-style operator breakdown is written to `profile` when
   /// non-null (and fed to the SlowQueryLog when that is enabled).
-  std::vector<uint64_t> SpatialSelect(const geo::Box& query,
-                                      SpatialRelation relation, bool use_index,
-                                      SpatialQueryStats* stats = nullptr,
-                                      common::QueryProfile* profile =
-                                          nullptr) const;
+  /// Returns DeadlineExceeded / Cancelled when the ambient request
+  /// context fires mid-query; stats then hold the partial-work counts.
+  common::Result<std::vector<uint64_t>> SpatialSelect(
+      const geo::Box& query, SpatialRelation relation, bool use_index,
+      SpatialQueryStats* stats = nullptr,
+      common::QueryProfile* profile = nullptr) const;
 
   /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
   /// subject geometry intersects `query_box` — with the spatial constraint
@@ -124,8 +147,9 @@ class GeoStore {
   /// is an instance of `class_a_iri`, b of `class_b_iri`, and a's geometry
   /// stands in `relation` to b's. The indexed path probes the R-tree with
   /// each a-envelope; the baseline nested-loops. Results are identical,
-  /// sorted, and exclude a == b.
-  std::vector<std::pair<uint64_t, uint64_t>> SpatialJoin(
+  /// sorted, and exclude a == b. Returns DeadlineExceeded / Cancelled /
+  /// ResourceExhausted (memory budget) when aborted mid-probe.
+  common::Result<std::vector<std::pair<uint64_t, uint64_t>>> SpatialJoin(
       const std::string& class_a_iri, const std::string& class_b_iri,
       SpatialRelation relation, bool use_index,
       SpatialQueryStats* stats = nullptr,
@@ -133,11 +157,6 @@ class GeoStore {
 
   /// The parsed geometry of a subject (nullptr if it has none).
   const geo::Geometry* GeometryOf(uint64_t subject_id) const;
-
-  /// Deprecated: statistics of the most recently *completed* query on this
-  /// store. Meaningful only when queries do not overlap; concurrent
-  /// callers should read the SpatialQueryStats out-param instead.
-  SpatialQueryStats last_stats() const;
 
  private:
   static constexpr size_t kNpos = static_cast<size_t>(-1);
@@ -155,8 +174,6 @@ class GeoStore {
   size_t RunChunked(size_t n,
                     const std::function<void(size_t, size_t, size_t)>& fn) const;
 
-  void RecordLastStats(const SpatialQueryStats& stats) const;
-
   rdf::TripleStore store_;
   geo::RTree rtree_;  // entry ids are dense arena indices
   // Dense geometry arena: sorted subject ids with parallel geometry and
@@ -166,13 +183,8 @@ class GeoStore {
   std::vector<geo::Box> envelopes_;
   bool spatial_built_ = false;
   size_t num_threads_ = 1;
+  uint64_t memory_budget_bytes_ = 0;  // 0 = unlimited
   std::unique_ptr<common::ThreadPool> pool_;
-  // Boxed so GeoStore stays movable despite the mutex.
-  struct LastStats {
-    std::mutex mu;
-    SpatialQueryStats stats;
-  };
-  std::unique_ptr<LastStats> last_stats_ = std::make_unique<LastStats>();
 };
 
 }  // namespace exearth::strabon

@@ -238,12 +238,12 @@ TEST(SpatialJoinTest, FieldsIntersectingRivers) {
                       rdf::Term::Iri(river_cls));
   ASSERT_TRUE(store.Build().ok());
 
-  auto indexed = store.SpatialJoin(field_cls, river_cls,
+  auto indexed = *store.SpatialJoin(field_cls, river_cls,
+                                    strabon::SpatialRelation::kIntersects,
+                                    true);
+  auto nested = *store.SpatialJoin(field_cls, river_cls,
                                    strabon::SpatialRelation::kIntersects,
-                                   true);
-  auto nested = store.SpatialJoin(field_cls, river_cls,
-                                  strabon::SpatialRelation::kIntersects,
-                                  false);
+                                   false);
   EXPECT_EQ(indexed, nested);
   // Fields 2, 3, 4 overlap the river's x-range [3.5, 9.5]:
   // field i covers [2i, 2i+1] -> i=2 [4,5], i=3 [6,7], i=4 [8,9].
@@ -272,17 +272,18 @@ TEST(SpatialJoinTest, ContainsAndWithin) {
                       rdf::Term::Iri(rdf::vocab::kRdfType),
                       rdf::Term::Iri("http://x/Parcel"));
   ASSERT_TRUE(store.Build().ok());
-  auto contains = store.SpatialJoin("http://x/Region", "http://x/Parcel",
-                                    strabon::SpatialRelation::kContains,
-                                    true);
+  auto contains = *store.SpatialJoin("http://x/Region", "http://x/Parcel",
+                                     strabon::SpatialRelation::kContains,
+                                     true);
   ASSERT_EQ(contains.size(), 1u);
-  auto within = store.SpatialJoin("http://x/Parcel", "http://x/Region",
-                                  strabon::SpatialRelation::kWithin, true);
+  auto within = *store.SpatialJoin("http://x/Parcel", "http://x/Region",
+                                   strabon::SpatialRelation::kWithin, true);
   ASSERT_EQ(within.size(), 1u);
   // Unknown classes: empty.
-  EXPECT_TRUE(store.SpatialJoin("http://x/Nope", "http://x/Region",
-                                strabon::SpatialRelation::kIntersects, true)
-                  .empty());
+  EXPECT_TRUE(store
+                  .SpatialJoin("http://x/Nope", "http://x/Region",
+                               strabon::SpatialRelation::kIntersects, true)
+                  ->empty());
 }
 
 }  // namespace

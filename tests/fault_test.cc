@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
@@ -424,6 +426,58 @@ TEST(CircuitBreakerTest, HalfOpenRejectsWhileProbeOutstanding) {
   EXPECT_FALSE(cb.Allow());  // concurrent request rejected
   cb.RecordSuccess();
   EXPECT_TRUE(cb.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  // Many threads race Allow() at the open->half-open boundary; the
+  // breaker must hand out exactly one probe slot no matter the
+  // interleaving (everything else is a rejected concurrent request).
+  for (int round = 0; round < 20; ++round) {
+    CircuitBreaker cb(CircuitBreaker::Options{1, 0});
+    ASSERT_TRUE(cb.Allow());
+    cb.RecordFailure();  // open; cooldown 0: the next Allow is the probe
+    constexpr int kThreads = 8;
+    std::atomic<int> allowed{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> racers;
+    racers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      racers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        if (cb.Allow()) allowed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : racers) th.join();
+    EXPECT_EQ(allowed.load(), 1) << "round " << round;
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+    // The probe's verdict still drives the state machine normally.
+    cb.RecordSuccess();
+    EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  }
+}
+
+TEST(BackoffTest, LargeAttemptCountsNeitherWrapNorEscapeTheCap) {
+  // 2^attempt overflows uint64 past attempt 63 and double's mantissa well
+  // before that; the backoff must pin to max_backoff_us instead of
+  // wrapping to something tiny.
+  RetryPolicy p{.max_attempts = 1 << 30,
+                .initial_backoff_us = 100,
+                .backoff_multiplier = 2.0,
+                .max_backoff_us = 50000,
+                .jitter = 0.0};
+  for (int attempt : {64, 65, 100, 1000, 100000, (1 << 30) - 1}) {
+    EXPECT_EQ(common::BackoffUs(p, attempt, 1), 50000u) << attempt;
+  }
+  // Jitter scales downward from the cap but is itself re-clamped: the
+  // cap is a hard ceiling at any attempt count.
+  p.jitter = 0.5;
+  for (int attempt : {64, 1000, 100000}) {
+    const uint64_t b = common::BackoffUs(p, attempt, 1);
+    EXPECT_GE(b, 25000u) << attempt;
+    EXPECT_LE(b, 50000u) << attempt;
+  }
 }
 
 TEST(CircuitBreakerTest, StateNames) {

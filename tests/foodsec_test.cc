@@ -76,9 +76,9 @@ TEST(FieldsTest, PublishAsLinkedData) {
   EXPECT_EQ(triples, fields.size() * 4);
   ASSERT_TRUE(store.Build().ok());
   // Spatial query: fields intersecting the lower-left quadrant.
-  auto hits = store.SpatialSelect(geo::Box::Of(0, 0, 35, 35),
-                                  strabon::SpatialRelation::kIntersects,
-                                  true);
+  auto hits = *store.SpatialSelect(geo::Box::Of(0, 0, 35, 35),
+                                   strabon::SpatialRelation::kIntersects,
+                                   true);
   EXPECT_GE(hits.size(), 1u);
   // Thematic query: crop type per field.
   rdf::QueryEngine engine(&store.triples());
@@ -195,7 +195,7 @@ TEST(FoodSecPipelineTest, EndToEnd) {
   EXPECT_GT(report->triples_published, 0u);
   EXPECT_EQ(report->water.availability.width(), 48);
   // Published linked data is queryable.
-  auto hits = linked.SpatialSelect(
+  auto hits = *linked.SpatialSelect(
       geo::Box::Of(0, 0, 1e9, 1e9), strabon::SpatialRelation::kIntersects,
       true);
   EXPECT_EQ(hits.size(), report->fields.size());

@@ -46,9 +46,9 @@ TEST(GeoStoreTest, SpatialSelectPointsIndexedEqualsScan) {
   for (int i = 0; i < 20; ++i) {
     geo::Box box = RandomSelectionBox(1000.0, 0.01, &rng);
     auto indexed =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, true);
     auto scanned =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, false);
     EXPECT_EQ(indexed, scanned);
   }
 }
@@ -66,9 +66,9 @@ TEST(GeoStoreTest, SpatialSelectMultiPolygonsIndexedEqualsScan) {
   for (int i = 0; i < 10; ++i) {
     geo::Box box = RandomSelectionBox(1000.0, 0.02, &rng);
     auto indexed =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, true);
     auto scanned =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, false);
     EXPECT_EQ(indexed, scanned);
   }
 }
@@ -80,10 +80,17 @@ TEST(GeoStoreTest, IndexedSelectTestsFarFewerCandidates) {
   GeoStore store = MakeGeoWorkload(opt);
   common::Rng rng(1);
   geo::Box box = RandomSelectionBox(opt.world_size, 0.001, &rng);
-  store.SpatialSelect(box, SpatialRelation::kIntersects, true);
-  uint64_t indexed_tests = store.last_stats().geometry_tests;
-  store.SpatialSelect(box, SpatialRelation::kIntersects, false);
-  uint64_t scan_tests = store.last_stats().geometry_tests;
+  SpatialQueryStats indexed_stats, scan_stats;
+  ASSERT_TRUE(store
+                  .SpatialSelect(box, SpatialRelation::kIntersects, true,
+                                 &indexed_stats)
+                  .ok());
+  uint64_t indexed_tests = indexed_stats.geometry_tests;
+  ASSERT_TRUE(store
+                  .SpatialSelect(box, SpatialRelation::kIntersects, false,
+                                 &scan_stats)
+                  .ok());
+  uint64_t scan_tests = scan_stats.geometry_tests;
   EXPECT_EQ(scan_tests, 20000u);
   EXPECT_LT(indexed_tests, scan_tests / 50);
 }
@@ -98,11 +105,11 @@ TEST(GeoStoreTest, WithinAndContainsRelations) {
   store.AddFeature("http://x/big", *big);
   ASSERT_TRUE(store.Build().ok());
   geo::Box query = geo::Box::Of(5, 5, 20, 20);
-  auto within = store.SpatialSelect(query, SpatialRelation::kWithin, true);
+  auto within = *store.SpatialSelect(query, SpatialRelation::kWithin, true);
   ASSERT_EQ(within.size(), 1u);
   EXPECT_EQ(store.triples().dict().Decode(within[0]).value, "http://x/small");
   auto contains =
-      store.SpatialSelect(query, SpatialRelation::kContains, true);
+      *store.SpatialSelect(query, SpatialRelation::kContains, true);
   ASSERT_EQ(contains.size(), 1u);
   EXPECT_EQ(store.triples().dict().Decode(contains[0]).value, "http://x/big");
 }
@@ -139,14 +146,14 @@ TEST(GeoStoreTest, EnvelopeFastPathCountedAndEquivalent) {
   common::Rng rng(23);
   geo::Box box = RandomSelectionBox(1000.0, 0.05, &rng);
   SpatialQueryStats stats;
-  auto indexed = store.SpatialSelect(box, SpatialRelation::kIntersects, true,
-                                     &stats);
+  auto indexed = *store.SpatialSelect(box, SpatialRelation::kIntersects, true,
+                                      &stats);
   // Point envelopes inside the query box resolve without an exact test.
   EXPECT_GT(stats.envelope_hits, 0u);
   EXPECT_EQ(stats.results, indexed.size());
   EXPECT_GT(stats.nodes_visited, 0u);
   auto scanned =
-      store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+      *store.SpatialSelect(box, SpatialRelation::kIntersects, false);
   EXPECT_EQ(indexed, scanned);
 }
 
@@ -164,15 +171,15 @@ TEST(GeoStoreTest, ParallelSelectMatchesSingleThreadRandomized) {
     geo::Box box = RandomSelectionBox(1000.0, 0.05, &rng);
     store.set_num_threads(1);
     auto single_idx =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, true);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, true);
     auto single_scan =
-        store.SpatialSelect(box, SpatialRelation::kIntersects, false);
+        *store.SpatialSelect(box, SpatialRelation::kIntersects, false);
     store.set_num_threads(4);
     SpatialQueryStats stats;
-    auto parallel_idx = store.SpatialSelect(box, SpatialRelation::kIntersects,
-                                            true, &stats);
-    auto parallel_scan = store.SpatialSelect(box, SpatialRelation::kIntersects,
-                                             false);
+    auto parallel_idx = *store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                             true, &stats);
+    auto parallel_scan = *store.SpatialSelect(box, SpatialRelation::kIntersects,
+                                              false);
     EXPECT_EQ(parallel_idx, single_idx) << "query " << i;
     EXPECT_EQ(parallel_scan, single_scan) << "query " << i;
     EXPECT_EQ(stats.results, parallel_idx.size());
@@ -180,8 +187,11 @@ TEST(GeoStoreTest, ParallelSelectMatchesSingleThreadRandomized) {
   // The scan path has enough candidates to actually fan out.
   store.set_num_threads(4);
   SpatialQueryStats scan_stats;
-  store.SpatialSelect(geo::Box::Of(0, 0, 1000, 1000),
-                      SpatialRelation::kIntersects, false, &scan_stats);
+  ASSERT_TRUE(store
+                  .SpatialSelect(geo::Box::Of(0, 0, 1000, 1000),
+                                 SpatialRelation::kIntersects, false,
+                                 &scan_stats)
+                  .ok());
   EXPECT_GT(scan_stats.threads_used, 1u);
 }
 
@@ -198,17 +208,17 @@ TEST(GeoStoreTest, ParallelJoinMatchesSingleThread) {
   const std::string cls = "http://extremeearth.eu/ontology#Feature";
   store.set_num_threads(1);
   auto single_idx =
-      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true);
+      *store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true);
   auto single_nested =
-      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
+      *store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
   ASSERT_EQ(single_idx, single_nested);
   ASSERT_FALSE(single_idx.empty());
   store.set_num_threads(4);
   SpatialQueryStats stats;
   auto parallel_idx =
-      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true, &stats);
+      *store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, true, &stats);
   auto parallel_nested =
-      store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
+      *store.SpatialJoin(cls, cls, SpatialRelation::kIntersects, false);
   EXPECT_EQ(parallel_idx, single_idx);
   EXPECT_EQ(parallel_nested, single_nested);
   EXPECT_GT(stats.threads_used, 1u);
@@ -231,8 +241,9 @@ TEST(GeoStoreTest, ConcurrentQueriesAreRaceFree) {
   common::Rng rng(37);
   for (int i = 0; i < 8; ++i) {
     boxes.push_back(RandomSelectionBox(1000.0, 0.02, &rng));
-    expected.push_back(
-        store.SpatialSelect(boxes.back(), SpatialRelation::kIntersects, false));
+    expected.push_back(*store.SpatialSelect(boxes.back(),
+                                            SpatialRelation::kIntersects,
+                                            false));
   }
   std::vector<std::thread> workers;
   std::vector<int> failures(4, 0);
@@ -244,7 +255,7 @@ TEST(GeoStoreTest, ConcurrentQueriesAreRaceFree) {
           auto got = store.SpatialSelect(boxes[q],
                                          SpatialRelation::kIntersects,
                                          (t + round) % 2 == 0, &stats);
-          if (got != expected[q]) ++failures[t];
+          if (!got.ok() || *got != expected[q]) ++failures[t];
         }
       }
     });
@@ -307,7 +318,7 @@ TEST(WorkloadTest, MultiPolygonVertexBudget) {
   opt.with_thematic = false;
   GeoStore store = MakeGeoWorkload(opt);
   // Check one geometry's vertex count through the public API.
-  auto subjects = store.SpatialSelect(
+  auto subjects = *store.SpatialSelect(
       geo::Box::Of(-1e9, -1e9, 1e9, 1e9), SpatialRelation::kIntersects, false);
   ASSERT_EQ(subjects.size(), 10u);
   const geo::Geometry* g = store.GeometryOf(subjects[0]);
@@ -344,8 +355,8 @@ TEST(GeoStoreProfileTest, SpatialSelectProfileMatchesStats) {
   SpatialQueryStats stats;
   common::QueryProfile profile;
   auto results =
-      store.SpatialSelect(box, SpatialRelation::kIntersects, true, &stats,
-                          &profile);
+      *store.SpatialSelect(box, SpatialRelation::kIntersects, true, &stats,
+                           &profile);
   EXPECT_EQ(profile.query, "strabon.SpatialSelect");
   EXPECT_GT(profile.total_us, 0.0);
   ASSERT_EQ(profile.operators.size(), 2u);
@@ -428,7 +439,7 @@ TEST(GeoStoreProfileTest, SpatialJoinProfileCountsPairs) {
   opt.with_thematic = true;
   GeoStore store = MakeGeoWorkload(opt);
   common::QueryProfile profile;
-  auto pairs = store.SpatialJoin(
+  auto pairs = *store.SpatialJoin(
       "http://extremeearth.eu/ontology#Feature",
       "http://extremeearth.eu/ontology#Feature",
       SpatialRelation::kIntersects, true, nullptr, &profile);
@@ -515,8 +526,8 @@ TEST(WorkloadTest, Deterministic) {
   GeoStore a = MakeGeoWorkload(opt);
   GeoStore b = MakeGeoWorkload(opt);
   geo::Box box = geo::Box::Of(0, 0, 50000, 50000);
-  EXPECT_EQ(a.SpatialSelect(box, SpatialRelation::kIntersects, true),
-            b.SpatialSelect(box, SpatialRelation::kIntersects, true));
+  EXPECT_EQ(*a.SpatialSelect(box, SpatialRelation::kIntersects, true),
+            *b.SpatialSelect(box, SpatialRelation::kIntersects, true));
 }
 
 }  // namespace
