@@ -11,6 +11,7 @@ namespace {
 
 int g_threads = 0;
 uint64_t g_deadline_us = 0;
+uint64_t g_seed = 42;
 
 // Strict integer parse: the whole value must be digits (an optional
 // leading '-' is accepted so "-3" reports "out of range", not "not a
@@ -62,6 +63,9 @@ void SetThreadsFlag(int n) { g_threads = n; }
 uint64_t DeadlineUsFlag() { return g_deadline_us; }
 void SetDeadlineUsFlag(uint64_t us) { g_deadline_us = us; }
 
+uint64_t SeedFlag() { return g_seed; }
+void SetSeedFlag(uint64_t seed) { g_seed = seed; }
+
 std::string BenchUsage(const char* argv0) {
   return std::string("usage: ") + argv0 +
          " [--smoke] [--metrics_out=PATH] [--trace_out=PATH]\n"
@@ -83,7 +87,9 @@ std::string BenchUsage(const char* argv0) {
          "  --fault_seed=N            injector seed for deterministic "
          "fault sequences (N >= 0)\n"
          "  --deadline_us=N           per-query deadline for rows that "
-         "honor it (N >= 1; 0 = off)\n";
+         "honor it (N >= 1; 0 = off)\n"
+         "  --seed=N                  master seed for seeded workload "
+         "rows (default 42)\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -166,6 +172,14 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
         return false;
       }
       flags->deadline_us = static_cast<uint64_t>(n);
+    } else if (FlagValue(arg, "seed", &value)) {
+      unsigned long long n = 0;
+      if (!ParseUint64(value, &n)) {
+        *error = "--seed=" + value +
+                 ": not an unsigned integer (negative seeds are invalid)";
+        return false;
+      }
+      flags->seed = static_cast<uint64_t>(n);
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.
@@ -177,6 +191,7 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
   }
   SetThreadsFlag(flags->threads);
   SetDeadlineUsFlag(flags->deadline_us);
+  SetSeedFlag(flags->seed);
   return true;
 }
 

@@ -37,6 +37,13 @@
 //                               benchmark rows that honor it (e.g. the
 //                               E16 overload rows); 0/absent = none.
 //                               Recorded in the metrics JSON config
+//   --seed=N                    master seed for benchmark rows with a
+//                               seeded stochastic workload (e.g. the E17
+//                               serving load generator); the same seed
+//                               reproduces the exact offered request
+//                               stream. Default 42. Recorded in the
+//                               metrics JSON config so determinism gates
+//                               can diff it
 //
 // Unknown --flags (other than --benchmark_*) are rejected with a usage
 // message so typos fail loudly instead of silently running a default
@@ -62,6 +69,7 @@ struct BenchFlags {
   std::string fault_spec;   // empty = no faults
   uint64_t fault_seed = 1;  // injector seed when fault_spec is given
   uint64_t deadline_us = 0;  // 0 = no per-query deadline
+  uint64_t seed = 42;        // master seed for seeded workload rows
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every
@@ -85,6 +93,11 @@ void SetThreadsFlag(int n);
 /// rows that honor deadlines read this to build their RequestContext.
 uint64_t DeadlineUsFlag();
 void SetDeadlineUsFlag(uint64_t us);
+
+/// Value of --seed (default 42). Benchmark rows with seeded stochastic
+/// workloads (E17 serving load) read this as their master seed.
+uint64_t SeedFlag();
+void SetSeedFlag(uint64_t seed);
 
 /// The thread count a benchmark row should actually run with: the row's
 /// own `threads` argument, overridden by --threads for parallel rows.

@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
       ", \"fault_spec\": \"" + JsonEscape(flags.fault_spec) +
       "\", \"fault_seed\": " + std::to_string(flags.fault_seed) +
       ", \"deadline_us\": " + std::to_string(flags.deadline_us) +
+      ", \"seed\": " + std::to_string(flags.seed) +
       "},\n\"metrics\": " +
       exearth::common::MetricsRegistry::Default().ToJson() +
       ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() +

@@ -1,0 +1,652 @@
+#include "serve/broker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include "common/deadline.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace exearth::serve {
+
+using common::Status;
+
+namespace {
+
+// Cached metric handles (see common/metrics.h: registration locks,
+// increments are relaxed atomics).
+struct ServeMetrics {
+  common::Counter* requests;
+  common::Counter* ok;
+  common::Counter* errors;
+  common::Counter* quota_shed;
+  common::Counter* cache_hits;
+  common::Counter* cache_misses;
+  common::Counter* cache_invalidated;
+  common::Counter* cache_evicted;
+  common::Counter* batch_groups;
+  common::Counter* batch_batched_requests;
+  common::Gauge* tenants;
+  common::Gauge* batch_max_size;
+  common::Histogram* request_latency_us;
+
+  static const ServeMetrics& Get() {
+    static ServeMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return ServeMetrics{
+          reg.GetCounter("serve.requests"),
+          reg.GetCounter("serve.ok"),
+          reg.GetCounter("serve.errors"),
+          reg.GetCounter("serve.quota.shed"),
+          reg.GetCounter("serve.cache.hits"),
+          reg.GetCounter("serve.cache.misses"),
+          reg.GetCounter("serve.cache.invalidated"),
+          reg.GetCounter("serve.cache.evicted"),
+          reg.GetCounter("serve.batch.groups"),
+          reg.GetCounter("serve.batch.batched_requests"),
+          reg.GetGauge("serve.tenants"),
+          reg.GetGauge("serve.batch.max_size"),
+          reg.GetHistogram("serve.request_latency_us"),
+      };
+    }();
+    return m;
+  }
+};
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvDouble(uint64_t h, double v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  h = FnvU64(h, s.size());
+  return FnvBytes(h, s.data(), s.size());
+}
+
+uint64_t HashIds(const std::vector<uint64_t>& ids) {
+  uint64_t h = kFnvOffset;
+  for (uint64_t id : ids) h = FnvU64(h, id);
+  return h;
+}
+
+uint64_t HashPairs(const std::vector<std::pair<uint64_t, uint64_t>>& ps) {
+  uint64_t h = kFnvOffset;
+  for (const auto& [a, b] : ps) h = FnvU64(FnvU64(h, a), b);
+  return h;
+}
+
+// Order-independent: federated row order is deterministic per engine, but
+// summing per-row hashes keeps the value stable across merge orders too.
+uint64_t HashRows(const std::vector<fed::FedBinding>& rows) {
+  uint64_t total = 0;
+  for (const auto& row : rows) {
+    uint64_t h = kFnvOffset;
+    for (const auto& [var, term] : row) {
+      h = FnvString(h, var);
+      h = FnvString(h, term.ToString());
+    }
+    total += h;
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* RequestTypeToString(RequestType t) {
+  switch (t) {
+    case RequestType::kSpatialSelect:
+      return "spatial_select";
+    case RequestType::kSpatialJoin:
+      return "spatial_join";
+    case RequestType::kFederated:
+      return "federated";
+  }
+  return "unknown";
+}
+
+Request Request::SpatialSelect(const geo::Box& box,
+                               strabon::SpatialRelation rel) {
+  Request r;
+  r.type = RequestType::kSpatialSelect;
+  r.box = box;
+  r.relation = rel;
+  return r;
+}
+
+Request Request::SpatialJoin(std::string class_a, std::string class_b,
+                             strabon::SpatialRelation rel) {
+  Request r;
+  r.type = RequestType::kSpatialJoin;
+  r.class_a = std::move(class_a);
+  r.class_b = std::move(class_b);
+  r.relation = rel;
+  return r;
+}
+
+Request Request::Federated(rdf::Query query) {
+  Request r;
+  r.type = RequestType::kFederated;
+  r.fed_query = std::move(query);
+  return r;
+}
+
+uint64_t Request::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  h = FnvU64(h, static_cast<uint64_t>(type));
+  switch (type) {
+    case RequestType::kSpatialSelect:
+      h = FnvDouble(h, box.min_x);
+      h = FnvDouble(h, box.min_y);
+      h = FnvDouble(h, box.max_x);
+      h = FnvDouble(h, box.max_y);
+      h = FnvU64(h, static_cast<uint64_t>(relation));
+      break;
+    case RequestType::kSpatialJoin:
+      h = FnvString(h, class_a);
+      h = FnvString(h, class_b);
+      h = FnvU64(h, static_cast<uint64_t>(relation));
+      break;
+    case RequestType::kFederated: {
+      // Canonical encoding of the BGP (filters are opaque and ignored by
+      // the federation engine; see fed/federation.h).
+      h = FnvU64(h, fed_query.where.size());
+      auto slot = [&](const rdf::PatternSlot& s) {
+        h = FnvU64(h, s.is_var ? 1 : 0);
+        if (s.is_var) {
+          h = FnvString(h, s.var);
+        } else {
+          h = FnvString(h, s.term.ToString());
+        }
+      };
+      for (const rdf::TriplePattern& p : fed_query.where) {
+        slot(p.s);
+        slot(p.p);
+        slot(p.o);
+      }
+      for (const std::string& v : fed_query.select) h = FnvString(h, v);
+      h = FnvU64(h, fed_query.limit);
+      break;
+    }
+  }
+  return h;
+}
+
+bool QueryBroker::TokenBucket::TryTake(int64_t now_us) {
+  if (last_us < 0) last_us = now_us;
+  if (now_us > last_us) {
+    tokens = std::min(capacity,
+                      tokens + static_cast<double>(now_us - last_us) * per_us);
+    last_us = now_us;
+  }
+  if (tokens >= 1.0) {
+    tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+QueryBroker::QueryBroker(BrokerOptions options)
+    : options_(std::move(options)),
+      admission_("serve", options_.admission),
+      now_us_([] {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+      }) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.num_threads);
+  }
+}
+
+QueryBroker::~QueryBroker() = default;
+
+TenantId QueryBroker::RegisterTenant(std::string name, TenantOptions options) {
+  EEA_CHECK(options.weight >= 1) << "tenant weight must be >= 1";
+  auto t = std::make_unique<Tenant>();
+  t->name = std::move(name);
+  t->options = options;
+  t->bucket.capacity = std::max(1.0, options.quota_burst);
+  t->bucket.tokens = t->bucket.capacity;
+  t->bucket.per_us = options.quota_rps / 1e6;
+  tenants_.push_back(std::move(t));
+  ServeMetrics::Get().tenants->Set(static_cast<double>(tenants_.size()));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+const std::string& QueryBroker::tenant_name(TenantId id) const {
+  static const std::string kUnknown = "<unknown>";
+  return id < tenants_.size() ? tenants_[id]->name : kUnknown;
+}
+
+void QueryBroker::set_clock(std::function<int64_t()> now_us) {
+  now_us_ = std::move(now_us);
+}
+
+QueryBroker::Tenant* QueryBroker::tenant(TenantId id) {
+  return id < tenants_.size() ? tenants_[id].get() : nullptr;
+}
+
+uint64_t QueryBroker::EpochFor(RequestType type) const {
+  if (type == RequestType::kFederated) {
+    return fed_epoch_.load(std::memory_order_relaxed);
+  }
+  return store_ != nullptr ? store_->data_epoch() : 0;
+}
+
+size_t QueryBroker::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_lru_.size();
+}
+
+bool QueryBroker::CacheGet(const CacheKey& key, RequestType type,
+                           Response* out) {
+  if (options_.cache_capacity == 0) return false;
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    metrics.cache_misses->Increment();
+    return false;
+  }
+  if (it->second->epoch != EpochFor(type)) {
+    // Ingest moved the data epoch since this entry was filled: the entry
+    // is stale, drop it so the request recomputes against fresh data.
+    cache_lru_.erase(it->second);
+    cache_index_.erase(it);
+    metrics.cache_invalidated->Increment();
+    metrics.cache_misses->Increment();
+    return false;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  const CacheEntry& e = *it->second;
+  out->status = Status::OK();
+  out->ids = e.ids;
+  out->pairs = e.pairs;
+  out->rows = e.rows;
+  out->result_hash = e.result_hash;
+  out->cache_hit = true;
+  metrics.cache_hits->Increment();
+  return true;
+}
+
+void QueryBroker::CachePut(const CacheKey& key, RequestType type,
+                           const Response& resp) {
+  if (options_.cache_capacity == 0 || !resp.status.ok()) return;
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    cache_lru_.erase(it->second);
+    cache_index_.erase(it);
+  }
+  cache_lru_.push_front(CacheEntry{key, type, EpochFor(type), resp.ids,
+                                   resp.pairs, resp.rows, resp.result_hash});
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.cache_capacity) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    metrics.cache_evicted->Increment();
+  }
+}
+
+void QueryBroker::ExecuteSingle(const Tenant& t, const Request& request,
+                                Response* out) {
+  common::RequestContext rctx;
+  if (t.options.deadline_us > 0) {
+    rctx.deadline = common::Deadline::FromNowUs(t.options.deadline_us);
+  }
+  common::ScopedRequestContext scope(rctx);
+  common::TraceRequest req("serve.request");
+  switch (request.type) {
+    case RequestType::kSpatialSelect: {
+      if (store_ == nullptr) {
+        out->status = Status::FailedPrecondition("serve: no GeoStore backend");
+        return;
+      }
+      auto res = store_->SpatialSelect(request.box, request.relation,
+                                       /*use_index=*/true);
+      if (!res.ok()) {
+        out->status = res.status();
+        return;
+      }
+      out->ids = std::move(*res);
+      out->result_hash = HashIds(out->ids);
+      break;
+    }
+    case RequestType::kSpatialJoin: {
+      if (store_ == nullptr) {
+        out->status = Status::FailedPrecondition("serve: no GeoStore backend");
+        return;
+      }
+      auto res = store_->SpatialJoin(request.class_a, request.class_b,
+                                     request.relation, /*use_index=*/true);
+      if (!res.ok()) {
+        out->status = res.status();
+        return;
+      }
+      out->pairs = std::move(*res);
+      out->result_hash = HashPairs(out->pairs);
+      break;
+    }
+    case RequestType::kFederated: {
+      if (fed_ == nullptr) {
+        out->status =
+            Status::FailedPrecondition("serve: no federation backend");
+        return;
+      }
+      fed::FederationOptions opt = options_.fed_options;
+      opt.priority = t.options.priority;
+      auto res = fed_->Execute(request.fed_query, opt);
+      if (!res.ok()) {
+        out->status = res.status();
+        return;
+      }
+      out->rows = std::move(*res);
+      out->result_hash = HashRows(out->rows);
+      break;
+    }
+  }
+  out->status = Status::OK();
+}
+
+void QueryBroker::ExecuteSelectGroup(
+    const std::vector<const Request*>& requests,
+    const std::vector<Response*>& responses) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  const size_t n = requests.size();
+  common::TraceRequest req("serve.batch");
+  std::vector<strabon::BatchSelectQuery> queries(n);
+  for (size_t i = 0; i < n; ++i) {
+    queries[i] = {requests[i]->box, requests[i]->relation};
+  }
+  auto res = store_->SpatialSelectBatch(queries);
+  if (!res.ok()) {
+    for (Response* r : responses) r->status = res.status();
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    responses[i]->ids = std::move((*res)[i]);
+    responses[i]->result_hash = HashIds(responses[i]->ids);
+    responses[i]->batch_size = n;
+    responses[i]->status = Status::OK();
+  }
+  if (n > 1) {
+    metrics.batch_groups->Increment();
+    metrics.batch_batched_requests->Increment(n);
+    metrics.batch_max_size->Max(static_cast<double>(n));
+  }
+}
+
+void QueryBroker::ExecuteSelectBatched(const Tenant& t, const Request& request,
+                                       Response* out) {
+  std::shared_ptr<BatchGroup> group;
+  {
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    if (open_group_ != nullptr && !open_group_->closed &&
+        open_group_->requests.size() < options_.max_batch) {
+      // Follower: join the in-flight group and wait for its leader.
+      group = open_group_;
+      group->requests.push_back(&request);
+      group->responses.push_back(out);
+      if (group->requests.size() >= options_.max_batch) {
+        group->closed = true;
+        open_group_ = nullptr;
+        batch_cv_.notify_all();  // wake the leader early
+      }
+      batch_cv_.wait(lock, [&] { return group->done; });
+      return;
+    }
+    // Leader: open a group, give followers a window to pile in.
+    group = std::make_shared<BatchGroup>();
+    group->requests.push_back(&request);
+    group->responses.push_back(out);
+    open_group_ = group;
+    if (options_.batch_window_us > 0) {
+      batch_cv_.wait_for(lock,
+                         std::chrono::microseconds(options_.batch_window_us),
+                         [&] { return group->closed; });
+    }
+    if (!group->closed) {
+      group->closed = true;
+      if (open_group_ == group) open_group_ = nullptr;
+    }
+  }
+  {
+    // The leader's deadline bounds the shared traversal (deadlines are
+    // honored at batch granularity; followers inherit the group outcome).
+    common::RequestContext rctx;
+    if (t.options.deadline_us > 0) {
+      rctx.deadline = common::Deadline::FromNowUs(t.options.deadline_us);
+    }
+    common::ScopedRequestContext scope(rctx);
+    ExecuteSelectGroup(group->requests, group->responses);
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    group->done = true;
+  }
+  batch_cv_.notify_all();
+}
+
+Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests->Increment();
+  common::Stopwatch sw;
+  Response resp;
+  Tenant* t = tenant(tenant_id);
+  if (t == nullptr) {
+    resp.status = Status::InvalidArgument("serve: unknown tenant");
+    metrics.errors->Increment();
+    return resp;
+  }
+  {
+    std::lock_guard<std::mutex> lock(t->mu);
+    if (!t->bucket.TryTake(now_us_())) {
+      resp.status = Status::ResourceExhausted(
+          "serve: tenant '" + t->name + "' over quota");
+      resp.shed = ShedStage::kQuota;
+      metrics.quota_shed->Increment();
+      return resp;
+    }
+  }
+  Status admitted = admission_.TryAdmit(t->options.priority);
+  if (!admitted.ok()) {
+    resp.status = admitted;  // the controller counted the shed
+    resp.shed = ShedStage::kAdmission;
+    return resp;
+  }
+  common::AdmissionTicket ticket(&admission_);
+  const CacheKey key{tenant_id, request.Fingerprint()};
+  if (CacheGet(key, request.type, &resp)) {
+    resp.latency_us = sw.ElapsedMicros();
+    metrics.request_latency_us->Observe(resp.latency_us);
+    metrics.ok->Increment();
+    return resp;
+  }
+  if (request.type == RequestType::kSpatialSelect &&
+      options_.enable_batching && store_ != nullptr) {
+    ExecuteSelectBatched(*t, request, &resp);
+  } else {
+    ExecuteSingle(*t, request, &resp);
+  }
+  resp.latency_us = sw.ElapsedMicros();
+  metrics.request_latency_us->Observe(resp.latency_us);
+  if (resp.status.ok()) {
+    CachePut(key, request.type, resp);
+    metrics.ok->Increment();
+  } else {
+    metrics.errors->Increment();
+  }
+  return resp;
+}
+
+std::vector<Response> QueryBroker::ExecuteWave(
+    const std::vector<Offered>& offered, int64_t now_us) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  const size_t n = offered.size();
+  metrics.requests->Increment(n);
+  std::vector<Response> responses(n);
+  if (n == 0) return responses;
+
+  // 1. Weighted round-robin service order across the wave's tenants
+  // (first-appearance tenant order; weight w => up to w consecutive slots
+  // per cycle). Deterministic.
+  std::vector<size_t> order;
+  order.reserve(n);
+  {
+    std::vector<TenantId> seq;
+    std::unordered_map<TenantId, std::deque<size_t>> queues;
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = queues.try_emplace(offered[i].tenant);
+      if (inserted) seq.push_back(offered[i].tenant);
+      it->second.push_back(i);
+    }
+    size_t remaining = n;
+    while (remaining > 0) {
+      for (TenantId tid : seq) {
+        std::deque<size_t>& q = queues[tid];
+        const Tenant* t =
+            tid < tenants_.size() ? tenants_[tid].get() : nullptr;
+        const uint32_t w = t != nullptr ? t->options.weight : 1;
+        for (uint32_t k = 0; k < w && !q.empty(); ++k) {
+          order.push_back(q.front());
+          q.pop_front();
+          --remaining;
+        }
+      }
+    }
+  }
+
+  // 2. Quota -> admission -> cache, in service order. Cache hits within
+  // the wave see the state before the wave executes (identical concurrent
+  // misses are then answered by one shared traversal below).
+  std::vector<common::AdmissionTicket> tickets(n);
+  std::vector<char> execute(n, 0);
+  std::vector<CacheKey> keys(n);
+  for (size_t slot = 0; slot < order.size(); ++slot) {
+    const size_t i = order[slot];
+    Response& resp = responses[i];
+    resp.service_slot = slot;
+    Tenant* t = tenant(offered[i].tenant);
+    if (t == nullptr) {
+      resp.status = Status::InvalidArgument("serve: unknown tenant");
+      metrics.errors->Increment();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(t->mu);
+      if (!t->bucket.TryTake(now_us)) {
+        resp.status = Status::ResourceExhausted(
+            "serve: tenant '" + t->name + "' over quota");
+        resp.shed = ShedStage::kQuota;
+        metrics.quota_shed->Increment();
+        continue;
+      }
+    }
+    Status admitted = admission_.TryAdmit(t->options.priority);
+    if (!admitted.ok()) {
+      resp.status = admitted;
+      resp.shed = ShedStage::kAdmission;
+      continue;
+    }
+    tickets[i] = common::AdmissionTicket(&admission_);
+    keys[i] = CacheKey{offered[i].tenant, offered[i].request.Fingerprint()};
+    if (CacheGet(keys[i], offered[i].request.type, &resp)) {
+      tickets[i].Release();
+      metrics.ok->Increment();
+      continue;
+    }
+    execute[i] = 1;
+  }
+
+  // 3. Group the wave's executable SpatialSelects into shared-traversal
+  // batches (service order, groups of <= max_batch); joins and federated
+  // queries execute as singleton units.
+  struct Unit {
+    std::vector<size_t> members;  // wave indices
+    bool is_select_group = false;
+  };
+  std::vector<Unit> units;
+  {
+    Unit* open_select = nullptr;
+    for (size_t slot = 0; slot < order.size(); ++slot) {
+      const size_t i = order[slot];
+      if (!execute[i]) continue;
+      const Request& req = offered[i].request;
+      if (options_.enable_batching && store_ != nullptr &&
+          req.type == RequestType::kSpatialSelect) {
+        if (open_select == nullptr ||
+            open_select->members.size() >= options_.max_batch) {
+          units.push_back(Unit{{}, true});
+          open_select = &units.back();
+        }
+        open_select->members.push_back(i);
+      } else {
+        units.push_back(Unit{{i}, false});
+      }
+    }
+  }
+
+  // 4. Execute the units — independent, so in parallel across the broker
+  // pool when configured. Each unit stamps its members with its own wall
+  // time.
+  auto run_unit = [&](size_t u) {
+    const Unit& unit = units[u];
+    common::Stopwatch sw;
+    if (unit.is_select_group) {
+      std::vector<const Request*> reqs;
+      std::vector<Response*> resps;
+      reqs.reserve(unit.members.size());
+      resps.reserve(unit.members.size());
+      for (size_t i : unit.members) {
+        reqs.push_back(&offered[i].request);
+        resps.push_back(&responses[i]);
+      }
+      ExecuteSelectGroup(reqs, resps);
+    } else {
+      const size_t i = unit.members[0];
+      ExecuteSingle(*tenants_[offered[i].tenant].get(), offered[i].request,
+                    &responses[i]);
+    }
+    const double us = sw.ElapsedMicros();
+    for (size_t i : unit.members) responses[i].latency_us = us;
+  };
+  if (pool_ != nullptr && units.size() > 1) {
+    pool_->ParallelFor(units.size(), run_unit);
+  } else {
+    for (size_t u = 0; u < units.size(); ++u) run_unit(u);
+  }
+
+  // 5. Account + fill the cache in service order (deterministic LRU), and
+  // release the admission slots.
+  for (size_t slot = 0; slot < order.size(); ++slot) {
+    const size_t i = order[slot];
+    if (!execute[i]) continue;
+    Response& resp = responses[i];
+    metrics.request_latency_us->Observe(resp.latency_us);
+    if (resp.status.ok()) {
+      CachePut(keys[i], offered[i].request.type, resp);
+      metrics.ok->Increment();
+    } else {
+      metrics.errors->Increment();
+    }
+    tickets[i].Release();
+  }
+  return responses;
+}
+
+}  // namespace exearth::serve

@@ -1,0 +1,336 @@
+// Multi-tenant query serving layer (ROADMAP item 1): the system's front
+// door. A QueryBroker accepts a stream of concurrent typed requests
+// (SpatialSelect / SpatialJoin / federated BGP) from many tenants and
+// pushes each through a fixed pipeline:
+//
+//   quota -> admission -> cache -> batch -> execute -> cache fill
+//
+//   * quota      — per-tenant token bucket (rate + burst) over a caller-
+//                  supplied or injected clock; a tenant over its quota is
+//                  shed with ResourceExhausted before touching any queue.
+//   * admission  — the PR-5 AdmissionController ("admission.serve.*"): a
+//                  broker-wide bounded queue with priority water lines;
+//                  the tenant's priority class decides who sheds first
+//                  under overload.
+//   * cache      — LRU result cache keyed by (tenant, query fingerprint).
+//                  Entries record the backing store's data_epoch() at fill
+//                  time; a GeoStore ingest bumps the epoch, so stale
+//                  entries invalidate themselves at next lookup (no stale
+//                  reads, ever). Tenants never share entries.
+//   * batch      — cross-request batching: concurrent SpatialSelects
+//                  against the same frozen R-tree are grouped and answered
+//                  by ONE shared traversal (GeoStore::SpatialSelectBatch)
+//                  with per-request result demux. Under the threaded
+//                  Execute() API groups form leader/follower style inside
+//                  a small window; under the deterministic ExecuteWave()
+//                  API the whole wave is grouped at once.
+//   * execute    — runs under the tenant's deadline (ScopedRequestContext)
+//                  and a "serve.request" trace span; federated requests
+//                  route to the FederationEngine with the tenant's
+//                  priority.
+//
+// Fairness: ExecuteWave services admitted requests in weighted round-
+// robin order across tenants (weight w gets up to w consecutive slots per
+// cycle), so a tenant flooding 10x its share cannot starve another
+// tenant's queue position — the victim's k-th request is serviced within
+// (total_weight / its_weight) * k + total_weight slots regardless of how
+// much the hog offers. Response::service_slot exposes the position for
+// tests and the load generator.
+//
+// Two entry points:
+//   * Execute(tenant, request)            — thread-safe, call it from any
+//     number of client threads; selects join in-flight batch groups.
+//   * ExecuteWave(offered, now_us)        — closed-loop wave of requests
+//     at one virtual timestamp, fully deterministic (same wave + same
+//     now_us => byte-identical responses and counters); this is what the
+//     load generator and the seeded CI gate drive.
+//
+// Observable: serve.requests / serve.ok / serve.errors, serve.quota.shed,
+// admission.serve.* (from the controller), serve.cache.{hits,misses,
+// invalidated,evicted}, serve.batch.{groups,batched_requests},
+// serve.request_latency_us.
+
+#ifndef EXEARTH_SERVE_BROKER_H_
+#define EXEARTH_SERVE_BROKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/admission.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "fed/federation.h"
+#include "geo/geometry.h"
+#include "rdf/query.h"
+#include "strabon/geostore.h"
+
+namespace exearth::serve {
+
+/// What a request asks for.
+enum class RequestType {
+  kSpatialSelect = 0,
+  kSpatialJoin = 1,
+  kFederated = 2,
+};
+
+const char* RequestTypeToString(RequestType t);
+
+/// A typed serving request. Use the factories; Fingerprint() gives the
+/// cache/batch identity of the request content (tenant is keyed
+/// separately — two tenants issuing the same query never share a cache
+/// entry).
+struct Request {
+  RequestType type = RequestType::kSpatialSelect;
+  // kSpatialSelect
+  geo::Box box;
+  strabon::SpatialRelation relation = strabon::SpatialRelation::kIntersects;
+  // kSpatialJoin
+  std::string class_a, class_b;
+  // kFederated (query.filters are ignored, as in FederationEngine).
+  rdf::Query fed_query;
+
+  static Request SpatialSelect(
+      const geo::Box& box,
+      strabon::SpatialRelation rel = strabon::SpatialRelation::kIntersects);
+  static Request SpatialJoin(
+      std::string class_a, std::string class_b,
+      strabon::SpatialRelation rel = strabon::SpatialRelation::kIntersects);
+  static Request Federated(rdf::Query query);
+
+  /// Deterministic content hash (FNV-1a over a canonical encoding).
+  uint64_t Fingerprint() const;
+};
+
+/// Which pipeline stage shed a rejected request (both stages reject with
+/// ResourceExhausted; this disambiguates them for accounting).
+enum class ShedStage {
+  kNone = 0,
+  kQuota = 1,      // tenant token bucket
+  kAdmission = 2,  // broker-wide admission queue
+};
+
+/// Outcome of one request. Exactly one of ids/pairs/rows is populated on
+/// success, matching the request type.
+struct Response {
+  common::Status status;
+  ShedStage shed = ShedStage::kNone;
+  std::vector<uint64_t> ids;                         // kSpatialSelect
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;  // kSpatialJoin
+  std::vector<fed::FedBinding> rows;                 // kFederated
+
+  bool cache_hit = false;
+  /// Served by a shared-traversal batch group of this many members
+  /// (1 = executed alone).
+  uint64_t batch_size = 1;
+  /// Order-independent hash of the result content (0 on error).
+  uint64_t result_hash = 0;
+  /// Service position assigned by the weighted-fair scheduler
+  /// (ExecuteWave only; 0 under threaded Execute).
+  uint64_t service_slot = 0;
+  /// Wall-clock service time of the executing unit, microseconds.
+  double latency_us = 0.0;
+};
+
+/// Per-tenant serving contract.
+struct TenantOptions {
+  /// Token-bucket refill rate, requests per second of (virtual) time.
+  double quota_rps = 1000.0;
+  /// Bucket capacity: how far above the steady rate a burst may go.
+  double quota_burst = 100.0;
+  /// Weighted-fair share; a tenant with weight w gets up to w consecutive
+  /// service slots per round-robin cycle. Must be >= 1.
+  uint32_t weight = 1;
+  /// Admission priority class (lower classes shed first under overload).
+  common::Priority priority = common::Priority::kInteractive;
+  /// Per-request deadline; 0 = none.
+  int64_t deadline_us = 0;
+};
+
+using TenantId = uint32_t;
+
+struct BrokerOptions {
+  /// Broker-wide admission queue ("admission.serve.*" metrics).
+  common::AdmissionOptions admission{.max_depth = 1024};
+  /// Group concurrent SpatialSelects into shared traversals. Off = every
+  /// request traverses alone (the ablation baseline).
+  bool enable_batching = true;
+  /// Largest batch group.
+  size_t max_batch = 64;
+  /// How long a threaded Execute() leader waits for followers before
+  /// closing its group. 0 = close immediately (groups only form when
+  /// requests are already waiting).
+  int64_t batch_window_us = 200;
+  /// Result-cache entries across all tenants; 0 disables caching.
+  size_t cache_capacity = 4096;
+  /// Worker threads for executing independent units of one wave in
+  /// parallel (each unit may itself parallelize inside GeoStore). <= 1
+  /// executes units inline.
+  size_t num_threads = 1;
+  /// Template options for broker-routed federated queries (priority is
+  /// overridden per tenant).
+  fed::FederationOptions fed_options;
+};
+
+/// One offered request of a wave: which tenant wants what.
+struct Offered {
+  TenantId tenant = 0;
+  Request request;
+};
+
+/// The serving front door. Thread-safe after configuration: Register*
+/// and set_* calls must happen before serving starts.
+class QueryBroker {
+ public:
+  explicit QueryBroker(BrokerOptions options = {});
+  ~QueryBroker();
+
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  /// Backends (not owned; either may be null if the workload never routes
+  /// to it).
+  void set_store(const strabon::GeoStore* store) { store_ = store; }
+  void set_federation(const fed::FederationEngine* engine) { fed_ = engine; }
+
+  /// Registers a tenant; the returned id names it in Execute calls.
+  TenantId RegisterTenant(std::string name, TenantOptions options);
+  size_t num_tenants() const { return tenants_.size(); }
+  const std::string& tenant_name(TenantId id) const;
+
+  /// Clock for the threaded Execute() path's token buckets, microseconds.
+  /// Defaults to steady_clock; tests inject a virtual clock for
+  /// deterministic quota behavior.
+  void set_clock(std::function<int64_t()> now_us);
+
+  /// Serves one request on the calling thread (thread-safe). SpatialSelects
+  /// may join an in-flight batch group and be answered by its shared
+  /// traversal.
+  Response Execute(TenantId tenant, const Request& request);
+
+  /// Serves a closed wave of concurrent requests at virtual time `now_us`:
+  /// quota + admission + cache in weighted-fair service order, batch
+  /// grouping across the whole wave, unit execution (parallel across
+  /// options.num_threads), cache fill in service order. Deterministic:
+  /// responses and every serve.* counter depend only on (wave, now_us,
+  /// broker state).
+  std::vector<Response> ExecuteWave(const std::vector<Offered>& offered,
+                                    int64_t now_us);
+
+  /// Epoch the next federated cache entry will be tagged with; bump it
+  /// when federation endpoints ingest new data so cached federated
+  /// results invalidate (GeoStore-backed entries track
+  /// store->data_epoch() automatically).
+  void BumpFederatedEpoch() {
+    fed_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Entries currently cached (stale entries count until evicted).
+  size_t cache_size() const;
+
+  const BrokerOptions& options() const { return options_; }
+  common::AdmissionController* admission() { return &admission_; }
+
+ private:
+  // Deterministic token bucket over caller-supplied microsecond time.
+  struct TokenBucket {
+    double tokens;
+    double capacity;
+    double per_us;
+    int64_t last_us = -1;
+    bool TryTake(int64_t now_us);
+  };
+
+  struct Tenant {
+    std::string name;
+    TenantOptions options;
+    TokenBucket bucket;
+    std::mutex mu;  // guards bucket
+  };
+
+  struct CacheKey {
+    TenantId tenant;
+    uint64_t fingerprint;
+    bool operator==(const CacheKey& o) const {
+      return tenant == o.tenant && fingerprint == o.fingerprint;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return static_cast<size_t>(k.fingerprint ^
+                                 (static_cast<uint64_t>(k.tenant) *
+                                  0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct CacheEntry {
+    CacheKey key;
+    RequestType type;
+    uint64_t epoch;
+    std::vector<uint64_t> ids;
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    std::vector<fed::FedBinding> rows;
+    uint64_t result_hash = 0;
+  };
+
+  // In-flight leader/follower batch group for threaded Execute().
+  struct BatchGroup {
+    std::vector<const Request*> requests;
+    std::vector<Response*> responses;
+    bool closed = false;
+    bool done = false;
+  };
+
+  Tenant* tenant(TenantId id);
+  uint64_t EpochFor(RequestType type) const;
+
+  /// Cache lookup; fills `out` and returns true on a fresh hit. Counts
+  /// hits/misses/invalidations.
+  bool CacheGet(const CacheKey& key, RequestType type, Response* out);
+  void CachePut(const CacheKey& key, RequestType type, const Response& resp);
+
+  /// Runs one request against its backend (no quota/admission/cache);
+  /// fills results + hash. Installs the tenant deadline and trace span.
+  void ExecuteSingle(const Tenant& t, const Request& request, Response* out);
+
+  /// Executes a closed select batch group via one shared traversal and
+  /// demuxes into the members' responses.
+  void ExecuteSelectGroup(const std::vector<const Request*>& requests,
+                          const std::vector<Response*>& responses);
+
+  /// Threaded-path select batching: join or lead a group.
+  void ExecuteSelectBatched(const Tenant& t, const Request& request,
+                            Response* out);
+
+  BrokerOptions options_;
+  const strabon::GeoStore* store_ = nullptr;
+  const fed::FederationEngine* fed_ = nullptr;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  common::AdmissionController admission_;
+  std::function<int64_t()> now_us_;
+  std::atomic<uint64_t> fed_epoch_{0};
+
+  // LRU cache: map -> list iterators, most-recent at front.
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      cache_index_;
+
+  // Threaded-path batcher.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::shared_ptr<BatchGroup> open_group_;
+
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace exearth::serve
+
+#endif  // EXEARTH_SERVE_BROKER_H_

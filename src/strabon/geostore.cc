@@ -23,6 +23,8 @@ struct GeoStoreMetrics {
   common::Counter* queries;
   common::Counter* results;
   common::Counter* index_probes;
+  common::Counter* select_traversals;
+  common::Counter* batch_queries;
   common::Counter* envelope_hits;
   common::Counter* parallel_chunks;
   common::Counter* deadline_exceeded;
@@ -43,6 +45,8 @@ struct GeoStoreMetrics {
           reg.GetCounter("strabon.geostore.queries"),
           reg.GetCounter("strabon.geostore.results"),
           reg.GetCounter("strabon.geostore.index_probes"),
+          reg.GetCounter("strabon.geostore.select_traversals"),
+          reg.GetCounter("strabon.geostore.batch_queries"),
           reg.GetCounter("strabon.geostore.envelope_hits"),
           reg.GetCounter("strabon.geostore.parallel_chunks"),
           reg.GetCounter("strabon.geostore.deadline_exceeded"),
@@ -136,6 +140,7 @@ void GeoStore::AddFeature(const std::string& subject_iri,
   store_.Add(rdf::Term::Iri(subject_iri),
              rdf::Term::Iri(rdf::vocab::kAsWkt),
              rdf::Term::Literal(geo::ToWkt(geom), rdf::vocab::kWktLiteral));
+  ++data_epoch_;  // ingest: any cached query result may now be stale
 }
 
 Result<size_t> GeoStore::Build() {
@@ -180,6 +185,7 @@ Result<size_t> GeoStore::Build() {
     rtree_ = geo::RTree::BulkLoad({});
   }
   spatial_built_ = true;
+  ++data_epoch_;
   return geom_subjects_.size();
 }
 
@@ -311,6 +317,7 @@ Result<std::vector<uint64_t>> GeoStore::SpatialSelect(
     common::TraceSpan probe_span("index_probe");
     common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
     metrics.index_probes->Increment();
+    metrics.select_traversals->Increment();
     geo::RTree::TraversalStats tstats;
     rtree_.VisitWith(
         query,
@@ -433,6 +440,140 @@ Result<std::vector<uint64_t>> GeoStore::SpatialSelect(
     }
   }
   if (!abort_status.ok()) return abort_status;
+  return out;
+}
+
+Result<std::vector<std::vector<uint64_t>>> GeoStore::SpatialSelectBatch(
+    const std::vector<BatchSelectQuery>& queries,
+    SpatialQueryStats* stats_out) const {
+  EEA_CHECK(spatial_built_) << "SpatialSelectBatch before Build()";
+  const GeoStoreMetrics& metrics = GeoStoreMetrics::Get();
+  common::TraceRequest req("strabon.SpatialSelectBatch");
+  common::ScopedLatencyTimer query_timer(metrics.query_latency_us);
+  metrics.queries->Increment();
+  metrics.batch_queries->Increment(queries.size());
+  SpatialQueryStats stats;
+  std::vector<std::vector<uint64_t>> out(queries.size());
+  if (queries.empty()) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return out;
+  }
+  const common::RequestContext rctx = common::CurrentRequestContext();
+  EEA_RETURN_NOT_OK(rctx.Check("strabon.SpatialSelectBatch"));
+
+  // Deduplicate identical (box, relation) members: N identical concurrent
+  // selections refine once and fan the result out. Batches are broker-
+  // sized (tens to a few hundred members), so the linear scan is cheap.
+  auto same = [](const BatchSelectQuery& a, const BatchSelectQuery& b) {
+    return a.relation == b.relation && a.box.min_x == b.box.min_x &&
+           a.box.min_y == b.box.min_y && a.box.max_x == b.box.max_x &&
+           a.box.max_y == b.box.max_y;
+  };
+  std::vector<BatchSelectQuery> unique;
+  std::vector<size_t> unique_of(queries.size());
+  unique.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    size_t u = unique.size();
+    for (size_t j = 0; j < unique.size(); ++j) {
+      if (same(unique[j], queries[i])) {
+        u = j;
+        break;
+      }
+    }
+    if (u == unique.size()) unique.push_back(queries[i]);
+    unique_of[i] = u;
+  }
+
+  // ONE shared traversal over the union of the query boxes, demuxing each
+  // touched entry to the members whose own box it intersects. Candidates
+  // per unique query are exactly the entries that query's own traversal
+  // would have collected (entry.box intersects query.box); only the order
+  // differs, which the final sort erases.
+  geo::Box ubox = unique[0].box;
+  for (size_t j = 1; j < unique.size(); ++j) {
+    ubox.min_x = std::min(ubox.min_x, unique[j].box.min_x);
+    ubox.min_y = std::min(ubox.min_y, unique[j].box.min_y);
+    ubox.max_x = std::max(ubox.max_x, unique[j].box.max_x);
+    ubox.max_y = std::max(ubox.max_y, unique[j].box.max_y);
+  }
+  std::vector<std::vector<uint32_t>> cand(unique.size());
+  {
+    common::TraceSpan probe_span("batch_index_probe");
+    common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
+    metrics.index_probes->Increment();
+    metrics.select_traversals->Increment();
+    geo::RTree::TraversalStats tstats;
+    rtree_.VisitWith(
+        ubox,
+        [&](const geo::RTree::Entry& e) {
+          for (size_t j = 0; j < unique.size(); ++j) {
+            if (e.box.Intersects(unique[j].box)) {
+              cand[j].push_back(static_cast<uint32_t>(e.id));
+            }
+          }
+          return true;
+        },
+        &tstats);
+    stats.nodes_visited = tstats.nodes_visited;
+  }
+
+  // Per-unique-query refinement (chunked across the pool exactly like the
+  // single-query path); results land in every member slot that mapped to
+  // the unique query. A fired deadline/cancel aborts the whole batch.
+  std::vector<std::vector<uint64_t>> unique_out(unique.size());
+  const bool guarded = !rctx.unconstrained();
+  for (size_t j = 0; j < unique.size(); ++j) {
+    const std::vector<uint32_t>& cs = cand[j];
+    stats.candidates += cs.size();
+    const size_t max_chunks = std::max<size_t>(1, num_threads_);
+    std::vector<std::vector<uint64_t>> chunk_out(max_chunks);
+    std::vector<SpatialQueryStats> chunk_stats(max_chunks);
+    QueryAbort abort;
+    const size_t used =
+        RunChunked(cs.size(), [&](size_t c, size_t begin, size_t end) {
+          std::vector<uint64_t>& local = chunk_out[c];
+          SpatialQueryStats& lstats = chunk_stats[c];
+          for (size_t i = begin; i < end; ++i) {
+            if (guarded) {
+              if (abort.triggered()) {
+                lstats.chunks_cancelled = 1;
+                break;
+              }
+              if (((i - begin) % kPollStride) == 0) {
+                Status s = rctx.Check("strabon.SpatialSelectBatch");
+                if (!s.ok()) {
+                  abort.Trigger(s.code());
+                  lstats.chunks_cancelled = 1;
+                  break;
+                }
+              }
+            }
+            const size_t idx = cs[i];
+            if (EvalRelationAt(idx, unique[j].box, unique[j].relation,
+                               &lstats)) {
+              local.push_back(geom_subjects_[idx]);
+            }
+          }
+        });
+    stats.threads_used = std::max<uint64_t>(stats.threads_used, used);
+    std::vector<uint64_t>& merged = unique_out[j];
+    for (size_t c = 0; c < used; ++c) {
+      MergeStats(chunk_stats[c], &stats);
+      merged.insert(merged.end(), chunk_out[c].begin(), chunk_out[c].end());
+    }
+    if (abort.triggered()) {
+      Status abort_status = abort.ToStatus("strabon.SpatialSelectBatch");
+      CountAbort(metrics, abort_status, stats.chunks_cancelled);
+      if (stats_out != nullptr) *stats_out = stats;
+      return abort_status;
+    }
+    std::sort(merged.begin(), merged.end());
+    stats.results += merged.size();
+  }
+  for (size_t i = 0; i < queries.size(); ++i) out[i] = unique_out[unique_of[i]];
+  metrics.results->Increment(stats.results);
+  metrics.envelope_hits->Increment(stats.envelope_hits);
+  if (stats_out != nullptr) *stats_out = stats;
   return out;
 }
 

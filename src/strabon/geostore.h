@@ -81,6 +81,15 @@ struct SpatialQueryStats {
   uint64_t chunks_cancelled = 0;
 };
 
+/// One member of a cross-request SpatialSelect batch (see
+/// SpatialSelectBatch): a query box plus its relation. Batches are how the
+/// serving layer (serve::QueryBroker) turns N concurrent selections
+/// against the same frozen R-tree into one shared traversal.
+struct BatchSelectQuery {
+  geo::Box box;
+  SpatialRelation relation = SpatialRelation::kIntersects;
+};
+
 /// A TripleStore with a spatial index over its geometry literals.
 class GeoStore {
  public:
@@ -133,6 +142,30 @@ class GeoStore {
       SpatialQueryStats* stats = nullptr,
       common::QueryProfile* profile = nullptr) const;
 
+  /// Cross-request batched spatial selection: answers all `queries` with
+  /// ONE shared R-tree traversal (over the union of the query boxes, with
+  /// per-query candidate demux) instead of one traversal per query.
+  /// Duplicate (box, relation) pairs are deduplicated, so N identical
+  /// concurrent selections cost a single traversal + refinement. Result
+  /// slot i is byte-identical to SpatialSelect(queries[i], use_index=true)
+  /// — candidate *order* may differ under the shared traversal, but
+  /// refinement is a pure per-candidate predicate and results are sorted.
+  /// The aggregate work across the whole batch is written to `stats`;
+  /// strabon.geostore.select_traversals counts 1 here vs 1 per query on
+  /// the unbatched path (the serving layer's batching win in metrics).
+  /// Honors the ambient RequestContext at batch granularity: a deadline /
+  /// cancellation aborts the whole batch (per-member deadlines are the
+  /// caller's concern — the broker checks them at demux).
+  common::Result<std::vector<std::vector<uint64_t>>> SpatialSelectBatch(
+      const std::vector<BatchSelectQuery>& queries,
+      SpatialQueryStats* stats = nullptr) const;
+
+  /// Monotone data-version counter, bumped by every geometry ingest
+  /// (AddFeature) and every (re)Build. Result caches key their entries on
+  /// this epoch: an entry whose epoch no longer matches is stale and must
+  /// be invalidated (see serve::QueryBroker).
+  uint64_t data_epoch() const { return data_epoch_; }
+
   /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
   /// subject geometry intersects `query_box` — with the spatial constraint
   /// pushed into the R-tree when `use_index` (the rewriter of DESIGN.md §6).
@@ -182,6 +215,7 @@ class GeoStore {
   std::vector<geo::Geometry> geoms_;
   std::vector<geo::Box> envelopes_;
   bool spatial_built_ = false;
+  uint64_t data_epoch_ = 0;
   size_t num_threads_ = 1;
   uint64_t memory_budget_bytes_ = 0;  // 0 = unlimited
   std::unique_ptr<common::ThreadPool> pool_;
