@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench_flags.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "link/spatial_links.h"
 #include "link/temporal_links.h"
@@ -100,7 +101,38 @@ void BM_TemporalLinkDiscovery(benchmark::State& state) {
   state.counters["exact_tests"] = static_cast<double>(tests);
 }
 
+// Deterministic result fingerprint for the cross-variant SIMD gate:
+// indexed link discovery across all three relations over the cached 500
+// polygon sets, link pairs hashed in sorted order and exported as gauge
+// bench.e10.result_hash (exercises the link-side batched envelope
+// screen; see bench_e1 for the scheme).
+void BM_SpatialLinkResultHash(benchmark::State& state) {
+  auto& a = CachedPolygons(500, 31);
+  auto& b = CachedPolygons(500, 37);
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    hash = 0xcbf29ce484222325ULL;
+    for (int r = 0; r < 3; ++r) {
+      eea::link::SpatialLinkOptions opt;
+      opt.relation = static_cast<eea::link::SpatialLinkRelation>(r);
+      opt.distance = 50.0;
+      opt.use_index = true;
+      auto result = eea::link::DiscoverSpatialLinks(a, b, opt);
+      for (const auto& [i, j] : result.links) {
+        hash ^= (static_cast<uint64_t>(i) << 32) | j;
+        hash *= 0x100000001b3ULL;
+      }
+    }
+    benchmark::DoNotOptimize(hash);
+  }
+  eea::common::MetricsRegistry::Default()
+      .GetGauge("bench.e10.result_hash")
+      ->Set(static_cast<double>(hash & 0xffffffffULL));
+}
+
 }  // namespace
+
+BENCHMARK(BM_SpatialLinkResultHash)->Iterations(1);
 
 BENCHMARK(BM_SpatialLinkDiscovery)
     ->ArgNames({"n", "indexed", "distance", "threads"})

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "bench_flags.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "strabon/workload.h"
 
@@ -75,7 +76,41 @@ void BM_SpatialSelection(benchmark::State& state) {
       static_cast<double>(tests) / static_cast<double>(queries);
 }
 
+// Deterministic result fingerprint for the cross-variant SIMD gate: a
+// FIXED set of 32 seeded selections (cycling the three relations) over
+// the 100k point store, hashed in sorted-result order and exported as
+// gauge bench.e1.result_hash. CI runs this under --simd=scalar and
+// --simd=avx2 and asserts the gauges are identical — the "byte-identical
+// kernels" claim, checked on every push. One fixed iteration, so the
+// hash never depends on benchmark timing.
+void BM_SpatialSelectionResultHash(benchmark::State& state) {
+  GeoStore& store = CachedPointStore(100000);
+  store.set_num_threads(1);
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    hash = 0xcbf29ce484222325ULL;
+    Rng rng(1234);
+    for (int q = 0; q < 32; ++q) {
+      auto box = RandomSelectionBox(100000.0, 0.005, &rng);
+      const auto relation = static_cast<SpatialRelation>(q % 3);
+      auto hits = *store.SpatialSelect(box, relation, /*use_index=*/true);
+      for (uint64_t id : hits) {
+        hash ^= id;
+        hash *= 0x100000001b3ULL;
+      }
+    }
+    benchmark::DoNotOptimize(hash);
+  }
+  // Mask to 32 bits: gauges are doubles, and 52 mantissa bits would
+  // silently round a full 64-bit hash.
+  exearth::common::MetricsRegistry::Default()
+      .GetGauge("bench.e1.result_hash")
+      ->Set(static_cast<double>(hash & 0xffffffffULL));
+}
+
 }  // namespace
+
+BENCHMARK(BM_SpatialSelectionResultHash)->Iterations(1);
 
 BENCHMARK(BM_SpatialSelection)
     ->ArgNames({"features", "indexed", "threads"})

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "bench_flags.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "strabon/workload.h"
 
@@ -71,7 +72,36 @@ void BM_MultiPolygonSelection(benchmark::State& state) {
       static_cast<double>(results) / static_cast<double>(queries);
 }
 
+// Deterministic result fingerprint for the cross-variant SIMD gate over
+// the complex-geometry store (128-vertex multipolygons exercise the
+// point-in-ring and refinement kernels, not just envelope screens).
+// Exported as gauge bench.e2.result_hash; see bench_e1 for the scheme.
+void BM_MultiPolygonResultHash(benchmark::State& state) {
+  GeoStore& store = CachedMultiPolygonStore(128);
+  store.set_num_threads(1);
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    hash = 0xcbf29ce484222325ULL;
+    Rng rng(4321);
+    for (int q = 0; q < 32; ++q) {
+      auto box = RandomSelectionBox(100000.0, 0.005, &rng);
+      const auto relation = static_cast<SpatialRelation>(q % 3);
+      auto hits = *store.SpatialSelect(box, relation, /*use_index=*/true);
+      for (uint64_t id : hits) {
+        hash ^= id;
+        hash *= 0x100000001b3ULL;
+      }
+    }
+    benchmark::DoNotOptimize(hash);
+  }
+  exearth::common::MetricsRegistry::Default()
+      .GetGauge("bench.e2.result_hash")
+      ->Set(static_cast<double>(hash & 0xffffffffULL));
+}
+
 }  // namespace
+
+BENCHMARK(BM_MultiPolygonResultHash)->Iterations(1);
 
 BENCHMARK(BM_MultiPolygonSelection)
     ->ArgNames({"vertices", "indexed", "threads"})

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/fault.h"
+#include "geo/simd.h"
 
 namespace exearth::bench {
 
@@ -89,7 +90,9 @@ std::string BenchUsage(const char* argv0) {
          "  --deadline_us=N           per-query deadline for rows that "
          "honor it (N >= 1; 0 = off)\n"
          "  --seed=N                  master seed for seeded workload "
-         "rows (default 42)\n";
+         "rows (default 42)\n"
+         "  --simd=scalar|avx2        pin the geo batch-kernel variant "
+         "(default: CPU dispatch)\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -180,6 +183,24 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
         return false;
       }
       flags->seed = static_cast<uint64_t>(n);
+    } else if (FlagValue(arg, "simd", &value)) {
+      geo::simd::KernelVariant variant;
+      if (value == "scalar") {
+        variant = geo::simd::KernelVariant::kScalar;
+      } else if (value == "avx2") {
+        variant = geo::simd::KernelVariant::kAvx2;
+      } else {
+        *error = "--simd=" + value + ": want scalar or avx2";
+        return false;
+      }
+      if (!geo::simd::VariantAvailable(variant)) {
+        *error = "--simd=" + value +
+                 ": variant not available in this build/CPU (build with "
+                 "-DEXEARTH_SIMD=native or avx2 on x86-64)";
+        return false;
+      }
+      geo::simd::SetVariant(variant);
+      flags->simd = value;
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.

@@ -44,6 +44,14 @@
 //                               stream. Default 42. Recorded in the
 //                               metrics JSON config so determinism gates
 //                               can diff it
+//   --simd=scalar|avx2          pin the geo::simd kernel variant for the
+//                               run (default: runtime CPU dispatch; see
+//                               README "Performance"). --simd=avx2 fails
+//                               if the binary/CPU lacks the AVX2 kernels.
+//                               The variant actually active is recorded
+//                               in the metrics JSON config ("simd"), so
+//                               cross-variant gates can assert both what
+//                               ran and that results match
 //
 // Unknown --flags (other than --benchmark_*) are rejected with a usage
 // message so typos fail loudly instead of silently running a default
@@ -70,6 +78,7 @@ struct BenchFlags {
   uint64_t fault_seed = 1;  // injector seed when fault_spec is given
   uint64_t deadline_us = 0;  // 0 = no per-query deadline
   uint64_t seed = 42;        // master seed for seeded workload rows
+  std::string simd;          // "" = runtime dispatch, else scalar|avx2
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every

@@ -21,6 +21,7 @@
 #include "common/metrics.h"
 #include "common/query_profile.h"
 #include "common/trace.h"
+#include "geo/simd.h"
 
 namespace {
 
@@ -99,8 +100,9 @@ int main(int argc, char** argv) {
       ", \"fault_spec\": \"" + JsonEscape(flags.fault_spec) +
       "\", \"fault_seed\": " + std::to_string(flags.fault_seed) +
       ", \"deadline_us\": " + std::to_string(flags.deadline_us) +
-      ", \"seed\": " + std::to_string(flags.seed) +
-      "},\n\"metrics\": " +
+      ", \"seed\": " + std::to_string(flags.seed) + ", \"simd\": \"" +
+      exearth::geo::simd::ActiveVariantName() +
+      "\"},\n\"metrics\": " +
       exearth::common::MetricsRegistry::Default().ToJson() +
       ",\n\"trace\": " + exearth::common::Tracer::Default().ToJson() +
       ",\n\"slow_queries\": " +

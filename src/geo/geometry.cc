@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geo/simd.h"
+
 namespace exearth::geo {
 
 namespace {
@@ -30,11 +32,8 @@ void ForEachEdge(const Ring& r, Fn&& fn) {
 
 // Min distance from p to the boundary of ring r.
 double PointRingBoundaryDistance(const Point& p, const Ring& r) {
-  double best = std::numeric_limits<double>::max();
-  ForEachEdge(r, [&](const Point& a, const Point& b) {
-    best = std::min(best, PointSegmentDistance(p, a, b));
-  });
-  return best;
+  return simd::BatchPointEdgesDistance(p, r.points.data(), r.points.size(),
+                                       /*closed=*/true);
 }
 
 // Distance from point p to polygon (0 if inside).
@@ -142,12 +141,8 @@ double LineStringDistance(const LineString& a, const LineString& b) {
 }
 
 double PointLineStringDistance(const Point& p, const LineString& ls) {
-  double best = std::numeric_limits<double>::max();
-  for (size_t i = 0; i + 1 < ls.points.size(); ++i) {
-    best = std::min(best, PointSegmentDistance(p, ls.points[i],
-                                               ls.points[i + 1]));
-  }
-  return best;
+  return simd::BatchPointEdgesDistance(p, ls.points.data(), ls.points.size(),
+                                       /*closed=*/false);
 }
 
 double LineStringPolygonDistance(const LineString& ls, const Polygon& poly) {
@@ -257,20 +252,10 @@ Box Ring::Envelope() const {
 }
 
 bool Ring::Contains(const Point& p) const {
-  const size_t n = points.size();
-  if (n < 3) return false;
-  bool inside = false;
-  for (size_t i = 0, j = n - 1; i < n; j = i++) {
-    const Point& a = points[i];
-    const Point& b = points[j];
-    // Boundary check: point exactly on edge counts as inside.
-    if (Sign(Cross(a, b, p)) == 0 && OnSegment(a, b, p)) return true;
-    if ((a.y > p.y) != (b.y > p.y)) {
-      double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
-      if (p.x < x_int) inside = !inside;
-    }
-  }
-  return inside;
+  // Dispatches to the active geo::simd kernel (scalar or AVX2); both
+  // evaluate the classic even-odd crossing loop with boundary-inclusive
+  // edges, bit-identically.
+  return simd::BatchPointInRing(points.data(), points.size(), p);
 }
 
 // --- Polygon -----------------------------------------------------------

@@ -27,6 +27,48 @@ struct Point {
   }
 };
 
+// --- Envelope predicate scalar core -----------------------------------------
+//
+// The single source of truth for envelope predicate semantics: touching
+// edges count (all comparisons are inclusive), an "empty" box (min > max)
+// relates to nothing, and any NaN coordinate fails every comparison.
+// Box::Contains/Intersects below and BOTH variants of the geo::simd batch
+// kernels (the scalar loop and the AVX2 lane predicates, which mirror
+// these comparisons with ordered non-signaling compares) evaluate exactly
+// this code — change it here and every path changes together.
+namespace envelope {
+
+inline bool Empty(double min_x, double min_y, double max_x, double max_y) {
+  return min_x > max_x || min_y > max_y;
+}
+
+/// Boxes a and b share at least a touching edge/corner.
+inline bool Intersects(double a_min_x, double a_min_y, double a_max_x,
+                       double a_max_y, double b_min_x, double b_min_y,
+                       double b_max_x, double b_max_y) {
+  return !Empty(a_min_x, a_min_y, a_max_x, a_max_y) &&
+         !Empty(b_min_x, b_min_y, b_max_x, b_max_y) && b_min_x <= a_max_x &&
+         b_max_x >= a_min_x && b_min_y <= a_max_y && b_max_y >= a_min_y;
+}
+
+/// Box a contains box b entirely (boundary inclusive).
+inline bool Contains(double a_min_x, double a_min_y, double a_max_x,
+                     double a_max_y, double b_min_x, double b_min_y,
+                     double b_max_x, double b_max_y) {
+  return !Empty(a_min_x, a_min_y, a_max_x, a_max_y) &&
+         !Empty(b_min_x, b_min_y, b_max_x, b_max_y) && b_min_x >= a_min_x &&
+         b_max_x <= a_max_x && b_min_y >= a_min_y && b_max_y <= a_max_y;
+}
+
+/// Point (px, py) lies in the box (boundary inclusive; no empty() check —
+/// matches the historical Box::Contains(Point) semantics).
+inline bool ContainsPoint(double min_x, double min_y, double max_x,
+                          double max_y, double px, double py) {
+  return px >= min_x && px <= max_x && py >= min_y && py <= max_y;
+}
+
+}  // namespace envelope
+
 /// Axis-aligned bounding box. An "empty" box has min > max.
 struct Box {
   double min_x = std::numeric_limits<double>::max();
@@ -38,7 +80,7 @@ struct Box {
     return Box{min_x, min_y, max_x, max_y};
   }
 
-  bool empty() const { return min_x > max_x || min_y > max_y; }
+  bool empty() const { return envelope::Empty(min_x, min_y, max_x, max_y); }
 
   double width() const { return empty() ? 0.0 : max_x - min_x; }
   double height() const { return empty() ? 0.0 : max_y - min_y; }
@@ -49,17 +91,15 @@ struct Box {
   }
 
   bool Contains(const Point& p) const {
-    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+    return envelope::ContainsPoint(min_x, min_y, max_x, max_y, p.x, p.y);
   }
   bool Contains(const Box& other) const {
-    return !empty() && !other.empty() && other.min_x >= min_x &&
-           other.max_x <= max_x && other.min_y >= min_y &&
-           other.max_y <= max_y;
+    return envelope::Contains(min_x, min_y, max_x, max_y, other.min_x,
+                              other.min_y, other.max_x, other.max_y);
   }
   bool Intersects(const Box& other) const {
-    return !empty() && !other.empty() && other.min_x <= max_x &&
-           other.max_x >= min_x && other.min_y <= max_y &&
-           other.max_y >= min_y;
+    return envelope::Intersects(min_x, min_y, max_x, max_y, other.min_x,
+                                other.min_y, other.max_x, other.max_y);
   }
 
   /// Expands (in place) to cover `p` / `other`; returns *this.

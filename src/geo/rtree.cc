@@ -162,6 +162,8 @@ void RTree::Insert(const Box& box, int64_t id) {
   frozen_ = false;
   flat_nodes_.clear();
   flat_entries_.clear();
+  node_env_.Clear();
+  entry_env_.Clear();
   std::unique_ptr<Node> sibling = InsertInto(root_.get(), box, id);
   if (sibling != nullptr) {
     auto new_root = std::make_unique<Node>();
@@ -253,6 +255,8 @@ void RTree::Freeze() {
   if (frozen_) return;
   flat_nodes_.clear();
   flat_entries_.clear();
+  node_env_.Clear();
+  entry_env_.Clear();
   if (size_ > 0) {
     // Breadth-first layout: when a node is processed its children are
     // appended consecutively, so one (first, count) pair addresses them
@@ -260,6 +264,7 @@ void RTree::Freeze() {
     std::vector<const Node*> bfs = {root_.get()};
     flat_nodes_.reserve(size_ / kMinEntries + 2);
     flat_entries_.reserve(size_);
+    entry_env_.Reserve(size_);
     for (size_t i = 0; i < bfs.size(); ++i) {
       const Node* n = bfs[i];
       FlatNode fn;
@@ -270,12 +275,14 @@ void RTree::Freeze() {
         fn.count = static_cast<uint16_t>(n->entries.size());
         flat_entries_.insert(flat_entries_.end(), n->entries.begin(),
                              n->entries.end());
+        for (const Entry& e : n->entries) entry_env_.PushBack(e.box);
       } else {
         fn.first = static_cast<uint32_t>(bfs.size());
         fn.count = static_cast<uint16_t>(n->children.size());
         for (const auto& c : n->children) bfs.push_back(c.get());
       }
       flat_nodes_.push_back(fn);
+      node_env_.PushBack(fn.box);
     }
   }
   frozen_ = true;

@@ -19,6 +19,8 @@
 #ifndef EXEARTH_GEO_RTREE_H_
 #define EXEARTH_GEO_RTREE_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "geo/geometry.h"
+#include "geo/simd.h"
 
 namespace exearth::geo {
 
@@ -106,6 +109,14 @@ class RTree {
       return;
     }
     if (flat_nodes_.empty()) return;
+    // Batched child pruning: a node's children (and a leaf's entries) are
+    // contiguous in the arena, so their envelopes form a contiguous SoA
+    // slice and one geo::simd kernel call tests all <= kMaxEntries of them,
+    // returning a bitmask. Set bits are consumed ascending, which pushes
+    // children — and invokes the visitor — in exactly the order of the
+    // unbatched per-box loop, so traversal order, early-exit points, and
+    // nodes_visited counts stay identical across kernel variants.
+    const simd::KernelTable& kern = simd::Kernels();
     // Depth is bounded by log_kMinEntries(size); 32 levels of kMaxEntries
     // children each covers any tree that fits in memory.
     uint32_t stack[32 * kMaxEntries];
@@ -118,23 +129,80 @@ class RTree {
       if (!node.box.Intersects(query)) continue;
       if (node.leaf != 0) {
         const Entry* entries = flat_entries_.data() + node.first;
-        for (uint16_t i = 0; i < node.count; ++i) {
-          if (entries[i].box.Intersects(query)) {
-            if (!visitor(entries[i])) {
-              if (stats != nullptr) stats->nodes_visited += visited;
-              return;
-            }
+        uint64_t mask = kern.envelope_intersects(
+            query, entry_env_.Slice(node.first, node.count));
+        while (mask != 0) {
+          const int i = std::countr_zero(mask);
+          mask &= mask - 1;
+          if (!visitor(entries[i])) {
+            if (stats != nullptr) stats->nodes_visited += visited;
+            return;
           }
         }
       } else {
-        const uint32_t end = node.first + node.count;
-        for (uint32_t c = node.first; c < end; ++c) {
-          if (flat_nodes_[c].box.Intersects(query)) stack[top++] = c;
+        uint64_t mask = kern.envelope_intersects(
+            query, node_env_.Slice(node.first, node.count));
+        while (mask != 0) {
+          const int c = std::countr_zero(mask);
+          mask &= mask - 1;
+          stack[top++] = node.first + static_cast<uint32_t>(c);
         }
       }
     }
     if (stats != nullptr) stats->nodes_visited += visited;
   }
+
+  /// Leaf-granular variant of VisitWith for batch consumers: the visitor
+  /// is called once per intersecting *leaf* with that leaf's contiguous
+  /// entry range and the bitmask of entries whose envelope intersects
+  /// `query` (bit i addresses entries[i]; bits at or above `count` are
+  /// zero; leaves with an all-zero mask are skipped). Because a leaf's
+  /// entries occupy the contiguous [first, first+count) slice of
+  /// entry_envelopes(), the caller can evaluate further batched envelope
+  /// predicates on the same slice with zero gathering — this is the hook
+  /// the GeoStore/link probes use to settle their envelope fast paths
+  /// while the slice is still in cache. Consuming set bits ascending
+  /// reproduces VisitWith's per-entry order exactly. Return false from
+  /// the visitor to stop the traversal. Frozen trees only (BulkLoad
+  /// freezes; call Freeze() after Insert).
+  template <typename LeafVisitor>
+  void VisitLeavesWith(const Box& query, LeafVisitor&& visitor,
+                       TraversalStats* stats = nullptr) const {
+    assert(frozen_ && "VisitLeavesWith requires a frozen tree");
+    if (flat_nodes_.empty()) return;
+    const simd::KernelTable& kern = simd::Kernels();
+    uint32_t stack[32 * kMaxEntries];
+    size_t top = 0;
+    stack[top++] = 0;
+    size_t visited = 0;
+    while (top > 0) {
+      const FlatNode& node = flat_nodes_[stack[--top]];
+      ++visited;
+      if (!node.box.Intersects(query)) continue;
+      if (node.leaf != 0) {
+        const uint64_t mask = kern.envelope_intersects(
+            query, entry_env_.Slice(node.first, node.count));
+        if (mask != 0 && !visitor(flat_entries_.data() + node.first,
+                                  node.first, node.count, mask)) {
+          if (stats != nullptr) stats->nodes_visited += visited;
+          return;
+        }
+      } else {
+        uint64_t mask = kern.envelope_intersects(
+            query, node_env_.Slice(node.first, node.count));
+        while (mask != 0) {
+          const int c = std::countr_zero(mask);
+          mask &= mask - 1;
+          stack[top++] = node.first + static_cast<uint32_t>(c);
+        }
+      }
+    }
+    if (stats != nullptr) stats->nodes_visited += visited;
+  }
+
+  /// SoA envelope columns of the frozen leaf entries; the `first`/`count`
+  /// pair of a VisitLeavesWith callback addresses a contiguous slice.
+  const simd::EnvelopeColumns& entry_envelopes() const { return entry_env_; }
 
   /// The `k` entries nearest to `p` by box distance, closest first.
   std::vector<Entry> Nearest(const Point& p, size_t k) const;
@@ -154,6 +222,11 @@ class RTree {
   bool frozen_ = false;
   std::vector<FlatNode> flat_nodes_;   // breadth-first; children contiguous
   std::vector<Entry> flat_entries_;    // leaf entries, leaf-by-leaf
+  // SoA mirrors of the flat_nodes_ / flat_entries_ envelopes, built by
+  // Freeze() for the batched kernels (a node's (first, count) range is a
+  // contiguous slice of these columns).
+  simd::EnvelopeColumns node_env_;
+  simd::EnvelopeColumns entry_env_;
   mutable size_t last_nodes_visited_ = 0;
 };
 

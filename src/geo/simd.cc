@@ -1,0 +1,154 @@
+#include "geo/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "geo/simd_internal.h"
+
+namespace exearth::geo::simd {
+
+namespace {
+
+// --- Portable scalar kernels ------------------------------------------------
+//
+// Each is a straight loop over the envelope::* / detail::* scalar cores; the
+// AVX2 kernels must produce bit-identical masks and doubles.
+
+uint64_t EnvelopeIntersectsScalar(const Box& query, const EnvelopeSpan& env) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < env.size; ++i) {
+    if (envelope::Intersects(query.min_x, query.min_y, query.max_x,
+                             query.max_y, env.min_x[i], env.min_y[i],
+                             env.max_x[i], env.max_y[i])) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+uint64_t QueryContainsEnvelopeScalar(const Box& query,
+                                     const EnvelopeSpan& env) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < env.size; ++i) {
+    if (envelope::Contains(query.min_x, query.min_y, query.max_x, query.max_y,
+                           env.min_x[i], env.min_y[i], env.max_x[i],
+                           env.max_y[i])) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+uint64_t EnvelopeContainsQueryScalar(const Box& query,
+                                     const EnvelopeSpan& env) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < env.size; ++i) {
+    if (envelope::Contains(env.min_x[i], env.min_y[i], env.max_x[i],
+                           env.max_y[i], query.min_x, query.min_y, query.max_x,
+                           query.max_y)) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+bool PointInRingScalar(const Point* pts, size_t n, const Point& p) {
+  if (n < 3) return false;
+  bool inside = false;
+  if (detail::PointInRingEdges(pts, n, 0, n, p, inside)) return true;
+  return inside;
+}
+
+double PointEdgesDistanceScalar(const Point& p, const Point* pts, size_t n,
+                                bool closed) {
+  double best = std::numeric_limits<double>::max();
+  if (n >= 2) best = detail::PointEdgesDistanceFold(p, pts, 0, n - 1, best);
+  if (closed && n > 0) {
+    best = std::min(best, PointSegmentDistance(p, pts[n - 1], pts[0]));
+  }
+  return best;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",
+    &EnvelopeIntersectsScalar,
+    &QueryContainsEnvelopeScalar,
+    &EnvelopeContainsQueryScalar,
+    &PointInRingScalar,
+    &PointEdgesDistanceScalar,
+};
+
+// --- Dispatch ---------------------------------------------------------------
+
+bool Avx2Usable() {
+#if defined(EXEARTH_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// The best table this build + CPU combination supports, honoring an
+// EXEARTH_SIMD environment override ("scalar" pins the portable kernels;
+// "avx2" is best-effort — ignored when the build or CPU lacks it).
+const KernelTable* ResolveDefault() {
+  const char* env = std::getenv("EXEARTH_SIMD");
+  const std::string_view want = env ? std::string_view(env) : "";
+  if (want == "scalar" || want == "off" || want == "OFF") {
+    return &kScalarTable;
+  }
+#if defined(EXEARTH_HAVE_AVX2)
+  if (Avx2Usable()) return &detail::Avx2Table();
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const KernelTable& Kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    // Benign race: ResolveDefault() is deterministic, so concurrent first
+    // callers store the same pointer.
+    t = ResolveDefault();
+    g_active.store(t, std::memory_order_relaxed);
+  }
+  return *t;
+}
+
+bool VariantAvailable(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kScalar:
+      return true;
+    case KernelVariant::kAvx2:
+      return Avx2Usable();
+  }
+  return false;
+}
+
+const KernelTable& TableFor(KernelVariant v) {
+#if defined(EXEARTH_HAVE_AVX2)
+  if (v == KernelVariant::kAvx2 && Avx2Usable()) return detail::Avx2Table();
+#else
+  (void)v;
+#endif
+  return kScalarTable;
+}
+
+bool SetVariant(KernelVariant v) {
+  if (!VariantAvailable(v)) return false;
+  g_active.store(&TableFor(v), std::memory_order_relaxed);
+  return true;
+}
+
+KernelVariant ActiveVariant() {
+  return &Kernels() == &kScalarTable ? KernelVariant::kScalar
+                                     : KernelVariant::kAvx2;
+}
+
+const char* ActiveVariantName() { return Kernels().name; }
+
+}  // namespace exearth::geo::simd

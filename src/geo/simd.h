@@ -1,0 +1,185 @@
+// Batch geometry kernels over struct-of-arrays envelope data, with
+// runtime CPU dispatch.
+//
+// The Strabon query path (R-tree traversal, SpatialSelect refinement,
+// SpatialJoin probing, link discovery) spends its time answering the same
+// tiny predicates — "does this envelope intersect the query box?",
+// "is this point inside this ring?" — millions of times, one at a time.
+// This header restructures those hot predicates into batch kernels that
+// evaluate 4–64 candidates per call over parallel coordinate arrays
+// (min_x[]/min_y[]/max_x[]/max_y[]) and return a bitmask:
+//
+//   BatchIntersects       bit i = envelope i intersects the query box
+//   BatchContains         bit i = the query box contains envelope i
+//                                 (the SpatialSelect envelope fast path)
+//   BatchContainsQuery    bit i = envelope i contains the query box
+//                                 (the kContains / kWithin pre-filter)
+//   BatchPointInRing      even-odd point-in-polygon over all ring edges
+//   BatchPointEdgesDistance  min point-to-segment distance over all edges
+//
+// Every kernel has two implementations selected through one function-
+// pointer table (KernelTable): a portable scalar loop, and an AVX2 path
+// compiled into geo/simd_avx2.cc with -mavx2 when the build enables it
+// (EXEARTH_SIMD=native|avx2; see the top-level CMakeLists). Dispatch is
+// resolved once at startup — AVX2 is used only when both the build and
+// the running CPU support it — and can be overridden with the
+// EXEARTH_SIMD environment variable ("scalar" or "avx2") or SetVariant()
+// (used by the equivalence tests and the --simd bench flag).
+//
+// Both variants are bit-for-bit identical by construction: the scalar
+// loops inline the geo::envelope predicate core (geometry.h) and the
+// exact Ring::Contains / PointSegmentDistance arithmetic, and the AVX2
+// lanes mirror the same IEEE operations (exactly-rounded mul/div/sqrt,
+// ordered non-signaling compares that fail on NaN exactly like their
+// scalar counterparts, no FMA contraction). A randomized equivalence
+// suite (tests/simd_test.cc, ctest label `simd`) and a cross-build CI
+// gate (EXEARTH_SIMD=OFF vs avx2 result hashes) hold that line.
+
+#ifndef EXEARTH_GEO_SIMD_H_
+#define EXEARTH_GEO_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace exearth::geo::simd {
+
+/// Maximum elements per batch kernel call: one bit of the result mask per
+/// element. Call sites (R-tree nodes of <= 16 children, refinement blocks
+/// of 16) stay well under this.
+constexpr size_t kBatchMax = 64;
+
+/// Non-owning struct-of-arrays view over envelope coordinates: element i
+/// is the box (min_x[i], min_y[i], max_x[i], max_y[i]).
+struct EnvelopeSpan {
+  const double* min_x = nullptr;
+  const double* min_y = nullptr;
+  const double* max_x = nullptr;
+  const double* max_y = nullptr;
+  size_t size = 0;
+
+  EnvelopeSpan Slice(size_t first, size_t count) const {
+    return EnvelopeSpan{min_x + first, min_y + first, max_x + first,
+                        max_y + first, count};
+  }
+};
+
+/// Owning SoA envelope columns (the storage form behind EnvelopeSpan).
+/// GeoStore's geometry arena and the frozen R-tree's node/entry arrays
+/// keep their envelopes in this layout so batch kernels read contiguous
+/// cache lines instead of striding over 32-byte Box structs.
+struct EnvelopeColumns {
+  std::vector<double> min_x;
+  std::vector<double> min_y;
+  std::vector<double> max_x;
+  std::vector<double> max_y;
+
+  size_t size() const { return min_x.size(); }
+  bool empty() const { return min_x.empty(); }
+
+  void Clear() {
+    min_x.clear();
+    min_y.clear();
+    max_x.clear();
+    max_y.clear();
+  }
+  void Reserve(size_t n) {
+    min_x.reserve(n);
+    min_y.reserve(n);
+    max_x.reserve(n);
+    max_y.reserve(n);
+  }
+  void PushBack(const Box& b) {
+    min_x.push_back(b.min_x);
+    min_y.push_back(b.min_y);
+    max_x.push_back(b.max_x);
+    max_y.push_back(b.max_y);
+  }
+
+  Box At(size_t i) const {
+    return Box{min_x[i], min_y[i], max_x[i], max_y[i]};
+  }
+
+  EnvelopeSpan Span() const {
+    return EnvelopeSpan{min_x.data(), min_y.data(), max_x.data(),
+                        max_y.data(), min_x.size()};
+  }
+  EnvelopeSpan Slice(size_t first, size_t count) const {
+    return Span().Slice(first, count);
+  }
+};
+
+/// One resolved implementation of every batch kernel. All mask-returning
+/// kernels require env.size <= kBatchMax; bit i of the result corresponds
+/// to element i of the span.
+struct KernelTable {
+  const char* name;  // "scalar" / "avx2" — recorded in bench snapshots
+
+  /// bit i = envelope i intersects `query` (geo::envelope::Intersects).
+  uint64_t (*envelope_intersects)(const Box& query, const EnvelopeSpan& env);
+  /// bit i = `query` contains envelope i (geo::envelope::Contains).
+  uint64_t (*query_contains_envelope)(const Box& query,
+                                      const EnvelopeSpan& env);
+  /// bit i = envelope i contains `query` (geo::envelope::Contains flipped).
+  uint64_t (*envelope_contains_query)(const Box& query,
+                                      const EnvelopeSpan& env);
+  /// Even-odd point-in-ring over the implicitly closed ring `pts[0..n)`,
+  /// boundary inclusive — bit-identical to geo::Ring::Contains.
+  bool (*point_in_ring)(const Point* pts, size_t n, const Point& p);
+  /// Min distance from p to the polyline edges (pts[i], pts[i+1]) for
+  /// i in [0, n-1), plus the closing edge (pts[n-1], pts[0]) when
+  /// `closed`. Returns std::numeric_limits<double>::max() when there are
+  /// no edges — bit-identical to folding geo::PointSegmentDistance.
+  double (*point_edges_distance)(const Point& p, const Point* pts, size_t n,
+                                 bool closed);
+};
+
+enum class KernelVariant { kScalar, kAvx2 };
+
+/// The table the process is currently dispatching through. Resolved once
+/// at startup: the best variant the build AND the running CPU support,
+/// unless the EXEARTH_SIMD environment variable ("scalar"/"avx2") pins
+/// one. The pointer load is relaxed-atomic, so concurrent queries are
+/// race-free while a test flips variants between (not during) queries.
+const KernelTable& Kernels();
+
+/// True when `v`'s kernels exist in this binary and can run on this CPU.
+bool VariantAvailable(KernelVariant v);
+
+/// The table for a specific variant (equivalence tests compare these).
+/// Requires VariantAvailable(v).
+const KernelTable& TableFor(KernelVariant v);
+
+/// Switches the active dispatch table. Returns false (and leaves dispatch
+/// unchanged) when the variant is unavailable. Not meant to be called
+/// concurrently with in-flight queries.
+bool SetVariant(KernelVariant v);
+
+KernelVariant ActiveVariant();
+/// "scalar" or "avx2" — stamped into every bench metrics snapshot.
+const char* ActiveVariantName();
+
+// --- Convenience wrappers over the active table -----------------------------
+
+inline uint64_t BatchIntersects(const Box& query, const EnvelopeSpan& env) {
+  return Kernels().envelope_intersects(query, env);
+}
+inline uint64_t BatchContains(const Box& query, const EnvelopeSpan& env) {
+  return Kernels().query_contains_envelope(query, env);
+}
+inline uint64_t BatchContainsQuery(const Box& query, const EnvelopeSpan& env) {
+  return Kernels().envelope_contains_query(query, env);
+}
+inline bool BatchPointInRing(const Point* pts, size_t n, const Point& p) {
+  return Kernels().point_in_ring(pts, n, p);
+}
+inline double BatchPointEdgesDistance(const Point& p, const Point* pts,
+                                      size_t n, bool closed) {
+  return Kernels().point_edges_distance(p, pts, n, closed);
+}
+
+}  // namespace exearth::geo::simd
+
+#endif  // EXEARTH_GEO_SIMD_H_

@@ -1,0 +1,324 @@
+// AVX2 implementations of the geo::simd batch kernels.
+//
+// This translation unit is only added to the build when EXEARTH_SIMD is
+// native/avx2 on an x86-64 toolchain, and is compiled with
+// `-mavx2 -ffp-contract=off`. Byte-identical output versus the scalar
+// kernels is a hard requirement (CI diffs result hashes across variants),
+// which constrains every lane to mirror the scalar arithmetic exactly:
+//
+//  * no FMA: -mavx2 alone does not enable FMA3 codegen, every multiply/add
+//    here is a distinct exactly-rounded intrinsic, and -ffp-contract=off
+//    keeps the compiler from contracting on its own;
+//  * _CMP_*_OQ ordered non-signaling predicates: false on NaN, exactly like
+//    the scalar `<`/`<=` comparisons they replace;
+//  * std::min(a, b) is emulated as _mm256_min_pd(b, a) (both evaluate
+//    `b < a ? b : a`, returning `a` on unordered), std::max(a, b) as
+//    _mm256_max_pd(b, a), and std::clamp as two compare+blend steps that
+//    preserve NaN propagation;
+//  * vdivpd / vsqrtpd are IEEE exactly-rounded, so quotient/root lanes
+//    equal their scalar counterparts bit for bit;
+//  * reductions are restricted to order-independent folds (mask OR,
+//    crossing-parity XOR, min over non-negative distances where NaN never
+//    wins), so the lane permutation introduced by unpacklo/hi point
+//    deinterleaving (i, i+2, i+1, i+3) cannot change the answer;
+//  * batch tails and the ring's wrap-around edge run the shared scalar
+//    cores from simd_internal.h, not a reimplementation.
+//
+// Masked-off lanes may divide by zero or overflow to inf/NaN; that is
+// IEEE-defined (quiet) arithmetic whose results are discarded by the lane
+// masks, and float division is deliberately outside GCC's
+// -fsanitize=undefined set.
+
+#include "geo/simd_internal.h"
+
+#if !defined(EXEARTH_HAVE_AVX2)
+#error "simd_avx2.cc requires EXEARTH_HAVE_AVX2 (see EXEARTH_SIMD in CMake)"
+#endif
+
+#include <immintrin.h>
+
+namespace exearth::geo::simd {
+
+namespace {
+
+/// Deinterleaves 4 consecutive AoS points into x/y vectors. Lane order is
+/// (i, i+2, i+1, i+3) — callers must load every related point array through
+/// this same helper so lanes stay aligned, and must only reduce lanes with
+/// order-independent folds.
+inline void Load4Points(const Point* p, __m256d& x, __m256d& y) {
+  const __m256d lo = _mm256_loadu_pd(&p[0].x);  // x0 y0 x1 y1
+  const __m256d hi = _mm256_loadu_pd(&p[2].x);  // x2 y2 x3 y3
+  x = _mm256_unpacklo_pd(lo, hi);               // x0 x2 x1 x3
+  y = _mm256_unpackhi_pd(lo, hi);               // y0 y2 y1 y3
+}
+
+// --- Envelope predicates ----------------------------------------------------
+
+// Shared shape of the three envelope kernels: hoist the query-empty test
+// (scalar `Empty` has identical NaN behavior), evaluate 4 envelopes per
+// iteration, finish the remainder on the scalar core.
+struct QueryVec {
+  __m256d min_x, min_y, max_x, max_y;
+  explicit QueryVec(const Box& q)
+      : min_x(_mm256_set1_pd(q.min_x)),
+        min_y(_mm256_set1_pd(q.min_y)),
+        max_x(_mm256_set1_pd(q.max_x)),
+        max_y(_mm256_set1_pd(q.max_y)) {}
+};
+
+/// All-ones lane mask for envelopes that are non-empty (min <= max on both
+/// axes, NaN counting as non-empty exactly like envelope::Empty).
+inline __m256d NotEmptyMask(__m256d min_x, __m256d min_y, __m256d max_x,
+                            __m256d max_y) {
+  const __m256d empty =
+      _mm256_or_pd(_mm256_cmp_pd(min_x, max_x, _CMP_GT_OQ),
+                   _mm256_cmp_pd(min_y, max_y, _CMP_GT_OQ));
+  // andnot(empty, all-ones) == !empty per lane.
+  return _mm256_andnot_pd(
+      empty, _mm256_castsi256_pd(_mm256_set1_epi64x(-1)));
+}
+
+uint64_t EnvelopeIntersectsAvx2(const Box& query, const EnvelopeSpan& env) {
+  if (envelope::Empty(query.min_x, query.min_y, query.max_x, query.max_y)) {
+    return 0;
+  }
+  const QueryVec q(query);
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= env.size; i += 4) {
+    const __m256d emin_x = _mm256_loadu_pd(env.min_x + i);
+    const __m256d emin_y = _mm256_loadu_pd(env.min_y + i);
+    const __m256d emax_x = _mm256_loadu_pd(env.max_x + i);
+    const __m256d emax_y = _mm256_loadu_pd(env.max_y + i);
+    __m256d ok = NotEmptyMask(emin_x, emin_y, emax_x, emax_y);
+    // b_min <= a_max && b_max >= a_min on both axes (a = query, b = env).
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_x, q.max_x, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_x, q.min_x, _CMP_GE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_y, q.max_y, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_y, q.min_y, _CMP_GE_OQ));
+    mask |= static_cast<uint64_t>(_mm256_movemask_pd(ok)) << i;
+  }
+  for (; i < env.size; ++i) {
+    if (envelope::Intersects(query.min_x, query.min_y, query.max_x,
+                             query.max_y, env.min_x[i], env.min_y[i],
+                             env.max_x[i], env.max_y[i])) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+uint64_t QueryContainsEnvelopeAvx2(const Box& query, const EnvelopeSpan& env) {
+  if (envelope::Empty(query.min_x, query.min_y, query.max_x, query.max_y)) {
+    return 0;
+  }
+  const QueryVec q(query);
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= env.size; i += 4) {
+    const __m256d emin_x = _mm256_loadu_pd(env.min_x + i);
+    const __m256d emin_y = _mm256_loadu_pd(env.min_y + i);
+    const __m256d emax_x = _mm256_loadu_pd(env.max_x + i);
+    const __m256d emax_y = _mm256_loadu_pd(env.max_y + i);
+    __m256d ok = NotEmptyMask(emin_x, emin_y, emax_x, emax_y);
+    // b_min >= a_min && b_max <= a_max on both axes (a = query, b = env).
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_x, q.min_x, _CMP_GE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_x, q.max_x, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_y, q.min_y, _CMP_GE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_y, q.max_y, _CMP_LE_OQ));
+    mask |= static_cast<uint64_t>(_mm256_movemask_pd(ok)) << i;
+  }
+  for (; i < env.size; ++i) {
+    if (envelope::Contains(query.min_x, query.min_y, query.max_x, query.max_y,
+                           env.min_x[i], env.min_y[i], env.max_x[i],
+                           env.max_y[i])) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+uint64_t EnvelopeContainsQueryAvx2(const Box& query, const EnvelopeSpan& env) {
+  if (envelope::Empty(query.min_x, query.min_y, query.max_x, query.max_y)) {
+    return 0;
+  }
+  const QueryVec q(query);
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 4 <= env.size; i += 4) {
+    const __m256d emin_x = _mm256_loadu_pd(env.min_x + i);
+    const __m256d emin_y = _mm256_loadu_pd(env.min_y + i);
+    const __m256d emax_x = _mm256_loadu_pd(env.max_x + i);
+    const __m256d emax_y = _mm256_loadu_pd(env.max_y + i);
+    __m256d ok = NotEmptyMask(emin_x, emin_y, emax_x, emax_y);
+    // b_min >= a_min && b_max <= a_max on both axes (a = env, b = query).
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_x, q.min_x, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_x, q.max_x, _CMP_GE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emin_y, q.min_y, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(emax_y, q.max_y, _CMP_GE_OQ));
+    mask |= static_cast<uint64_t>(_mm256_movemask_pd(ok)) << i;
+  }
+  for (; i < env.size; ++i) {
+    if (envelope::Contains(env.min_x[i], env.min_y[i], env.max_x[i],
+                           env.max_y[i], query.min_x, query.min_y, query.max_x,
+                           query.max_y)) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  return mask;
+}
+
+// --- Point in ring ----------------------------------------------------------
+
+bool PointInRingAvx2(const Point* pts, size_t n, const Point& p) {
+  if (n < 3) return false;
+  bool inside = false;
+  // Edge 0 pairs pts[0] with pts[n - 1] (the ring wrap); run it on the
+  // scalar core so the vector body only sees the regular a=pts[i],
+  // b=pts[i-1] stride.
+  if (detail::PointInRingEdges(pts, n, 0, 1, p, inside)) return true;
+
+  const __m256d px = _mm256_set1_pd(p.x);
+  const __m256d py = _mm256_set1_pd(p.y);
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d boundary_acc = zero;  // OR of on-boundary lane masks
+  __m256d flip_acc = zero;      // XOR of ray-crossing lane masks
+
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    __m256d ax, ay, bx, by;
+    Load4Points(pts + i, ax, ay);      // lane k: a = pts[i + perm(k)]
+    Load4Points(pts + i - 1, bx, by);  // lane k: b = pts[i + perm(k) - 1]
+
+    const __m256d bax = _mm256_sub_pd(bx, ax);  // b.x - a.x
+    const __m256d bay = _mm256_sub_pd(by, ay);  // b.y - a.y
+    const __m256d pax = _mm256_sub_pd(px, ax);  // p.x - a.x
+    const __m256d pay = _mm256_sub_pd(py, ay);  // p.y - a.y
+
+    // Sign(Cross(a, b, p)) == 0 holds when cross is neither > 0 nor < 0
+    // (which includes NaN, matching the scalar Sign()).
+    const __m256d cross =
+        _mm256_sub_pd(_mm256_mul_pd(bax, pay), _mm256_mul_pd(bay, pax));
+    const __m256d nonzero =
+        _mm256_or_pd(_mm256_cmp_pd(cross, zero, _CMP_GT_OQ),
+                     _mm256_cmp_pd(cross, zero, _CMP_LT_OQ));
+
+    // OnSegment: min/max emulate std::min(a.x, b.x) / std::max(a.x, b.x)
+    // including their unordered-operand behavior.
+    const __m256d min_x = _mm256_min_pd(bx, ax);
+    const __m256d max_x = _mm256_max_pd(bx, ax);
+    const __m256d min_y = _mm256_min_pd(by, ay);
+    const __m256d max_y = _mm256_max_pd(by, ay);
+    const __m256d on_seg = _mm256_and_pd(
+        _mm256_and_pd(_mm256_cmp_pd(min_x, px, _CMP_LE_OQ),
+                      _mm256_cmp_pd(px, max_x, _CMP_LE_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(min_y, py, _CMP_LE_OQ),
+                      _mm256_cmp_pd(py, max_y, _CMP_LE_OQ)));
+    boundary_acc =
+        _mm256_or_pd(boundary_acc, _mm256_andnot_pd(nonzero, on_seg));
+
+    // Even-odd ray crossing: (a.y > p.y) != (b.y > p.y) and the ray hits
+    // left of the edge/scanline intersection x_int.
+    const __m256d crossing =
+        _mm256_xor_pd(_mm256_cmp_pd(ay, py, _CMP_GT_OQ),
+                      _mm256_cmp_pd(by, py, _CMP_GT_OQ));
+    // x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y); lanes without
+    // a crossing may divide by zero — discarded by the `crossing` mask.
+    const __m256d x_int = _mm256_add_pd(
+        ax, _mm256_div_pd(_mm256_mul_pd(pay, bax), _mm256_sub_pd(by, ay)));
+    const __m256d flip =
+        _mm256_and_pd(crossing, _mm256_cmp_pd(px, x_int, _CMP_LT_OQ));
+    flip_acc = _mm256_xor_pd(flip_acc, flip);
+  }
+
+  // Crossing parity accumulated per lane, then combined across lanes —
+  // XOR is order-independent, so the lane permutation is immaterial.
+  if (__builtin_popcount(
+          static_cast<unsigned>(_mm256_movemask_pd(flip_acc))) &
+      1) {
+    inside = !inside;
+  }
+  // Any boundary lane means the scalar loop would have returned true at
+  // that edge (parity is moot once the point sits on the boundary).
+  if (_mm256_movemask_pd(boundary_acc) != 0) return true;
+  if (detail::PointInRingEdges(pts, n, i, n, p, inside)) return true;
+  return inside;
+}
+
+// --- Point-to-edges distance ------------------------------------------------
+
+double PointEdgesDistanceAvx2(const Point& p, const Point* pts, size_t n,
+                              bool closed) {
+  double best = std::numeric_limits<double>::max();
+  size_t i = 0;
+  if (n >= 2) {
+    const __m256d px = _mm256_set1_pd(p.x);
+    const __m256d py = _mm256_set1_pd(p.y);
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d one = _mm256_set1_pd(1.0);
+    __m256d best_acc = _mm256_set1_pd(std::numeric_limits<double>::max());
+
+    // Edges i..i+3 read points up to pts[i + 4]; the last edge index is
+    // n - 2, so the vector body needs i + 4 <= n - 1.
+    for (; i + 4 < n; i += 4) {
+      __m256d ax, ay, bx, by;
+      Load4Points(pts + i, ax, ay);      // segment starts
+      Load4Points(pts + i + 1, bx, by);  // segment ends
+
+      // PointSegmentDistance, lane for lane.
+      const __m256d vx = _mm256_sub_pd(bx, ax);
+      const __m256d vy = _mm256_sub_pd(by, ay);
+      const __m256d len2 =
+          _mm256_add_pd(_mm256_mul_pd(vx, vx), _mm256_mul_pd(vy, vy));
+      const __m256d pax = _mm256_sub_pd(px, ax);
+      const __m256d pay = _mm256_sub_pd(py, ay);
+      __m256d t = _mm256_div_pd(
+          _mm256_add_pd(_mm256_mul_pd(pax, vx), _mm256_mul_pd(pay, vy)),
+          len2);
+      // std::clamp(t, 0, 1): t < 0 -> 0, else 1 < t -> 1, else t (NaN
+      // passes through both blends untouched, as in the scalar code).
+      t = _mm256_blendv_pd(t, zero, _mm256_cmp_pd(t, zero, _CMP_LT_OQ));
+      t = _mm256_blendv_pd(t, one, _mm256_cmp_pd(one, t, _CMP_LT_OQ));
+      const __m256d dx =
+          _mm256_sub_pd(px, _mm256_add_pd(ax, _mm256_mul_pd(t, vx)));
+      const __m256d dy =
+          _mm256_sub_pd(py, _mm256_add_pd(ay, _mm256_mul_pd(t, vy)));
+      const __m256d dist = _mm256_sqrt_pd(
+          _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+      // Degenerate segment (len2 == 0): scalar takes Distance(p, a).
+      const __m256d dist_deg = _mm256_sqrt_pd(
+          _mm256_add_pd(_mm256_mul_pd(pax, pax), _mm256_mul_pd(pay, pay)));
+      const __m256d d = _mm256_blendv_pd(
+          dist, dist_deg, _mm256_cmp_pd(len2, zero, _CMP_EQ_OQ));
+      // std::min(best, d) == _mm256_min_pd(d, best): NaN lanes never win,
+      // distances are never -0, so the fold is order-independent.
+      best_acc = _mm256_min_pd(d, best_acc);
+    }
+
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, best_acc);
+    for (double lane : lanes) best = std::min(best, lane);
+    best = detail::PointEdgesDistanceFold(p, pts, i, n - 1, best);
+  }
+  if (closed && n > 0) {
+    best = std::min(best, PointSegmentDistance(p, pts[n - 1], pts[0]));
+  }
+  return best;
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",
+    &EnvelopeIntersectsAvx2,
+    &QueryContainsEnvelopeAvx2,
+    &EnvelopeContainsQueryAvx2,
+    &PointInRingAvx2,
+    &PointEdgesDistanceAvx2,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable& Avx2Table() { return kAvx2Table; }
+}  // namespace detail
+
+}  // namespace exearth::geo::simd

@@ -1,0 +1,83 @@
+// Shared internals of the geo::simd batch kernels: the scalar per-element
+// cores that BOTH the portable table (simd.cc) and the AVX2 table's
+// remainder/tail handling (simd_avx2.cc) compile against. Keeping the tail
+// path on the exact same inlined code as the scalar kernels is what makes
+// "byte-identical across variants" hold for every batch length, not just
+// multiples of the vector width.
+//
+// Not part of the public API — include only from geo/simd*.cc and tests
+// that need to pin a specific variant's core.
+
+#ifndef EXEARTH_GEO_SIMD_INTERNAL_H_
+#define EXEARTH_GEO_SIMD_INTERNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/geometry.h"
+#include "geo/simd.h"
+
+namespace exearth::geo::simd::detail {
+
+// Replicas of the (anonymous-namespace) helpers inside geometry.cc's
+// Ring::Contains. They must stay operation-for-operation identical to that
+// code: the simd equivalence suite asserts kernel output against
+// Ring::Contains itself, so any drift shows up as a test failure rather
+// than a silent semantic fork.
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+inline bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+inline int Sign(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+/// One even-odd crossing step for ring edge (a, b) against point p —
+/// the loop body of geo::Ring::Contains. Returns true when p lies exactly
+/// on the edge (caller answers "inside" immediately); otherwise toggles
+/// `inside` when the edge crosses the rightward ray from p.
+inline bool RingEdge(const Point& a, const Point& b, const Point& p,
+                     bool& inside) {
+  if (Sign(Cross(a, b, p)) == 0 && OnSegment(a, b, p)) return true;
+  if ((a.y > p.y) != (b.y > p.y)) {
+    double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+    if (p.x < x_int) inside = !inside;
+  }
+  return false;
+}
+
+/// Scalar point-in-ring over edges [first, last) using the same edge
+/// pairing as Ring::Contains (edge i connects pts[i] to pts[i ? i-1 : n-1]).
+/// Used whole by the scalar kernel and for vector-width tails by AVX2.
+inline bool PointInRingEdges(const Point* pts, size_t n, size_t first,
+                             size_t last, const Point& p, bool& inside) {
+  for (size_t i = first; i < last; ++i) {
+    const Point& a = pts[i];
+    const Point& b = pts[i == 0 ? n - 1 : i - 1];
+    if (RingEdge(a, b, p, inside)) return true;
+  }
+  return false;
+}
+
+/// Scalar min-distance fold over open-polyline edges [first, last) —
+/// edge i connects pts[i] to pts[i + 1]. The closing edge of a ring is
+/// handled separately by the callers.
+inline double PointEdgesDistanceFold(const Point& p, const Point* pts,
+                                     size_t first, size_t last, double best) {
+  for (size_t i = first; i < last; ++i) {
+    best = std::min(best, PointSegmentDistance(p, pts[i], pts[i + 1]));
+  }
+  return best;
+}
+
+/// The AVX2 kernel table, defined in simd_avx2.cc. Only linked into the
+/// binary when the build enables AVX2 (EXEARTH_HAVE_AVX2).
+const KernelTable& Avx2Table();
+
+}  // namespace exearth::geo::simd::detail
+
+#endif  // EXEARTH_GEO_SIMD_INTERNAL_H_

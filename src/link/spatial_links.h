@@ -33,8 +33,11 @@ struct SpatialLinkOptions {
 struct SpatialLinkResult {
   /// (index into a, index into b) pairs satisfying the relation.
   std::vector<std::pair<size_t, size_t>> links;
-  uint64_t candidate_pairs = 0;  // pairs that reached the exact test
-  uint64_t exact_tests = 0;
+  uint64_t candidate_pairs = 0;     // pairs surviving the blocking step
+  uint64_t exact_tests = 0;         // pairs that paid the exact predicate
+  /// Indexed-path candidates discarded by the batched envelope screen
+  /// (geo::simd kernels, 16 envelopes per call) before the exact test.
+  uint64_t envelope_rejects = 0;
 };
 
 /// Finds all (a_i, b_j) satisfying the relation. Indexed and nested-loop

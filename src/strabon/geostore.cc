@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <optional>
 
 #include "common/deadline.h"
 #include "common/logging.h"
@@ -14,6 +16,8 @@ namespace exearth::strabon {
 
 using common::Result;
 using common::Status;
+
+namespace simd = geo::simd;
 
 namespace {
 
@@ -133,6 +137,116 @@ void CountAbort(const GeoStoreMetrics& metrics, const common::Status& status,
   metrics.chunks_cancelled->Increment(chunks_cancelled);
 }
 
+// Refinement candidates are dense arena indices with the relation's
+// envelope fast-path verdict precomputed into the top bit. The index
+// probe (and the scan path's block screen) settles that verdict with
+// batched kernel calls over *contiguous* SoA envelope slices — at the
+// R-tree leaf, where the entries' envelopes are already streaming
+// through cache. The refinement loop then never touches the envelope
+// columns at random candidate indices (a four-cache-line gather per
+// candidate that costs more than the batched compare saves). Build()
+// checks the arena stays below 2^31 entries so the bit is free.
+constexpr uint32_t kFastBit = 0x80000000u;
+
+// Everything a SpatialSelect/SpatialSelectBatch refinement chunk worker
+// needs, hoisted once per query: the rect polygon for kContains (built
+// once instead of per candidate) and the cooperative-abort machinery.
+struct RefineJob {
+  const std::vector<uint32_t>* candidates;  // arena index | kFastBit
+  geo::Box query;
+  SpatialRelation relation;
+  const geo::Geometry* contains_rect = nullptr;  // only for kContains
+  const std::vector<geo::Geometry>* geoms;
+  const std::vector<uint64_t>* subjects;
+  bool guarded;
+  const common::RequestContext* rctx;
+  const char* who;
+  QueryAbort* abort;
+  uint64_t budget;                      // 0 = unlimited
+  std::atomic<uint64_t>* bytes_used;    // may be null when budget == 0
+};
+
+// Refines candidates [begin, end) into `local`. The envelope predicate
+// was settled by the probe and rides in each candidate's kFastBit;
+// per-relation semantics are identical to EvalRelationAt:
+//   kIntersects: bit set = query box contains envelope -> envelope hit,
+//                match without an exact test; else exact Intersects.
+//   kContains  : bit set = envelope contains the query box; a clear bit
+//                is an envelope-decided "no match"; else exact Contains
+//                against the hoisted rect polygon.
+//   kWithin    : the bit IS the answer (hit counted on true).
+void RefineChunkRange(const RefineJob& job, size_t begin, size_t end,
+                      std::vector<uint64_t>* local,
+                      SpatialQueryStats* lstats) {
+  const std::vector<uint32_t>& cand = *job.candidates;
+  for (size_t i = begin; i < end; ++i) {
+    if (job.guarded && ((i - begin) % kPollStride) == 0) {
+      if (job.abort->triggered()) {
+        lstats->chunks_cancelled = 1;
+        return;
+      }
+      Status s = job.rctx->Check(job.who);
+      if (!s.ok()) {
+        job.abort->Trigger(s.code());
+        lstats->chunks_cancelled = 1;
+        return;
+      }
+    }
+    const size_t idx = cand[i] & ~kFastBit;
+    const bool bit = (cand[i] & kFastBit) != 0;
+    ++lstats->geometry_tests;
+    bool match = false;
+    switch (job.relation) {
+      case SpatialRelation::kIntersects:
+        if (bit) {
+          ++lstats->envelope_hits;
+          match = true;
+        } else {
+          match = geo::Intersects((*job.geoms)[idx], job.query);
+        }
+        break;
+      case SpatialRelation::kContains:
+        if (!bit) {
+          ++lstats->envelope_hits;
+        } else {
+          match = geo::Contains((*job.geoms)[idx], *job.contains_rect);
+        }
+        break;
+      case SpatialRelation::kWithin:
+        if (bit) ++lstats->envelope_hits;
+        match = bit;
+        break;
+    }
+    if (match) {
+      local->push_back((*job.subjects)[idx]);
+      if (job.budget > 0) {
+        const uint64_t now_used =
+            job.bytes_used->fetch_add(sizeof(uint64_t),
+                                      std::memory_order_relaxed) +
+            sizeof(uint64_t);
+        if (now_used > job.budget) {
+          job.abort->Trigger(common::StatusCode::kResourceExhausted);
+          lstats->chunks_cancelled = 1;
+          return;
+        }
+      }
+    }
+  }
+}
+
+// The rect polygon a kContains refinement tests against, built once per
+// query instead of once per candidate.
+std::optional<geo::Geometry> ContainsRectFor(const geo::Box& query,
+                                             SpatialRelation relation) {
+  if (relation != SpatialRelation::kContains) return std::nullopt;
+  geo::Polygon rect;
+  rect.outer.points = {geo::Point{query.min_x, query.min_y},
+                       geo::Point{query.max_x, query.min_y},
+                       geo::Point{query.max_x, query.max_y},
+                       geo::Point{query.min_x, query.max_y}};
+  return geo::Geometry(std::move(rect));
+}
+
 }  // namespace
 
 void GeoStore::AddFeature(const std::string& subject_iri,
@@ -147,7 +261,7 @@ Result<size_t> GeoStore::Build() {
   store_.Build();
   geom_subjects_.clear();
   geoms_.clear();
-  envelopes_.clear();
+  env_cols_.Clear();
   auto aswkt = store_.dict().Lookup(rdf::Term::Iri(rdf::vocab::kAsWkt));
   if (aswkt.has_value()) {
     Status parse_error;
@@ -165,20 +279,25 @@ Result<size_t> GeoStore::Build() {
                 });
     if (!parse_error.ok()) return parse_error;
     // Dense arena: subjects sorted so lookup is a binary search and the
-    // R-tree can address geometries by index.
+    // R-tree can address geometries by index. The refinement paths pack
+    // the envelope fast-path verdict into bit 31 of the index (kFastBit),
+    // which caps the arena at 2^31 entries.
+    EEA_CHECK(parsed.size() < (uint64_t{1} << 31))
+        << "geometry arena exceeds the kFastBit index range";
     std::sort(parsed.begin(), parsed.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     geom_subjects_.reserve(parsed.size());
     geoms_.reserve(parsed.size());
-    envelopes_.reserve(parsed.size());
+    env_cols_.Reserve(parsed.size());
     std::vector<geo::RTree::Entry> entries;
     entries.reserve(parsed.size());
     for (auto& [subject, geom] : parsed) {
       const auto idx = static_cast<int64_t>(geoms_.size());
+      const geo::Box env = geom.Envelope();
       geom_subjects_.push_back(subject);
-      envelopes_.push_back(geom.Envelope());
+      env_cols_.PushBack(env);
       geoms_.push_back(std::move(geom));
-      entries.push_back({envelopes_.back(), idx});
+      entries.push_back({env, idx});
     }
     rtree_ = geo::RTree::BulkLoad(std::move(entries));
   } else {
@@ -212,7 +331,7 @@ bool GeoStore::EvalRelationAt(size_t idx, const geo::Box& query,
                               SpatialRelation relation,
                               SpatialQueryStats* stats) const {
   ++stats->geometry_tests;
-  const geo::Box& env = envelopes_[idx];
+  const geo::Box env = env_cols_.At(idx);
   switch (relation) {
     case SpatialRelation::kIntersects:
       // Envelope fully inside the query box: the geometry is too, so it
@@ -263,7 +382,8 @@ size_t GeoStore::RunChunked(
     const size_t end = std::min(begin + chunk_size, n);
     if (begin < end) fn(c, begin, end);
   });
-  GeoStoreMetrics::Get().parallel_chunks->Increment(chunks);
+  // The parallel_chunks counter bump lives at the call sites (which hold
+  // the cached metrics handle) so this hot path does no registry access.
   return chunks;
 }
 
@@ -310,33 +430,68 @@ Result<std::vector<uint64_t>> GeoStore::SpatialSelect(
     }
   }
 
-  // Candidate set: dense arena indices.
+  // Candidate set: dense arena indices, each carrying the relation's
+  // envelope fast-path verdict in kFastBit (see RefineChunkRange).
   std::vector<uint32_t> candidates;
   const auto probe_start = std::chrono::steady_clock::now();
+  const simd::KernelTable& kern = simd::Kernels();
   if (use_index) {
     common::TraceSpan probe_span("index_probe");
     common::ScopedLatencyTimer probe_timer(metrics.probe_latency_us);
     metrics.index_probes->Increment();
     metrics.select_traversals->Increment();
     geo::RTree::TraversalStats tstats;
-    rtree_.VisitWith(
+    const simd::EnvelopeColumns& eenv = rtree_.entry_envelopes();
+    rtree_.VisitLeavesWith(
         query,
-        [&](const geo::RTree::Entry& e) {
-          candidates.push_back(static_cast<uint32_t>(e.id));
+        [&](const geo::RTree::Entry* es, uint32_t first, uint16_t count,
+            uint64_t hits) {
+          // Both envelope predicates are settled here, while the leaf's
+          // SoA slice is hot: the traversal mask answers "intersects",
+          // and one more kernel call over the same slice answers the
+          // relation's fast-path predicate.
+          const simd::EnvelopeSpan slice = eenv.Slice(first, count);
+          const uint64_t fast =
+              relation == SpatialRelation::kContains
+                  ? kern.envelope_contains_query(query, slice)
+                  : kern.query_contains_envelope(query, slice);
+          uint64_t m = hits;
+          while (m != 0) {
+            const int i = std::countr_zero(m);
+            m &= m - 1;
+            candidates.push_back(static_cast<uint32_t>(es[i].id) |
+                                 (((fast >> i) & 1) != 0 ? kFastBit : 0u));
+          }
           return true;
         },
         &tstats);
     stats.nodes_visited = tstats.nodes_visited;
   } else {
     // Baseline: test every geometry (full scan, the GraphDB stand-in).
+    // The envelope verdicts stream sequentially through env_cols_, one
+    // batched kernel call per kBatchMax features — no gather.
     candidates.resize(geoms_.size());
     for (uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    for (size_t base = 0; base < candidates.size(); base += simd::kBatchMax) {
+      const size_t n = std::min(simd::kBatchMax, candidates.size() - base);
+      const simd::EnvelopeSpan slice = env_cols_.Slice(base, n);
+      uint64_t fast = relation == SpatialRelation::kContains
+                          ? kern.envelope_contains_query(query, slice)
+                          : kern.query_contains_envelope(query, slice);
+      while (fast != 0) {
+        const int i = std::countr_zero(fast);
+        fast &= fast - 1;
+        candidates[base + static_cast<size_t>(i)] |= kFastBit;
+      }
+    }
   }
   stats.candidates = candidates.size();
   const double probe_secs = SecondsSince(probe_start);
 
   // Refinement, partitioned across the pool: thread-local result vectors
   // and stats, merged in chunk order (final order fixed by the sort).
+  // Each worker batch-tests envelopes kRefineBlock candidates at a time
+  // through the geo::simd kernels (see RefineChunkRange).
   const auto refine_start = std::chrono::steady_clock::now();
   std::vector<std::vector<uint64_t>> chunk_out;
   std::vector<SpatialQueryStats> chunk_stats;
@@ -345,45 +500,28 @@ Result<std::vector<uint64_t>> GeoStore::SpatialSelect(
   chunk_out.resize(max_chunks);
   chunk_stats.resize(max_chunks);
   chunk_secs.assign(max_chunks, 0.0);
+  const std::optional<geo::Geometry> rect = ContainsRectFor(query, relation);
+  RefineJob job;
+  job.candidates = &candidates;
+  job.query = query;
+  job.relation = relation;
+  job.contains_rect = rect.has_value() ? &*rect : nullptr;
+  job.geoms = &geoms_;
+  job.subjects = &geom_subjects_;
+  job.guarded = guarded;
+  job.rctx = &rctx;
+  job.who = "strabon.SpatialSelect";
+  job.abort = &abort;
+  job.budget = budget;
+  job.bytes_used = &bytes_used;
   const size_t used =
       RunChunked(candidates.size(), [&](size_t c, size_t begin, size_t end) {
         const auto t0 = std::chrono::steady_clock::now();
-        std::vector<uint64_t>& local = chunk_out[c];
-        SpatialQueryStats& lstats = chunk_stats[c];
-        for (size_t i = begin; i < end; ++i) {
-          if (guarded) {
-            if (abort.triggered()) {
-              lstats.chunks_cancelled = 1;
-              break;
-            }
-            if (((i - begin) % kPollStride) == 0) {
-              Status s = rctx.Check("strabon.SpatialSelect");
-              if (!s.ok()) {
-                abort.Trigger(s.code());
-                lstats.chunks_cancelled = 1;
-                break;
-              }
-            }
-          }
-          const size_t idx = candidates[i];
-          if (EvalRelationAt(idx, query, relation, &lstats)) {
-            local.push_back(geom_subjects_[idx]);
-            if (budget > 0) {
-              const uint64_t now_used =
-                  bytes_used.fetch_add(sizeof(uint64_t),
-                                       std::memory_order_relaxed) +
-                  sizeof(uint64_t);
-              if (now_used > budget) {
-                abort.Trigger(common::StatusCode::kResourceExhausted);
-                lstats.chunks_cancelled = 1;
-                break;
-              }
-            }
-          }
-        }
+        RefineChunkRange(job, begin, end, &chunk_out[c], &chunk_stats[c]);
         metrics.chunk_candidates->Observe(static_cast<double>(end - begin));
         chunk_secs[c] = SecondsSince(t0);
       });
+  if (used > 1) metrics.parallel_chunks->Increment(used);
   stats.threads_used = used;
   for (size_t c = 0; c < used; ++c) {
     MergeStats(chunk_stats[c], &stats);
@@ -485,10 +623,14 @@ Result<std::vector<std::vector<uint64_t>>> GeoStore::SpatialSelectBatch(
   }
 
   // ONE shared traversal over the union of the query boxes, demuxing each
-  // touched entry to the members whose own box it intersects. Candidates
+  // touched leaf to the members whose own box it intersects. Candidates
   // per unique query are exactly the entries that query's own traversal
-  // would have collected (entry.box intersects query.box); only the order
-  // differs, which the final sort erases.
+  // would have collected: a member's intersection mask over a leaf slice
+  // is a subset of the union-box hit mask (member box inside ubox), so
+  // testing the member's box directly both demuxes and prunes. Only the
+  // candidate order differs from a solo traversal, which the final sort
+  // erases. The relation's envelope fast-path verdict rides along in
+  // kFastBit exactly as in the single-query probe.
   geo::Box ubox = unique[0].box;
   for (size_t j = 1; j < unique.size(); ++j) {
     ubox.min_x = std::min(ubox.min_x, unique[j].box.min_x);
@@ -496,6 +638,7 @@ Result<std::vector<std::vector<uint64_t>>> GeoStore::SpatialSelectBatch(
     ubox.max_x = std::max(ubox.max_x, unique[j].box.max_x);
     ubox.max_y = std::max(ubox.max_y, unique[j].box.max_y);
   }
+  const simd::KernelTable& kern = simd::Kernels();
   std::vector<std::vector<uint32_t>> cand(unique.size());
   {
     common::TraceSpan probe_span("batch_index_probe");
@@ -503,12 +646,24 @@ Result<std::vector<std::vector<uint64_t>>> GeoStore::SpatialSelectBatch(
     metrics.index_probes->Increment();
     metrics.select_traversals->Increment();
     geo::RTree::TraversalStats tstats;
-    rtree_.VisitWith(
+    const simd::EnvelopeColumns& eenv = rtree_.entry_envelopes();
+    rtree_.VisitLeavesWith(
         ubox,
-        [&](const geo::RTree::Entry& e) {
+        [&](const geo::RTree::Entry* es, uint32_t first, uint16_t count,
+            uint64_t /*union_hits*/) {
+          const simd::EnvelopeSpan slice = eenv.Slice(first, count);
           for (size_t j = 0; j < unique.size(); ++j) {
-            if (e.box.Intersects(unique[j].box)) {
-              cand[j].push_back(static_cast<uint32_t>(e.id));
+            uint64_t m = kern.envelope_intersects(unique[j].box, slice);
+            if (m == 0) continue;
+            const uint64_t fast =
+                unique[j].relation == SpatialRelation::kContains
+                    ? kern.envelope_contains_query(unique[j].box, slice)
+                    : kern.query_contains_envelope(unique[j].box, slice);
+            while (m != 0) {
+              const int i = std::countr_zero(m);
+              m &= m - 1;
+              cand[j].push_back(static_cast<uint32_t>(es[i].id) |
+                                (((fast >> i) & 1) != 0 ? kFastBit : 0u));
             }
           }
           return true;
@@ -529,32 +684,26 @@ Result<std::vector<std::vector<uint64_t>>> GeoStore::SpatialSelectBatch(
     std::vector<std::vector<uint64_t>> chunk_out(max_chunks);
     std::vector<SpatialQueryStats> chunk_stats(max_chunks);
     QueryAbort abort;
+    const std::optional<geo::Geometry> rect =
+        ContainsRectFor(unique[j].box, unique[j].relation);
+    RefineJob job;
+    job.candidates = &cs;
+    job.query = unique[j].box;
+    job.relation = unique[j].relation;
+    job.contains_rect = rect.has_value() ? &*rect : nullptr;
+    job.geoms = &geoms_;
+    job.subjects = &geom_subjects_;
+    job.guarded = guarded;
+    job.rctx = &rctx;
+    job.who = "strabon.SpatialSelectBatch";
+    job.abort = &abort;
+    job.budget = 0;  // the batch path has no per-member memory budget
+    job.bytes_used = nullptr;
     const size_t used =
         RunChunked(cs.size(), [&](size_t c, size_t begin, size_t end) {
-          std::vector<uint64_t>& local = chunk_out[c];
-          SpatialQueryStats& lstats = chunk_stats[c];
-          for (size_t i = begin; i < end; ++i) {
-            if (guarded) {
-              if (abort.triggered()) {
-                lstats.chunks_cancelled = 1;
-                break;
-              }
-              if (((i - begin) % kPollStride) == 0) {
-                Status s = rctx.Check("strabon.SpatialSelectBatch");
-                if (!s.ok()) {
-                  abort.Trigger(s.code());
-                  lstats.chunks_cancelled = 1;
-                  break;
-                }
-              }
-            }
-            const size_t idx = cs[i];
-            if (EvalRelationAt(idx, unique[j].box, unique[j].relation,
-                               &lstats)) {
-              local.push_back(geom_subjects_[idx]);
-            }
-          }
+          RefineChunkRange(job, begin, end, &chunk_out[c], &chunk_stats[c]);
         });
+    if (used > 1) metrics.parallel_chunks->Increment(used);
     stats.threads_used = std::max<uint64_t>(stats.threads_used, used);
     std::vector<uint64_t>& merged = unique_out[j];
     for (size_t c = 0; c < used; ++c) {
@@ -802,12 +951,20 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> GeoStore::SpatialJoin(
   size_t used = 1;
   if (use_index) {
     // Probe the shared R-tree with each a-envelope; restrict hits to B
-    // members via binary search on the sorted dense indices.
+    // members via binary search on the sorted dense indices. The envelope
+    // screen — the same check the exact predicate would start with, so a
+    // screen reject is an envelope-decided "false" counted as an envelope
+    // hit — is settled at each R-tree leaf with one kernel call over the
+    // leaf's contiguous SoA slice, and rides into the candidate buffer as
+    // kFastBit; only survivors pay the exact test.
+    const simd::KernelTable& kern = simd::Kernels();
+    const simd::EnvelopeColumns& eenv = rtree_.entry_envelopes();
     used = RunChunked(as.size(), [&](size_t c, size_t begin, size_t end) {
       const auto t0 = std::chrono::steady_clock::now();
       Pairs& local = chunk_out[c];
       SpatialQueryStats& lstats = chunk_stats[c];
       geo::RTree::TraversalStats tstats;
+      std::vector<uint32_t> buf;  // b-candidates of one probe, reused
       bool stopped = false;
       for (size_t i = begin; i < end; ++i) {
         if (guarded) {
@@ -826,31 +983,68 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> GeoStore::SpatialJoin(
         }
         const uint32_t a = as[i];
         const geo::Geometry& ga = geoms_[a];
-        rtree_.VisitWith(
-            envelopes_[a],
-            [&](const geo::RTree::Entry& e) {
-              const auto b = static_cast<uint32_t>(e.id);
-              if (b == a) return true;
-              if (!std::binary_search(bs.begin(), bs.end(), b)) return true;
-              ++lstats.candidates;
-              ++lstats.geometry_tests;
-              if (EvalGeomRelation(ga, geoms_[b], relation)) {
-                local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
-                if (budget > 0) {
-                  const uint64_t now_used =
-                      bytes_used.fetch_add(sizeof(local[0]),
-                                           std::memory_order_relaxed) +
-                      sizeof(local[0]);
-                  if (now_used > budget) {
-                    abort.Trigger(common::StatusCode::kResourceExhausted);
-                    stopped = true;
-                    return false;  // stop this R-tree traversal
-                  }
-                }
+        const geo::Box abox = env_cols_.At(a);
+        buf.clear();
+        rtree_.VisitLeavesWith(
+            abox,
+            [&](const geo::RTree::Entry* es, uint32_t first, uint16_t count,
+                uint64_t hits) {
+              // The relation holds only if the envelopes do: Intersects
+              // needs overlapping envelopes (the traversal mask itself),
+              // Contains needs a's envelope to cover b's, Within the
+              // reverse — exactly the pre-checks inside
+              // geo::Intersects/Contains/Within.
+              uint64_t screen = hits;
+              switch (relation) {
+                case SpatialRelation::kIntersects:
+                  break;
+                case SpatialRelation::kContains:
+                  screen = kern.query_contains_envelope(
+                      abox, eenv.Slice(first, count));
+                  break;
+                case SpatialRelation::kWithin:
+                  screen = kern.envelope_contains_query(
+                      abox, eenv.Slice(first, count));
+                  break;
+              }
+              uint64_t m = hits;
+              while (m != 0) {
+                const int k = std::countr_zero(m);
+                m &= m - 1;
+                const auto b = static_cast<uint32_t>(es[k].id);
+                if (b == a) continue;
+                if (!std::binary_search(bs.begin(), bs.end(), b)) continue;
+                buf.push_back(b |
+                              (((screen >> k) & 1) != 0 ? kFastBit : 0u));
               }
               return true;
             },
             &tstats);
+        for (size_t t = 0; t < buf.size(); ++t) {
+          const uint32_t b = buf[t] & ~kFastBit;
+          ++lstats.candidates;
+          ++lstats.geometry_tests;
+          bool match = false;
+          if ((buf[t] & kFastBit) == 0) {
+            ++lstats.envelope_hits;  // envelope screen decided "false"
+          } else {
+            match = EvalGeomRelation(ga, geoms_[b], relation);
+          }
+          if (match) {
+            local.emplace_back(geom_subjects_[a], geom_subjects_[b]);
+            if (budget > 0) {
+              const uint64_t now_used =
+                  bytes_used.fetch_add(sizeof(local[0]),
+                                       std::memory_order_relaxed) +
+                  sizeof(local[0]);
+              if (now_used > budget) {
+                abort.Trigger(common::StatusCode::kResourceExhausted);
+                stopped = true;
+                break;
+              }
+            }
+          }
+        }
         if (stopped) break;
       }
       if (stopped) lstats.chunks_cancelled = 1;
@@ -919,6 +1113,7 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> GeoStore::SpatialJoin(
       chunk_secs[c] = SecondsSince(t0);
     });
   }
+  if (used > 1) metrics.parallel_chunks->Increment(used);
   stats.threads_used = used;
   Pairs out;
   for (size_t c = 0; c < used; ++c) {
@@ -939,6 +1134,7 @@ Result<std::vector<std::pair<uint64_t, uint64_t>>> GeoStore::SpatialJoin(
     std::sort(out.begin(), out.end());
     stats.results = out.size();
     metrics.results->Increment(out.size());
+    metrics.envelope_hits->Increment(stats.envelope_hits);
     metrics.result_cardinality->Observe(static_cast<double>(out.size()));
   }
   if (stats_out != nullptr) *stats_out = stats;

@@ -13,14 +13,18 @@
 // paths return identical answers; only the work differs.
 //
 // Storage layout (see README "Performance"): geometries live in a dense
-// arena — subject ids sorted into one vector, parsed geometries and
-// precomputed envelopes in parallel vectors — and the R-tree stores *dense
-// indices*, so a candidate probe is one array access instead of a hash
-// lookup. The R-tree itself is queried in its frozen (contiguous,
-// index-addressed) form. With set_num_threads(n > 1) the refinement step
-// of SpatialSelect and the probe loop of SpatialJoin are partitioned
-// across a common::ThreadPool; results are merged deterministically and
-// are byte-identical to the single-threaded path.
+// arena — subject ids sorted into one vector, parsed geometries in a
+// parallel vector, and precomputed envelopes in struct-of-arrays columns
+// (min_x[]/min_y[]/max_x[]/max_y[], geo::simd::EnvelopeColumns) — and the
+// R-tree stores *dense indices*, so a candidate probe is one array access
+// instead of a hash lookup. The R-tree itself is queried in its frozen
+// (contiguous, index-addressed) form with batched child pruning, and the
+// refinement loops evaluate envelope predicates 16 candidates per
+// geo::simd kernel call (scalar or AVX2 — byte-identical either way).
+// With set_num_threads(n > 1) the refinement step of SpatialSelect and
+// the probe loop of SpatialJoin are partitioned across a
+// common::ThreadPool; results are merged deterministically and are
+// byte-identical to the single-threaded path.
 //
 // Each query method opens a common::TraceRequest, so with the
 // EventRecorder enabled the probe and every refinement chunk appear as
@@ -54,6 +58,7 @@
 #include "common/thread_pool.h"
 #include "geo/geometry.h"
 #include "geo/rtree.h"
+#include "geo/simd.h"
 #include "rdf/query.h"
 #include "rdf/triple_store.h"
 
@@ -209,11 +214,13 @@ class GeoStore {
 
   rdf::TripleStore store_;
   geo::RTree rtree_;  // entry ids are dense arena indices
-  // Dense geometry arena: sorted subject ids with parallel geometry and
-  // envelope vectors (replaces the old unordered_map<id, Geometry>).
+  // Dense geometry arena: sorted subject ids with a parallel geometry
+  // vector (replaces the old unordered_map<id, Geometry>). Envelopes are
+  // SoA parallel coordinate columns so the refinement loops can gather
+  // 16 candidates and test them with one geo::simd batch kernel call.
   std::vector<uint64_t> geom_subjects_;
   std::vector<geo::Geometry> geoms_;
-  std::vector<geo::Box> envelopes_;
+  geo::simd::EnvelopeColumns env_cols_;
   bool spatial_built_ = false;
   uint64_t data_epoch_ = 0;
   size_t num_threads_ = 1;
