@@ -92,7 +92,11 @@ std::string BenchUsage(const char* argv0) {
          "  --seed=N                  master seed for seeded workload "
          "rows (default 42)\n"
          "  --simd=scalar|avx2        pin the geo batch-kernel variant "
-         "(default: CPU dispatch)\n";
+         "(default: CPU dispatch)\n"
+         "  --admin_port=N            serve admin endpoints on "
+         "127.0.0.1:N during the run (0 = ephemeral)\n"
+         "  --metrics_interval_ms=N   append windowed metric snapshots "
+         "to <metrics_out>l every N ms\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -201,6 +205,20 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
       }
       geo::simd::SetVariant(variant);
       flags->simd = value;
+    } else if (FlagValue(arg, "admin_port", &value)) {
+      long n = 0;
+      if (!ParseInt(value, &n) || n < 0 || n > 65535) {
+        *error = "--admin_port=" + value + ": want a port in [0, 65535]";
+        return false;
+      }
+      flags->admin_port = static_cast<int>(n);
+    } else if (FlagValue(arg, "metrics_interval_ms", &value)) {
+      long n = 0;
+      if (!ParseInt(value, &n) || n < 1) {
+        *error = "--metrics_interval_ms=" + value + ": want N >= 1";
+        return false;
+      }
+      flags->metrics_interval_ms = static_cast<int64_t>(n);
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.

@@ -44,6 +44,18 @@
 //                               stream. Default 42. Recorded in the
 //                               metrics JSON config so determinism gates
 //                               can diff it
+//   --admin_port=N              start the embedded admin HTTP server
+//                               (obs::AdminServer — /metrics /healthz
+//                               /statusz /slowqueryz /tracez) on
+//                               127.0.0.1:N for the duration of the run;
+//                               N=0 picks an ephemeral port (printed).
+//                               Implies windowed-metrics sampling so
+//                               /metrics carries *_rate10s gauges
+//   --metrics_interval_ms=N     sample the registry every N ms and
+//                               append one windowed JSON line per sample
+//                               to <metrics_out>l (".json" -> ".jsonl"),
+//                               so long runs leave a rate/percentile
+//                               timeline, not just a final snapshot
 //   --simd=scalar|avx2          pin the geo::simd kernel variant for the
 //                               run (default: runtime CPU dispatch; see
 //                               README "Performance"). --simd=avx2 fails
@@ -79,6 +91,8 @@ struct BenchFlags {
   uint64_t deadline_us = 0;  // 0 = no per-query deadline
   uint64_t seed = 42;        // master seed for seeded workload rows
   std::string simd;          // "" = runtime dispatch, else scalar|avx2
+  int admin_port = -1;       // -1 = no admin server; 0 = ephemeral port
+  int64_t metrics_interval_ms = 0;  // 0 = no periodic windowed snapshots
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,9 @@
 #include "common/metrics.h"
 #include "common/query_profile.h"
 #include "common/trace.h"
+#include "common/windowed.h"
 #include "geo/simd.h"
+#include "obs/admin.h"
 
 namespace {
 
@@ -83,6 +86,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.metrics_out.empty()) {
+    flags.metrics_out = std::string(argv[0]) + ".metrics.json";
+  }
+  // Windowed sampling runs only when asked for: derived gauges are
+  // wall-clock-dependent and must not leak into determinism-gated runs.
+  std::unique_ptr<exearth::common::WindowedSampler> sampler;
+  if (flags.metrics_interval_ms > 0 || flags.admin_port >= 0) {
+    exearth::common::WindowedOptions wopts;
+    if (flags.metrics_interval_ms > 0) {
+      wopts.sample_period_us = flags.metrics_interval_ms * 1000;
+      wopts.stream_path = flags.metrics_out + "l";  // .json -> .jsonl
+    }
+    sampler = std::make_unique<exearth::common::WindowedSampler>(
+        &exearth::common::MetricsRegistry::Default(), wopts);
+    sampler->Start();
+  }
+  std::unique_ptr<exearth::obs::AdminServer> admin;
+  if (flags.admin_port >= 0) {
+    exearth::obs::AdminServerOptions aopts;
+    aopts.port = static_cast<uint16_t>(flags.admin_port);
+    admin = std::make_unique<exearth::obs::AdminServer>(aopts);
+    const exearth::common::Status started = admin->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--admin_port: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "admin server: http://127.0.0.1:%u/\n",
+                 static_cast<unsigned>(admin->port()));
+  }
+
   std::vector<char*> argv2;
   argv2.reserve(args.size());
   for (std::string& a : args) argv2.push_back(a.data());
@@ -92,8 +125,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (flags.metrics_out.empty()) {
-    flags.metrics_out = std::string(argv[0]) + ".metrics.json";
+  if (admin != nullptr) admin->Stop();
+  if (sampler != nullptr) {
+    sampler->Stop();
+    if (flags.metrics_interval_ms > 0) {
+      std::fprintf(stderr, "windowed snapshots: %sl (%zu samples)\n",
+                   flags.metrics_out.c_str(), sampler->num_samples());
+    }
   }
   const std::string json =
       "{\n\"config\": {\"threads\": " + std::to_string(flags.threads) +

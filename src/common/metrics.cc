@@ -177,6 +177,35 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return it->second.get();
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.bounds = h->bounds();
+    hs.buckets.reserve(hs.bounds.size() + 1);
+    for (size_t i = 0; i <= hs.bounds.size(); ++i) {
+      hs.buckets.push_back(h->bucket_count(i));
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n  \"counters\": {";
@@ -252,8 +281,12 @@ std::string JsonEscape(const std::string& s) {
         out += "\\t";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
+        // Control bytes must be escaped per RFC 8259; bytes >= 0x7f are
+        // escaped too so arbitrary (even invalid-UTF-8) input always
+        // yields a parseable ASCII document.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) >= 0x7f) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
         } else {
           out += c;
         }

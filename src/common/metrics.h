@@ -122,7 +122,29 @@ class MetricsRegistry {
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {name: {count, sum, min, max, p50, p95, p99,
   ///                          buckets: [{le, count}, ...]}}}
+  /// Metric names are JSON-escaped (hostile names — quotes, control
+  /// bytes, non-ASCII — cannot break the document; see JsonEscape).
   std::string ToJson() const;
+
+  /// Point-in-time values of every registered metric, for exporters that
+  /// need iteration (the Prometheus renderer, the windowed sampler).
+  /// Per-metric values are exact; cross-metric consistency is best-effort,
+  /// like ToJson(). Entries are sorted by name.
+  struct HistogramSample {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> bounds;     // bucket upper bounds
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSample> histograms;
+  };
+  Snapshot TakeSnapshot() const;
 
   /// Zeroes every registered metric in place (pointers stay valid).
   void Reset();
@@ -155,7 +177,10 @@ class ScopedLatencyTimer {
 };
 
 /// Escapes a string for inclusion in a JSON string literal (quotes not
-/// included). Shared by the metrics and trace exporters.
+/// included). Shared by the metrics and trace exporters. Output is pure
+/// ASCII: control bytes AND bytes >= 0x7f are \u-escaped, so hostile
+/// metric names (embedded quotes, newlines, invalid UTF-8) can never
+/// produce a malformed document.
 std::string JsonEscape(const std::string& s);
 
 }  // namespace exearth::common

@@ -289,8 +289,15 @@ void RenderFlame(const FlameNode& node, int depth, std::string* out) {
 
 }  // namespace
 
-std::string EventRecorder::ToFlameTreeText() const {
-  const std::vector<SpanEvent> events = Snapshot();
+std::string EventRecorder::ToFlameTreeText(uint64_t only_trace_id) const {
+  std::vector<SpanEvent> events = Snapshot();
+  if (only_trace_id != 0) {
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [&](const SpanEvent& ev) {
+                                  return ev.trace_id != only_trace_id;
+                                }),
+                 events.end());
+  }
   // Index spans by id, attach children, group roots by trace. A span
   // whose parent was overwritten in its ring renders as a root.
   std::map<uint64_t, FlameNode> nodes;

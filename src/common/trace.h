@@ -184,8 +184,10 @@ class EventRecorder {
   std::string ToChromeTraceJson() const;
 
   /// Text flame tree, one block per trace (slowest first), spans nested
-  /// by parent_span_id with durations and thread ids.
-  std::string ToFlameTreeText() const;
+  /// by parent_span_id with durations and thread ids. A non-zero
+  /// `only_trace_id` renders just that request's block (the /tracez
+  /// admin endpoint's ?trace_id= filter).
+  std::string ToFlameTreeText(uint64_t only_trace_id = 0) const;
 
   /// Clears every ring (registrations and capacity survive).
   void Reset();

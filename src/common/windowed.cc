@@ -1,0 +1,355 @@
+#include "common/windowed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace exearth::common {
+
+std::string WindowLabel(int64_t window_us) {
+  if (window_us % 60'000'000 == 0) {
+    return StrFormat("%lldm", static_cast<long long>(window_us / 60'000'000));
+  }
+  return StrFormat("%llds", static_cast<long long>(window_us / 1'000'000));
+}
+
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets, double p) {
+  uint64_t n = 0;
+  for (uint64_t b : buckets) n += b;
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = std::max(1.0, p / 100.0 * static_cast<double>(n));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      // First bucket interpolates from 0; the overflow bucket has no
+      // upper bound, so report its lower edge (no extrapolation).
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lower;
+      const double frac = (target - static_cast<double>(prev)) /
+                          static_cast<double>(buckets[i]);
+      return lower + frac * (bounds[i] - lower);
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+WindowedSampler::WindowedSampler(MetricsRegistry* registry,
+                                 WindowedOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  EEA_CHECK(registry_ != nullptr);
+  EEA_CHECK(!options_.windows_us.empty()) << "need at least one window";
+  EEA_CHECK(options_.sample_period_us > 0);
+}
+
+WindowedSampler::~WindowedSampler() { Stop(); }
+
+void WindowedSampler::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void WindowedSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+}
+
+bool WindowedSampler::running() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return thread_.joinable();
+}
+
+void WindowedSampler::RunLoop() {
+  auto now_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  const auto tick = [this, &now_us] {
+    SampleOnce(now_us());
+    if (!options_.stream_path.empty()) {
+      const std::string line = ToJsonLine();
+      FILE* f = std::fopen(options_.stream_path.c_str(), "a");
+      if (f != nullptr) {
+        std::fputs(line.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
+  };
+  // Sample immediately: the first baseline exists at start, so short
+  // runs still leave a snapshot and derived gauges appear one period in
+  // instead of two.
+  tick();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      run_cv_.wait_for(lock,
+                       std::chrono::microseconds(options_.sample_period_us),
+                       [this] { return stop_; });
+      if (stop_) return;
+    }
+    tick();
+  }
+}
+
+void WindowedSampler::SampleOnce(int64_t now_us) {
+  const MetricsRegistry::Snapshot snap = registry_->TakeSnapshot();
+  Sample s;
+  s.t_us = now_us;
+  for (const auto& [name, value] : snap.counters) s.counters[name] = value;
+  for (const auto& h : snap.histograms) {
+    HistCum cum;
+    cum.count = h.count;
+    cum.sum = h.sum;
+    cum.buckets = h.buckets;
+    s.hists[h.name] = std::move(cum);
+    auto it = hist_bounds_.find(h.name);
+    if (it == hist_bounds_.end()) hist_bounds_[h.name] = h.bounds;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ring_.empty() && now_us <= ring_.back().t_us) return;
+    ring_.push_back(std::move(s));
+    // Keep enough history to bracket the largest window, plus one sample
+    // of slack so the baseline can sit at-or-before the window edge.
+    const int64_t horizon = options_.windows_us.back() +
+                            2 * options_.sample_period_us;
+    while (ring_.size() > 2 && ring_.front().t_us < ring_.back().t_us - horizon) {
+      ring_.pop_front();
+    }
+    if (options_.publish_gauges) PublishLocked(ring_.back());
+  }
+}
+
+const WindowedSampler::Sample* WindowedSampler::BaselineLocked(
+    int64_t edge) const {
+  const Sample* found = &ring_.front();
+  for (const Sample& s : ring_) {
+    if (s.t_us > edge) break;
+    found = &s;
+  }
+  return found;
+}
+
+bool WindowedSampler::Bracket(int64_t window_us, const Sample** newest,
+                              const Sample** base) const {
+  if (ring_.size() < 2) return false;
+  *newest = &ring_.back();
+  const Sample* found = BaselineLocked(ring_.back().t_us - window_us);
+  if (found == *newest) return false;
+  *base = found;
+  return true;
+}
+
+double WindowedSampler::Rate(const std::string& name,
+                             int64_t window_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* newest;
+  const Sample* base;
+  if (!Bracket(window_us, &newest, &base)) return 0.0;
+  const double elapsed_s =
+      static_cast<double>(newest->t_us - base->t_us) / 1e6;
+  if (elapsed_s <= 0.0) return 0.0;
+  uint64_t now_v = 0, then_v = 0;
+  if (auto it = newest->counters.find(name); it != newest->counters.end()) {
+    now_v = it->second;
+    if (auto jt = base->counters.find(name); jt != base->counters.end()) {
+      then_v = jt->second;
+    }
+  } else if (auto ht = newest->hists.find(name); ht != newest->hists.end()) {
+    now_v = ht->second.count;
+    if (auto jt = base->hists.find(name); jt != base->hists.end()) {
+      then_v = jt->second.count;
+    }
+  } else {
+    return 0.0;
+  }
+  if (now_v < then_v) return 0.0;  // registry Reset() mid-window
+  return static_cast<double>(now_v - then_v) / elapsed_s;
+}
+
+bool WindowedSampler::HistogramWindow(const std::string& name,
+                                      int64_t window_us,
+                                      WindowView* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* newest;
+  const Sample* base;
+  if (!Bracket(window_us, &newest, &base)) return false;
+  auto nit = newest->hists.find(name);
+  if (nit == newest->hists.end()) return false;
+  const HistCum& now_h = nit->second;
+  HistCum zero;
+  const HistCum* then_h = &zero;
+  if (auto bit = base->hists.find(name); bit != base->hists.end()) {
+    then_h = &bit->second;
+  }
+  if (now_h.count < then_h->count) return false;  // Reset() mid-window
+  std::vector<uint64_t> delta(now_h.buckets.size(), 0);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    const uint64_t then_b =
+        i < then_h->buckets.size() ? then_h->buckets[i] : 0;
+    delta[i] = now_h.buckets[i] >= then_b ? now_h.buckets[i] - then_b : 0;
+  }
+  const auto bounds_it = hist_bounds_.find(name);
+  const std::vector<double>& bounds = bounds_it != hist_bounds_.end()
+                                          ? bounds_it->second
+                                          : std::vector<double>{};
+  out->count = now_h.count - then_h->count;
+  out->sum = now_h.sum - then_h->sum;
+  const double elapsed_s =
+      static_cast<double>(newest->t_us - base->t_us) / 1e6;
+  out->rate = elapsed_s > 0.0
+                  ? static_cast<double>(out->count) / elapsed_s
+                  : 0.0;
+  out->p50 = PercentileFromBuckets(bounds, delta, 50);
+  out->p95 = PercentileFromBuckets(bounds, delta, 95);
+  out->p99 = PercentileFromBuckets(bounds, delta, 99);
+  return true;
+}
+
+Gauge* WindowedSampler::DerivedGauge(const std::string& base,
+                                     const char* kind, int64_t window_us) {
+  // kind: "rate" -> <base>.rate<label>; "p50"/"p95"/"p99" ->
+  // <base>.<kind>_<label>.
+  std::string name = base;
+  name += '.';
+  name += kind;
+  name += std::string_view(kind) == "rate" ? "" : "_";
+  name += WindowLabel(window_us);
+  auto it = derived_.find(name);
+  if (it == derived_.end()) {
+    it = derived_.emplace(name, registry_->GetGauge(name)).first;
+  }
+  return it->second;
+}
+
+void WindowedSampler::PublishLocked(const Sample& newest) {
+  for (int64_t w : options_.windows_us) {
+    const Sample* base = BaselineLocked(newest.t_us - w);
+    if (base == &newest) continue;
+    const double elapsed_s =
+        static_cast<double>(newest.t_us - base->t_us) / 1e6;
+    if (elapsed_s <= 0.0) continue;
+    for (const auto& [name, value] : newest.counters) {
+      uint64_t then_v = 0;
+      if (auto it = base->counters.find(name); it != base->counters.end()) {
+        then_v = it->second;
+      }
+      const double rate =
+          value >= then_v ? static_cast<double>(value - then_v) / elapsed_s
+                          : 0.0;
+      DerivedGauge(name, "rate", w)->Set(rate);
+    }
+    for (const auto& [name, cum] : newest.hists) {
+      const HistCum* then_h = nullptr;
+      if (auto it = base->hists.find(name); it != base->hists.end()) {
+        then_h = &it->second;
+      }
+      const uint64_t then_count = then_h != nullptr ? then_h->count : 0;
+      if (cum.count < then_count) continue;
+      const double rate =
+          static_cast<double>(cum.count - then_count) / elapsed_s;
+      DerivedGauge(name, "rate", w)->Set(rate);
+      std::vector<uint64_t> delta(cum.buckets.size(), 0);
+      for (size_t i = 0; i < delta.size(); ++i) {
+        const uint64_t then_b =
+            then_h != nullptr && i < then_h->buckets.size()
+                ? then_h->buckets[i]
+                : 0;
+        delta[i] = cum.buckets[i] >= then_b ? cum.buckets[i] - then_b : 0;
+      }
+      const std::vector<double>& bounds = hist_bounds_[name];
+      DerivedGauge(name, "p50", w)->Set(
+          PercentileFromBuckets(bounds, delta, 50));
+      DerivedGauge(name, "p95", w)->Set(
+          PercentileFromBuckets(bounds, delta, 95));
+      DerivedGauge(name, "p99", w)->Set(
+          PercentileFromBuckets(bounds, delta, 99));
+    }
+  }
+}
+
+std::string WindowedSampler::ToJsonLine() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return "{}";
+  const Sample& newest = ring_.back();
+  std::string out =
+      StrFormat("{\"t_us\": %lld", static_cast<long long>(newest.t_us));
+  out += ", \"rates\": {";
+  bool first_name = true;
+  auto rate_of = [&](uint64_t now_v, const Sample* base,
+                     uint64_t then_v) -> double {
+    const double elapsed_s =
+        static_cast<double>(newest.t_us - base->t_us) / 1e6;
+    if (elapsed_s <= 0.0 || now_v < then_v) return 0.0;
+    return static_cast<double>(now_v - then_v) / elapsed_s;
+  };
+  for (const auto& [name, value] : newest.counters) {
+    out += StrFormat("%s\"%s\": {", first_name ? "" : ", ",
+                     JsonEscape(name).c_str());
+    first_name = false;
+    bool first_w = true;
+    for (int64_t w : options_.windows_us) {
+      const Sample* base = BaselineLocked(newest.t_us - w);
+      double r = 0.0;
+      if (base != &newest) {
+        uint64_t then_v = 0;
+        if (auto it = base->counters.find(name);
+            it != base->counters.end()) {
+          then_v = it->second;
+        }
+        r = rate_of(value, base, then_v);
+      }
+      out += StrFormat("%s\"%s\": %.6g", first_w ? "" : ", ",
+                       WindowLabel(w).c_str(), r);
+      first_w = false;
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+size_t WindowedSampler::num_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+bool WindowedSampler::IsDerivedGaugeName(const std::string& name) {
+  const size_t dot = name.find_last_of('.');
+  if (dot == std::string::npos) return false;
+  const std::string_view suffix(name.c_str() + dot + 1);
+  auto window_tail = [](std::string_view s) {
+    if (s.empty()) return false;
+    if (s.back() != 's' && s.back() != 'm') return false;
+    s.remove_suffix(1);
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  if (suffix.rfind("rate", 0) == 0) return window_tail(suffix.substr(4));
+  for (const char* p : {"p50_", "p95_", "p99_"}) {
+    if (suffix.rfind(p, 0) == 0) return window_tail(suffix.substr(4));
+  }
+  return false;
+}
+
+}  // namespace exearth::common

@@ -1,0 +1,176 @@
+// Windowed views over the cumulative MetricsRegistry: "QPS and p99 right
+// now", not just "since process start".
+//
+// Cumulative counters and histograms answer totals; operators watching a
+// live system need short-horizon derivatives. A WindowedSampler snapshots
+// the registry on a fixed cadence (a background thread, or an injected
+// clock in tests) and keeps a bounded ring of samples covering its
+// largest window. From consecutive samples it derives, per window (10s
+// and 1m by default):
+//
+//   * counter rates        — (value_now - value_then) / elapsed
+//   * histogram rates      — observation count over the window
+//   * windowed percentiles — p50/p99 of the *bucket deltas* between the
+//     window edges (a true sliding-window distribution, not a decayed
+//     approximation of the lifetime histogram)
+//
+// Derived values are published back into the registry as gauges named
+// <metric>.rate10s / <metric>.rate1m / <metric>.p50_10s / ... so every
+// exporter (JSON snapshot, Prometheus /metrics) picks them up with no
+// extra plumbing. Derived gauges are never themselves sampled (only
+// counters and histograms are), so the sampler cannot feed back on
+// itself.
+//
+// Determinism note: windowed gauges are functions of wall-clock sampling
+// and are NOT part of any seeded-run deterministic surface; CI gates that
+// diff registry snapshots must exclude the derived-gauge suffixes (see
+// WindowedSampler::IsDerivedGaugeName).
+//
+// Thread-safety: Start()/Stop() manage the sampling thread; SampleOnce()
+// may be called from any one thread at a time (the background thread, or
+// a test driving a fake clock); readers (Rate, HistogramWindow, ToJson)
+// are safe concurrently with sampling.
+
+#ifndef EXEARTH_COMMON_WINDOWED_H_
+#define EXEARTH_COMMON_WINDOWED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace exearth::common {
+
+struct WindowedOptions {
+  /// Sampling cadence of the background thread (and the spacing tests
+  /// should use with a fake clock).
+  int64_t sample_period_us = 1'000'000;
+  /// Sliding windows to derive, microseconds. Must be non-empty,
+  /// ascending. Window label in gauge names: 10s, 1m, 90s, ...
+  std::vector<int64_t> windows_us = {10'000'000, 60'000'000};
+  /// Publish derived gauges back into the registry (off = query-only).
+  bool publish_gauges = true;
+  /// When non-empty, the background thread appends one compact JSON line
+  /// (see ToJsonLine) to this file after every sample — a poor man's
+  /// scrape for long bench runs (bench_main --metrics_interval_ms).
+  std::string stream_path;
+};
+
+/// Human label for a window ("10s", "1m", "90s").
+std::string WindowLabel(int64_t window_us);
+
+/// Interpolated percentile over explicit bucket counts (the windowed
+/// sibling of Histogram::Percentile; bounds as in Histogram). Exposed for
+/// tests.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& buckets, double p);
+
+class WindowedSampler {
+ public:
+  explicit WindowedSampler(MetricsRegistry* registry,
+                           WindowedOptions options = {});
+  ~WindowedSampler();
+
+  WindowedSampler(const WindowedSampler&) = delete;
+  WindowedSampler& operator=(const WindowedSampler&) = delete;
+
+  /// Starts the background sampling thread (steady_clock cadence).
+  /// Idempotent.
+  void Start();
+  /// Stops and joins the thread. Idempotent; called by the destructor.
+  void Stop();
+  bool running() const;
+
+  /// Takes one sample at (virtual or wall) time `now_us`, updates the
+  /// ring and — when publish_gauges — the derived gauges. Samples with
+  /// non-increasing timestamps are ignored.
+  void SampleOnce(int64_t now_us);
+
+  /// Rate of counter (or histogram observation count) `name` over the
+  /// trailing window, events per second. 0 when unknown or when fewer
+  /// than two samples cover the window.
+  double Rate(const std::string& name, int64_t window_us) const;
+
+  /// Windowed histogram view: observation count/sum and interpolated
+  /// percentiles of the observations that landed inside the trailing
+  /// window. Returns false when `name` is unknown or no two samples
+  /// bracket the window.
+  struct WindowView {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double rate = 0.0;  // count per second
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  bool HistogramWindow(const std::string& name, int64_t window_us,
+                       WindowView* out) const;
+
+  /// One-line JSON of every derived value at the latest sample:
+  ///   {"t_us": ..., "rates": {"<name>": {"10s": r, "1m": r}, ...},
+  ///    "histograms": {"<name>": {"10s": {"rate": r, "p50": ..,
+  ///                                      "p99": ..}, ...}}}
+  std::string ToJsonLine() const;
+
+  /// Samples currently retained in the ring.
+  size_t num_samples() const;
+
+  /// True for gauge names the sampler publishes (suffix .rateNN /
+  /// .p50_NN / .p95_NN / .p99_NN) — CI determinism diffs exclude these.
+  static bool IsDerivedGaugeName(const std::string& name);
+
+  const WindowedOptions& options() const { return options_; }
+
+ private:
+  struct HistCum {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<uint64_t> buckets;
+  };
+  struct Sample {
+    int64_t t_us = 0;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistCum> hists;
+  };
+
+  /// Latest sample and the baseline at or before (latest.t_us -
+  /// window_us); false when the ring cannot bracket the window. Caller
+  /// holds mu_.
+  bool Bracket(int64_t window_us, const Sample** newest,
+               const Sample** base) const;
+
+  /// Newest sample at or before `edge`; while the ring is still warming
+  /// up (no sample that old yet) the oldest retained sample serves as an
+  /// approximate baseline. Caller holds mu_.
+  const Sample* BaselineLocked(int64_t edge) const;
+
+  Gauge* DerivedGauge(const std::string& base, const char* kind,
+                      int64_t window_us);
+  void PublishLocked(const Sample& newest);
+  void RunLoop();
+
+  MetricsRegistry* const registry_;
+  const WindowedOptions options_;
+  // Bounds per histogram name, captured at first sight (histogram bounds
+  // are immutable after registration).
+  std::map<std::string, std::vector<double>> hist_bounds_;
+  std::map<std::string, Gauge*> derived_;
+
+  mutable std::mutex mu_;
+  std::deque<Sample> ring_;
+
+  mutable std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace exearth::common
+
+#endif  // EXEARTH_COMMON_WINDOWED_H_

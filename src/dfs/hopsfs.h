@@ -93,6 +93,10 @@ class HopsFsNameNode : public FileSystem {
   common::Status RemoveRecursive(const std::string& path) override;
   common::Result<uint64_t> DiskUsage(const std::string& path) override;
 
+  /// Readiness probe for the admin /healthz endpoint: a live metadata
+  /// transaction (root listing) against the backing KV store.
+  common::Status CheckReady() { return List("/").status(); }
+
  private:
   // Resolves the parent directory of `path`; returns its inode id and the
   // final path component via `leaf`.

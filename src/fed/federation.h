@@ -160,6 +160,16 @@ class FederationEngine {
 
   size_t num_endpoints() const { return endpoints_.size(); }
 
+  /// Readiness probe for the admin /healthz endpoint: the mediator can
+  /// answer queries only with at least one registered endpoint.
+  common::Status CheckReady() const {
+    if (endpoints_.empty()) {
+      return common::Status::FailedPrecondition(
+          "fed: no endpoints registered");
+    }
+    return common::Status::OK();
+  }
+
   /// A term-level filter over a federated row.
   using FedFilter = std::function<bool(const FedBinding&)>;
 

@@ -1,0 +1,222 @@
+#include "obs/admin.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/query_profile.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "geo/simd.h"
+#include "obs/prometheus.h"
+
+namespace exearth::obs {
+
+using common::Status;
+using common::StrFormat;
+
+namespace {
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 120.0) return StrFormat("%.1fs", seconds);
+  if (seconds < 7200.0) return StrFormat("%.1fm", seconds / 60.0);
+  return StrFormat("%.1fh", seconds / 3600.0);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::AddReadinessProbe(std::string name,
+                                    std::function<Status()> probe) {
+  probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void AdminServer::AddStatusLine(std::string name,
+                                std::function<std::string()> value) {
+  status_lines_.emplace_back(std::move(name), std::move(value));
+}
+
+void AdminServer::AddPrometheusCollector(
+    std::function<std::string()> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void AdminServer::AddPage(std::string path, std::string description,
+                          HttpServer::Handler handler) {
+  pages_.emplace_back(path, std::move(description));
+  if (!http_) {
+    HttpServerOptions http = options_.http;
+    http.port = options_.port;
+    http.bind_address = options_.bind_address;
+    http_ = std::make_unique<HttpServer>(http);
+  }
+  http_->Handle(std::move(path), std::move(handler));
+}
+
+Status AdminServer::Start() {
+  if (running()) return Status::FailedPrecondition("admin: already started");
+  if (!http_) {
+    HttpServerOptions http = options_.http;
+    http.port = options_.port;
+    http.bind_address = options_.bind_address;
+    http_ = std::make_unique<HttpServer>(http);
+  }
+  http_->Handle("/", [this](const HttpRequest& r) { return Index(r); });
+  http_->Handle("/metrics",
+                [this](const HttpRequest& r) { return Metrics(r); });
+  http_->Handle("/healthz",
+                [this](const HttpRequest& r) { return Healthz(r); });
+  http_->Handle("/statusz",
+                [this](const HttpRequest& r) { return Statusz(r); });
+  http_->Handle("/slowqueryz",
+                [this](const HttpRequest& r) { return SlowQueryz(r); });
+  http_->Handle("/tracez",
+                [this](const HttpRequest& r) { return Tracez(r); });
+  start_time_ = std::chrono::steady_clock::now();
+  return http_->Start();
+}
+
+void AdminServer::Stop() {
+  if (http_) http_->Stop();
+}
+
+HttpResponse AdminServer::Index(const HttpRequest&) const {
+  std::string body = "extreme-earth admin server\n\n";
+  body +=
+      "  /metrics     Prometheus text exposition\n"
+      "  /healthz     readiness probes (200 ok / 503 not ready)\n"
+      "  /statusz     build, uptime, SIMD variant, queue depths\n"
+      "  /slowqueryz  worst-N slow query profiles\n"
+      "  /tracez      sampled trace trees (?trace_id=N for one request)\n";
+  for (const auto& [path, desc] : pages_) {
+    body += StrFormat("  %-12s %s\n", path.c_str(), desc.c_str());
+  }
+  return {200, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse AdminServer::Metrics(const HttpRequest&) const {
+  std::string body = RenderPrometheus(common::MetricsRegistry::Default());
+  for (const auto& collector : collectors_) body += collector();
+  // The registered Prometheus content type for text exposition 0.0.4.
+  return {200, "text/plain; version=0.0.4; charset=utf-8", std::move(body)};
+}
+
+HttpResponse AdminServer::Healthz(const HttpRequest&) const {
+  std::string body;
+  size_t failing = 0;
+  for (const auto& [name, probe] : probes_) {
+    const Status st = probe();
+    if (st.ok()) {
+      body += StrFormat("ok      %s\n", name.c_str());
+    } else {
+      ++failing;
+      body += StrFormat("FAILING %s: %s\n", name.c_str(),
+                        st.ToString().c_str());
+    }
+  }
+  if (failing == 0) {
+    return {200, "text/plain; charset=utf-8", "ok\n" + body};
+  }
+  return {503, "text/plain; charset=utf-8",
+          StrFormat("not ready (%zu probe(s) failing)\n", failing) + body};
+}
+
+HttpResponse AdminServer::Statusz(const HttpRequest&) const {
+  const double uptime_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  std::string body = "extreme-earth serving process\n\n";
+  body += StrFormat("uptime:        %s\n", FormatDuration(uptime_s).c_str());
+#ifdef NDEBUG
+  body += "build:         optimized (NDEBUG)\n";
+#else
+  body += "build:         debug (assertions on)\n";
+#endif
+#ifdef __VERSION__
+  body += StrFormat("compiler:      %s\n", __VERSION__);
+#endif
+  body += StrFormat("simd variant:  %s\n", geo::simd::ActiveVariantName());
+  for (const auto& [name, value] : status_lines_) {
+    body += StrFormat("%-14s %s\n", (name + ":").c_str(), value().c_str());
+  }
+  // Queue/admission depths straight from the registry — every
+  // AdmissionController already publishes admission.<name>.{depth,...}.
+  const auto snap = common::MetricsRegistry::Default().TakeSnapshot();
+  std::string gauges;
+  for (const auto& [name, value] : snap.gauges) {
+    if (common::StartsWith(name, "admission.") ||
+        common::StartsWith(name, "obs.http.")) {
+      gauges += StrFormat("  %-40s %g\n", name.c_str(), value);
+    }
+  }
+  if (!gauges.empty()) body += "\nqueues\n" + gauges;
+  return {200, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse AdminServer::SlowQueryz(const HttpRequest&) const {
+  auto& log = common::SlowQueryLog::Default();
+  std::string body;
+  if (!log.enabled()) {
+    body =
+        "slow-query log disabled (enable with "
+        "SlowQueryLog::Default().Configure(capacity, threshold_us))\n";
+    return {200, "text/plain; charset=utf-8", std::move(body)};
+  }
+  const auto entries = log.Snapshot();
+  body = StrFormat("slow queries: %zu entries, threshold %.0f us, worst "
+                   "first\n\n",
+                   entries.size(), log.threshold_us());
+  body += StrFormat("%-12s %-34s %-18s %s\n", "total_us", "query", "status",
+                    "trace");
+  for (const auto& profile : entries) {
+    body += StrFormat(
+        "%-12.0f %-34s %-18s %s\n", profile.total_us, profile.query.c_str(),
+        profile.status.empty() ? "OK" : profile.status.c_str(),
+        profile.trace_id != 0
+            ? StrFormat("/tracez?trace_id=%llu",
+                        static_cast<unsigned long long>(profile.trace_id))
+                  .c_str()
+            : "-");
+  }
+  if (!entries.empty()) {
+    body += "\nworst profile:\n" + entries.front().ToText();
+  }
+  return {200, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse AdminServer::Tracez(const HttpRequest& req) const {
+  auto& recorder = common::EventRecorder::Default();
+  if (!recorder.enabled()) {
+    return {200, "text/plain; charset=utf-8",
+            "event recorder disabled (enable with "
+            "EventRecorder::Default().set_enabled(true))\n"};
+  }
+  uint64_t only = 0;
+  const std::string want = req.QueryOr("trace_id", "");
+  if (!want.empty()) {
+    int64_t parsed = 0;
+    if (!common::ParseInt64(want, &parsed) || parsed < 0) {
+      return {400, "text/plain; charset=utf-8",
+              "bad trace_id '" + want + "'\n"};
+    }
+    only = static_cast<uint64_t>(parsed);
+  }
+  std::string body = recorder.ToFlameTreeText(only);
+  if (body.empty()) {
+    body = only != 0 ? StrFormat("no events for trace_id %llu (ring may "
+                                 "have evicted it)\n",
+                                 static_cast<unsigned long long>(only))
+                     : "no events recorded yet\n";
+  }
+  if (recorder.dropped() > 0) {
+    body += StrFormat("\n(%llu events dropped from full rings)\n",
+                      static_cast<unsigned long long>(recorder.dropped()));
+  }
+  return {200, "text/plain; charset=utf-8", std::move(body)};
+}
+
+}  // namespace exearth::obs

@@ -1,0 +1,112 @@
+// Embedded admin server: live introspection endpoints over the minimal
+// HTTP server, the way Borgmon-era services expose /statusz & friends.
+//
+// Endpoints (all GET, text responses, loopback by default):
+//
+//   /            index of registered endpoints
+//   /metrics     Prometheus text exposition 0.0.4 of the process
+//                MetricsRegistry, plus any registered extra collectors
+//                (labeled families the registry cannot express, e.g. the
+//                per-tenant SLO burn rates)
+//   /healthz     liveness + readiness. Liveness is implied by answering;
+//                readiness runs every registered probe and returns 200
+//                "ok" only if all pass, else 503 with one line per
+//                failing probe — this is what flips a load balancer away
+//                from a draining process.
+//   /statusz     build info, uptime, active SIMD kernel variant,
+//                admission/queue gauges, registered status lines
+//   /slowqueryz  the SlowQueryLog's worst-N profiles, worst first, each
+//                row cross-linking /tracez?trace_id=<id>
+//   /tracez      sampled trace trees from the EventRecorder (flame-tree
+//                text); ?trace_id=N renders one request's tree
+//
+// Subsystems above obs (serve, platform, ...) attach through the hook
+// methods — AddReadinessProbe / AddStatusLine / AddPrometheusCollector /
+// AddPage — so obs stays dependency-free while /tenantz and the broker
+// probe live in serve.
+//
+// All registration must happen before Start(); the *probe and collector
+// callbacks* are invoked per request, so what they report is live.
+
+#ifndef EXEARTH_OBS_ADMIN_H_
+#define EXEARTH_OBS_ADMIN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/http.h"
+
+namespace exearth::obs {
+
+struct AdminServerOptions {
+  /// Port to bind; 0 picks an ephemeral port (see AdminServer::port()).
+  uint16_t port = 0;
+  /// Loopback by default — the admin plane is not a public surface.
+  std::string bind_address = "127.0.0.1";
+  /// Underlying HTTP server tuning (port/bind_address above win).
+  HttpServerOptions http;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Readiness probe for /healthz: returns OK when the named subsystem
+  /// can serve. Evaluated per request (live). Register before Start().
+  void AddReadinessProbe(std::string name,
+                         std::function<common::Status()> probe);
+
+  /// One "name: <value()>" line appended to /statusz.
+  void AddStatusLine(std::string name, std::function<std::string()> value);
+
+  /// Extra Prometheus exposition text appended to /metrics after the
+  /// registry families. The collector owns correctness of its output
+  /// (use it for labeled families the flat registry cannot express).
+  void AddPrometheusCollector(std::function<std::string()> collector);
+
+  /// Custom page at exact path `path`, listed on the index with
+  /// `description`.
+  void AddPage(std::string path, std::string description,
+               HttpServer::Handler handler);
+
+  /// Binds and serves. Registration must be complete.
+  common::Status Start();
+  void Stop();
+
+  bool running() const { return http_ && http_->running(); }
+  /// The actually bound port (useful with options.port == 0).
+  uint16_t port() const { return http_ ? http_->port() : 0; }
+
+ private:
+  HttpResponse Index(const HttpRequest& req) const;
+  HttpResponse Metrics(const HttpRequest& req) const;
+  HttpResponse Healthz(const HttpRequest& req) const;
+  HttpResponse Statusz(const HttpRequest& req) const;
+  HttpResponse SlowQueryz(const HttpRequest& req) const;
+  HttpResponse Tracez(const HttpRequest& req) const;
+
+  AdminServerOptions options_;
+  std::unique_ptr<HttpServer> http_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::vector<std::pair<std::string, std::function<common::Status()>>>
+      probes_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      status_lines_;
+  std::vector<std::function<std::string()>> collectors_;
+  std::vector<std::pair<std::string, std::string>> pages_;  // path, desc
+};
+
+}  // namespace exearth::obs
+
+#endif  // EXEARTH_OBS_ADMIN_H_

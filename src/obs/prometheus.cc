@@ -1,0 +1,134 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace exearth::obs {
+
+namespace {
+
+bool LegalFirst(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool LegalRest(char c) {
+  return LegalFirst(c) || (c >= '0' && c <= '9');
+}
+
+std::string Sanitize(std::string_view name, bool allow_colon) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    if (!allow_colon && c == ':') c = '_';
+    if (i == 0) {
+      if (c >= '0' && c <= '9') {
+        out.push_back('_');
+        out.push_back(c);
+        continue;
+      }
+      out.push_back(LegalFirst(c) ? c : '_');
+    } else {
+      out.push_back(LegalRest(c) ? c : '_');
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// Sample values: integers exact, doubles with enough digits to round-trip
+// typical latencies; non-finite values in the Prometheus spellings.
+std::string Num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return common::StrFormat("%lld", static_cast<long long>(v));
+  }
+  return common::StrFormat("%.10g", v);
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  return Sanitize(name, /*allow_colon=*/true);
+}
+
+std::string SanitizeLabelName(std::string_view name) {
+  return Sanitize(name, /*allow_colon=*/false);
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const common::MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  std::set<std::string> emitted;
+  auto claim = [&](const std::string& sanitized,
+                   const std::string& original) {
+    if (emitted.insert(sanitized).second) return true;
+    out += common::StrFormat(
+        "# skipped \"%s\": name collides with an earlier family after "
+        "sanitization\n",
+        EscapeLabelValue(original).c_str());
+    return false;
+  };
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = SanitizeMetricName(name);
+    if (!claim(n, name)) continue;
+    out += "# TYPE " + n + " counter\n";
+    out += common::StrFormat("%s %llu\n", n.c_str(),
+                             static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = SanitizeMetricName(name);
+    if (!claim(n, name)) continue;
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + Num(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = SanitizeMetricName(h.name);
+    if (!claim(n, h.name)) continue;
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.buckets.size() ? h.buckets[i] : 0;
+      out += common::StrFormat(
+          "%s_bucket{le=\"%s\"} %llu\n", n.c_str(),
+          Num(h.bounds[i]).c_str(), static_cast<unsigned long long>(cum));
+    }
+    out += common::StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", n.c_str(),
+                             static_cast<unsigned long long>(h.count));
+    out += n + "_sum " + Num(h.sum) + "\n";
+    out += common::StrFormat("%s_count %llu\n", n.c_str(),
+                             static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const common::MetricsRegistry& registry) {
+  return RenderPrometheus(registry.TakeSnapshot());
+}
+
+}  // namespace exearth::obs

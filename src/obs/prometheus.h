@@ -1,0 +1,48 @@
+// Prometheus text exposition (format version 0.0.4) for the process-wide
+// MetricsRegistry — what the admin server's /metrics endpoint returns.
+//
+// Registry names use dots ("serve.cache.hits"); Prometheus metric names
+// must match [a-zA-Z_:][a-zA-Z0-9_:]* — SanitizeMetricName mangles
+// illegal characters to '_' (it never rejects, so a hostile registration
+// cannot take down the scrape; a collision after mangling drops the
+// later family with a warning comment rather than emitting a duplicate).
+//
+// Counters render as single samples, gauges likewise, histograms in the
+// native Prometheus shape: cumulative <name>_bucket{le="..."} samples
+// (each bucket includes everything below it, unlike the registry's
+// per-bucket counts), a final le="+Inf" bucket equal to <name>_count,
+// plus <name>_sum.
+
+#ifndef EXEARTH_OBS_PROMETHEUS_H_
+#define EXEARTH_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+
+namespace exearth::obs {
+
+/// Mangles `name` into a legal Prometheus metric name: [a-zA-Z_:] for
+/// the first char, [a-zA-Z0-9_:] after; every illegal char (dots
+/// included) becomes '_', a leading digit gets a '_' prefix, and an
+/// empty name becomes "_".
+std::string SanitizeMetricName(std::string_view name);
+
+/// Same for label names (':' is not legal in label names).
+std::string SanitizeLabelName(std::string_view name);
+
+/// Escapes a label value for `label="..."`: backslash, double quote and
+/// newline get backslash escapes; other bytes pass through verbatim.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders one snapshot as text exposition 0.0.4. Families are emitted
+/// in registry (sorted-name) order, each preceded by its # TYPE line.
+std::string RenderPrometheus(const common::MetricsRegistry::Snapshot& snap);
+
+/// Convenience: snapshot + render.
+std::string RenderPrometheus(const common::MetricsRegistry& registry);
+
+}  // namespace exearth::obs
+
+#endif  // EXEARTH_OBS_PROMETHEUS_H_

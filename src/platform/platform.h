@@ -62,6 +62,10 @@ class ExtremeEarthPlatform {
   /// Number of products registered so far.
   size_t num_products() const { return catalogue_.num_products(); }
 
+  /// Readiness probe for the admin /healthz endpoint: the storage
+  /// namespace answers metadata transactions.
+  common::Status CheckReady() { return namenode_.CheckReady(); }
+
  private:
   dfs::HopsFsCluster storage_;
   dfs::HopsFsNameNode namenode_;

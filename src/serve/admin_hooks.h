@@ -1,0 +1,41 @@
+// Glue between the serving layer and the obs::AdminServer: registers the
+// serve-specific introspection surface on a generic admin server, so obs
+// stays free of serve dependencies while /tenantz & friends exist only
+// when a broker does.
+//
+// Registers:
+//   * /tenantz          — per-tenant quota/shed/cache/batch table from
+//                         QueryBroker::TenantStatsSnapshot(), plus the
+//                         SLO burn table when a tracker is attached
+//   * readiness probe   — "serve.broker": QueryBroker::CheckReady(), so
+//                         /healthz flips to 503 once BeginShutdown() runs
+//   * /metrics collector — the serve_slo_burn_rate{tenant,slo} labeled
+//                         family (when a tracker is attached)
+//   * status line       — broker tenant/cache/queue summary on /statusz
+//
+// Call before AdminServer::Start(); `broker` (and `slo`, if given) must
+// outlive the admin server.
+
+#ifndef EXEARTH_SERVE_ADMIN_HOOKS_H_
+#define EXEARTH_SERVE_ADMIN_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/admin.h"
+
+namespace exearth::serve {
+
+class QueryBroker;
+class SloTracker;
+
+/// `now_us` is the clock SLO burn rates are evaluated against (pass the
+/// broker's virtual clock in deterministic setups); null means
+/// steady_clock.
+void RegisterServeAdminHooks(obs::AdminServer* admin, QueryBroker* broker,
+                             SloTracker* slo = nullptr,
+                             std::function<int64_t()> now_us = nullptr);
+
+}  // namespace exearth::serve
+
+#endif  // EXEARTH_SERVE_ADMIN_HOOKS_H_

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "serve/slo.h"
 
 namespace exearth::serve {
 
@@ -240,6 +241,37 @@ QueryBroker::Tenant* QueryBroker::tenant(TenantId id) {
   return id < tenants_.size() ? tenants_[id].get() : nullptr;
 }
 
+std::vector<TenantStats> QueryBroker::TenantStatsSnapshot() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    TenantStats s;
+    s.name = t->name;
+    s.weight = t->options.weight;
+    s.priority = t->options.priority;
+    s.quota_rps = t->options.quota_rps;
+    s.offered = t->offered.load(std::memory_order_relaxed);
+    s.ok = t->ok.load(std::memory_order_relaxed);
+    s.errors = t->errors.load(std::memory_order_relaxed);
+    s.quota_shed = t->quota_shed.load(std::memory_order_relaxed);
+    s.admission_shed = t->admission_shed.load(std::memory_order_relaxed);
+    s.cache_hits = t->cache_hits.load(std::memory_order_relaxed);
+    s.batched = t->batched.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+common::Status QueryBroker::CheckReady() const {
+  if (shutting_down()) {
+    return Status::Unavailable("serve: broker shutting down");
+  }
+  if (store_ == nullptr && fed_ == nullptr) {
+    return Status::FailedPrecondition("serve: no backend registered");
+  }
+  return Status::OK();
+}
+
 uint64_t QueryBroker::EpochFor(RequestType type) const {
   if (type == RequestType::kFederated) {
     return fed_epoch_.load(std::memory_order_relaxed);
@@ -446,6 +478,7 @@ Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
   const ServeMetrics& metrics = ServeMetrics::Get();
   metrics.requests->Increment();
   common::Stopwatch sw;
+  const int64_t now = now_us_();
   Response resp;
   Tenant* t = tenant(tenant_id);
   if (t == nullptr) {
@@ -453,13 +486,23 @@ Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
     metrics.errors->Increment();
     return resp;
   }
+  t->offered.fetch_add(1, std::memory_order_relaxed);
+  if (shutting_down()) {
+    resp.status = Status::Unavailable("serve: broker shutting down");
+    t->errors.fetch_add(1, std::memory_order_relaxed);
+    metrics.errors->Increment();
+    if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now);
+    return resp;
+  }
   {
     std::lock_guard<std::mutex> lock(t->mu);
-    if (!t->bucket.TryTake(now_us_())) {
+    if (!t->bucket.TryTake(now)) {
       resp.status = Status::ResourceExhausted(
           "serve: tenant '" + t->name + "' over quota");
       resp.shed = ShedStage::kQuota;
       metrics.quota_shed->Increment();
+      t->quota_shed.fetch_add(1, std::memory_order_relaxed);
+      if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now);
       return resp;
     }
   }
@@ -467,6 +510,8 @@ Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
   if (!admitted.ok()) {
     resp.status = admitted;  // the controller counted the shed
     resp.shed = ShedStage::kAdmission;
+    t->admission_shed.fetch_add(1, std::memory_order_relaxed);
+    if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now);
     return resp;
   }
   common::AdmissionTicket ticket(&admission_);
@@ -475,6 +520,9 @@ Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
     resp.latency_us = sw.ElapsedMicros();
     metrics.request_latency_us->Observe(resp.latency_us);
     metrics.ok->Increment();
+    t->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    t->ok.fetch_add(1, std::memory_order_relaxed);
+    if (slo_ != nullptr) slo_->Record(t->name, true, resp.latency_us, now);
     return resp;
   }
   if (request.type == RequestType::kSpatialSelect &&
@@ -488,8 +536,16 @@ Response QueryBroker::Execute(TenantId tenant_id, const Request& request) {
   if (resp.status.ok()) {
     CachePut(key, request.type, resp);
     metrics.ok->Increment();
+    t->ok.fetch_add(1, std::memory_order_relaxed);
+    if (resp.batch_size > 1) {
+      t->batched.fetch_add(1, std::memory_order_relaxed);
+    }
   } else {
     metrics.errors->Increment();
+    t->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (slo_ != nullptr) {
+    slo_->Record(t->name, resp.status.ok(), resp.latency_us, now);
   }
   return resp;
 }
@@ -501,6 +557,21 @@ std::vector<Response> QueryBroker::ExecuteWave(
   metrics.requests->Increment(n);
   std::vector<Response> responses(n);
   if (n == 0) return responses;
+
+  if (shutting_down()) {
+    for (size_t i = 0; i < n; ++i) {
+      responses[i].status =
+          Status::Unavailable("serve: broker shutting down");
+      metrics.errors->Increment();
+      Tenant* t = tenant(offered[i].tenant);
+      if (t != nullptr) {
+        t->offered.fetch_add(1, std::memory_order_relaxed);
+        t->errors.fetch_add(1, std::memory_order_relaxed);
+        if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now_us);
+      }
+    }
+    return responses;
+  }
 
   // 1. Weighted round-robin service order across the wave's tenants
   // (first-appearance tenant order; weight w => up to w consecutive slots
@@ -547,6 +618,7 @@ std::vector<Response> QueryBroker::ExecuteWave(
       metrics.errors->Increment();
       continue;
     }
+    t->offered.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(t->mu);
       if (!t->bucket.TryTake(now_us)) {
@@ -554,6 +626,8 @@ std::vector<Response> QueryBroker::ExecuteWave(
             "serve: tenant '" + t->name + "' over quota");
         resp.shed = ShedStage::kQuota;
         metrics.quota_shed->Increment();
+        t->quota_shed.fetch_add(1, std::memory_order_relaxed);
+        if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now_us);
         continue;
       }
     }
@@ -561,6 +635,8 @@ std::vector<Response> QueryBroker::ExecuteWave(
     if (!admitted.ok()) {
       resp.status = admitted;
       resp.shed = ShedStage::kAdmission;
+      t->admission_shed.fetch_add(1, std::memory_order_relaxed);
+      if (slo_ != nullptr) slo_->Record(t->name, false, 0.0, now_us);
       continue;
     }
     tickets[i] = common::AdmissionTicket(&admission_);
@@ -568,6 +644,9 @@ std::vector<Response> QueryBroker::ExecuteWave(
     if (CacheGet(keys[i], offered[i].request.type, &resp)) {
       tickets[i].Release();
       metrics.ok->Increment();
+      t->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      t->ok.fetch_add(1, std::memory_order_relaxed);
+      if (slo_ != nullptr) slo_->Record(t->name, true, 0.0, now_us);
       continue;
     }
     execute[i] = 1;
@@ -638,11 +717,20 @@ std::vector<Response> QueryBroker::ExecuteWave(
     if (!execute[i]) continue;
     Response& resp = responses[i];
     metrics.request_latency_us->Observe(resp.latency_us);
+    Tenant* t = tenant(offered[i].tenant);
     if (resp.status.ok()) {
       CachePut(keys[i], offered[i].request.type, resp);
       metrics.ok->Increment();
+      t->ok.fetch_add(1, std::memory_order_relaxed);
+      if (resp.batch_size > 1) {
+        t->batched.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       metrics.errors->Increment();
+      t->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (slo_ != nullptr) {
+      slo_->Record(t->name, resp.status.ok(), resp.latency_us, now_us);
     }
     tickets[i].Release();
   }

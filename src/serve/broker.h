@@ -186,6 +186,23 @@ struct Offered {
   Request request;
 };
 
+/// Point-in-time accounting for one tenant (the /tenantz table).
+struct TenantStats {
+  std::string name;
+  uint32_t weight = 1;
+  common::Priority priority = common::Priority::kInteractive;
+  double quota_rps = 0.0;
+  uint64_t offered = 0;         // requests this tenant presented
+  uint64_t ok = 0;              // served successfully (cache hits included)
+  uint64_t errors = 0;          // failed, sheds excluded
+  uint64_t quota_shed = 0;      // rejected by the tenant token bucket
+  uint64_t admission_shed = 0;  // rejected by the broker admission queue
+  uint64_t cache_hits = 0;
+  uint64_t batched = 0;  // served by a shared-traversal group (size > 1)
+};
+
+class SloTracker;
+
 /// The serving front door. Thread-safe after configuration: Register*
 /// and set_* calls must happen before serving starts.
 class QueryBroker {
@@ -239,6 +256,29 @@ class QueryBroker {
   const BrokerOptions& options() const { return options_; }
   common::AdmissionController* admission() { return &admission_; }
 
+  /// Attaches an SLO tracker (not owned): every finished or shed request
+  /// is Record()ed under the tenant's name with the serving clock (the
+  /// wave's virtual now_us under ExecuteWave — deterministic counts).
+  void set_slo_tracker(SloTracker* tracker) { slo_ = tracker; }
+
+  /// Per-tenant accounting snapshot, registration order (the /tenantz
+  /// admin page).
+  std::vector<TenantStats> TenantStatsSnapshot() const;
+
+  /// Starts draining: every subsequent request is answered Unavailable
+  /// and CheckReady() fails, so /healthz flips to 503 and load balancers
+  /// route away while in-flight work finishes.
+  void BeginShutdown() {
+    shutting_down_.store(true, std::memory_order_release);
+  }
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
+  /// Readiness probe: OK when the broker can serve (at least one backend
+  /// registered and not shutting down).
+  common::Status CheckReady() const;
+
  private:
   // Deterministic token bucket over caller-supplied microsecond time.
   struct TokenBucket {
@@ -254,6 +294,14 @@ class QueryBroker {
     TenantOptions options;
     TokenBucket bucket;
     std::mutex mu;  // guards bucket
+    // Accounting for /tenantz (relaxed; read via TenantStatsSnapshot).
+    std::atomic<uint64_t> offered{0};
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> quota_shed{0};
+    std::atomic<uint64_t> admission_shed{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> batched{0};
   };
 
   struct CacheKey {
@@ -316,6 +364,8 @@ class QueryBroker {
   common::AdmissionController admission_;
   std::function<int64_t()> now_us_;
   std::atomic<uint64_t> fed_epoch_{0};
+  std::atomic<bool> shutting_down_{false};
+  SloTracker* slo_ = nullptr;
 
   // LRU cache: map -> list iterators, most-recent at front.
   mutable std::mutex cache_mu_;

@@ -171,6 +171,17 @@ class GeoStore {
   /// be invalidated (see serve::QueryBroker).
   uint64_t data_epoch() const { return data_epoch_; }
 
+  /// Readiness probe for the admin /healthz endpoint: spatial queries
+  /// EEA_CHECK-abort before Build(), so a store is ready only once its
+  /// index is packed.
+  common::Status CheckReady() const {
+    if (!spatial_built_) {
+      return common::Status::FailedPrecondition(
+          "geostore: spatial index not built (call Build())");
+    }
+    return common::Status::OK();
+  }
+
   /// Evaluates a BGP and then keeps only bindings where `geo_var`'s
   /// subject geometry intersects `query_box` — with the spatial constraint
   /// pushed into the R-tree when `use_index` (the rewriter of DESIGN.md §6).

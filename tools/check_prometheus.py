@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (format 0.0.4) from stdin or a file.
+
+Checks, in decreasing order of "scrapers actually break on this":
+
+  * every sample line parses as  name[{labels}] value  with a legal
+    metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value
+    (decimal, NaN, +Inf, -Inf);
+  * label syntax: legal label names, double-quoted values, balanced
+    braces, backslash escapes limited to \\\\ \\" \\n;
+  * at most one # TYPE line per family, with a known type, appearing
+    before the family's first sample;
+  * no duplicate (name, labels) sample;
+  * histogram invariants per family: _bucket series carry an le label,
+    cumulative counts are monotone in le order, an le="+Inf" bucket
+    exists and equals _count;
+  * families named with --require are present with at least one sample.
+
+Exit status 0 when clean, 1 with one "path:line: message" per problem —
+shaped for CI (the admin-smoke job pipes `curl /metrics` through this).
+
+Usage:
+  check_prometheus.py [file] [--require FAMILY ...]
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label: name="value" with the three legal escapes.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\[\\"n])*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+# Suffixes that belong to a histogram/summary family base name.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def family_of(name):
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw, complain):
+    """Parses the inside of {...}; returns a labels dict or None."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            complain("bad label syntax at %r" % raw[pos:])
+            return None
+        name, value = m.group(1), m.group(2)
+        if name in labels:
+            complain("duplicate label %r" % name)
+            return None
+        labels[name] = value
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                complain("expected ',' between labels at %r" % raw[pos:])
+                return None
+            pos += 1
+    return labels
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Prometheus text exposition 0.0.4 checker")
+    parser.add_argument("file", nargs="?", default="-",
+                        help="exposition file (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this family has >= 1 sample "
+                             "(repeatable; prefix match with a trailing *)")
+    args = parser.parse_args()
+
+    if args.file == "-":
+        lines = sys.stdin.read().splitlines()
+        path = "<stdin>"
+    else:
+        with open(args.file, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        path = args.file
+
+    problems = []
+    types = {}          # family -> declared type
+    sampled = set()     # families with >= 1 sample before their TYPE line
+    seen_samples = {}   # (name, frozen labels) -> first line number
+    samples = []        # (line_no, name, labels, value)
+
+    for line_no, line in enumerate(lines, 1):
+        def complain(msg, line_no=line_no):
+            problems.append("%s:%d: %s" % (path, line_no, msg))
+
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    complain("malformed TYPE line")
+                    continue
+                family, mtype = parts[2], parts[3].strip()
+                if not METRIC_NAME_RE.match(family):
+                    complain("illegal family name %r in TYPE line" % family)
+                if mtype not in TYPES:
+                    complain("unknown type %r for %s" % (mtype, family))
+                if family in types:
+                    complain("duplicate TYPE line for %s" % family)
+                if family in sampled:
+                    complain("TYPE line for %s after its first sample"
+                             % family)
+                types[family] = mtype
+            continue  # other comments are free-form
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([^\s{]+)(\{(.*)\})?\s+(\S+)(\s+-?\d+)?\s*$", line)
+        if m is None:
+            complain("unparseable sample line: %r" % line)
+            continue
+        name, labels_raw, value_raw = m.group(1), m.group(3), m.group(4)
+        if not METRIC_NAME_RE.match(name):
+            complain("illegal metric name %r" % name)
+            continue
+        labels = {}
+        if labels_raw is not None:
+            labels = parse_labels(labels_raw, complain)
+            if labels is None:
+                continue
+        value = parse_value(value_raw)
+        if value is None:
+            complain("unparseable value %r for %s" % (value_raw, name))
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            complain("duplicate sample for %s (first at line %d)"
+                     % (name, seen_samples[key]))
+        else:
+            seen_samples[key] = line_no
+        sampled.add(family_of(name))
+        samples.append((line_no, name, labels, value))
+
+    # Histogram invariants, per (family, non-le label set).
+    for family, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        series = {}  # non-le labels -> {"buckets": [(le, v, line)], ...}
+        for line_no, name, labels, value in samples:
+            if family_of(name) != family:
+                continue
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            entry = series.setdefault(rest, {"buckets": [], "count": None})
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    problems.append("%s:%d: %s_bucket without le label"
+                                    % (path, line_no, family))
+                    continue
+                le = parse_value(labels["le"])
+                if le is None:
+                    problems.append("%s:%d: unparseable le=%r"
+                                    % (path, line_no, labels["le"]))
+                    continue
+                entry["buckets"].append((le, value, line_no))
+            elif name == family + "_count":
+                entry["count"] = (value, line_no)
+        for rest, entry in series.items():
+            where = ("{%s}" % ",".join("%s=%r" % kv for kv in rest)
+                     if rest else "")
+            buckets = sorted(entry["buckets"])
+            prev = None
+            for le, value, line_no in buckets:
+                if prev is not None and value < prev:
+                    problems.append(
+                        "%s:%d: %s_bucket%s not cumulative at le=%g"
+                        % (path, line_no, family, where, le))
+                prev = value
+            if not any(math.isinf(le) and le > 0 for le, _, _ in buckets):
+                problems.append("%s: %s%s missing le=\"+Inf\" bucket"
+                                % (path, family, where))
+            elif entry["count"] is not None:
+                inf_v = max(v for le, v, _ in buckets
+                            if math.isinf(le) and le > 0)
+                if inf_v != entry["count"][0]:
+                    problems.append(
+                        "%s:%d: %s%s le=\"+Inf\" bucket %g != _count %g"
+                        % (path, entry["count"][1], family, where, inf_v,
+                           entry["count"][0]))
+
+    for want in args.require:
+        if want.endswith("*"):
+            hit = any(f.startswith(want[:-1]) for f in sampled)
+        else:
+            hit = want in sampled
+        if not hit:
+            problems.append("%s: required family %r has no samples"
+                            % (path, want))
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print("%s: %d problem(s) in %d sample(s), %d familie(s)"
+              % (path, len(problems), len(samples), len(sampled)),
+              file=sys.stderr)
+        return 1
+    print("%s: OK — %d samples across %d families, %d typed"
+          % (path, len(samples), len(sampled), len(types)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

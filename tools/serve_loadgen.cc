@@ -12,15 +12,27 @@
 // at a glance. Deterministic: the same flags reproduce the same counters
 // (latency columns are wall clock).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/query_profile.h"
+#include "common/trace.h"
+#include "common/windowed.h"
+#include "obs/admin.h"
+#include "serve/admin_hooks.h"
 #include "serve/broker.h"
 #include "serve/loadgen.h"
+#include "serve/slo.h"
 #include "strabon/workload.h"
 
 namespace {
@@ -40,6 +52,8 @@ struct CliOptions {
   size_t threads = 1;
   bool batching = true;
   size_t cache_capacity = 4096;
+  int admin_port = -1;     // -1 = no admin server; 0 = ephemeral
+  int admin_linger_s = 0;  // keep the admin server up after the run
 };
 
 void Usage(const char* argv0) {
@@ -57,7 +71,13 @@ void Usage(const char* argv0) {
       "  --features=N        GeoStore features (default 20000)\n"
       "  --threads=N         broker worker threads (default 1)\n"
       "  --cache=N           result-cache capacity (default 4096; 0 off)\n"
-      "  --no-batching       disable cross-request batching\n",
+      "  --no-batching       disable cross-request batching\n"
+      "  --admin_port=N      serve admin endpoints (/metrics /healthz\n"
+      "                      /tenantz ...) on 127.0.0.1:N (0 = ephemeral;\n"
+      "                      enables the trace recorder, slow-query log,\n"
+      "                      windowed sampler and SLO tracker)\n"
+      "  --admin_linger_s=N  keep the admin server up N seconds after\n"
+      "                      the run so it can be scraped (default 0)\n",
       argv0);
 }
 
@@ -99,6 +119,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->threads = std::strtoull(v.c_str(), nullptr, 10);
     } else if (value("cache", &v)) {
       opt->cache_capacity = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (value("admin_port", &v)) {
+      opt->admin_port = std::atoi(v.c_str());
+      if (opt->admin_port < 0 || opt->admin_port > 65535) return false;
+    } else if (value("admin_linger_s", &v)) {
+      opt->admin_linger_s = std::atoi(v.c_str());
+      if (opt->admin_linger_s < 0) return false;
     } else {
       return false;
     }
@@ -149,6 +175,49 @@ int main(int argc, char** argv) {
     ids.push_back(broker.RegisterTenant("tenant" + std::to_string(i), t));
   }
 
+  // Admin mode: live introspection over the run — trace recorder and
+  // slow-query log feed /tracez and /slowqueryz, the windowed sampler
+  // puts *_rate10s gauges on /metrics, the SLO tracker (fed by the
+  // broker with the waves' virtual timestamps) drives the burn-rate
+  // gauges and the /tenantz SLO table.
+  std::unique_ptr<eea::obs::AdminServer> admin;
+  std::unique_ptr<eea::common::WindowedSampler> sampler;
+  eea::serve::SloTracker slo({.availability = 0.999,
+                              .latency_threshold_us = 5000.0,
+                              .latency_goal = 0.99,
+                              .window_us = 60'000'000});
+  // The loadgen drives the broker on a virtual clock; SLO evaluation has
+  // to read the same timeline (steady_clock would place "now" outside
+  // every recorded bucket). Updated once the run's report is in.
+  auto virtual_now = std::make_shared<std::atomic<int64_t>>(0);
+  if (cli.admin_port >= 0) {
+    eea::common::EventRecorder::Default().set_enabled(true);
+    eea::common::SlowQueryLog::Default().Configure(32, 0.0);
+    broker.set_slo_tracker(&slo);
+    eea::common::WindowedOptions wopts;
+    wopts.sample_period_us = 500'000;
+    sampler = std::make_unique<eea::common::WindowedSampler>(
+        &eea::common::MetricsRegistry::Default(), wopts);
+    sampler->Start();
+    eea::obs::AdminServerOptions aopts;
+    aopts.port = static_cast<uint16_t>(cli.admin_port);
+    admin = std::make_unique<eea::obs::AdminServer>(aopts);
+    admin->AddReadinessProbe("strabon.geostore",
+                             [&store] { return store.CheckReady(); });
+    eea::serve::RegisterServeAdminHooks(
+        admin.get(), &broker, &slo, [virtual_now] {
+          return virtual_now->load(std::memory_order_relaxed);
+        });
+    const eea::common::Status started = admin->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--admin_port: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin server: http://127.0.0.1:%u/\n",
+                static_cast<unsigned>(admin->port()));
+    std::fflush(stdout);
+  }
+
   eea::serve::LoadGenOptions load;
   load.seed = cli.seed;
   load.mode = cli.mode == "open" ? eea::serve::ArrivalMode::kOpen
@@ -163,6 +232,13 @@ int main(int argc, char** argv) {
 
   eea::serve::LoadGenReport report =
       eea::serve::RunLoadGen(&broker, ids, load);
+  // Evaluate SLO windows at the end of the virtual timeline (never 0, so
+  // a zero-duration run still covers virtual second 0).
+  virtual_now->store(std::max<int64_t>(report.virtual_duration_us, 1),
+                     std::memory_order_relaxed);
+  if (admin != nullptr) {
+    slo.Publish(virtual_now->load(std::memory_order_relaxed));
+  }
   std::printf("%s\n\n", report.Summary().c_str());
   std::printf("%-12s %9s %9s %9s %9s %9s %9s %9s\n", "tenant", "offered",
               "ok", "q_shed", "a_shed", "errors", "hits", "batched");
@@ -177,5 +253,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.cache_hits),
                 static_cast<unsigned long long>(t.batched));
   }
+  if (admin != nullptr && cli.admin_linger_s > 0) {
+    std::printf("\nadmin server lingering %ds (ctrl-c to stop early)\n",
+                cli.admin_linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(cli.admin_linger_s));
+  }
+  if (admin != nullptr) admin->Stop();
+  if (sampler != nullptr) sampler->Stop();
   return 0;
 }
