@@ -13,6 +13,7 @@ namespace {
 int g_threads = 0;
 uint64_t g_deadline_us = 0;
 uint64_t g_seed = 42;
+uint64_t g_page_cache_mb = 0;
 
 // Strict integer parse: the whole value must be digits (an optional
 // leading '-' is accepted so "-3" reports "out of range", not "not a
@@ -67,6 +68,9 @@ void SetDeadlineUsFlag(uint64_t us) { g_deadline_us = us; }
 uint64_t SeedFlag() { return g_seed; }
 void SetSeedFlag(uint64_t seed) { g_seed = seed; }
 
+uint64_t PageCacheMbFlag() { return g_page_cache_mb; }
+void SetPageCacheMbFlag(uint64_t mb) { g_page_cache_mb = mb; }
+
 std::string BenchUsage(const char* argv0) {
   return std::string("usage: ") + argv0 +
          " [--smoke] [--metrics_out=PATH] [--trace_out=PATH]\n"
@@ -96,7 +100,9 @@ std::string BenchUsage(const char* argv0) {
          "  --admin_port=N            serve admin endpoints on "
          "127.0.0.1:N during the run (0 = ephemeral)\n"
          "  --metrics_interval_ms=N   append windowed metric snapshots "
-         "to <metrics_out>l every N ms\n";
+         "to <metrics_out>l every N ms\n"
+         "  --page_cache_mb=N         buffer-pool size for the storage "
+         "rows (MiB, N >= 1; default 4)\n";
 }
 
 bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
@@ -219,6 +225,13 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
         return false;
       }
       flags->metrics_interval_ms = static_cast<int64_t>(n);
+    } else if (FlagValue(arg, "page_cache_mb", &value)) {
+      unsigned long long n = 0;
+      if (!ParseUint64(value, &n) || n == 0) {
+        *error = "--page_cache_mb=" + value + ": want an integer >= 1";
+        return false;
+      }
+      flags->page_cache_mb = static_cast<uint64_t>(n);
     } else if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
       // google-benchmark's own flags (and any non-flag argument) pass
       // through untouched.
@@ -231,6 +244,7 @@ bool ParseBenchFlags(int argc, char** argv, BenchFlags* flags,
   SetThreadsFlag(flags->threads);
   SetDeadlineUsFlag(flags->deadline_us);
   SetSeedFlag(flags->seed);
+  SetPageCacheMbFlag(flags->page_cache_mb);
   return true;
 }
 

@@ -56,6 +56,11 @@
 //                               to <metrics_out>l (".json" -> ".jsonl"),
 //                               so long runs leave a rate/percentile
 //                               timeline, not just a final snapshot
+//   --page_cache_mb=N           buffer-pool capacity for benchmark rows
+//                               that exercise the paged storage layer
+//                               (E18); MiB, N >= 1 (0/absent = the row's
+//                               default, 4 MiB). Recorded in the metrics
+//                               JSON config ("page_cache_mb")
 //   --simd=scalar|avx2          pin the geo::simd kernel variant for the
 //                               run (default: runtime CPU dispatch; see
 //                               README "Performance"). --simd=avx2 fails
@@ -93,6 +98,7 @@ struct BenchFlags {
   std::string simd;          // "" = runtime dispatch, else scalar|avx2
   int admin_port = -1;       // -1 = no admin server; 0 = ephemeral port
   int64_t metrics_interval_ms = 0;  // 0 = no periodic windowed snapshots
+  uint64_t page_cache_mb = 0;  // 0 = row default (4 MiB)
 };
 
 /// Parses and strips the exearth flags from argv. argv[0] and every
@@ -121,6 +127,11 @@ void SetDeadlineUsFlag(uint64_t us);
 /// workloads (E17 serving load) read this as their master seed.
 uint64_t SeedFlag();
 void SetSeedFlag(uint64_t seed);
+
+/// Value of --page_cache_mb, or 0 when the flag was not given. Storage
+/// benchmark rows (E18) size their BufferPool from this.
+uint64_t PageCacheMbFlag();
+void SetPageCacheMbFlag(uint64_t mb);
 
 /// The thread count a benchmark row should actually run with: the row's
 /// own `threads` argument, overridden by --threads for parallel rows.

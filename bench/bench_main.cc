@@ -138,7 +138,9 @@ int main(int argc, char** argv) {
       ", \"fault_spec\": \"" + JsonEscape(flags.fault_spec) +
       "\", \"fault_seed\": " + std::to_string(flags.fault_seed) +
       ", \"deadline_us\": " + std::to_string(flags.deadline_us) +
-      ", \"seed\": " + std::to_string(flags.seed) + ", \"simd\": \"" +
+      ", \"seed\": " + std::to_string(flags.seed) +
+      ", \"page_cache_mb\": " + std::to_string(flags.page_cache_mb) +
+      ", \"simd\": \"" +
       exearth::geo::simd::ActiveVariantName() +
       "\"},\n\"metrics\": " +
       exearth::common::MetricsRegistry::Default().ToJson() +

@@ -24,6 +24,14 @@
 //   platform.ingestion.process   derived-information processing of one
 //                                granule
 //   platform.scheduler.task      one scheduled task execution attempt
+//   storage.wal.append           one WAL record append; a triggered fault
+//                                tears the record (half its bytes reach
+//                                the file) and poisons the Wal
+//   storage.wal.fsync            one WAL group fsync; a triggered fault
+//                                drops the unsynced tail (page-cache
+//                                loss) and poisons the Wal
+//   storage.page.write           one 4 KiB page write in a storage
+//                                manager (checkpoint write-back path)
 //
 // RetryPolicy/BackoffUs give capped exponential backoff with
 // deterministic seeded jitter; CircuitBreaker is a call-count-based

@@ -245,6 +245,28 @@ HopsFsCluster::HopsFsCluster(const Options& options)
                                            })));
 }
 
+HopsFsCluster::HopsFsCluster(const Options& options,
+                             storage::BufferPool* pool, storage::Wal* wal)
+    : options_(options), store_(options.kv_partitions) {
+  EEA_CHECK_OK(store_.AttachDurability(pool, wal));
+  // Create the root inode only on a fresh namespace; a recovered one
+  // already has it (and rewriting it would WAL a redundant commit).
+  if (!store_.Get(InodeKey(0, "")).ok()) {
+    EEA_CHECK_OK(store_.Put(InodeKey(0, ""), EncodeInode(InodeRow{
+                                                 .id = 1,
+                                                 .is_directory = true,
+                                             })));
+  }
+  // Resume the inode-id allocator past every recovered inode so new ids
+  // never collide with rows replayed from the checkpoint + WAL.
+  int64_t max_id = 1;
+  for (const auto& [key, value] : store_.ScanPrefix("i|")) {
+    Result<InodeRow> row = DecodeInode(value);
+    if (row.ok() && row.value().id > max_id) max_id = row.value().id;
+  }
+  next_inode_id_.store(max_id + 1, std::memory_order_relaxed);
+}
+
 Result<int64_t> HopsFsNameNode::ResolveParent(kv::Transaction* txn,
                                               const std::string& path,
                                               std::string* leaf) {

@@ -51,6 +51,14 @@ class HopsFsCluster {
 
   explicit HopsFsCluster(const Options& options);
 
+  /// Durable cluster: attaches the metadata store to `pool` + `wal`
+  /// (recovering any previous namespace, see kv::KvStore::AttachDurability)
+  /// before creating the root inode. The inode-id allocator resumes past
+  /// the highest recovered id, so ids never collide across restarts.
+  /// `pool` and `wal` must outlive the cluster.
+  HopsFsCluster(const Options& options, storage::BufferPool* pool,
+                storage::Wal* wal);
+
   kv::KvStore& store() { return store_; }
   const Options& options() const { return options_; }
 

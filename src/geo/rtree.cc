@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/page_chain.h"
 
 namespace exearth::geo {
 
@@ -286,6 +288,134 @@ void RTree::Freeze() {
     }
   }
   frozen_ = true;
+}
+
+namespace {
+
+// On-disk frozen-tree stream (through a PageChain). Little-endian,
+// pinned by the golden fixture alongside the page/WAL formats.
+constexpr uint64_t kFrozenMagic = 0x3145525452414545ull;  // "EEARTRE1"
+constexpr uint32_t kFrozenVersion = 1;
+
+common::Status WriteBox(storage::PageChainWriter* w, const Box& b) {
+  EEA_RETURN_NOT_OK(w->WriteF64(b.min_x));
+  EEA_RETURN_NOT_OK(w->WriteF64(b.min_y));
+  EEA_RETURN_NOT_OK(w->WriteF64(b.max_x));
+  return w->WriteF64(b.max_y);
+}
+
+common::Status ReadBox(storage::PageChainReader* r, Box* b) {
+  EEA_ASSIGN_OR_RETURN(b->min_x, r->ReadF64());
+  EEA_ASSIGN_OR_RETURN(b->min_y, r->ReadF64());
+  EEA_ASSIGN_OR_RETURN(b->max_x, r->ReadF64());
+  EEA_ASSIGN_OR_RETURN(b->max_y, r->ReadF64());
+  return common::Status::OK();
+}
+
+// Rebuilds the pointer tree for flat node `idx` (children of internal
+// nodes are the contiguous [first, first+count) flat range).
+std::unique_ptr<Node> RebuildNode(const std::vector<RTree::FlatNode>& nodes,
+                                  const std::vector<RTree::Entry>& entries,
+                                  uint32_t idx) {
+  const RTree::FlatNode& fn = nodes[idx];
+  auto node = std::make_unique<Node>();
+  node->box = fn.box;
+  node->is_leaf = fn.leaf != 0;
+  if (node->is_leaf) {
+    node->entries.assign(entries.begin() + fn.first,
+                         entries.begin() + fn.first + fn.count);
+  } else {
+    node->children.reserve(fn.count);
+    for (uint16_t c = 0; c < fn.count; ++c) {
+      node->children.push_back(RebuildNode(nodes, entries, fn.first + c));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+common::Status RTree::FreezeTo(storage::BufferPool* pool,
+                               storage::PageId* head) const {
+  if (!frozen_) {
+    return common::Status::FailedPrecondition(
+        "FreezeTo requires a frozen tree (call Freeze() first)");
+  }
+  storage::PageChainWriter w(pool, /*lsn=*/0);
+  EEA_RETURN_NOT_OK(w.WriteU64(kFrozenMagic));
+  EEA_RETURN_NOT_OK(w.WriteU32(kFrozenVersion));
+  EEA_RETURN_NOT_OK(w.WriteU64(size_));
+  EEA_RETURN_NOT_OK(w.WriteU64(flat_nodes_.size()));
+  EEA_RETURN_NOT_OK(w.WriteU64(flat_entries_.size()));
+  for (const FlatNode& fn : flat_nodes_) {
+    EEA_RETURN_NOT_OK(WriteBox(&w, fn.box));
+    EEA_RETURN_NOT_OK(w.WriteU32(fn.first));
+    EEA_RETURN_NOT_OK(w.WriteU32(static_cast<uint32_t>(fn.count) |
+                                 (static_cast<uint32_t>(fn.leaf) << 16)));
+  }
+  for (const Entry& e : flat_entries_) {
+    EEA_RETURN_NOT_OK(WriteBox(&w, e.box));
+    EEA_RETURN_NOT_OK(w.WriteU64(std::bit_cast<uint64_t>(e.id)));
+  }
+  EEA_ASSIGN_OR_RETURN(*head, w.Finish());
+  return common::Status::OK();
+}
+
+common::Result<RTree> RTree::OpenFrozen(storage::BufferPool* pool,
+                                        storage::PageId head) {
+  storage::PageChainReader r(pool, head);
+  EEA_ASSIGN_OR_RETURN(uint64_t magic, r.ReadU64());
+  if (magic != kFrozenMagic) {
+    return common::Status::IOError(
+        "OpenFrozen: page chain is not a frozen r-tree");
+  }
+  EEA_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFrozenVersion) {
+    return common::Status::IOError(common::StrFormat(
+        "OpenFrozen: frozen r-tree format version mismatch: file has v%u, "
+        "this reader supports v%u",
+        version, kFrozenVersion));
+  }
+  EEA_ASSIGN_OR_RETURN(uint64_t size, r.ReadU64());
+  EEA_ASSIGN_OR_RETURN(uint64_t node_count, r.ReadU64());
+  EEA_ASSIGN_OR_RETURN(uint64_t entry_count, r.ReadU64());
+  RTree tree;
+  tree.size_ = size;
+  tree.flat_nodes_.reserve(node_count);
+  tree.flat_entries_.reserve(entry_count);
+  tree.entry_env_.Reserve(entry_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    FlatNode fn;
+    EEA_RETURN_NOT_OK(ReadBox(&r, &fn.box));
+    EEA_ASSIGN_OR_RETURN(fn.first, r.ReadU32());
+    EEA_ASSIGN_OR_RETURN(uint32_t packed, r.ReadU32());
+    fn.count = static_cast<uint16_t>(packed & 0xffffu);
+    fn.leaf = static_cast<uint16_t>(packed >> 16);
+    tree.flat_nodes_.push_back(fn);
+    tree.node_env_.PushBack(fn.box);
+  }
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Entry e;
+    EEA_RETURN_NOT_OK(ReadBox(&r, &e.box));
+    EEA_ASSIGN_OR_RETURN(uint64_t id, r.ReadU64());
+    e.id = std::bit_cast<int64_t>(id);
+    tree.flat_entries_.push_back(e);
+    tree.entry_env_.PushBack(e.box);
+  }
+  // Sanity: flat ranges must stay inside the arrays before traversal or
+  // the pointer-tree rebuild dereferences them.
+  for (const FlatNode& fn : tree.flat_nodes_) {
+    const uint64_t limit = fn.leaf != 0 ? entry_count : node_count;
+    if (static_cast<uint64_t>(fn.first) + fn.count > limit) {
+      return common::Status::IOError(
+          "OpenFrozen: corrupt frozen r-tree (node range out of bounds)");
+    }
+  }
+  if (!tree.flat_nodes_.empty()) {
+    tree.root_ = RebuildNode(tree.flat_nodes_, tree.flat_entries_, 0);
+  }
+  tree.frozen_ = true;
+  return tree;
 }
 
 int RTree::Height() const { return HeightOf(root_.get()); }

@@ -27,8 +27,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
 #include "geo/geometry.h"
 #include "geo/simd.h"
+#include "storage/buffer_pool.h"
 
 namespace exearth::geo {
 
@@ -84,6 +87,21 @@ class RTree {
 
   /// True when the frozen arena is current (queries run allocation-free).
   bool frozen() const { return frozen_; }
+
+  /// Serializes the frozen arena (FlatNodes + entries) into a page chain
+  /// allocated from `pool`, returning the head page id in `*head`. The
+  /// tree must be frozen. Pages are written through the buffer pool;
+  /// callers persist `*head` (and FlushAll/Sync) themselves.
+  common::Status FreezeTo(storage::BufferPool* pool,
+                          storage::PageId* head) const;
+
+  /// Loads a tree serialized by FreezeTo. Reads go through the buffer
+  /// pool (cold cache = storage reads, warm = pool hits). The result is
+  /// frozen with flat arenas identical to the source tree's, so spatial
+  /// query results are byte-identical by construction; the pointer tree
+  /// is rebuilt too, keeping Insert/Nearest/Height functional.
+  static common::Result<RTree> OpenFrozen(storage::BufferPool* pool,
+                                          storage::PageId head);
 
   size_t size() const { return size_; }
   /// Height of the tree (1 for a single leaf).

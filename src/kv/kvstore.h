@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,6 +30,11 @@
 
 #include "common/result.h"
 #include "common/status.h"
+
+namespace exearth::storage {
+class BufferPool;
+class Wal;
+}  // namespace exearth::storage
 
 namespace exearth::kv {
 
@@ -40,6 +46,15 @@ struct StoreStats {
   uint64_t multi_partition_commits = 0;  // required 2PC
   uint64_t gets = 0;
   uint64_t puts = 0;
+};
+
+/// Durability-layer statistics (valid after AttachDurability).
+struct DurabilityStats {
+  uint64_t wal_commits = 0;        // transactions made durable via the WAL
+  uint64_t checkpoints = 0;
+  uint64_t last_checkpoint_lsn = 0;
+  uint64_t recovered_txns = 0;     // committed txns replayed at attach
+  uint64_t recovered_rows = 0;     // rows loaded from the checkpoint image
 };
 
 class KvStore;
@@ -129,6 +144,33 @@ class KvStore {
 
   StoreStats stats() const;
 
+  // --- Durability (ROADMAP item 1) -------------------------------------------
+  //
+  // AttachDurability binds the store to a buffer pool + WAL and runs
+  // recovery: the last checkpoint image (page chain named by the
+  // superblock meta slot) is loaded, then the WAL is replayed — only
+  // transactions whose commit record survived become visible, so a
+  // crash-interrupted commit vanishes atomically. Afterwards every
+  // Commit() follows WAL-before-apply: records + commit marker appended
+  // and fsynced (group commit) before the in-memory apply; a commit is
+  // acknowledged (returns OK) only once its marker is on disk.
+  //
+  // Attach before sharing the store across threads; pool and wal must
+  // outlive the store.
+
+  /// Recovers state from `pool`'s storage + `wal`, then makes all
+  /// subsequent commits durable.
+  common::Status AttachDurability(storage::BufferPool* pool,
+                                  storage::Wal* wal);
+
+  /// Serializes a consistent snapshot of all rows into a fresh page
+  /// chain, flips the superblock meta to it, frees the previous chain and
+  /// truncates the WAL. Blocks commits for the duration (exclusive lock).
+  common::Status Checkpoint();
+
+  bool durable() const { return wal_ != nullptr; }
+  DurabilityStats durability_stats() const;
+
  private:
   friend class Transaction;
 
@@ -142,8 +184,28 @@ class KvStore {
     return *partitions_[static_cast<size_t>(PartitionOf(key))];
   }
 
+  // WAL-before-apply for one transaction's buffered writes; called by
+  // Transaction::Commit under the row locks. Returns without applying on
+  // a WAL failure (the commit is then not acknowledged).
+  common::Status CommitDurable(
+      uint64_t txn_id,
+      const std::unordered_map<std::string, std::optional<std::string>>&
+          writes);
+
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::atomic<uint64_t> next_txn_id_{1};
+
+  // Durability (null until AttachDurability). commit_mu_ lets commits
+  // proceed concurrently (shared) while Checkpoint() gets a consistent
+  // cut (exclusive).
+  storage::BufferPool* pool_ = nullptr;
+  storage::Wal* wal_ = nullptr;
+  mutable std::shared_mutex commit_mu_;
+  std::atomic<uint64_t> wal_commits_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> last_checkpoint_lsn_{0};
+  std::atomic<uint64_t> recovered_txns_{0};
+  std::atomic<uint64_t> recovered_rows_{0};
   // Stats counters (relaxed; read via stats()).
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};

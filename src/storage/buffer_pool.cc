@@ -1,0 +1,250 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace exearth::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+struct PoolMetrics {
+  common::Counter* hits;
+  common::Counter* misses;
+  common::Counter* evictions;
+  common::Counter* writebacks;
+
+  static const PoolMetrics& Get() {
+    static PoolMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return PoolMetrics{
+          reg.GetCounter("storage.bufferpool.hits"),
+          reg.GetCounter("storage.bufferpool.misses"),
+          reg.GetCounter("storage.bufferpool.evictions"),
+          reg.GetCounter("storage.bufferpool.writebacks"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+// --- PageHandle --------------------------------------------------------------
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) pool_->MarkDirty(id_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+// --- BufferPool --------------------------------------------------------------
+
+BufferPool::BufferPool(IStorageManager* storage, size_t capacity)
+    : storage_(storage), capacity_(capacity < 1 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() {
+  // Consumers flush explicitly at commit points; anything still dirty
+  // here belongs to an abandoned operation and is dropped by design
+  // (matches crash semantics — the WAL replays it).
+}
+
+Status BufferPool::WriteBackLocked(Frame* f) {
+  EEA_RETURN_NOT_OK(storage_->WritePage(f->id, f->data.get(), f->lsn));
+  f->dirty = false;
+  ++stats_.writebacks;
+  PoolMetrics::Get().writebacks->Increment();
+  return Status::OK();
+}
+
+Status BufferPool::EvictForSpaceLocked() {
+  if (frames_.size() < capacity_) return Status::OK();
+  if (lru_.empty()) {
+    return Status::Unavailable(common::StrFormat(
+        "buffer pool full: all %zu frames pinned", frames_.size()));
+  }
+  const PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  Frame* f = it->second.get();
+  if (f->dirty) EEA_RETURN_NOT_OK(WriteBackLocked(f));
+  lru_.pop_back();
+  frames_.erase(it);
+  ++stats_.evictions;
+  PoolMetrics::Get().evictions->Increment();
+  return Status::OK();
+}
+
+Result<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EEA_ASSIGN_OR_RETURN(PageId id, storage_->AllocatePage());
+  EEA_RETURN_NOT_OK(EvictForSpaceLocked());
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->pins = 1;
+  frame->dirty = true;
+  frame->data = std::make_unique<char[]>(kPageSize);
+  std::memset(frame->data.get(), 0, kPageSize);
+  char* data = frame->data.get();
+  frames_[id] = std::move(frame);
+  ++stats_.misses;
+  PoolMetrics::Get().misses->Increment();
+  return PageHandle(this, id, data);
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    if (f->in_lru) {
+      lru_.erase(f->lru_pos);
+      f->in_lru = false;
+    }
+    ++f->pins;
+    ++stats_.hits;
+    PoolMetrics::Get().hits->Increment();
+    return PageHandle(this, id, f->data.get());
+  }
+  EEA_RETURN_NOT_OK(EvictForSpaceLocked());
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->pins = 1;
+  frame->data = std::make_unique<char[]>(kPageSize);
+  EEA_RETURN_NOT_OK(storage_->ReadPage(id, frame->data.get()));
+  frame->lsn = PageLsn(frame->data.get());
+  char* data = frame->data.get();
+  frames_[id] = std::move(frame);
+  ++stats_.misses;
+  PoolMetrics::Get().misses->Increment();
+  return PageHandle(this, id, data);
+}
+
+void BufferPool::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;  // freed while pinned is a caller bug
+  Frame* f = it->second.get();
+  if (f->pins > 0) --f->pins;
+  if (f->pins == 0 && !f->in_lru) {
+    lru_.push_front(id);
+    f->lru_pos = lru_.begin();
+    f->in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) it->second->dirty = true;
+}
+
+Status BufferPool::FreePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    if (f->pins > 0) {
+      return Status::InvalidArgument(
+          common::StrFormat("FreePage: page %u is pinned", id));
+    }
+    if (f->in_lru) lru_.erase(f->lru_pos);
+    frames_.erase(it);
+  }
+  return storage_->FreePage(id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) EEA_RETURN_NOT_OK(WriteBackLocked(frame.get()));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins > 0) {
+      return Status::InvalidArgument(
+          common::StrFormat("DropAll: page %u is pinned", id));
+    }
+    if (frame->dirty) EEA_RETURN_NOT_OK(WriteBackLocked(frame.get()));
+  }
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats s = stats_;
+  s.cached_pages = frames_.size();
+  for (const auto& [id, frame] : frames_) {
+    if (frame->pins > 0) ++s.pinned_pages;
+  }
+  return s;
+}
+
+Status BufferPool::CheckInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.size() > capacity_) {
+    return Status::Internal(common::StrFormat(
+        "buffer pool over capacity: %zu frames > %zu", frames_.size(),
+        capacity_));
+  }
+  size_t in_lru = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame->pins < 0) {
+      return Status::Internal(
+          common::StrFormat("page %u has negative pin count %d", id,
+                            frame->pins));
+    }
+    if (frame->pins > 0 && frame->in_lru) {
+      return Status::Internal(
+          common::StrFormat("pinned page %u is on the LRU list", id));
+    }
+    if (frame->pins == 0 && !frame->in_lru) {
+      return Status::Internal(
+          common::StrFormat("unpinned page %u is off the LRU list", id));
+    }
+    if (frame->in_lru) ++in_lru;
+  }
+  if (in_lru != lru_.size()) {
+    return Status::Internal(common::StrFormat(
+        "LRU size mismatch: list has %zu, frames say %zu", lru_.size(),
+        in_lru));
+  }
+  for (PageId id : lru_) {
+    if (frames_.find(id) == frames_.end()) {
+      return Status::Internal(
+          common::StrFormat("LRU lists unknown page %u", id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exearth::storage

@@ -1,0 +1,103 @@
+// Fixed-size page primitives shared by the storage managers, the buffer
+// pool and the paged consumers (the checkpointed KV store and the on-disk
+// frozen R-tree).
+//
+// Every page is exactly kPageSize (4 KiB) bytes: a 16-byte header — CRC32
+// checksum, the page's own id (catches misdirected reads), and the LSN of
+// the last logged change — followed by kPagePayloadSize bytes of payload.
+// The checksum covers everything after the CRC field, so a torn or
+// bit-rotted page fails verification on read instead of silently
+// corrupting a recovery.
+//
+// All multi-byte fields in page headers and page-resident structures are
+// encoded little-endian through the Load*/Store* helpers below, never by
+// memcpy of in-memory structs: the on-disk format (pinned by the golden
+// fixture in tests/storage_recovery_test.cc) must not depend on host
+// endianness or struct padding.
+
+#ifndef EXEARTH_STORAGE_PAGE_H_
+#define EXEARTH_STORAGE_PAGE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace exearth::storage {
+
+/// Index of a page inside a storage file. Page 0 is the superblock and is
+/// never handed out by AllocatePage.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr size_t kPagePayloadSize = kPageSize - kPageHeaderSize;
+
+// Page header byte offsets (little-endian fields).
+inline constexpr size_t kPageCrcOffset = 0;   // u32, CRC32 of bytes [4, 4096)
+inline constexpr size_t kPageIdOffset = 4;    // u32, the page's own id
+inline constexpr size_t kPageLsnOffset = 8;   // u64, LSN of last change
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) over `len` bytes.
+/// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// --- Little-endian codec helpers --------------------------------------------
+
+inline void StoreU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+inline void StoreU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+inline void StoreU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+inline uint16_t LoadU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8));
+}
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+inline void StoreF64(char* p, double v) {
+  StoreU64(p, std::bit_cast<uint64_t>(v));
+}
+inline double LoadF64(const char* p) {
+  return std::bit_cast<double>(LoadU64(p));
+}
+
+/// Stamps `id` and `lsn` into the header of the page image `page` and
+/// computes the checksum over bytes [4, kPageSize).
+inline void SealPage(char* page, PageId id, uint64_t lsn) {
+  StoreU32(page + kPageIdOffset, id);
+  StoreU64(page + kPageLsnOffset, lsn);
+  StoreU32(page + kPageCrcOffset,
+           Crc32(page + kPageIdOffset, kPageSize - kPageIdOffset));
+}
+
+/// True when the checksum of the page image matches and the header's page
+/// id equals `expected_id` (a misdirected read fails here, not later).
+inline bool VerifyPage(const char* page, PageId expected_id) {
+  const uint32_t want = LoadU32(page + kPageCrcOffset);
+  const uint32_t got = Crc32(page + kPageIdOffset, kPageSize - kPageIdOffset);
+  return want == got && LoadU32(page + kPageIdOffset) == expected_id;
+}
+
+/// The LSN stamped into a page image's header.
+inline uint64_t PageLsn(const char* page) {
+  return LoadU64(page + kPageLsnOffset);
+}
+
+}  // namespace exearth::storage
+
+#endif  // EXEARTH_STORAGE_PAGE_H_

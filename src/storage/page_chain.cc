@@ -1,0 +1,160 @@
+#include "storage/page_chain.h"
+
+#include <cstring>
+
+namespace exearth::storage {
+
+using common::Result;
+using common::Status;
+
+// --- PageChainWriter ---------------------------------------------------------
+
+Status PageChainWriter::EnsurePage() {
+  if (cur_.valid() && cur_used_ < kChainDataPerPage) return Status::OK();
+  EEA_ASSIGN_OR_RETURN(PageHandle next, pool_->New());
+  StoreU32(next.payload(), kInvalidPageId);
+  StoreU16(next.payload() + 4, 0);
+  next.MarkDirty();
+  if (cur_.valid()) {
+    // Seal the filled page: link it to the new tail.
+    StoreU32(cur_.payload(), next.id());
+    StoreU16(cur_.payload() + 4, static_cast<uint16_t>(cur_used_));
+    cur_.MarkDirty();
+  } else {
+    head_ = next.id();
+  }
+  cur_ = std::move(next);  // unpins the filled page
+  cur_used_ = 0;
+  return Status::OK();
+}
+
+Status PageChainWriter::Write(const void* data, size_t len) {
+  if (finished_) return Status::FailedPrecondition("chain already finished");
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    EEA_RETURN_NOT_OK(EnsurePage());
+    const size_t room = kChainDataPerPage - cur_used_;
+    const size_t n = len < room ? len : room;
+    std::memcpy(cur_.payload() + kChainHeaderSize + cur_used_, p, n);
+    cur_used_ += n;
+    p += n;
+    len -= n;
+    bytes_written_ += n;
+  }
+  if (cur_.valid()) cur_.MarkDirty();
+  return Status::OK();
+}
+
+Status PageChainWriter::WriteU32(uint32_t v) {
+  char buf[4];
+  StoreU32(buf, v);
+  return Write(buf, sizeof(buf));
+}
+
+Status PageChainWriter::WriteU64(uint64_t v) {
+  char buf[8];
+  StoreU64(buf, v);
+  return Write(buf, sizeof(buf));
+}
+
+Status PageChainWriter::WriteF64(double v) {
+  char buf[8];
+  StoreF64(buf, v);
+  return Write(buf, sizeof(buf));
+}
+
+Status PageChainWriter::WriteString(const std::string& s) {
+  EEA_RETURN_NOT_OK(WriteU32(static_cast<uint32_t>(s.size())));
+  return Write(s.data(), s.size());
+}
+
+Result<PageId> PageChainWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("chain already finished");
+  finished_ = true;
+  if (cur_.valid()) {
+    StoreU16(cur_.payload() + 4, static_cast<uint16_t>(cur_used_));
+    cur_.MarkDirty();
+    cur_.Release();
+  }
+  return head_;
+}
+
+// --- PageChainReader ---------------------------------------------------------
+
+Status PageChainReader::EnsurePage() {
+  if (cur_.valid() && cur_off_ < cur_used_) return Status::OK();
+  if (cur_.valid() && next_ == kInvalidPageId) {
+    return Status::OutOfRange("read past end of page chain");
+  }
+  if (next_ == kInvalidPageId) {
+    return Status::OutOfRange("read from empty page chain");
+  }
+  EEA_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(next_));
+  next_ = LoadU32(page.payload());
+  cur_used_ = LoadU16(page.payload() + 4);
+  cur_off_ = 0;
+  cur_ = std::move(page);
+  return Status::OK();
+}
+
+Status PageChainReader::Read(void* out, size_t len) {
+  char* p = static_cast<char*>(out);
+  while (len > 0) {
+    EEA_RETURN_NOT_OK(EnsurePage());
+    const size_t avail = cur_used_ - cur_off_;
+    const size_t n = len < avail ? len : avail;
+    std::memcpy(p, cur_.payload() + kChainHeaderSize + cur_off_, n);
+    cur_off_ += n;
+    p += n;
+    len -= n;
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> PageChainReader::ReadU32() {
+  char buf[4];
+  EEA_RETURN_NOT_OK(Read(buf, sizeof(buf)));
+  return LoadU32(buf);
+}
+
+Result<uint64_t> PageChainReader::ReadU64() {
+  char buf[8];
+  EEA_RETURN_NOT_OK(Read(buf, sizeof(buf)));
+  return LoadU64(buf);
+}
+
+Result<double> PageChainReader::ReadF64() {
+  char buf[8];
+  EEA_RETURN_NOT_OK(Read(buf, sizeof(buf)));
+  return LoadF64(buf);
+}
+
+Result<std::string> PageChainReader::ReadString() {
+  EEA_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  std::string s(len, '\0');
+  EEA_RETURN_NOT_OK(Read(s.data(), len));
+  return s;
+}
+
+bool PageChainReader::AtEnd() {
+  if (next_ != kInvalidPageId) return false;
+  return !cur_.valid() || cur_off_ >= cur_used_;
+}
+
+// --- FreeChain ---------------------------------------------------------------
+
+Status FreeChain(BufferPool* pool, PageId head) {
+  PageId id = head;
+  while (id != kInvalidPageId) {
+    PageId next;
+    {
+      EEA_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(id));
+      next = LoadU32(page.payload());
+    }
+    EEA_RETURN_NOT_OK(pool->FreePage(id));
+    id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace exearth::storage

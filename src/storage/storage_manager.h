@@ -1,0 +1,170 @@
+// Page-granular storage managers behind the buffer pool (ROADMAP item 1,
+// DESIGN.md — the durable layer under the NewSQL KV store and the frozen
+// R-tree).
+//
+// IStorageManager is the narrow waist: allocate / free / read / write
+// fixed 4 KiB pages plus a small superblock metadata slot consumers use as
+// their atomic commit point (the KV checkpoint root lives there). Two
+// implementations:
+//
+//   MemoryStorageManager — pages in a vector; the reference model for the
+//       torture tests and the zero-IO configuration.
+//   DiskStorageManager   — one file, page i at byte offset i * 4096.
+//       Page 0 is the superblock: magic, format version, page count, the
+//       free-list head and the metadata slot. Freed pages are chained into
+//       a free list (each free page's payload stores the next free id), so
+//       files do not grow monotonically. Every page carries a CRC32
+//       header (see page.h); a torn or corrupted page fails ReadPage with
+//       IOError instead of propagating garbage.
+//
+// Durability contract (DiskStorageManager): WritePage only buffers in the
+// OS; Sync() persists pages AND the superblock (fsync). WriteMeta()
+// writes the superblock and fsyncs immediately — it is the atomic commit
+// point checkpoints rely on. A crash between WritePage and Sync can lose
+// or tear pages; consumers order their writes so that nothing durable
+// references them until after the meta flip (write pages -> Sync ->
+// WriteMeta). Pages allocated but not yet referenced by the superblock at
+// a crash are leaked until the next successful checkpoint rewrites the
+// chain — an accepted cost, never a correctness issue.
+//
+// Fault injection: DiskStorageManager::WritePage is the registered
+// `storage.page.write` point (see common/fault.h); chaos tests kill
+// checkpoint writes there.
+//
+// Thread safety: both managers serialize on an internal mutex. The buffer
+// pool is the intended (single) caller; the mutex makes direct test /
+// tool access safe too.
+
+#ifndef EXEARTH_STORAGE_STORAGE_MANAGER_H_
+#define EXEARTH_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace exearth::storage {
+
+/// Current on-disk format version. Bump deliberately: the golden-format
+/// test (tests/storage_recovery_test.cc) pins the v1 layout bit-for-bit,
+/// and DiskStorageManager::Open refuses files from other versions with an
+/// explicit message.
+inline constexpr uint32_t kStorageFormatVersion = 1;
+
+/// Max bytes of consumer metadata in the superblock slot.
+inline constexpr size_t kMaxMetaBytes = 512;
+
+class IStorageManager {
+ public:
+  virtual ~IStorageManager() = default;
+
+  /// Allocates a page (reusing freed pages first). The page's contents
+  /// are unspecified until the first WritePage.
+  virtual common::Result<PageId> AllocatePage() = 0;
+
+  /// Returns `id` to the free list.
+  virtual common::Status FreePage(PageId id) = 0;
+
+  /// Reads the full page image (kPageSize bytes) into `buf`, verifying
+  /// the CRC32 header; IOError on checksum or page-id mismatch.
+  virtual common::Status ReadPage(PageId id, char* buf) = 0;
+
+  /// Seals (id + lsn + CRC stamped into the header of `buf`) and writes
+  /// the full page image. `buf` must hold kPageSize bytes and is modified
+  /// in place by the seal.
+  virtual common::Status WritePage(PageId id, char* buf, uint64_t lsn) = 0;
+
+  /// Persists all buffered page writes and the superblock.
+  virtual common::Status Sync() = 0;
+
+  /// Consumer metadata slot in the superblock (<= kMaxMetaBytes). Reads
+  /// return the last successfully written value (empty for a fresh file);
+  /// writes are persisted immediately (superblock write + fsync) — the
+  /// atomic commit point for checkpoints.
+  virtual common::Result<std::string> ReadMeta() = 0;
+  virtual common::Status WriteMeta(const std::string& meta) = 0;
+
+  /// Pages ever allocated (includes the superblock for disk files).
+  virtual uint32_t page_count() const = 0;
+  /// Pages currently on the free list.
+  virtual uint32_t free_pages() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// In-memory pages; same interface and failure modes minus durability.
+class MemoryStorageManager : public IStorageManager {
+ public:
+  MemoryStorageManager() = default;
+
+  common::Result<PageId> AllocatePage() override;
+  common::Status FreePage(PageId id) override;
+  common::Status ReadPage(PageId id, char* buf) override;
+  common::Status WritePage(PageId id, char* buf, uint64_t lsn) override;
+  common::Status Sync() override { return common::Status::OK(); }
+  common::Result<std::string> ReadMeta() override;
+  common::Status WriteMeta(const std::string& meta) override;
+  uint32_t page_count() const override;
+  uint32_t free_pages() const override;
+  const char* name() const override { return "memory"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_;  // index 0 unused
+  std::vector<bool> free_;
+  std::vector<PageId> free_list_;
+  std::string meta_;
+};
+
+/// File-backed pages with a checksummed superblock.
+class DiskStorageManager : public IStorageManager {
+ public:
+  /// Opens (or creates) the storage file at `path`. An existing file's
+  /// superblock is validated: bad magic / CRC is IOError, and a format
+  /// version other than kStorageFormatVersion fails with an explicit
+  /// "format version mismatch" message so readers never misparse a future
+  /// layout.
+  static common::Result<std::unique_ptr<DiskStorageManager>> Open(
+      const std::string& path);
+
+  ~DiskStorageManager() override;
+  DiskStorageManager(const DiskStorageManager&) = delete;
+  DiskStorageManager& operator=(const DiskStorageManager&) = delete;
+
+  common::Result<PageId> AllocatePage() override;
+  common::Status FreePage(PageId id) override;
+  common::Status ReadPage(PageId id, char* buf) override;
+  common::Status WritePage(PageId id, char* buf, uint64_t lsn) override;
+  common::Status Sync() override;
+  common::Result<std::string> ReadMeta() override;
+  common::Status WriteMeta(const std::string& meta) override;
+  uint32_t page_count() const override;
+  uint32_t free_pages() const override;
+  const char* name() const override { return "disk"; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskStorageManager(std::string path, int fd);
+
+  common::Status WriteSuperblockLocked();
+  common::Status ReadSuperblockLocked();
+  common::Status WritePageLocked(PageId id, char* buf, uint64_t lsn);
+
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  // Superblock state (mirrored in memory; persisted by Sync/WriteMeta).
+  uint32_t page_count_ = 1;  // page 0 is the superblock
+  PageId free_head_ = kInvalidPageId;
+  uint32_t free_count_ = 0;
+  std::string meta_;
+};
+
+}  // namespace exearth::storage
+
+#endif  // EXEARTH_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,363 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "storage/page.h"  // LE codec + Crc32
+
+namespace exearth::storage {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+constexpr char kWalMagic[8] = {'E', 'E', 'A', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kWalHeaderSize = 12;   // magic + u32 version
+constexpr size_t kFrameHeaderSize = 8;  // u32 crc + u32 len
+constexpr uint32_t kMaxRecordPayload = 1u << 26;  // 64 MiB sanity bound
+
+struct WalMetrics {
+  common::Counter* appends;
+  common::Counter* fsyncs;
+  common::Counter* replayed;
+
+  static const WalMetrics& Get() {
+    static WalMetrics m = [] {
+      auto& reg = common::MetricsRegistry::Default();
+      return WalMetrics{
+          reg.GetCounter("storage.wal.appends"),
+          reg.GetCounter("storage.wal.fsyncs"),
+          reg.GetCounter("storage.wal.replayed_records"),
+      };
+    }();
+    return m;
+  }
+};
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::IOError(common::StrFormat("%s(%s): %s", op, path.c_str(),
+                                           std::strerror(errno)));
+}
+
+// Frame = [u32 crc][u32 len][payload]; crc covers len + payload so a torn
+// length field is caught too.
+std::string EncodeFrame(uint64_t lsn, WalRecordType type, uint64_t txn_id,
+                        const std::string& key, const std::string& value) {
+  const size_t payload_len = 8 + 4 + 8 + 4 + key.size() + 4 + value.size();
+  std::string frame(kFrameHeaderSize + payload_len, '\0');
+  char* p = frame.data();
+  StoreU32(p + 4, static_cast<uint32_t>(payload_len));
+  char* q = p + kFrameHeaderSize;
+  StoreU64(q, lsn);
+  StoreU32(q + 8, static_cast<uint32_t>(type));
+  StoreU64(q + 12, txn_id);
+  StoreU32(q + 20, static_cast<uint32_t>(key.size()));
+  std::memcpy(q + 24, key.data(), key.size());
+  StoreU32(q + 24 + key.size(), static_cast<uint32_t>(value.size()));
+  std::memcpy(q + 28 + key.size(), value.data(), value.size());
+  StoreU32(p, Crc32(p + 4, 4 + payload_len));
+  return frame;
+}
+
+// Reads one frame at `off`; returns the record and advances *off, or:
+// NotFound at clean EOF, IOError on a torn/corrupt frame.
+Status ReadFrameAt(int fd, uint64_t file_size, uint64_t* off,
+                   WalRecord* rec) {
+  if (*off == file_size) return Status::NotFound("eof");
+  if (*off + kFrameHeaderSize > file_size) {
+    return Status::IOError("torn frame header");
+  }
+  char hdr[kFrameHeaderSize];
+  if (::pread(fd, hdr, kFrameHeaderSize, static_cast<off_t>(*off)) !=
+      static_cast<ssize_t>(kFrameHeaderSize)) {
+    return Status::IOError("short read of frame header");
+  }
+  const uint32_t want_crc = LoadU32(hdr);
+  const uint32_t len = LoadU32(hdr + 4);
+  if (len > kMaxRecordPayload || *off + kFrameHeaderSize + len > file_size) {
+    return Status::IOError("torn frame payload");
+  }
+  std::string payload(len, '\0');
+  if (::pread(fd, payload.data(), len,
+              static_cast<off_t>(*off + kFrameHeaderSize)) !=
+      static_cast<ssize_t>(len)) {
+    return Status::IOError("short read of frame payload");
+  }
+  uint32_t crc = Crc32(hdr + 4, 4);
+  crc = Crc32(payload.data(), len, crc);
+  if (crc != want_crc) return Status::IOError("frame checksum mismatch");
+  if (len < 28) return Status::IOError("frame payload too small");
+  const char* q = payload.data();
+  rec->lsn = LoadU64(q);
+  rec->type = static_cast<WalRecordType>(LoadU32(q + 8));
+  rec->txn_id = LoadU64(q + 12);
+  const uint32_t klen = LoadU32(q + 20);
+  if (24 + static_cast<uint64_t>(klen) + 4 > len) {
+    return Status::IOError("frame key overruns payload");
+  }
+  rec->key.assign(q + 24, klen);
+  const uint32_t vlen = LoadU32(q + 24 + klen);
+  if (28 + static_cast<uint64_t>(klen) + vlen != len) {
+    return Status::IOError("frame value overruns payload");
+  }
+  rec->value.assign(q + 28 + klen, vlen);
+  *off += kFrameHeaderSize + len;
+  return Status::OK();
+}
+
+}  // namespace
+
+Wal::Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  auto wal = std::unique_ptr<Wal>(new Wal(path, fd));
+  std::lock_guard<std::mutex> lock(wal->mu_);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) return Errno("lseek", path);
+  if (size == 0) {
+    EEA_RETURN_NOT_OK(wal->AppendHeaderLocked());
+    if (::fsync(fd) != 0) return Errno("fsync", path);
+  } else {
+    EEA_RETURN_NOT_OK(wal->ScanExistingLocked());
+  }
+  return wal;
+}
+
+Status Wal::AppendHeaderLocked() {
+  char hdr[kWalHeaderSize];
+  std::memcpy(hdr, kWalMagic, sizeof(kWalMagic));
+  StoreU32(hdr + 8, kWalFormatVersion);
+  if (::pwrite(fd_, hdr, kWalHeaderSize, 0) !=
+      static_cast<ssize_t>(kWalHeaderSize)) {
+    return Errno("pwrite", path_);
+  }
+  appended_off_ = synced_off_ = kWalHeaderSize;
+  return Status::OK();
+}
+
+Status Wal::ScanExistingLocked() {
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Errno("lseek", path_);
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  if (file_size < kWalHeaderSize) {
+    return Status::IOError(path_ + ": wal file shorter than its header");
+  }
+  char hdr[kWalHeaderSize];
+  if (::pread(fd_, hdr, kWalHeaderSize, 0) !=
+      static_cast<ssize_t>(kWalHeaderSize)) {
+    return Errno("pread", path_);
+  }
+  if (std::memcmp(hdr, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IOError(path_ + " is not an exearth wal file");
+  }
+  const uint32_t version = LoadU32(hdr + 8);
+  if (version != kWalFormatVersion) {
+    return Status::IOError(common::StrFormat(
+        "%s: wal format version mismatch: file has v%u, this reader "
+        "supports v%u — refusing to open",
+        path_.c_str(), version, kWalFormatVersion));
+  }
+  // Scan to the first torn/corrupt record; everything after is an
+  // interrupted append and is truncated away (crash atomicity).
+  uint64_t off = kWalHeaderSize;
+  uint64_t last_lsn = 0;
+  WalRecord rec;
+  for (;;) {
+    uint64_t next = off;
+    Status s = ReadFrameAt(fd_, file_size, &next, &rec);
+    if (!s.ok()) {
+      if (s.code() != common::StatusCode::kNotFound) {
+        stats_.torn_tail_bytes = file_size - off;
+        if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+          return Errno("ftruncate", path_);
+        }
+        if (::fsync(fd_) != 0) return Errno("fsync", path_);
+      }
+      break;
+    }
+    last_lsn = rec.lsn;
+    if (rec.type == WalRecordType::kCheckpoint &&
+        rec.txn_id > checkpoint_lsn_) {
+      checkpoint_lsn_ = rec.txn_id;
+    }
+    off = next;
+  }
+  appended_off_ = synced_off_ = off;
+  next_lsn_ = last_lsn + 1;
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(WalRecordType type, uint64_t txn_id,
+                             const std::string& key,
+                             const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::Unavailable("wal poisoned by injected crash");
+  }
+  const uint64_t lsn = next_lsn_;
+  const std::string frame = EncodeFrame(lsn, type, txn_id, key, value);
+  Status fault = common::fault::MaybeFail("storage.wal.append");
+  if (!fault.ok()) {
+    // Injected crash mid-append: half the frame reaches the file; the
+    // reopen scan finds the torn record and truncates it away.
+    const size_t half = frame.size() / 2;
+    (void)!::pwrite(fd_, frame.data(), half,
+                    static_cast<off_t>(appended_off_));
+    poisoned_ = true;
+    sync_cv_.notify_all();
+    return fault;
+  }
+  if (::pwrite(fd_, frame.data(), frame.size(),
+               static_cast<off_t>(appended_off_)) !=
+      static_cast<ssize_t>(frame.size())) {
+    return Errno("pwrite", path_);
+  }
+  appended_off_ += frame.size();
+  next_lsn_ = lsn + 1;
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  WalMetrics::Get().appends->Increment();
+  return lsn;
+}
+
+Status Wal::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.sync_requests;
+  const uint64_t my_target = appended_off_;
+  for (;;) {
+    if (poisoned_) {
+      return synced_off_ >= my_target
+                 ? Status::OK()
+                 : Status::Unavailable("wal poisoned by injected crash");
+    }
+    if (synced_off_ >= my_target) return Status::OK();
+    if (!sync_in_flight_) break;
+    // A leader is already fsyncing; wait for it, then re-check whether
+    // its sync covered our bytes.
+    sync_cv_.wait(lock, [&] {
+      return !sync_in_flight_ || synced_off_ >= my_target || poisoned_;
+    });
+  }
+  // Become the group leader: one fsync covers every byte appended so far.
+  sync_in_flight_ = true;
+  const uint64_t target = appended_off_;
+  Status fault = common::fault::MaybeFail("storage.wal.fsync");
+  if (!fault.ok()) {
+    // Injected power loss before the fsync completed: the unsynced tail
+    // lived only in the page cache, so model it by truncating back to
+    // the durable prefix.
+    (void)!::ftruncate(fd_, static_cast<off_t>(synced_off_));
+    appended_off_ = synced_off_;
+    poisoned_ = true;
+    sync_in_flight_ = false;
+    sync_cv_.notify_all();
+    return fault;
+  }
+  lock.unlock();
+  const bool ok = ::fsync(fd_) == 0;
+  lock.lock();
+  sync_in_flight_ = false;
+  if (!ok) {
+    sync_cv_.notify_all();
+    return Errno("fsync", path_);
+  }
+  if (target > synced_off_) synced_off_ = target;
+  ++stats_.syncs;
+  WalMetrics::Get().fsyncs->Increment();
+  sync_cv_.notify_all();
+  return Status::OK();
+}
+
+Status Wal::Replay(
+    const std::function<Status(const WalRecord&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t file_size = appended_off_;
+  uint64_t off = kWalHeaderSize;
+  WalRecord rec;
+  for (;;) {
+    Status s = ReadFrameAt(fd_, file_size, &off, &rec);
+    if (!s.ok()) {
+      // A torn record inside the scanned bound would mean Open() missed
+      // it — surface that; clean EOF ends the replay.
+      if (s.code() == common::StatusCode::kNotFound) break;
+      return s;
+    }
+    if (rec.type == WalRecordType::kCheckpoint) continue;
+    if (rec.lsn <= checkpoint_lsn_) continue;
+    WalMetrics::Get().replayed->Increment();
+    EEA_RETURN_NOT_OK(fn(rec));
+  }
+  return Status::OK();
+}
+
+Status Wal::Checkpoint(uint64_t checkpoint_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::Unavailable("wal poisoned by injected crash");
+  }
+  // Build the replacement log in a temp file, then rename over the old
+  // one: a crash at any point leaves a fully intact log (old or new).
+  const std::string tmp = path_ + ".tmp";
+  int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+  if (tfd < 0) return Errno("open", tmp);
+  char hdr[kWalHeaderSize];
+  std::memcpy(hdr, kWalMagic, sizeof(kWalMagic));
+  StoreU32(hdr + 8, kWalFormatVersion);
+  const uint64_t marker_lsn = next_lsn_;
+  const std::string frame = EncodeFrame(
+      marker_lsn, WalRecordType::kCheckpoint, checkpoint_lsn, "", "");
+  bool ok = ::pwrite(tfd, hdr, kWalHeaderSize, 0) ==
+                static_cast<ssize_t>(kWalHeaderSize) &&
+            ::pwrite(tfd, frame.data(), frame.size(),
+                     static_cast<off_t>(kWalHeaderSize)) ==
+                static_cast<ssize_t>(frame.size()) &&
+            ::fsync(tfd) == 0;
+  ::close(tfd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return Errno("write", tmp);
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", tmp);
+  }
+  int nfd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (nfd < 0) return Errno("open", path_);
+  ::close(fd_);
+  fd_ = nfd;
+  appended_off_ = synced_off_ = kWalHeaderSize + frame.size();
+  next_lsn_ = marker_lsn + 1;
+  checkpoint_lsn_ = checkpoint_lsn;
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::checkpoint_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_lsn_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace exearth::storage

@@ -1,0 +1,134 @@
+// Write-ahead redo log for the durable KV store (ROADMAP item 1).
+//
+// The Wal is an append-only file of CRC-framed, LSN-stamped records. A
+// transaction appends its Put/Delete records followed by one Commit
+// record, then syncs; only after the sync returns is the transaction
+// acknowledged. Recovery replays the log in order and surfaces *only*
+// transactions whose Commit record survived — a crash mid-append leaves a
+// torn tail that Open() detects by CRC and truncates, so an interrupted
+// commit vanishes atomically.
+//
+// Record frame (little-endian):
+//   [u32 crc][u32 len][payload: u64 lsn, u32 type, u64 txn_id,
+//                      u32 klen, key bytes, u32 vlen, value bytes]
+// crc covers [len..payload]; len is the payload length. Types: kPut,
+// kDelete (vlen 0), kCommit, kCheckpoint. A kCheckpoint record carries
+// the checkpoint LSN in txn_id; replay skips anything at or below it.
+//
+// File header: "EEAWAL01" magic + u32 format version, validated on Open.
+//
+// Group fsync: concurrent Sync() callers elect a leader that issues one
+// fsync covering every byte appended before it started; followers wait on
+// a condition variable until their offset is covered. This batches the
+// dominant cost of small transactions.
+//
+// Checkpointing: after a consumer persists a checkpoint (pages + meta
+// flip), Checkpoint(lsn) rewrites the log to contain just a kCheckpoint
+// marker, bounding recovery work. The rewrite goes through a temp file +
+// rename so a crash during checkpointing leaves either log intact.
+//
+// Fault points (common/fault.h): `storage.wal.append` tears the record
+// being written (half its bytes reach the file) and poisons the Wal;
+// `storage.wal.fsync` truncates back to the last synced offset (modeling
+// page-cache loss on power failure) and poisons the Wal. A poisoned Wal
+// fails all further appends — the process is "crashed" until reopen.
+
+#ifndef EXEARTH_STORAGE_WAL_H_
+#define EXEARTH_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace exearth::storage {
+
+inline constexpr uint32_t kWalFormatVersion = 1;
+
+enum class WalRecordType : uint32_t {
+  kPut = 1,
+  kDelete = 2,
+  kCommit = 3,
+  kCheckpoint = 4,
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kPut;
+  uint64_t txn_id = 0;
+  std::string key;
+  std::string value;
+};
+
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t syncs = 0;        // fsync system calls issued
+  uint64_t sync_requests = 0;  // Sync() calls (>= syncs with group commit)
+  uint64_t bytes_appended = 0;
+  uint64_t torn_tail_bytes = 0;  // discarded by Open()
+};
+
+class Wal {
+ public:
+  /// Opens (or creates) the log at `path`. An existing log is scanned to
+  /// the first torn/corrupt record; the tail from that point is truncated
+  /// away and the next LSN continues after the last intact record.
+  static common::Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record, assigning it the next LSN (returned). Buffered
+  /// in the OS until Sync. Fault point `storage.wal.append`.
+  common::Result<uint64_t> Append(WalRecordType type, uint64_t txn_id,
+                                  const std::string& key,
+                                  const std::string& value);
+
+  /// Persists every record appended before this call (group fsync).
+  /// Fault point `storage.wal.fsync`.
+  common::Status Sync();
+
+  /// Replays all intact records in LSN order. Records with
+  /// lsn <= the latest kCheckpoint record's LSN are skipped.
+  common::Status Replay(
+      const std::function<common::Status(const WalRecord&)>& fn);
+
+  /// Truncates the log to a single kCheckpoint marker carrying
+  /// `checkpoint_lsn`. Crash-safe via temp file + rename.
+  common::Status Checkpoint(uint64_t checkpoint_lsn);
+
+  uint64_t next_lsn() const;
+  uint64_t checkpoint_lsn() const;
+  WalStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd);
+
+  common::Status ScanExistingLocked();
+  common::Status AppendHeaderLocked();
+
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  uint64_t next_lsn_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t appended_off_ = 0;  // file size with every appended record
+  uint64_t synced_off_ = 0;    // prefix guaranteed on disk
+  bool sync_in_flight_ = false;
+  bool poisoned_ = false;  // injected crash: all further IO refused
+  WalStats stats_;
+};
+
+}  // namespace exearth::storage
+
+#endif  // EXEARTH_STORAGE_WAL_H_

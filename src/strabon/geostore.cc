@@ -9,6 +9,7 @@
 #include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 #include "geo/wkt.h"
 
@@ -306,6 +307,32 @@ Result<size_t> GeoStore::Build() {
   spatial_built_ = true;
   ++data_epoch_;
   return geom_subjects_.size();
+}
+
+common::Status GeoStore::FreezeIndexTo(storage::BufferPool* pool,
+                                       storage::PageId* head) const {
+  if (!spatial_built_) {
+    return common::Status::FailedPrecondition(
+        "FreezeIndexTo: spatial index not built (call Build())");
+  }
+  return rtree_.FreezeTo(pool, head);
+}
+
+common::Status GeoStore::LoadFrozenIndex(storage::BufferPool* pool,
+                                         storage::PageId head) {
+  if (!spatial_built_) {
+    return common::Status::FailedPrecondition(
+        "LoadFrozenIndex: geometry arena not built (call Build())");
+  }
+  EEA_ASSIGN_OR_RETURN(geo::RTree loaded, geo::RTree::OpenFrozen(pool, head));
+  if (loaded.size() != geom_subjects_.size()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "LoadFrozenIndex: frozen index has %zu entries but the geometry "
+        "arena has %zu — index and dataset are out of sync",
+        loaded.size(), geom_subjects_.size()));
+  }
+  rtree_ = std::move(loaded);
+  return common::Status::OK();
 }
 
 void GeoStore::set_num_threads(size_t n) {

@@ -165,6 +165,19 @@ class GeoStore {
       const std::vector<BatchSelectQuery>& queries,
       SpatialQueryStats* stats = nullptr) const;
 
+  /// Serializes the packed R-tree into a page chain from `pool` (see
+  /// geo::RTree::FreezeTo). Build() first; persist `*head` plus the
+  /// pool's FlushAll/Sync to make the index durable.
+  common::Status FreezeIndexTo(storage::BufferPool* pool,
+                               storage::PageId* head) const;
+
+  /// Replaces the R-tree with one loaded from a FreezeIndexTo chain.
+  /// Query results are byte-identical to the in-memory index; reads go
+  /// through the buffer pool (cold vs warm — the E18 bench). The
+  /// geometry arena must already be built (same dataset, same order).
+  common::Status LoadFrozenIndex(storage::BufferPool* pool,
+                                 storage::PageId head);
+
   /// Monotone data-version counter, bumped by every geometry ingest
   /// (AddFeature) and every (re)Build. Result caches key their entries on
   /// this epoch: an entry whose epoch no longer matches is stale and must
