@@ -32,6 +32,22 @@
 //                                loss) and poisons the Wal
 //   storage.page.write           one 4 KiB page write in a storage
 //                                manager (checkpoint write-back path)
+//   repl.leader.crash            a shard leader at its commit point,
+//                                after its local durable append but
+//                                before shipping to followers; a
+//                                triggered fault kills the leader for
+//                                good (node loss) and elects a successor
+//   repl.channel.send            one leader->follower replication batch;
+//                                a fault with code `io` delivers
+//                                corrupted bytes (the follower's frame
+//                                scan rejects the whole batch), any
+//                                other code drops the batch (the
+//                                follower lags and is caught up later)
+//   repl.follower.apply          a follower applying a durably appended
+//                                batch to its in-memory store; a
+//                                triggered fault leaves the batch
+//                                durable-but-unapplied until the next
+//                                batch or its promotion to leader
 //
 // RetryPolicy/BackoffUs give capped exponential backoff with
 // deterministic seeded jitter; CircuitBreaker is a call-count-based

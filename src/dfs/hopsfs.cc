@@ -237,37 +237,77 @@ Result<std::vector<std::string>> SplitPath(const std::string& path) {
 }
 
 HopsFsCluster::HopsFsCluster(const Options& options)
-    : options_(options), store_(options.kv_partitions) {
+    : options_(options),
+      owned_store_(std::make_unique<kv::KvStore>(options.kv_partitions)),
+      owned_adapter_(std::make_unique<kv::KvMetaStore>(owned_store_.get())) {
+  meta_ = owned_adapter_.get();
   // Root inode (id 1) under the virtual parent 0.
-  EEA_CHECK_OK(store_.Put(InodeKey(0, ""), EncodeInode(InodeRow{
+  EEA_CHECK_OK(meta_->Put(InodeKey(0, ""), EncodeInode(InodeRow{
                                                .id = 1,
                                                .is_directory = true,
                                            })));
+  InitIdAllocator(1);
 }
 
 HopsFsCluster::HopsFsCluster(const Options& options,
                              storage::BufferPool* pool, storage::Wal* wal)
-    : options_(options), store_(options.kv_partitions) {
-  EEA_CHECK_OK(store_.AttachDurability(pool, wal));
+    : options_(options),
+      owned_store_(std::make_unique<kv::KvStore>(options.kv_partitions)),
+      owned_adapter_(std::make_unique<kv::KvMetaStore>(owned_store_.get())) {
+  meta_ = owned_adapter_.get();
+  EEA_CHECK_OK(owned_store_->AttachDurability(pool, wal));
   // Create the root inode only on a fresh namespace; a recovered one
   // already has it (and rewriting it would WAL a redundant commit).
-  if (!store_.Get(InodeKey(0, "")).ok()) {
-    EEA_CHECK_OK(store_.Put(InodeKey(0, ""), EncodeInode(InodeRow{
+  if (!meta_->Get(InodeKey(0, "")).ok()) {
+    EEA_CHECK_OK(meta_->Put(InodeKey(0, ""), EncodeInode(InodeRow{
                                                  .id = 1,
                                                  .is_directory = true,
                                              })));
   }
   // Resume the inode-id allocator past every recovered inode so new ids
   // never collide with rows replayed from the checkpoint + WAL.
-  int64_t max_id = 1;
-  for (const auto& [key, value] : store_.ScanPrefix("i|")) {
-    Result<InodeRow> row = DecodeInode(value);
-    if (row.ok() && row.value().id > max_id) max_id = row.value().id;
-  }
-  next_inode_id_.store(max_id + 1, std::memory_order_relaxed);
+  InitIdAllocator(1);
 }
 
-Result<int64_t> HopsFsNameNode::ResolveParent(kv::Transaction* txn,
+HopsFsCluster::HopsFsCluster(const Options& options, kv::MetaStore* store,
+                             int id_shards)
+    : options_(options), meta_(store) {
+  EEA_CHECK(id_shards >= 1) << "id_shards must be >= 1";
+  // A replicated store may arrive freshly created or recovered from its
+  // replicas' WALs; create the root only when absent, like the durable
+  // constructor.
+  if (!meta_->Get(InodeKey(0, "")).ok()) {
+    EEA_CHECK_OK(meta_->Put(InodeKey(0, ""), EncodeInode(InodeRow{
+                                                 .id = 1,
+                                                 .is_directory = true,
+                                             })));
+  }
+  InitIdAllocator(id_shards);
+}
+
+void HopsFsCluster::InitIdAllocator(int id_shards) {
+  shard_next_id_.clear();
+  shard_next_id_.reserve(static_cast<size_t>(id_shards));
+  for (int s = 0; s < id_shards; ++s) {
+    shard_next_id_.push_back(
+        std::make_unique<std::atomic<int64_t>>(IdShardBase(s)));
+  }
+  // Resume each shard's counter past the highest id already allocated in
+  // its range, so restarted (or recovered) clusters never re-issue an id.
+  for (const auto& [key, value] : meta_->ScanPrefix("i|")) {
+    Result<InodeRow> row = DecodeInode(value);
+    if (!row.ok() || row.value().id < 2) continue;
+    const int64_t id = row.value().id;
+    const int64_t shard = (id - 2) / kIdShardRange;
+    if (shard < 0 || shard >= id_shards) continue;
+    auto& next = *shard_next_id_[static_cast<size_t>(shard)];
+    if (id >= next.load(std::memory_order_relaxed)) {
+      next.store(id + 1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Result<int64_t> HopsFsNameNode::ResolveParent(kv::MetaTransaction* txn,
                                               const std::string& path,
                                               std::string* leaf) {
   EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
@@ -294,7 +334,7 @@ Result<int64_t> HopsFsNameNode::ResolveParent(kv::Transaction* txn,
 Status HopsFsNameNode::Mkdir(const std::string& path) {
   static common::Counter* ops = OpCounter("dfs.ops.mkdir");
   MetadataOpScope scope("dfs.Mkdir", ops);
-  return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  return RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
     const std::string key = InodeKey(parent, leaf);
@@ -315,7 +355,7 @@ Status HopsFsNameNode::Create(const std::string& path, uint64_t size_bytes,
   const auto& opt = cluster_->options();
   static common::Counter* ops = OpCounter("dfs.ops.create");
   MetadataOpScope scope("dfs.Create", ops);
-  return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  return RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
     const std::string key = InodeKey(parent, leaf);
@@ -352,7 +392,7 @@ Result<FileInfo> HopsFsNameNode::GetFileInfo(const std::string& path) {
   static common::Counter* ops = OpCounter("dfs.ops.stat");
   MetadataOpScope scope("dfs.GetFileInfo", ops);
   FileInfo info;
-  Status s = RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  Status s = RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     EEA_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
     if (parts.empty()) {
       info = FileInfo{.inode_id = 1, .is_directory = true};
@@ -392,7 +432,7 @@ Result<std::vector<std::string>> HopsFsNameNode::List(const std::string& path) {
 Status HopsFsNameNode::Remove(const std::string& path) {
   static common::Counter* ops = OpCounter("dfs.ops.remove");
   MetadataOpScope scope("dfs.Remove", ops);
-  return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  return RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
     const std::string key = InodeKey(parent, leaf);
@@ -417,7 +457,7 @@ Result<std::string> HopsFsNameNode::ReadFile(const std::string& path) {
   static common::Counter* ops = OpCounter("dfs.ops.read");
   MetadataOpScope scope("dfs.ReadFile", ops);
   std::string out;
-  Status s = RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  Status s = RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     std::string leaf;
     EEA_ASSIGN_OR_RETURN(int64_t parent, ResolveParent(txn, path, &leaf));
     EEA_ASSIGN_OR_RETURN(std::string value,
@@ -447,7 +487,7 @@ Result<std::string> HopsFsNameNode::ReadFile(const std::string& path) {
 Status HopsFsNameNode::Rename(const std::string& from, const std::string& to) {
   static common::Counter* ops = OpCounter("dfs.ops.rename");
   MetadataOpScope scope("dfs.Rename", ops);
-  return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  return RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     std::string from_leaf;
     EEA_ASSIGN_OR_RETURN(int64_t from_parent,
                          ResolveParent(txn, from, &from_leaf));
@@ -474,7 +514,7 @@ namespace {
 // Collects every inode row under directory `dir_id` (depth-first) into
 // `keys`, and the file rows' block keys into `block_keys`. Uses committed
 // reads; the caller deletes under row locks afterwards.
-void CollectSubtree(kv::KvStore* store, int64_t dir_id,
+void CollectSubtree(kv::MetaStore* store, int64_t dir_id,
                     std::vector<std::string>* keys,
                     std::vector<std::string>* block_keys,
                     uint64_t* total_bytes) {
@@ -514,7 +554,7 @@ Status HopsFsNameNode::RemoveRecursive(const std::string& path) {
   uint64_t bytes = 0;
   CollectSubtree(&cluster_->store(), info.inode_id, &keys, &block_keys,
                  &bytes);
-  return RunTxn(cluster_, [&](kv::Transaction* txn) -> Status {
+  return RunTxn(cluster_, [&](kv::MetaTransaction* txn) -> Status {
     for (const std::string& key : block_keys) {
       EEA_RETURN_NOT_OK(txn->Delete(key));
     }

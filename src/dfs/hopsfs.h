@@ -24,11 +24,15 @@
 
 #include "dfs/filesystem.h"
 #include "kv/kvstore.h"
+#include "kv/meta_store.h"
 
 namespace exearth::dfs {
 
-/// Shared metadata state: the KV store plus the global inode-id allocator.
-/// One instance per cluster; create any number of NameNode front-ends on it.
+/// Shared metadata state: the metadata store plus the inode-id
+/// allocator. One instance per cluster; create any number of NameNode
+/// front-ends on it. The store is any kv::MetaStore — the embedded
+/// single kv::KvStore (default and durable constructors) or an external
+/// sharded/replicated store (repl::ReplicatedKvStore).
 class HopsFsCluster {
  public:
   struct Options {
@@ -59,12 +63,39 @@ class HopsFsCluster {
   HopsFsCluster(const Options& options, storage::BufferPool* pool,
                 storage::Wal* wal);
 
-  kv::KvStore& store() { return store_; }
+  /// Cluster over an external metadata store (not owned; must outlive
+  /// the cluster) — e.g. a repl::ReplicatedKvStore. The root inode is
+  /// created only on a fresh namespace, and the inode-id allocator
+  /// resumes past every recovered id, so a recovered replicated store
+  /// works transparently. `id_shards` partitions the inode-id space
+  /// into disjoint ranges allocated round-robin (pass the store's shard
+  /// count so id allocation scales with the shards; 1 keeps the classic
+  /// sequential 2, 3, 4, ... numbering).
+  HopsFsCluster(const Options& options, kv::MetaStore* store,
+                int id_shards = 1);
+
+  kv::MetaStore& store() { return *meta_; }
   const Options& options() const { return options_; }
 
+  /// Inode ids are allocated from per-shard ranges (shard s owns
+  /// [2 + s * 2^40, 2 + (s+1) * 2^40)), round-robin across shards, so
+  /// id allocation never serializes on one counter and resumed clusters
+  /// can extend each range independently.
   int64_t AllocateInodeId() {
-    return next_inode_id_.fetch_add(1, std::memory_order_relaxed);
+    const size_t shard =
+        shard_next_id_.size() == 1
+            ? 0
+            : id_rr_.fetch_add(1, std::memory_order_relaxed) %
+                  shard_next_id_.size();
+    return shard_next_id_[shard]->fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// First inode id of an id shard's range (1 is the root, 0 the
+  /// virtual parent; ranges start at 2).
+  static int64_t IdShardBase(int shard) {
+    return 2 + static_cast<int64_t>(shard) * kIdShardRange;
+  }
+  static constexpr int64_t kIdShardRange = int64_t{1} << 40;
 
   /// Number of conflict-retries performed across all namenodes.
   uint64_t txn_retries() const {
@@ -73,9 +104,18 @@ class HopsFsCluster {
   void CountRetry() { txn_retries_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
+  /// Sets up `id_shards` range allocators, then advances each past the
+  /// highest id already present in its range (recovered namespaces).
+  void InitIdAllocator(int id_shards);
+
   Options options_;
-  kv::KvStore store_;
-  std::atomic<int64_t> next_inode_id_{2};  // 1 is the root
+  // Owned backing store for the embedded constructors; null when the
+  // cluster runs over an external MetaStore.
+  std::unique_ptr<kv::KvStore> owned_store_;
+  std::unique_ptr<kv::KvMetaStore> owned_adapter_;
+  kv::MetaStore* meta_ = nullptr;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> shard_next_id_;
+  std::atomic<uint64_t> id_rr_{0};
   std::atomic<uint64_t> txn_retries_{0};
 };
 
@@ -108,7 +148,7 @@ class HopsFsNameNode : public FileSystem {
  private:
   // Resolves the parent directory of `path`; returns its inode id and the
   // final path component via `leaf`.
-  common::Result<int64_t> ResolveParent(kv::Transaction* txn,
+  common::Result<int64_t> ResolveParent(kv::MetaTransaction* txn,
                                         const std::string& path,
                                         std::string* leaf);
 

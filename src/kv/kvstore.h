@@ -30,6 +30,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "kv/meta_store.h"
 
 namespace exearth::storage {
 class BufferPool;
@@ -61,38 +62,40 @@ class KvStore;
 
 /// A transaction: reads/writes row-lock their keys on first access (strict
 /// 2PL, no-wait). Commit applies buffered writes and releases locks; Abort
-/// (or destruction) releases locks and discards writes.
-class Transaction {
+/// (or destruction) releases locks and discards writes. Implements
+/// kv::MetaTransaction so HopsFS can run against either a single KvStore
+/// or the sharded replicated store.
+class Transaction : public MetaTransaction {
  public:
-  ~Transaction();
+  ~Transaction() override;
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 
   /// Reads a key. NotFound if absent; Aborted if another transaction holds
   /// the row lock (caller should Abort and retry).
-  common::Result<std::string> Get(const std::string& key);
+  common::Result<std::string> Get(const std::string& key) override;
 
   /// Read-committed read: returns the committed value without taking the
   /// row lock (sees own buffered writes). Use for rows that only need
   /// snapshot consistency (e.g. ancestor path resolution in HopsFS, which
   /// locks only the rows it mutates).
-  common::Result<std::string> GetCommitted(const std::string& key);
+  common::Result<std::string> GetCommitted(const std::string& key) override;
 
   /// Buffers a write (applied at Commit). Aborted on lock conflict.
-  common::Status Put(const std::string& key, std::string value);
+  common::Status Put(const std::string& key, std::string value) override;
 
   /// Buffers a deletion. Aborted on lock conflict.
-  common::Status Delete(const std::string& key);
+  common::Status Delete(const std::string& key) override;
 
   /// True if the key exists (own writes considered). Aborted on conflict.
-  common::Result<bool> Exists(const std::string& key);
+  common::Result<bool> Exists(const std::string& key) override;
 
   /// Applies buffered writes atomically and releases all locks.
-  common::Status Commit();
+  common::Status Commit() override;
 
   /// Discards buffered writes and releases all locks.
-  void Abort();
+  void Abort() override;
 
   uint64_t id() const { return id_; }
   /// Number of distinct partitions this transaction has touched.
@@ -213,6 +216,39 @@ class KvStore {
   std::atomic<uint64_t> multi_partition_commits_{0};
   std::atomic<uint64_t> gets_{0};
   std::atomic<uint64_t> puts_{0};
+};
+
+/// MetaStore adapter over a single KvStore. KvStore itself cannot
+/// implement MetaStore (its Begin() returns unique_ptr<Transaction>,
+/// which is not covariant with unique_ptr<MetaTransaction>), so this
+/// thin non-owning view bridges the two. The wrapped store must outlive
+/// the adapter.
+class KvMetaStore final : public MetaStore {
+ public:
+  explicit KvMetaStore(KvStore* store) : store_(store) {}
+
+  std::unique_ptr<MetaTransaction> Begin() override {
+    return store_->Begin();
+  }
+  common::Status Put(const std::string& key, std::string value) override {
+    return store_->Put(key, std::move(value));
+  }
+  common::Result<std::string> Get(const std::string& key) override {
+    return store_->Get(key);
+  }
+  common::Status Delete(const std::string& key) override {
+    return store_->Delete(key);
+  }
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(
+      const std::string& prefix, size_t limit = 0) const override {
+    return store_->ScanPrefix(prefix, limit);
+  }
+  size_t Size() const override { return store_->Size(); }
+
+  KvStore* store() const { return store_; }
+
+ private:
+  KvStore* store_;
 };
 
 }  // namespace exearth::kv

@@ -1,0 +1,42 @@
+// Glue between the replication layer and the obs::AdminServer: registers
+// the repl-specific introspection surface on a generic admin server, so
+// obs stays free of repl dependencies while /shardz exists only when a
+// replicated store does.
+//
+// Registers:
+//   * /shardz           — shard/replica role table (leader/follower/down,
+//                         durable + applied LSNs, lag, election count and
+//                         term) from ReplicatedKvStore::StatusSnapshot()
+//   * readiness probe   — "repl.quorum": ReplicatedKvStore::CheckReady(),
+//                         so /healthz flips to 503 once any shard cannot
+//                         reach its write quorum
+//   * /metrics collector — the labeled families
+//                         repl_lag_frames{shard,replica} (gauge) and
+//                         repl_elections_total{shard} (counter)
+//   * status line       — shard/replica/election summary on /statusz
+//
+// Call before AdminServer::Start(); `store` must outlive the admin
+// server. ShardzText / ReplPrometheusText are exposed for tests.
+
+#ifndef EXEARTH_REPL_ADMIN_HOOKS_H_
+#define EXEARTH_REPL_ADMIN_HOOKS_H_
+
+#include <string>
+
+#include "obs/admin.h"
+#include "repl/replicated_store.h"
+
+namespace exearth::repl {
+
+/// The /shardz page body.
+std::string ShardzText(const ReplicatedKvStore& store);
+
+/// Prometheus exposition text for the labeled repl families.
+std::string ReplPrometheusText(const ReplicatedKvStore& store);
+
+void RegisterReplAdminHooks(obs::AdminServer* admin,
+                            ReplicatedKvStore* store);
+
+}  // namespace exearth::repl
+
+#endif  // EXEARTH_REPL_ADMIN_HOOKS_H_

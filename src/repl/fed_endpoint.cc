@@ -1,0 +1,71 @@
+#include "repl/fed_endpoint.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace exearth::repl {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// A slot matches a key/value literal when it is a variable or equals it.
+bool SlotMatches(const rdf::PatternSlot& slot, const std::string& text) {
+  return slot.is_var || slot.term.value == text;
+}
+
+}  // namespace
+
+ReplicaReadEndpoint::ReplicaReadEndpoint(const ReplicatedKvStore* store,
+                                         int shard, int replica)
+    : fed::Endpoint(common::StrFormat("repl-s%dr%d", shard, replica)),
+      store_(store),
+      shard_(shard),
+      replica_(replica) {
+  // Advertised summary: the shard's current row count (an estimate —
+  // the mediator only uses it for source selection and join ordering).
+  auto rows = store->ScanReplicaPrefix(shard, replica, "", 0);
+  summary_[kRowPredicate] = rows.ok() ? rows->size() : 0;
+}
+
+Result<std::vector<std::map<std::string, rdf::Term>>>
+ReplicaReadEndpoint::ExecutePattern(
+    const rdf::TriplePattern& pattern) const {
+  EEA_RETURN_NOT_OK(BeginRemoteCall());
+  std::vector<std::map<std::string, rdf::Term>> out;
+  if (pattern.p.is_var || pattern.p.term.value != kRowPredicate) {
+    return out;  // only the row predicate is served here
+  }
+  auto bind = [&](const std::string& key, const std::string& value) {
+    if (!SlotMatches(pattern.o, value)) return;
+    std::map<std::string, rdf::Term> row;
+    if (pattern.s.is_var) row.emplace(pattern.s.var, rdf::Term::Literal(key));
+    if (pattern.p.is_var) {
+      row.emplace(pattern.p.var, rdf::Term::Iri(kRowPredicate));
+    }
+    if (pattern.o.is_var) {
+      row.emplace(pattern.o.var, rdf::Term::Literal(value));
+    }
+    out.push_back(std::move(row));
+  };
+  if (!pattern.s.is_var) {
+    // Point lookup. A key the shard does not hold is an empty answer,
+    // not an error; a dead replica is a remote failure the mediator's
+    // retry/breaker machinery must see.
+    auto value = store_->ReadReplica(shard_, replica_, pattern.s.term.value);
+    if (value.ok()) {
+      bind(pattern.s.term.value, *value);
+    } else if (value.status().code() != common::StatusCode::kNotFound) {
+      return value.status();
+    }
+    return out;
+  }
+  auto rows = store_->ScanReplicaPrefix(shard_, replica_, "", 0);
+  EEA_RETURN_NOT_OK(rows.status());
+  for (const auto& [key, value] : *rows) bind(key, value);
+  return out;
+}
+
+}  // namespace exearth::repl

@@ -1,0 +1,64 @@
+// Follower replicas as federation read endpoints.
+//
+// The federation mediator already knows how to retry failed remote
+// calls, route them through per-endpoint circuit breakers, and return
+// partial answers when sources stay down. ReplicaReadEndpoint plugs a
+// replica of the sharded store into exactly that machinery: one
+// endpoint per (shard, replica), answering key/value rows under a
+// synthetic predicate from the replica's *applied* state (follower
+// reads may lag the leader by design).
+//
+// Registering one endpoint per shard — each backed by a follower —
+// gives the mediator a scatter view of the whole keyspace (shards are
+// disjoint), offloading reads from leaders; a crashed follower surfaces
+// through the standard `fed.endpoint.call:<name>` fault boundary, so
+// breakers open and `partial_ok` queries degrade gracefully, listing
+// the lost replica in FederationStats::degraded_sources.
+//
+// Pattern vocabulary (term-level, like any federated source):
+//   ?k <urn:eea:repl#row> ?v   — every (key, value) row of the shard,
+//                                keys and values bound as plain literals
+//   "some-key" ^ as subject    — point lookup of one key
+// Constant objects filter on the value; other predicates answer empty.
+
+#ifndef EXEARTH_REPL_FED_ENDPOINT_H_
+#define EXEARTH_REPL_FED_ENDPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fed/federation.h"
+#include "rdf/query.h"
+#include "rdf/term.h"
+#include "repl/replicated_store.h"
+
+namespace exearth::repl {
+
+/// The synthetic predicate replica endpoints advertise.
+inline constexpr char kRowPredicate[] = "urn:eea:repl#row";
+
+class ReplicaReadEndpoint final : public fed::Endpoint {
+ public:
+  /// Serves shard `shard` of `store` from replica `replica`'s applied
+  /// state. Named "repl-s<shard>r<replica>"; the store must outlive the
+  /// endpoint. The advertised cardinality is estimated at construction.
+  ReplicaReadEndpoint(const ReplicatedKvStore* store, int shard,
+                      int replica);
+
+  common::Result<std::vector<std::map<std::string, rdf::Term>>>
+  ExecutePattern(const rdf::TriplePattern& pattern) const override;
+
+  int shard() const { return shard_; }
+  int replica() const { return replica_; }
+
+ private:
+  const ReplicatedKvStore* store_;
+  int shard_;
+  int replica_;
+};
+
+}  // namespace exearth::repl
+
+#endif  // EXEARTH_REPL_FED_ENDPOINT_H_

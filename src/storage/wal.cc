@@ -66,35 +66,26 @@ std::string EncodeFrame(uint64_t lsn, WalRecordType type, uint64_t txn_id,
   return frame;
 }
 
-// Reads one frame at `off`; returns the record and advances *off, or:
-// NotFound at clean EOF, IOError on a torn/corrupt frame.
-Status ReadFrameAt(int fd, uint64_t file_size, uint64_t* off,
-                   WalRecord* rec) {
-  if (*off == file_size) return Status::NotFound("eof");
-  if (*off + kFrameHeaderSize > file_size) {
+// Decodes one frame at `*off` in an in-memory buffer; fills `rec` and
+// advances *off, or: NotFound at clean EOF, IOError on a torn/corrupt
+// frame. The single decoder behind Open()'s scan, Replay(), and
+// Wal::ValidatePrefix.
+Status DecodeFrameAt(const char* data, size_t size, size_t* off,
+                     WalRecord* rec) {
+  if (*off == size) return Status::NotFound("eof");
+  if (*off + kFrameHeaderSize > size) {
     return Status::IOError("torn frame header");
   }
-  char hdr[kFrameHeaderSize];
-  if (::pread(fd, hdr, kFrameHeaderSize, static_cast<off_t>(*off)) !=
-      static_cast<ssize_t>(kFrameHeaderSize)) {
-    return Status::IOError("short read of frame header");
-  }
-  const uint32_t want_crc = LoadU32(hdr);
-  const uint32_t len = LoadU32(hdr + 4);
-  if (len > kMaxRecordPayload || *off + kFrameHeaderSize + len > file_size) {
+  const char* p = data + *off;
+  const uint32_t want_crc = LoadU32(p);
+  const uint32_t len = LoadU32(p + 4);
+  if (len > kMaxRecordPayload || *off + kFrameHeaderSize + len > size) {
     return Status::IOError("torn frame payload");
   }
-  std::string payload(len, '\0');
-  if (::pread(fd, payload.data(), len,
-              static_cast<off_t>(*off + kFrameHeaderSize)) !=
-      static_cast<ssize_t>(len)) {
-    return Status::IOError("short read of frame payload");
-  }
-  uint32_t crc = Crc32(hdr + 4, 4);
-  crc = Crc32(payload.data(), len, crc);
+  const uint32_t crc = Crc32(p + 4, 4 + len);
   if (crc != want_crc) return Status::IOError("frame checksum mismatch");
   if (len < 28) return Status::IOError("frame payload too small");
-  const char* q = payload.data();
+  const char* q = p + kFrameHeaderSize;
   rec->lsn = LoadU64(q);
   rec->type = static_cast<WalRecordType>(LoadU32(q + 8));
   rec->txn_id = LoadU64(q + 12);
@@ -112,7 +103,44 @@ Status ReadFrameAt(int fd, uint64_t file_size, uint64_t* off,
   return Status::OK();
 }
 
+// Reads [start, end) of the file into `out`.
+Status ReadRange(int fd, const std::string& path, uint64_t start,
+                 uint64_t end, std::string* out) {
+  out->assign(end - start, '\0');
+  size_t done = 0;
+  while (done < out->size()) {
+    ssize_t n = ::pread(fd, out->data() + done, out->size() - done,
+                        static_cast<off_t>(start + done));
+    if (n <= 0) return Errno("pread", path);
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+std::string Wal::EncodeRecordFrame(const WalRecord& rec) {
+  return EncodeFrame(rec.lsn, rec.type, rec.txn_id, rec.key, rec.value);
+}
+
+Status Wal::ValidatePrefix(std::string_view frames, size_t* valid_bytes,
+                           std::vector<WalRecord>* records) {
+  size_t off = 0;
+  Status result = Status::OK();
+  WalRecord rec;
+  for (;;) {
+    size_t next = off;
+    Status s = DecodeFrameAt(frames.data(), frames.size(), &next, &rec);
+    if (!s.ok()) {
+      if (s.code() != common::StatusCode::kNotFound) result = s;
+      break;
+    }
+    if (records != nullptr) records->push_back(rec);
+    off = next;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = off;
+  return result;
+}
 
 Wal::Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
 
@@ -171,29 +199,29 @@ Status Wal::ScanExistingLocked() {
         path_.c_str(), version, kWalFormatVersion));
   }
   // Scan to the first torn/corrupt record; everything after is an
-  // interrupted append and is truncated away (crash atomicity).
-  uint64_t off = kWalHeaderSize;
-  uint64_t last_lsn = 0;
-  WalRecord rec;
-  for (;;) {
-    uint64_t next = off;
-    Status s = ReadFrameAt(fd_, file_size, &next, &rec);
-    if (!s.ok()) {
-      if (s.code() != common::StatusCode::kNotFound) {
-        stats_.torn_tail_bytes = file_size - off;
-        if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
-          return Errno("ftruncate", path_);
-        }
-        if (::fsync(fd_) != 0) return Errno("fsync", path_);
-      }
-      break;
+  // interrupted append and is truncated away (crash atomicity). The log
+  // is bounded by checkpointing, so reading it whole is fine.
+  std::string frames;
+  EEA_RETURN_NOT_OK(ReadRange(fd_, path_, kWalHeaderSize, file_size,
+                              &frames));
+  size_t valid = 0;
+  std::vector<WalRecord> records;
+  Status scan = ValidatePrefix(frames, &valid, &records);
+  const uint64_t off = kWalHeaderSize + valid;
+  if (!scan.ok()) {
+    stats_.torn_tail_bytes = file_size - off;
+    if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+      return Errno("ftruncate", path_);
     }
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  }
+  uint64_t last_lsn = 0;
+  for (const WalRecord& rec : records) {
     last_lsn = rec.lsn;
     if (rec.type == WalRecordType::kCheckpoint &&
         rec.txn_id > checkpoint_lsn_) {
       checkpoint_lsn_ = rec.txn_id;
     }
-    off = next;
   }
   appended_off_ = synced_off_ = off;
   next_lsn_ = last_lsn + 1;
@@ -284,17 +312,14 @@ Status Wal::Sync() {
 Status Wal::Replay(
     const std::function<Status(const WalRecord&)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t file_size = appended_off_;
-  uint64_t off = kWalHeaderSize;
-  WalRecord rec;
-  for (;;) {
-    Status s = ReadFrameAt(fd_, file_size, &off, &rec);
-    if (!s.ok()) {
-      // A torn record inside the scanned bound would mean Open() missed
-      // it — surface that; clean EOF ends the replay.
-      if (s.code() == common::StatusCode::kNotFound) break;
-      return s;
-    }
+  std::string frames;
+  EEA_RETURN_NOT_OK(ReadRange(fd_, path_, kWalHeaderSize, appended_off_,
+                              &frames));
+  std::vector<WalRecord> records;
+  // A torn record inside the scanned bound would mean Open() missed it —
+  // ValidatePrefix surfaces that as a non-OK status.
+  EEA_RETURN_NOT_OK(ValidatePrefix(frames, nullptr, &records));
+  for (const WalRecord& rec : records) {
     if (rec.type == WalRecordType::kCheckpoint) continue;
     if (rec.lsn <= checkpoint_lsn_) continue;
     WalMetrics::Get().replayed->Increment();

@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -80,6 +81,22 @@ class Wal {
   /// the first torn/corrupt record; the tail from that point is truncated
   /// away and the next LSN continues after the last intact record.
   static common::Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// Encodes one record as a wire frame exactly as Append writes it —
+  /// the unit replication channels ship between replicas.
+  static std::string EncodeRecordFrame(const WalRecord& rec);
+
+  /// Scans `frames` (a concatenation of frames, no file header) and
+  /// decodes its longest valid prefix into `records` (if non-null).
+  /// `*valid_bytes` (if non-null) receives the byte length of that
+  /// prefix. Returns OK when the whole buffer decodes cleanly, or the
+  /// first frame's decode error otherwise. This is the single frame
+  /// scanner: Open()'s torn-tail truncation, Replay(), and replication
+  /// followers verifying shipped batches all go through it, so a
+  /// follower rejects exactly what a restarted primary would truncate.
+  static common::Status ValidatePrefix(std::string_view frames,
+                                       size_t* valid_bytes,
+                                       std::vector<WalRecord>* records);
 
   ~Wal();
   Wal(const Wal&) = delete;

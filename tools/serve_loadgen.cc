@@ -29,6 +29,8 @@
 #include "common/trace.h"
 #include "common/windowed.h"
 #include "obs/admin.h"
+#include "repl/admin_hooks.h"
+#include "repl/replicated_store.h"
 #include "serve/admin_hooks.h"
 #include "serve/broker.h"
 #include "serve/loadgen.h"
@@ -182,6 +184,7 @@ int main(int argc, char** argv) {
   // gauges and the /tenantz SLO table.
   std::unique_ptr<eea::obs::AdminServer> admin;
   std::unique_ptr<eea::common::WindowedSampler> sampler;
+  std::unique_ptr<eea::repl::ReplicatedKvStore> repl_store;
   eea::serve::SloTracker slo({.availability = 0.999,
                               .latency_threshold_us = 5000.0,
                               .latency_goal = 0.99,
@@ -208,6 +211,28 @@ int main(int argc, char** argv) {
         admin.get(), &broker, &slo, [virtual_now] {
           return virtual_now->load(std::memory_order_relaxed);
         });
+    // A small volatile replicated store (2 shards x 2 followers) backs
+    // /shardz and the repl_* Prometheus families, so the admin-smoke CI
+    // job exercises the replication surface end to end.
+    eea::repl::ReplOptions ropt;
+    ropt.num_shards = 2;
+    ropt.followers_per_shard = 2;
+    auto repl_opened = eea::repl::ReplicatedKvStore::Open(ropt);
+    if (!repl_opened.ok()) {
+      std::fprintf(stderr, "repl store: %s\n",
+                   repl_opened.status().ToString().c_str());
+      return 1;
+    }
+    repl_store = std::move(repl_opened).value();
+    for (int i = 0; i < 64; ++i) {
+      const eea::common::Status put = repl_store->Put(
+          "loadgen|row" + std::to_string(i), "v" + std::to_string(i));
+      if (!put.ok()) {
+        std::fprintf(stderr, "repl store put: %s\n", put.ToString().c_str());
+        return 1;
+      }
+    }
+    eea::repl::RegisterReplAdminHooks(admin.get(), repl_store.get());
     const eea::common::Status started = admin->Start();
     if (!started.ok()) {
       std::fprintf(stderr, "--admin_port: %s\n", started.ToString().c_str());
